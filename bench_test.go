@@ -1,0 +1,554 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// Table 1 column group, per figure, and per ablation from DESIGN.md.
+//
+// Wall time measures this host's tracer; the reported "virtual_ms"
+// metric is the deterministic virtual-NOW makespan — the number whose
+// *ratios* reproduce the paper's speedups (run cmd/benchtab for the
+// assembled table). Workloads are reduced-size (the shape, not the
+// absolute 1998 numbers, is the target); pass -full via cmd/benchtab for
+// paper-scale runs.
+package nowrender_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nowrender"
+	"nowrender/internal/cluster"
+	"nowrender/internal/coherence"
+	"nowrender/internal/experiments"
+	"nowrender/internal/farm"
+	"nowrender/internal/fb"
+	"nowrender/internal/grid"
+	"nowrender/internal/msg"
+	"nowrender/internal/objfile"
+	"nowrender/internal/partition"
+	"nowrender/internal/scenes"
+	"nowrender/internal/trace"
+	vm "nowrender/internal/vecmath"
+)
+
+const (
+	benchW, benchH = 60, 80
+	benchFrames    = 12
+	benchBlock     = 20
+)
+
+func benchScene() *nowrender.Scene { return scenes.Newton(benchFrames) }
+
+func reportVirtual(b *testing.B, res *farm.Result) {
+	b.Helper()
+	b.ReportMetric(float64(res.Makespan.Milliseconds()), "virtual_ms")
+	total := res.Run.TotalRays()
+	b.ReportMetric(float64(total.Total()), "rays")
+}
+
+// --- Table 1 ---------------------------------------------------------
+
+// BenchmarkTable1_Single is column (1): one processor, no coherence.
+func BenchmarkTable1_Single(b *testing.B) {
+	sc := benchScene()
+	for i := 0; i < b.N; i++ {
+		res, err := farm.RenderSingle(farm.Config{Scene: sc, W: benchW, H: benchH},
+			cluster.PaperTestbed()[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportVirtual(b, res)
+	}
+}
+
+// BenchmarkTable1_SingleFC is columns (2)-(3): one processor with the
+// frame-coherence algorithm.
+func BenchmarkTable1_SingleFC(b *testing.B) {
+	sc := benchScene()
+	for i := 0; i < b.N; i++ {
+		res, err := farm.RenderSingle(farm.Config{Scene: sc, W: benchW, H: benchH, Coherence: true},
+			cluster.PaperTestbed()[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportVirtual(b, res)
+	}
+}
+
+// BenchmarkTable1_Distributed is columns (4)-(5): the 3-machine NOW
+// without coherence.
+func BenchmarkTable1_Distributed(b *testing.B) {
+	sc := benchScene()
+	for i := 0; i < b.N; i++ {
+		res, err := farm.RenderVirtual(farm.Config{
+			Scene: sc, W: benchW, H: benchH,
+			Scheme: partition.FrameDivision{BlockW: benchBlock, BlockH: benchBlock, Adaptive: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportVirtual(b, res)
+	}
+}
+
+// BenchmarkTable1_DistFCSeqDiv is columns (6)-(7): distributed +
+// coherence with sequence division.
+func BenchmarkTable1_DistFCSeqDiv(b *testing.B) {
+	sc := benchScene()
+	for i := 0; i < b.N; i++ {
+		res, err := farm.RenderVirtual(farm.Config{
+			Scene: sc, W: benchW, H: benchH, Coherence: true,
+			Scheme: partition.SequenceDivision{Adaptive: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportVirtual(b, res)
+	}
+}
+
+// BenchmarkTable1_DistFCFrameDiv is columns (8)-(9): distributed +
+// coherence with frame division (the paper's winner).
+func BenchmarkTable1_DistFCFrameDiv(b *testing.B) {
+	sc := benchScene()
+	for i := 0; i < b.N; i++ {
+		res, err := farm.RenderVirtual(farm.Config{
+			Scene: sc, W: benchW, H: benchH, Coherence: true,
+			Scheme: partition.FrameDivision{BlockW: benchBlock, BlockH: benchBlock, Adaptive: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportVirtual(b, res)
+	}
+}
+
+// --- Figures ----------------------------------------------------------
+
+// BenchmarkFigure1_RenderFramePair renders the two consecutive
+// bouncing-ball frames of Figure 1.
+func BenchmarkFigure1_RenderFramePair(b *testing.B) {
+	sc := scenes.Bouncing(8)
+	for i := 0; i < b.N; i++ {
+		for f := 2; f <= 3; f++ {
+			ft, err := trace.New(sc, f, trace.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			img := fb.New(benchW, benchH)
+			ft.RenderFull(img)
+		}
+	}
+}
+
+// BenchmarkFigure2_ActualDiff measures the pixel-by-pixel comparison of
+// Figure 2(a).
+func BenchmarkFigure2_ActualDiff(b *testing.B) {
+	sc := scenes.Bouncing(8)
+	imgs := make([]*fb.Framebuffer, 2)
+	for f := 0; f < 2; f++ {
+		ft, err := trace.New(sc, f+2, trace.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		imgs[f] = fb.New(benchW, benchH)
+		ft.RenderFull(imgs[f])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nowrender.DiffFrames(imgs[0], imgs[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2_PredictedDiff measures producing the coherence
+// engine's dirty mask of Figure 2(b) (render frame + change detection).
+func BenchmarkFigure2_PredictedDiff(b *testing.B) {
+	sc := scenes.Bouncing(8)
+	full := fb.NewRect(0, 0, benchW, benchH)
+	for i := 0; i < b.N; i++ {
+		eng, err := coherence.NewEngine(sc, benchW, benchH, full, 0, sc.Frames, coherence.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		img := fb.New(benchW, benchH)
+		if _, err := eng.RenderFrame(0, img); err != nil {
+			b.Fatal(err)
+		}
+		_ = eng.DirtyMask()
+	}
+}
+
+// BenchmarkFigure4_Partitioning measures task generation for both
+// schemes of Figure 4.
+func BenchmarkFigure4_Partitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		seq := partition.SequenceDivision{Adaptive: true}.InitialTasks(240, 320, 0, 120, 4)
+		fd := partition.FrameDivision{BlockW: 120, BlockH: 160}.InitialTasks(240, 320, 0, 120, 4)
+		if len(seq) != 4 || len(fd) != 4 {
+			b.Fatal("unexpected task counts")
+		}
+	}
+}
+
+// BenchmarkFigure5_NewtonFrame renders frame 22 of the Newton animation
+// (the paper's Figure 5).
+func BenchmarkFigure5_NewtonFrame(b *testing.B) {
+	sc := scenes.Newton(45)
+	for i := 0; i < b.N; i++ {
+		ft, err := trace.New(sc, 22, trace.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		img := fb.New(benchW, benchH)
+		ft.RenderFull(img)
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ----------------------------------------
+
+// BenchmarkAblation_GridResolution sweeps the coherence voxel grid.
+func BenchmarkAblation_GridResolution(b *testing.B) {
+	for _, res := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("res%d", res), func(b *testing.B) {
+			p := experiments.Params{Scene: benchScene(), W: benchW, H: benchH}
+			for i := 0; i < b.N; i++ {
+				out, err := experiments.AblationGridResolution(p, []int{res})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(out[0].Rendered), "pixels_traced")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_BlockSize sweeps frame-division block sizes,
+// including the paper's inefficient extremes.
+func BenchmarkAblation_BlockSize(b *testing.B) {
+	for _, bs := range []int{5, 10, 20, 40, benchW} {
+		b.Run(fmt.Sprintf("block%d", bs), func(b *testing.B) {
+			sc := benchScene()
+			for i := 0; i < b.N; i++ {
+				res, err := farm.RenderVirtual(farm.Config{
+					Scene: sc, W: benchW, H: benchH, Coherence: true,
+					Scheme: partition.FrameDivision{BlockW: bs, BlockH: bs, Adaptive: true},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportVirtual(b, res)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_JevansBlocks compares per-pixel coherence to
+// Jevans-style block granularity.
+func BenchmarkAblation_JevansBlocks(b *testing.B) {
+	for _, g := range []int{1, 4, 8, 16} {
+		name := "perpixel"
+		if g > 1 {
+			name = fmt.Sprintf("jevans%dx%d", g, g)
+		}
+		b.Run(name, func(b *testing.B) {
+			p := experiments.Params{Scene: benchScene(), W: benchW, H: benchH}
+			for i := 0; i < b.N; i++ {
+				out, err := experiments.AblationJevansBlocks(p, []int{g})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(out[0].Rendered), "pixels_traced")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_AdaptiveSeq compares adaptive and static sequence
+// division on the heterogeneous testbed.
+func BenchmarkAblation_AdaptiveSeq(b *testing.B) {
+	for _, adaptive := range []bool{false, true} {
+		name := "static"
+		if adaptive {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			sc := benchScene()
+			for i := 0; i < b.N; i++ {
+				res, err := farm.RenderVirtual(farm.Config{
+					Scene: sc, W: benchW, H: benchH, Coherence: true,
+					Scheme: partition.SequenceDivision{Adaptive: adaptive},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportVirtual(b, res)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_ShadowCoherence measures shadow-segment registration
+// on/off (off is incorrect; see the ablation in cmd/benchtab).
+func BenchmarkAblation_ShadowCoherence(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			sc := benchScene()
+			full := fb.NewRect(0, 0, benchW, benchH)
+			for i := 0; i < b.N; i++ {
+				eng, err := coherence.NewEngine(sc, benchW, benchH, full, 0, sc.Frames,
+					coherence.Options{DisableShadowRegistration: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				img := fb.New(benchW, benchH)
+				for f := 0; f < 4; f++ {
+					if _, err := eng.RenderFrame(f, img); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks --------------------------------------
+
+// BenchmarkTracer_PrimaryRays measures raw single-frame tracing.
+func BenchmarkTracer_PrimaryRays(b *testing.B) {
+	sc := benchScene()
+	ft, err := trace.New(sc, 0, trace.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := fb.New(benchW, benchH)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ft.RenderFull(img)
+	}
+	b.ReportMetric(float64(benchW*benchH), "pixels/op")
+}
+
+// BenchmarkGrid_DDAWalk measures the 3D-DDA voxel traversal.
+func BenchmarkGrid_DDAWalk(b *testing.B) {
+	g, err := grid.New(vm.NewAABB(vm.V(0, 0, 0), vm.V(1, 1, 1)), 32, 32, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := vm.Ray{Origin: vm.V(-0.1, -0.2, -0.3), Dir: vm.V(1, 0.9, 0.8).Norm()}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		g.Walk(r, 0, 1e18, func(int, float64, float64) bool { n++; return true })
+	}
+	if n == 0 {
+		b.Fatal("walk visited nothing")
+	}
+}
+
+// BenchmarkTransport_Chan measures in-process message round trips.
+func BenchmarkTransport_Chan(b *testing.B) {
+	a, c := msg.Pipe(16)
+	defer a.Close()
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(msg.Message{Tag: 1, Data: payload}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransport_TCP measures loopback TCP message round trips.
+func BenchmarkTransport_TCP(b *testing.B) {
+	l, err := msg.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan msg.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			done <- c
+		}
+	}()
+	client, err := msg.Dial(l.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	server := <-done
+	l.Close()
+	defer client.Close()
+	defer server.Close()
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Send(msg.Message{Tag: 1, Data: payload}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := server.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoherence_ChangeDetection isolates the per-frame change scan
+// (find changed voxels + collect dirty pixels).
+func BenchmarkCoherence_ChangeDetection(b *testing.B) {
+	sc := benchScene()
+	full := fb.NewRect(0, 0, benchW, benchH)
+	eng, err := coherence.NewEngine(sc, benchW, benchH, full, 0, sc.Frames, coherence.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	img := fb.New(benchW, benchH)
+	if _, err := eng.RenderFrame(0, img); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	// Steady-state frames exercise registration + change detection.
+	f := 1
+	for i := 0; i < b.N; i++ {
+		if f >= sc.Frames {
+			b.StopTimer()
+			eng, err = coherence.NewEngine(sc, benchW, benchH, full, 0, sc.Frames, coherence.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.RenderFrame(0, img); err != nil {
+				b.Fatal(err)
+			}
+			f = 1
+			b.StartTimer()
+		}
+		if _, err := eng.RenderFrame(f, img); err != nil {
+			b.Fatal(err)
+		}
+		f++
+	}
+}
+
+// BenchmarkFarm_LocalProtocol measures the full wall-clock goroutine
+// farm on a small animation.
+func BenchmarkFarm_LocalProtocol(b *testing.B) {
+	sc := scenes.Newton(4)
+	for i := 0; i < b.N; i++ {
+		if _, err := farm.RenderLocal(farm.Config{
+			Scene: sc, W: 40, H: 52, Coherence: true, Workers: 3,
+			Scheme: partition.FrameDivision{BlockW: 20, BlockH: 26, Adaptive: true},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks (geometry & IO) -----------------------
+
+// BenchmarkGeom_TorusIntersect measures the quartic intersection path.
+func BenchmarkGeom_TorusIntersect(b *testing.B) {
+	to := nowrender.NewTorus(2, 0.5)
+	r := vm.Ray{Origin: vm.V(-5, 0.2, 0.1), Dir: vm.V(1, 0, 0)}
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := to.Intersect(r, 0, 1e18); ok {
+			hits++
+		}
+	}
+	if hits == 0 {
+		b.Fatal("no hits")
+	}
+}
+
+// BenchmarkGeom_SphereIntersect is the baseline quadratic path.
+func BenchmarkGeom_SphereIntersect(b *testing.B) {
+	s := nowrender.NewSphere(vm.V(0, 0, 0), 1)
+	r := vm.Ray{Origin: vm.V(-5, 0.2, 0.1), Dir: vm.V(1, 0, 0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Intersect(r, 0, 1e18)
+	}
+}
+
+// BenchmarkTracer_AdaptiveAA measures the edge-adaptive antialiasing
+// against the plain single-sample render.
+func BenchmarkTracer_AdaptiveAA(b *testing.B) {
+	sc := scenes.Quickstart()
+	for i := 0; i < b.N; i++ {
+		ft, err := trace.New(sc, 0, trace.Options{AAThreshold: 0.1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ft.RenderFull(fb.New(benchW, benchH))
+	}
+}
+
+// BenchmarkOBJ_ParseCube measures the OBJ loader.
+func BenchmarkOBJ_ParseCube(b *testing.B) {
+	src := `v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+v 0 0 1
+v 1 0 1
+v 1 1 1
+v 0 1 1
+f 1 2 3 4
+f 5 8 7 6
+f 1 5 6 2
+f 2 6 7 3
+f 3 7 8 4
+f 5 1 4 8
+`
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := objfile.Parse(strings.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSDL_ParseScene measures the scene-language parser.
+func BenchmarkSDL_ParseScene(b *testing.B) {
+	src := `
+global_settings { max_depth 5 frames 45 }
+camera { location <0, 2, 8> look_at <0, 1, 0> fov 55 }
+light_source { <5, 9, 7> color rgb <1, 1, 1> }
+plane { <0, 1, 0>, 0 pigment { checker rgb <1,1,1> rgb <0.2,0.2,0.2> } }
+sphere { <0, 1, 0>, 1
+  pigment { color rgb <1, 1, 1> }
+  finish { ambient 0.02 diffuse 0.05 specular 0.9 shininess 200 reflect 0.1 transmit 0.85 ior 1.5 }
+  animate { keyframe 0 <0,0,0> keyframe 44 <3,0,0> }
+}
+torus { 2, 0.5 rotate <90, 0, 0> translate <0, 2, 0> }
+`
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := nowrender.ParseScene("bench", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFarm_FaultRecovery exercises the worker-failure requeue path.
+func BenchmarkFarm_FaultRecovery(b *testing.B) {
+	sc := scenes.Newton(4)
+	for i := 0; i < b.N; i++ {
+		res, err := farm.RenderVirtual(farm.Config{
+			Scene: sc, W: 40, H: 52, Coherence: true,
+			Scheme: partition.SequenceDivision{Adaptive: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}

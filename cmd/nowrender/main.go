@@ -1,0 +1,194 @@
+// Command nowrender renders an animation with the frame-coherent
+// parallel renderer, in any of the paper's configurations:
+//
+//	nowrender -scene newton -mode single        # 1 CPU, no coherence
+//	nowrender -scene newton -mode coherent      # 1 CPU + frame coherence
+//	nowrender -scene newton -mode virtual       # virtual NOW (paper's testbed)
+//	nowrender -scene newton -mode local         # goroutine workers, wall clock
+//	nowrender -scene newton -mode master -listen :7946 -workers 3
+//
+// The master mode drives real TCP workers started with cmd/nowworker.
+// Frames are written as TGA (the paper's format) into -out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nowrender/internal/cluster"
+	"nowrender/internal/coherence"
+	"nowrender/internal/farm"
+	"nowrender/internal/fb"
+	"nowrender/internal/msg"
+	"nowrender/internal/partition"
+	"nowrender/internal/scenes"
+	"nowrender/internal/stats"
+	"nowrender/internal/tga"
+)
+
+func main() {
+	var (
+		sceneSpec = flag.String("scene", "newton", "scene: newton[:frames], bouncing[:frames], quickstart, or a .sdl file")
+		mode      = flag.String("mode", "virtual", "single | coherent | virtual | auto | local | master")
+		scheme    = flag.String("scheme", "framediv", "partitioning: seqdiv | seqdiv-static | seqdiv-weighted | framediv | hybrid | pixeldiv")
+		blockW    = flag.Int("blockw", 80, "frame-division block width")
+		blockH    = flag.Int("blockh", 80, "frame-division block height")
+		width     = flag.Int("w", 240, "output width (paper: 240)")
+		height    = flag.Int("h", 320, "output height (paper: 320)")
+		outDir    = flag.String("out", "", "directory to write frame TGAs (empty = don't write)")
+		workers   = flag.Int("workers", 3, "worker count (local/master modes)")
+		listen    = flag.String("listen", ":7946", "master listen address (master mode)")
+		coherent  = flag.Bool("coherence", true, "exploit frame coherence (virtual/local/master modes)")
+		samples   = flag.Int("samples", 1, "supersamples per pixel")
+		aa        = flag.Float64("aa", 0, "adaptive antialiasing threshold (0 = off; try 0.1)")
+		usePNG    = flag.Bool("png", false, "write PNG instead of TGA")
+	)
+	flag.Parse()
+	if err := run(*sceneSpec, *mode, *scheme, *blockW, *blockH, *width, *height,
+		*outDir, *workers, *listen, *coherent, *samples, *aa, *usePNG); err != nil {
+		fmt.Fprintln(os.Stderr, "nowrender:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
+	outDir string, workers int, listen string, coherent bool, samples int,
+	aa float64, usePNG bool) error {
+	sc, err := scenes.FromSpec(sceneSpec)
+	if err != nil {
+		return err
+	}
+
+	var scheme partition.Scheme
+	switch schemeName {
+	case "seqdiv":
+		scheme = partition.SequenceDivision{Adaptive: true}
+	case "seqdiv-static":
+		scheme = partition.SequenceDivision{}
+	case "seqdiv-weighted":
+		speeds := make([]float64, 0, 8)
+		for _, m := range cluster.PaperTestbed() {
+			speeds = append(speeds, m.Speed)
+		}
+		scheme = partition.WeightedSequenceDivision{Speeds: speeds, Adaptive: true}
+	case "framediv":
+		scheme = partition.FrameDivision{BlockW: blockW, BlockH: blockH, Adaptive: true}
+	case "hybrid":
+		scheme = partition.HybridDivision{BlockW: blockW, BlockH: blockH, SubseqLen: 15}
+	case "pixeldiv":
+		scheme = partition.PixelDivision{}
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+
+	emit := func(frame int, img *fb.Framebuffer) error {
+		if outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		if usePNG {
+			return tga.WriteFilePNG(filepath.Join(outDir, fmt.Sprintf("frame%04d.png", frame)), img)
+		}
+		return tga.WriteFile(filepath.Join(outDir, fmt.Sprintf("frame%04d.tga", frame)), img)
+	}
+
+	cfg := farm.Config{
+		Scene: sc, W: w, H: h, Scheme: scheme,
+		Coherence: coherent, Samples: samples,
+		CoherenceOpts: coherence.Options{AAThreshold: aa},
+		Workers:       workers, Emit: emit,
+	}
+
+	switch mode {
+	case "single", "coherent":
+		cfg.Coherence = mode == "coherent"
+		res, err := farm.RenderSingle(cfg, cluster.PaperTestbed()[0])
+		if err != nil {
+			return err
+		}
+		report(sc.Name, mode, res)
+	case "virtual":
+		res, err := farm.RenderVirtual(cfg)
+		if err != nil {
+			return err
+		}
+		report(sc.Name, fmt.Sprintf("virtual/%s", scheme.Name()), res)
+	case "auto":
+		// Split at camera cuts, then render each stationary sequence.
+		res, err := farm.RenderAuto(cfg)
+		if err != nil {
+			return err
+		}
+		report(sc.Name, fmt.Sprintf("auto/%s", scheme.Name()), res)
+	case "local":
+		res, err := farm.RenderLocal(cfg)
+		if err != nil {
+			return err
+		}
+		report(sc.Name, fmt.Sprintf("local/%s", scheme.Name()), res)
+	case "master":
+		res, err := runTCPMaster(cfg, sceneSpec, listen, workers)
+		if err != nil {
+			return err
+		}
+		report(sc.Name, fmt.Sprintf("tcp/%s", scheme.Name()), res)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+// runTCPMaster accepts `workers` TCP connections, ships each the scene,
+// and drives the farm protocol over them.
+func runTCPMaster(cfg farm.Config, sceneSpec, listen string, workers int) (*farm.Result, error) {
+	kind, data, err := scenes.SpecPayload(sceneSpec)
+	if err != nil {
+		return nil, err
+	}
+	l, err := msg.Listen(listen)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	fmt.Printf("master listening on %s, waiting for %d workers...\n", l.Addr(), workers)
+	hub := msg.NewHub()
+	defer hub.Close()
+	for i := 0; i < workers; i++ {
+		conn, err := l.Accept()
+		if err != nil {
+			return nil, err
+		}
+		// Ship the scene before the protocol starts.
+		buf := msg.NewBuffer()
+		buf.PackString(kind)
+		buf.PackString(data)
+		if err := conn.Send(msg.Message{Tag: farm.TagSceneSDL, Data: buf.Bytes()}); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("tcp%02d", i)
+		if err := hub.Attach(name, conn); err != nil {
+			return nil, err
+		}
+		fmt.Printf("worker %s connected\n", name)
+	}
+	return farm.RunMaster(cfg, hub)
+}
+
+func report(scene, mode string, res *farm.Result) {
+	total := res.Run.TotalRays()
+	fmt.Printf("scene %s, mode %s\n", scene, mode)
+	fmt.Printf("  frames:    %d\n", len(res.Frames))
+	fmt.Printf("  rays:      %d (%s)\n", total.Total(), total.String())
+	fmt.Printf("  makespan:  %s\n", stats.FormatDuration(res.Makespan))
+	fmt.Printf("  tasks:     %d (+%d adaptive subdivisions)\n", res.TasksExecuted, res.Subdivisions)
+	fmt.Printf("  traffic:   %d bytes\n", res.BytesTransferred)
+	for _, w := range res.Workers {
+		fmt.Printf("  %-12s tasks=%-3d pixels=%-8d busy=%s util=%.0f%%\n",
+			w.Worker, w.TasksDone, w.PixelsDone, stats.FormatDuration(w.Busy),
+			100*w.Utilisation(res.Makespan))
+	}
+}

@@ -1,0 +1,63 @@
+// Command nowworker is a render-farm slave for a physical network of
+// workstations: it dials the master started with `nowrender -mode
+// master`, receives the scene, and renders the tasks it is assigned
+// until the master shuts it down.
+//
+//	nowworker -master host:7946 -name ws01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nowrender/internal/farm"
+	"nowrender/internal/msg"
+	"nowrender/internal/scenes"
+)
+
+func main() {
+	var (
+		master = flag.String("master", "127.0.0.1:7946", "master address")
+		name   = flag.String("name", "", "worker name (default: host:pid)")
+	)
+	flag.Parse()
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if err := run(*master, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "nowworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(master, name string) error {
+	conn, err := msg.Dial(master)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	// The master ships the scene first.
+	m, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("waiting for scene: %w", err)
+	}
+	if m.Tag != farm.TagSceneSDL {
+		return fmt.Errorf("expected scene message, got tag %d", m.Tag)
+	}
+	buf := msg.FromBytes(m.Data)
+	kind := buf.UnpackString()
+	data := buf.UnpackString()
+	if err := buf.Err(); err != nil {
+		return err
+	}
+	sc, err := scenes.FromPayload(kind, data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %s: scene %q loaded (%d frames), entering render loop\n",
+		name, sc.Name, sc.Frames)
+	return farm.RunWorker(name, conn, sc)
+}

@@ -1,0 +1,84 @@
+// Heterocluster explores the paper's §5 direction — "further tests with
+// heterogeneous environments, as well as more homogeneous ones" — on the
+// virtual NOW: it renders the same animation on clusters of varying size
+// and speed mix and prints how each partitioning scheme copes with the
+// imbalance.
+//
+//	go run ./examples/heterocluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nowrender"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sc := nowrender.NewtonScene(24)
+	const w, h = 120, 160
+
+	clusters := []struct {
+		label    string
+		machines []nowrender.Machine
+	}{
+		{"1 fast machine", []nowrender.Machine{{Name: "fast", Speed: 2, MemoryMB: 64}}},
+		{"paper testbed (2.0 + 1.0 + 1.0)", nowrender.PaperTestbed()},
+		{"3 homogeneous (1.0)", nowrender.UniformCluster(3, 1, 32)},
+		{"6 homogeneous (1.0)", nowrender.UniformCluster(6, 1, 32)},
+		{"extreme imbalance (4.0 + 0.5 + 0.5)", []nowrender.Machine{
+			{Name: "big", Speed: 4, MemoryMB: 128},
+			{Name: "tiny1", Speed: 0.5, MemoryMB: 16},
+			{Name: "tiny2", Speed: 0.5, MemoryMB: 16},
+		}},
+	}
+	schemes := []nowrender.PartitionScheme{
+		nowrender.SequenceDivision{Adaptive: false},
+		nowrender.SequenceDivision{Adaptive: true},
+		nowrender.FrameDivision{BlockW: 40, BlockH: 40, Adaptive: true},
+	}
+
+	fmt.Printf("workload: %s, %d frames at %dx%d, coherence on\n\n", sc.Name, sc.Frames, w, h)
+	var baseline time.Duration
+	for _, cl := range clusters {
+		fmt.Printf("%s:\n", cl.label)
+		for _, sch := range schemes {
+			res, err := nowrender.RenderFarmVirtual(nowrender.FarmConfig{
+				Scene: sc, W: w, H: h, Coherence: true,
+				Scheme: sch, Machines: cl.machines,
+			})
+			if err != nil {
+				return err
+			}
+			if baseline == 0 {
+				baseline = res.Makespan
+			}
+			minU, maxU := 1.0, 0.0
+			for _, ws := range res.Workers {
+				u := ws.Utilisation(res.Makespan)
+				if u < minU {
+					minU = u
+				}
+				if u > maxU {
+					maxU = u
+				}
+			}
+			fmt.Printf("  %-24s %10v  speedup %.2f  util %.0f%%-%.0f%%  splits %d\n",
+				sch.Name(), res.Makespan.Round(time.Millisecond),
+				float64(baseline)/float64(res.Makespan), 100*minU, 100*maxU,
+				res.Subdivisions)
+		}
+		fmt.Println()
+	}
+	fmt.Println("observations: adaptive subdivision narrows the utilisation spread on")
+	fmt.Println("imbalanced clusters; frame division with many blocks balances best,")
+	fmt.Println("matching the paper's §4 results.")
+	return nil
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a scene with the public API, render one frame, and
+// write it out as TGA (the paper's format) and PPM.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nowrender"
+)
+
+func main() {
+	// A scene can be built programmatically...
+	sc := nowrender.NewScene("hello")
+	sc.Camera = nowrender.Camera{
+		Pos: nowrender.V(0, 1.5, 6), LookAt: nowrender.V(0, 1, 0),
+		Up: nowrender.V(0, 1, 0), FOV: 55,
+	}
+	sc.Background = nowrender.RGB(0.2, 0.3, 0.5)
+	sc.Add("floor", nowrender.NewPlane(nowrender.V(0, 1, 0), 0),
+		nowrender.Matte(nowrender.RGB(0.9, 0.9, 0.9)), nil)
+	sc.Add("ball", nowrender.NewSphere(nowrender.V(0, 1, 0), 1),
+		nowrender.NewMaterial(nowrender.Matte(nowrender.RGB(0.9, 0.2, 0.15)).Pigment,
+			nowrender.ChromeFinish()), nil)
+	sc.AddLight("key", nowrender.V(4, 7, 6), nowrender.RGB(1, 1, 1))
+
+	img, err := nowrender.RenderFrame(sc, 0, 320, 240)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nowrender.WriteTGA("quickstart.tga", img); err != nil {
+		log.Fatal(err)
+	}
+	if err := nowrender.WritePPM("quickstart.ppm", img); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart.tga and quickstart.ppm (320x240)")
+
+	// ...or parsed from the POV-style scene description language.
+	sdlScene := `
+		camera { location <0, 2, 7> look_at <0, 1, 0> fov 50 }
+		light_source { <5, 8, 6> color rgb <1, 1, 1> }
+		plane { <0, 1, 0>, 0 pigment { checker rgb <1,1,1> rgb <0.1,0.1,0.1> } }
+		sphere { <0, 1, 0>, 1
+			pigment { color rgb <1, 1, 1> }
+			finish { ambient 0.02 diffuse 0.05 specular 0.9 shininess 200
+			         reflect 0.1 transmit 0.85 ior 1.5 }
+		}
+	`
+	parsed, err := nowrender.ParseScene("sdl-demo", sdlScene)
+	if err != nil {
+		log.Fatal(err)
+	}
+	img2, err := nowrender.RenderFrame(parsed, 0, 320, 240)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nowrender.WriteTGA("quickstart-sdl.tga", img2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart-sdl.tga (glass sphere from SDL source)")
+}

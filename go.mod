@@ -1,0 +1,3 @@
+module nowrender
+
+go 1.22

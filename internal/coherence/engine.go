@@ -1,0 +1,500 @@
+// Package coherence implements the paper's central contribution: the
+// predictive frame-coherence algorithm of §2 (Figure 3).
+//
+// While a frame is rendered, every ray spawned for a pixel — camera,
+// reflected, refracted and shadow rays — is walked through a voxel grid
+// over object space (3D-DDA) and the pixel is registered on the pixel
+// list of every voxel the ray traverses. Between frame f and f+1 the
+// engine finds the voxels in which change occurs (objects moving in or
+// out) and marks every pixel registered on those voxels for
+// recomputation; all other pixels are copied from the previous frame.
+//
+// Unlike Jevans' object-based temporal coherence, granularity is a single
+// pixel (an NxN block mode is provided as the Jevans-style baseline for
+// the ablation benches), shadow rays participate in registration, and the
+// engine is built to run on subregions so the parallel decompositions of
+// §3 can each own an engine.
+package coherence
+
+import (
+	"fmt"
+	"time"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/geom"
+	"nowrender/internal/grid"
+	"nowrender/internal/scene"
+	"nowrender/internal/stats"
+	"nowrender/internal/trace"
+	vm "nowrender/internal/vecmath"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// GridRes overrides the automatic voxel resolution when positive.
+	GridRes int
+	// BlockGranularity dilates the dirty mask to NxN pixel blocks,
+	// emulating Jevans' block-level coherence for comparison. 0 or 1 is
+	// the paper's per-pixel granularity.
+	BlockGranularity int
+	// SamplesPerPixel is passed through to the tracer.
+	SamplesPerPixel int
+	// AAThreshold and AASamples enable the tracer's adaptive
+	// antialiasing; coherent re-rendering stays pixel-exact because the
+	// extra samples are deterministic per pixel.
+	AAThreshold float64
+	AASamples   int
+	// CompactEvery triggers a full compaction of stale registrations
+	// every N rendered frames, bounding memory growth on long
+	// animations. 0 selects the default of 16; negative disables.
+	CompactEvery int
+	// DisableShadowRegistration turns off registration of shadow-ray
+	// segments. This reproduces a coherence scheme without shadow
+	// support: faster bookkeeping but *incorrect* images when a blocker
+	// moves between a lit surface and the light. Exists only for the
+	// ablation bench; leave false for correct rendering.
+	DisableShadowRegistration bool
+}
+
+// registration is one (pixel, frame) entry on a voxel's pixel list. The
+// entry is valid only while the pixel has not been re-rendered since
+// `frame` — re-rendering re-registers the pixel's rays, so older entries
+// are lazily discarded when touched.
+type registration struct {
+	pixel int32
+	frame int32
+}
+
+// Engine renders a region of an animation sequence exploiting frame
+// coherence. It must be fed consecutive frames via RenderFrame, starting
+// at the sequence's first frame. An Engine is not safe for concurrent
+// use; parallel schemes give each worker its own engine over its own
+// region or subsequence.
+type Engine struct {
+	sc     *scene.Scene
+	W, H   int
+	Region fb.Rect
+	start  int
+	end    int // exclusive
+	opts   Options
+
+	grid        *grid.Grid
+	voxelPixels [][]registration
+	// pixelStamp[p] is the frame at which region-local pixel p was last
+	// actually traced; registrations from older frames are stale.
+	pixelStamp []int32
+
+	prev      *fb.Framebuffer
+	nextFrame int
+	dirty     []bool // region-local dirty mask for nextFrame
+
+	// registration state during a trace
+	curPixel int32
+	// regAdded counts registrations appended during the current frame,
+	// reported per frame for cost accounting.
+	regAdded uint64
+}
+
+// NewEngine prepares a coherence engine for frames [start, end) of the
+// scene, rendering only pixels inside region of a W x H frame. The
+// camera must be stationary across the range — the caller (see
+// internal/anim) splits animations at camera cuts.
+func NewEngine(sc *scene.Scene, w, h int, region fb.Rect, start, end int, opts Options) (*Engine, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if start < 0 || end > sc.Frames || start >= end {
+		return nil, fmt.Errorf("coherence: bad frame range [%d,%d) for %d frames", start, end, sc.Frames)
+	}
+	full := fb.NewRect(0, 0, w, h)
+	if region.Empty() || region.Intersect(full) != region {
+		return nil, fmt.Errorf("coherence: region %v outside frame %dx%d", region, w, h)
+	}
+	cam0 := sc.CameraAt(start)
+	for f := start + 1; f < end; f++ {
+		if !sc.CameraAt(f).Equal(cam0) {
+			return nil, fmt.Errorf("coherence: camera moves at frame %d; split the sequence first", f)
+		}
+	}
+
+	// The registration grid must be identical for every frame of the
+	// sequence, so its bounds are the union of all per-frame bounds.
+	seqBounds := vm.EmptyAABB()
+	for f := start; f < end; f++ {
+		seqBounds = seqBounds.Union(sc.BoundsAt(f))
+	}
+	var nx, ny, nz int
+	if opts.GridRes > 0 {
+		nx, ny, nz = opts.GridRes, opts.GridRes, opts.GridRes
+	} else {
+		nx, ny, nz = registrationResolution(seqBounds)
+	}
+	g, err := grid.New(seqBounds, nx, ny, nz)
+	if err != nil {
+		return nil, fmt.Errorf("coherence: %w", err)
+	}
+
+	e := &Engine{
+		sc: sc, W: w, H: h, Region: region,
+		start: start, end: end, opts: opts,
+		grid:        g,
+		voxelPixels: make([][]registration, g.NumVoxels()),
+		pixelStamp:  make([]int32, region.Area()),
+		nextFrame:   start,
+		dirty:       make([]bool, region.Area()),
+	}
+	for i := range e.pixelStamp {
+		e.pixelStamp[i] = -1
+	}
+	// Everything is dirty for the first frame.
+	for i := range e.dirty {
+		e.dirty[i] = true
+	}
+	return e, nil
+}
+
+// registrationResolution picks the default registration-grid density:
+// finer than the intersection-acceleration heuristic, because voxel size
+// directly bounds how tightly object motion localises dirty pixels. The
+// longest axis gets 32 voxels; other axes scale with extent.
+func registrationResolution(bounds vm.AABB) (nx, ny, nz int) {
+	const target = 32
+	size := bounds.Size()
+	maxExt := size.MaxComponent()
+	if maxExt <= 0 {
+		return 1, 1, 1
+	}
+	scale := func(ext float64) int {
+		v := int(ext / maxExt * target)
+		if v < 1 {
+			return 1
+		}
+		return v
+	}
+	return scale(size.X), scale(size.Y), scale(size.Z)
+}
+
+// Grid exposes the registration grid (tests and benches inspect it).
+func (e *Engine) Grid() *grid.Grid { return e.grid }
+
+// pixelIndex maps frame coordinates to region-local index.
+func (e *Engine) pixelIndex(x, y int) int32 {
+	return int32((y-e.Region.Y0)*e.Region.W() + (x - e.Region.X0))
+}
+
+// pixelCoords inverts pixelIndex.
+func (e *Engine) pixelCoords(p int32) (x, y int) {
+	w := e.Region.W()
+	return e.Region.X0 + int(p)%w, e.Region.Y0 + int(p)/w
+}
+
+// DirtyMask returns a copy of the dirty mask that will drive the next
+// RenderFrame call: exactly the pixels the algorithm predicts may change
+// (Figure 2(b) is rendered from this).
+func (e *Engine) DirtyMask() []bool {
+	out := make([]bool, len(e.dirty))
+	copy(out, e.dirty)
+	return out
+}
+
+// NextFrame returns the frame the next RenderFrame call must render.
+func (e *Engine) NextFrame() int { return e.nextFrame }
+
+// ObserveRay implements trace.RayObserver: register the current pixel on
+// every voxel the ray traverses up to its hit (or through the whole grid
+// for escaping rays).
+func (e *Engine) ObserveRay(r vm.Ray, tHit float64) {
+	if r.Kind == vm.ShadowRay && e.opts.DisableShadowRegistration {
+		return
+	}
+	frame := int32(e.nextFrame)
+	p := e.curPixel
+	e.grid.Walk(r, 0, tHit, func(idx int, _, _ float64) bool {
+		vp := e.voxelPixels[idx]
+		// Cheap dedup: consecutive rays of one pixel revisit voxels.
+		if n := len(vp); n > 0 && vp[n-1].pixel == p && vp[n-1].frame == frame {
+			return true
+		}
+		e.voxelPixels[idx] = append(vp, registration{pixel: p, frame: frame})
+		e.regAdded++
+		return true
+	})
+}
+
+// FrameReport describes one rendered frame.
+type FrameReport struct {
+	Frame int
+	// Rendered is the number of pixels traced; Copied the number reused
+	// from the previous frame.
+	Rendered, Copied int
+	// DirtyNext is the number of pixels predicted to change in the next
+	// frame (0 after the last frame).
+	DirtyNext int
+	// Registrations counts voxel-pixel registrations made this frame and
+	// ChangeVoxels the voxels examined by change detection — the work
+	// quantities the virtual NOW cost model charges for coherence
+	// bookkeeping.
+	Registrations uint64
+	ChangeVoxels  int
+	Rays          stats.RayCounters
+	// Overhead is the time spent on coherence bookkeeping (ray
+	// registration is folded into render time; this counts change
+	// detection and mask building).
+	Overhead time.Duration
+}
+
+// RenderFrame renders the engine's next frame into dst (a full W x H
+// framebuffer; only the engine's region is touched). Frames must be
+// rendered consecutively.
+func (e *Engine) RenderFrame(frame int, dst *fb.Framebuffer) (FrameReport, error) {
+	if frame != e.nextFrame {
+		return FrameReport{}, fmt.Errorf("coherence: frames must be consecutive: want %d, got %d", e.nextFrame, frame)
+	}
+	if frame >= e.end {
+		return FrameReport{}, fmt.Errorf("coherence: frame %d beyond sequence end %d", frame, e.end)
+	}
+	if dst.W != e.W || dst.H != e.H {
+		return FrameReport{}, fmt.Errorf("coherence: dst is %dx%d, want %dx%d", dst.W, dst.H, e.W, e.H)
+	}
+
+	ft, err := trace.New(e.sc, frame, trace.Options{
+		GridRes:         e.opts.GridRes,
+		Observer:        e,
+		SamplesPerPixel: e.opts.SamplesPerPixel,
+		AAThreshold:     e.opts.AAThreshold,
+		AASamples:       e.opts.AASamples,
+	})
+	if err != nil {
+		return FrameReport{}, err
+	}
+
+	rep := FrameReport{Frame: frame}
+	e.regAdded = 0
+	for y := e.Region.Y0; y < e.Region.Y1; y++ {
+		for x := e.Region.X0; x < e.Region.X1; x++ {
+			p := e.pixelIndex(x, y)
+			if !e.dirty[p] {
+				dst.CopyPixel(e.prev, x, y)
+				rep.Copied++
+				continue
+			}
+			// Invalidate stale registrations and trace afresh.
+			e.pixelStamp[p] = int32(frame)
+			e.curPixel = p
+			dst.Set(x, y, ft.TracePixel(x, y, e.W, e.H))
+			rep.Rendered++
+		}
+	}
+	rep.Rays = ft.Counters
+	rep.Registrations = e.regAdded
+
+	// Predict the dirty set for the next frame (Figure 3's final steps).
+	overheadStart := time.Now()
+	for i := range e.dirty {
+		e.dirty[i] = false
+	}
+	if frame+1 < e.end {
+		rep.ChangeVoxels = e.markChanges(frame, frame+1)
+		if e.opts.BlockGranularity > 1 {
+			e.dilateToBlocks(e.opts.BlockGranularity)
+		}
+		for _, d := range e.dirty {
+			if d {
+				rep.DirtyNext++
+			}
+		}
+	}
+	rep.Overhead = time.Since(overheadStart)
+
+	// Keep the frame for pixel copying.
+	if e.prev == nil {
+		e.prev = dst.Clone()
+	} else {
+		e.prev.CopyRect(dst, e.Region)
+	}
+	e.nextFrame++
+
+	// Periodic compaction bounds registration memory on long sequences
+	// (the paper: memory proportional to image area — stale entries must
+	// not accumulate per frame).
+	ce := e.opts.CompactEvery
+	if ce == 0 {
+		ce = 16
+	}
+	if ce > 0 && (e.nextFrame-e.start)%ce == 0 {
+		e.Compact()
+	}
+	return rep, nil
+}
+
+// markChanges sets the dirty flag of every valid pixel registered on a
+// voxel in which change occurs between frames f0 and f1, returning the
+// number of voxels examined.
+func (e *Engine) markChanges(f0, f1 int) int {
+	// A moving light invalidates every pixel: all shadow terms may
+	// change. (The paper's scenes keep lights fixed.)
+	for _, l := range e.sc.Lights {
+		if l.MovedBetween(f0, f1) {
+			for i := range e.dirty {
+				e.dirty[i] = true
+			}
+			return 0
+		}
+	}
+	seen := make(map[int]bool)
+	markVoxel := func(idx int) {
+		if seen[idx] {
+			return
+		}
+		seen[idx] = true
+		regs := e.voxelPixels[idx]
+		// Collect valid registrations and compact the list in place,
+		// discarding entries superseded by a later re-render.
+		kept := regs[:0]
+		for _, reg := range regs {
+			if e.pixelStamp[reg.pixel] != reg.frame {
+				continue // stale
+			}
+			kept = append(kept, reg)
+			e.dirty[reg.pixel] = true
+		}
+		e.voxelPixels[idx] = kept
+	}
+	for _, o := range e.sc.Objects {
+		if !o.MovedBetween(f0, f1) {
+			continue
+		}
+		// Space the object leaves and space it enters both change. The
+		// per-voxel shape overlap test keeps thin slanted objects (the
+		// cradle strings) from dirtying their whole bounding box.
+		for _, f := range [2]int{f0, f1} {
+			shape := o.ShapeAt(f)
+			e.grid.VoxelsOverlapping(shape.Bounds(), func(idx int) {
+				if seen[idx] {
+					return
+				}
+				ix, iy, iz := e.grid.Coords(idx)
+				if geom.ShapeOverlapsBox(shape, e.grid.VoxelBounds(ix, iy, iz)) {
+					markVoxel(idx)
+				}
+			})
+		}
+	}
+	return len(seen)
+}
+
+// dilateToBlocks expands the dirty mask to n x n pixel blocks aligned to
+// the region origin (the Jevans-style baseline).
+func (e *Engine) dilateToBlocks(n int) {
+	w, h := e.Region.W(), e.Region.H()
+	bw := (w + n - 1) / n
+	bh := (h + n - 1) / n
+	blocks := make([]bool, bw*bh)
+	for p, d := range e.dirty {
+		if d {
+			bx := (p % w) / n
+			by := (p / w) / n
+			blocks[by*bw+bx] = true
+		}
+	}
+	for p := range e.dirty {
+		bx := (p % w) / n
+		by := (p / w) / n
+		if blocks[by*bw+bx] {
+			e.dirty[p] = true
+		}
+	}
+}
+
+// RegistrationCount returns the total number of live voxel-pixel
+// registrations (memory accounting; the paper notes memory requirements
+// are proportional to image area).
+func (e *Engine) RegistrationCount() int {
+	n := 0
+	for _, regs := range e.voxelPixels {
+		for _, reg := range regs {
+			if e.pixelStamp[reg.pixel] == reg.frame {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Compact drops all stale registrations, trimming memory between
+// sequences.
+func (e *Engine) Compact() {
+	for i, regs := range e.voxelPixels {
+		kept := regs[:0]
+		for _, reg := range regs {
+			if e.pixelStamp[reg.pixel] == reg.frame {
+				kept = append(kept, reg)
+			}
+		}
+		e.voxelPixels[i] = kept
+	}
+}
+
+// RenderSequence is a single-processor convenience driver: it renders
+// the engine's whole frame range, invoking emit for each finished frame,
+// and returns aggregate run statistics (Table 1 columns (2)-(3) come
+// from this path). emit may be nil.
+func (e *Engine) RenderSequence(emit func(frame int, img *fb.Framebuffer, rep FrameReport) error) (stats.RunStats, error) {
+	var run stats.RunStats
+	startAll := time.Now()
+	for f := e.start; f < e.end; f++ {
+		img := fb.New(e.W, e.H)
+		frameStart := time.Now()
+		rep, err := e.RenderFrame(f, img)
+		if err != nil {
+			return run, err
+		}
+		fs := stats.FrameStats{
+			Frame:             f,
+			Rendered:          rep.Rendered,
+			Copied:            rep.Copied,
+			Rays:              rep.Rays,
+			Elapsed:           time.Since(frameStart),
+			CoherenceOverhead: rep.Overhead,
+		}
+		run.AddFrame(fs)
+		if emit != nil {
+			if err := emit(f, img, rep); err != nil {
+				return run, err
+			}
+		}
+	}
+	run.Total = time.Since(startAll)
+	return run, nil
+}
+
+// FullRender renders every pixel of every frame of [start, end) without
+// coherence — the baseline for Table 1 columns (1) and (4)-(5). Region
+// semantics match the engine's.
+func FullRender(sc *scene.Scene, w, h int, region fb.Rect, start, end int, samples int, emit func(frame int, img *fb.Framebuffer, rc stats.RayCounters) error) (stats.RunStats, error) {
+	var run stats.RunStats
+	startAll := time.Now()
+	for f := start; f < end; f++ {
+		ft, err := trace.New(sc, f, trace.Options{SamplesPerPixel: samples})
+		if err != nil {
+			return run, err
+		}
+		img := fb.New(w, h)
+		frameStart := time.Now()
+		ft.RenderRegion(img, region)
+		fs := stats.FrameStats{
+			Frame:    f,
+			Rendered: region.Area(),
+			Rays:     ft.Counters,
+			Elapsed:  time.Since(frameStart),
+		}
+		run.AddFrame(fs)
+		if emit != nil {
+			if err := emit(f, img, ft.Counters); err != nil {
+				return run, err
+			}
+		}
+	}
+	run.Total = time.Since(startAll)
+	return run, nil
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nowrender/internal/scenes"
+)
+
+// small returns reduced-size parameters so the tests run in seconds; the
+// shape assertions are the same ones the paper's full-size table obeys.
+func small(t *testing.T) Params {
+	t.Helper()
+	return Params{Scene: scenes.Newton(30), W: 60, H: 80, BlockW: 20, BlockH: 20}
+}
+
+func TestTable1Shape(t *testing.T) {
+	res, err := Table1(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	r := res.Rows
+	// Baseline is speedup 1 by construction.
+	if r[0].Speedup < 0.99 || r[0].Speedup > 1.01 {
+		t.Errorf("baseline speedup = %v", r[0].Speedup)
+	}
+	// Coherence reduces rays substantially (paper: ~5x).
+	if res.RayReduction < 1.5 {
+		t.Errorf("ray reduction %vx; coherence not engaging", res.RayReduction)
+	}
+	// Column ordering of total times: single is slowest, dist+FC modes
+	// fastest — "who wins" must match the paper.
+	if !(r[1].Total < r[0].Total) {
+		t.Errorf("single+FC (%v) not faster than single (%v)", r[1].Total, r[0].Total)
+	}
+	if !(r[2].Total < r[0].Total) {
+		t.Errorf("distributed (%v) not faster than single (%v)", r[2].Total, r[0].Total)
+	}
+	if !(r[3].Total < r[1].Total && r[3].Total < r[2].Total) {
+		t.Errorf("dist+FC seq (%v) not faster than both individual techniques", r[3].Total)
+	}
+	if !(r[4].Total <= r[3].Total) {
+		t.Errorf("frame div (%v) slower than seq div (%v); paper has frame div winning", r[4].Total, r[3].Total)
+	}
+	// Combined speedup is at least roughly multiplicative.
+	if res.Multiplicative < 0.7 {
+		t.Errorf("combined speedup far below multiplicative: %v", res.Multiplicative)
+	}
+	// First-frame overhead is a modest share (paper: 12%).
+	if res.FirstFrameOverhead < 0 || res.FirstFrameOverhead > 0.6 {
+		t.Errorf("first-frame overhead = %.1f%%", 100*res.FirstFrameOverhead)
+	}
+	// Render doesn't blow up and mentions every row.
+	s := res.Render()
+	for _, row := range r {
+		if !strings.Contains(s, row.Label) {
+			t.Errorf("rendered table missing %q", row.Label)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	p := Params{Scene: scenes.Bouncing(8), W: 48, H: 64}
+	res, err := Figure2(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Actual.Count() == 0 {
+		t.Error("no actual differences; animation static?")
+	}
+	if !res.Predicted.Covers(res.Actual) {
+		t.Error("predicted mask does not cover actual differences")
+	}
+	// The paper's striking feature: most pixels do NOT change.
+	if res.Actual.Fraction() > 0.6 {
+		t.Errorf("%.0f%% pixels changed; scene not coherence-friendly", 100*res.Actual.Fraction())
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	lines := Figure4(240, 320, 120, 4)
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "seq div") || !strings.Contains(joined, "frame div") {
+		t.Errorf("figure 4 output missing schemes:\n%s", joined)
+	}
+	// 4 seq tasks + 4 frame-div tasks + 2 headers = 10 lines.
+	if len(lines) != 10 {
+		t.Errorf("%d lines:\n%s", len(lines), joined)
+	}
+}
+
+func TestAblationBlockSize(t *testing.T) {
+	res, err := AblationBlockSize(small(t), []int{10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	for _, r := range res {
+		if r.Makespan <= 0 {
+			t.Errorf("%s: zero makespan", r.Label)
+		}
+	}
+}
+
+func TestAblationGridResolution(t *testing.T) {
+	res, err := AblationGridResolution(small(t), []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finer grids re-render at most as many pixels as coarse ones
+	// (tighter change prediction).
+	if res[1].Rendered > res[0].Rendered {
+		t.Errorf("finer grid rendered more pixels: %d vs %d", res[1].Rendered, res[0].Rendered)
+	}
+}
+
+func TestAblationJevansBlocks(t *testing.T) {
+	res, err := AblationJevansBlocks(small(t), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-pixel granularity re-renders no more than block granularity —
+	// the paper's argument for fine granularity.
+	if res[0].Rendered > res[1].Rendered {
+		t.Errorf("per-pixel rendered more than blocks: %d vs %d", res[0].Rendered, res[1].Rendered)
+	}
+}
+
+func TestAblationAdaptive(t *testing.T) {
+	res, err := AblationAdaptive(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	// Adaptive must not be slower than static on the heterogeneous
+	// testbed (it may tie on tiny workloads).
+	if res[1].Makespan > res[0].Makespan*11/10 {
+		t.Errorf("adaptive (%v) notably slower than static (%v)", res[1].Makespan, res[0].Makespan)
+	}
+}
+
+func TestAblationShadowCoherence(t *testing.T) {
+	res, err := AblationShadowCoherence(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, off := res[0], res[1]
+	if !strings.Contains(on.Detail, "wrong pixels vs full render: 0") {
+		t.Errorf("shadow registration on must be exact: %s", on.Detail)
+	}
+	// Disabling shadow registration renders fewer pixels (cheaper) —
+	// that is its only appeal.
+	if off.Rendered > on.Rendered {
+		t.Errorf("disabling shadow registration did not reduce work: %d vs %d",
+			off.Rendered, on.Rendered)
+	}
+}
+
+func TestScaling(t *testing.T) {
+	p := small(t)
+	pts, err := Scaling(p, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Speedup != 1 {
+		t.Errorf("base speedup = %v", pts[0].Speedup)
+	}
+	// More machines must not be slower.
+	if pts[2].Makespan > pts[0].Makespan {
+		t.Errorf("4 machines (%v) slower than 1 (%v)", pts[2].Makespan, pts[0].Makespan)
+	}
+}
+
+func TestAblationWeighted(t *testing.T) {
+	res, err := AblationWeighted(small(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("%d results", len(res))
+	}
+	// Weighted static must beat plain static on the heterogeneous
+	// testbed (that is its whole purpose).
+	plainStatic, weightedStatic := res[0], res[2]
+	if weightedStatic.Makespan >= plainStatic.Makespan {
+		t.Errorf("weighted static (%v) not faster than plain static (%v)",
+			weightedStatic.Makespan, plainStatic.Makespan)
+	}
+}
+
+func TestAblationMemory(t *testing.T) {
+	p := Params{Scene: scenes.Newton(12), W: 120, H: 160, BlockW: 40, BlockH: 40}
+	unconstrained, err := AblationMemory(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained, err := AblationMemory(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Memory pressure hurts single-machine coherence but not the
+	// distributed blocks, making the combination super-multiplicative
+	// relative to the unconstrained case (the paper's aggregate-memory
+	// argument for its +18.5%).
+	if constrained.SingleFCSpeedup >= unconstrained.SingleFCSpeedup {
+		t.Errorf("memory pressure did not slow single-machine FC: %v vs %v",
+			constrained.SingleFCSpeedup, unconstrained.SingleFCSpeedup)
+	}
+	if constrained.Multiplicative <= unconstrained.Multiplicative {
+		t.Errorf("constrained multiplicative (%v) not above unconstrained (%v)",
+			constrained.Multiplicative, unconstrained.Multiplicative)
+	}
+	if constrained.Multiplicative <= 1 {
+		t.Errorf("no super-multiplicative effect under memory pressure: %v",
+			constrained.Multiplicative)
+	}
+}
+
+func TestTable1CSV(t *testing.T) {
+	res, err := Table1(Params{Scene: scenes.Newton(4), W: 40, H: 52, BlockW: 20, BlockH: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "configuration,rays,first_frame_s") {
+		t.Errorf("CSV header wrong: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	// header + 5 rows + 3 derived comments.
+	if len(lines) != 9 {
+		t.Errorf("CSV has %d lines:\n%s", len(lines), csv)
+	}
+}

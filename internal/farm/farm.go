@@ -1,0 +1,211 @@
+// Package farm is the master/worker render farm of §3-4: a master
+// decomposes the animation with a partitioning scheme, distributes tasks
+// to workers, collects rendered pixels, assembles frames and writes them
+// out. The only communication is master<->worker (the paper: "the slaves
+// themselves do not need to communicate with each other").
+//
+// Two drivers share the task-management logic:
+//
+//   - RenderVirtual executes on the deterministic virtual NOW
+//     (internal/cluster): the real rendering computation runs inline and
+//     virtual time is charged per work quantity and message. This is the
+//     driver the Table 1 benchmarks use.
+//   - RenderLocal spawns goroutine workers joined by msg.Pipe and runs
+//     the full wire protocol in wall-clock time, with the same adaptive
+//     subdivision. The identical worker loop serves TCP workers
+//     (cmd/nowworker) for a physical NOW.
+package farm
+
+import (
+	"fmt"
+	"time"
+
+	"nowrender/internal/cluster"
+	"nowrender/internal/coherence"
+	"nowrender/internal/fb"
+	"nowrender/internal/partition"
+	"nowrender/internal/scene"
+	"nowrender/internal/stats"
+)
+
+// Config describes a render-farm run.
+type Config struct {
+	Scene *scene.Scene
+	// W, H is the output resolution (the paper uses 240x320).
+	W, H int
+	// Scheme decomposes the animation. Nil defaults to adaptive
+	// sequence division.
+	Scheme partition.Scheme
+	// StartFrame and EndFrame select a sub-range [StartFrame, EndFrame)
+	// of the animation; both zero means the whole animation. RenderAuto
+	// uses this to render camera-stationary sequences independently.
+	StartFrame, EndFrame int
+	// Coherence enables the frame-coherence algorithm inside each task.
+	Coherence bool
+	// CoherenceOpts tune the engine when Coherence is set.
+	CoherenceOpts coherence.Options
+	// Samples is the supersampling factor (0/1 = one ray per pixel).
+	Samples int
+
+	// Machines populate the virtual NOW (RenderVirtual). Defaults to
+	// the paper's 3-machine testbed.
+	Machines []cluster.Machine
+	// Net is the virtual interconnect. Zero value = 10 Mb/s Ethernet.
+	Net cluster.Ethernet
+	// Cost converts work to virtual time. Zero value = defaults.
+	Cost cluster.CostModel
+
+	// Workers is the goroutine count for RenderLocal. Defaults to the
+	// machine count, or 3.
+	Workers int
+
+	// Emit, when non-nil, receives each assembled frame in frame order
+	// after the run completes.
+	Emit func(frame int, img *fb.Framebuffer) error
+}
+
+func (c *Config) defaults() error {
+	if c.Scene == nil {
+		return fmt.Errorf("farm: nil scene")
+	}
+	if err := c.Scene.Validate(); err != nil {
+		return fmt.Errorf("farm: %w", err)
+	}
+	if c.W <= 0 || c.H <= 0 {
+		return fmt.Errorf("farm: bad resolution %dx%d", c.W, c.H)
+	}
+	if c.StartFrame == 0 && c.EndFrame == 0 {
+		c.EndFrame = c.Scene.Frames
+	}
+	if c.StartFrame < 0 || c.EndFrame > c.Scene.Frames || c.StartFrame >= c.EndFrame {
+		return fmt.Errorf("farm: bad frame range [%d,%d) for %d frames",
+			c.StartFrame, c.EndFrame, c.Scene.Frames)
+	}
+	if c.Scheme == nil {
+		c.Scheme = partition.SequenceDivision{Adaptive: true}
+	}
+	if len(c.Machines) == 0 {
+		c.Machines = cluster.PaperTestbed()
+	}
+	if c.Net == (cluster.Ethernet{}) {
+		c.Net = cluster.TenBaseT()
+	}
+	if c.Cost == (cluster.CostModel{}) {
+		c.Cost = cluster.DefaultCostModel()
+	}
+	if c.Workers <= 0 {
+		c.Workers = len(c.Machines)
+	}
+	if c.Samples < 1 {
+		c.Samples = 1
+	}
+	return nil
+}
+
+// Result summarises a farm run.
+type Result struct {
+	// Frames holds the assembled animation.
+	Frames []*fb.Framebuffer
+	// Run carries per-frame statistics; in virtual mode Elapsed values
+	// are virtual durations.
+	Run stats.RunStats
+	// Makespan is the end-to-end time (virtual or wall).
+	Makespan time.Duration
+	// Workers reports per-worker contribution.
+	Workers []stats.WorkerStats
+	// TasksExecuted counts task assignments (including stolen ranges).
+	TasksExecuted int
+	// Subdivisions counts adaptive splits performed.
+	Subdivisions int
+	// BytesTransferred totals message payload bytes master<->workers.
+	BytesTransferred int64
+}
+
+// Speedup returns baseline.Makespan / r.Makespan.
+func (r *Result) Speedup(baseline *Result) float64 {
+	return cluster.Speedup(baseline.Makespan, r.Makespan)
+}
+
+// assembly tracks partially delivered frames over an absolute frame
+// range [start, start+len(frames)).
+type assembly struct {
+	w, h    int
+	start   int
+	frames  []*fb.Framebuffer
+	missing []int // pixels still undelivered per frame
+	done    []time.Duration
+}
+
+func newAssembly(w, h, frames int) *assembly { return newAssemblyRange(w, h, 0, frames) }
+
+func newAssemblyRange(w, h, start, end int) *assembly {
+	n := end - start
+	a := &assembly{
+		w: w, h: h, start: start,
+		frames:  make([]*fb.Framebuffer, n),
+		missing: make([]int, n),
+		done:    make([]time.Duration, n),
+	}
+	for i := range a.missing {
+		a.missing[i] = w * h
+	}
+	return a
+}
+
+// deliver merges region pixels (packed RGB rows of the region) into the
+// absolute frame and returns true when the frame became complete at
+// time t.
+func (a *assembly) deliver(absFrame int, region fb.Rect, pix []byte, t time.Duration) (bool, error) {
+	frame := absFrame - a.start
+	if frame < 0 || frame >= len(a.frames) {
+		return false, fmt.Errorf("farm: frame %d out of range", absFrame)
+	}
+	if len(pix) != region.Area()*3 {
+		return false, fmt.Errorf("farm: frame %d region %v: got %d bytes, want %d",
+			frame, region, len(pix), region.Area()*3)
+	}
+	if a.frames[frame] == nil {
+		a.frames[frame] = fb.New(a.w, a.h)
+	}
+	img := a.frames[frame]
+	i := 0
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			img.SetRGB(x, y, pix[i], pix[i+1], pix[i+2])
+			i += 3
+		}
+	}
+	a.missing[frame] -= region.Area()
+	if a.missing[frame] < 0 {
+		return false, fmt.Errorf("farm: frame %d over-delivered", frame)
+	}
+	if a.missing[frame] == 0 {
+		if t > a.done[frame] {
+			a.done[frame] = t
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (a *assembly) complete() error {
+	for f, m := range a.missing {
+		if m != 0 {
+			return fmt.Errorf("farm: frame %d missing %d pixels", f, m)
+		}
+	}
+	return nil
+}
+
+// extractRegion packs a region of img into RGB bytes (the wire format of
+// result messages).
+func extractRegion(img *fb.Framebuffer, region fb.Rect) []byte {
+	out := make([]byte, 0, region.Area()*3)
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			r, g, b := img.At(x, y)
+			out = append(out, r, g, b)
+		}
+	}
+	return out
+}

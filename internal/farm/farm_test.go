@@ -1,0 +1,365 @@
+package farm
+
+import (
+	"testing"
+
+	"nowrender/internal/cluster"
+	"nowrender/internal/coherence"
+	"nowrender/internal/fb"
+	"nowrender/internal/geom"
+	"nowrender/internal/material"
+	"nowrender/internal/partition"
+	"nowrender/internal/scene"
+	"nowrender/internal/stats"
+	vm "nowrender/internal/vecmath"
+)
+
+const fw, fh = 40, 32
+
+// farmScene is a small animation with a moving ball, enough secondary
+// rays to be interesting, and a stationary camera.
+func farmScene(frames int) *scene.Scene {
+	s := scene.New("farm-test")
+	s.Frames = frames
+	s.Camera = scene.Camera{Pos: vm.V(0, 2, 9), LookAt: vm.V(0, 1, 0), Up: vm.V(0, 1, 0), FOV: 55}
+	s.Background = material.RGB(0.1, 0.1, 0.25)
+	floor := material.NewMaterial(material.Checker{A: material.White, B: material.RGB(0.15, 0.15, 0.15)}, material.DefaultFinish())
+	s.Add("floor", geom.NewPlane(vm.V(0, 1, 0), 0), floor, nil)
+	chrome := material.NewMaterial(material.Solid{C: material.RGB(0.9, 0.9, 0.95)}, material.ChromeFinish())
+	s.Add("ball", geom.NewSphere(vm.V(0, 1, 0), 1), chrome,
+		scene.KeyframeTrack{Keys: []scene.Keyframe{
+			{Frame: 0, Pos: vm.V(-2.5, 0, 0)},
+			{Frame: frames - 1, Pos: vm.V(2.5, 0, 0)},
+		}})
+	s.AddLight("key", vm.V(5, 9, 7), material.White)
+	return s
+}
+
+// referenceFrames renders the animation frame by frame with the plain
+// tracer — the ground truth all farm modes must match exactly.
+func referenceFrames(t *testing.T, sc *scene.Scene) []*fb.Framebuffer {
+	t.Helper()
+	var out []*fb.Framebuffer
+	_, err := coherence.FullRender(sc, fw, fh, fb.NewRect(0, 0, fw, fh), 0, sc.Frames, 1,
+		func(f int, img *fb.Framebuffer, _ stats.RayCounters) error {
+			out = append(out, img.Clone())
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertFramesEqual(t *testing.T, label string, got []*fb.Framebuffer, want []*fb.Framebuffer) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d frames, want %d", label, len(got), len(want))
+	}
+	for f := range got {
+		if !got[f].Equal(want[f]) {
+			t.Errorf("%s: frame %d differs in %d pixels", label, f, got[f].DiffCount(want[f]))
+		}
+	}
+}
+
+func TestVirtualSchemesProduceIdenticalImages(t *testing.T) {
+	sc := farmScene(6)
+	want := referenceFrames(t, sc)
+	schemes := []partition.Scheme{
+		partition.SequenceDivision{Adaptive: true},
+		partition.SequenceDivision{Adaptive: false},
+		partition.FrameDivision{BlockW: 16, BlockH: 16, Adaptive: true},
+		partition.HybridDivision{BlockW: 20, BlockH: 16, SubseqLen: 3},
+	}
+	for _, coh := range []bool{false, true} {
+		for _, sch := range schemes {
+			res, err := RenderVirtual(Config{
+				Scene: sc, W: fw, H: fh, Scheme: sch, Coherence: coh,
+			})
+			if err != nil {
+				t.Fatalf("%s coherence=%v: %v", sch.Name(), coh, err)
+			}
+			assertFramesEqual(t, sch.Name(), res.Frames, want)
+			if res.Makespan <= 0 {
+				t.Errorf("%s: zero makespan", sch.Name())
+			}
+		}
+	}
+}
+
+func TestVirtualDeterminism(t *testing.T) {
+	sc := farmScene(5)
+	run := func() *Result {
+		res, err := RenderVirtual(Config{
+			Scene: sc, W: fw, H: fh,
+			Scheme: partition.FrameDivision{BlockW: 16, BlockH: 16, Adaptive: true}, Coherence: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespans differ: %v vs %v", a.Makespan, b.Makespan)
+	}
+	if a.TasksExecuted != b.TasksExecuted || a.Subdivisions != b.Subdivisions {
+		t.Error("task accounting differs between identical runs")
+	}
+	totalA := a.Run.TotalRays()
+	totalB := b.Run.TotalRays()
+	if totalA.Total() != totalB.Total() {
+		t.Error("ray counts differ between identical runs")
+	}
+}
+
+func TestVirtualSpeedupShape(t *testing.T) {
+	sc := farmScene(8)
+	fast := cluster.PaperTestbed()[0]
+
+	single, err := RenderSingle(Config{Scene: sc, W: fw, H: fh}, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleFC, err := RenderSingle(Config{Scene: sc, W: fw, H: fh, Coherence: true}, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := RenderVirtual(Config{
+		Scene: sc, W: fw, H: fh,
+		Scheme: partition.FrameDivision{BlockW: 20, BlockH: 16, Adaptive: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distFC, err := RenderVirtual(Config{
+		Scene: sc, W: fw, H: fh, Coherence: true,
+		Scheme: partition.FrameDivision{BlockW: 20, BlockH: 16, Adaptive: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Coherence alone speeds up a moving-ball scene.
+	if sFC := singleFC.Speedup(single); sFC <= 1.2 {
+		t.Errorf("coherence speedup = %v, want > 1.2", sFC)
+	}
+	// Distribution alone approaches the aggregate/fastest speed ratio
+	// (4.0/2.0 = 2); comms keep it below the ideal.
+	if sD := dist.Speedup(single); sD <= 1.2 || sD > 2.05 {
+		t.Errorf("distribution speedup = %v, want in (1.2, 2.05]", sD)
+	}
+	// Combined beats both individuals (multiplicative effect, §4).
+	if distFC.Makespan >= singleFC.Makespan || distFC.Makespan >= dist.Makespan {
+		t.Errorf("combined (%v) not faster than FC-only (%v) and dist-only (%v)",
+			distFC.Makespan, singleFC.Makespan, dist.Makespan)
+	}
+}
+
+func TestVirtualAdaptiveSubdivisionHappens(t *testing.T) {
+	sc := farmScene(12)
+	res, err := RenderVirtual(Config{
+		Scene: sc, W: fw, H: fh, Coherence: true,
+		Scheme: partition.SequenceDivision{Adaptive: true},
+		// Strong heterogeneity forces the fast machine to finish early
+		// and steal.
+		Machines: []cluster.Machine{
+			{Name: "fast", Speed: 8, MemoryMB: 64},
+			{Name: "slow", Speed: 1, MemoryMB: 64},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subdivisions == 0 {
+		t.Error("no adaptive subdivision despite 8x speed imbalance")
+	}
+	// The fast machine must have done more pixels.
+	var fast, slow int
+	for _, w := range res.Workers {
+		if w.Worker == "fast" {
+			fast = w.PixelsDone
+		} else {
+			slow = w.PixelsDone
+		}
+	}
+	if fast <= slow {
+		t.Errorf("fast machine did %d pixels, slow %d", fast, slow)
+	}
+}
+
+func TestVirtualStaticSequenceNoSubdivision(t *testing.T) {
+	sc := farmScene(6)
+	res, err := RenderVirtual(Config{
+		Scene: sc, W: fw, H: fh,
+		Scheme: partition.SequenceDivision{Adaptive: false},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subdivisions != 0 {
+		t.Errorf("static scheme subdivided %d times", res.Subdivisions)
+	}
+}
+
+func TestVirtualEmitOrder(t *testing.T) {
+	sc := farmScene(5)
+	var order []int
+	_, err := RenderVirtual(Config{
+		Scene: sc, W: fw, H: fh,
+		Scheme: partition.FrameDivision{BlockW: 16, BlockH: 16},
+		Emit: func(f int, img *fb.Framebuffer) error {
+			order = append(order, f)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 5 {
+		t.Fatalf("emitted %d frames", len(order))
+	}
+	for i, f := range order {
+		if f != i {
+			t.Errorf("emit order %v", order)
+			break
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := RenderVirtual(Config{}); err == nil {
+		t.Error("nil scene accepted")
+	}
+	sc := farmScene(2)
+	if _, err := RenderVirtual(Config{Scene: sc}); err == nil {
+		t.Error("zero resolution accepted")
+	}
+}
+
+func TestRenderLocalMatchesReference(t *testing.T) {
+	sc := farmScene(6)
+	want := referenceFrames(t, sc)
+	for _, coh := range []bool{false, true} {
+		res, err := RenderLocal(Config{
+			Scene: sc, W: fw, H: fh, Coherence: coh, Workers: 3,
+			Scheme: partition.FrameDivision{BlockW: 16, BlockH: 16, Adaptive: true},
+		})
+		if err != nil {
+			t.Fatalf("coherence=%v: %v", coh, err)
+		}
+		assertFramesEqual(t, "local", res.Frames, want)
+		if res.Makespan <= 0 {
+			t.Error("zero wall makespan")
+		}
+		// All workers participated in stats.
+		if len(res.Workers) != 3 {
+			t.Errorf("%d worker stats", len(res.Workers))
+		}
+	}
+}
+
+func TestRenderLocalSequenceDivisionWithTruncation(t *testing.T) {
+	// Sequence division with 2 workers and many frames: the queue holds 2
+	// tasks, so any imbalance triggers the truncation protocol.
+	sc := farmScene(10)
+	want := referenceFrames(t, sc)
+	res, err := RenderLocal(Config{
+		Scene: sc, W: fw, H: fh, Coherence: true, Workers: 2,
+		Scheme: partition.SequenceDivision{Adaptive: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFramesEqual(t, "local-seq", res.Frames, want)
+}
+
+func TestRenderLocalSingleWorker(t *testing.T) {
+	sc := farmScene(4)
+	want := referenceFrames(t, sc)
+	res, err := RenderLocal(Config{
+		Scene: sc, W: fw, H: fh, Workers: 1, Coherence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertFramesEqual(t, "local-1", res.Frames, want)
+}
+
+func TestAssemblyValidation(t *testing.T) {
+	a := newAssembly(4, 4, 2)
+	full := fb.NewRect(0, 0, 4, 4)
+	pix := make([]byte, full.Area()*3)
+	if _, err := a.deliver(5, full, pix, 0); err == nil {
+		t.Error("out-of-range frame accepted")
+	}
+	if _, err := a.deliver(0, full, pix[:3], 0); err == nil {
+		t.Error("short pixel payload accepted")
+	}
+	done, err := a.deliver(0, full, pix, 0)
+	if err != nil || !done {
+		t.Errorf("full delivery: done=%v err=%v", done, err)
+	}
+	if _, err := a.deliver(0, full, pix, 0); err == nil {
+		t.Error("over-delivery accepted")
+	}
+	if err := a.complete(); err == nil {
+		t.Error("incomplete assembly accepted")
+	}
+}
+
+func TestProtocolRoundTrips(t *testing.T) {
+	tm := taskMsg{
+		Task: partition.Task{ID: 3, Region: fb.NewRect(1, 2, 33, 44), StartFrame: 5, EndFrame: 9},
+		W:    240, H: 320, Coherence: true, Samples: 2, GridRes: 16, BlockGran: 4,
+	}
+	got, err := decodeTask(encodeTask(tm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tm {
+		t.Errorf("task round trip: %+v != %+v", got, tm)
+	}
+
+	fd := frameDoneMsg{
+		TaskID: 3, Frame: 7, Region: fb.NewRect(0, 0, 2, 2),
+		Pix:      []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		Rendered: 3, Copied: 1, Regs: 99, ElapsedNs: 123456,
+	}
+	fd.Rays.ByKind[0] = 11
+	fd.Rays.ByKind[3] = 44
+	gotFD, err := decodeFrameDone(encodeFrameDone(fd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotFD.TaskID != fd.TaskID || gotFD.Frame != fd.Frame || gotFD.Region != fd.Region ||
+		string(gotFD.Pix) != string(fd.Pix) || gotFD.Regs != 99 ||
+		gotFD.Rays != fd.Rays || gotFD.ElapsedNs != fd.ElapsedNs {
+		t.Errorf("frame-done round trip mismatch: %+v", gotFD)
+	}
+
+	if _, err := decodeTask([]byte{1, 2}); err == nil {
+		t.Error("short task decoded")
+	}
+	if _, err := decodeFrameDone([]byte{1}); err == nil {
+		t.Error("short frame-done decoded")
+	}
+	a, b, err := decodePair(encodePair(-7, 42))
+	if err != nil || a != -7 || b != 42 {
+		t.Errorf("pair round trip: %d,%d,%v", a, b, err)
+	}
+}
+
+func TestExtractRegion(t *testing.T) {
+	img := fb.New(4, 4)
+	img.SetRGB(1, 1, 10, 20, 30)
+	img.SetRGB(2, 1, 40, 50, 60)
+	pix := extractRegion(img, fb.NewRect(1, 1, 3, 2))
+	if len(pix) != 6 {
+		t.Fatalf("extracted %d bytes", len(pix))
+	}
+	if pix[0] != 10 || pix[3] != 40 {
+		t.Errorf("pixels = %v", pix)
+	}
+}

@@ -1,0 +1,182 @@
+package farm
+
+import (
+	"testing"
+	"time"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/msg"
+	"nowrender/internal/partition"
+	"nowrender/internal/scene"
+	"nowrender/internal/trace"
+)
+
+// crashingWorker behaves like a normal worker for its first frame, then
+// drops its connection without warning — a workstation going down
+// mid-render.
+func crashingWorker(name string, conn msg.Conn, sc *scene.Scene) {
+	defer conn.Close()
+	if err := conn.Send(msg.Message{Tag: TagHello, From: name, Data: []byte(name)}); err != nil {
+		return
+	}
+	m, err := conn.Recv()
+	if err != nil || m.Tag != TagTask {
+		return
+	}
+	tm, err := decodeTask(m.Data)
+	if err != nil {
+		return
+	}
+	ft, err := trace.New(sc, tm.Task.StartFrame, trace.Options{})
+	if err != nil {
+		return
+	}
+	buf := fb.New(tm.W, tm.H)
+	ft.RenderRegion(buf, tm.Task.Region)
+	fd := frameDoneMsg{
+		TaskID: tm.Task.ID, Frame: tm.Task.StartFrame, Region: tm.Task.Region,
+		Pix: extractRegion(buf, tm.Task.Region), Rendered: tm.Task.Region.Area(),
+	}
+	_ = conn.Send(msg.Message{Tag: TagFrameDone, From: name, Data: encodeFrameDone(fd)})
+	// ...and vanish.
+}
+
+func TestMasterSurvivesWorkerCrash(t *testing.T) {
+	sc := farmScene(8)
+	want := referenceFrames(t, sc)
+
+	hub := msg.NewHub()
+	// Two healthy workers plus one that crashes after a single frame.
+	healthyDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		masterEnd, workerEnd := msg.Pipe(64)
+		name := []string{"healthy0", "healthy1"}[i]
+		if err := hub.Attach(name, masterEnd); err != nil {
+			t.Fatal(err)
+		}
+		go func(n string, c msg.Conn) { healthyDone <- RunWorker(n, c, sc) }(name, workerEnd)
+	}
+	masterEnd, workerEnd := msg.Pipe(64)
+	if err := hub.Attach("doomed", masterEnd); err != nil {
+		t.Fatal(err)
+	}
+	go crashingWorker("doomed", workerEnd, sc)
+
+	res, err := RunMaster(Config{
+		Scene: sc, W: fw, H: fh, Coherence: false,
+		Scheme: partition.SequenceDivision{Adaptive: true},
+	}, hub)
+	hub.Close()
+	if err != nil {
+		t.Fatalf("master did not survive the crash: %v", err)
+	}
+	assertFramesEqual(t, "crash-recovery", res.Frames, want)
+	for i := 0; i < 2; i++ {
+		select {
+		case werr := <-healthyDone:
+			if werr != nil {
+				t.Errorf("healthy worker failed: %v", werr)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("healthy worker did not exit")
+		}
+	}
+}
+
+func TestMasterFailsWhenAllWorkersDie(t *testing.T) {
+	sc := farmScene(4)
+	hub := msg.NewHub()
+	masterEnd, workerEnd := msg.Pipe(64)
+	if err := hub.Attach("only", masterEnd); err != nil {
+		t.Fatal(err)
+	}
+	go crashingWorker("only", workerEnd, sc)
+	_, err := RunMaster(Config{
+		Scene: sc, W: fw, H: fh,
+		Scheme: partition.SequenceDivision{Adaptive: true},
+	}, hub)
+	hub.Close()
+	if err == nil {
+		t.Fatal("master succeeded with every worker dead")
+	}
+}
+
+func TestMasterSurvivesCrashBeforeHello(t *testing.T) {
+	sc := farmScene(4)
+	want := referenceFrames(t, sc)
+	hub := msg.NewHub()
+
+	// One worker dies before saying hello.
+	deadEnd, deadWorkerEnd := msg.Pipe(4)
+	if err := hub.Attach("stillborn", deadEnd); err != nil {
+		t.Fatal(err)
+	}
+	deadWorkerEnd.Close()
+
+	masterEnd, workerEnd := msg.Pipe(64)
+	if err := hub.Attach("survivor", masterEnd); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- RunWorker("survivor", workerEnd, sc) }()
+
+	res, err := RunMaster(Config{Scene: sc, W: fw, H: fh, Coherence: true}, hub)
+	hub.Close()
+	if err != nil {
+		t.Fatalf("master failed: %v", err)
+	}
+	assertFramesEqual(t, "stillborn", res.Frames, want)
+	if werr := <-done; werr != nil {
+		t.Errorf("survivor failed: %v", werr)
+	}
+}
+
+// rogueWorker sends a malformed message stream to the master.
+func TestMasterRejectsProtocolViolations(t *testing.T) {
+	sc := farmScene(4)
+	hub := msg.NewHub()
+	masterEnd, workerEnd := msg.Pipe(8)
+	if err := hub.Attach("rogue", masterEnd); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		workerEnd.Send(msg.Message{Tag: TagHello, Data: []byte("rogue")})
+		// Garbage tag after hello.
+		workerEnd.Send(msg.Message{Tag: 9999})
+	}()
+	_, err := RunMaster(Config{Scene: sc, W: fw, H: fh}, hub)
+	hub.Close()
+	if err == nil {
+		t.Fatal("master accepted an unknown message tag")
+	}
+}
+
+func TestMasterRejectsCorruptFrameDone(t *testing.T) {
+	sc := farmScene(4)
+	hub := msg.NewHub()
+	masterEnd, workerEnd := msg.Pipe(8)
+	if err := hub.Attach("corrupt", masterEnd); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		workerEnd.Send(msg.Message{Tag: TagHello, Data: []byte("corrupt")})
+		if _, err := workerEnd.Recv(); err != nil { // task
+			return
+		}
+		workerEnd.Send(msg.Message{Tag: TagFrameDone, Data: []byte{1, 2, 3}})
+	}()
+	_, err := RunMaster(Config{Scene: sc, W: fw, H: fh}, hub)
+	hub.Close()
+	if err == nil {
+		t.Fatal("master accepted a corrupt frame-done payload")
+	}
+}
+
+func TestMasterRequiresWorkers(t *testing.T) {
+	sc := farmScene(2)
+	hub := msg.NewHub()
+	defer hub.Close()
+	if _, err := RunMaster(Config{Scene: sc, W: fw, H: fh}, hub); err == nil {
+		t.Fatal("master ran with zero workers")
+	}
+}

@@ -1,0 +1,420 @@
+package farm
+
+import (
+	"fmt"
+	"time"
+
+	"nowrender/internal/msg"
+	"nowrender/internal/partition"
+	"nowrender/internal/stats"
+)
+
+// workerRecord is the master's view of one worker.
+type workerRecord struct {
+	name    string
+	task    partition.Task
+	hasTask bool
+	// doneThrough is the frame after the last FrameDone received.
+	doneThrough int
+	// truncatePending is set while a TagTruncate awaits its ack.
+	truncatePending bool
+	// finished, when a TaskDone raced ahead of a truncate, records the
+	// worker's natural stop frame.
+	finishedAt int
+	// dead marks a worker whose connection failed; its remaining frames
+	// were requeued and it receives no further work.
+	dead bool
+
+	st stats.WorkerStats
+}
+
+func (w *workerRecord) remaining() int {
+	if !w.hasTask {
+		return 0
+	}
+	return w.task.EndFrame - w.doneThrough
+}
+
+// RunMaster drives the master side of the farm protocol over an
+// attached hub until every frame is assembled, then shuts the workers
+// down. The caller attaches one connection per worker before calling.
+// Used by RenderLocal (goroutine workers) and cmd/nowrender's TCP mode.
+func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	sc := cfg.Scene
+	names := hub.Names()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("farm: no workers attached")
+	}
+
+	queue := cfg.Scheme.InitialTasks(cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame, len(names))
+	if err := partition.ValidateTiling(queue, cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame); err != nil {
+		return nil, err
+	}
+	nextTaskID := len(queue)
+
+	workers := make(map[string]*workerRecord, len(names))
+	for _, n := range names {
+		workers[n] = &workerRecord{name: n, st: stats.WorkerStats{Worker: n}}
+	}
+
+	asm := newAssemblyRange(cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame)
+	framesRemaining := cfg.EndFrame - cfg.StartFrame
+	res := &Result{}
+	frameElapsed := make([]time.Duration, sc.Frames)
+	frameRays := make([]stats.RayCounters, sc.Frames)
+	var waiting []string // idle workers awaiting stolen work
+	start := time.Now()
+
+	sendTask := func(w *workerRecord, t partition.Task) error {
+		tm := taskMsg{
+			Task: t, W: cfg.W, H: cfg.H,
+			Coherence: cfg.Coherence, Samples: cfg.Samples,
+			GridRes: cfg.CoherenceOpts.GridRes, BlockGran: cfg.CoherenceOpts.BlockGranularity,
+		}
+		data := encodeTask(tm)
+		res.BytesTransferred += int64(len(data))
+		res.TasksExecuted++
+		w.task = t
+		w.hasTask = true
+		w.doneThrough = t.StartFrame
+		w.truncatePending = false
+		w.finishedAt = -1
+		return hub.Send(w.name, msg.Message{Tag: TagTask, Data: data})
+	}
+
+	// trySteal picks the victim with the most unfinished frames and asks
+	// it to stop early; the requesting worker is parked until the ack.
+	trySteal := func(thief string) (bool, error) {
+		var victim *workerRecord
+		for _, w := range workers {
+			if w.name == thief || !w.hasTask || w.truncatePending || w.dead {
+				continue
+			}
+			// The victim is rendering doneThrough; stealable frames are
+			// beyond that. Leave it at least one more frame.
+			if w.task.EndFrame-w.doneThrough < 3 {
+				continue
+			}
+			if victim == nil || w.remaining() > victim.remaining() {
+				victim = w
+			}
+		}
+		if victim == nil {
+			return false, nil
+		}
+		// Keep roughly half the unstarted frames with the victim.
+		rendering := victim.doneThrough // frame in progress (or next)
+		newEnd := rendering + 1 + (victim.task.EndFrame-rendering-1)/2
+		victim.truncatePending = true
+		waiting = append(waiting, thief)
+		res.Subdivisions++
+		return true, hub.Send(victim.name, msg.Message{Tag: TagTruncate, Data: encodePair(victim.task.ID, newEnd)})
+	}
+
+	// giveWork hands the next queued task to an idle worker, or tries a
+	// steal; with neither the worker stays idle.
+	giveWork := func(name string) error {
+		w := workers[name]
+		if w.dead {
+			return nil
+		}
+		if len(queue) > 0 {
+			t := queue[0]
+			queue = queue[1:]
+			return sendTask(w, t)
+		}
+		_, err := trySteal(name)
+		return err
+	}
+
+	// dispatchQueue re-engages idle, alive workers after tasks were
+	// requeued (e.g. recovered from a dead worker).
+	dispatchQueue := func() error {
+		for _, w := range workers {
+			if len(queue) == 0 {
+				return nil
+			}
+			if w.dead || w.hasTask {
+				continue
+			}
+			parked := false
+			for _, name := range waiting {
+				if name == w.name {
+					parked = true
+					break
+				}
+			}
+			if parked {
+				continue
+			}
+			if err := giveWork(w.name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Seed: respond to hellos (workers announce themselves) and assign.
+	// Workers lost before their hello are tolerated as long as one
+	// survives.
+	assigned := 0
+	for assigned < len(names) {
+		m, err := hub.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch m.Tag {
+		case TagHello:
+			if err := giveWork(m.From); err != nil {
+				return nil, err
+			}
+		case msg.TagDown:
+			workers[m.From].dead = true
+		default:
+			return nil, fmt.Errorf("farm: expected hello, got tag %d from %s", m.Tag, m.From)
+		}
+		assigned++
+	}
+	aliveAtStart := 0
+	for _, w := range workers {
+		if !w.dead {
+			aliveAtStart++
+		}
+	}
+	if aliveAtStart == 0 {
+		return nil, fmt.Errorf("farm: no workers survived startup")
+	}
+
+	for framesRemaining > 0 {
+		m, err := hub.Recv()
+		if err != nil {
+			return nil, err
+		}
+		w, ok := workers[m.From]
+		if !ok {
+			return nil, fmt.Errorf("farm: message from unknown worker %q", m.From)
+		}
+		switch m.Tag {
+		case TagFrameDone:
+			fd, err := decodeFrameDone(m.Data)
+			if err != nil {
+				return nil, err
+			}
+			res.BytesTransferred += int64(len(m.Data))
+			complete, err := asm.deliver(fd.Frame, fd.Region, fd.Pix, time.Since(start))
+			if err != nil {
+				return nil, err
+			}
+			if complete {
+				framesRemaining--
+			}
+			if fd.Frame >= 0 && fd.Frame < sc.Frames {
+				d := time.Duration(fd.ElapsedNs)
+				frameElapsed[fd.Frame] += d
+				frameRays[fd.Frame].Merge(fd.Rays)
+				w.st.Busy += d
+			}
+			w.st.PixelsDone += fd.Region.Area()
+			w.st.Rays.Merge(fd.Rays)
+			w.doneThrough = fd.Frame + 1
+
+		case TagTaskDone:
+			id, end, err := decodePair(m.Data)
+			if err != nil {
+				return nil, err
+			}
+			if w.hasTask && w.task.ID == id {
+				w.finishedAt = end
+				if !w.truncatePending {
+					w.hasTask = false
+					w.st.TasksDone++
+					if framesRemaining > 0 {
+						if err := giveWork(w.name); err != nil {
+							return nil, err
+						}
+					}
+				}
+				// With a truncate pending, wait for the ack before
+				// considering this worker idle, so the stolen range is
+				// reconciled exactly once.
+			}
+
+		case TagTruncateAck:
+			id, stop, err := decodePair(m.Data)
+			if err != nil {
+				return nil, err
+			}
+			if !w.hasTask || w.task.ID != id {
+				continue // stale ack for a finished task
+			}
+			w.truncatePending = false
+			stolenStart := stop
+			if w.finishedAt >= 0 && w.finishedAt > stolenStart {
+				stolenStart = w.finishedAt
+			}
+			stolenEnd := w.task.EndFrame
+			w.task.EndFrame = stolenStart
+			if w.finishedAt >= 0 {
+				// Task already over; release the worker.
+				w.hasTask = false
+				w.st.TasksDone++
+				if framesRemaining > 0 {
+					if err := giveWork(w.name); err != nil {
+						return nil, err
+					}
+				}
+			}
+			// Hand the stolen range to a waiting thief (or re-queue).
+			if stolenStart < stolenEnd {
+				stolen := partition.Task{
+					ID: nextTaskID, Region: w.task.Region,
+					StartFrame: stolenStart, EndFrame: stolenEnd,
+				}
+				nextTaskID++
+				if len(waiting) > 0 {
+					thief := waiting[0]
+					waiting = waiting[1:]
+					if err := sendTask(workers[thief], stolen); err != nil {
+						return nil, err
+					}
+				} else {
+					queue = append(queue, stolen)
+				}
+			} else if len(waiting) > 0 {
+				// Nothing was left to steal; let the thief try again.
+				thief := waiting[0]
+				waiting = waiting[1:]
+				if err := giveWork(thief); err != nil {
+					return nil, err
+				}
+			}
+
+		case msg.TagDown:
+			// PVM-style host failure: requeue the dead worker's
+			// unfinished frames and carry on with the survivors.
+			if w.dead {
+				continue
+			}
+			w.dead = true
+			// Drop the worker from the thief waiting list.
+			for i, name := range waiting {
+				if name == w.name {
+					waiting = append(waiting[:i], waiting[i+1:]...)
+					break
+				}
+			}
+			if w.hasTask {
+				// Frames already delivered are safe; everything from the
+				// frame in progress onward must be re-rendered.
+				if w.doneThrough < w.task.EndFrame {
+					queue = append(queue, partition.Task{
+						ID: nextTaskID, Region: w.task.Region,
+						StartFrame: w.doneThrough, EndFrame: w.task.EndFrame,
+					})
+					nextTaskID++
+				}
+				w.hasTask = false
+				// A truncate pending against this worker will never be
+				// acknowledged; the full remainder was requeued instead,
+				// so release any parked thief.
+				if w.truncatePending {
+					w.truncatePending = false
+					res.Subdivisions--
+				}
+			}
+			alive := 0
+			for _, o := range workers {
+				if !o.dead {
+					alive++
+				}
+			}
+			if alive == 0 && framesRemaining > 0 {
+				return nil, fmt.Errorf("farm: all workers lost with %d frames unfinished", framesRemaining)
+			}
+			if len(waiting) > 0 && len(queue) > 0 {
+				thief := waiting[0]
+				waiting = waiting[1:]
+				if err := giveWork(thief); err != nil {
+					return nil, err
+				}
+			}
+			if err := dispatchQueue(); err != nil {
+				return nil, err
+			}
+
+		case TagHello:
+			return nil, fmt.Errorf("farm: duplicate hello from %s", m.From)
+		default:
+			return nil, fmt.Errorf("farm: unexpected tag %d from %s", m.Tag, m.From)
+		}
+	}
+
+	if err := asm.complete(); err != nil {
+		return nil, err
+	}
+	// All pixels delivered: stop the workers. Sends to dead workers
+	// fail harmlessly.
+	for _, n := range names {
+		_ = hub.Send(n, msg.Message{Tag: TagShutdown})
+	}
+
+	res.Frames = asm.frames
+	res.Makespan = time.Since(start)
+	for f := cfg.StartFrame; f < cfg.EndFrame; f++ {
+		res.Run.AddFrame(stats.FrameStats{
+			Frame: f, Elapsed: frameElapsed[f], Rays: frameRays[f],
+		})
+	}
+	res.Run.Total = res.Makespan
+	for _, n := range names {
+		res.Workers = append(res.Workers, workers[n].st)
+	}
+	if cfg.Emit != nil {
+		for i, img := range res.Frames {
+			if err := cfg.Emit(cfg.StartFrame+i, img); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// RenderLocal runs the farm with in-process goroutine workers connected
+// by channel pipes — the wall-clock counterpart of RenderVirtual, and a
+// live exercise of the full wire protocol.
+func RenderLocal(cfg Config) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	hub := msg.NewHub()
+	errCh := make(chan error, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		masterEnd, workerEnd := msg.Pipe(64)
+		name := fmt.Sprintf("worker%02d", i)
+		if err := hub.Attach(name, masterEnd); err != nil {
+			return nil, err
+		}
+		go func(name string, conn msg.Conn) {
+			errCh <- RunWorker(name, conn, cfg.Scene)
+		}(name, workerEnd)
+	}
+	res, err := RunMaster(cfg, hub)
+	hub.Close()
+	// Collect worker exits; surface the first failure.
+	var workerErr error
+	for i := 0; i < cfg.Workers; i++ {
+		if e := <-errCh; e != nil && workerErr == nil {
+			workerErr = e
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if workerErr != nil {
+		return nil, fmt.Errorf("farm: worker failed: %w", workerErr)
+	}
+	return res, nil
+}

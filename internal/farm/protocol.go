@@ -1,0 +1,157 @@
+package farm
+
+import (
+	"fmt"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/msg"
+	"nowrender/internal/partition"
+	"nowrender/internal/stats"
+	vm "nowrender/internal/vecmath"
+)
+
+// Message tags of the farm protocol (the PVM msgtag space).
+const (
+	// TagHello announces a worker to the master (payload: name).
+	TagHello = iota + 1
+	// TagTask assigns a task (payload: encoded task + options).
+	TagTask
+	// TagFrameDone carries one rendered frame region and its statistics.
+	TagFrameDone
+	// TagTruncate tells a worker to stop its current task early
+	// (payload: task id, new exclusive end frame).
+	TagTruncate
+	// TagTruncateAck reports where the worker actually stopped.
+	TagTruncateAck
+	// TagTaskDone reports a finished task (payload: task id, end frame).
+	TagTaskDone
+	// TagShutdown tells a worker to exit.
+	TagShutdown
+	// TagSceneSDL ships scene source to a remote worker (cmd/nowworker);
+	// in-process workers share the scene directly.
+	TagSceneSDL
+)
+
+// taskMsg is the wire form of a task assignment.
+type taskMsg struct {
+	Task      partition.Task
+	W, H      int
+	Coherence bool
+	Samples   int
+	GridRes   int
+	BlockGran int
+}
+
+func encodeTask(t taskMsg) []byte {
+	b := msg.NewBuffer()
+	b.PackInt(int64(t.Task.ID))
+	b.PackInt(int64(t.Task.Region.X0))
+	b.PackInt(int64(t.Task.Region.Y0))
+	b.PackInt(int64(t.Task.Region.X1))
+	b.PackInt(int64(t.Task.Region.Y1))
+	b.PackInt(int64(t.Task.StartFrame))
+	b.PackInt(int64(t.Task.EndFrame))
+	b.PackInt(int64(t.W))
+	b.PackInt(int64(t.H))
+	b.PackBool(t.Coherence)
+	b.PackInt(int64(t.Samples))
+	b.PackInt(int64(t.GridRes))
+	b.PackInt(int64(t.BlockGran))
+	return b.Bytes()
+}
+
+func decodeTask(data []byte) (taskMsg, error) {
+	b := msg.FromBytes(data)
+	var t taskMsg
+	t.Task.ID = int(b.UnpackInt())
+	// Argument evaluation is left to right, matching the packed order
+	// X0, Y0, X1, Y1.
+	t.Task.Region = fb.NewRect(int(b.UnpackInt()), int(b.UnpackInt()), int(b.UnpackInt()), int(b.UnpackInt()))
+	t.Task.StartFrame = int(b.UnpackInt())
+	t.Task.EndFrame = int(b.UnpackInt())
+	t.W = int(b.UnpackInt())
+	t.H = int(b.UnpackInt())
+	t.Coherence = b.UnpackBool()
+	t.Samples = int(b.UnpackInt())
+	t.GridRes = int(b.UnpackInt())
+	t.BlockGran = int(b.UnpackInt())
+	if err := b.Err(); err != nil {
+		return taskMsg{}, fmt.Errorf("farm: bad task message: %w", err)
+	}
+	return t, nil
+}
+
+// frameDoneMsg is the wire form of one completed frame region.
+type frameDoneMsg struct {
+	TaskID    int
+	Frame     int
+	Region    fb.Rect
+	Pix       []byte
+	Rendered  int
+	Copied    int
+	Regs      uint64
+	Rays      stats.RayCounters
+	ElapsedNs int64
+}
+
+func encodeFrameDone(m frameDoneMsg) []byte {
+	b := msg.NewBuffer()
+	b.PackInt(int64(m.TaskID))
+	b.PackInt(int64(m.Frame))
+	b.PackInt(int64(m.Region.X0))
+	b.PackInt(int64(m.Region.Y0))
+	b.PackInt(int64(m.Region.X1))
+	b.PackInt(int64(m.Region.Y1))
+	b.PackBytes(m.Pix)
+	b.PackInt(int64(m.Rendered))
+	b.PackInt(int64(m.Copied))
+	b.PackInt(int64(m.Regs))
+	for k := 0; k < vm.NumRayKinds; k++ {
+		b.PackInt(int64(m.Rays.ByKind[k]))
+	}
+	b.PackInt(m.ElapsedNs)
+	return b.Bytes()
+}
+
+func decodeFrameDone(data []byte) (frameDoneMsg, error) {
+	b := msg.FromBytes(data)
+	var m frameDoneMsg
+	m.TaskID = int(b.UnpackInt())
+	m.Frame = int(b.UnpackInt())
+	x0 := int(b.UnpackInt())
+	y0 := int(b.UnpackInt())
+	x1 := int(b.UnpackInt())
+	y1 := int(b.UnpackInt())
+	m.Region = fb.NewRect(x0, y0, x1, y1)
+	pix := b.UnpackBytes()
+	m.Pix = append([]byte(nil), pix...)
+	m.Rendered = int(b.UnpackInt())
+	m.Copied = int(b.UnpackInt())
+	m.Regs = uint64(b.UnpackInt())
+	for k := 0; k < vm.NumRayKinds; k++ {
+		m.Rays.ByKind[k] = uint64(b.UnpackInt())
+	}
+	m.ElapsedNs = b.UnpackInt()
+	if err := b.Err(); err != nil {
+		return frameDoneMsg{}, fmt.Errorf("farm: bad frame-done message: %w", err)
+	}
+	return m, nil
+}
+
+// encodePair packs two integers (used by truncate/ack/task-done).
+func encodePair(a, b int) []byte {
+	buf := msg.NewBuffer()
+	buf.PackInt(int64(a))
+	buf.PackInt(int64(b))
+	return buf.Bytes()
+}
+
+func decodePair(data []byte) (int, int, error) {
+	b := msg.FromBytes(data)
+	x := int(b.UnpackInt())
+	y := int(b.UnpackInt())
+	if err := b.Err(); err != nil {
+		return 0, 0, fmt.Errorf("farm: bad pair message: %w", err)
+	}
+	return x, y, nil
+}

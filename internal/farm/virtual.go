@@ -1,0 +1,286 @@
+package farm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nowrender/internal/cluster"
+	"nowrender/internal/coherence"
+	"nowrender/internal/fb"
+	"nowrender/internal/partition"
+	"nowrender/internal/stats"
+	"nowrender/internal/trace"
+)
+
+// vworker is the per-machine state of the virtual driver.
+type vworker struct {
+	id      int
+	task    partition.Task
+	hasTask bool
+	next    int // next frame to render within task
+	engine  *coherence.Engine
+	buf     *fb.Framebuffer
+
+	tasksDone  int
+	pixelsDone int
+	rays       stats.RayCounters
+}
+
+// remaining returns the frames the worker has not started.
+func (w *vworker) remaining() int {
+	if !w.hasTask {
+		return 0
+	}
+	return w.task.EndFrame - w.next
+}
+
+// RenderVirtual runs the farm on the deterministic virtual NOW: the real
+// rendering computation executes inline (in event order) and virtual
+// time is charged per work quantity and message. Repeated runs with the
+// same Config produce identical images, statistics and makespans.
+func RenderVirtual(cfg Config) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	sc := cfg.Scene
+	now, err := cluster.NewVirtualNOW(cfg.Machines, cfg.Net, cfg.Cost)
+	if err != nil {
+		return nil, err
+	}
+
+	queue := cfg.Scheme.InitialTasks(cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame, len(cfg.Machines))
+	if err := partition.ValidateTiling(queue, cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame); err != nil {
+		return nil, err
+	}
+
+	workers := make([]*vworker, len(cfg.Machines))
+	for i := range workers {
+		workers[i] = &vworker{id: i}
+	}
+	asm := newAssemblyRange(cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame)
+	res := &Result{}
+	frameWork := make([]time.Duration, sc.Frames)
+	frameRays := make([]stats.RayCounters, sc.Frames)
+	frameRendered := make([]int, sc.Frames)
+	frameCopied := make([]int, sc.Frames)
+
+	const taskMsgBytes = 64 // task descriptor on the wire
+
+	assign := func(w *vworker, t partition.Task) error {
+		w.task = t
+		w.hasTask = true
+		w.next = t.StartFrame
+		w.engine = nil
+		if w.buf == nil {
+			w.buf = fb.New(cfg.W, cfg.H)
+		}
+		if cfg.Coherence && t.Frames() >= 1 {
+			opts := cfg.CoherenceOpts
+			opts.SamplesPerPixel = cfg.Samples
+			eng, err := coherence.NewEngine(sc, cfg.W, cfg.H, t.Region, t.StartFrame, t.EndFrame, opts)
+			if err != nil {
+				return err
+			}
+			w.engine = eng
+		}
+		res.TasksExecuted++
+		now.Communicate(w.id, taskMsgBytes)
+		res.BytesTransferred += taskMsgBytes
+		return nil
+	}
+
+	// stealInto finds the most-loaded worker and moves half its
+	// unstarted frames to thief. The thief starts a fresh engine on the
+	// stolen range (it cannot inherit the victim's pixel lists), which is
+	// exactly the coherence penalty adaptive subdivision pays in the
+	// paper.
+	stealInto := func(thief *vworker) (bool, error) {
+		// With coherence on, the thief pays a cold first frame on the
+		// stolen range, so only ranges with a few frames are worth
+		// moving.
+		minRemaining := 2
+		if cfg.Coherence {
+			minRemaining = 4
+		}
+		var victim *vworker
+		for _, w := range workers {
+			if w == thief || w.remaining() < minRemaining {
+				continue
+			}
+			if victim == nil || w.remaining() > victim.remaining() {
+				victim = w
+			}
+		}
+		if victim == nil {
+			return false, nil
+		}
+		rem := victim.task
+		rem.StartFrame = victim.next
+		keep, give, ok := cfg.Scheme.Subdivide(rem)
+		if !ok || give.Frames() == 0 {
+			return false, nil
+		}
+		victim.task.EndFrame = keep.EndFrame
+		// Truncating the victim's engine range is safe: the engine only
+		// checks consecutive ordering, and the victim simply stops
+		// earlier. The stolen range becomes a fresh task.
+		res.Subdivisions++
+		return true, assign(thief, give)
+	}
+
+	// renderOneFrame executes worker w's next frame, charging the
+	// virtual clock, and delivers the pixels to the assembly.
+	renderOneFrame := func(w *vworker) error {
+		f := w.next
+		var work cluster.Work
+		var rc stats.RayCounters
+		if w.engine != nil {
+			rep, err := w.engine.RenderFrame(f, w.buf)
+			if err != nil {
+				return err
+			}
+			rc = rep.Rays
+			frameRendered[f] += rep.Rendered
+			frameCopied[f] += rep.Copied
+			work = cluster.Work{
+				Rays:          rep.Rays.Total(),
+				Registrations: rep.Registrations,
+				CopiedPixels:  uint64(rep.Copied),
+				ChangeVoxels:  uint64(rep.ChangeVoxels),
+				MemoryMB:      w.task.MemoryMB(),
+			}
+		} else {
+			ft, err := trace.New(sc, f, trace.Options{SamplesPerPixel: cfg.Samples})
+			if err != nil {
+				return err
+			}
+			ft.RenderRegion(w.buf, w.task.Region)
+			rc = ft.Counters
+			work = cluster.Work{Rays: ft.Counters.Total(), MemoryMB: w.task.PlainMemoryMB()}
+			frameRendered[f] += w.task.Region.Area()
+		}
+		frameRays[f].Merge(rc)
+		before := now.Time(w.id)
+		now.Exec(w.id, work)
+		execTime := now.Time(w.id) - before
+
+		// Ship the region back to the master over the shared bus.
+		pix := extractRegion(w.buf, w.task.Region)
+		resultBytes := len(pix) + 32
+		end := now.Communicate(w.id, resultBytes)
+		res.BytesTransferred += int64(resultBytes)
+
+		if _, err := asm.deliver(f, w.task.Region, pix, end); err != nil {
+			return err
+		}
+		frameWork[f] += execTime
+		w.rays.Merge(rc)
+		w.pixelsDone += w.task.Region.Area()
+		w.next++
+		if w.next >= w.task.EndFrame {
+			w.hasTask = false
+			w.engine = nil
+			w.tasksDone++
+		}
+		return nil
+	}
+
+	// Event loop: repeatedly give work to idle machines (queue first,
+	// then steal) and advance the earliest busy machine by one frame.
+	for {
+		// Hand queued tasks to idle machines, cheapest clock first.
+		for len(queue) > 0 {
+			idle := -1
+			for _, w := range workers {
+				if !w.hasTask && (idle < 0 || now.Time(w.id) < now.Time(workers[idle].id)) {
+					idle = w.id
+				}
+			}
+			if idle < 0 {
+				break
+			}
+			t := queue[0]
+			queue = queue[1:]
+			if err := assign(workers[idle], t); err != nil {
+				return nil, err
+			}
+		}
+		// Steal for any remaining idle machines.
+		if len(queue) == 0 {
+			for _, w := range workers {
+				if w.hasTask {
+					continue
+				}
+				if ok, err := stealInto(w); err != nil {
+					return nil, err
+				} else if ok {
+					continue
+				}
+			}
+		}
+		// Advance the earliest busy machine.
+		busy := -1
+		for _, w := range workers {
+			if w.hasTask && (busy < 0 || now.Time(w.id) < now.Time(workers[busy].id)) {
+				busy = w.id
+			}
+		}
+		if busy < 0 {
+			if len(queue) == 0 {
+				break
+			}
+			return nil, fmt.Errorf("farm: queue non-empty but no machine busy")
+		}
+		if err := renderOneFrame(workers[busy]); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := asm.complete(); err != nil {
+		return nil, err
+	}
+	res.Frames = asm.frames
+	res.Makespan = now.Makespan()
+	for f := cfg.StartFrame; f < cfg.EndFrame; f++ {
+		res.Run.AddFrame(stats.FrameStats{
+			Frame:    f,
+			Elapsed:  frameWork[f],
+			Rays:     frameRays[f],
+			Rendered: frameRendered[f],
+			Copied:   frameCopied[f],
+		})
+	}
+	res.Run.Total = res.Makespan
+	for _, w := range workers {
+		res.Workers = append(res.Workers, stats.WorkerStats{
+			Worker:     cfg.Machines[w.id].Name,
+			TasksDone:  w.tasksDone,
+			PixelsDone: w.pixelsDone,
+			Busy:       now.BusyTime(w.id),
+			Rays:       w.rays,
+		})
+	}
+	sort.Slice(res.Workers, func(i, j int) bool { return res.Workers[i].Worker < res.Workers[j].Worker })
+
+	if cfg.Emit != nil {
+		for i, img := range res.Frames {
+			if err := cfg.Emit(cfg.StartFrame+i, img); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// RenderSingle runs the whole animation on one machine of the virtual
+// NOW (the paper's single-processor baselines, columns (1)-(3) of
+// Table 1: the fastest machine is used). Coherence is applied when
+// cfg.Coherence is set.
+func RenderSingle(cfg Config, machine cluster.Machine) (*Result, error) {
+	cfg.Machines = []cluster.Machine{machine}
+	// A single machine with the whole frame: sequence division
+	// degenerates to one task covering everything.
+	cfg.Scheme = partition.SequenceDivision{Adaptive: false}
+	return RenderVirtual(cfg)
+}

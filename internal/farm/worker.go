@@ -1,0 +1,194 @@
+package farm
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nowrender/internal/coherence"
+	"nowrender/internal/fb"
+	"nowrender/internal/msg"
+	"nowrender/internal/scene"
+	"nowrender/internal/trace"
+)
+
+// asyncConn wraps a msg.Conn with a receive pump so the worker can poll
+// for control messages (truncation) between frames without blocking.
+type asyncConn struct {
+	msg.Conn
+	inbox chan msg.Message
+	errCh chan error
+}
+
+func newAsyncConn(c msg.Conn) *asyncConn {
+	a := &asyncConn{Conn: c, inbox: make(chan msg.Message, 64), errCh: make(chan error, 1)}
+	go func() {
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				a.errCh <- err
+				close(a.inbox)
+				return
+			}
+			a.inbox <- m
+		}
+	}()
+	return a
+}
+
+// recv blocks for the next message.
+func (a *asyncConn) recv() (msg.Message, error) {
+	m, ok := <-a.inbox
+	if !ok {
+		return msg.Message{}, <-a.errCh
+	}
+	return m, nil
+}
+
+// tryRecv returns the next message without blocking.
+func (a *asyncConn) tryRecv() (msg.Message, bool, error) {
+	select {
+	case m, ok := <-a.inbox:
+		if !ok {
+			return msg.Message{}, false, <-a.errCh
+		}
+		return m, true, nil
+	default:
+		return msg.Message{}, false, nil
+	}
+}
+
+// RunWorker executes the slave side of the farm protocol on conn: say
+// hello, then loop rendering assigned tasks until shutdown. The scene is
+// provided by the caller (in-process workers share it; cmd/nowworker
+// parses the SDL source the master ships first).
+//
+// The worker honours TagTruncate between frames: it stops its current
+// task at the requested end (or wherever it already got to, if further)
+// and acknowledges the actual stop frame so the master can reassign the
+// remainder without duplication.
+func RunWorker(name string, conn msg.Conn, sc *scene.Scene) error {
+	ac := newAsyncConn(conn)
+	if err := ac.Send(msg.Message{Tag: TagHello, From: name, Data: []byte(name)}); err != nil {
+		return err
+	}
+	for {
+		m, err := ac.recv()
+		if err != nil {
+			if errors.Is(err, msg.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		switch m.Tag {
+		case TagShutdown:
+			return nil
+		case TagTask:
+			tm, err := decodeTask(m.Data)
+			if err != nil {
+				return err
+			}
+			if err := runTask(name, ac, sc, tm); err != nil {
+				return err
+			}
+		case TagTruncate:
+			// Truncate for a task we no longer run: already stopped at
+			// its natural end; acknowledge with that end so the master
+			// reconciles.
+			id, end, err := decodePair(m.Data)
+			if err != nil {
+				return err
+			}
+			if err := ac.Send(msg.Message{Tag: TagTruncateAck, From: name, Data: encodePair(id, end)}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("farm: worker %s: unexpected tag %d", name, m.Tag)
+		}
+	}
+}
+
+// runTask renders one task frame-by-frame, honouring truncation.
+func runTask(name string, ac *asyncConn, sc *scene.Scene, tm taskMsg) error {
+	t := tm.Task
+	end := t.EndFrame
+	var eng *coherence.Engine
+	if tm.Coherence {
+		var err error
+		eng, err = coherence.NewEngine(sc, tm.W, tm.H, t.Region, t.StartFrame, t.EndFrame, coherence.Options{
+			SamplesPerPixel:  tm.Samples,
+			GridRes:          tm.GridRes,
+			BlockGranularity: tm.BlockGran,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	buf := fb.New(tm.W, tm.H)
+	f := t.StartFrame
+	for f < end {
+		// Drain control messages before starting the frame.
+		for {
+			cm, ok, err := ac.tryRecv()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			switch cm.Tag {
+			case TagTruncate:
+				id, newEnd, err := decodePair(cm.Data)
+				if err != nil {
+					return err
+				}
+				if id == t.ID {
+					// Stop at newEnd, or where we already are if past it.
+					stop := newEnd
+					if f > stop {
+						stop = f
+					}
+					end = stop
+					if err := ac.Send(msg.Message{Tag: TagTruncateAck, From: name, Data: encodePair(id, stop)}); err != nil {
+						return err
+					}
+				}
+			case TagShutdown:
+				return nil
+			default:
+				return fmt.Errorf("farm: worker %s: unexpected tag %d mid-task", name, cm.Tag)
+			}
+		}
+		if f >= end {
+			break
+		}
+
+		started := time.Now()
+		fd := frameDoneMsg{TaskID: t.ID, Frame: f, Region: t.Region}
+		if eng != nil {
+			rep, err := eng.RenderFrame(f, buf)
+			if err != nil {
+				return err
+			}
+			fd.Rendered = rep.Rendered
+			fd.Copied = rep.Copied
+			fd.Regs = rep.Registrations
+			fd.Rays = rep.Rays
+		} else {
+			ft, err := trace.New(sc, f, trace.Options{SamplesPerPixel: tm.Samples, GridRes: tm.GridRes})
+			if err != nil {
+				return err
+			}
+			ft.RenderRegion(buf, t.Region)
+			fd.Rendered = t.Region.Area()
+			fd.Rays = ft.Counters
+		}
+		fd.Pix = extractRegion(buf, t.Region)
+		fd.ElapsedNs = time.Since(started).Nanoseconds()
+		if err := ac.Send(msg.Message{Tag: TagFrameDone, From: name, Data: encodeFrameDone(fd)}); err != nil {
+			return err
+		}
+		f++
+	}
+	return ac.Send(msg.Message{Tag: TagTaskDone, From: name, Data: encodePair(t.ID, end)})
+}

@@ -1,0 +1,200 @@
+// Package fb provides the 24-bit RGB framebuffer frames are rendered
+// into, and the pixel rectangles the partitioning schemes hand to
+// workers. Colours are quantised to 8 bits per channel on Set, which is
+// what makes "pixel-identical" a meaningful, exact property in the
+// coherence tests (the paper's output format is 24-bit targa).
+package fb
+
+import (
+	"fmt"
+
+	vm "nowrender/internal/vecmath"
+)
+
+// Framebuffer is a W x H image with 8-bit RGB pixels.
+type Framebuffer struct {
+	W, H int
+	// Pix is packed RGB, 3 bytes per pixel, rows top to bottom.
+	Pix []byte
+}
+
+// New returns a black framebuffer.
+func New(w, h int) *Framebuffer {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("fb: negative dimensions %dx%d", w, h))
+	}
+	return &Framebuffer{W: w, H: h, Pix: make([]byte, w*h*3)}
+}
+
+// Clone returns a deep copy.
+func (f *Framebuffer) Clone() *Framebuffer {
+	c := New(f.W, f.H)
+	copy(c.Pix, f.Pix)
+	return c
+}
+
+// offset returns the byte offset of pixel (x, y).
+func (f *Framebuffer) offset(x, y int) int { return (y*f.W + x) * 3 }
+
+// Set writes a linear colour, clamping and quantising to 8 bits.
+func (f *Framebuffer) Set(x, y int, c vm.Vec3) {
+	o := f.offset(x, y)
+	cc := c.Clamp01()
+	f.Pix[o+0] = byte(cc.X*255 + 0.5)
+	f.Pix[o+1] = byte(cc.Y*255 + 0.5)
+	f.Pix[o+2] = byte(cc.Z*255 + 0.5)
+}
+
+// SetRGB writes raw bytes.
+func (f *Framebuffer) SetRGB(x, y int, r, g, b byte) {
+	o := f.offset(x, y)
+	f.Pix[o+0], f.Pix[o+1], f.Pix[o+2] = r, g, b
+}
+
+// At returns the raw bytes of pixel (x, y).
+func (f *Framebuffer) At(x, y int) (r, g, b byte) {
+	o := f.offset(x, y)
+	return f.Pix[o+0], f.Pix[o+1], f.Pix[o+2]
+}
+
+// AtColor returns pixel (x, y) as a linear [0,1] colour.
+func (f *Framebuffer) AtColor(x, y int) vm.Vec3 {
+	r, g, b := f.At(x, y)
+	return vm.V(float64(r)/255, float64(g)/255, float64(b)/255)
+}
+
+// CopyPixel copies one pixel from src (same dimensions assumed by index
+// math; callers validate).
+func (f *Framebuffer) CopyPixel(src *Framebuffer, x, y int) {
+	o := f.offset(x, y)
+	so := src.offset(x, y)
+	copy(f.Pix[o:o+3], src.Pix[so:so+3])
+}
+
+// CopyRect copies a rectangle of pixels from src.
+func (f *Framebuffer) CopyRect(src *Framebuffer, r Rect) {
+	for y := r.Y0; y < r.Y1; y++ {
+		o := f.offset(r.X0, y)
+		so := src.offset(r.X0, y)
+		n := (r.X1 - r.X0) * 3
+		copy(f.Pix[o:o+n], src.Pix[so:so+n])
+	}
+}
+
+// Fill sets every pixel to colour c.
+func (f *Framebuffer) Fill(c vm.Vec3) {
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			f.Set(x, y, c)
+		}
+	}
+}
+
+// Equal reports whether two framebuffers are pixel-identical.
+func (f *Framebuffer) Equal(o *Framebuffer) bool {
+	if f.W != o.W || f.H != o.H {
+		return false
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != o.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffCount returns the number of pixels differing between f and o, which
+// must have equal dimensions.
+func (f *Framebuffer) DiffCount(o *Framebuffer) int {
+	n := 0
+	for i := 0; i+2 < len(f.Pix); i += 3 {
+		if f.Pix[i] != o.Pix[i] || f.Pix[i+1] != o.Pix[i+1] || f.Pix[i+2] != o.Pix[i+2] {
+			n++
+		}
+	}
+	return n
+}
+
+// Bounds returns the full-frame rectangle.
+func (f *Framebuffer) Bounds() Rect { return Rect{X0: 0, Y0: 0, X1: f.W, Y1: f.H} }
+
+// Rect is a half-open pixel rectangle [X0,X1) x [Y0,Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// NewRect returns the rectangle with the given corners.
+func NewRect(x0, y0, x1, y1 int) Rect { return Rect{x0, y0, x1, y1} }
+
+// W returns the rectangle width.
+func (r Rect) W() int { return r.X1 - r.X0 }
+
+// H returns the rectangle height.
+func (r Rect) H() int { return r.Y1 - r.Y0 }
+
+// Area returns the pixel count.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Empty reports whether the rectangle contains no pixels.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Contains reports whether pixel (x, y) lies inside.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// Intersect returns the overlap of two rectangles (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	out := Rect{
+		X0: max(r.X0, o.X0), Y0: max(r.Y0, o.Y0),
+		X1: min(r.X1, o.X1), Y1: min(r.Y1, o.Y1),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Overlaps reports whether the rectangles share any pixel.
+func (r Rect) Overlaps(o Rect) bool { return !r.Intersect(o).Empty() }
+
+// SplitH splits the rectangle into two halves along its longer axis,
+// used by the adaptive subdivision of frame regions. A rectangle of area
+// 1 returns itself and an empty rect.
+func (r Rect) Split() (Rect, Rect) {
+	if r.W() >= r.H() {
+		if r.W() < 2 {
+			return r, Rect{}
+		}
+		mid := r.X0 + r.W()/2
+		return Rect{r.X0, r.Y0, mid, r.Y1}, Rect{mid, r.Y0, r.X1, r.Y1}
+	}
+	if r.H() < 2 {
+		return r, Rect{}
+	}
+	mid := r.Y0 + r.H()/2
+	return Rect{r.X0, r.Y0, r.X1, mid}, Rect{r.X0, mid, r.X1, r.Y1}
+}
+
+// Blocks tiles the rectangle with bw x bh blocks (last row/column may be
+// smaller), the decomposition the paper uses with 80x80 subareas.
+func (r Rect) Blocks(bw, bh int) []Rect {
+	if bw < 1 || bh < 1 {
+		panic("fb: non-positive block size")
+	}
+	var out []Rect
+	for y := r.Y0; y < r.Y1; y += bh {
+		for x := r.X0; x < r.X1; x += bw {
+			out = append(out, Rect{
+				X0: x, Y0: y,
+				X1: min(x+bw, r.X1), Y1: min(y+bh, r.Y1),
+			})
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)", r.X0, r.X1, r.Y0, r.Y1)
+}

@@ -1,0 +1,113 @@
+package geom
+
+import (
+	"math"
+
+	vm "nowrender/internal/vecmath"
+)
+
+// Box is an axis-aligned solid box, POV-Ray's `box { <min>, <max> }`.
+type Box struct {
+	Min, Max vm.Vec3
+}
+
+// NewBox returns the box spanning the two corners in any order.
+func NewBox(a, b vm.Vec3) *Box {
+	bb := vm.NewAABB(a, b)
+	return &Box{Min: bb.Min, Max: bb.Max}
+}
+
+// Intersect implements Shape.
+func (b *Box) Intersect(r vm.Ray, tMin, tMax float64) (Hit, bool) {
+	iv, hit := (vm.AABB{Min: b.Min, Max: b.Max}).IntersectRay(r, tMin, tMax)
+	if !hit {
+		return Hit{}, false
+	}
+	t := iv.Min
+	if t <= tMin {
+		// Origin inside the box: exit point is the hit.
+		t = iv.Max
+		if t <= tMin || t >= tMax {
+			return Hit{}, false
+		}
+	}
+	if t >= tMax {
+		return Hit{}, false
+	}
+	p := r.At(t)
+	outward, axis := b.normalAt(p)
+	// For an exit hit the outward normal points along the ray, so
+	// faceForward both flips it and flags the hit as inside.
+	n, inside := faceForward(outward, r.Dir)
+	u, v := boxUV(b, p, axis)
+	return Hit{T: t, Point: p, Normal: n, Inside: inside, U: u, V: v}, true
+}
+
+// normalAt returns the outward normal of the face nearest to p and the
+// axis index of that face.
+func (b *Box) normalAt(p vm.Vec3) (vm.Vec3, int) {
+	bestAxis, bestSign, bestDist := 0, 1.0, math.Inf(1)
+	for axis := 0; axis < 3; axis++ {
+		if d := math.Abs(p.Axis(axis) - b.Min.Axis(axis)); d < bestDist {
+			bestDist, bestAxis, bestSign = d, axis, -1
+		}
+		if d := math.Abs(p.Axis(axis) - b.Max.Axis(axis)); d < bestDist {
+			bestDist, bestAxis, bestSign = d, axis, 1
+		}
+	}
+	return vm.Vec3{}.SetAxis(bestAxis, bestSign), bestAxis
+}
+
+func boxUV(b *Box, p vm.Vec3, axis int) (float64, float64) {
+	ua := (axis + 1) % 3
+	va := (axis + 2) % 3
+	size := b.Max.Sub(b.Min)
+	u := (p.Axis(ua) - b.Min.Axis(ua)) / math.Max(size.Axis(ua), vm.Eps)
+	v := (p.Axis(va) - b.Min.Axis(va)) / math.Max(size.Axis(va), vm.Eps)
+	return u, v
+}
+
+// Bounds implements Shape.
+func (b *Box) Bounds() vm.AABB { return vm.AABB{Min: b.Min, Max: b.Max} }
+
+// Disc is a flat circular disc, used for cylinder caps and standalone.
+type Disc struct {
+	Center vm.Vec3
+	Normal vm.Vec3 // unit
+	Radius float64
+}
+
+// NewDisc returns a disc; the normal is normalised.
+func NewDisc(center, normal vm.Vec3, radius float64) *Disc {
+	return &Disc{Center: center, Normal: normal.Norm(), Radius: radius}
+}
+
+// Intersect implements Shape.
+func (d *Disc) Intersect(r vm.Ray, tMin, tMax float64) (Hit, bool) {
+	denom := d.Normal.Dot(r.Dir)
+	if math.Abs(denom) < vm.Eps {
+		return Hit{}, false
+	}
+	t := d.Normal.Dot(d.Center.Sub(r.Origin)) / denom
+	if t <= tMin || t >= tMax {
+		return Hit{}, false
+	}
+	p := r.At(t)
+	rel := p.Sub(d.Center)
+	if rel.Len2() > d.Radius*d.Radius {
+		return Hit{}, false
+	}
+	n, inside := faceForward(d.Normal, r.Dir)
+	onb := vm.NewONB(d.Normal)
+	return Hit{
+		T: t, Point: p, Normal: n, Inside: inside,
+		U: rel.Dot(onb.U)/d.Radius*0.5 + 0.5,
+		V: rel.Dot(onb.V)/d.Radius*0.5 + 0.5,
+	}, true
+}
+
+// Bounds implements Shape.
+func (d *Disc) Bounds() vm.AABB {
+	r := vm.Splat(d.Radius)
+	return vm.AABB{Min: d.Center.Sub(r), Max: d.Center.Add(r)}.Pad(vm.Eps)
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+
+	vm "nowrender/internal/vecmath"
+)
+
+// Cone is a capped conical frustum between two end points with
+// independent radii, POV-Ray's `cone { <base>, rBase, <cap>, rCap }`.
+// Either radius may be zero (a true cone apex).
+type Cone struct {
+	Base, Cap             vm.Vec3
+	BaseRadius, CapRadius float64
+	// Open omits the end discs when true.
+	Open bool
+
+	axis   vm.Vec3
+	height float64
+}
+
+// NewCone returns a capped conical frustum. Base and Cap must be
+// distinct and radii non-negative.
+func NewCone(base vm.Vec3, baseRadius float64, cap vm.Vec3, capRadius float64) *Cone {
+	c := &Cone{Base: base, Cap: cap, BaseRadius: baseRadius, CapRadius: capRadius}
+	d := cap.Sub(base)
+	c.height = d.Len()
+	c.axis = d.Scale(1 / c.height)
+	return c
+}
+
+// NewOpenCone returns a frustum without end discs.
+func NewOpenCone(base vm.Vec3, baseRadius float64, cap vm.Vec3, capRadius float64) *Cone {
+	c := NewCone(base, baseRadius, cap, capRadius)
+	c.Open = true
+	return c
+}
+
+// Intersect implements Shape. The lateral surface satisfies
+// |p_perp| = r(h) where h is the axial height; substituting the ray
+// gives a quadratic in t.
+func (c *Cone) Intersect(r vm.Ray, tMin, tMax float64) (Hit, bool) {
+	best := Hit{T: math.Inf(1)}
+	found := false
+
+	// Decompose into axial and perpendicular components relative to
+	// Base.
+	oc := r.Origin.Sub(c.Base)
+	ocA := oc.Dot(c.axis)
+	dA := r.Dir.Dot(c.axis)
+	ocP := oc.Sub(c.axis.Scale(ocA))
+	dP := r.Dir.Sub(c.axis.Scale(dA))
+
+	// r(h) = r0 + k*h with k = (r1-r0)/height; surface:
+	// |ocP + t dP|^2 = (r0 + k (ocA + t dA))^2.
+	k := (c.CapRadius - c.BaseRadius) / c.height
+	r0 := c.BaseRadius
+
+	a := dP.Dot(dP) - k*k*dA*dA
+	b := 2 * (ocP.Dot(dP) - k*dA*(r0+k*ocA))
+	cc := ocP.Dot(ocP) - (r0+k*ocA)*(r0+k*ocA)
+	t0, t1, n := vm.SolveQuadratic(a, b, cc)
+	for i, t := range [2]float64{t0, t1} {
+		if i >= n || t <= tMin || t >= tMax || t >= best.T {
+			continue
+		}
+		h := ocA + t*dA
+		if h < 0 || h > c.height {
+			continue
+		}
+		p := r.At(t)
+		axisPt := c.Base.Add(c.axis.Scale(h))
+		radial := p.Sub(axisPt)
+		rl := radial.Len()
+		if rl < vm.Eps {
+			continue // apex degenerate point
+		}
+		// Outward normal tilts along the axis by the slope.
+		outward := radial.Scale(1 / rl).Sub(c.axis.Scale(k)).Norm()
+		normal, inside := faceForward(outward, r.Dir)
+		onb := vm.NewONB(c.axis)
+		u := 0.5 + math.Atan2(radial.Dot(onb.V), radial.Dot(onb.U))/(2*math.Pi)
+		best = Hit{T: t, Point: p, Normal: normal, Inside: inside, U: u, V: h / c.height}
+		found = true
+	}
+
+	if !c.Open {
+		for _, end := range [2]struct {
+			center vm.Vec3
+			normal vm.Vec3
+			radius float64
+		}{
+			{c.Base, c.axis.Neg(), c.BaseRadius},
+			{c.Cap, c.axis, c.CapRadius},
+		} {
+			if end.radius <= 0 {
+				continue
+			}
+			denom := end.normal.Dot(r.Dir)
+			if math.Abs(denom) < vm.Eps {
+				continue
+			}
+			t := end.normal.Dot(end.center.Sub(r.Origin)) / denom
+			if t <= tMin || t >= tMax || t >= best.T {
+				continue
+			}
+			p := r.At(t)
+			rel := p.Sub(end.center)
+			if rel.Len2() > end.radius*end.radius {
+				continue
+			}
+			normal, inside := faceForward(end.normal, r.Dir)
+			onb := vm.NewONB(end.normal)
+			best = Hit{
+				T: t, Point: p, Normal: normal, Inside: inside,
+				U: rel.Dot(onb.U)/end.radius*0.5 + 0.5,
+				V: rel.Dot(onb.V)/end.radius*0.5 + 0.5,
+			}
+			found = true
+		}
+	}
+	if !found {
+		return Hit{}, false
+	}
+	return best, true
+}
+
+// Bounds implements Shape.
+func (c *Cone) Bounds() vm.AABB {
+	rMax := math.Max(c.BaseRadius, c.CapRadius)
+	b := vm.EmptyAABB().Extend(c.Base).Extend(c.Cap)
+	pad := vm.V(
+		rMax*math.Sqrt(math.Max(0, 1-c.axis.X*c.axis.X)),
+		rMax*math.Sqrt(math.Max(0, 1-c.axis.Y*c.axis.Y)),
+		rMax*math.Sqrt(math.Max(0, 1-c.axis.Z*c.axis.Z)),
+	)
+	return vm.AABB{Min: b.Min.Sub(pad), Max: b.Max.Add(pad)}
+}
+
+// OverlapsBox implements BoxOverlapper conservatively: distance from the
+// box centre to the axis segment within max radius + half diagonal.
+func (c *Cone) OverlapsBox(b vm.AABB) bool {
+	if !c.Bounds().Overlaps(b) {
+		return false
+	}
+	center := b.Center()
+	halfDiag := b.Size().Len() / 2
+	d := distPointSegment(center, c.Base, c.Cap)
+	return d <= math.Max(c.BaseRadius, c.CapRadius)+halfDiag
+}

@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math"
+
+	vm "nowrender/internal/vecmath"
+)
+
+// Cylinder is a capped cylinder between two end points, POV-Ray's
+// `cylinder { <base>, <cap>, radius }`. The Newton scene uses sixteen of
+// these for the frame and strings.
+type Cylinder struct {
+	Base, Cap vm.Vec3
+	Radius    float64
+	// Open omits the end caps when true (POV's `open` keyword).
+	Open bool
+
+	axis   vm.Vec3 // unit vector Base -> Cap
+	height float64
+}
+
+// NewCylinder returns a capped cylinder. Base and Cap must be distinct.
+func NewCylinder(base, cap vm.Vec3, radius float64) *Cylinder {
+	c := &Cylinder{Base: base, Cap: cap, Radius: radius}
+	d := cap.Sub(base)
+	c.height = d.Len()
+	c.axis = d.Scale(1 / c.height)
+	return c
+}
+
+// NewOpenCylinder returns a cylinder without end caps.
+func NewOpenCylinder(base, cap vm.Vec3, radius float64) *Cylinder {
+	c := NewCylinder(base, cap, radius)
+	c.Open = true
+	return c
+}
+
+// Intersect implements Shape.
+func (c *Cylinder) Intersect(r vm.Ray, tMin, tMax float64) (Hit, bool) {
+	best := Hit{T: math.Inf(1)}
+	found := false
+
+	// Lateral surface: solve |(o + t*d) - base - ((o + t*d - base)·a)a| = R.
+	oc := r.Origin.Sub(c.Base)
+	dPerp := r.Dir.Sub(c.axis.Scale(r.Dir.Dot(c.axis)))
+	oPerp := oc.Sub(c.axis.Scale(oc.Dot(c.axis)))
+	a := dPerp.Dot(dPerp)
+	b := 2 * dPerp.Dot(oPerp)
+	cc := oPerp.Dot(oPerp) - c.Radius*c.Radius
+	t0, t1, n := vm.SolveQuadratic(a, b, cc)
+	for i, t := range [2]float64{t0, t1} {
+		if i >= n || t <= tMin || t >= tMax || t >= best.T {
+			continue
+		}
+		p := r.At(t)
+		h := p.Sub(c.Base).Dot(c.axis)
+		if h < 0 || h > c.height {
+			continue
+		}
+		axisPt := c.Base.Add(c.axis.Scale(h))
+		outward := p.Sub(axisPt).Scale(1 / c.Radius)
+		normal, inside := faceForward(outward, r.Dir)
+		// Cylindrical parameterisation.
+		onb := vm.NewONB(c.axis)
+		u := 0.5 + math.Atan2(outward.Dot(onb.V), outward.Dot(onb.U))/(2*math.Pi)
+		best = Hit{T: t, Point: p, Normal: normal, Inside: inside, U: u, V: h / c.height}
+		found = true
+	}
+
+	if !c.Open {
+		for _, end := range [2]struct {
+			center vm.Vec3
+			normal vm.Vec3
+		}{
+			{c.Base, c.axis.Neg()},
+			{c.Cap, c.axis},
+		} {
+			denom := end.normal.Dot(r.Dir)
+			if math.Abs(denom) < vm.Eps {
+				continue
+			}
+			t := end.normal.Dot(end.center.Sub(r.Origin)) / denom
+			if t <= tMin || t >= tMax || t >= best.T {
+				continue
+			}
+			p := r.At(t)
+			rel := p.Sub(end.center)
+			if rel.Len2() > c.Radius*c.Radius {
+				continue
+			}
+			normal, inside := faceForward(end.normal, r.Dir)
+			onb := vm.NewONB(end.normal)
+			best = Hit{
+				T: t, Point: p, Normal: normal, Inside: inside,
+				U: rel.Dot(onb.U)/c.Radius*0.5 + 0.5,
+				V: rel.Dot(onb.V)/c.Radius*0.5 + 0.5,
+			}
+			found = true
+		}
+	}
+
+	if !found {
+		return Hit{}, false
+	}
+	return best, true
+}
+
+// Bounds implements Shape.
+func (c *Cylinder) Bounds() vm.AABB {
+	// Tight per-axis extent: for each axis, the lateral surface extends
+	// R*sqrt(1 - a_i^2) beyond the segment endpoints.
+	b := vm.EmptyAABB()
+	for _, p := range [2]vm.Vec3{c.Base, c.Cap} {
+		b = b.Extend(p)
+	}
+	pad := vm.V(
+		c.Radius*math.Sqrt(math.Max(0, 1-c.axis.X*c.axis.X)),
+		c.Radius*math.Sqrt(math.Max(0, 1-c.axis.Y*c.axis.Y)),
+		c.Radius*math.Sqrt(math.Max(0, 1-c.axis.Z*c.axis.Z)),
+	)
+	return vm.AABB{Min: b.Min.Sub(pad), Max: b.Max.Add(pad)}
+}

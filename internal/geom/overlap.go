@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math"
+
+	vm "nowrender/internal/vecmath"
+)
+
+// BoxOverlapper is an optional interface for shapes that can test
+// overlap against an axis-aligned box more tightly than their bounding
+// box. The frame-coherence engine uses it to voxelise moving objects
+// precisely: a swinging thin cylinder dirties only the voxels it
+// actually sweeps, not its whole (fat) AABB.
+//
+// Implementations may be conservative — returning true when unsure is
+// always safe — but must never return false for a box the shape
+// actually intersects.
+type BoxOverlapper interface {
+	OverlapsBox(b vm.AABB) bool
+}
+
+// OverlapsBox implements BoxOverlapper exactly: the sphere intersects
+// the box iff the squared distance from its centre to the box is at
+// most r².
+func (s *Sphere) OverlapsBox(b vm.AABB) bool {
+	d2 := 0.0
+	for axis := 0; axis < 3; axis++ {
+		c := s.Center.Axis(axis)
+		lo, hi := b.Min.Axis(axis), b.Max.Axis(axis)
+		if c < lo {
+			d2 += (lo - c) * (lo - c)
+		} else if c > hi {
+			d2 += (c - hi) * (c - hi)
+		}
+	}
+	return d2 <= s.Radius*s.Radius
+}
+
+// OverlapsBox implements BoxOverlapper conservatively: the cylinder
+// overlaps if the distance from the box centre to the axis segment is
+// within radius + half the box diagonal. This never misses a true
+// overlap and is far tighter than the cylinder's AABB for thin, slanted
+// cylinders (the Newton strings).
+func (c *Cylinder) OverlapsBox(b vm.AABB) bool {
+	if !c.Bounds().Overlaps(b) {
+		return false
+	}
+	center := b.Center()
+	halfDiag := b.Size().Len() / 2
+	d := distPointSegment(center, c.Base, c.Cap)
+	return d <= c.Radius+halfDiag
+}
+
+// distPointSegment returns the distance from p to segment ab.
+func distPointSegment(p, a, b vm.Vec3) float64 {
+	ab := b.Sub(a)
+	t := p.Sub(a).Dot(ab) / math.Max(ab.Len2(), vm.Eps)
+	t = vm.Clamp(t, 0, 1)
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
+// OverlapsBox implements BoxOverlapper exactly for discs (plane-slab
+// test plus centre-distance bound, conservative within a half box
+// diagonal).
+func (d *Disc) OverlapsBox(b vm.AABB) bool {
+	if !d.Bounds().Overlaps(b) {
+		return false
+	}
+	// Distance from box centre to the disc plane must be within half
+	// the projected box extent.
+	center := b.Center()
+	planeDist := math.Abs(center.Sub(d.Center).Dot(d.Normal))
+	halfExtent := projectedHalfExtent(b, d.Normal)
+	if planeDist > halfExtent {
+		return false
+	}
+	return distPointToDiscCenter(center, d) <= b.Size().Len()/2+1e-12
+}
+
+func distPointToDiscCenter(p vm.Vec3, d *Disc) float64 {
+	rel := p.Sub(d.Center)
+	perp := rel.Dot(d.Normal)
+	inPlane := rel.Sub(d.Normal.Scale(perp))
+	r := inPlane.Len()
+	if r > d.Radius {
+		inPlane = inPlane.Scale(d.Radius / r)
+	}
+	closest := d.Center.Add(inPlane)
+	return p.Dist(closest)
+}
+
+// projectedHalfExtent returns half the extent of box b projected onto
+// unit direction n.
+func projectedHalfExtent(b vm.AABB, n vm.Vec3) float64 {
+	half := b.Size().Scale(0.5)
+	return math.Abs(half.X*n.X) + math.Abs(half.Y*n.Y) + math.Abs(half.Z*n.Z)
+}
+
+// OverlapsBox implements BoxOverlapper for transformed shapes by mapping
+// the box into object space (taking the AABB of its transformed corners
+// — conservative for rotations) and delegating to the inner shape when
+// it supports tight overlap.
+func (tw *Transformed) OverlapsBox(b vm.AABB) bool {
+	if !tw.Bounds().Overlaps(b) {
+		return false
+	}
+	inner, ok := tw.Shape.(BoxOverlapper)
+	if !ok {
+		return true
+	}
+	local := vm.TransformAABB(tw.Xf.Inv, b)
+	return inner.OverlapsBox(local)
+}
+
+// ShapeOverlapsBox tests shape-box overlap, using the tight test when
+// available and falling back to the shape's bounding box.
+func ShapeOverlapsBox(s Shape, b vm.AABB) bool {
+	if o, ok := s.(BoxOverlapper); ok {
+		return o.OverlapsBox(b)
+	}
+	return s.Bounds().Overlaps(b)
+}

@@ -1,0 +1,59 @@
+// Package geom implements the geometric primitives the renderer supports
+// and their ray-intersection routines. The set matches what the paper's
+// test scenes need (POV-Ray subset): planes, spheres, boxes, capped
+// cylinders, discs, triangles and triangle meshes, plus an affine
+// transform wrapper.
+//
+// All primitives implement Shape. Intersection routines return the
+// nearest hit with parameter t in (tMin, tMax); they are exact (no
+// acceleration) — spatial acceleration lives in internal/grid.
+package geom
+
+import (
+	vm "nowrender/internal/vecmath"
+)
+
+// Hit describes a ray-surface intersection.
+type Hit struct {
+	// T is the ray parameter of the hit; for unit-length directions this
+	// is the Euclidean distance from the ray origin.
+	T float64
+	// Point is the world-space intersection point.
+	Point vm.Vec3
+	// Normal is the unit outward surface normal at Point. It always
+	// faces against the incoming ray (flipped when the ray hits a
+	// surface from inside), with Inside reporting whether flipping
+	// occurred.
+	Normal vm.Vec3
+	// Inside is true when the ray origin was inside the closed surface —
+	// needed to pick the right refraction index ratio.
+	Inside bool
+	// U, V are surface parameterisation coordinates used by procedural
+	// textures (checker, brick).
+	U, V float64
+}
+
+// Shape is a geometric surface a ray can hit.
+type Shape interface {
+	// Intersect returns the nearest hit with t in (tMin, tMax). ok is
+	// false when the ray misses.
+	Intersect(r vm.Ray, tMin, tMax float64) (h Hit, ok bool)
+	// Bounds returns a world-space axis-aligned bounding box fully
+	// containing the shape. Unbounded shapes (Plane) return a very large
+	// but finite box so the voxel grid can still clip them.
+	Bounds() vm.AABB
+}
+
+// faceForward flips n to oppose d, returning the flipped normal and
+// whether a flip happened (i.e. the ray was inside the surface).
+func faceForward(n, d vm.Vec3) (vm.Vec3, bool) {
+	if n.Dot(d) > 0 {
+		return n.Neg(), true
+	}
+	return n, false
+}
+
+// HugeExtent bounds "infinite" primitives. Scenes are expected to fit in
+// a few thousand units; the grid clips object boxes to the scene box, so
+// the exact value only needs to be large.
+const HugeExtent = 1e6

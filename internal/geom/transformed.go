@@ -1,0 +1,43 @@
+package geom
+
+import (
+	vm "nowrender/internal/vecmath"
+)
+
+// Transformed wraps a shape with an affine transform, intersecting by
+// mapping the ray into object space and the hit back out. This is how the
+// animation system moves objects between frames without mutating
+// geometry: each frame binds a fresh Transformed around the same shape.
+type Transformed struct {
+	Shape Shape
+	Xf    vm.Transform
+}
+
+// NewTransformed wraps shape with transform xf (object -> world).
+func NewTransformed(shape Shape, xf vm.Transform) *Transformed {
+	return &Transformed{Shape: shape, Xf: xf}
+}
+
+// Intersect implements Shape.
+func (tw *Transformed) Intersect(r vm.Ray, tMin, tMax float64) (Hit, bool) {
+	// Map the ray to object space. t values are preserved because the
+	// direction is transformed without renormalisation.
+	local := vm.Ray{
+		Origin: tw.Xf.Inv.MulPoint(r.Origin),
+		Dir:    tw.Xf.Inv.MulDir(r.Dir),
+		Kind:   r.Kind,
+		Depth:  r.Depth,
+	}
+	h, ok := tw.Shape.Intersect(local, tMin, tMax)
+	if !ok {
+		return Hit{}, false
+	}
+	h.Point = tw.Xf.Fwd.MulPoint(h.Point)
+	h.Normal = tw.Xf.Inv.MulNormal(h.Normal).Norm()
+	return h, true
+}
+
+// Bounds implements Shape.
+func (tw *Transformed) Bounds() vm.AABB {
+	return vm.TransformAABB(tw.Xf.Fwd, tw.Shape.Bounds())
+}

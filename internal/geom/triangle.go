@@ -1,0 +1,103 @@
+package geom
+
+import (
+	"math"
+
+	vm "nowrender/internal/vecmath"
+)
+
+// Triangle is a single triangle with optional per-vertex normals
+// (smooth shading). With nil normals the geometric normal is used.
+type Triangle struct {
+	P0, P1, P2 vm.Vec3
+	// N0..N2 are optional vertex normals for smooth triangles; all three
+	// must be set together.
+	N0, N1, N2 *vm.Vec3
+}
+
+// NewTriangle returns a flat triangle.
+func NewTriangle(p0, p1, p2 vm.Vec3) *Triangle {
+	return &Triangle{P0: p0, P1: p1, P2: p2}
+}
+
+// NewSmoothTriangle returns a triangle with interpolated vertex normals.
+func NewSmoothTriangle(p0, p1, p2, n0, n1, n2 vm.Vec3) *Triangle {
+	n0n, n1n, n2n := n0.Norm(), n1.Norm(), n2.Norm()
+	return &Triangle{P0: p0, P1: p1, P2: p2, N0: &n0n, N1: &n1n, N2: &n2n}
+}
+
+// Intersect implements Shape using the Möller–Trumbore algorithm.
+func (tr *Triangle) Intersect(r vm.Ray, tMin, tMax float64) (Hit, bool) {
+	e1 := tr.P1.Sub(tr.P0)
+	e2 := tr.P2.Sub(tr.P0)
+	pv := r.Dir.Cross(e2)
+	det := e1.Dot(pv)
+	if math.Abs(det) < vm.Eps {
+		return Hit{}, false
+	}
+	invDet := 1 / det
+	tv := r.Origin.Sub(tr.P0)
+	u := tv.Dot(pv) * invDet
+	if u < 0 || u > 1 {
+		return Hit{}, false
+	}
+	qv := tv.Cross(e1)
+	v := r.Dir.Dot(qv) * invDet
+	if v < 0 || u+v > 1 {
+		return Hit{}, false
+	}
+	t := e2.Dot(qv) * invDet
+	if t <= tMin || t >= tMax {
+		return Hit{}, false
+	}
+	var outward vm.Vec3
+	if tr.N0 != nil {
+		outward = tr.N0.Scale(1 - u - v).Add(tr.N1.Scale(u)).Add(tr.N2.Scale(v)).Norm()
+	} else {
+		outward = e1.Cross(e2).Norm()
+	}
+	normal, inside := faceForward(outward, r.Dir)
+	return Hit{T: t, Point: r.At(t), Normal: normal, Inside: inside, U: u, V: v}, true
+}
+
+// Bounds implements Shape.
+func (tr *Triangle) Bounds() vm.AABB {
+	return vm.EmptyAABB().Extend(tr.P0).Extend(tr.P1).Extend(tr.P2).Pad(vm.Eps)
+}
+
+// Mesh is a bag of triangles intersected exhaustively. Meshes in the test
+// scenes are small; large meshes should be placed in the voxel grid,
+// which already distributes the triangles spatially.
+type Mesh struct {
+	Tris []*Triangle
+
+	bounds vm.AABB
+}
+
+// NewMesh returns a mesh over the given triangles.
+func NewMesh(tris []*Triangle) *Mesh {
+	m := &Mesh{Tris: tris, bounds: vm.EmptyAABB()}
+	for _, t := range tris {
+		m.bounds = m.bounds.Union(t.Bounds())
+	}
+	return m
+}
+
+// Intersect implements Shape.
+func (m *Mesh) Intersect(r vm.Ray, tMin, tMax float64) (Hit, bool) {
+	if _, hit := m.bounds.IntersectRay(r, tMin, tMax); !hit {
+		return Hit{}, false
+	}
+	best := Hit{T: math.Inf(1)}
+	found := false
+	for _, tr := range m.Tris {
+		if h, ok := tr.Intersect(r, tMin, tMax); ok && h.T < best.T {
+			best = h
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Bounds implements Shape.
+func (m *Mesh) Bounds() vm.AABB { return m.bounds }

@@ -1,0 +1,182 @@
+// Package imgdiff compares frames pixel-by-pixel and renders difference
+// masks, reproducing Figure 2 of the paper: (a) the actual pixel
+// differences between consecutive frames and (b) the differences as
+// predicted by the frame-coherence algorithm.
+package imgdiff
+
+import (
+	"fmt"
+	"math"
+
+	"nowrender/internal/fb"
+	vm "nowrender/internal/vecmath"
+)
+
+// Mask is a per-pixel boolean image.
+type Mask struct {
+	W, H int
+	Bits []bool
+}
+
+// NewMask returns an all-false mask.
+func NewMask(w, h int) *Mask {
+	return &Mask{W: w, H: h, Bits: make([]bool, w*h)}
+}
+
+// At reports the mask at (x, y).
+func (m *Mask) At(x, y int) bool { return m.Bits[y*m.W+x] }
+
+// Set sets the mask at (x, y).
+func (m *Mask) Set(x, y int, v bool) { m.Bits[y*m.W+x] = v }
+
+// Count returns the number of set pixels.
+func (m *Mask) Count() int {
+	n := 0
+	for _, b := range m.Bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Fraction returns the set fraction in [0,1].
+func (m *Mask) Fraction() float64 {
+	if len(m.Bits) == 0 {
+		return 0
+	}
+	return float64(m.Count()) / float64(len(m.Bits))
+}
+
+// Covers reports whether m is a superset of o (every set pixel of o is
+// set in m). Panics if dimensions differ.
+func (m *Mask) Covers(o *Mask) bool {
+	if m.W != o.W || m.H != o.H {
+		panic("imgdiff: mask dimensions differ")
+	}
+	for i, b := range o.Bits {
+		if b && !m.Bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Image renders the mask as a black/white framebuffer (white = set),
+// matching the presentation of Figure 2.
+func (m *Mask) Image() *fb.Framebuffer {
+	img := fb.New(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.At(x, y) {
+				img.SetRGB(x, y, 255, 255, 255)
+			}
+		}
+	}
+	return img
+}
+
+// Diff returns the actual pixel-difference mask between two frames
+// (Figure 2(a)). Frames must have equal dimensions.
+func Diff(a, b *fb.Framebuffer) (*Mask, error) {
+	if a.W != b.W || a.H != b.H {
+		return nil, fmt.Errorf("imgdiff: dimensions differ: %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	m := NewMask(a.W, a.H)
+	for y := 0; y < a.H; y++ {
+		for x := 0; x < a.W; x++ {
+			ar, ag, ab := a.At(x, y)
+			br, bg, bb := b.At(x, y)
+			if ar != br || ag != bg || ab != bb {
+				m.Set(x, y, true)
+			}
+		}
+	}
+	return m, nil
+}
+
+// MaskFromDirty converts a coherence engine dirty slice (region-local,
+// row-major) into a full-frame mask (Figure 2(b)).
+func MaskFromDirty(dirty []bool, region fb.Rect, w, h int) (*Mask, error) {
+	if len(dirty) != region.Area() {
+		return nil, fmt.Errorf("imgdiff: dirty slice has %d entries for region area %d", len(dirty), region.Area())
+	}
+	m := NewMask(w, h)
+	for i, d := range dirty {
+		if !d {
+			continue
+		}
+		x := region.X0 + i%region.W()
+		y := region.Y0 + i/region.W()
+		m.Set(x, y, true)
+	}
+	return m, nil
+}
+
+// Stats summarises a comparison between two frames.
+type Stats struct {
+	// Differing is the number of pixels with any channel difference.
+	Differing int
+	// MaxChannelDelta is the largest per-channel absolute difference.
+	MaxChannelDelta int
+	// MSE is the mean squared error over all channels (0-255 scale).
+	MSE float64
+	// PSNR in dB; +Inf for identical images.
+	PSNR float64
+}
+
+// Compare computes summary statistics for two equal-size frames.
+func Compare(a, b *fb.Framebuffer) (Stats, error) {
+	if a.W != b.W || a.H != b.H {
+		return Stats{}, fmt.Errorf("imgdiff: dimensions differ")
+	}
+	var st Stats
+	var sq float64
+	for i := 0; i+2 < len(a.Pix); i += 3 {
+		diff := false
+		for c := 0; c < 3; c++ {
+			d := int(a.Pix[i+c]) - int(b.Pix[i+c])
+			if d < 0 {
+				d = -d
+			}
+			if d > 0 {
+				diff = true
+			}
+			if d > st.MaxChannelDelta {
+				st.MaxChannelDelta = d
+			}
+			sq += float64(d) * float64(d)
+		}
+		if diff {
+			st.Differing++
+		}
+	}
+	n := float64(len(a.Pix))
+	if n > 0 {
+		st.MSE = sq / n
+	}
+	if st.MSE == 0 {
+		st.PSNR = math.Inf(1)
+	} else {
+		st.PSNR = 10 * math.Log10(255*255/st.MSE)
+	}
+	return st, nil
+}
+
+// Overlay renders frame a with differing pixels vs b highlighted in the
+// given colour — useful for eyeballing coherence mispredictions.
+func Overlay(a, b *fb.Framebuffer, highlight vm.Vec3) (*fb.Framebuffer, error) {
+	m, err := Diff(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := a.Clone()
+	for y := 0; y < a.H; y++ {
+		for x := 0; x < a.W; x++ {
+			if m.At(x, y) {
+				out.Set(x, y, highlight)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package imgdiff
+
+import (
+	"math"
+	"testing"
+
+	"nowrender/internal/fb"
+	vm "nowrender/internal/vecmath"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	a := fb.New(8, 8)
+	b := fb.New(8, 8)
+	m, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 0 || m.Fraction() != 0 {
+		t.Errorf("identical frames diff count %d", m.Count())
+	}
+}
+
+func TestDiffFindsChanges(t *testing.T) {
+	a := fb.New(8, 8)
+	b := a.Clone()
+	b.SetRGB(3, 4, 255, 0, 0)
+	b.SetRGB(7, 7, 0, 0, 1)
+	m, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Count() != 2 {
+		t.Errorf("diff count = %d, want 2", m.Count())
+	}
+	if !m.At(3, 4) || !m.At(7, 7) || m.At(0, 0) {
+		t.Error("diff mask positions wrong")
+	}
+}
+
+func TestDiffDimensionMismatch(t *testing.T) {
+	if _, err := Diff(fb.New(2, 2), fb.New(3, 2)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestMaskCovers(t *testing.T) {
+	super := NewMask(4, 4)
+	sub := NewMask(4, 4)
+	super.Set(1, 1, true)
+	super.Set(2, 2, true)
+	sub.Set(1, 1, true)
+	if !super.Covers(sub) {
+		t.Error("superset not detected")
+	}
+	if sub.Covers(super) {
+		t.Error("subset claimed to cover superset")
+	}
+	if !super.Covers(super) {
+		t.Error("mask must cover itself")
+	}
+}
+
+func TestMaskCoversPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for mismatched masks")
+		}
+	}()
+	NewMask(2, 2).Covers(NewMask(3, 3))
+}
+
+func TestMaskImage(t *testing.T) {
+	m := NewMask(3, 3)
+	m.Set(1, 2, true)
+	img := m.Image()
+	if r, g, b := img.At(1, 2); r != 255 || g != 255 || b != 255 {
+		t.Error("set pixel not white")
+	}
+	if r, _, _ := img.At(0, 0); r != 0 {
+		t.Error("unset pixel not black")
+	}
+}
+
+func TestMaskFromDirty(t *testing.T) {
+	region := fb.NewRect(2, 1, 5, 3) // 3x2 region
+	dirty := []bool{true, false, false, false, false, true}
+	m, err := MaskFromDirty(dirty, region, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.At(2, 1) {
+		t.Error("first dirty pixel not mapped to region origin")
+	}
+	if !m.At(4, 2) {
+		t.Error("last dirty pixel not mapped to region corner")
+	}
+	if m.Count() != 2 {
+		t.Errorf("mask count = %d", m.Count())
+	}
+	if _, err := MaskFromDirty([]bool{true}, region, 8, 8); err == nil {
+		t.Error("wrong dirty length accepted")
+	}
+}
+
+func TestCompareStats(t *testing.T) {
+	a := fb.New(2, 1)
+	b := fb.New(2, 1)
+	b.SetRGB(0, 0, 10, 0, 0)
+	st, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Differing != 1 || st.MaxChannelDelta != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MSE <= 0 || math.IsInf(st.PSNR, 1) {
+		t.Errorf("MSE/PSNR = %v/%v", st.MSE, st.PSNR)
+	}
+	ident, _ := Compare(a, a.Clone())
+	if !math.IsInf(ident.PSNR, 1) || ident.Differing != 0 {
+		t.Errorf("identical stats = %+v", ident)
+	}
+}
+
+func TestOverlay(t *testing.T) {
+	a := fb.New(4, 4)
+	b := a.Clone()
+	b.SetRGB(2, 2, 9, 9, 9)
+	out, err := Overlay(a, b, vm.V(1, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, g, bb := out.At(2, 2); r != 255 || g != 0 || bb != 255 {
+		t.Error("highlight not applied")
+	}
+	if r, _, _ := out.At(0, 0); r != 0 {
+		t.Error("unchanged pixel altered")
+	}
+}

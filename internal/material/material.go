@@ -1,0 +1,179 @@
+// Package material defines surface appearance: pigments (colour as a
+// function of position) and finishes (the Phong/Whitted reflectance
+// parameters). The shading model is the one the paper states in §3:
+//
+//	I = I_local + k_rg * I_reflected + k_tg * I_transmitted
+//
+// where I_local is ambient + diffuse + specular from direct illumination,
+// k_rg is the wavelength-independent reflectivity and k_tg the
+// transmission coefficient.
+package material
+
+import (
+	"math"
+
+	"nowrender/internal/geom"
+	vm "nowrender/internal/vecmath"
+)
+
+// Color is an RGB triple in [0,1] per channel (alias of Vec3 for clarity
+// at API boundaries).
+type Color = vm.Vec3
+
+// RGB constructs a colour.
+func RGB(r, g, b float64) Color { return vm.V(r, g, b) }
+
+// Common colours used by the scene builders and tests.
+var (
+	Black = RGB(0, 0, 0)
+	White = RGB(1, 1, 1)
+	Red   = RGB(1, 0, 0)
+	Green = RGB(0, 1, 0)
+	Blue  = RGB(0, 0, 1)
+)
+
+// Pigment maps a surface hit to a base colour. Procedural pigments use
+// the world-space point so that textures stay attached to world geometry
+// (POV-Ray default) — tests rely on this for the brick wall.
+type Pigment interface {
+	ColorAt(h geom.Hit) Color
+}
+
+// Solid is a uniform colour.
+type Solid struct{ C Color }
+
+// ColorAt implements Pigment.
+func (s Solid) ColorAt(geom.Hit) Color { return s.C }
+
+// Checker alternates two colours on a unit lattice in world space,
+// POV-Ray's `checker` pattern.
+type Checker struct {
+	A, B Color
+	// Size is the edge length of one tile; 0 means 1.
+	Size float64
+}
+
+// ColorAt implements Pigment.
+func (c Checker) ColorAt(h geom.Hit) Color {
+	size := c.Size
+	if size == 0 {
+		size = 1
+	}
+	p := h.Point.Scale(1 / size)
+	n := int(math.Floor(p.X)) + int(math.Floor(p.Y)) + int(math.Floor(p.Z))
+	if n&1 == 0 {
+		return c.A
+	}
+	return c.B
+}
+
+// Brick renders a running-bond brick pattern (POV-Ray's `brick`),
+// used by the glass-ball-in-brick-room scene of Figure 1.
+type Brick struct {
+	Mortar, Body Color
+	// BrickSize is the brick extent; zero value means POV default
+	// <8, 3, 4.5> scaled down to unit-ish scenes: <0.8, 0.25, 0.45>.
+	BrickSize vm.Vec3
+	// MortarWidth is the mortar thickness (default 0.05).
+	MortarWidth float64
+}
+
+// ColorAt implements Pigment.
+func (b Brick) ColorAt(h geom.Hit) Color {
+	size := b.BrickSize
+	if size == (vm.Vec3{}) {
+		size = vm.V(0.8, 0.25, 0.45)
+	}
+	mw := b.MortarWidth
+	if mw == 0 {
+		mw = 0.05
+	}
+	p := h.Point
+	// Which course (row) are we in?
+	row := math.Floor(p.Y / size.Y)
+	// Offset alternate courses by half a brick along the wall direction
+	// (running bond).
+	xo := p.X
+	zo := p.Z
+	if int(math.Abs(row))%2 == 1 {
+		xo += size.X / 2
+	}
+	fx := xo/size.X - math.Floor(xo/size.X)
+	fy := p.Y/size.Y - math.Floor(p.Y/size.Y)
+	fz := zo/size.Z - math.Floor(zo/size.Z)
+	mx := mw / size.X
+	my := mw / size.Y
+	mz := mw / size.Z
+	if fx < mx || fy < my || fz < mz {
+		return b.Mortar
+	}
+	return b.Body
+}
+
+// Gradient fades between two colours along an axis over [0, Length].
+type Gradient struct {
+	Axis   vm.Vec3
+	A, B   Color
+	Length float64
+}
+
+// ColorAt implements Pigment.
+func (g Gradient) ColorAt(h geom.Hit) Color {
+	l := g.Length
+	if l == 0 {
+		l = 1
+	}
+	t := h.Point.Dot(g.Axis.Norm()) / l
+	t -= math.Floor(t)
+	return g.A.Lerp(g.B, t)
+}
+
+// Finish carries the reflectance parameters. Zero value = matte black.
+type Finish struct {
+	// Ambient is the ambient reflection coefficient.
+	Ambient float64
+	// Diffuse is the Lambertian coefficient.
+	Diffuse float64
+	// Specular is the Phong specular coefficient, with Shininess the
+	// Phong exponent.
+	Specular  float64
+	Shininess float64
+	// Reflect is k_rg, the global reflection coefficient.
+	Reflect float64
+	// Transmit is k_tg, the transmission coefficient, with IOR the index
+	// of refraction used for Snell's law.
+	Transmit float64
+	IOR      float64
+}
+
+// DefaultFinish resembles POV-Ray's default: mostly diffuse.
+func DefaultFinish() Finish {
+	return Finish{Ambient: 0.1, Diffuse: 0.7, Specular: 0.2, Shininess: 40, IOR: 1.0}
+}
+
+// ChromeFinish is a highly reflective metal, as on the Newton marbles.
+func ChromeFinish() Finish {
+	return Finish{Ambient: 0.05, Diffuse: 0.15, Specular: 0.8, Shininess: 120, Reflect: 0.65, IOR: 1.0}
+}
+
+// GlassFinish transmits most light and reflects a little, as on the
+// bouncing glass ball.
+func GlassFinish() Finish {
+	return Finish{Ambient: 0.02, Diffuse: 0.05, Specular: 0.9, Shininess: 200, Reflect: 0.1, Transmit: 0.85, IOR: 1.5}
+}
+
+// Material pairs a pigment with a finish.
+type Material struct {
+	Pigment Pigment
+	Finish  Finish
+}
+
+// NewMaterial is a convenience constructor.
+func NewMaterial(p Pigment, f Finish) Material {
+	return Material{Pigment: p, Finish: f}
+}
+
+// Matte returns a plain diffuse material of colour c.
+func Matte(c Color) Material {
+	return Material{Pigment: Solid{C: c}, Finish: DefaultFinish()}
+}

@@ -1,0 +1,130 @@
+package material
+
+import (
+	"testing"
+
+	"nowrender/internal/geom"
+	vm "nowrender/internal/vecmath"
+)
+
+func hitAt(p vm.Vec3) geom.Hit { return geom.Hit{Point: p} }
+
+func TestSolid(t *testing.T) {
+	s := Solid{C: Red}
+	if got := s.ColorAt(hitAt(vm.V(1, 2, 3))); got != Red {
+		t.Errorf("solid = %v", got)
+	}
+}
+
+func TestCheckerAlternates(t *testing.T) {
+	c := Checker{A: White, B: Black}
+	if got := c.ColorAt(hitAt(vm.V(0.5, 0.5, 0.5))); got != White {
+		t.Errorf("cell (0,0,0) = %v, want A (even cell sum)", got)
+	}
+	// Adjacent cell flips.
+	a := c.ColorAt(hitAt(vm.V(0.5, 0.5, 0.5)))
+	b := c.ColorAt(hitAt(vm.V(1.5, 0.5, 0.5)))
+	if a == b {
+		t.Error("adjacent checker cells same colour")
+	}
+	// Diagonal neighbour (two steps) matches.
+	d := c.ColorAt(hitAt(vm.V(1.5, 1.5, 0.5)))
+	if a != d {
+		t.Error("diagonal checker cells differ")
+	}
+}
+
+func TestCheckerSize(t *testing.T) {
+	c := Checker{A: White, B: Black, Size: 2}
+	a := c.ColorAt(hitAt(vm.V(0.5, 0.5, 0.5)))
+	b := c.ColorAt(hitAt(vm.V(1.5, 0.5, 0.5))) // same 2-unit cell
+	if a != b {
+		t.Error("points in same sized cell differ")
+	}
+	d := c.ColorAt(hitAt(vm.V(2.5, 0.5, 0.5))) // next cell
+	if a == d {
+		t.Error("next sized cell did not flip")
+	}
+}
+
+func TestCheckerNegativeCoordinates(t *testing.T) {
+	c := Checker{A: White, B: Black}
+	// floor(-0.5) = -1, so cell sum flips relative to (0.5,...).
+	a := c.ColorAt(hitAt(vm.V(0.5, 0.5, 0.5)))
+	b := c.ColorAt(hitAt(vm.V(-0.5, 0.5, 0.5)))
+	if a == b {
+		t.Error("checker not alternating across zero")
+	}
+}
+
+func TestBrickMortarAndBody(t *testing.T) {
+	b := Brick{Mortar: White, Body: Red}
+	// Deep inside a brick body.
+	got := b.ColorAt(hitAt(vm.V(0.4, 0.125, 0.225)))
+	if got != Red {
+		t.Errorf("brick body = %v", got)
+	}
+	// On a mortar line (y just above a course boundary).
+	got = b.ColorAt(hitAt(vm.V(0.4, 0.01, 0.225)))
+	if got != White {
+		t.Errorf("mortar = %v", got)
+	}
+}
+
+func TestBrickRunningBond(t *testing.T) {
+	b := Brick{Mortar: White, Body: Red}
+	// The vertical mortar joint at x=0 exists in course 0; in course 1
+	// the joint is offset by half a brick, so the same x should be body.
+	inJoint := b.ColorAt(hitAt(vm.V(0.01, 0.125, 0.225)))
+	if inJoint != White {
+		t.Fatalf("expected mortar at vertical joint, got %v", inJoint)
+	}
+	nextCourse := b.ColorAt(hitAt(vm.V(0.01, 0.125+0.25, 0.225)))
+	if nextCourse != Red {
+		t.Errorf("running bond offset missing: got %v at offset course", nextCourse)
+	}
+}
+
+func TestGradient(t *testing.T) {
+	g := Gradient{Axis: vm.V(1, 0, 0), A: Black, B: White, Length: 10}
+	c0 := g.ColorAt(hitAt(vm.V(0, 0, 0)))
+	c5 := g.ColorAt(hitAt(vm.V(5, 0, 0)))
+	if c0 != Black {
+		t.Errorf("gradient at 0 = %v", c0)
+	}
+	if !c5.ApproxEq(vm.Splat(0.5), 1e-12) {
+		t.Errorf("gradient at mid = %v", c5)
+	}
+}
+
+func TestGradientWraps(t *testing.T) {
+	g := Gradient{Axis: vm.V(0, 1, 0), A: Black, B: White, Length: 1}
+	a := g.ColorAt(hitAt(vm.V(0, 0.25, 0)))
+	b := g.ColorAt(hitAt(vm.V(0, 1.25, 0)))
+	if !a.ApproxEq(b, 1e-12) {
+		t.Error("gradient should repeat with period Length")
+	}
+}
+
+func TestFinishPresets(t *testing.T) {
+	if f := DefaultFinish(); f.Diffuse <= 0 || f.Reflect != 0 || f.Transmit != 0 {
+		t.Errorf("default finish unexpected: %+v", f)
+	}
+	if f := ChromeFinish(); f.Reflect <= 0.3 {
+		t.Errorf("chrome should be strongly reflective: %+v", f)
+	}
+	g := GlassFinish()
+	if g.Transmit <= 0.5 || g.IOR <= 1 {
+		t.Errorf("glass should transmit with IOR > 1: %+v", g)
+	}
+}
+
+func TestMatte(t *testing.T) {
+	m := Matte(Green)
+	if m.Pigment.ColorAt(hitAt(vm.V(0, 0, 0))) != Green {
+		t.Error("matte pigment wrong")
+	}
+	if m.Finish.Reflect != 0 || m.Finish.Transmit != 0 {
+		t.Error("matte must not reflect or transmit")
+	}
+}

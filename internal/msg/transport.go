@@ -1,0 +1,344 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Message is a tagged payload, the unit of communication (PVM's
+// send-with-msgtag model).
+type Message struct {
+	// Tag identifies the message type; the farm defines its tag space.
+	Tag int
+	// From names the sender (filled in by the receiving side's hub when
+	// routing; point-to-point Conns leave it to senders).
+	From string
+	// Data is the packed payload.
+	Data []byte
+}
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("msg: connection closed")
+
+// Conn is a bidirectional, ordered, reliable message pipe between two
+// endpoints — the abstraction both the in-process and TCP transports
+// satisfy.
+type Conn interface {
+	// Send delivers m to the peer. Safe for concurrent use.
+	Send(m Message) error
+	// Recv blocks for the next message. Returns ErrClosed (possibly
+	// wrapped) after the peer closes.
+	Recv() (Message, error)
+	// Close releases the connection; pending Recv calls unblock.
+	Close() error
+}
+
+// pipeState is the shared shutdown state of a Pipe: closing either end
+// closes both, exactly once.
+type pipeState struct {
+	done chan struct{}
+	once sync.Once
+}
+
+func (p *pipeState) close() {
+	p.once.Do(func() { close(p.done) })
+}
+
+// chanConn is one end of an in-process pipe.
+type chanConn struct {
+	out   chan<- Message
+	in    <-chan Message
+	state *pipeState
+}
+
+// Pipe returns two connected in-process Conns, each with a buffered
+// queue of cap messages (0 means a reasonable default). This transport
+// backs the virtual NOW where "workstations" are goroutines.
+func Pipe(capacity int) (Conn, Conn) {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	ab := make(chan Message, capacity)
+	ba := make(chan Message, capacity)
+	st := &pipeState{done: make(chan struct{})}
+	a := &chanConn{out: ab, in: ba, state: st}
+	b := &chanConn{out: ba, in: ab, state: st}
+	return a, b
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(m Message) error {
+	select {
+	case <-c.state.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.state.done:
+		return ErrClosed
+	}
+}
+
+// Recv implements Conn.
+func (c *chanConn) Recv() (Message, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.state.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+// Close implements Conn. Closing either end closes both.
+func (c *chanConn) Close() error {
+	c.state.close()
+	return nil
+}
+
+// tcpConn frames messages over a net.Conn:
+// [4-byte big-endian total length][4-byte tag][4-byte fromLen][from][payload].
+type tcpConn struct {
+	nc      net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	maxSize uint32
+}
+
+// MaxMessageSize bounds a framed message (guards against corrupt
+// streams allocating unbounded memory). 64 MiB comfortably holds a full
+// 24-bit frame plus headers.
+const MaxMessageSize = 64 << 20
+
+// NewTCPConn wraps an established net.Conn in the message framing.
+func NewTCPConn(nc net.Conn) Conn {
+	return &tcpConn{nc: nc, maxSize: MaxMessageSize}
+}
+
+// Dial connects to a TCP worker/master at addr.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("msg: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(nc), nil
+}
+
+// Listener accepts framed-message connections.
+type Listener struct {
+	nl net.Listener
+}
+
+// Listen starts a TCP listener at addr (e.g. ":0" for an ephemeral
+// port).
+func Listen(addr string) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("msg: listen %s: %w", addr, err)
+	}
+	return &Listener{nl: nl}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.nl.Addr().String() }
+
+// Accept waits for the next connection.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(nc), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.nl.Close() }
+
+// Send implements Conn.
+func (c *tcpConn) Send(m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	from := []byte(m.From)
+	total := 4 + 4 + len(from) + len(m.Data)
+	if uint32(total) > c.maxSize {
+		return fmt.Errorf("msg: message of %d bytes exceeds limit", total)
+	}
+	hdr := make([]byte, 4+total)
+	binary.BigEndian.PutUint32(hdr[0:], uint32(total))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(m.Tag))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(from)))
+	copy(hdr[12:], from)
+	copy(hdr[12+len(from):], m.Data)
+	if _, err := c.nc.Write(hdr); err != nil {
+		return fmt.Errorf("msg: send: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() (Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(c.nc, lenBuf[:]); err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total < 8 || total > c.maxSize {
+		return Message{}, fmt.Errorf("msg: bad frame length %d", total)
+	}
+	body := make([]byte, total)
+	if _, err := io.ReadFull(c.nc, body); err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	tag := int(int32(binary.BigEndian.Uint32(body[0:])))
+	fromLen := binary.BigEndian.Uint32(body[4:])
+	if 8+fromLen > total {
+		return Message{}, fmt.Errorf("msg: bad from length %d", fromLen)
+	}
+	from := string(body[8 : 8+fromLen])
+	data := body[8+fromLen:]
+	return Message{Tag: tag, From: from, Data: data}, nil
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error { return c.nc.Close() }
+
+// TagDown is delivered by a Hub when a slave's connection fails: the
+// PVM host-failure notification (pvm_notify) the paper-era masters used
+// to survive workstation crashes. The Message carries the slave's name
+// in From and no payload.
+const TagDown = -0x7FFFFFFF
+
+// Hub multiplexes a master's connections to named slaves: sends are
+// routed by name and receives are merged into one stream, tagging each
+// message with the slave it came from (PVM's pvm_recv(-1, tag) "receive
+// from anyone"). A slave whose connection fails produces one TagDown
+// message.
+type Hub struct {
+	mu      sync.Mutex
+	conns   map[string]Conn
+	closing bool
+	inbox   chan Message
+	wg      sync.WaitGroup
+	errs    chan error
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{
+		conns: make(map[string]Conn),
+		inbox: make(chan Message, 256),
+		errs:  make(chan error, 16),
+	}
+}
+
+// Attach registers a slave connection under name and starts pumping its
+// messages into the shared inbox.
+func (h *Hub) Attach(name string, c Conn) error {
+	h.mu.Lock()
+	if _, dup := h.conns[name]; dup {
+		h.mu.Unlock()
+		return fmt.Errorf("msg: duplicate slave %q", name)
+	}
+	h.conns[name] = c
+	h.mu.Unlock()
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				select {
+				case h.errs <- err:
+				default:
+				}
+				// Notify the master unless the hub itself is closing.
+				h.mu.Lock()
+				closing := h.closing
+				h.mu.Unlock()
+				if !closing {
+					select {
+					case h.inbox <- Message{Tag: TagDown, From: name}:
+					default:
+					}
+				}
+				return
+			}
+			m.From = name
+			h.inbox <- m
+		}
+	}()
+	return nil
+}
+
+// Names returns the attached slave names.
+func (h *Hub) Names() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.conns))
+	for n := range h.conns {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Send routes a message to the named slave.
+func (h *Hub) Send(to string, m Message) error {
+	h.mu.Lock()
+	c, ok := h.conns[to]
+	h.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("msg: unknown slave %q", to)
+	}
+	return c.Send(m)
+}
+
+// Broadcast sends a message to every slave.
+func (h *Hub) Broadcast(m Message) error {
+	h.mu.Lock()
+	conns := make([]Conn, 0, len(h.conns))
+	for _, c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		if err := c.Send(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recv blocks for the next message from any slave.
+func (h *Hub) Recv() (Message, error) {
+	m, ok := <-h.inbox
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return m, nil
+}
+
+// Close closes every slave connection and the inbox.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	h.closing = true
+	for _, c := range h.conns {
+		c.Close()
+	}
+	h.mu.Unlock()
+	h.wg.Wait()
+	close(h.inbox)
+	return nil
+}

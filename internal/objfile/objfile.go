@@ -1,0 +1,163 @@
+// Package objfile loads triangle meshes from the Wavefront OBJ subset
+// that era-appropriate model archives used: vertices, optional vertex
+// normals, and polygonal faces (triangulated fan-wise). This gives the
+// renderer access to "large, complex animations" (§5) built from real
+// model files rather than hand-placed primitives.
+//
+// Supported directives: `v x y z`, `vn x y z`, `f i j k ...` with index
+// forms `v`, `v/vt`, `v//vn` and `v/vt/vn`, and negative (relative)
+// indices. Unknown directives are ignored, matching common practice.
+package objfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nowrender/internal/geom"
+	vm "nowrender/internal/vecmath"
+)
+
+// Parse reads an OBJ document into a mesh.
+func Parse(r io.Reader) (*geom.Mesh, error) {
+	var verts []vm.Vec3
+	var normals []vm.Vec3
+	var tris []*geom.Triangle
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "v":
+			p, err := parseVec(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("obj line %d: %w", lineNo, err)
+			}
+			verts = append(verts, p)
+		case "vn":
+			n, err := parseVec(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("obj line %d: %w", lineNo, err)
+			}
+			normals = append(normals, n)
+		case "f":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("obj line %d: face needs at least 3 vertices", lineNo)
+			}
+			type corner struct {
+				p vm.Vec3
+				n *vm.Vec3
+			}
+			corners := make([]corner, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				vi, ni, err := parseFaceIndex(f, len(verts), len(normals))
+				if err != nil {
+					return nil, fmt.Errorf("obj line %d: %w", lineNo, err)
+				}
+				c := corner{p: verts[vi]}
+				if ni >= 0 {
+					n := normals[ni]
+					c.n = &n
+				}
+				corners = append(corners, c)
+			}
+			// Fan triangulation.
+			for i := 1; i+1 < len(corners); i++ {
+				a, b, c := corners[0], corners[i], corners[i+1]
+				if a.n != nil && b.n != nil && c.n != nil {
+					tris = append(tris, geom.NewSmoothTriangle(a.p, b.p, c.p, *a.n, *b.n, *c.n))
+				} else {
+					tris = append(tris, geom.NewTriangle(a.p, b.p, c.p))
+				}
+			}
+		default:
+			// vt, g, o, s, usemtl, mtllib... intentionally ignored.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obj: %w", err)
+	}
+	if len(tris) == 0 {
+		return nil, fmt.Errorf("obj: no faces found (%d vertices)", len(verts))
+	}
+	return geom.NewMesh(tris), nil
+}
+
+// Load reads an OBJ file from disk.
+func Load(path string) (*geom.Mesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+func parseVec(fields []string) (vm.Vec3, error) {
+	if len(fields) < 3 {
+		return vm.Vec3{}, fmt.Errorf("need 3 coordinates, got %d", len(fields))
+	}
+	var out [3]float64
+	for i := 0; i < 3; i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return vm.Vec3{}, fmt.Errorf("bad coordinate %q", fields[i])
+		}
+		out[i] = v
+	}
+	return vm.V(out[0], out[1], out[2]), nil
+}
+
+// parseFaceIndex resolves one face corner ("7", "7/2", "7//3", "7/2/3",
+// "-1") to zero-based vertex and normal indices; ni is -1 when absent.
+func parseFaceIndex(s string, nVerts, nNormals int) (vi, ni int, err error) {
+	parts := strings.Split(s, "/")
+	vi, err = resolveIndex(parts[0], nVerts)
+	if err != nil {
+		return 0, 0, fmt.Errorf("vertex index %q: %w", s, err)
+	}
+	ni = -1
+	if len(parts) == 3 && parts[2] != "" {
+		ni, err = resolveIndex(parts[2], nNormals)
+		if err != nil {
+			return 0, 0, fmt.Errorf("normal index %q: %w", s, err)
+		}
+	}
+	return vi, ni, nil
+}
+
+func resolveIndex(s string, n int) (int, error) {
+	raw, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("not an integer")
+	}
+	switch {
+	case raw > 0:
+		if raw > n {
+			return 0, fmt.Errorf("index %d exceeds count %d", raw, n)
+		}
+		return raw - 1, nil
+	case raw < 0:
+		idx := n + raw
+		if idx < 0 {
+			return 0, fmt.Errorf("relative index %d out of range", raw)
+		}
+		return idx, nil
+	default:
+		return 0, fmt.Errorf("index 0 is invalid")
+	}
+}

@@ -1,0 +1,99 @@
+package partition
+
+import (
+	"fmt"
+
+	"nowrender/internal/fb"
+)
+
+// WeightedSequenceDivision is the refinement of sequence division the
+// paper lists as future work (§5, "refinement of adaptive partitioning
+// schemes"): when relative worker speeds are known in advance, the
+// initial whole-frame subsequences are sized proportionally to speed
+// instead of equally, so a 2x machine starts with 2x the frames. This
+// removes most of the initial imbalance that plain sequence division
+// corrects only later through adaptive subdivision (each subdivision
+// paying a cold first frame on the stolen range).
+type WeightedSequenceDivision struct {
+	// Speeds are the relative worker speeds, index-aligned with the
+	// farm's machine order. Extra workers beyond len(Speeds) get weight
+	// 1; an empty slice degenerates to plain sequence division.
+	Speeds []float64
+	// Adaptive enables subdivision of remaining frames, as in
+	// SequenceDivision.
+	Adaptive bool
+}
+
+// Name implements Scheme.
+func (s WeightedSequenceDivision) Name() string {
+	if s.Adaptive {
+		return "weighted seq div (adaptive)"
+	}
+	return "weighted seq div (static)"
+}
+
+// InitialTasks implements Scheme: contiguous whole-frame subsequences
+// sized proportionally to worker speed. Rounding remainders are handed
+// to the fastest workers.
+func (s WeightedSequenceDivision) InitialTasks(w, h, start, end, workers int) []Task {
+	n := end - start
+	if n <= 0 || workers < 1 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	weight := func(i int) float64 {
+		if i < len(s.Speeds) && s.Speeds[i] > 0 {
+			return s.Speeds[i]
+		}
+		return 1
+	}
+	var totalW float64
+	for i := 0; i < workers; i++ {
+		totalW += weight(i)
+	}
+	// Largest-remainder apportionment of n frames over the weights.
+	counts := make([]int, workers)
+	rema := make([]float64, workers)
+	assigned := 0
+	for i := 0; i < workers; i++ {
+		exact := float64(n) * weight(i) / totalW
+		counts[i] = int(exact)
+		rema[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < workers; i++ {
+			if rema[i] > rema[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rema[best] = -1
+		assigned++
+	}
+	full := fb.NewRect(0, 0, w, h)
+	tasks := make([]Task, 0, workers)
+	f := start
+	for i := 0; i < workers; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		tasks = append(tasks, Task{
+			ID: len(tasks), Region: full,
+			StartFrame: f, EndFrame: f + counts[i],
+		})
+		f += counts[i]
+	}
+	if f != end {
+		panic(fmt.Sprintf("partition: weighted apportionment covered [%d,%d), want end %d", start, f, end))
+	}
+	return tasks
+}
+
+// Subdivide implements Scheme identically to SequenceDivision.
+func (s WeightedSequenceDivision) Subdivide(t Task) (Task, Task, bool) {
+	return SequenceDivision{Adaptive: s.Adaptive}.Subdivide(t)
+}

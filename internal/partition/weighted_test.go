@@ -1,0 +1,87 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedSequenceProportional(t *testing.T) {
+	// The paper's testbed: speeds 2:1:1 over 45 frames.
+	s := WeightedSequenceDivision{Speeds: []float64{2, 1, 1}, Adaptive: true}
+	tasks := s.InitialTasks(240, 320, 0, 45, 3)
+	if len(tasks) != 3 {
+		t.Fatalf("%d tasks", len(tasks))
+	}
+	// Fast machine gets ~22-23 frames, slow ones ~11 each.
+	if tasks[0].Frames() < 22 || tasks[0].Frames() > 23 {
+		t.Errorf("fast task has %d frames, want ~22", tasks[0].Frames())
+	}
+	if tasks[1].Frames() < 11 || tasks[1].Frames() > 12 {
+		t.Errorf("slow task has %d frames", tasks[1].Frames())
+	}
+	if err := ValidateTiling(tasks, 240, 320, 0, 45); err != nil {
+		t.Error(err)
+	}
+	// Subsequences stay contiguous for coherence.
+	for i := 1; i < len(tasks); i++ {
+		if tasks[i].StartFrame != tasks[i-1].EndFrame {
+			t.Error("subsequences not contiguous")
+		}
+	}
+}
+
+func TestWeightedDefaultsToUniform(t *testing.T) {
+	s := WeightedSequenceDivision{}
+	u := SequenceDivision{}
+	a := s.InitialTasks(10, 10, 0, 12, 3)
+	b := u.InitialTasks(10, 10, 0, 12, 3)
+	if len(a) != len(b) {
+		t.Fatalf("task counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Frames() != b[i].Frames() {
+			t.Errorf("task %d: %d vs %d frames", i, a[i].Frames(), b[i].Frames())
+		}
+	}
+}
+
+func TestWeightedZeroAndMissingSpeeds(t *testing.T) {
+	// Zero/absent speeds are treated as 1.
+	s := WeightedSequenceDivision{Speeds: []float64{4, 0}}
+	tasks := s.InitialTasks(8, 8, 0, 10, 3)
+	if err := ValidateTiling(tasks, 8, 8, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Weights 4,1,1: fast gets ~6-7 frames.
+	if tasks[0].Frames() < 6 {
+		t.Errorf("fast task frames = %d", tasks[0].Frames())
+	}
+}
+
+func TestWeightedSubdivide(t *testing.T) {
+	s := WeightedSequenceDivision{Speeds: []float64{2, 1}, Adaptive: true}
+	task := s.InitialTasks(8, 8, 0, 12, 2)[0]
+	keep, give, ok := s.Subdivide(task)
+	if !ok || keep.Frames()+give.Frames() != task.Frames() {
+		t.Errorf("subdivide: %v | %v ok=%v", keep, give, ok)
+	}
+	static := WeightedSequenceDivision{Speeds: []float64{2, 1}}
+	if _, _, ok := static.Subdivide(task); ok {
+		t.Error("static weighted scheme subdivided")
+	}
+}
+
+// Property: any speed mix tiles exactly.
+func TestQuickWeightedTiles(t *testing.T) {
+	f := func(s0, s1, s2 uint8, frames8, workers8 uint8) bool {
+		speeds := []float64{float64(s0%8) + 0.5, float64(s1%8) + 0.5, float64(s2%8) + 0.5}
+		frames := int(frames8%40) + 1
+		workers := int(workers8%5) + 1
+		s := WeightedSequenceDivision{Speeds: speeds, Adaptive: true}
+		tasks := s.InitialTasks(16, 16, 0, frames, workers)
+		return ValidateTiling(tasks, 16, 16, 0, frames) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

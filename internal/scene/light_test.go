@@ -1,0 +1,92 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	vm "nowrender/internal/vecmath"
+)
+
+func TestSpotlightCone(t *testing.T) {
+	l := &Light{
+		Pos: vm.V(0, 10, 0),
+		Spot: &Spotlight{
+			PointAt: vm.V(0, 0, 0), Radius: 10, Falloff: 20,
+		},
+	}
+	// Directly below: full intensity.
+	if got := l.Attenuation(l.Pos, vm.V(0, 0, 0)); got != 1 {
+		t.Errorf("on-axis attenuation = %v", got)
+	}
+	// Inside the inner cone (about 5.7 degrees off axis).
+	if got := l.Attenuation(l.Pos, vm.V(1, 0, 0)); got != 1 {
+		t.Errorf("inner-cone attenuation = %v", got)
+	}
+	// Between radius and falloff (about 15 degrees): partial.
+	mid := l.Attenuation(l.Pos, vm.V(math.Tan(vm.Radians(15))*10, 0, 0))
+	if mid <= 0 || mid >= 1 {
+		t.Errorf("penumbra attenuation = %v, want in (0,1)", mid)
+	}
+	// Far outside: zero.
+	if got := l.Attenuation(l.Pos, vm.V(10, 0, 0)); got != 0 {
+		t.Errorf("outside-cone attenuation = %v", got)
+	}
+}
+
+func TestSpotlightPenumbraMonotone(t *testing.T) {
+	l := &Light{
+		Pos:  vm.V(0, 10, 0),
+		Spot: &Spotlight{PointAt: vm.V(0, 0, 0), Radius: 5, Falloff: 30},
+	}
+	prev := 1.1
+	for deg := 0.0; deg <= 35; deg += 2.5 {
+		x := math.Tan(vm.Radians(deg)) * 10
+		a := l.Attenuation(l.Pos, vm.V(x, 0, 0))
+		if a > prev+1e-12 {
+			t.Fatalf("attenuation increased at %v degrees: %v -> %v", deg, prev, a)
+		}
+		prev = a
+	}
+}
+
+func TestFadeDistance(t *testing.T) {
+	l := &Light{Pos: vm.V(0, 0, 0), FadeDistance: 5, FadePower: 2}
+	// At the fade distance: 2/(1+1) = 1.
+	if got := l.Attenuation(l.Pos, vm.V(5, 0, 0)); math.Abs(got-1) > 1e-12 {
+		t.Errorf("attenuation at fade distance = %v, want 1", got)
+	}
+	// Nearer: clamped to 1.
+	if got := l.Attenuation(l.Pos, vm.V(1, 0, 0)); got != 1 {
+		t.Errorf("near attenuation = %v, want 1 (clamped)", got)
+	}
+	// At 2x the fade distance: 2/(1+4) = 0.4.
+	if got := l.Attenuation(l.Pos, vm.V(10, 0, 0)); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("far attenuation = %v, want 0.4", got)
+	}
+}
+
+func TestFadeDefaultPower(t *testing.T) {
+	l := &Light{Pos: vm.V(0, 0, 0), FadeDistance: 5}
+	if got := l.Attenuation(l.Pos, vm.V(10, 0, 0)); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("default power attenuation = %v, want 0.4 (power 2)", got)
+	}
+}
+
+func TestPlainLightNoAttenuation(t *testing.T) {
+	l := &Light{Pos: vm.V(0, 0, 0)}
+	if got := l.Attenuation(l.Pos, vm.V(100, 0, 0)); got != 1 {
+		t.Errorf("plain light attenuation = %v", got)
+	}
+}
+
+func TestSpotAndFadeCompose(t *testing.T) {
+	l := &Light{
+		Pos:          vm.V(0, 10, 0),
+		Spot:         &Spotlight{PointAt: vm.V(0, 0, 0), Radius: 45, Falloff: 60},
+		FadeDistance: 5, FadePower: 2,
+	}
+	// On axis at distance 10: spot full, fade = 0.4.
+	if got := l.Attenuation(l.Pos, vm.V(0, 0, 0)); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("composed attenuation = %v, want 0.4", got)
+	}
+}

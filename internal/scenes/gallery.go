@@ -1,0 +1,121 @@
+package scenes
+
+import (
+	"fmt"
+	"math"
+
+	"nowrender/internal/geom"
+	"nowrender/internal/material"
+	"nowrender/internal/scene"
+	vm "nowrender/internal/vecmath"
+)
+
+// GalleryFrames is the default length of the gallery animation.
+const GalleryFrames = 60
+
+// Gallery builds the "large, complex animation" of the paper's §5
+// future-work direction: a museum room with pedestals exhibiting every
+// primitive the renderer supports (spheres, boxes, cylinders, cones,
+// discs, a triangle-mesh pyramid), two independently moving objects, and
+// a camera that cuts from a wide shot to a close-up halfway through —
+// exercising the sequence splitter, all intersection routines and the
+// coherence engine at once.
+func Gallery(frames int) *scene.Scene {
+	if frames <= 0 {
+		frames = GalleryFrames
+	}
+	s := scene.New("gallery")
+	s.Frames = frames
+	s.Background = material.RGB(0.03, 0.03, 0.06)
+	s.MaxDepth = 5
+	s.AddLight("ceiling", vm.V(0, 9, 2), material.RGB(1, 0.98, 0.92))
+	s.AddLight("accent", vm.V(-6, 4, 8), material.RGB(0.25, 0.28, 0.35))
+
+	// Wide shot for the first half, close-up on the exhibits after the
+	// cut.
+	wide := scene.Camera{Pos: vm.V(0, 4, 14), LookAt: vm.V(0, 1.5, 0), Up: vm.V(0, 1, 0), FOV: 58}
+	closeUp := scene.Camera{Pos: vm.V(3, 2.2, 6), LookAt: vm.V(0.5, 1.3, -1), Up: vm.V(0, 1, 0), FOV: 42}
+	cut := frames / 2
+	s.CamTrack = scene.CameraFunc(func(f int) scene.Camera {
+		if f < cut {
+			return wide
+		}
+		return closeUp
+	})
+
+	// Room: checkered floor and two brick walls.
+	floorMat := material.NewMaterial(
+		material.Checker{A: material.RGB(0.8, 0.78, 0.72), B: material.RGB(0.2, 0.2, 0.24), Size: 1.5},
+		material.Finish{Ambient: 0.1, Diffuse: 0.7, Specular: 0.1, Shininess: 20, Reflect: 0.06, IOR: 1},
+	)
+	brickMat := material.NewMaterial(
+		material.Brick{Mortar: material.RGB(0.7, 0.68, 0.65), Body: material.RGB(0.5, 0.22, 0.15),
+			BrickSize: vm.V(1.1, 0.35, 0.6), MortarWidth: 0.05},
+		material.Finish{Ambient: 0.12, Diffuse: 0.8, Specular: 0.05, Shininess: 8, IOR: 1},
+	)
+	s.Add("floor", geom.NewPlane(vm.V(0, 1, 0), 0), floorMat, nil)
+	s.Add("wall-back", geom.NewPlane(vm.V(0, 0, 1), -6), brickMat, nil)
+	s.Add("wall-left", geom.NewPlane(vm.V(1, 0, 0), -9), brickMat, nil)
+
+	stone := material.NewMaterial(material.Solid{C: material.RGB(0.6, 0.6, 0.62)},
+		material.Finish{Ambient: 0.12, Diffuse: 0.75, Specular: 0.12, Shininess: 25, IOR: 1})
+	chrome := material.NewMaterial(material.Solid{C: material.RGB(0.9, 0.92, 0.95)}, material.ChromeFinish())
+	glass := material.NewMaterial(material.Solid{C: material.RGB(0.97, 0.99, 1)}, material.GlassFinish())
+	gold := material.NewMaterial(material.Solid{C: material.RGB(0.95, 0.78, 0.3)},
+		material.Finish{Ambient: 0.08, Diffuse: 0.35, Specular: 0.7, Shininess: 90, Reflect: 0.35, IOR: 1})
+	jade := material.NewMaterial(
+		material.Gradient{Axis: vm.V(0, 1, 0), A: material.RGB(0.1, 0.45, 0.25), B: material.RGB(0.3, 0.7, 0.45), Length: 1.2},
+		material.Finish{Ambient: 0.1, Diffuse: 0.65, Specular: 0.35, Shininess: 55, Reflect: 0.08, IOR: 1})
+
+	// Pedestals in a row, each with an exhibit.
+	pedestal := func(i int, x, z float64) {
+		s.Add(fmt.Sprintf("pedestal%d", i),
+			geom.NewBox(vm.V(x-0.5, 0, z-0.5), vm.V(x+0.5, 1, z+0.5)), stone, nil)
+	}
+	pedestal(0, -4, -2)
+	pedestal(1, -1.5, -2.5)
+	pedestal(2, 1, -2.5)
+	pedestal(3, 3.5, -2)
+
+	// Exhibit 0: chrome sphere.
+	s.Add("exhibit-sphere", geom.NewSphere(vm.V(-4, 1.45, -2), 0.45), chrome, nil)
+	// Exhibit 1: golden cone.
+	s.Add("exhibit-cone", geom.NewCone(vm.V(-1.5, 1, -2.5), 0.42, vm.V(-1.5, 2, -2.5), 0.05), gold, nil)
+	// Exhibit 2: jade mesh pyramid (4 triangles + base handled by the
+	// pedestal top).
+	apex := vm.V(1, 1.95, -2.5)
+	b0 := vm.V(0.6, 1, -2.9)
+	b1 := vm.V(1.4, 1, -2.9)
+	b2 := vm.V(1.4, 1, -2.1)
+	b3 := vm.V(0.6, 1, -2.1)
+	s.Add("exhibit-pyramid", geom.NewMesh([]*geom.Triangle{
+		geom.NewTriangle(b0, b1, apex),
+		geom.NewTriangle(b1, b2, apex),
+		geom.NewTriangle(b2, b3, apex),
+		geom.NewTriangle(b3, b0, apex),
+	}), jade, nil)
+	// Exhibit 3: glass cylinder with a disc lid.
+	s.Add("exhibit-column", geom.NewCylinder(vm.V(3.5, 1, -2), vm.V(3.5, 1.9, -2), 0.35), glass, nil)
+	s.Add("exhibit-lid", geom.NewDisc(vm.V(3.5, 1.92, -2), vm.V(0, 1, 0), 0.4), gold, nil)
+
+	// Exhibit 4: a golden ring (torus) floating above the last pedestal,
+	// stood upright via a transform — exercising the quartic path.
+	ringXf := vm.NewTransform(vm.Translate(3.5, 2.8, -2).MulM(vm.RotateX(math.Pi / 2)))
+	s.Add("exhibit-ring", geom.NewTransformed(geom.NewTorus(0.45, 0.12), ringXf), gold, nil)
+
+	// Moving piece 1: a glass ball orbiting the centre pedestal group.
+	s.Add("orbiter", geom.NewSphere(vm.V(0, 0, 0), 0.35), glass,
+		scene.FuncTrack{F: func(f int) vm.Transform {
+			ang := 2 * math.Pi * float64(f) / float64(frames)
+			p := vm.V(2.6*math.Cos(ang), 1.6+0.3*math.Sin(2*ang), -1.2+1.4*math.Sin(ang))
+			return vm.NewTransform(vm.TranslateV(p))
+		}})
+	// Moving piece 2: a golden marble bouncing near the right wall.
+	s.Add("bouncer", geom.NewSphere(vm.V(0, 0, 0), 0.25), gold,
+		scene.FuncTrack{F: func(f int) vm.Transform {
+			t := float64(f) / float64(max(frames-1, 1))
+			y := 0.25 + 2.2*4*t*(1-t)
+			return vm.NewTransform(vm.Translate(5.5-2*t, y, 1+1.5*t))
+		}})
+	return s
+}

@@ -1,0 +1,226 @@
+package scenes
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/geom"
+	"nowrender/internal/trace"
+	vm "nowrender/internal/vecmath"
+)
+
+func TestNewtonInventoryMatchesPaper(t *testing.T) {
+	s := Newton(0)
+	if s.Frames != 45 {
+		t.Errorf("frames = %d, want the paper's 45", s.Frames)
+	}
+	if s.MaxDepth != 5 {
+		t.Errorf("max depth = %d, want the paper's 5", s.MaxDepth)
+	}
+	var planes, spheres, cylinders int
+	for _, o := range s.Objects {
+		switch o.Shape.(type) {
+		case *geom.Plane:
+			planes++
+		case *geom.Sphere:
+			spheres++
+		case *geom.Cylinder:
+			cylinders++
+		default:
+			t.Errorf("unexpected primitive %T in Newton scene", o.Shape)
+		}
+	}
+	// "consisting of one plane, five spheres, and sixteen cylinders" (§4)
+	if planes != 1 || spheres != 5 || cylinders != 16 {
+		t.Errorf("inventory = %d planes, %d spheres, %d cylinders; want 1/5/16",
+			planes, spheres, cylinders)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewtonOnlyEndMarblesMove(t *testing.T) {
+	s := Newton(45)
+	for _, o := range s.Objects {
+		isEnd := strings.HasPrefix(o.Name, "marbleA") || strings.HasPrefix(o.Name, "marbleE") ||
+			strings.HasPrefix(o.Name, "stringA") || strings.HasPrefix(o.Name, "stringE")
+		moved := false
+		for f := 0; f < 44 && !moved; f++ {
+			moved = o.MovedBetween(f, f+1)
+		}
+		if isEnd && !moved {
+			t.Errorf("%s never moves", o.Name)
+		}
+		if !isEnd && moved {
+			t.Errorf("%s moved but should be static", o.Name)
+		}
+	}
+}
+
+func TestCradleAngleAlternates(t *testing.T) {
+	// At frame 0 the left marble is raised, the right at rest.
+	l, r := CradleAngle(0, 45)
+	if l <= 0 || r != 0 {
+		t.Errorf("frame 0: left=%v right=%v", l, r)
+	}
+	// Half a period later the right marble is out.
+	l, r = CradleAngle(15, 45)
+	if r <= 0 || l != 0 {
+		t.Errorf("frame 15: left=%v right=%v", l, r)
+	}
+	// Never both out at once; angles bounded by the maximum swing.
+	for f := 0; f < 45; f++ {
+		l, r := CradleAngle(f, 45)
+		if l != 0 && r != 0 {
+			t.Errorf("frame %d: both marbles out (%v, %v)", f, l, r)
+		}
+		if l < 0 || r < 0 || l > swingMax+1e-9 || r > swingMax+1e-9 {
+			t.Errorf("frame %d: angle out of range (%v, %v)", f, l, r)
+		}
+	}
+}
+
+func TestNewtonSwingPreservesStringAttachment(t *testing.T) {
+	// The swinging marble must stay at string-length distance from its
+	// anchor in every frame.
+	s := Newton(45)
+	var marble *geom.Sphere
+	var track vm.Transform
+	for _, o := range s.Objects {
+		if o.Name == "marbleA" {
+			marble = o.Shape.(*geom.Sphere)
+			for f := 0; f < 45; f += 7 {
+				track = o.Track.At(f)
+				center := track.Fwd.MulPoint(marble.Center)
+				anchor := vm.V(marble.Center.X, anchorY, 0)
+				dist := center.Dist(anchor)
+				restDist := marble.Center.Dist(anchor)
+				if math.Abs(dist-restDist) > 1e-9 {
+					t.Errorf("frame %d: marble-anchor distance %v, want %v", f, dist, restDist)
+				}
+			}
+		}
+	}
+	if marble == nil {
+		t.Fatal("marbleA not found")
+	}
+}
+
+func TestBouncingScene(t *testing.T) {
+	s := Bouncing(0)
+	if s.Frames != BouncingFrames {
+		t.Errorf("frames = %d", s.Frames)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The ball moves every frame; walls never do.
+	for _, o := range s.Objects {
+		moved := o.MovedBetween(3, 4)
+		if o.Name == "ball" && !moved {
+			t.Error("ball did not move")
+		}
+		if o.Name != "ball" && moved {
+			t.Errorf("%s moved", o.Name)
+		}
+	}
+}
+
+func TestBouncePositionStaysInRoom(t *testing.T) {
+	const frames = 30
+	for f := 0; f < frames; f++ {
+		p := BouncePosition(f, frames)
+		if p.Y < 0.79 {
+			t.Errorf("frame %d: ball below floor (y=%v)", f, p.Y)
+		}
+		if p.Y > 8-0.79 {
+			t.Errorf("frame %d: ball above ceiling (y=%v)", f, p.Y)
+		}
+		if math.Abs(p.X) > 6-0.79 || p.Z < -4+0.79 {
+			t.Errorf("frame %d: ball outside walls %v", f, p)
+		}
+	}
+	// The ball touches down (y near floor contact) between bounces.
+	minY := math.Inf(1)
+	for f := 0; f < frames; f++ {
+		if y := BouncePosition(f, frames).Y; y < minY {
+			minY = y
+		}
+	}
+	if minY > 1.2 {
+		t.Errorf("ball never approaches the floor: min y = %v", minY)
+	}
+}
+
+func TestScenesRenderSmoke(t *testing.T) {
+	for name, build := range map[string]func() *fb.Framebuffer{
+		"newton": func() *fb.Framebuffer {
+			ft, err := trace.New(Newton(45), 22, trace.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			img := fb.New(48, 36)
+			ft.RenderFull(img)
+			return img
+		},
+		"bouncing": func() *fb.Framebuffer {
+			ft, err := trace.New(Bouncing(30), 0, trace.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			img := fb.New(48, 36)
+			ft.RenderFull(img)
+			return img
+		},
+		"quickstart": func() *fb.Framebuffer {
+			ft, err := trace.New(Quickstart(), 0, trace.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			img := fb.New(48, 36)
+			ft.RenderFull(img)
+			return img
+		},
+	} {
+		img := build()
+		// Images must have non-trivial content: more than 32 distinct
+		// colours.
+		colors := make(map[[3]byte]bool)
+		for y := 0; y < img.H; y++ {
+			for x := 0; x < img.W; x++ {
+				r, g, b := img.At(x, y)
+				colors[[3]byte{r, g, b}] = true
+			}
+		}
+		if len(colors) < 32 {
+			t.Errorf("%s: only %d distinct colours; scene probably broken", name, len(colors))
+		}
+	}
+}
+
+func TestNewtonCoherenceFriendly(t *testing.T) {
+	// The Newton scene's whole point: most of the image is static. Check
+	// that consecutive fully-rendered frames differ in a minority of
+	// pixels.
+	s := Newton(45)
+	render := func(f int) *fb.Framebuffer {
+		ft, err := trace.New(s, f, trace.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		img := fb.New(60, 45)
+		ft.RenderFull(img)
+		return img
+	}
+	a, b := render(5), render(6)
+	diff := a.DiffCount(b)
+	if diff == 0 {
+		t.Error("consecutive frames identical; animation broken")
+	}
+	if frac := float64(diff) / float64(60*45); frac > 0.5 {
+		t.Errorf("%.0f%% of pixels change per frame; coherence would be useless", frac*100)
+	}
+}

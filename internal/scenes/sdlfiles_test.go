@@ -1,0 +1,75 @@
+package scenes
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/trace"
+)
+
+// The sample .sdl files shipped in the repository's scenes/ directory
+// must parse and render.
+func TestShippedSDLFiles(t *testing.T) {
+	dir := "../../scenes"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("scenes directory missing: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".sdl" {
+			continue
+		}
+		found++
+		path := filepath.Join(dir, e.Name())
+		sc, err := FromSpec(path)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		ft, err := trace.New(sc, 0, trace.Options{})
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		img := fb.New(32, 24)
+		ft.RenderFull(img)
+		bg := fb.New(32, 24)
+		bg.Fill(sc.Background)
+		if img.Equal(bg) {
+			t.Errorf("%s renders pure background", e.Name())
+		}
+	}
+	if found < 2 {
+		t.Errorf("only %d sample scenes found", found)
+	}
+}
+
+func TestSpecPayloadRoundTrip(t *testing.T) {
+	for _, spec := range []string{"newton:5", "gallery:8", "../../scenes/orrery.sdl"} {
+		kind, data, err := SpecPayload(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		sc, err := FromPayload(kind, data)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		ref, err := FromSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Frames != ref.Frames || len(sc.Objects) != len(ref.Objects) {
+			t.Errorf("%s: payload scene differs (%d/%d frames, %d/%d objects)",
+				spec, sc.Frames, ref.Frames, len(sc.Objects), len(ref.Objects))
+		}
+	}
+	if _, _, err := SpecPayload("/nonexistent/x.sdl"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := FromPayload("weird", "x"); err == nil {
+		t.Error("unknown payload kind accepted")
+	}
+}

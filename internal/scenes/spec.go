@@ -1,0 +1,77 @@
+package scenes
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"nowrender/internal/scene"
+	"nowrender/internal/sdl"
+)
+
+// FromSpec resolves a scene specification used by the command-line
+// tools:
+//
+//	"newton"        the paper's Newton-cradle animation (45 frames)
+//	"newton:60"     same with a custom frame count
+//	"bouncing[:N]"  the glass-ball-in-brick-room animation
+//	"gallery[:N]"   the complex museum animation with a camera cut
+//	"quickstart"    a single-frame demo scene
+//	anything else   path to a .sdl scene file
+func FromSpec(spec string) (*scene.Scene, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	frames := 0
+	if arg != "" {
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("scenes: bad frame count %q in spec %q", arg, spec)
+		}
+		frames = n
+	}
+	switch name {
+	case "newton":
+		return Newton(frames), nil
+	case "bouncing":
+		return Bouncing(frames), nil
+	case "gallery":
+		return Gallery(frames), nil
+	case "quickstart":
+		return Quickstart(), nil
+	default:
+		src, err := os.ReadFile(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenes: spec %q is not a builtin and not readable: %w", spec, err)
+		}
+		return sdl.Parse(spec, string(src))
+	}
+}
+
+// SpecPayload returns the portable form of a spec for shipping to remote
+// workers: builtin specs pass through, file specs are inlined as SDL
+// source. kind is "builtin" or "sdl".
+func SpecPayload(spec string) (kind, data string, err error) {
+	name, _, _ := strings.Cut(spec, ":")
+	switch name {
+	case "newton", "bouncing", "gallery", "quickstart":
+		return "builtin", spec, nil
+	default:
+		src, err := os.ReadFile(spec)
+		if err != nil {
+			return "", "", fmt.Errorf("scenes: cannot read scene file %q: %w", spec, err)
+		}
+		return "sdl", string(src), nil
+	}
+}
+
+// FromPayload reconstructs a scene on the worker side.
+func FromPayload(kind, data string) (*scene.Scene, error) {
+	switch kind {
+	case "builtin":
+		return FromSpec(data)
+	case "sdl":
+		return sdl.Parse("remote", data)
+	default:
+		return nil, fmt.Errorf("scenes: unknown payload kind %q", kind)
+	}
+}

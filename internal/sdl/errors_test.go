@@ -1,0 +1,99 @@
+package sdl
+
+import "testing"
+
+// Exhaustive malformed-input sweep: every statement type with a broken
+// body must produce an error, never a panic or silent acceptance.
+func TestParserErrorSweep(t *testing.T) {
+	cases := []string{
+		// global_settings
+		`global_settings`,
+		`global_settings { max_depth }`,
+		`global_settings { frames <1,2,3> }`,
+		`global_settings { ambient 1 }`,
+		// background
+		`background { }`,
+		`background { color }`,
+		`background { color rgb 1 }`,
+		`background { color rgb <1,1,1>`,
+		// camera
+		`camera { location }`,
+		`camera { zoom 2 }`,
+		`camera { fov <1,2,3> }`,
+		// light
+		`light_source { }`,
+		`light_source { <0,0,0> intensity 5 }`,
+		`light_source { <0,0,0> color rgb <1,1,1> point_at <0,0,0> }`,
+		`light_source { <0,0,0> spotlight radius 30 falloff 10 }`,
+		`light_source { <0,0,0> fade_distance }`,
+		// sphere and friends
+		`sphere`,
+		`sphere {`,
+		`sphere { 1, <0,0,0> }`,
+		`sphere { <0,0,0> 1`,
+		`box { <0,0,0> }`,
+		`cylinder { <0,0,0>, <0,1,0> }`,
+		`cone { <0,0,0>, 1, <0,1,0> }`,
+		`torus { 1 }`,
+		`torus { <1,1,1>, 1 }`,
+		`disc { <0,0,0>, <0,1,0> }`,
+		`triangle { <0,0,0>, <1,0,0> }`,
+		// modifiers
+		`sphere { <0,0,0>, 1 pigment }`,
+		`sphere { <0,0,0>, 1 pigment { } }`,
+		`sphere { <0,0,0>, 1 pigment { color } }`,
+		`sphere { <0,0,0>, 1 pigment { checker rgb <1,1,1> } }`,
+		`sphere { <0,0,0>, 1 pigment { gradient <0,1,0> rgb <0,0,0> } }`,
+		`sphere { <0,0,0>, 1 finish { ambient } }`,
+		`sphere { <0,0,0>, 1 finish { ambient x } }`,
+		`sphere { <0,0,0>, 1 animate { frame 1 <0,0,0> } }`,
+		`sphere { <0,0,0>, 1 animate { keyframe <0,0,0> } }`,
+		`sphere { <0,0,0>, 1 name ball }`,
+		`sphere { <0,0,0>, 1 translate }`,
+		`sphere { <0,0,0>, 1 rotate 90 }`,
+		`sphere { <0,0,0>, 1 scale }`,
+		`sphere { <0,0,0>, 1 texture { } }`,
+		// declare
+		`#declare`,
+		`#declare X`,
+		`#declare X =`,
+		`#declare X = "string"`,
+		`#declare 5 = 1`,
+		// vectors/numbers
+		`sphere { <1,2,3, 1 }`,
+		`sphere { <1,2,>, 1 }`,
+		// top-level garbage
+		`{`,
+		`>`,
+		`= 5`,
+		`"stray string"`,
+		`sphere { <0,0,0>, 1 } trailing`,
+	}
+	for _, src := range cases {
+		if _, err := Parse("sweep", src); err == nil {
+			t.Errorf("accepted malformed input: %q", src)
+		}
+	}
+}
+
+// Valid inputs near the error cases must still parse.
+func TestParserAcceptanceSweep(t *testing.T) {
+	cases := []string{
+		`sphere { <0,0,0>, 1 }`,
+		`sphere { <0,0,0> 1 }`,  // commas between arguments optional
+		`sphere { <1 2 3>, 1 }`, // commas inside vectors optional too
+		`light_source { <0,0,0> }`,
+		`light_source { <0,0,0> spotlight point_at <1,0,0> radius 10 falloff 20 }`,
+		`light_source { <0,0,0> fade_distance 5 fade_power 1 }`,
+		`global_settings { max_depth 3 }
+		 sphere { <0,0,0>, 1 }`,
+		`#declare R = 2
+		 torus { R, 0.5 }`,
+		`triangle { <0,0,0>, <1,0,0>, <0,1,0> }`,
+	}
+	for _, src := range cases {
+		if _, err := Parse("accept", src); err != nil {
+			t.Errorf("rejected valid input %q: %v", src, err)
+		}
+	}
+}

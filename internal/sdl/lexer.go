@@ -1,0 +1,283 @@
+// Package sdl implements a small scene-description language in the
+// POV-Ray idiom — the substrate standing in for the POV-Ray 3.0 scene
+// files the paper's experiments rendered. Scenes declare a camera,
+// lights, primitives with pigments and finishes, and keyframe animation
+// blocks; #declare provides named constants.
+//
+// Grammar sketch:
+//
+//	scene        := { statement }
+//	statement    := global | background | camera | light | object | declare
+//	global       := "global_settings" "{" { "max_depth" NUM | "frames" NUM | "ambient" color } "}"
+//	background   := "background" "{" color "}"
+//	camera       := "camera" "{" "location" VEC "look_at" VEC [ "up" VEC ] [ "fov" NUM ] "}"
+//	light        := "light_source" "{" VEC "color" color [ animate ] "}"
+//	object       := kind "{" kind-args { modifier } "}"
+//	kind         := "sphere" | "plane" | "box" | "cylinder" | "disc" | "triangle"
+//	modifier     := pigment | finish | animate | "name" STRING | "open"
+//	pigment      := "pigment" "{" pattern "}"
+//	pattern      := "color" color | "checker" color color ["size" NUM]
+//	              | "brick" color color | "gradient" VEC color color ["length" NUM]
+//	finish       := "finish" "{" { param NUM } "}" | "finish" "{" IDENT "}"
+//	animate      := "animate" "{" { "keyframe" NUM VEC } "}"
+//	declare      := "#declare" IDENT "=" ( finish | pigment | VEC | NUM )
+//	color        := "rgb" VEC | IDENT(declared)
+//	VEC          := "<" NUM "," NUM "," NUM ">"
+//
+// Comments use // and /* */. Commas between primitive arguments are
+// optional, as in POV-Ray.
+package sdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLBrace
+	tokRBrace
+	tokLAngle
+	tokRAngle
+	tokComma
+	tokEquals
+	tokDeclare // "#declare"
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLAngle:
+		return "'<'"
+	case tokRAngle:
+		return "'>'"
+	case tokComma:
+		return "','"
+	case tokEquals:
+		return "'='"
+	case tokDeclare:
+		return "#declare"
+	default:
+		return "unknown token"
+	}
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	line int
+	col  int
+}
+
+// lexer scans SDL source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a parse/lex error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("sdl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments.
+func (l *lexer) skipSpace() error {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.src[l.pos] == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	t := token{line: l.line, col: l.col}
+	c, ok := l.peekByte()
+	if !ok {
+		t.kind = tokEOF
+		return t, nil
+	}
+	switch {
+	case c == '{':
+		l.advance()
+		t.kind = tokLBrace
+	case c == '}':
+		l.advance()
+		t.kind = tokRBrace
+	case c == '<':
+		l.advance()
+		t.kind = tokLAngle
+	case c == '>':
+		l.advance()
+		t.kind = tokRAngle
+	case c == ',':
+		l.advance()
+		t.kind = tokComma
+	case c == '=':
+		l.advance()
+		t.kind = tokEquals
+	case c == '#':
+		l.advance()
+		word := l.scanWord()
+		if word != "declare" {
+			return t, l.errorf("unknown directive #%s", word)
+		}
+		t.kind = tokDeclare
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				return t, l.errorf("unterminated string")
+			}
+			l.advance()
+			if c == '"' {
+				break
+			}
+			sb.WriteByte(c)
+		}
+		t.kind = tokString
+		t.text = sb.String()
+	case c == '-' || c == '+' || c == '.' || unicode.IsDigit(rune(c)):
+		start := l.pos
+		l.advance()
+		for {
+			c, ok := l.peekByte()
+			if !ok {
+				break
+			}
+			if unicode.IsDigit(rune(c)) || c == '.' || c == 'e' || c == 'E' {
+				l.advance()
+				continue
+			}
+			// Exponent signs.
+			if (c == '-' || c == '+') && l.pos > start &&
+				(l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E') {
+				l.advance()
+				continue
+			}
+			break
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return t, l.errorf("bad number %q", text)
+		}
+		t.kind = tokNumber
+		t.num = v
+		t.text = text
+	case unicode.IsLetter(rune(c)) || c == '_':
+		t.kind = tokIdent
+		t.text = l.scanWord()
+	default:
+		return t, l.errorf("unexpected character %q", c)
+	}
+	return t, nil
+}
+
+func (l *lexer) scanWord() string {
+	start := l.pos
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			break
+		}
+		if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+			l.advance()
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}

@@ -1,0 +1,841 @@
+package sdl
+
+import (
+	"fmt"
+
+	"nowrender/internal/geom"
+	"nowrender/internal/material"
+	"nowrender/internal/scene"
+	vm "nowrender/internal/vecmath"
+)
+
+// declValue is a value bound by #declare.
+type declValue struct {
+	finish  *material.Finish
+	pigment material.Pigment
+	vec     *vm.Vec3
+	num     *float64
+}
+
+// parser is a one-token-lookahead recursive-descent parser.
+type parser struct {
+	lx   *lexer
+	tok  token
+	sc   *scene.Scene
+	decl map[string]declValue
+}
+
+// Parse builds a scene from SDL source. name labels the scene in errors
+// and reports.
+func Parse(name, src string) (*scene.Scene, error) {
+	p := &parser{
+		lx:   newLexer(src),
+		sc:   scene.New(name),
+		decl: make(map[string]declValue),
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokEOF {
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.sc.Validate(); err != nil {
+		return nil, err
+	}
+	return p.sc, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of the given kind.
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errorf("expected %v, got %v %q", kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// accept consumes the token if it matches.
+func (p *parser) accept(kind tokenKind) (bool, error) {
+	if p.tok.kind != kind {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// acceptIdent consumes a specific identifier if present.
+func (p *parser) acceptIdent(word string) (bool, error) {
+	if p.tok.kind != tokIdent || p.tok.text != word {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+func (p *parser) number() (float64, error) {
+	t, err := p.expect(tokNumber)
+	if err != nil {
+		// A declared numeric constant is also accepted.
+		if p.tok.kind == tokIdent {
+			if d, ok := p.decl[p.tok.text]; ok && d.num != nil {
+				v := *d.num
+				return v, p.advance()
+			}
+		}
+		return 0, err
+	}
+	return t.num, nil
+}
+
+// vector parses <x, y, z> or a declared vector constant.
+func (p *parser) vector() (vm.Vec3, error) {
+	if p.tok.kind == tokIdent {
+		if d, ok := p.decl[p.tok.text]; ok && d.vec != nil {
+			v := *d.vec
+			return v, p.advance()
+		}
+	}
+	if _, err := p.expect(tokLAngle); err != nil {
+		return vm.Vec3{}, err
+	}
+	x, err := p.number()
+	if err != nil {
+		return vm.Vec3{}, err
+	}
+	if _, err := p.accept(tokComma); err != nil {
+		return vm.Vec3{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return vm.Vec3{}, err
+	}
+	if _, err := p.accept(tokComma); err != nil {
+		return vm.Vec3{}, err
+	}
+	z, err := p.number()
+	if err != nil {
+		return vm.Vec3{}, err
+	}
+	if _, err := p.expect(tokRAngle); err != nil {
+		return vm.Vec3{}, err
+	}
+	return vm.V(x, y, z), nil
+}
+
+// color parses "rgb <r,g,b>" or a declared pigment-as-colour.
+func (p *parser) color() (material.Color, error) {
+	if ok, err := p.acceptIdent("rgb"); err != nil {
+		return material.Color{}, err
+	} else if ok {
+		return p.vector()
+	}
+	return material.Color{}, p.errorf("expected 'rgb', got %q", p.tok.text)
+}
+
+// statement parses one top-level construct.
+func (p *parser) statement() error {
+	switch p.tok.kind {
+	case tokDeclare:
+		return p.declare()
+	case tokIdent:
+		word := p.tok.text
+		switch word {
+		case "global_settings":
+			return p.globalSettings()
+		case "background":
+			return p.background()
+		case "camera":
+			return p.camera()
+		case "light_source":
+			return p.light()
+		case "sphere", "plane", "box", "cylinder", "cone", "torus", "disc", "triangle":
+			return p.object(word)
+		default:
+			return p.errorf("unknown statement %q", word)
+		}
+	default:
+		return p.errorf("unexpected %v at top level", p.tok.kind)
+	}
+}
+
+func (p *parser) declare() error {
+	if err := p.advance(); err != nil { // consume #declare
+		return err
+	}
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokEquals); err != nil {
+		return err
+	}
+	var dv declValue
+	switch {
+	case p.tok.kind == tokIdent && p.tok.text == "finish":
+		f, err := p.finish()
+		if err != nil {
+			return err
+		}
+		dv.finish = &f
+	case p.tok.kind == tokIdent && p.tok.text == "pigment":
+		pg, err := p.pigment()
+		if err != nil {
+			return err
+		}
+		dv.pigment = pg
+	case p.tok.kind == tokLAngle:
+		v, err := p.vector()
+		if err != nil {
+			return err
+		}
+		dv.vec = &v
+	case p.tok.kind == tokNumber:
+		n := p.tok.num
+		if err := p.advance(); err != nil {
+			return err
+		}
+		dv.num = &n
+	default:
+		return p.errorf("#declare %s: expected finish, pigment, vector or number", nameTok.text)
+	}
+	p.decl[nameTok.text] = dv
+	return nil
+}
+
+func (p *parser) globalSettings() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.tok.kind != tokRBrace {
+		word, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		switch word.text {
+		case "max_depth":
+			n, err := p.number()
+			if err != nil {
+				return err
+			}
+			p.sc.MaxDepth = int(n)
+		case "frames":
+			n, err := p.number()
+			if err != nil {
+				return err
+			}
+			p.sc.Frames = int(n)
+		case "ambient":
+			c, err := p.color()
+			if err != nil {
+				return err
+			}
+			p.sc.Ambient = c
+		default:
+			return p.errorf("unknown global setting %q", word.text)
+		}
+	}
+	return p.advance() // consume }
+}
+
+func (p *parser) background() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	if ok, err := p.acceptIdent("color"); err != nil {
+		return err
+	} else if !ok {
+		return p.errorf("background: expected 'color'")
+	}
+	c, err := p.color()
+	if err != nil {
+		return err
+	}
+	p.sc.Background = c
+	_, err = p.expect(tokRBrace)
+	return err
+}
+
+func (p *parser) camera() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	cam := scene.DefaultCamera()
+	for p.tok.kind != tokRBrace {
+		word, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		switch word.text {
+		case "location":
+			if cam.Pos, err = p.vector(); err != nil {
+				return err
+			}
+		case "look_at":
+			if cam.LookAt, err = p.vector(); err != nil {
+				return err
+			}
+		case "up":
+			if cam.Up, err = p.vector(); err != nil {
+				return err
+			}
+		case "fov":
+			if cam.FOV, err = p.number(); err != nil {
+				return err
+			}
+		default:
+			return p.errorf("unknown camera parameter %q", word.text)
+		}
+	}
+	p.sc.Camera = cam
+	return p.advance()
+}
+
+func (p *parser) light() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	pos, err := p.vector()
+	if err != nil {
+		return err
+	}
+	col := material.White
+	var track scene.Track
+	var spot *scene.Spotlight
+	fadeDist, fadePower := 0.0, 0.0
+	for p.tok.kind != tokRBrace {
+		word, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		switch word.text {
+		case "color":
+			if col, err = p.color(); err != nil {
+				return err
+			}
+		case "animate":
+			if track, err = p.animateBody(); err != nil {
+				return err
+			}
+		case "spotlight":
+			spot = &scene.Spotlight{Radius: 20, Falloff: 30}
+		case "point_at":
+			if spot == nil {
+				return p.errorf("point_at requires 'spotlight' first")
+			}
+			if spot.PointAt, err = p.vector(); err != nil {
+				return err
+			}
+		case "radius":
+			if spot == nil {
+				return p.errorf("radius requires 'spotlight' first")
+			}
+			if spot.Radius, err = p.number(); err != nil {
+				return err
+			}
+		case "falloff":
+			if spot == nil {
+				return p.errorf("falloff requires 'spotlight' first")
+			}
+			if spot.Falloff, err = p.number(); err != nil {
+				return err
+			}
+		case "fade_distance":
+			if fadeDist, err = p.number(); err != nil {
+				return err
+			}
+		case "fade_power":
+			if fadePower, err = p.number(); err != nil {
+				return err
+			}
+		default:
+			return p.errorf("unknown light parameter %q", word.text)
+		}
+	}
+	if spot != nil && spot.Falloff < spot.Radius {
+		return p.errorf("spotlight falloff (%g) must be >= radius (%g)", spot.Falloff, spot.Radius)
+	}
+	l := p.sc.AddLight(fmt.Sprintf("light%d", len(p.sc.Lights)), pos, col)
+	l.Track = track
+	l.Spot = spot
+	l.FadeDistance = fadeDist
+	l.FadePower = fadePower
+	return p.advance()
+}
+
+// finish parses finish { ... }; the body may be a declared finish name.
+func (p *parser) finish() (material.Finish, error) {
+	if err := p.advance(); err != nil { // consume "finish"
+		return material.Finish{}, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return material.Finish{}, err
+	}
+	f := material.DefaultFinish()
+	// Single-identifier body referencing a declared finish.
+	if p.tok.kind == tokIdent {
+		if d, ok := p.decl[p.tok.text]; ok && d.finish != nil {
+			f = *d.finish
+			if err := p.advance(); err != nil {
+				return f, err
+			}
+			_, err := p.expect(tokRBrace)
+			return f, err
+		}
+	}
+	for p.tok.kind != tokRBrace {
+		word, err := p.expect(tokIdent)
+		if err != nil {
+			return f, err
+		}
+		v, err := p.number()
+		if err != nil {
+			return f, err
+		}
+		switch word.text {
+		case "ambient":
+			f.Ambient = v
+		case "diffuse":
+			f.Diffuse = v
+		case "specular":
+			f.Specular = v
+		case "shininess":
+			f.Shininess = v
+		case "reflect":
+			f.Reflect = v
+		case "transmit":
+			f.Transmit = v
+		case "ior":
+			f.IOR = v
+		default:
+			return f, p.errorf("unknown finish parameter %q", word.text)
+		}
+	}
+	return f, p.advance()
+}
+
+// pigment parses pigment { ... }.
+func (p *parser) pigment() (material.Pigment, error) {
+	if err := p.advance(); err != nil { // consume "pigment"
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var pg material.Pigment
+	switch {
+	case p.tok.kind == tokIdent && p.tok.text == "color":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		c, err := p.color()
+		if err != nil {
+			return nil, err
+		}
+		pg = material.Solid{C: c}
+	case p.tok.kind == tokIdent && p.tok.text == "checker":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		a, err := p.color()
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.color()
+		if err != nil {
+			return nil, err
+		}
+		ch := material.Checker{A: a, B: b}
+		if ok, err := p.acceptIdent("size"); err != nil {
+			return nil, err
+		} else if ok {
+			if ch.Size, err = p.number(); err != nil {
+				return nil, err
+			}
+		}
+		pg = ch
+	case p.tok.kind == tokIdent && p.tok.text == "brick":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		mortar, err := p.color()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.color()
+		if err != nil {
+			return nil, err
+		}
+		pg = material.Brick{Mortar: mortar, Body: body}
+	case p.tok.kind == tokIdent && p.tok.text == "gradient":
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		axis, err := p.vector()
+		if err != nil {
+			return nil, err
+		}
+		a, err := p.color()
+		if err != nil {
+			return nil, err
+		}
+		b, err := p.color()
+		if err != nil {
+			return nil, err
+		}
+		g := material.Gradient{Axis: axis, A: a, B: b}
+		if ok, err := p.acceptIdent("length"); err != nil {
+			return nil, err
+		} else if ok {
+			if g.Length, err = p.number(); err != nil {
+				return nil, err
+			}
+		}
+		pg = g
+	case p.tok.kind == tokIdent:
+		// Declared pigment.
+		if d, ok := p.decl[p.tok.text]; ok && d.pigment != nil {
+			pg = d.pigment
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		return nil, p.errorf("unknown pigment %q", p.tok.text)
+	default:
+		return nil, p.errorf("expected pigment pattern")
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return pg, nil
+}
+
+// animateBody parses "{ keyframe N <v> ... }". Callers consume the
+// leading "animate" identifier before calling.
+func (p *parser) animateBody() (scene.Track, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var keys []scene.Keyframe
+	for p.tok.kind != tokRBrace {
+		if ok, err := p.acceptIdent("keyframe"); err != nil {
+			return nil, err
+		} else if !ok {
+			return nil, p.errorf("expected 'keyframe', got %q", p.tok.text)
+		}
+		n, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.vector()
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, scene.Keyframe{Frame: int(n), Pos: v})
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	return scene.KeyframeTrack{Keys: keys}, nil
+}
+
+// object parses a primitive block.
+func (p *parser) object(kind string) error {
+	if err := p.advance(); err != nil { // consume kind
+		return err
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	var shape geom.Shape
+	var err error
+	isCylinder := false
+	var cylBase, cylCap vm.Vec3
+	var cylRadius float64
+	isCone := false
+	var coneBase, coneCap vm.Vec3
+	var coneR0, coneR1 float64
+
+	switch kind {
+	case "sphere":
+		var c vm.Vec3
+		var r float64
+		if c, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if r, err = p.number(); err != nil {
+			return err
+		}
+		shape = geom.NewSphere(c, r)
+	case "plane":
+		var n vm.Vec3
+		var d float64
+		if n, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if d, err = p.number(); err != nil {
+			return err
+		}
+		shape = geom.NewPlane(n, d)
+	case "box":
+		var a, b vm.Vec3
+		if a, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if b, err = p.vector(); err != nil {
+			return err
+		}
+		shape = geom.NewBox(a, b)
+	case "cylinder":
+		isCylinder = true
+		if cylBase, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if cylCap, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if cylRadius, err = p.number(); err != nil {
+			return err
+		}
+	case "cone":
+		isCone = true
+		if coneBase, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if coneR0, err = p.number(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if coneCap, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if coneR1, err = p.number(); err != nil {
+			return err
+		}
+	case "torus":
+		var major, minor float64
+		if major, err = p.number(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if minor, err = p.number(); err != nil {
+			return err
+		}
+		if major <= 0 || minor <= 0 {
+			return p.errorf("torus radii must be positive")
+		}
+		shape = geom.NewTorus(major, minor)
+	case "disc":
+		var c, n vm.Vec3
+		var r float64
+		if c, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if n, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if r, err = p.number(); err != nil {
+			return err
+		}
+		shape = geom.NewDisc(c, n, r)
+	case "triangle":
+		var a, b, c vm.Vec3
+		if a, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if b, err = p.vector(); err != nil {
+			return err
+		}
+		if _, err = p.accept(tokComma); err != nil {
+			return err
+		}
+		if c, err = p.vector(); err != nil {
+			return err
+		}
+		shape = geom.NewTriangle(a, b, c)
+	default:
+		return p.errorf("unknown primitive %q", kind)
+	}
+
+	mat := material.Matte(material.RGB(0.8, 0.8, 0.8))
+	var track scene.Track
+	name := fmt.Sprintf("%s%d", kind, len(p.sc.Objects))
+	open := false
+	xform := vm.Identity()
+	hasXform := false
+	for p.tok.kind != tokRBrace {
+		if p.tok.kind != tokIdent {
+			return p.errorf("expected object modifier, got %v", p.tok.kind)
+		}
+		switch p.tok.text {
+		case "pigment":
+			pg, err := p.pigment()
+			if err != nil {
+				return err
+			}
+			mat.Pigment = pg
+		case "finish":
+			f, err := p.finish()
+			if err != nil {
+				return err
+			}
+			mat.Finish = f
+		case "animate":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if track, err = p.animateBody(); err != nil {
+				return err
+			}
+		case "name":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			t, err := p.expect(tokString)
+			if err != nil {
+				return err
+			}
+			name = t.text
+		case "open":
+			open = true
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case "translate":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			v, err := p.vector()
+			if err != nil {
+				return err
+			}
+			xform = vm.TranslateV(v).MulM(xform)
+			hasXform = true
+		case "rotate":
+			// POV-Ray semantics: rotate <x,y,z> applies the rotations
+			// about the X, then Y, then Z axes, angles in degrees.
+			if err := p.advance(); err != nil {
+				return err
+			}
+			v, err := p.vector()
+			if err != nil {
+				return err
+			}
+			rot := vm.RotateZ(vm.Radians(v.Z)).
+				MulM(vm.RotateY(vm.Radians(v.Y))).
+				MulM(vm.RotateX(vm.Radians(v.X)))
+			xform = rot.MulM(xform)
+			hasXform = true
+		case "scale":
+			if err := p.advance(); err != nil {
+				return err
+			}
+			var v vm.Vec3
+			if p.tok.kind == tokNumber {
+				n, err := p.number()
+				if err != nil {
+					return err
+				}
+				v = vm.Splat(n)
+			} else {
+				var err error
+				if v, err = p.vector(); err != nil {
+					return err
+				}
+			}
+			if v.X == 0 || v.Y == 0 || v.Z == 0 {
+				return p.errorf("scale by zero")
+			}
+			xform = vm.Scaling(v.X, v.Y, v.Z).MulM(xform)
+			hasXform = true
+		default:
+			return p.errorf("unknown object modifier %q", p.tok.text)
+		}
+	}
+	if err := p.advance(); err != nil { // consume }
+		return err
+	}
+	switch {
+	case isCylinder:
+		if open {
+			shape = geom.NewOpenCylinder(cylBase, cylCap, cylRadius)
+		} else {
+			shape = geom.NewCylinder(cylBase, cylCap, cylRadius)
+		}
+	case isCone:
+		if open {
+			shape = geom.NewOpenCone(coneBase, coneR0, coneCap, coneR1)
+		} else {
+			shape = geom.NewCone(coneBase, coneR0, coneCap, coneR1)
+		}
+	case open:
+		return p.errorf("'open' is only valid on cylinders and cones")
+	}
+	if hasXform {
+		shape = geom.NewTransformed(shape, vm.NewTransform(xform))
+	}
+	p.sc.Add(name, shape, mat, track)
+	return nil
+}

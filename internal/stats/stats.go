@@ -1,0 +1,251 @@
+// Package stats collects the counters and timings the benchmark harness
+// reports: ray counts by class (Table 1 row 1), per-frame render times,
+// and worker utilisation. Counter types are plain values — single-owner
+// code updates them without synchronisation and the farm aggregates
+// copies — mirroring how the paper's PVM slaves reported statistics back
+// to the master in messages.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	vm "nowrender/internal/vecmath"
+)
+
+// RayCounters tallies rays by kind.
+type RayCounters struct {
+	ByKind [vm.NumRayKinds]uint64
+}
+
+// Add records n rays of the given kind.
+func (c *RayCounters) Add(kind vm.RayKind, n uint64) {
+	c.ByKind[kind] += n
+}
+
+// Total returns the total number of rays.
+func (c *RayCounters) Total() uint64 {
+	var t uint64
+	for _, v := range c.ByKind {
+		t += v
+	}
+	return t
+}
+
+// Merge adds another counter set into c.
+func (c *RayCounters) Merge(o RayCounters) {
+	for i, v := range o.ByKind {
+		c.ByKind[i] += v
+	}
+}
+
+// String implements fmt.Stringer.
+func (c *RayCounters) String() string {
+	parts := make([]string, 0, vm.NumRayKinds+1)
+	for k := 0; k < vm.NumRayKinds; k++ {
+		parts = append(parts, fmt.Sprintf("%s=%d", vm.RayKind(k), c.ByKind[k]))
+	}
+	parts = append(parts, fmt.Sprintf("total=%d", c.Total()))
+	return strings.Join(parts, " ")
+}
+
+// FrameStats records one frame's outcome.
+type FrameStats struct {
+	Frame int
+	// Rendered is the number of pixels actually traced; Copied the
+	// number reused from the previous frame by the coherence engine.
+	Rendered, Copied int
+	Rays             RayCounters
+	// Elapsed is the time spent producing the frame. Depending on the
+	// execution mode this is wall-clock or virtual NOW time.
+	Elapsed time.Duration
+	// CoherenceOverhead is the extra time spent on coherence
+	// bookkeeping (registration + change detection), included in
+	// Elapsed. The paper reports this as ~12% on the first frame.
+	CoherenceOverhead time.Duration
+}
+
+// RunStats aggregates an animation run.
+type RunStats struct {
+	Frames []FrameStats
+	// Total is the end-to-end animation time including file writing; in
+	// parallel runs this is the master's elapsed time, not the sum of
+	// worker times.
+	Total time.Duration
+}
+
+// AddFrame appends a frame record, keeping frames sorted by frame index
+// (parallel workers report out of order).
+func (r *RunStats) AddFrame(f FrameStats) {
+	r.Frames = append(r.Frames, f)
+	// Insertion keeps the common in-order case O(1).
+	for i := len(r.Frames) - 1; i > 0 && r.Frames[i].Frame < r.Frames[i-1].Frame; i-- {
+		r.Frames[i], r.Frames[i-1] = r.Frames[i-1], r.Frames[i]
+	}
+}
+
+// TotalRays sums ray counters over all frames.
+func (r *RunStats) TotalRays() RayCounters {
+	var c RayCounters
+	for _, f := range r.Frames {
+		c.Merge(f.Rays)
+	}
+	return c
+}
+
+// FirstFrame returns the stats of the lowest-numbered frame and false if
+// there are none.
+func (r *RunStats) FirstFrame() (FrameStats, bool) {
+	if len(r.Frames) == 0 {
+		return FrameStats{}, false
+	}
+	return r.Frames[0], true
+}
+
+// AverageFrameTime returns the mean per-frame elapsed time.
+func (r *RunStats) AverageFrameTime() time.Duration {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, f := range r.Frames {
+		sum += f.Elapsed
+	}
+	return sum / time.Duration(len(r.Frames))
+}
+
+// SumFrameTime returns the sum of per-frame times (single-processor
+// "total frame time" in Table 1; for parallel runs use Total).
+func (r *RunStats) SumFrameTime() time.Duration {
+	var sum time.Duration
+	for _, f := range r.Frames {
+		sum += f.Elapsed
+	}
+	return sum
+}
+
+// WorkerStats records one worker's contribution to a parallel run.
+type WorkerStats struct {
+	Worker     string
+	TasksDone  int
+	PixelsDone int
+	Busy       time.Duration
+	Rays       RayCounters
+}
+
+// Utilisation returns Busy as a fraction of total, guarding total == 0.
+func (w WorkerStats) Utilisation(total time.Duration) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return float64(w.Busy) / float64(total)
+}
+
+// Table renders rows of labelled values as a fixed-width text table, the
+// output format of cmd/benchtab. Columns are derived from the union of
+// row keys, ordered by first appearance.
+type Table struct {
+	cols []string
+	rows []map[string]string
+}
+
+// AddRow appends a row given alternating key, value pairs.
+func (t *Table) AddRow(kv ...string) {
+	if len(kv)%2 != 0 {
+		panic("stats: AddRow needs key/value pairs")
+	}
+	row := make(map[string]string, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		k, v := kv[i], kv[i+1]
+		if !contains(t.cols, k) {
+			t.cols = append(t.cols, k)
+		}
+		row[k] = v
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make(map[string]int, len(t.cols))
+	for _, c := range t.cols {
+		width[c] = len(c)
+	}
+	for _, r := range t.rows {
+		for _, c := range t.cols {
+			if len(r[c]) > width[c] {
+				width[c] = len(r[c])
+			}
+		}
+	}
+	var b strings.Builder
+	for _, c := range t.cols {
+		fmt.Fprintf(&b, "%-*s  ", width[c], c)
+	}
+	b.WriteByte('\n')
+	for _, c := range t.cols {
+		b.WriteString(strings.Repeat("-", width[c]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for _, c := range t.cols {
+			fmt.Fprintf(&b, "%-*s  ", width[c], r[c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.cols, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		vals := make([]string, len(t.cols))
+		for i, c := range t.cols {
+			vals[i] = r[c]
+		}
+		b.WriteString(strings.Join(vals, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatDuration renders a duration as the paper's h:mm:ss style.
+func FormatDuration(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	total := int64(d.Round(time.Second) / time.Second)
+	h := total / 3600
+	m := (total % 3600) / 60
+	s := total % 60
+	if h > 0 {
+		return fmt.Sprintf("%d:%02d:%02d", h, m, s)
+	}
+	return fmt.Sprintf("%d:%02d", m, s)
+}
+
+// SortedKeys returns map keys in sorted order (helper for deterministic
+// report output).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

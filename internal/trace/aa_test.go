@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"testing"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/geom"
+	"nowrender/internal/material"
+	"nowrender/internal/scene"
+	vm "nowrender/internal/vecmath"
+)
+
+// edgeScene has a hard silhouette: a bright sphere against a black
+// background.
+func edgeScene() *scene.Scene {
+	s := scene.New("edge")
+	s.Camera = scene.Camera{Pos: vm.V(0, 0, 6), LookAt: vm.V(0, 0, 0), Up: vm.V(0, 1, 0), FOV: 50}
+	s.Background = material.Black
+	s.Add("ball", geom.NewSphere(vm.V(0, 0, 0), 1), material.Matte(material.White), nil)
+	s.AddLight("key", vm.V(0, 0, 10), material.White)
+	return s
+}
+
+func TestAdaptiveAASmoothsEdges(t *testing.T) {
+	s := edgeScene()
+	const w, h = 40, 40
+	plain := fb.New(w, h)
+	aa := fb.New(w, h)
+	ftPlain, err := New(s, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftPlain.RenderFull(plain)
+	ftAA, err := New(s, 0, Options{AAThreshold: 0.1, AASamples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftAA.RenderFull(aa)
+
+	// Plain rendering has pure black/white pixels only (single sample);
+	// AA must produce intermediate grey values on the silhouette.
+	intermediates := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r, _, _ := aa.At(x, y)
+			if r > 16 && r < 200 {
+				intermediates++
+			}
+		}
+	}
+	if intermediates == 0 {
+		t.Error("adaptive AA produced no intermediate edge pixels")
+	}
+	// Images differ only near the edge: most pixels identical.
+	diff := plain.DiffCount(aa)
+	if diff == 0 {
+		t.Error("AA changed nothing")
+	}
+	if diff > w*h/2 {
+		t.Errorf("AA changed %d of %d pixels; adaptivity not selective", diff, w*h)
+	}
+}
+
+func TestAdaptiveAASelectiveCost(t *testing.T) {
+	s := edgeScene()
+	const w, h = 40, 40
+	ftAA, err := New(s, 0, Options{AAThreshold: 0.1, AASamples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftAA.RenderFull(fb.New(w, h))
+	aaRays := ftAA.Counters.ByKind[vm.CameraRay]
+
+	ftFull, err := New(s, 0, Options{SamplesPerPixel: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftFull.RenderFull(fb.New(w, h))
+	fullRays := ftFull.Counters.ByKind[vm.CameraRay]
+
+	// Adaptive: 5 rays/pixel base + 16 extra only at edges; uniform
+	// supersampling pays 21 everywhere.
+	if aaRays >= fullRays {
+		t.Errorf("adaptive AA cast %d camera rays, uniform 21x cast %d", aaRays, fullRays)
+	}
+	if aaRays < uint64(w*h*5) {
+		t.Errorf("adaptive AA cast %d rays, expected at least the 5-sample base %d", aaRays, w*h*5)
+	}
+}
+
+func TestAdaptiveAADeterministic(t *testing.T) {
+	s := edgeScene()
+	a, b := fb.New(32, 32), fb.New(32, 32)
+	ft1, _ := New(s, 0, Options{AAThreshold: 0.1})
+	ft1.RenderFull(a)
+	ft2, _ := New(s, 0, Options{AAThreshold: 0.1})
+	ft2.RenderFull(b)
+	if !a.Equal(b) {
+		t.Error("adaptive AA renders differ between runs")
+	}
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"testing"
+
+	"nowrender/internal/geom"
+	"nowrender/internal/material"
+	"nowrender/internal/scene"
+	vm "nowrender/internal/vecmath"
+)
+
+func TestSpotlightLightsOnlyItsCone(t *testing.T) {
+	s := scene.New("spot")
+	s.Camera = scene.Camera{Pos: vm.V(0, 6, 10), LookAt: vm.V(0, 0, 0), Up: vm.V(0, 1, 0), FOV: 60}
+	s.Background = material.Black
+	s.Ambient = material.Black // isolate direct lighting
+	s.Add("floor", geom.NewPlane(vm.V(0, 1, 0), 0), material.Matte(material.White), nil)
+	l := s.AddLight("spot", vm.V(0, 8, 0), material.White)
+	l.Spot = &scene.Spotlight{PointAt: vm.V(0, 0, 0), Radius: 10, Falloff: 15}
+
+	ft, err := New(s, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := ft.TracePixelColor(t, vm.V(0, 0, 0))
+	outside := ft.TracePixelColor(t, vm.V(6, 0, 0))
+	if inside.MaxComponent() <= 0.05 {
+		t.Errorf("spot centre not lit: %v", inside)
+	}
+	if outside.MaxComponent() > 0.01 {
+		t.Errorf("point outside cone lit: %v", outside)
+	}
+}
+
+// TracePixelColor aims a camera ray at a world point (test helper).
+func (ft *FrameTracer) TracePixelColor(t *testing.T, at vm.Vec3) vm.Vec3 {
+	t.Helper()
+	dir := at.Sub(ft.Cam.Pos).Norm()
+	return ft.traceRay(vm.Ray{Origin: ft.Cam.Pos, Dir: dir, Kind: vm.CameraRay})
+}
+
+func TestFadeDarkensDistantSurfaces(t *testing.T) {
+	s := scene.New("fade")
+	s.Camera = scene.Camera{Pos: vm.V(0, 4, 12), LookAt: vm.V(0, 0, 0), Up: vm.V(0, 1, 0), FOV: 60}
+	s.Ambient = material.Black
+	s.Add("floor", geom.NewPlane(vm.V(0, 1, 0), 0), material.Matte(material.White), nil)
+	l := s.AddLight("faded", vm.V(0, 3, 0), material.White)
+	l.FadeDistance = 3
+	l.FadePower = 2
+
+	ft, err := New(s, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := ft.TracePixelColor(t, vm.V(0.5, 0, 0))
+	far := ft.TracePixelColor(t, vm.V(12, 0, 0))
+	if near.MaxComponent() <= far.MaxComponent() {
+		t.Errorf("fade not applied: near %v vs far %v", near, far)
+	}
+}
+
+func TestCoherenceWithSpotlight(t *testing.T) {
+	// Spot-lit moving scene still renders pixel-identically under
+	// coherence (attenuation is part of the deterministic shading).
+	s := scene.New("spotmove")
+	s.Frames = 3
+	s.Camera = scene.Camera{Pos: vm.V(0, 4, 9), LookAt: vm.V(0, 1, 0), Up: vm.V(0, 1, 0), FOV: 55}
+	s.Add("floor", geom.NewPlane(vm.V(0, 1, 0), 0), material.Matte(material.White), nil)
+	s.Add("ball", geom.NewSphere(vm.V(0, 1, 0), 0.8), material.Matte(material.Red),
+		scene.KeyframeTrack{Keys: []scene.Keyframe{
+			{Frame: 0, Pos: vm.V(-1, 0, 0)}, {Frame: 2, Pos: vm.V(1, 0, 0)},
+		}})
+	l := s.AddLight("spot", vm.V(0, 7, 3), material.White)
+	l.Spot = &scene.Spotlight{PointAt: vm.V(0, 0, 0), Radius: 25, Falloff: 40}
+	l.FadeDistance = 12
+
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rendering the same frame twice gives identical results (no hidden
+	// state in attenuation).
+	ftA, _ := New(s, 1, Options{})
+	ftB, _ := New(s, 1, Options{})
+	for _, xy := range [][2]int{{10, 10}, {20, 15}, {5, 25}} {
+		a := ftA.TracePixel(xy[0], xy[1], 40, 30)
+		b := ftB.TracePixel(xy[0], xy[1], 40, 30)
+		if a != b {
+			t.Fatalf("pixel %v: %v != %v", xy, a, b)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyAABB(t *testing.T) {
+	e := EmptyAABB()
+	if !e.IsEmpty() {
+		t.Error("EmptyAABB not empty")
+	}
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	if got := e.Union(b); got != b {
+		t.Errorf("empty union = %v", got)
+	}
+}
+
+func TestNewAABBOrdersCorners(t *testing.T) {
+	b := NewAABB(V(1, -2, 3), V(-1, 2, -3))
+	if b.Min != V(-1, -2, -3) || b.Max != V(1, 2, 3) {
+		t.Errorf("corners not ordered: %v", b)
+	}
+}
+
+func TestAABBContains(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(2, 2, 2))
+	if !b.Contains(V(1, 1, 1)) {
+		t.Error("interior point not contained")
+	}
+	if !b.Contains(V(0, 0, 0)) || !b.Contains(V(2, 2, 2)) {
+		t.Error("boundary points not contained")
+	}
+	if b.Contains(V(3, 1, 1)) {
+		t.Error("exterior point contained")
+	}
+}
+
+func TestAABBOverlaps(t *testing.T) {
+	a := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	b := NewAABB(V(0.5, 0.5, 0.5), V(2, 2, 2))
+	c := NewAABB(V(5, 5, 5), V(6, 6, 6))
+	face := NewAABB(V(1, 0, 0), V(2, 1, 1))
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("overlapping boxes not detected")
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint boxes reported overlapping")
+	}
+	if !a.Overlaps(face) {
+		t.Error("face-sharing boxes must overlap")
+	}
+}
+
+func TestAABBRayHit(t *testing.T) {
+	b := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+	r := Ray{Origin: V(-5, 0, 0), Dir: V(1, 0, 0)}
+	iv, hit := b.IntersectRay(r, 0, math.Inf(1))
+	if !hit {
+		t.Fatal("axis-aligned ray missed box")
+	}
+	if math.Abs(iv.Min-4) > 1e-12 || math.Abs(iv.Max-6) > 1e-12 {
+		t.Errorf("interval = %+v, want [4,6]", iv)
+	}
+}
+
+func TestAABBRayMiss(t *testing.T) {
+	b := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+	r := Ray{Origin: V(-5, 3, 0), Dir: V(1, 0, 0)}
+	if _, hit := b.IntersectRay(r, 0, math.Inf(1)); hit {
+		t.Error("parallel offset ray should miss")
+	}
+	// Ray pointing away.
+	r = Ray{Origin: V(-5, 0, 0), Dir: V(-1, 0, 0)}
+	if _, hit := b.IntersectRay(r, 0, math.Inf(1)); hit {
+		t.Error("ray pointing away should miss")
+	}
+}
+
+func TestAABBRayInside(t *testing.T) {
+	b := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+	r := Ray{Origin: V(0, 0, 0), Dir: V(0, 1, 0)}
+	iv, hit := b.IntersectRay(r, 0, math.Inf(1))
+	if !hit {
+		t.Fatal("ray from inside missed")
+	}
+	if iv.Min != 0 || math.Abs(iv.Max-1) > 1e-12 {
+		t.Errorf("interval = %+v, want [0,1]", iv)
+	}
+}
+
+func TestAABBRayDiagonal(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	r := Ray{Origin: V(-1, -1, -1), Dir: V(1, 1, 1)}
+	iv, hit := b.IntersectRay(r, 0, math.Inf(1))
+	if !hit {
+		t.Fatal("diagonal ray missed unit box")
+	}
+	if math.Abs(iv.Min-1) > 1e-12 || math.Abs(iv.Max-2) > 1e-12 {
+		t.Errorf("interval = %+v, want [1,2]", iv)
+	}
+}
+
+func TestTransformAABBTranslation(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	got := TransformAABB(Translate(5, 0, 0), b)
+	want := NewAABB(V(5, 0, 0), V(6, 1, 1))
+	if !got.Min.ApproxEq(want.Min, 1e-12) || !got.Max.ApproxEq(want.Max, 1e-12) {
+		t.Errorf("translated box = %v", got)
+	}
+}
+
+func TestTransformAABBRotationEncloses(t *testing.T) {
+	b := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+	m := RotateZ(math.Pi / 4)
+	got := TransformAABB(m, b)
+	// Every transformed corner must lie inside the result.
+	for i := 0; i < 8; i++ {
+		c := V(
+			pick(i&1 != 0, b.Max.X, b.Min.X),
+			pick(i&2 != 0, b.Max.Y, b.Min.Y),
+			pick(i&4 != 0, b.Max.Z, b.Min.Z),
+		)
+		p := m.MulPoint(c)
+		if !got.Pad(1e-12).Contains(p) {
+			t.Errorf("corner %v escaped transformed box %v", p, got)
+		}
+	}
+}
+
+func TestTransformAABBEmpty(t *testing.T) {
+	e := EmptyAABB()
+	if got := TransformAABB(Translate(1, 2, 3), e); !got.IsEmpty() {
+		t.Errorf("transformed empty box not empty: %v", got)
+	}
+}
+
+func TestAABBPadSizeCenter(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(2, 4, 6))
+	if got := b.Size(); got != V(2, 4, 6) {
+		t.Errorf("Size = %v", got)
+	}
+	if got := b.Center(); got != V(1, 2, 3) {
+		t.Errorf("Center = %v", got)
+	}
+	p := b.Pad(1)
+	if p.Min != V(-1, -1, -1) || p.Max != V(3, 5, 7) {
+		t.Errorf("Pad = %v", p)
+	}
+}
+
+// Property: a point sampled inside a box stays inside after Union with any
+// other box.
+func TestQuickUnionMonotone(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz float64) bool {
+		if anyBad(ax, ay, az, bx, by, bz, cx, cy, cz, dx, dy, dz) {
+			return true
+		}
+		b1 := NewAABB(V(ax, ay, az), V(bx, by, bz))
+		b2 := NewAABB(V(cx, cy, cz), V(dx, dy, dz))
+		u := b1.Union(b2)
+		return u.Contains(b1.Min) && u.Contains(b1.Max) &&
+			u.Contains(b2.Min) && u.Contains(b2.Max)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: if the slab test reports a hit interval, the midpoint of the
+// interval lies inside (or on) the box.
+func TestQuickSlabMidpointInside(t *testing.T) {
+	f := func(ox, oy, oz, dx, dy, dz float64) bool {
+		if anyBad(ox, oy, oz, dx, dy, dz) {
+			return true
+		}
+		ox, oy, oz = math.Mod(ox, 10), math.Mod(oy, 10), math.Mod(oz, 10)
+		d := V(dx, dy, dz)
+		if d.Len() < 1e-9 || d.Len() > 1e9 {
+			return true
+		}
+		b := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+		r := Ray{Origin: V(ox, oy, oz), Dir: d}
+		iv, hit := b.IntersectRay(r, 0, math.Inf(1))
+		if !hit {
+			return true
+		}
+		mid := r.At((iv.Min + iv.Max) / 2)
+		return b.Pad(1e-6).Contains(mid)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

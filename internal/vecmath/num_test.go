@@ -1,0 +1,181 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveQuadraticTwoRoots(t *testing.T) {
+	// (t-1)(t-3) = t^2 - 4t + 3
+	t0, t1, n := SolveQuadratic(1, -4, 3)
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+	if math.Abs(t0-1) > 1e-12 || math.Abs(t1-3) > 1e-12 {
+		t.Errorf("roots = %v, %v", t0, t1)
+	}
+}
+
+func TestSolveQuadraticNoRoots(t *testing.T) {
+	if _, _, n := SolveQuadratic(1, 0, 1); n != 0 {
+		t.Errorf("t^2+1=0 returned %d roots", n)
+	}
+}
+
+func TestSolveQuadraticLinear(t *testing.T) {
+	t0, _, n := SolveQuadratic(0, 2, -4)
+	if n != 1 || math.Abs(t0-2) > 1e-12 {
+		t.Errorf("linear solve: n=%d t0=%v", n, t0)
+	}
+}
+
+func TestSolveQuadraticDegenerate(t *testing.T) {
+	if _, _, n := SolveQuadratic(0, 0, 5); n != 0 {
+		t.Errorf("constant equation returned %d roots", n)
+	}
+}
+
+func TestSolveQuadraticStability(t *testing.T) {
+	// b^2 >> 4ac: naive formula loses the small root entirely.
+	a, b, c := 1.0, -1e8, 1.0
+	t0, t1, n := SolveQuadratic(a, b, c)
+	if n != 2 {
+		t.Fatalf("n = %d", n)
+	}
+	// Check both roots actually satisfy the equation with small residual.
+	for _, r := range []float64{t0, t1} {
+		res := a*r*r + b*r + c
+		if math.Abs(res) > 1e-4*math.Abs(b*r) {
+			t.Errorf("root %v residual %v too large", r, res)
+		}
+	}
+	if t0 >= t1 {
+		t.Error("roots not ordered")
+	}
+}
+
+// Property: returned roots satisfy the quadratic within tolerance.
+func TestQuickQuadraticRoots(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if anyBad(a, b, c) {
+			return true
+		}
+		a, b, c = math.Mod(a, 100), math.Mod(b, 100), math.Mod(c, 100)
+		t0, t1, n := SolveQuadratic(a, b, c)
+		scale := math.Max(1, math.Abs(a)+math.Abs(b)+math.Abs(c))
+		check := func(r float64) bool {
+			v := a*r*r + b*r + c
+			return math.Abs(v) <= 1e-6*scale*math.Max(1, r*r)
+		}
+		switch n {
+		case 2:
+			return check(t0) && check(t1) && t0 <= t1
+		case 1:
+			return check(t0)
+		default:
+			return true
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestAngleConversions(t *testing.T) {
+	if math.Abs(Radians(180)-math.Pi) > 1e-12 {
+		t.Error("Radians(180) != pi")
+	}
+	if math.Abs(Degrees(math.Pi)-180) > 1e-12 {
+		t.Error("Degrees(pi) != 180")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced stuck generator")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Intn(5) only produced %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGInRange(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		v := r.InRange(-2, 3)
+		if v < -2 || v >= 3 {
+			t.Fatalf("InRange out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGRoughUniformity(t *testing.T) {
+	r := NewRNG(123)
+	const buckets, samples = 10, 100000
+	var hist [buckets]int
+	for i := 0; i < samples; i++ {
+		hist[int(r.Float64()*buckets)]++
+	}
+	want := samples / buckets
+	for i, h := range hist {
+		if h < want*8/10 || h > want*12/10 {
+			t.Errorf("bucket %d count %d deviates >20%% from %d", i, h, want)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package vecmath
+
+import "math"
+
+// SolveCubic returns the real roots of t³ + p·t² + q·t + r = 0 (monic)
+// in ascending order, using Cardano's method with the trigonometric
+// branch for three real roots.
+func SolveCubic(p, q, r float64) []float64 {
+	// Depress: t = x - p/3.
+	shift := p / 3
+	a := q - p*p/3
+	b := 2*p*p*p/27 - p*q/3 + r
+
+	var roots []float64
+	disc := b*b/4 + a*a*a/27
+	switch {
+	case disc > 1e-14:
+		// One real root.
+		sq := math.Sqrt(disc)
+		u := math.Cbrt(-b/2 + sq)
+		v := math.Cbrt(-b/2 - sq)
+		roots = []float64{u + v - shift}
+	case disc < -1e-14:
+		// Three distinct real roots (a < 0 here).
+		m := 2 * math.Sqrt(-a/3)
+		theta := math.Acos(Clamp(3*b/(a*m), -1, 1)) / 3
+		for k := 0; k < 3; k++ {
+			roots = append(roots, m*math.Cos(theta-2*math.Pi*float64(k)/3)-shift)
+		}
+	default:
+		// Repeated roots.
+		if math.Abs(b) < 1e-14 && math.Abs(a) < 1e-14 {
+			roots = []float64{-shift}
+		} else {
+			u := math.Cbrt(-b / 2)
+			roots = []float64{2*u - shift, -u - shift}
+		}
+	}
+	sortFloats(roots)
+	return polishRoots(roots, func(t float64) (float64, float64) {
+		return ((t+p)*t+q)*t + r, (3*t+2*p)*t + q
+	})
+}
+
+// SolveQuartic returns the real roots of
+// t⁴ + a·t³ + b·t² + c·t + d = 0 (monic) in ascending order, via
+// Ferrari's resolvent-cubic method with Newton polishing. Intended for
+// torus intersection, where coefficients are well-scaled.
+func SolveQuartic(a, b, c, d float64) []float64 {
+	// Depress: t = x - a/4  =>  x⁴ + p·x² + q·x + r = 0.
+	shift := a / 4
+	a2 := a * a
+	p := b - 3*a2/8
+	q := c - a*b/2 + a2*a/8
+	r := d - a*c/4 + a2*b/16 - 3*a2*a2/256
+
+	var xs []float64
+	if math.Abs(q) < 1e-12 {
+		// Biquadratic: x⁴ + p x² + r = 0.
+		y0, y1, n := SolveQuadratic(1, p, r)
+		for i, y := range [2]float64{y0, y1} {
+			if i >= n {
+				break
+			}
+			if y < 0 {
+				continue
+			}
+			s := math.Sqrt(y)
+			xs = append(xs, s, -s)
+		}
+	} else {
+		// Resolvent cubic: y³ + 2p·y² + (p²-4r)·y - q² = 0; any positive
+		// root y gives the factorisation.
+		ys := SolveCubic(2*p, p*p-4*r, -q*q)
+		var y float64
+		for _, cand := range ys {
+			if cand > y {
+				y = cand
+			}
+		}
+		if y <= 0 {
+			return nil
+		}
+		s := math.Sqrt(y)
+		// x² ± s·x + (p + y ∓ q/s)/2 = 0.
+		u := (p + y - q/s) / 2
+		v := (p + y + q/s) / 2
+		t0, t1, n := SolveQuadratic(1, s, u)
+		for i, t := range [2]float64{t0, t1} {
+			if i < n {
+				xs = append(xs, t)
+			}
+		}
+		t0, t1, n = SolveQuadratic(1, -s, v)
+		for i, t := range [2]float64{t0, t1} {
+			if i < n {
+				xs = append(xs, t)
+			}
+		}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	roots := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		roots = append(roots, x-shift)
+	}
+	roots = polishRoots(roots, func(t float64) (float64, float64) {
+		f := (((t+a)*t+b)*t+c)*t + d
+		df := ((4*t+3*a)*t+2*b)*t + c
+		return f, df
+	})
+	sortFloats(roots)
+	return dedupFloats(roots, 1e-9)
+}
+
+// polishRoots runs a few Newton iterations on each root using the
+// supplied (f, f') evaluator.
+func polishRoots(roots []float64, eval func(t float64) (f, df float64)) []float64 {
+	for i, t := range roots {
+		for iter := 0; iter < 12; iter++ {
+			f, df := eval(t)
+			if math.Abs(df) < 1e-300 {
+				break
+			}
+			step := f / df
+			t -= step
+			if math.Abs(step) < 1e-14*(1+math.Abs(t)) {
+				break
+			}
+		}
+		roots[i] = t
+	}
+	return roots
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func dedupFloats(xs []float64, tol float64) []float64 {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := xs[:1]
+	for _, x := range xs[1:] {
+		if x-out[len(out)-1] > tol {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func residCubic(p, q, r, t float64) float64 {
+	return ((t+p)*t+q)*t + r
+}
+
+func residQuartic(a, b, c, d, t float64) float64 {
+	return (((t+a)*t+b)*t+c)*t + d
+}
+
+func TestSolveCubicKnownRoots(t *testing.T) {
+	// (t-1)(t-2)(t-3) = t³ -6t² +11t -6.
+	roots := SolveCubic(-6, 11, -6)
+	if len(roots) != 3 {
+		t.Fatalf("%d roots: %v", len(roots), roots)
+	}
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if math.Abs(roots[i]-w) > 1e-9 {
+			t.Errorf("root %d = %v, want %v", i, roots[i], w)
+		}
+	}
+}
+
+func TestSolveCubicOneRealRoot(t *testing.T) {
+	// (t-2)(t²+1) = t³ -2t² + t - 2.
+	roots := SolveCubic(-2, 1, -2)
+	if len(roots) != 1 {
+		t.Fatalf("%d roots: %v", len(roots), roots)
+	}
+	if math.Abs(roots[0]-2) > 1e-9 {
+		t.Errorf("root = %v", roots[0])
+	}
+}
+
+func TestSolveCubicTripleRoot(t *testing.T) {
+	// (t-1)³ = t³ -3t² +3t -1.
+	roots := SolveCubic(-3, 3, -1)
+	for _, r := range roots {
+		if math.Abs(r-1) > 1e-6 {
+			t.Errorf("triple root gave %v", roots)
+		}
+	}
+	if len(roots) == 0 {
+		t.Fatal("no roots")
+	}
+}
+
+func TestSolveQuarticKnownRoots(t *testing.T) {
+	// (t-1)(t-2)(t-3)(t-4) = t⁴ -10t³ +35t² -50t +24.
+	roots := SolveQuartic(-10, 35, -50, 24)
+	if len(roots) != 4 {
+		t.Fatalf("%d roots: %v", len(roots), roots)
+	}
+	for i, w := range []float64{1, 2, 3, 4} {
+		if math.Abs(roots[i]-w) > 1e-8 {
+			t.Errorf("root %d = %v, want %v", i, roots[i], w)
+		}
+	}
+}
+
+func TestSolveQuarticNoRealRoots(t *testing.T) {
+	// (t²+1)(t²+4) = t⁴ + 5t² + 4.
+	if roots := SolveQuartic(0, 5, 0, 4); len(roots) != 0 {
+		t.Errorf("imaginary quartic returned %v", roots)
+	}
+}
+
+func TestSolveQuarticBiquadratic(t *testing.T) {
+	// (t²-1)(t²-4) = t⁴ -5t² +4: roots ±1, ±2.
+	roots := SolveQuartic(0, -5, 0, 4)
+	if len(roots) != 4 {
+		t.Fatalf("%d roots: %v", len(roots), roots)
+	}
+	for i, w := range []float64{-2, -1, 1, 2} {
+		if math.Abs(roots[i]-w) > 1e-9 {
+			t.Errorf("root %d = %v, want %v", i, roots[i], w)
+		}
+	}
+}
+
+func TestSolveQuarticDoubleRoots(t *testing.T) {
+	// (t-1)²(t-3)² = t⁴ -8t³ +22t² -24t + 9.
+	roots := SolveQuartic(-8, 22, -24, 9)
+	if len(roots) < 2 {
+		t.Fatalf("roots = %v", roots)
+	}
+	for _, r := range roots {
+		if math.Abs(residQuartic(-8, 22, -24, 9, r)) > 1e-5 {
+			t.Errorf("root %v residual too large", r)
+		}
+	}
+}
+
+// Property: construct quartics from random real roots; the solver must
+// recover roots with small residuals and not miss sign changes.
+func TestQuickQuarticFromRoots(t *testing.T) {
+	f := func(r0, r1, r2, r3 int8) bool {
+		// Roots in a modest range. Near-coincident roots are inherently
+		// ill-conditioned for direct solvers (they correspond to grazing
+		// rays); require separation.
+		rs := []float64{
+			float64(r0%10) + 0.25, float64(r1%10) - 0.5,
+			float64(r2%10) + 0.125, float64(r3%10) - 0.75,
+		}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if math.Abs(rs[i]-rs[j]) < 0.3 {
+					return true
+				}
+			}
+		}
+		// Expand (t-rs0)(t-rs1)(t-rs2)(t-rs3).
+		a := -(rs[0] + rs[1] + rs[2] + rs[3])
+		b := rs[0]*rs[1] + rs[0]*rs[2] + rs[0]*rs[3] + rs[1]*rs[2] + rs[1]*rs[3] + rs[2]*rs[3]
+		c := -(rs[0]*rs[1]*rs[2] + rs[0]*rs[1]*rs[3] + rs[0]*rs[2]*rs[3] + rs[1]*rs[2]*rs[3])
+		d := rs[0] * rs[1] * rs[2] * rs[3]
+		got := SolveQuartic(a, b, c, d)
+		if len(got) == 0 {
+			return false
+		}
+		// Every returned root satisfies the polynomial.
+		for _, r := range got {
+			if math.Abs(residQuartic(a, b, c, d, r)) > 1e-4*(1+math.Abs(d)) {
+				return false
+			}
+		}
+		// Every true root is near some returned root.
+		for _, w := range rs {
+			ok := false
+			for _, r := range got {
+				if math.Abs(r-w) < 1e-4 {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cubic residuals are small for random coefficients.
+func TestQuickCubicResiduals(t *testing.T) {
+	f := func(p8, q8, r8 int8) bool {
+		p, q, r := float64(p8)/4, float64(q8)/4, float64(r8)/4
+		for _, root := range SolveCubic(p, q, r) {
+			if math.Abs(residCubic(p, q, r, root)) > 1e-6*(1+math.Abs(r)) {
+				return false
+			}
+		}
+		// A cubic always has at least one real root.
+		return len(SolveCubic(p, q, r)) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

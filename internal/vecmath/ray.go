@@ -1,0 +1,66 @@
+package vecmath
+
+import "fmt"
+
+// RayKind classifies why a ray was cast. The frame-coherence engine keys
+// its bookkeeping on pixels, not kinds, but the tracer keeps per-kind
+// counters because the paper reports total ray counts (Table 1, row 1).
+type RayKind uint8
+
+// Ray kinds, in the order the paper enumerates them (§2): the initial
+// camera ray, reflected rays, refracted rays and shadow rays.
+const (
+	CameraRay RayKind = iota
+	ReflectedRay
+	RefractedRay
+	ShadowRay
+	numRayKinds
+)
+
+// NumRayKinds is the number of distinct RayKind values.
+const NumRayKinds = int(numRayKinds)
+
+// String implements fmt.Stringer.
+func (k RayKind) String() string {
+	switch k {
+	case CameraRay:
+		return "camera"
+	case ReflectedRay:
+		return "reflected"
+	case RefractedRay:
+		return "refracted"
+	case ShadowRay:
+		return "shadow"
+	default:
+		return fmt.Sprintf("RayKind(%d)", uint8(k))
+	}
+}
+
+// Ray is a parametric half-line Origin + t*Dir for t >= 0. Dir is not
+// required to be unit length by the intersection code, but the tracer
+// always normalises before shading so that t equals Euclidean distance.
+type Ray struct {
+	Origin Vec3
+	Dir    Vec3
+	Kind   RayKind
+	// Depth is the recursion depth (0 for camera rays). The tracer stops
+	// spawning secondary rays once Depth reaches the scene maximum (the
+	// paper uses POV-Ray's "max ray depth of 5").
+	Depth int
+}
+
+// At returns the point at parameter t along the ray.
+func (r Ray) At(t float64) Vec3 {
+	return r.Origin.Add(r.Dir.Scale(t))
+}
+
+// Interval is a [Min,Max] parameter range along a ray.
+type Interval struct {
+	Min, Max float64
+}
+
+// Contains reports whether t lies inside the interval.
+func (iv Interval) Contains(t float64) bool { return t >= iv.Min && t <= iv.Max }
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Max < iv.Min }

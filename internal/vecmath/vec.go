@@ -1,0 +1,204 @@
+// Package vecmath provides the small linear-algebra kernel used by the
+// renderer: 3-vectors, rays, 4x4 affine transforms, axis-aligned bounding
+// boxes and a handful of numeric helpers. Everything is plain value types;
+// nothing allocates on the hot path.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the geometric tolerance used throughout the renderer for
+// self-intersection avoidance and degenerate-case tests.
+const Eps = 1e-9
+
+// ShadowEps is the offset applied along a surface normal before casting
+// secondary rays, large enough to clear floating-point error on unit-scale
+// scenes without visibly detaching shadows.
+const ShadowEps = 1e-6
+
+// Vec3 is a 3-component vector of float64. It doubles as a point and as an
+// RGB colour triplet in the shading code.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V is shorthand for constructing a Vec3.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Splat returns a vector with all three components set to s.
+func Splat(s float64) Vec3 { return Vec3{s, s, s} }
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Mul returns the component-wise product v * w (Hadamard product), the
+// operation used to filter light through surface colours.
+func (v Vec3) Mul(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the dot product v · w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v × w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Len2 returns the squared length of v, avoiding the square root.
+func (v Vec3) Len2() float64 { return v.Dot(v) }
+
+// Norm returns v scaled to unit length. The zero vector is returned
+// unchanged so callers need not special-case degenerate normals.
+func (v Vec3) Norm() Vec3 {
+	l := v.Len()
+	if l < Eps {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Dist returns the Euclidean distance between points v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Len() }
+
+// Lerp linearly interpolates from v to w by t in [0,1].
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + (w.X-v.X)*t,
+		v.Y + (w.Y-v.Y)*t,
+		v.Z + (w.Z-v.Z)*t,
+	}
+}
+
+// Min returns the component-wise minimum of v and w.
+func (v Vec3) Min(w Vec3) Vec3 {
+	return Vec3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vec3) Max(w Vec3) Vec3 {
+	return Vec3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}
+
+// Axis returns component i of v, with 0=X, 1=Y, 2=Z.
+func (v Vec3) Axis(i int) float64 {
+	switch i {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// SetAxis returns a copy of v with component i replaced by s.
+func (v Vec3) SetAxis(i int, s float64) Vec3 {
+	switch i {
+	case 0:
+		v.X = s
+	case 1:
+		v.Y = s
+	default:
+		v.Z = s
+	}
+	return v
+}
+
+// MaxComponent returns the largest of the three components.
+func (v Vec3) MaxComponent() float64 { return math.Max(v.X, math.Max(v.Y, v.Z)) }
+
+// Reflect returns the reflection of incident direction v about unit
+// normal n: v - 2(v·n)n.
+func (v Vec3) Reflect(n Vec3) Vec3 {
+	return v.Sub(n.Scale(2 * v.Dot(n)))
+}
+
+// Refract returns the refracted direction of unit incident v crossing a
+// surface with unit normal n, with eta = n1/n2 the ratio of refractive
+// indices. The second return value is false on total internal reflection.
+func (v Vec3) Refract(n Vec3, eta float64) (Vec3, bool) {
+	cosI := -v.Dot(n)
+	sin2T := eta * eta * (1 - cosI*cosI)
+	if sin2T > 1 {
+		return Vec3{}, false // total internal reflection
+	}
+	cosT := math.Sqrt(1 - sin2T)
+	return v.Scale(eta).Add(n.Scale(eta*cosI - cosT)), true
+}
+
+// ApproxEq reports whether v and w differ by at most tol in every
+// component.
+func (v Vec3) ApproxEq(w Vec3, tol float64) bool {
+	return math.Abs(v.X-w.X) <= tol &&
+		math.Abs(v.Y-w.Y) <= tol &&
+		math.Abs(v.Z-w.Z) <= tol
+}
+
+// IsFinite reports whether all components are finite numbers.
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// Clamp01 clamps every component into [0,1]; used when converting shading
+// results to 24-bit pixels.
+func (v Vec3) Clamp01() Vec3 {
+	return Vec3{clamp01(v.X), clamp01(v.Y), clamp01(v.Z)}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// String implements fmt.Stringer.
+func (v Vec3) String() string {
+	return fmt.Sprintf("<%.6g, %.6g, %.6g>", v.X, v.Y, v.Z)
+}
+
+// ONB is an orthonormal basis built around a primary direction; used for
+// sampling and camera frames.
+type ONB struct {
+	U, V, W Vec3
+}
+
+// NewONB constructs an orthonormal basis whose W axis is the
+// normalisation of w.
+func NewONB(w Vec3) ONB {
+	wn := w.Norm()
+	a := V(1, 0, 0)
+	if math.Abs(wn.X) > 0.9 {
+		a = V(0, 1, 0)
+	}
+	v := wn.Cross(a).Norm()
+	u := v.Cross(wn)
+	return ONB{U: u, V: v, W: wn}
+}
+
+// Local maps basis-space coordinates (a,b,c) into world space.
+func (o ONB) Local(a, b, c float64) Vec3 {
+	return o.U.Scale(a).Add(o.V.Scale(b)).Add(o.W.Scale(c))
+}

@@ -1,0 +1,274 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != V(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Neg(); got != V(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestVecCrossOrthogonal(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(-4, 1, 0.5)
+	c := a.Cross(b)
+	if math.Abs(c.Dot(a)) > 1e-12 || math.Abs(c.Dot(b)) > 1e-12 {
+		t.Errorf("cross product not orthogonal: %v", c)
+	}
+	// Right-hand rule sanity check.
+	if got := V(1, 0, 0).Cross(V(0, 1, 0)); !got.ApproxEq(V(0, 0, 1), 1e-15) {
+		t.Errorf("x cross y = %v, want z", got)
+	}
+}
+
+func TestVecNorm(t *testing.T) {
+	v := V(3, 4, 0).Norm()
+	if math.Abs(v.Len()-1) > 1e-12 {
+		t.Errorf("normalised length = %v", v.Len())
+	}
+	// Zero vector passes through unchanged.
+	if got := V(0, 0, 0).Norm(); got != V(0, 0, 0) {
+		t.Errorf("Norm(0) = %v", got)
+	}
+}
+
+func TestVecLerp(t *testing.T) {
+	a, b := V(0, 0, 0), V(10, -10, 4)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); !got.ApproxEq(V(5, -5, 2), 1e-12) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVecAxisAccessors(t *testing.T) {
+	v := V(7, 8, 9)
+	for i, want := range []float64{7, 8, 9} {
+		if got := v.Axis(i); got != want {
+			t.Errorf("Axis(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if got := v.SetAxis(1, -1); got != V(7, -1, 9) {
+		t.Errorf("SetAxis = %v", got)
+	}
+	if v != V(7, 8, 9) {
+		t.Errorf("SetAxis mutated receiver: %v", v)
+	}
+}
+
+func TestReflect(t *testing.T) {
+	// 45-degree incidence onto the XZ plane.
+	in := V(1, -1, 0).Norm()
+	n := V(0, 1, 0)
+	out := in.Reflect(n)
+	want := V(1, 1, 0).Norm()
+	if !out.ApproxEq(want, 1e-12) {
+		t.Errorf("Reflect = %v, want %v", out, want)
+	}
+	// Reflection preserves length.
+	if math.Abs(out.Len()-in.Len()) > 1e-12 {
+		t.Errorf("reflection changed length")
+	}
+}
+
+func TestRefractStraightThrough(t *testing.T) {
+	// Normal incidence with equal indices passes straight through.
+	in := V(0, -1, 0)
+	out, ok := in.Refract(V(0, 1, 0), 1.0)
+	if !ok {
+		t.Fatal("unexpected TIR")
+	}
+	if !out.ApproxEq(in, 1e-12) {
+		t.Errorf("Refract(eta=1) = %v, want %v", out, in)
+	}
+}
+
+func TestRefractSnell(t *testing.T) {
+	// Glass entry at 45 degrees: sin(theta_t) = sin(45)/1.5.
+	in := V(1, -1, 0).Norm()
+	n := V(0, 1, 0)
+	eta := 1.0 / 1.5
+	out, ok := in.Refract(n, eta)
+	if !ok {
+		t.Fatal("unexpected TIR")
+	}
+	sinI := math.Sqrt(0.5)
+	sinT := math.Abs(out.Norm().X)
+	if math.Abs(sinT-eta*sinI) > 1e-9 {
+		t.Errorf("Snell violated: sinT=%v want %v", sinT, eta*sinI)
+	}
+}
+
+func TestRefractTotalInternalReflection(t *testing.T) {
+	// Glass-to-air at a steep angle must be TIR: critical angle
+	// asin(1/1.5) ~ 41.8 degrees; use 60 degrees.
+	theta := Radians(60)
+	in := V(math.Sin(theta), -math.Cos(theta), 0)
+	_, ok := in.Refract(V(0, 1, 0), 1.5)
+	if ok {
+		t.Error("expected total internal reflection")
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	v := V(-0.5, 0.5, 1.5).Clamp01()
+	if v != V(0, 0.5, 1) {
+		t.Errorf("Clamp01 = %v", v)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestONBOrthonormal(t *testing.T) {
+	dirs := []Vec3{
+		V(0, 0, 1), V(1, 0, 0), V(0, 1, 0),
+		V(1, 1, 1), V(-0.3, 2, -5), V(0.95, 0.1, 0),
+	}
+	for _, d := range dirs {
+		o := NewONB(d)
+		pairs := [][2]Vec3{{o.U, o.V}, {o.V, o.W}, {o.U, o.W}}
+		for _, p := range pairs {
+			if math.Abs(p[0].Dot(p[1])) > 1e-9 {
+				t.Errorf("ONB(%v) not orthogonal", d)
+			}
+		}
+		for _, ax := range []Vec3{o.U, o.V, o.W} {
+			if math.Abs(ax.Len()-1) > 1e-9 {
+				t.Errorf("ONB(%v) axis not unit: %v", d, ax)
+			}
+		}
+		if !o.W.ApproxEq(d.Norm(), 1e-9) {
+			t.Errorf("ONB W != normalised input for %v", d)
+		}
+	}
+}
+
+func TestONBLocal(t *testing.T) {
+	o := NewONB(V(0, 0, 1))
+	got := o.Local(0, 0, 2)
+	if !got.ApproxEq(V(0, 0, 2), 1e-12) {
+		t.Errorf("Local(0,0,2) = %v", got)
+	}
+}
+
+// Property: dot product is bilinear and symmetric.
+func TestQuickDotSymmetry(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		// Avoid overflow-to-Inf making the sum NaN-poisoned.
+		if !a.IsFinite() || !b.IsFinite() || a.Len() > 1e150 || b.Len() > 1e150 {
+			return true
+		}
+		return a.Dot(b) == b.Dot(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reflection is an involution (reflecting twice restores the
+// vector) for unit normals.
+func TestQuickReflectInvolution(t *testing.T) {
+	f := func(vx, vy, vz, nx, ny, nz float64) bool {
+		v := V(vx, vy, vz)
+		n := V(nx, ny, nz)
+		if !v.IsFinite() || !n.IsFinite() || n.Len() < 1e-6 || v.Len() > 1e100 {
+			return true
+		}
+		n = n.Norm()
+		twice := v.Reflect(n).Reflect(n)
+		return twice.ApproxEq(v, 1e-6*math.Max(1, v.Len()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cross product is anti-commutative.
+func TestQuickCrossAnticommutative(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		// Very large components overflow to Inf inside the products and
+		// make the comparison NaN-poisoned; restrict to a sane range.
+		if !a.IsFinite() || !b.IsFinite() || a.Len() > 1e150 || b.Len() > 1e150 {
+			return true
+		}
+		return a.Cross(b) == b.Cross(a).Neg()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRayAt(t *testing.T) {
+	r := Ray{Origin: V(1, 2, 3), Dir: V(0, 0, 2)}
+	if got := r.At(0.5); got != V(1, 2, 4) {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if got := r.At(0); got != r.Origin {
+		t.Errorf("At(0) = %v", got)
+	}
+}
+
+func TestRayKindString(t *testing.T) {
+	want := map[RayKind]string{
+		CameraRay: "camera", ReflectedRay: "reflected",
+		RefractedRay: "refracted", ShadowRay: "shadow",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if RayKind(200).String() == "" {
+		t.Error("unknown kind produced empty string")
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Min: 1, Max: 2}
+	if !iv.Contains(1.5) || iv.Contains(0.5) || iv.Contains(2.5) {
+		t.Error("Contains misbehaves")
+	}
+	if iv.Empty() {
+		t.Error("non-empty interval reported empty")
+	}
+	if !(Interval{Min: 2, Max: 1}).Empty() {
+		t.Error("empty interval not reported")
+	}
+}
