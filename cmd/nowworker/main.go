@@ -4,12 +4,24 @@
 // until the master shuts it down.
 //
 //	nowworker -master host:7946 -name ws01
+//
+// The dial retries with exponential backoff, so workers can be started
+// before the master is listening — the launch order the paper's PVM
+// console allowed. SIGINT/SIGTERM trigger a graceful departure: the
+// worker finishes the frame it is rendering, tells the master where it
+// stopped (so the rest of its task is requeued on the surviving
+// workers), and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"nowrender/internal/farm"
 	"nowrender/internal/msg"
@@ -18,22 +30,60 @@ import (
 
 func main() {
 	var (
-		master = flag.String("master", "127.0.0.1:7946", "master address")
-		name   = flag.String("name", "", "worker name (default: host:pid)")
+		master  = flag.String("master", "127.0.0.1:7946", "master address")
+		name    = flag.String("name", "", "worker name (default: host:pid)")
+		maxWait = flag.Duration("max-wait", 2*time.Minute, "give up dialing the master after this long (0 = retry forever)")
 	)
 	flag.Parse()
 	if *name == "" {
 		host, _ := os.Hostname()
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	if err := run(*master, *name); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, *master, *name, *maxWait)
+	switch {
+	case err == nil:
+		return
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintf(os.Stderr, "nowworker %s: interrupted, departed gracefully\n", *name)
+	default:
 		fmt.Fprintln(os.Stderr, "nowworker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(master, name string) error {
-	conn, err := msg.Dial(master)
+// dialRetry dials the master with exponential backoff (250ms doubling,
+// capped at 5s) until it connects, ctx is cancelled, or maxWait passes.
+func dialRetry(ctx context.Context, master string, maxWait time.Duration) (msg.Conn, error) {
+	var deadline <-chan time.Time
+	if maxWait > 0 {
+		t := time.NewTimer(maxWait)
+		defer t.Stop()
+		deadline = t.C
+	}
+	backoff := 250 * time.Millisecond
+	for {
+		conn, err := msg.Dial(master)
+		if err == nil {
+			return conn, nil
+		}
+		fmt.Fprintf(os.Stderr, "nowworker: master %s not up (%v), retrying in %v\n", master, err, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-deadline:
+			return nil, fmt.Errorf("master %s unreachable after %v: %w", master, maxWait, err)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+func run(ctx context.Context, master, name string, maxWait time.Duration) error {
+	conn, err := dialRetry(ctx, master, maxWait)
 	if err != nil {
 		return err
 	}
@@ -59,5 +109,5 @@ func run(master, name string) error {
 	}
 	fmt.Printf("worker %s: scene %q loaded (%d frames), entering render loop\n",
 		name, sc.Name, sc.Frames)
-	return farm.RunWorker(name, conn, sc)
+	return farm.RunWorkerCtx(ctx, name, conn, sc)
 }

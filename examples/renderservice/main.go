@@ -1,0 +1,146 @@
+// Renderservice: run the render-job service in-process behind an
+// httptest server and drive it like a remote client — submit an
+// animation, follow per-frame progress over server-sent events,
+// download a frame, then resubmit the same job and watch the
+// content-addressed cache answer it without tracing a single ray.
+//
+//	go run ./examples/renderservice
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"nowrender"
+)
+
+func main() {
+	svc := nowrender.NewService(nowrender.ServiceConfig{MaxConcurrent: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	fmt.Println("service up at", srv.URL)
+
+	spec := nowrender.JobSpec{Scene: "newton:8", W: 120, H: 160}
+
+	// First submission renders every frame on the farm.
+	first := submit(srv.URL, spec)
+	fmt.Printf("submitted %s (%s, %d frames)\n", first.ID, spec.Scene, first.FramesTotal)
+	follow(srv.URL, first.ID)
+	first = status(srv.URL, first.ID)
+	fmt.Printf("job %s: %s — %d/%d frames, %d rays traced, %d cache hits\n",
+		first.ID, first.State, first.FramesDone, first.FramesTotal, first.RaysTraced, first.CacheHits)
+
+	// Download one frame as TGA.
+	frame := get(srv.URL + "/jobs/" + first.ID + "/frames/0")
+	if err := os.WriteFile("renderservice-frame0.tga", frame, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote renderservice-frame0.tga (%d bytes)\n", len(frame))
+
+	// The same job again: content-addressed, so every frame is a cache
+	// hit and the ray counter stays at zero.
+	second := submit(srv.URL, spec)
+	follow(srv.URL, second.ID)
+	second = status(srv.URL, second.ID)
+	fmt.Printf("job %s: %s — %d cache hits, %d rays traced (all frames reused)\n",
+		second.ID, second.State, second.CacheHits, second.RaysTraced)
+
+	// The metrics endpoint tells the same story.
+	for _, line := range strings.Split(string(get(srv.URL+"/metrics")), "\n") {
+		if strings.HasPrefix(line, "nowrender_cache_hit") ||
+			strings.HasPrefix(line, "nowrender_frames_") ||
+			strings.HasPrefix(line, "nowrender_rays_") {
+			fmt.Println("metrics:", line)
+		}
+	}
+}
+
+// submit POSTs a JobSpec and returns the accepted job status.
+func submit(base string, spec nowrender.JobSpec) nowrender.JobStatus {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("submit: %s: %s", resp.Status, msg)
+	}
+	var st nowrender.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+// follow streams the job's server-sent events until the terminal one.
+func follow(base, id string) {
+	resp, err := http.Get(base + "/jobs/" + id + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var event string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev nowrender.JobEvent
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				log.Fatal(err)
+			}
+			switch event {
+			case "frame":
+				src := "rendered"
+				if ev.Cached {
+					src = "cache hit"
+				}
+				fmt.Printf("  frame %2d %-9s (%d/%d)\n", ev.Frame, src, ev.FramesDone, ev.FramesTotal)
+			case "done", "failed", "cancelled":
+				fmt.Printf("  job %s: %s\n", id, event)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// status GETs the job's current snapshot.
+func status(base, id string) nowrender.JobStatus {
+	var st nowrender.JobStatus
+	if err := json.Unmarshal(get(base+"/jobs/"+id), &st); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+// get fetches a URL or dies.
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body
+}

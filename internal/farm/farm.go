@@ -17,6 +17,7 @@
 package farm
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -62,6 +63,27 @@ type Config struct {
 	// Emit, when non-nil, receives each assembled frame in frame order
 	// after the run completes.
 	Emit func(frame int, img *fb.Framebuffer) error
+
+	// Ctx, when non-nil, cancels the run: the drivers check it between
+	// events (virtual) or messages (local/TCP) and return Ctx.Err()
+	// promptly once it is done. A nil Ctx never cancels.
+	Ctx context.Context
+
+	// OnFrame, when non-nil, observes each frame the moment it completes
+	// assembly — in completion order, which under frame division may
+	// differ from frame order — rather than only after the whole run.
+	// The framebuffer is fully assembled and is retained by the farm in
+	// Result.Frames, so observers must not modify it. A non-nil error
+	// aborts the run.
+	OnFrame func(frame int, img *fb.Framebuffer) error
+}
+
+// cancelled returns the context error if the run was cancelled.
+func (c *Config) cancelled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 func (c *Config) defaults() error {
@@ -186,6 +208,11 @@ func (a *assembly) deliver(absFrame int, region fb.Rect, pix []byte, t time.Dura
 		return true, nil
 	}
 	return false, nil
+}
+
+// frame returns the (possibly partial) framebuffer of an absolute frame.
+func (a *assembly) frame(absFrame int) *fb.Framebuffer {
+	return a.frames[absFrame-a.start]
 }
 
 func (a *assembly) complete() error {

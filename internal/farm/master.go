@@ -1,6 +1,8 @@
 package farm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -48,6 +50,14 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("farm: no workers attached")
 	}
+	if cfg.Ctx != nil {
+		// Cancelling the context closes the hub, which unblocks the
+		// blocking Recv below; workers observe their closed connections
+		// and exit. Hub.Close is idempotent, so the caller's own Close
+		// afterwards is harmless.
+		stop := context.AfterFunc(cfg.Ctx, func() { hub.Close() })
+		defer stop()
+	}
 
 	queue := cfg.Scheme.InitialTasks(cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame, len(names))
 	if err := partition.ValidateTiling(queue, cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame); err != nil {
@@ -82,7 +92,15 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		w.doneThrough = t.StartFrame
 		w.truncatePending = false
 		w.finishedAt = -1
-		return hub.Send(w.name, msg.Message{Tag: TagTask, Data: data})
+		if err := hub.Send(w.name, msg.Message{Tag: TagTask, Data: data}); err != nil {
+			if errors.Is(err, msg.ErrClosed) {
+				// The worker crashed under us; its TagDown is already in
+				// flight and retire() will requeue this task.
+				return nil
+			}
+			return err
+		}
+		return nil
 	}
 
 	// trySteal picks the victim with the most unfinished frames and asks
@@ -111,7 +129,15 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		victim.truncatePending = true
 		waiting = append(waiting, thief)
 		res.Subdivisions++
-		return true, hub.Send(victim.name, msg.Message{Tag: TagTruncate, Data: encodePair(victim.task.ID, newEnd)})
+		if err := hub.Send(victim.name, msg.Message{Tag: TagTruncate, Data: encodePair(victim.task.ID, newEnd)}); err != nil {
+			if errors.Is(err, msg.ErrClosed) {
+				// Victim crashed; its TagDown will retire it, requeue its
+				// frames and release the parked thief.
+				return true, nil
+			}
+			return true, err
+		}
+		return true, nil
 	}
 
 	// giveWork hands the next queued task to an idle worker, or tries a
@@ -159,24 +185,39 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 
 	// Seed: respond to hellos (workers announce themselves) and assign.
 	// Workers lost before their hello are tolerated as long as one
-	// survives.
-	assigned := 0
-	for assigned < len(names) {
+	// survives. A worker seeded early can finish frames — or a whole
+	// task — before a slower peer's hello arrives in the shared inbox;
+	// those results are backlogged for the main loop, not errors.
+	var backlog []msg.Message
+	seen := make(map[string]bool, len(names))
+	for len(seen) < len(names) {
 		m, err := hub.Recv()
 		if err != nil {
 			return nil, err
 		}
 		switch m.Tag {
 		case TagHello:
+			if seen[m.From] {
+				return nil, fmt.Errorf("farm: duplicate hello from %s", m.From)
+			}
+			seen[m.From] = true
 			if err := giveWork(m.From); err != nil {
 				return nil, err
 			}
-		case msg.TagDown:
+		case msg.TagDown, TagBye:
+			if seen[m.From] {
+				// Lost after its hello, while peers are still joining:
+				// the main loop's retire() requeues its frames.
+				backlog = append(backlog, m)
+				break
+			}
+			seen[m.From] = true
 			workers[m.From].dead = true
+		case TagFrameDone, TagTaskDone, TagTruncateAck:
+			backlog = append(backlog, m)
 		default:
 			return nil, fmt.Errorf("farm: expected hello, got tag %d from %s", m.Tag, m.From)
 		}
-		assigned++
 	}
 	aliveAtStart := 0
 	for _, w := range workers {
@@ -188,9 +229,65 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		return nil, fmt.Errorf("farm: no workers survived startup")
 	}
 
+	// retire removes a worker from the run — either a failure (TagDown)
+	// or a graceful departure (TagBye) — requeueing its unfinished
+	// frames and re-engaging parked thieves.
+	retire := func(w *workerRecord) error {
+		w.dead = true
+		// Drop the worker from the thief waiting list.
+		for i, name := range waiting {
+			if name == w.name {
+				waiting = append(waiting[:i], waiting[i+1:]...)
+				break
+			}
+		}
+		if w.hasTask {
+			// Frames already delivered are safe; everything from the
+			// frame in progress onward must be re-rendered.
+			if w.doneThrough < w.task.EndFrame {
+				queue = append(queue, partition.Task{
+					ID: nextTaskID, Region: w.task.Region,
+					StartFrame: w.doneThrough, EndFrame: w.task.EndFrame,
+				})
+				nextTaskID++
+			}
+			w.hasTask = false
+			// A truncate pending against this worker will never be
+			// acknowledged; the full remainder was requeued instead,
+			// so release any parked thief.
+			if w.truncatePending {
+				w.truncatePending = false
+				res.Subdivisions--
+			}
+		}
+		alive := 0
+		for _, o := range workers {
+			if !o.dead {
+				alive++
+			}
+		}
+		if alive == 0 && framesRemaining > 0 {
+			return fmt.Errorf("farm: all workers lost with %d frames unfinished", framesRemaining)
+		}
+		if len(waiting) > 0 && len(queue) > 0 {
+			thief := waiting[0]
+			waiting = waiting[1:]
+			if err := giveWork(thief); err != nil {
+				return err
+			}
+		}
+		return dispatchQueue()
+	}
+
 	for framesRemaining > 0 {
-		m, err := hub.Recv()
-		if err != nil {
+		var m msg.Message
+		var err error
+		if len(backlog) > 0 {
+			m, backlog = backlog[0], backlog[1:]
+		} else if m, err = hub.Recv(); err != nil {
+			if cerr := cfg.cancelled(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, err
 		}
 		w, ok := workers[m.From]
@@ -210,6 +307,11 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			}
 			if complete {
 				framesRemaining--
+				if cfg.OnFrame != nil {
+					if err := cfg.OnFrame(fd.Frame, asm.frame(fd.Frame)); err != nil {
+						return nil, err
+					}
+				}
 			}
 			if fd.Frame >= 0 && fd.Frame < sc.Frames {
 				d := time.Duration(fd.ElapsedNs)
@@ -298,50 +400,19 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			if w.dead {
 				continue
 			}
-			w.dead = true
-			// Drop the worker from the thief waiting list.
-			for i, name := range waiting {
-				if name == w.name {
-					waiting = append(waiting[:i], waiting[i+1:]...)
-					break
-				}
+			if err := retire(w); err != nil {
+				return nil, err
 			}
-			if w.hasTask {
-				// Frames already delivered are safe; everything from the
-				// frame in progress onward must be re-rendered.
-				if w.doneThrough < w.task.EndFrame {
-					queue = append(queue, partition.Task{
-						ID: nextTaskID, Region: w.task.Region,
-						StartFrame: w.doneThrough, EndFrame: w.task.EndFrame,
-					})
-					nextTaskID++
-				}
-				w.hasTask = false
-				// A truncate pending against this worker will never be
-				// acknowledged; the full remainder was requeued instead,
-				// so release any parked thief.
-				if w.truncatePending {
-					w.truncatePending = false
-					res.Subdivisions--
-				}
+
+		case TagBye:
+			// Graceful departure (the worker was signalled): it finished
+			// its in-flight frame — whose FrameDone preceded this message
+			// on the ordered connection — and will close its connection
+			// next, so the later TagDown is ignored via w.dead.
+			if w.dead {
+				continue
 			}
-			alive := 0
-			for _, o := range workers {
-				if !o.dead {
-					alive++
-				}
-			}
-			if alive == 0 && framesRemaining > 0 {
-				return nil, fmt.Errorf("farm: all workers lost with %d frames unfinished", framesRemaining)
-			}
-			if len(waiting) > 0 && len(queue) > 0 {
-				thief := waiting[0]
-				waiting = waiting[1:]
-				if err := giveWork(thief); err != nil {
-					return nil, err
-				}
-			}
-			if err := dispatchQueue(); err != nil {
+			if err := retire(w); err != nil {
 				return nil, err
 			}
 

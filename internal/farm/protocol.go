@@ -30,6 +30,11 @@ const (
 	// TagSceneSDL ships scene source to a remote worker (cmd/nowworker);
 	// in-process workers share the scene directly.
 	TagSceneSDL
+	// TagBye announces a worker's graceful departure (payload: task id,
+	// stop frame; -1, 0 when idle): the worker finished its in-flight
+	// frame and is about to close its connection. The master requeues the
+	// rest of its task without treating the exit as a failure.
+	TagBye
 )
 
 // taskMsg is the wire form of a task assignment.

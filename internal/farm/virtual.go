@@ -171,8 +171,14 @@ func RenderVirtual(cfg Config) (*Result, error) {
 		end := now.Communicate(w.id, resultBytes)
 		res.BytesTransferred += int64(resultBytes)
 
-		if _, err := asm.deliver(f, w.task.Region, pix, end); err != nil {
+		complete, err := asm.deliver(f, w.task.Region, pix, end)
+		if err != nil {
 			return err
+		}
+		if complete && cfg.OnFrame != nil {
+			if err := cfg.OnFrame(f, asm.frame(f)); err != nil {
+				return err
+			}
 		}
 		frameWork[f] += execTime
 		w.rays.Merge(rc)
@@ -189,6 +195,11 @@ func RenderVirtual(cfg Config) (*Result, error) {
 	// Event loop: repeatedly give work to idle machines (queue first,
 	// then steal) and advance the earliest busy machine by one frame.
 	for {
+		// Cancellation is checked once per event, so a cancelled run
+		// stops after at most one more frame of one worker.
+		if err := cfg.cancelled(); err != nil {
+			return nil, err
+		}
 		// Hand queued tasks to idle machines, cheapest clock first.
 		for len(queue) > 0 {
 			idle := -1

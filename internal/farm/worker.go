@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -36,13 +37,17 @@ func newAsyncConn(c msg.Conn) *asyncConn {
 	return a
 }
 
-// recv blocks for the next message.
-func (a *asyncConn) recv() (msg.Message, error) {
-	m, ok := <-a.inbox
-	if !ok {
-		return msg.Message{}, <-a.errCh
+// recv blocks for the next message or the context's cancellation.
+func (a *asyncConn) recv(ctx context.Context) (msg.Message, error) {
+	select {
+	case m, ok := <-a.inbox:
+		if !ok {
+			return msg.Message{}, <-a.errCh
+		}
+		return m, nil
+	case <-ctx.Done():
+		return msg.Message{}, ctx.Err()
 	}
-	return m, nil
 }
 
 // tryRecv returns the next message without blocking.
@@ -68,15 +73,41 @@ func (a *asyncConn) tryRecv() (msg.Message, bool, error) {
 // and acknowledges the actual stop frame so the master can reassign the
 // remainder without duplication.
 func RunWorker(name string, conn msg.Conn, sc *scene.Scene) error {
+	return RunWorkerCtx(context.Background(), name, conn, sc)
+}
+
+// RunWorkerCtx is RunWorker with graceful-shutdown support: when ctx is
+// cancelled the worker finishes the frame it is rendering, sends a
+// TagBye status message telling the master where it stopped (so the
+// remainder of its task is requeued, not lost), and returns ctx's
+// error. cmd/nowworker wires SIGINT/SIGTERM to this.
+func RunWorkerCtx(ctx context.Context, name string, conn msg.Conn, sc *scene.Scene) error {
+	err := runWorkerLoop(ctx, name, conn, sc)
+	if errors.Is(err, msg.ErrClosed) {
+		// The master closed the connection — the PVM-style shutdown a
+		// slave can observe mid-send as easily as mid-receive (e.g. a
+		// stale truncate ack racing the master's exit). A master-side
+		// failure is reported by the master; the worker exits cleanly.
+		return nil
+	}
+	return err
+}
+
+func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Scene) error {
 	ac := newAsyncConn(conn)
 	if err := ac.Send(msg.Message{Tag: TagHello, From: name, Data: []byte(name)}); err != nil {
 		return err
 	}
 	for {
-		m, err := ac.recv()
+		m, err := ac.recv(ctx)
 		if err != nil {
 			if errors.Is(err, msg.ErrClosed) {
 				return nil
+			}
+			if ctx.Err() != nil {
+				// Idle departure: nothing in flight to report.
+				_ = ac.Send(msg.Message{Tag: TagBye, From: name, Data: encodePair(-1, 0)})
+				return ctx.Err()
 			}
 			return err
 		}
@@ -88,7 +119,7 @@ func RunWorker(name string, conn msg.Conn, sc *scene.Scene) error {
 			if err != nil {
 				return err
 			}
-			if err := runTask(name, ac, sc, tm); err != nil {
+			if err := runTask(ctx, name, ac, sc, tm); err != nil {
 				return err
 			}
 		case TagTruncate:
@@ -108,8 +139,9 @@ func RunWorker(name string, conn msg.Conn, sc *scene.Scene) error {
 	}
 }
 
-// runTask renders one task frame-by-frame, honouring truncation.
-func runTask(name string, ac *asyncConn, sc *scene.Scene, tm taskMsg) error {
+// runTask renders one task frame-by-frame, honouring truncation and
+// graceful shutdown between frames.
+func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, tm taskMsg) error {
 	t := tm.Task
 	end := t.EndFrame
 	var eng *coherence.Engine
@@ -127,6 +159,15 @@ func runTask(name string, ac *asyncConn, sc *scene.Scene, tm taskMsg) error {
 	buf := fb.New(tm.W, tm.H)
 	f := t.StartFrame
 	for f < end {
+		// Graceful shutdown: the in-flight frame was already shipped, so
+		// stopping here loses nothing; TagBye tells the master to
+		// requeue [f, end).
+		if ctx.Err() != nil {
+			if err := ac.Send(msg.Message{Tag: TagBye, From: name, Data: encodePair(t.ID, f)}); err != nil {
+				return err
+			}
+			return ctx.Err()
+		}
 		// Drain control messages before starting the frame.
 		for {
 			cm, ok, err := ac.tryRecv()

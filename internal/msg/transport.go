@@ -330,9 +330,15 @@ func (h *Hub) Recv() (Message, error) {
 	return m, nil
 }
 
-// Close closes every slave connection and the inbox.
+// Close closes every slave connection and the inbox. Close is
+// idempotent: callers racing a context-cancellation watcher (see
+// farm.RunMaster) both return cleanly.
 func (h *Hub) Close() error {
 	h.mu.Lock()
+	if h.closing {
+		h.mu.Unlock()
+		return nil
+	}
 	h.closing = true
 	for _, c := range h.conns {
 		c.Close()

@@ -1,0 +1,290 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nowrender/internal/tga"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /jobs                  submit a job (JSON JobSpec) -> Status
+//	GET    /jobs                  list all jobs
+//	GET    /jobs/{id}             poll one job's status
+//	POST   /jobs/{id}/cancel      cancel a queued or running job
+//	GET    /jobs/{id}/events      server-sent per-frame progress events
+//	GET    /jobs/{id}/frames/{n}  fetch a finished frame (?format=tga|ppm|png)
+//	GET    /metrics               Prometheus text-format metrics
+//	GET    /healthz               liveness probe
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/frames/{frame}", s.handleFrame)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSON sends v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError sends a JSON error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad job spec: %w", err))
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.JobStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams job progress as server-sent events. Each event is
+//
+//	event: <type>
+//	data: <Event JSON>
+//
+// Frames completed before the subscription are replayed first, so the
+// client always sees one "frame" event per frame; a terminal event
+// (done/failed/cancelled) ends the stream.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported"))
+		return
+	}
+	id := r.PathValue("id")
+	ch, st, err := s.subscribe(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	defer s.unsubscribe(id, ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	writeSSE := func(event string, v any) {
+		data, _ := json.Marshal(v)
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	// Always open with a status snapshot so late subscribers know where
+	// the job stands.
+	writeSSE("status", st)
+	if st.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // terminal event already delivered
+			}
+			writeSSE(ev.Type, ev)
+			if ev.Type != "frame" && ev.Type != "queued" && ev.Type != "started" {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleFrame serves one finished frame, as soon as it is available
+// (streaming: clients need not wait for the whole job). Formats: tga
+// (default, the paper's output), ppm, png.
+func (s *Service) handleFrame(w http.ResponseWriter, r *http.Request) {
+	frame, err := strconv.Atoi(r.PathValue("frame"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad frame number %q", r.PathValue("frame")))
+		return
+	}
+	img, err := s.Frame(r.PathValue("id"), frame)
+	if err != nil {
+		code := http.StatusNotFound
+		if strings.Contains(err.Error(), "not rendered yet") {
+			// The frame exists but is still being rendered.
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "tga":
+		w.Header().Set("Content-Type", "image/x-tga")
+		_ = tga.Encode(w, img)
+	case "ppm":
+		w.Header().Set("Content-Type", "image/x-portable-pixmap")
+		_ = tga.EncodePPM(w, img)
+	case "png":
+		w.Header().Set("Content-Type", "image/png")
+		_ = tga.EncodePNG(w, img)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q", r.URL.Query().Get("format")))
+	}
+}
+
+// handleMetrics exposes the service counters in Prometheus text format:
+// queue depth, running jobs, job states, cache hit/miss/eviction and
+// occupancy, frames rendered vs served from cache, total rays, per-job
+// timings, and per-worker busy time (utilisation numerator).
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+
+	s.mu.Lock()
+	type jobTiming struct {
+		id           string
+		queueS, runS float64
+		state        State
+	}
+	states := map[State]int{}
+	var timings []jobTiming
+	for _, id := range s.order {
+		j := s.jobs[id]
+		states[j.state]++
+		t := jobTiming{id: j.id, state: j.state}
+		if !j.started.IsZero() {
+			t.queueS = j.started.Sub(j.submitted).Seconds()
+			end := j.finished
+			if end.IsZero() {
+				end = time.Now()
+			}
+			t.runS = end.Sub(j.started).Seconds()
+			timings = append(timings, t)
+		}
+	}
+	queueDepth := len(s.queue)
+	running := s.running
+	framesRendered := s.framesRendered
+	framesCached := s.framesCached
+	totalRays := s.rays.Total()
+	workers := make(map[string]time.Duration, len(s.workerBusy))
+	for k, v := range s.workerBusy {
+		workers[k] = v
+	}
+	uptime := time.Since(s.started).Seconds()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+
+	p("# HELP nowrender_queue_depth Jobs queued and not yet running.")
+	p("# TYPE nowrender_queue_depth gauge")
+	p("nowrender_queue_depth %d", queueDepth)
+	p("# HELP nowrender_jobs_running Jobs currently running.")
+	p("# TYPE nowrender_jobs_running gauge")
+	p("nowrender_jobs_running %d", running)
+	p("# HELP nowrender_jobs_total Jobs by lifecycle state.")
+	p("# TYPE nowrender_jobs_total gauge")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		p("nowrender_jobs_total{state=%q} %d", string(st), states[st])
+	}
+
+	p("# HELP nowrender_cache_hits_total Frame cache hits.")
+	p("# TYPE nowrender_cache_hits_total counter")
+	p("nowrender_cache_hits_total %d", cs.Hits)
+	p("# HELP nowrender_cache_misses_total Frame cache misses.")
+	p("# TYPE nowrender_cache_misses_total counter")
+	p("nowrender_cache_misses_total %d", cs.Misses)
+	p("# HELP nowrender_cache_evictions_total Frames evicted to fit the byte budget.")
+	p("# TYPE nowrender_cache_evictions_total counter")
+	p("nowrender_cache_evictions_total %d", cs.Evictions)
+	p("# HELP nowrender_cache_hit_rate Hits over lookups since start.")
+	p("# TYPE nowrender_cache_hit_rate gauge")
+	p("nowrender_cache_hit_rate %g", cs.HitRate())
+	p("# HELP nowrender_cache_bytes Pixel bytes currently cached.")
+	p("# TYPE nowrender_cache_bytes gauge")
+	p("nowrender_cache_bytes %d", cs.Bytes)
+	p("# HELP nowrender_cache_entries Frames currently cached.")
+	p("# TYPE nowrender_cache_entries gauge")
+	p("nowrender_cache_entries %d", cs.Entries)
+
+	p("# HELP nowrender_frames_rendered_total Frames rendered by the farm.")
+	p("# TYPE nowrender_frames_rendered_total counter")
+	p("nowrender_frames_rendered_total %d", framesRendered)
+	p("# HELP nowrender_frames_cached_total Frames served from the cache.")
+	p("# TYPE nowrender_frames_cached_total counter")
+	p("nowrender_frames_cached_total %d", framesCached)
+	p("# HELP nowrender_rays_traced_total Rays traced across all jobs.")
+	p("# TYPE nowrender_rays_traced_total counter")
+	p("nowrender_rays_traced_total %d", totalRays)
+
+	p("# HELP nowrender_worker_busy_seconds_total Per-worker busy time (utilisation numerator).")
+	p("# TYPE nowrender_worker_busy_seconds_total counter")
+	names := make([]string, 0, len(workers))
+	for n := range workers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		p("nowrender_worker_busy_seconds_total{worker=%q} %g", n, workers[n].Seconds())
+	}
+
+	p("# HELP nowrender_job_queue_seconds Time each job spent queued.")
+	p("# TYPE nowrender_job_queue_seconds gauge")
+	for _, t := range timings {
+		p("nowrender_job_queue_seconds{job=%q} %g", t.id, t.queueS)
+	}
+	p("# HELP nowrender_job_run_seconds Time each job spent running (so far, if unfinished).")
+	p("# TYPE nowrender_job_run_seconds gauge")
+	for _, t := range timings {
+		p("nowrender_job_run_seconds{job=%q,state=%q} %g", t.id, string(t.state), t.runS)
+	}
+
+	p("# HELP nowrender_uptime_seconds Service uptime.")
+	p("# TYPE nowrender_uptime_seconds counter")
+	p("nowrender_uptime_seconds %g", uptime)
+}

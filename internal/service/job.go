@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/scene"
+	"nowrender/internal/scenes"
+	"nowrender/internal/sdl"
+	"nowrender/internal/stats"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job lifecycle: Queued -> Running -> one of the three terminal states.
+// A queued job can go straight to Cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// JobSpec describes a render request, the JSON body of POST /jobs.
+type JobSpec struct {
+	// Scene is either a builtin spec ("newton", "bouncing:30", ...) or
+	// raw SDL source (detected by the presence of '{' or a newline).
+	Scene string `json:"scene"`
+	// W, H is the output resolution. Defaults to the paper's 240x320.
+	W int `json:"w,omitempty"`
+	H int `json:"h,omitempty"`
+	// StartFrame and EndFrame select a sub-range [StartFrame, EndFrame);
+	// both zero means the whole animation.
+	StartFrame int `json:"start_frame,omitempty"`
+	EndFrame   int `json:"end_frame,omitempty"`
+	// Scheme picks the partitioning: seqdiv (default), seqdiv-static,
+	// framediv, hybrid, pixeldiv.
+	Scheme string `json:"scheme,omitempty"`
+	// Plain disables the frame-coherence algorithm inside tasks.
+	Plain bool `json:"plain,omitempty"`
+	// Samples is the supersampling factor (0/1 = one ray per pixel).
+	// Part of the cache address: it changes pixels.
+	Samples int `json:"samples,omitempty"`
+	// Priority orders the queue: higher first, FIFO within a priority.
+	Priority int `json:"priority,omitempty"`
+	// Driver selects the farm backend: "virtual" (deterministic virtual
+	// NOW, the default) or "local" (goroutine workers, wall clock).
+	Driver string `json:"driver,omitempty"`
+}
+
+// Status is the externally visible snapshot of a job, the JSON body of
+// GET /jobs/{id}.
+type Status struct {
+	ID    string  `json:"id"`
+	State State   `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	// FramesTotal is the number of frames the job covers; FramesDone
+	// counts frames available so far (rendered or from cache).
+	FramesTotal int `json:"frames_total"`
+	FramesDone  int `json:"frames_done"`
+	// CacheHits counts frames served from the content-addressed cache.
+	CacheHits int `json:"cache_hits"`
+	// RaysTraced counts rays actually traced for this job; a fully
+	// cache-served job reports zero.
+	RaysTraced uint64 `json:"rays_traced"`
+	Error      string `json:"error,omitempty"`
+
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+	// QueueDurationMS and RunDurationMS are the measured phase timings
+	// (exported in /metrics as nowrender_job_*_seconds).
+	QueueDurationMS int64 `json:"queue_ms"`
+	RunDurationMS   int64 `json:"run_ms"`
+}
+
+// Event is one server-sent progress event on GET /jobs/{id}/events.
+type Event struct {
+	// Type is the lifecycle edge: queued, started, frame, done, failed,
+	// cancelled. Terminal types end the stream.
+	Type string `json:"type"`
+	Job  string `json:"job"`
+	// Frame is set on "frame" events (-1 otherwise, so frame 0 is
+	// unambiguous on the wire); Cached tells whether it came from the
+	// frame cache instead of being rendered.
+	Frame  int  `json:"frame"`
+	Cached bool `json:"cached,omitempty"`
+	// Progress counters at the time of the event.
+	FramesDone  int    `json:"frames_done"`
+	FramesTotal int    `json:"frames_total"`
+	Error       string `json:"error,omitempty"`
+}
+
+// job is the service-internal state. All fields after the immutable
+// header are guarded by the owning Service's mutex.
+type job struct {
+	id     string
+	seq    int // submission order, the FIFO tiebreak
+	spec   JobSpec
+	scene  *scene.Scene
+	source string // canonical scene text (cache address component)
+	key    seqKey
+
+	state     State
+	err       error
+	frames    []*fb.Framebuffer // index = frame - spec.StartFrame
+	done      int
+	cacheHits int
+	rays      stats.RayCounters
+
+	submitted, started, finished time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	// finishedCh closes when the job reaches a terminal state.
+	finishedCh chan struct{}
+	// heapIndex tracks the job's slot in the queue heap (-1 off-queue).
+	heapIndex int
+
+	subs []chan Event
+}
+
+// status snapshots the job; callers hold the service mutex.
+func (j *job) status() Status {
+	st := Status{
+		ID: j.id, State: j.state, Spec: j.spec,
+		FramesTotal: len(j.frames), FramesDone: j.done,
+		CacheHits: j.cacheHits, RaysTraced: j.rays.Total(),
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		st.QueueDurationMS = j.started.Sub(j.submitted).Milliseconds()
+		if !j.finished.IsZero() {
+			st.RunDurationMS = j.finished.Sub(j.started).Milliseconds()
+		}
+	}
+	return st
+}
+
+// resolveScene turns the spec's Scene field into a scene plus the
+// canonical source string the cache addresses by.
+func resolveScene(src string) (*scene.Scene, string, error) {
+	if src == "" {
+		return nil, "", fmt.Errorf("service: empty scene")
+	}
+	if strings.ContainsAny(src, "{\n") {
+		sc, err := sdl.Parse("job", src)
+		if err != nil {
+			return nil, "", err
+		}
+		return sc, src, nil
+	}
+	// Builtin spec ("newton:30"). The spec string itself is canonical —
+	// builtins are deterministic per spec.
+	sc, err := scenes.FromSpec(src)
+	if err != nil {
+		return nil, "", err
+	}
+	return sc, src, nil
+}
+
+// jobHeap orders queued jobs by priority (higher first), then submission
+// order. It implements container/heap.Interface.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].spec.Priority != h[j].spec.Priority {
+		return h[i].spec.Priority > h[j].spec.Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *jobHeap) Push(x any) {
+	j := x.(*job)
+	j.heapIndex = len(*h)
+	*h = append(*h, j)
+}
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIndex = -1
+	*h = old[:n-1]
+	return j
+}

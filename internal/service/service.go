@@ -1,0 +1,556 @@
+// Package service turns the one-shot master/worker farm into a
+// long-lived render service: a job manager with a priority FIFO queue
+// and bounded concurrency, a scheduler that drives each job through the
+// existing farm drivers, a content-addressed frame cache that serves
+// repeated or overlapping requests without re-rendering, and an HTTP
+// API (http.go) for submission, progress streaming, frame download and
+// Prometheus metrics.
+//
+// This is the subsystem the paper's §5 "production use" direction asks
+// for: the farm renders one animation as fast as the NOW allows; the
+// service accepts, schedules, caches and streams many such animations
+// concurrently.
+package service
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nowrender/internal/anim"
+	"nowrender/internal/cluster"
+	"nowrender/internal/farm"
+	"nowrender/internal/fb"
+	"nowrender/internal/partition"
+	"nowrender/internal/scene"
+	"nowrender/internal/stats"
+)
+
+// Config tunes a Service.
+type Config struct {
+	// MaxConcurrent bounds simultaneously running jobs. Default 2.
+	MaxConcurrent int
+	// QueueCap bounds queued-but-not-running jobs; Submit fails once the
+	// queue is full. Default 256.
+	QueueCap int
+	// CacheBytes is the frame cache's pixel-byte budget. 0 selects the
+	// default 64 MiB; negative disables caching.
+	CacheBytes int64
+	// Machines populate the virtual NOW for "virtual"-driver jobs.
+	// Defaults to the paper's 3-machine testbed.
+	Machines []cluster.Machine
+	// Workers is the goroutine count for "local"-driver jobs. Defaults
+	// to the machine count.
+	Workers int
+	// DefaultDriver is used when a JobSpec leaves Driver empty:
+	// "virtual" (default) or "local".
+	DefaultDriver string
+}
+
+func (c *Config) defaults() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if len(c.Machines) == 0 {
+		c.Machines = cluster.PaperTestbed()
+	}
+	if c.Workers <= 0 {
+		c.Workers = len(c.Machines)
+	}
+	if c.DefaultDriver == "" {
+		c.DefaultDriver = "virtual"
+	}
+}
+
+// Service is a long-lived render-job service over the farm drivers.
+// Create with New, serve its Handler, and Close on shutdown.
+type Service struct {
+	cfg   Config
+	cache *FrameCache
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // submission order, for listings
+	queue   jobHeap
+	running int
+	nextSeq int
+	closed  bool
+	wg      sync.WaitGroup
+
+	// Aggregate counters for /metrics.
+	framesRendered uint64
+	framesCached   uint64
+	rays           stats.RayCounters
+	workerBusy     map[string]time.Duration
+	started        time.Time
+}
+
+// New returns a ready service. No background goroutines run until jobs
+// are submitted.
+func New(cfg Config) *Service {
+	cfg.defaults()
+	return &Service{
+		cfg:        cfg,
+		cache:      NewFrameCache(cfg.CacheBytes),
+		jobs:       make(map[string]*job),
+		workerBusy: make(map[string]time.Duration),
+		started:    time.Now(),
+	}
+}
+
+// normalize validates and defaults a spec against the scene it resolved
+// to.
+func (s *Service) normalize(spec *JobSpec, frames int) error {
+	if spec.W == 0 && spec.H == 0 {
+		spec.W, spec.H = 240, 320
+	}
+	if spec.W <= 0 || spec.H <= 0 {
+		return fmt.Errorf("service: bad resolution %dx%d", spec.W, spec.H)
+	}
+	if spec.StartFrame == 0 && spec.EndFrame == 0 {
+		spec.EndFrame = frames
+	}
+	if spec.StartFrame < 0 || spec.EndFrame > frames || spec.StartFrame >= spec.EndFrame {
+		return fmt.Errorf("service: bad frame range [%d,%d) for %d frames",
+			spec.StartFrame, spec.EndFrame, frames)
+	}
+	if spec.Samples < 1 {
+		spec.Samples = 1
+	}
+	if spec.Scheme == "" {
+		spec.Scheme = "seqdiv"
+	}
+	if _, err := schemeByName(spec.Scheme); err != nil {
+		return err
+	}
+	if spec.Driver == "" {
+		spec.Driver = s.cfg.DefaultDriver
+	}
+	if spec.Driver != "virtual" && spec.Driver != "local" {
+		return fmt.Errorf("service: unknown driver %q", spec.Driver)
+	}
+	return nil
+}
+
+// schemeByName maps the CLI scheme names onto partition schemes.
+func schemeByName(name string) (partition.Scheme, error) {
+	switch name {
+	case "seqdiv":
+		return partition.SequenceDivision{Adaptive: true}, nil
+	case "seqdiv-static":
+		return partition.SequenceDivision{}, nil
+	case "framediv":
+		return partition.FrameDivision{BlockW: 80, BlockH: 80, Adaptive: true}, nil
+	case "hybrid":
+		return partition.HybridDivision{BlockW: 80, BlockH: 80, SubseqLen: 15}, nil
+	case "pixeldiv":
+		return partition.PixelDivision{}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown scheme %q", name)
+	}
+}
+
+// Submit validates spec, parses its scene, and enqueues the job. It
+// returns the queued job's status; rendering proceeds asynchronously.
+func (s *Service) Submit(spec JobSpec) (Status, error) {
+	sc, source, err := resolveScene(spec.Scene)
+	if err != nil {
+		return Status{}, err
+	}
+	if err := s.normalize(&spec, sc.Frames); err != nil {
+		return Status{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Status{}, fmt.Errorf("service: closed")
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		return Status{}, fmt.Errorf("service: queue full (%d jobs)", len(s.queue))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:         fmt.Sprintf("job-%04d", s.nextSeq+1),
+		seq:        s.nextSeq,
+		spec:       spec,
+		scene:      sc,
+		source:     source,
+		key:        newSeqKey(source, spec.W, spec.H, spec.Samples),
+		state:      StateQueued,
+		frames:     make([]*fb.Framebuffer, spec.EndFrame-spec.StartFrame),
+		submitted:  time.Now(),
+		ctx:        ctx,
+		cancel:     cancel,
+		finishedCh: make(chan struct{}),
+		heapIndex:  -1,
+	}
+	s.nextSeq++
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	heap.Push(&s.queue, j)
+	s.publishLocked(j, Event{Type: "queued"})
+	s.startQueuedLocked()
+	return j.status(), nil
+}
+
+// startQueuedLocked pops queued jobs into runner goroutines while
+// concurrency slots are free. Callers hold s.mu.
+func (s *Service) startQueuedLocked() {
+	for s.running < s.cfg.MaxConcurrent && len(s.queue) > 0 {
+		j := heap.Pop(&s.queue).(*job)
+		j.state = StateRunning
+		j.started = time.Now()
+		s.running++
+		s.publishLocked(j, Event{Type: "started"})
+		s.wg.Add(1)
+		go s.run(j)
+	}
+}
+
+// run executes one job to a terminal state: cache lookups first, then
+// farm runs over the still-missing frame ranges.
+func (s *Service) run(j *job) {
+	defer s.wg.Done()
+	err := s.render(j)
+
+	s.mu.Lock()
+	j.finished = time.Now()
+	ev := Event{Type: "done"}
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case j.ctx.Err() != nil:
+		j.state = StateCancelled
+		j.err = context.Cause(j.ctx)
+		ev = Event{Type: "cancelled", Error: j.err.Error()}
+	default:
+		j.state = StateFailed
+		j.err = err
+		ev = Event{Type: "failed", Error: err.Error()}
+	}
+	s.publishLocked(j, ev)
+	close(j.finishedCh)
+	j.cancel()
+	s.running--
+	s.startQueuedLocked()
+	s.mu.Unlock()
+}
+
+// render fills j.frames from the cache and the farm.
+func (s *Service) render(j *job) error {
+	spec := j.spec
+
+	// Phase 1: content-addressed cache. Frame coherence lifted to the
+	// service level — repeated and overlapping requests re-render
+	// nothing.
+	missing := make([]bool, len(j.frames))
+	anyMissing := false
+	for f := spec.StartFrame; f < spec.EndFrame; f++ {
+		if img, ok := s.cache.get(frameKey{seq: j.key, frame: f}); ok {
+			s.mu.Lock()
+			j.frames[f-spec.StartFrame] = img
+			j.done++
+			j.cacheHits++
+			s.framesCached++
+			s.publishLocked(j, Event{Type: "frame", Frame: f, Cached: true})
+			s.mu.Unlock()
+		} else {
+			missing[f-spec.StartFrame] = true
+			anyMissing = true
+		}
+	}
+	if !anyMissing {
+		return nil
+	}
+
+	// Phase 2: group the missing frames into contiguous runs, split at
+	// camera cuts (the coherence engine is only valid within a
+	// camera-stationary sequence), and drive the farm over each run.
+	runs := missingRuns(missing, spec.StartFrame, j.scene)
+	for _, r := range runs {
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		if err := s.renderRange(j, r[0], r[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// missingRuns converts the missing-frame mask (indexed from offset)
+// into absolute contiguous [start, end) runs, further split at camera
+// cuts so the coherence engine never spans a cut.
+func missingRuns(missing []bool, offset int, sc *scene.Scene) [][2]int {
+	// Camera-stationary sequence boundaries: a run may not cross one.
+	cut := make(map[int]bool)
+	for _, sq := range anim.SplitSequences(sc) {
+		cut[sq.Start] = true
+	}
+	var runs [][2]int
+	for i := 0; i < len(missing); {
+		if !missing[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < len(missing) && missing[i] && (i == start || !cut[offset+i]) {
+			i++
+		}
+		runs = append(runs, [2]int{offset + start, offset + i})
+	}
+	return runs
+}
+
+// renderRange drives one farm run over absolute frames [start, end),
+// streaming each completed frame into the cache and the job.
+func (s *Service) renderRange(j *job, start, end int) error {
+	scheme, err := schemeByName(j.spec.Scheme)
+	if err != nil {
+		return err
+	}
+	cfg := farm.Config{
+		Scene: j.scene, W: j.spec.W, H: j.spec.H,
+		Scheme:     scheme,
+		StartFrame: start, EndFrame: end,
+		Coherence: !j.spec.Plain,
+		Samples:   j.spec.Samples,
+		Machines:  s.cfg.Machines,
+		Workers:   s.cfg.Workers,
+		Ctx:       j.ctx,
+		OnFrame: func(f int, img *fb.Framebuffer) error {
+			s.cache.put(frameKey{seq: j.key, frame: f}, img)
+			s.mu.Lock()
+			j.frames[f-j.spec.StartFrame] = img
+			j.done++
+			s.framesRendered++
+			s.publishLocked(j, Event{Type: "frame", Frame: f})
+			s.mu.Unlock()
+			return nil
+		},
+	}
+	var res *farm.Result
+	if j.spec.Driver == "local" {
+		res, err = farm.RenderLocal(cfg)
+	} else {
+		res, err = farm.RenderVirtual(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j.rays.Merge(res.Run.TotalRays())
+	s.rays.Merge(res.Run.TotalRays())
+	for _, w := range res.Workers {
+		s.workerBusy[w.Worker] += w.Busy
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Cancel stops a job: a queued job is removed from the queue, a running
+// job has its context cancelled, which the farm drivers observe
+// promptly. Cancelling a finished job is a no-op.
+func (s *Service) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("service: no job %q", id)
+	}
+	switch j.state {
+	case StateQueued:
+		heap.Remove(&s.queue, j.heapIndex)
+		j.state = StateCancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		s.publishLocked(j, Event{Type: "cancelled", Error: j.err.Error()})
+		close(j.finishedCh)
+		j.cancel()
+		st := j.status()
+		s.mu.Unlock()
+		return st, nil
+	case StateRunning:
+		st := j.status()
+		s.mu.Unlock()
+		j.cancel() // the runner publishes the terminal event
+		return st, nil
+	default:
+		st := j.status()
+		s.mu.Unlock()
+		return st, nil
+	}
+}
+
+// JobStatus returns the current status of a job.
+func (s *Service) JobStatus(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, fmt.Errorf("service: no job %q", id)
+	}
+	return j.status(), nil
+}
+
+// Jobs lists every job in submission order.
+func (s *Service) Jobs() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status())
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done,
+// returning the final status.
+func (s *Service) Wait(ctx context.Context, id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("service: no job %q", id)
+	}
+	select {
+	case <-j.finishedCh:
+		return s.JobStatus(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// Frame returns the framebuffer of one absolute frame of a job, which
+// is available as soon as its "frame" progress event fires — before the
+// job completes. The framebuffer is shared and must not be modified.
+func (s *Service) Frame(id string, frame int) (*fb.Framebuffer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("service: no job %q", id)
+	}
+	if frame < j.spec.StartFrame || frame >= j.spec.EndFrame {
+		return nil, fmt.Errorf("service: frame %d outside job range [%d,%d)",
+			frame, j.spec.StartFrame, j.spec.EndFrame)
+	}
+	img := j.frames[frame-j.spec.StartFrame]
+	if img == nil {
+		return nil, fmt.Errorf("service: frame %d not rendered yet", frame)
+	}
+	return img, nil
+}
+
+// CacheStats snapshots the frame cache counters.
+func (s *Service) CacheStats() stats.CacheStats { return s.cache.Stats() }
+
+// QueueDepth returns the number of queued (not yet running) jobs.
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// subscribe registers a progress listener on a job. The returned channel
+// first replays one Event per frame already completed, then carries live
+// events; a terminal event ends the stream. The second return is the
+// job's status at subscription time (terminal states produce no further
+// events).
+func (s *Service) subscribe(id string) (<-chan Event, Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, Status{}, fmt.Errorf("service: no job %q", id)
+	}
+	// Big enough for every event a job can emit (queued + started +
+	// per-frame + terminal) so a live subscriber never drops.
+	ch := make(chan Event, len(j.frames)+8)
+	st := j.status()
+	if !j.state.Terminal() {
+		// Replay completed frames so late subscribers see the full
+		// stream. Holding s.mu excludes concurrent publishes, so the
+		// replay cannot interleave with live events.
+		done := 0
+		for i, img := range j.frames {
+			if img != nil {
+				done++
+				ch <- Event{
+					Type: "frame", Job: j.id, Frame: j.spec.StartFrame + i,
+					FramesDone: done, FramesTotal: len(j.frames),
+				}
+			}
+		}
+		j.subs = append(j.subs, ch)
+	}
+	return ch, st, nil
+}
+
+// unsubscribe removes a listener.
+func (s *Service) unsubscribe(id string, ch <-chan Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return
+	}
+	for i, c := range j.subs {
+		if (<-chan Event)(c) == ch {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// publishLocked fans an event out to the job's subscribers; callers hold
+// s.mu. Sends never block: the subscription buffer is sized for a full
+// job, so a drop only happens to a pathologically stalled consumer.
+func (s *Service) publishLocked(j *job, ev Event) {
+	ev.Job = j.id
+	ev.FramesDone = j.done
+	ev.FramesTotal = len(j.frames)
+	if ev.Type != "frame" {
+		ev.Frame = -1
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	if ev.Type != "frame" && ev.Type != "queued" && ev.Type != "started" {
+		// Terminal event: close the streams.
+		for _, ch := range j.subs {
+			close(ch)
+		}
+		j.subs = nil
+	}
+}
+
+// Close cancels all queued and running jobs and waits for runners to
+// exit. Further submissions fail.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	s.mu.Unlock()
+	for _, id := range ids {
+		_, _ = s.Cancel(id)
+	}
+	s.wg.Wait()
+}

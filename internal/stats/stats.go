@@ -143,6 +143,28 @@ func (w WorkerStats) Utilisation(total time.Duration) float64 {
 	return float64(w.Busy) / float64(total)
 }
 
+// CacheStats is a snapshot of a content-addressed cache's counters (the
+// service-level frame cache reports these through /metrics).
+type CacheStats struct {
+	// Hits and Misses count lookups; Evictions counts entries dropped to
+	// stay under the byte budget.
+	Hits, Misses, Evictions uint64
+	// Entries and Bytes describe current occupancy; Budget is the
+	// configured byte limit (0 = unlimited).
+	Entries int
+	Bytes   int64
+	Budget  int64
+}
+
+// HitRate returns hits / lookups, or 0 before any lookup.
+func (c CacheStats) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
 // Table renders rows of labelled values as a fixed-width text table, the
 // output format of cmd/benchtab. Columns are derived from the union of
 // row keys, ordered by first appearance.

@@ -36,6 +36,7 @@ import (
 	"nowrender/internal/scene"
 	"nowrender/internal/scenes"
 	"nowrender/internal/sdl"
+	"nowrender/internal/service"
 	"nowrender/internal/stats"
 	"nowrender/internal/tga"
 	"nowrender/internal/trace"
@@ -261,9 +262,36 @@ func RenderFarmSingle(cfg FarmConfig, m Machine) (*FarmResult, error) {
 var (
 	// RunWorker executes the slave side of the farm protocol.
 	RunWorker = farm.RunWorker
+	// RunWorkerCtx is RunWorker with graceful shutdown: on cancellation
+	// the worker finishes its in-flight frame, tells the master where it
+	// stopped, and exits.
+	RunWorkerCtx = farm.RunWorkerCtx
 	// RunMaster drives the master side over an attached hub.
 	RunMaster = farm.RunMaster
 )
+
+// Render-job service (long-lived server above the farm): a priority job
+// queue with bounded concurrency, a content-addressed frame cache, and
+// an HTTP API with per-frame progress streaming; see cmd/nowserve and
+// examples/renderservice.
+type (
+	// Service is the long-lived render-job service.
+	Service = service.Service
+	// ServiceConfig tunes a Service.
+	ServiceConfig = service.Config
+	// JobSpec describes one render request.
+	JobSpec = service.JobSpec
+	// JobStatus is a job's externally visible snapshot.
+	JobStatus = service.Status
+	// JobState is a job's lifecycle phase.
+	JobState = service.State
+	// JobEvent is one progress event on a job's SSE stream.
+	JobEvent = service.Event
+)
+
+// NewService returns a ready render-job service; serve its Handler over
+// HTTP and Close it on shutdown.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // Message-passing substrate (PVM stand-in).
 type (
