@@ -332,6 +332,53 @@ func BenchmarkTracer_PrimaryRays(b *testing.B) {
 	b.ReportMetric(float64(benchW*benchH), "pixels/op")
 }
 
+// BenchmarkRenderFrameParallel measures the intra-frame tile pool at
+// 1/2/4/8 threads on a full bench-scene frame. On a multicore host the
+// speedup should approach the thread count (up to the core count);
+// cmd/benchtab -parallel records the same sweep into BENCH_parallel.json.
+func BenchmarkRenderFrameParallel(b *testing.B) {
+	sc := benchScene()
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads%d", threads), func(b *testing.B) {
+			ft, err := trace.New(sc, 0, trace.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			img := fb.New(benchW, benchH)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ft.RenderRegionParallel(img, img.Bounds(), threads)
+			}
+			b.ReportMetric(float64(benchW*benchH), "pixels/op")
+		})
+	}
+}
+
+// BenchmarkCoherentFrameParallel measures the coherence engine's tile
+// pool over a short frame run (registration + change detection + tiled
+// re-render) at the same thread counts.
+func BenchmarkCoherentFrameParallel(b *testing.B) {
+	sc := benchScene()
+	full := fb.NewRect(0, 0, benchW, benchH)
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := coherence.NewEngine(sc, benchW, benchH, full, 0, sc.Frames,
+					coherence.Options{Threads: threads})
+				if err != nil {
+					b.Fatal(err)
+				}
+				img := fb.New(benchW, benchH)
+				for f := 0; f < 4; f++ {
+					if _, err := eng.RenderFrame(f, img); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkGrid_DDAWalk measures the 3D-DDA voxel traversal.
 func BenchmarkGrid_DDAWalk(b *testing.B) {
 	g, err := grid.New(vm.NewAABB(vm.V(0, 0, 0), vm.V(1, 1, 1)), 32, 32, 32)

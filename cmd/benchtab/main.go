@@ -6,6 +6,7 @@
 //	benchtab -fig4                # Figure 4: partition assignment maps
 //	benchtab -ablations           # design-choice ablations from DESIGN.md
 //	benchtab -scaling             # cluster-size scaling sweep
+//	benchtab -parallel            # intra-frame thread sweep -> BENCH_parallel.json
 //	benchtab -all                 # everything
 //
 // The default workload is the paper's Newton scene. -full runs the
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +34,7 @@ func main() {
 		fig4      = flag.Bool("fig4", false, "print Figure 4 assignment maps")
 		ablations = flag.Bool("ablations", false, "run the design ablations")
 		scaling   = flag.Bool("scaling", false, "cluster-size scaling sweep")
+		parallel  = flag.Bool("parallel", false, "intra-frame thread sweep, written to BENCH_parallel.json")
 		all       = flag.Bool("all", false, "run everything")
 		full      = flag.Bool("full", false, "paper-scale workload (240x320, 45 frames)")
 		frame     = flag.Int("frame", 10, "frame for -fig2")
@@ -40,17 +43,18 @@ func main() {
 		csvOut    = flag.Bool("csv", false, "emit Table 1 as CSV instead of a text table")
 	)
 	flag.Parse()
-	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling {
+	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling && !*parallel {
 		*all = true
 	}
 	if err := run(*table1 || *all, *fig2 || *all, *fig4 || *all,
-		*ablations || *all, *scaling || *all, *full, *frame, *outDir, *sceneSpec, *csvOut); err != nil {
+		*ablations || *all, *scaling || *all, *parallel || *all,
+		*full, *frame, *outDir, *sceneSpec, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, fig2, fig4, ablations, scaling, full bool, frame int, outDir, sceneSpec string, csvOut bool) error {
+func run(table1, fig2, fig4, ablations, scaling, parallel, full bool, frame int, outDir, sceneSpec string, csvOut bool) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -187,6 +191,41 @@ func run(table1, fig2, fig4, ablations, scaling, full bool, frame int, outDir, s
 				"speedup", fmt.Sprintf("%.2f", pt.Speedup))
 		}
 		fmt.Println(tb.String())
+	}
+
+	if parallel {
+		fmt.Println("=== Parallel: intra-frame tile-pool thread sweep (wall clock) ===")
+		frames := 4
+		if full {
+			frames = 8
+		}
+		pts, err := experiments.ParallelSweep(p, []int{1, 2, 4, 8}, frames)
+		if err != nil {
+			return err
+		}
+		var tb stats.Table
+		for _, pt := range pts {
+			tb.AddRow("threads", fmt.Sprintf("%d", pt.Threads),
+				"ms/frame", fmt.Sprintf("%.1f", pt.MSPerFrame),
+				"speedup", fmt.Sprintf("%.2f", pt.Speedup),
+				"identical", fmt.Sprintf("%v", pt.IdenticalToSerial))
+		}
+		fmt.Println(tb.String())
+		data, err := json.MarshalIndent(pts, "", "  ")
+		if err != nil {
+			return err
+		}
+		jsonPath := "BENCH_parallel.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			jsonPath = filepath.Join(outDir, jsonPath)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
 	}
 	return nil
 }

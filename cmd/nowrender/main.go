@@ -43,11 +43,12 @@ func main() {
 		coherent  = flag.Bool("coherence", true, "exploit frame coherence (virtual/local/master modes)")
 		samples   = flag.Int("samples", 1, "supersamples per pixel")
 		aa        = flag.Float64("aa", 0, "adaptive antialiasing threshold (0 = off; try 0.1)")
+		threads   = flag.Int("threads", 0, "intra-frame render threads per worker (0 = all cores, 1 = serial; pixels are identical for every value)")
 		usePNG    = flag.Bool("png", false, "write PNG instead of TGA")
 	)
 	flag.Parse()
 	if err := run(*sceneSpec, *mode, *scheme, *blockW, *blockH, *width, *height,
-		*outDir, *workers, *listen, *coherent, *samples, *aa, *usePNG); err != nil {
+		*outDir, *workers, *listen, *coherent, *samples, *aa, *threads, *usePNG); err != nil {
 		fmt.Fprintln(os.Stderr, "nowrender:", err)
 		os.Exit(1)
 	}
@@ -55,7 +56,7 @@ func main() {
 
 func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
 	outDir string, workers int, listen string, coherent bool, samples int,
-	aa float64, usePNG bool) error {
+	aa float64, threads int, usePNG bool) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -98,7 +99,7 @@ func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
 
 	cfg := farm.Config{
 		Scene: sc, W: w, H: h, Scheme: scheme,
-		Coherence: coherent, Samples: samples,
+		Coherence: coherent, Samples: samples, Threads: threads,
 		CoherenceOpts: coherence.Options{AAThreshold: aa},
 		Workers:       workers, Emit: emit,
 	}

@@ -38,21 +38,23 @@ func main() {
 		driver   = flag.String("driver", "virtual", "default farm driver: virtual | local")
 		workers  = flag.Int("workers", 0, "goroutine workers for the local driver (0 = machine count)")
 		machines = flag.Int("machines", 0, "virtual NOW size (0 = the paper's 3-machine testbed)")
+		threads  = flag.Int("threads", 0, "default intra-frame render threads per farm worker (0 = all cores)")
 	)
 	flag.Parse()
-	if err := run(*listen, *maxJobs, *queueCap, *cacheMB, *driver, *workers, *machines); err != nil {
+	if err := run(*listen, *maxJobs, *queueCap, *cacheMB, *driver, *workers, *machines, *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "nowserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, maxJobs, queueCap int, cacheMB int64, driver string, workers, machines int) error {
+func run(listen string, maxJobs, queueCap int, cacheMB int64, driver string, workers, machines, threads int) error {
 	cfg := service.Config{
 		MaxConcurrent: maxJobs,
 		QueueCap:      queueCap,
 		CacheBytes:    cacheMB << 20,
 		DefaultDriver: driver,
 		Workers:       workers,
+		Threads:       threads,
 	}
 	if machines > 0 {
 		cfg.Machines = cluster.Uniform(machines, 1.0, 64)

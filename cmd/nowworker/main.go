@@ -33,6 +33,7 @@ func main() {
 		master  = flag.String("master", "127.0.0.1:7946", "master address")
 		name    = flag.String("name", "", "worker name (default: host:pid)")
 		maxWait = flag.Duration("max-wait", 2*time.Minute, "give up dialing the master after this long (0 = retry forever)")
+		threads = flag.Int("threads", 0, "intra-frame render threads when the master doesn't specify (0 = all cores)")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -41,7 +42,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	err := run(ctx, *master, *name, *maxWait)
+	err := run(ctx, *master, *name, *maxWait, *threads)
 	switch {
 	case err == nil:
 		return
@@ -82,7 +83,7 @@ func dialRetry(ctx context.Context, master string, maxWait time.Duration) (msg.C
 	}
 }
 
-func run(ctx context.Context, master, name string, maxWait time.Duration) error {
+func run(ctx context.Context, master, name string, maxWait time.Duration, threads int) error {
 	conn, err := dialRetry(ctx, master, maxWait)
 	if err != nil {
 		return err
@@ -109,5 +110,5 @@ func run(ctx context.Context, master, name string, maxWait time.Duration) error 
 	}
 	fmt.Printf("worker %s: scene %q loaded (%d frames), entering render loop\n",
 		name, sc.Name, sc.Frames)
-	return farm.RunWorkerCtx(ctx, name, conn, sc)
+	return farm.RunWorkerWithOptions(ctx, name, conn, sc, farm.WorkerOptions{Threads: threads})
 }

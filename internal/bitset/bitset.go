@@ -1,0 +1,101 @@
+// Package bitset provides a fixed-size bitmap used as the coherence
+// engine's dirty mask. A []bool mask costs one byte per pixel and — more
+// importantly for the parallel render core — cannot be written safely by
+// concurrent goroutines whose pixels share cache lines. The bitset packs
+// 64 pixels per word and offers two write paths:
+//
+//   - Set, for single-owner phases (mask building between frames);
+//   - SetAtomic, a compare-and-swap OR for fan-out phases where several
+//     workers mark bits that may land in the same word (parallel change
+//     detection marks dirty pixels per changed voxel).
+//
+// Reads during the render phase need no synchronisation: the mask is
+// frozen at the frame barrier before tile workers start.
+package bitset
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitset is a fixed-length bitmap.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// New returns a bitset of n cleared bits.
+func New(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() int { return b.n }
+
+// Get reports bit i. Callers must not race Get with SetAtomic on the
+// same word; the engine separates the phases with a barrier.
+func (b *Bitset) Get(i int) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i (single-owner phases only).
+func (b *Bitset) Set(i int) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// SetAtomic sets bit i with a CAS loop, safe against concurrent
+// SetAtomic calls on the same word.
+func (b *Bitset) SetAtomic(i int) {
+	w := &b.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return
+		}
+	}
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SetAll sets every bit (a moving light dirties the whole region).
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.clearTail()
+}
+
+// clearTail zeroes the unused bits of the last word so Count stays
+// exact.
+func (b *Bitset) clearTail() {
+	if tail := uint(b.n) & 63; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << tail) - 1
+	}
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Bools expands the bitset into a []bool (the public DirtyMask format).
+func (b *Bitset) Bools() []bool {
+	out := make([]bool, b.n)
+	for i := range out {
+		out[i] = b.Get(i)
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package bitset
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSetGetCount(t *testing.T) {
+	b := New(130) // spans three words with a ragged tail
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set on fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	b.Reset()
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", got)
+	}
+}
+
+func TestSetAllRespectsLength(t *testing.T) {
+	b := New(70)
+	b.SetAll()
+	if got := b.Count(); got != 70 {
+		t.Fatalf("Count after SetAll = %d, want 70", got)
+	}
+	bools := b.Bools()
+	if len(bools) != 70 {
+		t.Fatalf("Bools len = %d, want 70", len(bools))
+	}
+	for i, v := range bools {
+		if !v {
+			t.Fatalf("bit %d false after SetAll", i)
+		}
+	}
+}
+
+// TestSetAtomicConcurrent hammers one word from many goroutines; run
+// under -race this is the engine's parallel change-detection pattern.
+func TestSetAtomicConcurrent(t *testing.T) {
+	const n = 256
+	b := New(n)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				b.SetAtomic(i)
+				// Contend on shared words too.
+				b.SetAtomic(i / 2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := b.Count(); got != n {
+		t.Fatalf("Count = %d, want %d", got, n)
+	}
+}

@@ -14,14 +14,26 @@
 // the ablation benches), shadow rays participate in registration, and the
 // engine is built to run on subregions so the parallel decompositions of
 // §3 can each own an engine.
+//
+// # Concurrency
+//
+// The engine's public methods must be called from a single goroutine,
+// but RenderFrame internally fans its region out to an intra-frame tile
+// pool of Options.Threads goroutines (default runtime.NumCPU()). Each
+// tile worker owns a trace.Worker plus a registration collector, so no
+// lock is taken on the hot path; per-tile results — pixels, ray
+// counters, voxel registrations — are merged deterministically at the
+// frame barrier. Output bytes and all reported counts are identical for
+// every thread count, which is what lets the farm treat Threads as a
+// pure speed knob (and the service cache key ignore it).
 package coherence
 
 import (
 	"fmt"
 	"time"
 
+	"nowrender/internal/bitset"
 	"nowrender/internal/fb"
-	"nowrender/internal/geom"
 	"nowrender/internal/grid"
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
@@ -48,6 +60,10 @@ type Options struct {
 	// every N rendered frames, bounding memory growth on long
 	// animations. 0 selects the default of 16; negative disables.
 	CompactEvery int
+	// Threads bounds the intra-frame tile pool RenderFrame fans out to.
+	// 0 selects runtime.NumCPU(); 1 renders on the calling goroutine.
+	// Output is byte-identical for every value.
+	Threads int
 	// DisableShadowRegistration turns off registration of shadow-ray
 	// segments. This reproduces a coherence scheme without shadow
 	// support: faster bookkeeping but *incorrect* images when a blocker
@@ -67,9 +83,10 @@ type registration struct {
 
 // Engine renders a region of an animation sequence exploiting frame
 // coherence. It must be fed consecutive frames via RenderFrame, starting
-// at the sequence's first frame. An Engine is not safe for concurrent
-// use; parallel schemes give each worker its own engine over its own
-// region or subsequence.
+// at the sequence's first frame. Callers drive an Engine from one
+// goroutine; RenderFrame parallelises internally (see the package
+// comment). Parallel farm schemes still give each worker its own engine
+// over its own region or subsequence — the two levels compose.
 type Engine struct {
 	sc     *scene.Scene
 	W, H   int
@@ -81,18 +98,20 @@ type Engine struct {
 	grid        *grid.Grid
 	voxelPixels [][]registration
 	// pixelStamp[p] is the frame at which region-local pixel p was last
-	// actually traced; registrations from older frames are stale.
+	// actually traced; registrations from older frames are stale. Tile
+	// workers write disjoint entries (each pixel belongs to one tile).
 	pixelStamp []int32
 
 	prev      *fb.Framebuffer
 	nextFrame int
-	dirty     []bool // region-local dirty mask for nextFrame
+	// dirty is the region-local dirty mask for nextFrame. Frozen while
+	// tiles render; rebuilt between frames (atomically during parallel
+	// change detection).
+	dirty *bitset.Bitset
 
-	// registration state during a trace
-	curPixel int32
-	// regAdded counts registrations appended during the current frame,
-	// reported per frame for cost accounting.
-	regAdded uint64
+	// collectors are the per-tile-worker registration buffers, reused
+	// across frames (index = worker slot).
+	collectors []*regCollector
 }
 
 // NewEngine prepares a coherence engine for frames [start, end) of the
@@ -141,15 +160,13 @@ func NewEngine(sc *scene.Scene, w, h int, region fb.Rect, start, end int, opts O
 		voxelPixels: make([][]registration, g.NumVoxels()),
 		pixelStamp:  make([]int32, region.Area()),
 		nextFrame:   start,
-		dirty:       make([]bool, region.Area()),
+		dirty:       bitset.New(region.Area()),
 	}
 	for i := range e.pixelStamp {
 		e.pixelStamp[i] = -1
 	}
 	// Everything is dirty for the first frame.
-	for i := range e.dirty {
-		e.dirty[i] = true
-	}
+	e.dirty.SetAll()
 	return e, nil
 }
 
@@ -192,34 +209,11 @@ func (e *Engine) pixelCoords(p int32) (x, y int) {
 // RenderFrame call: exactly the pixels the algorithm predicts may change
 // (Figure 2(b) is rendered from this).
 func (e *Engine) DirtyMask() []bool {
-	out := make([]bool, len(e.dirty))
-	copy(out, e.dirty)
-	return out
+	return e.dirty.Bools()
 }
 
 // NextFrame returns the frame the next RenderFrame call must render.
 func (e *Engine) NextFrame() int { return e.nextFrame }
-
-// ObserveRay implements trace.RayObserver: register the current pixel on
-// every voxel the ray traverses up to its hit (or through the whole grid
-// for escaping rays).
-func (e *Engine) ObserveRay(r vm.Ray, tHit float64) {
-	if r.Kind == vm.ShadowRay && e.opts.DisableShadowRegistration {
-		return
-	}
-	frame := int32(e.nextFrame)
-	p := e.curPixel
-	e.grid.Walk(r, 0, tHit, func(idx int, _, _ float64) bool {
-		vp := e.voxelPixels[idx]
-		// Cheap dedup: consecutive rays of one pixel revisit voxels.
-		if n := len(vp); n > 0 && vp[n-1].pixel == p && vp[n-1].frame == frame {
-			return true
-		}
-		e.voxelPixels[idx] = append(vp, registration{pixel: p, frame: frame})
-		e.regAdded++
-		return true
-	})
-}
 
 // FrameReport describes one rendered frame.
 type FrameReport struct {
@@ -245,7 +239,9 @@ type FrameReport struct {
 
 // RenderFrame renders the engine's next frame into dst (a full W x H
 // framebuffer; only the engine's region is touched). Frames must be
-// rendered consecutively.
+// rendered consecutively. Dirty pixels are traced by the intra-frame
+// tile pool (Options.Threads); clean pixels are copied from the
+// previous frame.
 func (e *Engine) RenderFrame(frame int, dst *fb.Framebuffer) (FrameReport, error) {
 	if frame != e.nextFrame {
 		return FrameReport{}, fmt.Errorf("coherence: frames must be consecutive: want %d, got %d", e.nextFrame, frame)
@@ -257,9 +253,10 @@ func (e *Engine) RenderFrame(frame int, dst *fb.Framebuffer) (FrameReport, error
 		return FrameReport{}, fmt.Errorf("coherence: dst is %dx%d, want %dx%d", dst.W, dst.H, e.W, e.H)
 	}
 
+	// No Observer here: each tile worker gets its own registration
+	// collector in renderTiles.
 	ft, err := trace.New(e.sc, frame, trace.Options{
 		GridRes:         e.opts.GridRes,
-		Observer:        e,
 		SamplesPerPixel: e.opts.SamplesPerPixel,
 		AAThreshold:     e.opts.AAThreshold,
 		AASamples:       e.opts.AASamples,
@@ -269,40 +266,17 @@ func (e *Engine) RenderFrame(frame int, dst *fb.Framebuffer) (FrameReport, error
 	}
 
 	rep := FrameReport{Frame: frame}
-	e.regAdded = 0
-	for y := e.Region.Y0; y < e.Region.Y1; y++ {
-		for x := e.Region.X0; x < e.Region.X1; x++ {
-			p := e.pixelIndex(x, y)
-			if !e.dirty[p] {
-				dst.CopyPixel(e.prev, x, y)
-				rep.Copied++
-				continue
-			}
-			// Invalidate stale registrations and trace afresh.
-			e.pixelStamp[p] = int32(frame)
-			e.curPixel = p
-			dst.Set(x, y, ft.TracePixel(x, y, e.W, e.H))
-			rep.Rendered++
-		}
-	}
-	rep.Rays = ft.Counters
-	rep.Registrations = e.regAdded
+	e.renderTiles(ft, frame, dst, &rep)
 
 	// Predict the dirty set for the next frame (Figure 3's final steps).
 	overheadStart := time.Now()
-	for i := range e.dirty {
-		e.dirty[i] = false
-	}
+	e.dirty.Reset()
 	if frame+1 < e.end {
 		rep.ChangeVoxels = e.markChanges(frame, frame+1)
 		if e.opts.BlockGranularity > 1 {
 			e.dilateToBlocks(e.opts.BlockGranularity)
 		}
-		for _, d := range e.dirty {
-			if d {
-				rep.DirtyNext++
-			}
-		}
+		rep.DirtyNext = e.dirty.Count()
 	}
 	rep.Overhead = time.Since(overheadStart)
 
@@ -327,62 +301,6 @@ func (e *Engine) RenderFrame(frame int, dst *fb.Framebuffer) (FrameReport, error
 	return rep, nil
 }
 
-// markChanges sets the dirty flag of every valid pixel registered on a
-// voxel in which change occurs between frames f0 and f1, returning the
-// number of voxels examined.
-func (e *Engine) markChanges(f0, f1 int) int {
-	// A moving light invalidates every pixel: all shadow terms may
-	// change. (The paper's scenes keep lights fixed.)
-	for _, l := range e.sc.Lights {
-		if l.MovedBetween(f0, f1) {
-			for i := range e.dirty {
-				e.dirty[i] = true
-			}
-			return 0
-		}
-	}
-	seen := make(map[int]bool)
-	markVoxel := func(idx int) {
-		if seen[idx] {
-			return
-		}
-		seen[idx] = true
-		regs := e.voxelPixels[idx]
-		// Collect valid registrations and compact the list in place,
-		// discarding entries superseded by a later re-render.
-		kept := regs[:0]
-		for _, reg := range regs {
-			if e.pixelStamp[reg.pixel] != reg.frame {
-				continue // stale
-			}
-			kept = append(kept, reg)
-			e.dirty[reg.pixel] = true
-		}
-		e.voxelPixels[idx] = kept
-	}
-	for _, o := range e.sc.Objects {
-		if !o.MovedBetween(f0, f1) {
-			continue
-		}
-		// Space the object leaves and space it enters both change. The
-		// per-voxel shape overlap test keeps thin slanted objects (the
-		// cradle strings) from dirtying their whole bounding box.
-		for _, f := range [2]int{f0, f1} {
-			shape := o.ShapeAt(f)
-			e.grid.VoxelsOverlapping(shape.Bounds(), func(idx int) {
-				if seen[idx] {
-					return
-				}
-				ix, iy, iz := e.grid.Coords(idx)
-				if geom.ShapeOverlapsBox(shape, e.grid.VoxelBounds(ix, iy, iz)) {
-					markVoxel(idx)
-				}
-			})
-		}
-	}
-	return len(seen)
-}
-
 // dilateToBlocks expands the dirty mask to n x n pixel blocks aligned to
 // the region origin (the Jevans-style baseline).
 func (e *Engine) dilateToBlocks(n int) {
@@ -390,18 +308,18 @@ func (e *Engine) dilateToBlocks(n int) {
 	bw := (w + n - 1) / n
 	bh := (h + n - 1) / n
 	blocks := make([]bool, bw*bh)
-	for p, d := range e.dirty {
-		if d {
+	for p := 0; p < e.dirty.Len(); p++ {
+		if e.dirty.Get(p) {
 			bx := (p % w) / n
 			by := (p / w) / n
 			blocks[by*bw+bx] = true
 		}
 	}
-	for p := range e.dirty {
+	for p := 0; p < e.dirty.Len(); p++ {
 		bx := (p % w) / n
 		by := (p / w) / n
 		if blocks[by*bw+bx] {
-			e.dirty[p] = true
+			e.dirty.Set(p)
 		}
 	}
 }
@@ -470,7 +388,9 @@ func (e *Engine) RenderSequence(emit func(frame int, img *fb.Framebuffer, rep Fr
 
 // FullRender renders every pixel of every frame of [start, end) without
 // coherence — the baseline for Table 1 columns (1) and (4)-(5). Region
-// semantics match the engine's.
+// semantics match the engine's. Serial by design: it is the
+// single-processor cost reference; parallel no-coherence rendering goes
+// through trace.RenderRegionParallel (the farm's plain path).
 func FullRender(sc *scene.Scene, w, h int, region fb.Rect, start, end int, samples int, emit func(frame int, img *fb.Framebuffer, rc stats.RayCounters) error) (stats.RunStats, error) {
 	var run stats.RunStats
 	startAll := time.Now()

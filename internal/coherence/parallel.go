@@ -1,0 +1,288 @@
+package coherence
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/geom"
+	"nowrender/internal/trace"
+	vm "nowrender/internal/vecmath"
+)
+
+// threads resolves Options.Threads to a concrete pool size.
+func (e *Engine) threads() int {
+	if e.opts.Threads > 0 {
+		return e.opts.Threads
+	}
+	return runtime.NumCPU()
+}
+
+// voxelReg is one buffered registration: pixel curPixel touched voxel
+// `voxel` during the current frame. Buffers are committed to the shared
+// voxelPixels lists at the frame barrier.
+type voxelReg struct {
+	voxel int32
+	pixel int32
+}
+
+// regCollector implements trace.RayObserver for one tile worker. It
+// buffers the worker's registrations locally so the render hot path
+// never takes a lock; dedup state (one entry per pixel per voxel per
+// frame, exactly matching the serial engine's last-entry check, since a
+// pixel's rays are consecutive and each pixel belongs to one worker)
+// rides along in lastPixel/lastFrame.
+type regCollector struct {
+	e        *Engine
+	frame    int32
+	curPixel int32
+	// lastPixel/lastFrame[idx] record the latest (pixel, frame) this
+	// collector registered on voxel idx, for O(1) dedup.
+	lastPixel []int32
+	lastFrame []int32
+	buf       []voxelReg
+}
+
+// ensureCollectors grows the reusable collector pool to n workers.
+func (e *Engine) ensureCollectors(n int) {
+	for len(e.collectors) < n {
+		nv := e.grid.NumVoxels()
+		c := &regCollector{
+			e:         e,
+			lastPixel: make([]int32, nv),
+			lastFrame: make([]int32, nv),
+		}
+		for i := range c.lastFrame {
+			c.lastFrame[i] = -1
+		}
+		e.collectors = append(e.collectors, c)
+	}
+}
+
+// beginFrame resets the collector for a new frame. Dedup state needs no
+// clearing: stale entries carry an older frame number and never match.
+func (c *regCollector) beginFrame(frame int32) {
+	c.frame = frame
+	c.buf = c.buf[:0]
+}
+
+// ObserveRay implements trace.RayObserver: buffer a registration of the
+// current pixel on every voxel the ray traverses up to its hit (or
+// through the whole grid for escaping rays).
+func (c *regCollector) ObserveRay(r vm.Ray, tHit float64) {
+	if r.Kind == vm.ShadowRay && c.e.opts.DisableShadowRegistration {
+		return
+	}
+	p := c.curPixel
+	c.e.grid.Walk(r, 0, tHit, func(idx int, _, _ float64) bool {
+		if c.lastPixel[idx] == p && c.lastFrame[idx] == c.frame {
+			return true
+		}
+		c.lastPixel[idx] = p
+		c.lastFrame[idx] = c.frame
+		c.buf = append(c.buf, voxelReg{voxel: int32(idx), pixel: p})
+		return true
+	})
+}
+
+// commit appends the buffered registrations to the engine's shared
+// per-voxel lists. Called serially at the frame barrier.
+func (c *regCollector) commit() {
+	for _, vr := range c.buf {
+		c.e.voxelPixels[vr.voxel] = append(c.e.voxelPixels[vr.voxel], registration{pixel: vr.pixel, frame: c.frame})
+	}
+}
+
+// renderTiles renders the engine's region for one frame through the
+// intra-frame tile pool, filling rep's per-frame counts. Determinism:
+// every pixel's colour is a pure function of its coordinates and the
+// frozen dirty mask decides trace-vs-copy per pixel, so tile order and
+// thread count cannot change a single output byte; counters and
+// registration buffers are merged in worker-slot order at the barrier,
+// and the registration multiset is identical to the serial engine's
+// (see regCollector).
+func (e *Engine) renderTiles(ft *trace.FrameTracer, frame int, dst *fb.Framebuffer, rep *FrameReport) {
+	tiles := e.Region.Blocks(trace.TileW, trace.TileH)
+	threads := e.threads()
+	if threads > len(tiles) {
+		threads = len(tiles)
+	}
+	e.ensureCollectors(threads)
+
+	type tally struct {
+		rendered, copied int
+	}
+	tallies := make([]tally, threads)
+	workers := make([]*trace.Worker, threads)
+	var next int64
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		c := e.collectors[i]
+		c.beginFrame(int32(frame))
+		w := ft.NewWorker(c)
+		workers[i] = w
+		run := func(slot int) {
+			for {
+				t := int(atomic.AddInt64(&next, 1)) - 1
+				if t >= len(tiles) {
+					return
+				}
+				r, cp := e.renderTile(w, c, frame, dst, tiles[t])
+				tallies[slot].rendered += r
+				tallies[slot].copied += cp
+			}
+		}
+		if threads == 1 {
+			run(i)
+			break
+		}
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			run(slot)
+		}(i)
+	}
+	wg.Wait()
+
+	// Frame barrier: merge per-worker results in slot order.
+	for i := 0; i < threads; i++ {
+		rep.Rendered += tallies[i].rendered
+		rep.Copied += tallies[i].copied
+		rep.Rays.Merge(workers[i].Counters)
+		rep.Registrations += uint64(len(e.collectors[i].buf))
+	}
+	for i := 0; i < threads; i++ {
+		e.collectors[i].commit()
+	}
+}
+
+// renderTile traces the dirty pixels of one tile and copies the clean
+// ones. Tiles are disjoint, so pixelStamp and framebuffer writes from
+// concurrent tile workers never touch the same index.
+func (e *Engine) renderTile(w *trace.Worker, c *regCollector, frame int, dst *fb.Framebuffer, tile fb.Rect) (rendered, copied int) {
+	for y := tile.Y0; y < tile.Y1; y++ {
+		for x := tile.X0; x < tile.X1; x++ {
+			p := e.pixelIndex(x, y)
+			if !e.dirty.Get(int(p)) {
+				dst.CopyPixel(e.prev, x, y)
+				copied++
+				continue
+			}
+			// Invalidate stale registrations and trace afresh.
+			e.pixelStamp[p] = int32(frame)
+			c.curPixel = p
+			dst.Set(x, y, w.TracePixel(x, y, e.W, e.H))
+			rendered++
+		}
+	}
+	return rendered, copied
+}
+
+// markChanges sets the dirty flag of every valid pixel registered on a
+// voxel in which change occurs between frames f0 and f1, returning the
+// number of changed voxels.
+//
+// Phase 1 (serial) collects candidate voxels — those whose bounds a
+// moved shape's box overlaps — with the shapes to test. Phase 2 fans the
+// exact per-voxel shape-overlap tests and registration-list compaction
+// out over the thread pool: voxels are disjoint, so the only shared
+// writes are atomic dirty-mask bits.
+func (e *Engine) markChanges(f0, f1 int) int {
+	// A moving light invalidates every pixel: all shadow terms may
+	// change. (The paper's scenes keep lights fixed.)
+	for _, l := range e.sc.Lights {
+		if l.MovedBetween(f0, f1) {
+			e.dirty.SetAll()
+			return 0
+		}
+	}
+
+	cands := make(map[int][]geom.Shape)
+	var order []int // deterministic iteration for phase 2
+	for _, o := range e.sc.Objects {
+		if !o.MovedBetween(f0, f1) {
+			continue
+		}
+		// Space the object leaves and space it enters both change. The
+		// per-voxel shape overlap test (phase 2) keeps thin slanted
+		// objects (the cradle strings) from dirtying their whole
+		// bounding box.
+		for _, f := range [2]int{f0, f1} {
+			shape := o.ShapeAt(f)
+			e.grid.VoxelsOverlapping(shape.Bounds(), func(idx int) {
+				if _, ok := cands[idx]; !ok {
+					order = append(order, idx)
+				}
+				cands[idx] = append(cands[idx], shape)
+			})
+		}
+	}
+
+	threads := e.threads()
+	if threads > len(order) {
+		threads = len(order)
+	}
+	if threads <= 1 {
+		changed := 0
+		for _, idx := range order {
+			if e.markVoxel(idx, cands[idx]) {
+				changed++
+			}
+		}
+		return changed
+	}
+	var changed int64
+	var next int64
+	var wg sync.WaitGroup
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := int64(0)
+			for {
+				t := int(atomic.AddInt64(&next, 1)) - 1
+				if t >= len(order) {
+					break
+				}
+				if e.markVoxel(order[t], cands[order[t]]) {
+					n++
+				}
+			}
+			atomic.AddInt64(&changed, n)
+		}()
+	}
+	wg.Wait()
+	return int(changed)
+}
+
+// markVoxel runs the exact overlap test for one candidate voxel and, if
+// any moved shape truly overlaps it, dirties the voxel's valid
+// registrations and compacts its list in place (discarding entries
+// superseded by a later re-render). Safe to run concurrently for
+// distinct voxels.
+func (e *Engine) markVoxel(idx int, shapes []geom.Shape) bool {
+	ix, iy, iz := e.grid.Coords(idx)
+	vb := e.grid.VoxelBounds(ix, iy, iz)
+	overlaps := false
+	for _, s := range shapes {
+		if geom.ShapeOverlapsBox(s, vb) {
+			overlaps = true
+			break
+		}
+	}
+	if !overlaps {
+		return false
+	}
+	regs := e.voxelPixels[idx]
+	kept := regs[:0]
+	for _, reg := range regs {
+		if e.pixelStamp[reg.pixel] != reg.frame {
+			continue // stale
+		}
+		kept = append(kept, reg)
+		e.dirty.SetAtomic(int(reg.pixel))
+	}
+	e.voxelPixels[idx] = kept
+	return true
+}

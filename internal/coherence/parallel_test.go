@@ -1,0 +1,97 @@
+package coherence
+
+import (
+	"fmt"
+	"testing"
+
+	"nowrender/internal/fb"
+)
+
+// renderRun renders frames [0, frames) at the given thread count,
+// returning the framebuffers and per-frame reports.
+func renderRun(t *testing.T, frames, threads int) ([]*fb.Framebuffer, []FrameReport, *Engine) {
+	t.Helper()
+	s := movingScene(frames)
+	e, err := NewEngine(s, tw, th, fb.NewRect(0, 0, tw, th), 0, frames, Options{Threads: threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imgs []*fb.Framebuffer
+	var reps []FrameReport
+	for f := 0; f < frames; f++ {
+		img := fb.New(tw, th)
+		rep, err := e.RenderFrame(f, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs = append(imgs, img)
+		reps = append(reps, rep)
+	}
+	return imgs, reps, e
+}
+
+// TestThreadsDeterministic is the determinism contract on the engine:
+// the same two-frame animation at Threads=1 and Threads=8 must produce
+// byte-identical framebuffers and equal total ray counts — and every
+// other report quantity must match too, because the parallel path
+// reproduces the serial registration multiset exactly. A longer run
+// covers the copy path and periodic compaction.
+func TestThreadsDeterministic(t *testing.T) {
+	for _, frames := range []int{2, 6} {
+		t.Run(fmt.Sprintf("frames%d", frames), func(t *testing.T) {
+			serialImgs, serialReps, serialEng := renderRun(t, frames, 1)
+			parImgs, parReps, parEng := renderRun(t, frames, 8)
+			for f := 0; f < frames; f++ {
+				if !parImgs[f].Equal(serialImgs[f]) {
+					t.Errorf("frame %d: %d differing pixels between 1 and 8 threads",
+						f, parImgs[f].DiffCount(serialImgs[f]))
+				}
+				sr, pr := serialReps[f], parReps[f]
+				if pr.Rays.Total() != sr.Rays.Total() {
+					t.Errorf("frame %d: total rays %d at 8 threads, want %d", f, pr.Rays.Total(), sr.Rays.Total())
+				}
+				if pr.Rays != sr.Rays {
+					t.Errorf("frame %d: ray breakdown %v, want %v", f, pr.Rays, sr.Rays)
+				}
+				pr.Overhead, sr.Overhead = 0, 0
+				if pr != sr {
+					t.Errorf("frame %d: report %+v, want %+v", f, pr, sr)
+				}
+			}
+			if got, want := parEng.RegistrationCount(), serialEng.RegistrationCount(); got != want {
+				t.Errorf("live registrations %d at 8 threads, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestThreadsDeterministicWithAA repeats the contract with adaptive
+// antialiasing and supersampling on — the sample patterns must stay
+// per-pixel deterministic under tiling.
+func TestThreadsDeterministicWithAA(t *testing.T) {
+	const frames = 3
+	s := movingScene(frames)
+	run := func(threads int) []*fb.Framebuffer {
+		e, err := NewEngine(s, tw, th, fb.NewRect(0, 0, tw, th), 0, frames,
+			Options{Threads: threads, AAThreshold: 0.1, AASamples: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var imgs []*fb.Framebuffer
+		for f := 0; f < frames; f++ {
+			img := fb.New(tw, th)
+			if _, err := e.RenderFrame(f, img); err != nil {
+				t.Fatal(err)
+			}
+			imgs = append(imgs, img)
+		}
+		return imgs
+	}
+	want := run(1)
+	got := run(8)
+	for f := range want {
+		if !got[f].Equal(want[f]) {
+			t.Errorf("frame %d: %d differing pixels with AA", f, got[f].DiffCount(want[f]))
+		}
+	}
+}

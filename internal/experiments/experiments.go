@@ -533,3 +533,74 @@ func Scaling(p Params, sizes []int) ([]ScalingPoint, error) {
 	}
 	return out, nil
 }
+
+// ParallelPoint is one thread count's wall-clock measurement of the
+// intra-frame tile pool (the node-level parallelism that multiplies with
+// the paper's farm-level speedups). Serialised into BENCH_parallel.json
+// by cmd/benchtab so the perf trajectory is recorded over time.
+type ParallelPoint struct {
+	Threads int `json:"threads"`
+	Frames  int `json:"frames"`
+	// WallMS is the wall-clock time for the whole frame run; MSPerFrame
+	// the per-frame average.
+	WallMS     float64 `json:"wall_ms"`
+	MSPerFrame float64 `json:"ms_per_frame"`
+	// Speedup is relative to the first (serial) entry. Wall-clock, so it
+	// depends on the host's core count — expect ~1.0 on a single-core
+	// machine and near-linear scaling up to the core count elsewhere.
+	Speedup float64 `json:"speedup"`
+	// IdenticalToSerial records the determinism check: the framebuffers
+	// of this run compared byte-for-byte against the serial run's.
+	IdenticalToSerial bool `json:"identical_to_serial"`
+}
+
+// ParallelSweep renders the first `frames` frames through a coherence
+// engine at each thread count, measuring wall time and verifying the
+// byte-identical-output contract against the serial run. threadCounts
+// should start with 1 (the speedup baseline).
+func ParallelSweep(p Params, threadCounts []int, frames int) ([]ParallelPoint, error) {
+	if frames <= 0 || frames > p.Scene.Frames {
+		frames = p.Scene.Frames
+	}
+	full := fb.NewRect(0, 0, p.W, p.H)
+	var ref []*fb.Framebuffer
+	var base time.Duration
+	out := make([]ParallelPoint, 0, len(threadCounts))
+	for i, t := range threadCounts {
+		eng, err := coherence.NewEngine(p.Scene, p.W, p.H, full, 0, frames, coherence.Options{Threads: t})
+		if err != nil {
+			return nil, err
+		}
+		bufs := make([]*fb.Framebuffer, frames)
+		start := time.Now()
+		for f := 0; f < frames; f++ {
+			img := fb.New(p.W, p.H)
+			if _, err := eng.RenderFrame(f, img); err != nil {
+				return nil, err
+			}
+			bufs[f] = img
+		}
+		wall := time.Since(start)
+		pt := ParallelPoint{
+			Threads:           t,
+			Frames:            frames,
+			WallMS:            float64(wall.Microseconds()) / 1000,
+			MSPerFrame:        float64(wall.Microseconds()) / 1000 / float64(frames),
+			Speedup:           1,
+			IdenticalToSerial: true,
+		}
+		if i == 0 {
+			base = wall
+			ref = bufs
+		} else {
+			pt.Speedup = float64(base) / float64(wall)
+			for f := range bufs {
+				if !bufs[f].Equal(ref[f]) {
+					pt.IdenticalToSerial = false
+				}
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -47,6 +47,12 @@ type Config struct {
 	CoherenceOpts coherence.Options
 	// Samples is the supersampling factor (0/1 = one ray per pixel).
 	Samples int
+	// Threads bounds each worker's intra-frame tile pool. 0 lets every
+	// worker use all its cores (runtime.NumCPU()); 1 forces the serial
+	// path. Output is byte-identical for every value — Threads changes
+	// wall-clock speed only, and has no effect on virtual-NOW makespans
+	// (the cost model charges per ray, not per core).
+	Threads int
 
 	// Machines populate the virtual NOW (RenderVirtual). Defaults to
 	// the paper's 3-machine testbed.

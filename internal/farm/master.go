@@ -83,6 +83,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			Task: t, W: cfg.W, H: cfg.H,
 			Coherence: cfg.Coherence, Samples: cfg.Samples,
 			GridRes: cfg.CoherenceOpts.GridRes, BlockGran: cfg.CoherenceOpts.BlockGranularity,
+			Threads: cfg.Threads,
 		}
 		data := encodeTask(tm)
 		res.BytesTransferred += int64(len(data))

@@ -45,6 +45,10 @@ type taskMsg struct {
 	Samples   int
 	GridRes   int
 	BlockGran int
+	// Threads bounds the worker's intra-frame tile pool; 0 lets the
+	// worker use all its cores. Pixels are thread-count-invariant, so
+	// this is purely a speed knob.
+	Threads int
 }
 
 func encodeTask(t taskMsg) []byte {
@@ -62,6 +66,7 @@ func encodeTask(t taskMsg) []byte {
 	b.PackInt(int64(t.Samples))
 	b.PackInt(int64(t.GridRes))
 	b.PackInt(int64(t.BlockGran))
+	b.PackInt(int64(t.Threads))
 	return b.Bytes()
 }
 
@@ -80,6 +85,7 @@ func decodeTask(data []byte) (taskMsg, error) {
 	t.Samples = int(b.UnpackInt())
 	t.GridRes = int(b.UnpackInt())
 	t.BlockGran = int(b.UnpackInt())
+	t.Threads = int(b.UnpackInt())
 	if err := b.Err(); err != nil {
 		return taskMsg{}, fmt.Errorf("farm: bad task message: %w", err)
 	}

@@ -78,6 +78,9 @@ func RenderVirtual(cfg Config) (*Result, error) {
 		if cfg.Coherence && t.Frames() >= 1 {
 			opts := cfg.CoherenceOpts
 			opts.SamplesPerPixel = cfg.Samples
+			if opts.Threads == 0 {
+				opts.Threads = cfg.Threads
+			}
 			eng, err := coherence.NewEngine(sc, cfg.W, cfg.H, t.Region, t.StartFrame, t.EndFrame, opts)
 			if err != nil {
 				return err
@@ -155,7 +158,7 @@ func RenderVirtual(cfg Config) (*Result, error) {
 			if err != nil {
 				return err
 			}
-			ft.RenderRegion(w.buf, w.task.Region)
+			ft.RenderRegionParallel(w.buf, w.task.Region, cfg.Threads)
 			rc = ft.Counters
 			work = cluster.Work{Rays: ft.Counters.Total(), MemoryMB: w.task.PlainMemoryMB()}
 			frameRendered[f] += w.task.Region.Area()

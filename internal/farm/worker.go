@@ -76,13 +76,27 @@ func RunWorker(name string, conn msg.Conn, sc *scene.Scene) error {
 	return RunWorkerCtx(context.Background(), name, conn, sc)
 }
 
+// WorkerOptions tune the local side of a worker, independent of what the
+// master sends.
+type WorkerOptions struct {
+	// Threads is the intra-frame tile-pool width used for tasks whose
+	// assignment leaves the thread count at 0 (the master default).
+	// 0 selects all cores; a task message's explicit Threads wins.
+	Threads int
+}
+
 // RunWorkerCtx is RunWorker with graceful-shutdown support: when ctx is
 // cancelled the worker finishes the frame it is rendering, sends a
 // TagBye status message telling the master where it stopped (so the
 // remainder of its task is requeued, not lost), and returns ctx's
 // error. cmd/nowworker wires SIGINT/SIGTERM to this.
 func RunWorkerCtx(ctx context.Context, name string, conn msg.Conn, sc *scene.Scene) error {
-	err := runWorkerLoop(ctx, name, conn, sc)
+	return RunWorkerWithOptions(ctx, name, conn, sc, WorkerOptions{})
+}
+
+// RunWorkerWithOptions is RunWorkerCtx with local worker tuning.
+func RunWorkerWithOptions(ctx context.Context, name string, conn msg.Conn, sc *scene.Scene, opts WorkerOptions) error {
+	err := runWorkerLoop(ctx, name, conn, sc, opts)
 	if errors.Is(err, msg.ErrClosed) {
 		// The master closed the connection — the PVM-style shutdown a
 		// slave can observe mid-send as easily as mid-receive (e.g. a
@@ -93,7 +107,7 @@ func RunWorkerCtx(ctx context.Context, name string, conn msg.Conn, sc *scene.Sce
 	return err
 }
 
-func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Scene) error {
+func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Scene, opts WorkerOptions) error {
 	ac := newAsyncConn(conn)
 	if err := ac.Send(msg.Message{Tag: TagHello, From: name, Data: []byte(name)}); err != nil {
 		return err
@@ -118,6 +132,9 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 			tm, err := decodeTask(m.Data)
 			if err != nil {
 				return err
+			}
+			if tm.Threads == 0 {
+				tm.Threads = opts.Threads
 			}
 			if err := runTask(ctx, name, ac, sc, tm); err != nil {
 				return err
@@ -151,6 +168,7 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 			SamplesPerPixel:  tm.Samples,
 			GridRes:          tm.GridRes,
 			BlockGranularity: tm.BlockGran,
+			Threads:          tm.Threads,
 		})
 		if err != nil {
 			return err
@@ -220,7 +238,7 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 			if err != nil {
 				return err
 			}
-			ft.RenderRegion(buf, t.Region)
+			ft.RenderRegionParallel(buf, t.Region, tm.Threads)
 			fd.Rendered = t.Region.Area()
 			fd.Rays = ft.Counters
 		}

@@ -36,8 +36,21 @@ func (f *Framebuffer) Clone() *Framebuffer {
 // offset returns the byte offset of pixel (x, y).
 func (f *Framebuffer) offset(x, y int) int { return (y*f.W + x) * 3 }
 
-// Set writes a linear colour, clamping and quantising to 8 bits.
+// checkBounds panics with the offending coordinates when (x, y) lies
+// outside the framebuffer. Raw slice indexing would also panic, but on a
+// byte offset — useless when a tile rectangle is off by one; this names
+// the pixel.
+func (f *Framebuffer) checkBounds(x, y int) {
+	if x < 0 || x >= f.W || y < 0 || y >= f.H {
+		panic(fmt.Sprintf("fb: pixel (%d,%d) outside %dx%d framebuffer", x, y, f.W, f.H))
+	}
+}
+
+// Set writes a linear colour, clamping and quantising to 8 bits. Panics
+// if (x, y) is out of bounds. Concurrent Set calls on distinct pixels
+// are safe; the same pixel must not be written concurrently.
 func (f *Framebuffer) Set(x, y int, c vm.Vec3) {
+	f.checkBounds(x, y)
 	o := f.offset(x, y)
 	cc := c.Clamp01()
 	f.Pix[o+0] = byte(cc.X*255 + 0.5)
@@ -45,8 +58,9 @@ func (f *Framebuffer) Set(x, y int, c vm.Vec3) {
 	f.Pix[o+2] = byte(cc.Z*255 + 0.5)
 }
 
-// SetRGB writes raw bytes.
+// SetRGB writes raw bytes. Panics if (x, y) is out of bounds.
 func (f *Framebuffer) SetRGB(x, y int, r, g, b byte) {
+	f.checkBounds(x, y)
 	o := f.offset(x, y)
 	f.Pix[o+0], f.Pix[o+1], f.Pix[o+2] = r, g, b
 }

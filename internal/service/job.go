@@ -51,6 +51,12 @@ type JobSpec struct {
 	// Samples is the supersampling factor (0/1 = one ray per pixel).
 	// Part of the cache address: it changes pixels.
 	Samples int `json:"samples,omitempty"`
+	// Threads bounds each farm worker's intra-frame tile pool; 0 falls
+	// back to the service default, which in turn defaults to all cores.
+	// Deliberately NOT part of the cache address: the render core
+	// guarantees byte-identical pixels for every thread count, so frames
+	// cached at one setting serve requests at any other.
+	Threads int `json:"threads,omitempty"`
 	// Priority orders the queue: higher first, FIFO within a priority.
 	Priority int `json:"priority,omitempty"`
 	// Driver selects the farm backend: "virtual" (deterministic virtual

@@ -45,6 +45,9 @@ type Config struct {
 	// Workers is the goroutine count for "local"-driver jobs. Defaults
 	// to the machine count.
 	Workers int
+	// Threads is the default intra-frame tile-pool width for jobs whose
+	// spec leaves Threads at 0. 0 lets workers use all their cores.
+	Threads int
 	// DefaultDriver is used when a JobSpec leaves Driver empty:
 	// "virtual" (default) or "local".
 	DefaultDriver string
@@ -125,6 +128,12 @@ func (s *Service) normalize(spec *JobSpec, frames int) error {
 	}
 	if spec.Samples < 1 {
 		spec.Samples = 1
+	}
+	if spec.Threads < 0 {
+		return fmt.Errorf("service: bad thread count %d", spec.Threads)
+	}
+	if spec.Threads == 0 {
+		spec.Threads = s.cfg.Threads
 	}
 	if spec.Scheme == "" {
 		spec.Scheme = "seqdiv"
@@ -325,6 +334,7 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		StartFrame: start, EndFrame: end,
 		Coherence: !j.spec.Plain,
 		Samples:   j.spec.Samples,
+		Threads:   j.spec.Threads,
 		Machines:  s.cfg.Machines,
 		Workers:   s.cfg.Workers,
 		Ctx:       j.ctx,

@@ -1,9 +1,11 @@
 // Package stats collects the counters and timings the benchmark harness
 // reports: ray counts by class (Table 1 row 1), per-frame render times,
-// and worker utilisation. Counter types are plain values — single-owner
-// code updates them without synchronisation and the farm aggregates
-// copies — mirroring how the paper's PVM slaves reported statistics back
-// to the master in messages.
+// and worker utilisation. Counter types are plain values updated without
+// synchronisation: each counter is scratch-local to exactly one goroutine
+// while it accumulates — a trace.Worker, a farm worker, a tile renderer —
+// and owners' copies are combined with Merge at a barrier (the frame
+// barrier for intra-frame tiles, result messages for the farm), mirroring
+// how the paper's PVM slaves reported statistics back to the master.
 package stats
 
 import (
@@ -15,7 +17,10 @@ import (
 	vm "nowrender/internal/vecmath"
 )
 
-// RayCounters tallies rays by kind.
+// RayCounters tallies rays by kind. Not synchronised: a RayCounters is
+// owned by one goroutine while counting (each parallel tile worker keeps
+// its own), and owners are merged with Merge at a barrier, so totals
+// never double count and are identical for every thread count.
 type RayCounters struct {
 	ByKind [vm.NumRayKinds]uint64
 }

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nowrender/internal/fb"
+)
+
+// TileW and TileH are the tile dimensions the parallel render paths cut
+// regions into. Small enough to balance load across uneven scene cost,
+// large enough to amortise per-tile bookkeeping.
+const (
+	TileW = 32
+	TileH = 32
+)
+
+// RenderRegionParallel renders region into dst using up to threads
+// goroutines, each with its own Worker. Output bytes are identical to
+// RenderRegion for any thread count: every pixel's colour is a pure
+// function of its coordinates, and each pixel is written exactly once.
+//
+// threads <= 0 selects runtime.NumCPU(). The default worker's observer
+// (Options.Observer) is not consulted here — observers are per-Worker,
+// and this path creates observer-less workers; callers that need ray
+// observation with parallelism use the coherence engine's tile pool,
+// which wires a collector into each worker. The default worker's
+// Counters are left untouched; per-worker counts are merged and
+// returned via the workers' own Counters into ft.Counters.
+func (ft *FrameTracer) RenderRegionParallel(dst *fb.Framebuffer, region fb.Rect, threads int) {
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	tiles := region.Blocks(TileW, TileH)
+	if threads == 1 || len(tiles) <= 1 {
+		ft.RenderRegion(dst, region)
+		return
+	}
+	if threads > len(tiles) {
+		threads = len(tiles)
+	}
+
+	var next int64
+	var wg sync.WaitGroup
+	workers := make([]*Worker, threads)
+	for i := 0; i < threads; i++ {
+		w := ft.NewWorker(nil)
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(atomic.AddInt64(&next, 1)) - 1
+				if t >= len(tiles) {
+					return
+				}
+				w.RenderRegion(dst, tiles[t])
+			}
+		}()
+	}
+	wg.Wait()
+	// Merge ray tallies into the tracer's own counters so ft.Counters
+	// reports the full render, same as the serial path.
+	for _, w := range workers {
+		ft.Counters.Merge(w.Counters)
+	}
+}

@@ -5,27 +5,37 @@
 //
 //	I = I_local + k_rg*I_reflected + k_tg*I_transmitted
 //
-// A FrameTracer renders one frame of one scene and is not safe for
-// concurrent use; parallel workers each build their own (the paper's
-// slaves likewise each ran a full POV-Ray process).
+// # Concurrency
+//
+// A FrameTracer is split into two parts. The frame view — resolved
+// geometry, the voxel grid, camera and shading parameters — is built
+// once by New and is strictly read-only afterwards, so any number of
+// goroutines may share it. All mutable render state (the mailbox ray
+// stamps, the ray counters, the observer hook) lives in a Worker; each
+// rendering goroutine owns one, obtained from NewWorker. The FrameTracer
+// embeds a default Worker so single-goroutine callers keep the classic
+// API: ft.TracePixel, ft.RenderRegion and ft.Counters work exactly as
+// before, but are not safe for concurrent use — concurrent renderers
+// call NewWorker per goroutine (see RenderRegionParallel and the
+// coherence engine's tile pool).
 package trace
 
 import (
 	"fmt"
 	"math"
 
-	"nowrender/internal/fb"
 	"nowrender/internal/geom"
 	"nowrender/internal/grid"
 	"nowrender/internal/scene"
-	"nowrender/internal/stats"
 	vm "nowrender/internal/vecmath"
 )
 
-// RayObserver receives every ray the tracer casts, with the parameter of
+// RayObserver receives every ray a worker casts, with the parameter of
 // its nearest hit (math.Inf(1) for rays that escape). The coherence
 // engine implements this to register pixels on the voxels each ray
-// traverses; a nil observer costs nothing.
+// traverses; a nil observer costs nothing. Observers are per-Worker:
+// each rendering goroutine notifies only its own observer, so observer
+// implementations need no internal locking.
 type RayObserver interface {
 	ObserveRay(r vm.Ray, tHit float64)
 }
@@ -35,7 +45,9 @@ type Options struct {
 	// GridRes overrides the automatic voxel resolution when positive
 	// (the ablation benches sweep this).
 	GridRes int
-	// Observer, when non-nil, is notified of every ray cast.
+	// Observer, when non-nil, is notified of every ray the tracer's
+	// default worker casts. Workers created with NewWorker carry their
+	// own observers.
 	Observer RayObserver
 	// SamplesPerPixel enables jittered supersampling when > 1. The
 	// paper's runs use 1 sample (coherence needs deterministic pixels,
@@ -54,7 +66,8 @@ type Options struct {
 	MaxDepth int
 }
 
-// FrameTracer renders a single frame of a scene.
+// FrameTracer renders a single frame of a scene. Everything outside the
+// embedded Worker is immutable after New and shared by all workers.
 type FrameTracer struct {
 	Scene *scene.Scene
 	Frame int
@@ -68,20 +81,16 @@ type FrameTracer struct {
 	samples   int
 	aaThresh  float64
 	aaSamples int
-	observer  RayObserver
 
-	// Mailboxing: avoid re-testing an object in multiple voxels along
-	// one ray.
-	rayStamp  uint64
-	mailboxes []uint64
-
-	// Counters tallies rays cast while rendering. Read it after
-	// rendering; the farm merges counters from all workers.
-	Counters stats.RayCounters
+	// Worker is the tracer's own scratch for the single-goroutine
+	// compatibility path; its methods and Counters field promote to the
+	// FrameTracer.
+	Worker
 }
 
 // New builds a tracer for one frame, resolving animated transforms and
-// constructing the voxel grid.
+// constructing the voxel grid. The grid is populated here and never
+// mutated again: after New returns it is safe for concurrent traversal.
 func New(sc *scene.Scene, frame int, opts Options) (*FrameTracer, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -96,7 +105,6 @@ func New(sc *scene.Scene, frame int, opts Options) (*FrameTracer, error) {
 		objs:     sc.ResolveFrame(frame),
 		maxDepth: sc.MaxDepth,
 		samples:  1,
-		observer: opts.Observer,
 	}
 	if opts.MaxDepth > 0 {
 		ft.maxDepth = opts.MaxDepth
@@ -133,18 +141,36 @@ func New(sc *scene.Scene, frame int, opts Options) (*FrameTracer, error) {
 		g.Insert(id, ro.Bounds)
 		ft.gridIDs = append(ft.gridIDs, id)
 	}
-	ft.mailboxes = make([]uint64, len(ft.objs))
+	ft.Worker = Worker{
+		ft:        ft,
+		observer:  opts.Observer,
+		mailboxes: make([]uint64, len(ft.objs)),
+	}
 	return ft, nil
 }
 
+// NewWorker returns an independent rendering worker over the tracer's
+// shared frame view, with its own mailboxes, ray counters and observer
+// (nil for none). One worker per goroutine; workers may render
+// concurrently with each other and with the tracer's default worker.
+func (ft *FrameTracer) NewWorker(obs RayObserver) *Worker {
+	return &Worker{
+		ft:        ft,
+		observer:  obs,
+		mailboxes: make([]uint64, len(ft.objs)),
+	}
+}
+
 // Grid exposes the frame's voxel grid (the coherence engine shares it).
+// Read-only after New.
 func (ft *FrameTracer) Grid() *grid.Grid { return ft.grid }
 
-// Objects exposes the resolved per-frame geometry.
+// Objects exposes the resolved per-frame geometry. Read-only after New.
 func (ft *FrameTracer) Objects() []scene.ResolvedObject { return ft.objs }
 
 // CameraRay returns the primary ray through the centre of pixel (px, py)
-// of a w x h image, with sub-pixel offsets (jx, jy) in [0,1).
+// of a w x h image, with sub-pixel offsets (jx, jy) in [0,1). Pure
+// function of the immutable camera; safe for concurrent use.
 func (ft *FrameTracer) CameraRay(px, py, w, h int, jx, jy float64) vm.Ray {
 	cam := ft.Cam
 	fwd := cam.LookAt.Sub(cam.Pos).Norm()
@@ -158,261 +184,4 @@ func (ft *FrameTracer) CameraRay(px, py, w, h int, jx, jy float64) vm.Ray {
 	v := (1 - 2*(float64(py)+jy)/float64(h)) * halfH
 	dir := fwd.Add(right.Scale(u)).Add(up.Scale(v)).Norm()
 	return vm.Ray{Origin: cam.Pos, Dir: dir, Kind: vm.CameraRay}
-}
-
-// TracePixel computes the colour of pixel (px, py) in a w x h image.
-func (ft *FrameTracer) TracePixel(px, py, w, h int) vm.Vec3 {
-	if ft.aaThresh > 0 {
-		return ft.tracePixelAdaptive(px, py, w, h)
-	}
-	if ft.samples == 1 {
-		return ft.traceRay(ft.CameraRay(px, py, w, h, 0.5, 0.5))
-	}
-	// Deterministic per-pixel jitter so re-rendering a pixel in a later
-	// frame reproduces the same sample positions (a coherence
-	// correctness requirement).
-	rng := vm.NewRNG(uint64(py)*1_000_003 + uint64(px)*7919 + 1)
-	var sum vm.Vec3
-	for s := 0; s < ft.samples; s++ {
-		sum = sum.Add(ft.traceRay(ft.CameraRay(px, py, w, h, rng.Float64(), rng.Float64())))
-	}
-	return sum.Scale(1 / float64(ft.samples))
-}
-
-// tracePixelAdaptive implements POV-style adaptive antialiasing: the
-// pixel centre and four corners are sampled; if any pair contrasts by
-// more than the threshold, extra jittered samples are blended in.
-func (ft *FrameTracer) tracePixelAdaptive(px, py, w, h int) vm.Vec3 {
-	offsets := [5][2]float64{{0.5, 0.5}, {0.05, 0.05}, {0.95, 0.05}, {0.05, 0.95}, {0.95, 0.95}}
-	var samples [5]vm.Vec3
-	var sum vm.Vec3
-	for i, o := range offsets {
-		samples[i] = ft.traceRay(ft.CameraRay(px, py, w, h, o[0], o[1]))
-		sum = sum.Add(samples[i])
-	}
-	maxContrast := 0.0
-	for i := 0; i < len(samples); i++ {
-		for j := i + 1; j < len(samples); j++ {
-			d := samples[i].Sub(samples[j])
-			for _, c := range [3]float64{d.X, d.Y, d.Z} {
-				if c < 0 {
-					c = -c
-				}
-				if c > maxContrast {
-					maxContrast = c
-				}
-			}
-		}
-	}
-	n := len(offsets)
-	if maxContrast > ft.aaThresh {
-		rng := vm.NewRNG(uint64(py)*2_000_003 + uint64(px)*104729 + 7)
-		for s := 0; s < ft.aaSamples; s++ {
-			sum = sum.Add(ft.traceRay(ft.CameraRay(px, py, w, h, rng.Float64(), rng.Float64())))
-		}
-		n += ft.aaSamples
-	}
-	return sum.Scale(1 / float64(n))
-}
-
-// RenderRegion renders rectangle r of a w x h frame into dst (which must
-// be w x h).
-func (ft *FrameTracer) RenderRegion(dst *fb.Framebuffer, region fb.Rect) {
-	for y := region.Y0; y < region.Y1; y++ {
-		for x := region.X0; x < region.X1; x++ {
-			dst.Set(x, y, ft.TracePixel(x, y, dst.W, dst.H))
-		}
-	}
-}
-
-// RenderFull renders the whole frame into dst.
-func (ft *FrameTracer) RenderFull(dst *fb.Framebuffer) {
-	ft.RenderRegion(dst, dst.Bounds())
-}
-
-// traceRay casts r and returns the resulting radiance.
-func (ft *FrameTracer) traceRay(r vm.Ray) vm.Vec3 {
-	ft.Counters.Add(r.Kind, 1)
-	h, obj, ok := ft.Intersect(r, vm.ShadowEps, math.Inf(1))
-	if ft.observer != nil {
-		tHit := math.Inf(1)
-		if ok {
-			tHit = h.T
-		}
-		ft.observer.ObserveRay(r, tHit)
-	}
-	if !ok {
-		return ft.Scene.Background
-	}
-	return ft.shade(r, h, obj)
-}
-
-// Intersect finds the nearest object hit along r in (tMin, tMax), using
-// the voxel grid with per-ray mailboxing plus the unbounded list.
-func (ft *FrameTracer) Intersect(r vm.Ray, tMin, tMax float64) (geom.Hit, *scene.ResolvedObject, bool) {
-	ft.rayStamp++
-	stamp := ft.rayStamp
-	best := geom.Hit{T: tMax}
-	var bestObj *scene.ResolvedObject
-	found := false
-
-	// Unbounded primitives are tested once per ray.
-	for _, id := range ft.unbounded {
-		ro := &ft.objs[id]
-		if h, ok := ro.Shape.Intersect(r, tMin, best.T); ok {
-			best, bestObj, found = h, ro, true
-		}
-	}
-
-	ft.grid.Walk(r, tMin, tMax, func(idx int, tEnter, tLeave float64) bool {
-		for _, id := range ft.grid.Items(idx) {
-			if ft.mailboxes[id] == stamp {
-				continue
-			}
-			ft.mailboxes[id] = stamp
-			ro := &ft.objs[id]
-			if h, ok := ro.Shape.Intersect(r, tMin, best.T); ok {
-				best, bestObj, found = h, ro, true
-			}
-		}
-		// Stop once the best hit lies inside the already-walked voxels:
-		// later voxels can only produce farther hits.
-		return !(found && best.T <= tLeave)
-	})
-	if !found {
-		return geom.Hit{}, nil, false
-	}
-	return best, bestObj, true
-}
-
-// shade evaluates the Whitted shading model at a hit.
-func (ft *FrameTracer) shade(r vm.Ray, h geom.Hit, obj *scene.ResolvedObject) vm.Vec3 {
-	mat := obj.Obj.Mat
-	fin := mat.Finish
-	base := mat.Pigment.ColorAt(h)
-
-	// Ambient term.
-	out := base.Mul(ft.Scene.Ambient).Scale(fin.Ambient)
-
-	// Direct illumination with shadow rays.
-	viewDir := r.Dir.Norm().Neg()
-	for _, light := range ft.Scene.Lights {
-		lp := light.PosAt(ft.Frame)
-		toLight := lp.Sub(h.Point)
-		dist := toLight.Len()
-		if dist < vm.Eps {
-			continue
-		}
-		ldir := toLight.Scale(1 / dist)
-		ndotl := h.Normal.Dot(ldir)
-		if ndotl <= 0 {
-			continue
-		}
-		// Spotlight cone and distance fade scale the light before the
-		// shadow test.
-		lightFactor := light.Attenuation(lp, h.Point)
-		if lightFactor <= 0 {
-			continue
-		}
-		atten := ft.shadowAttenuation(h.Point.Add(h.Normal.Scale(vm.ShadowEps)), lp, r.Depth)
-		if atten == (vm.Vec3{}) {
-			continue
-		}
-		atten = atten.Scale(lightFactor)
-		contrib := vm.Vec3{}
-		if fin.Diffuse > 0 {
-			contrib = contrib.Add(base.Scale(fin.Diffuse * ndotl))
-		}
-		if fin.Specular > 0 {
-			half := ldir.Add(viewDir).Norm()
-			spec := math.Pow(math.Max(0, h.Normal.Dot(half)), fin.Shininess)
-			contrib = contrib.Add(vm.Splat(fin.Specular * spec))
-		}
-		out = out.Add(contrib.Mul(light.Color).Mul(atten))
-	}
-
-	if r.Depth >= ft.maxDepth-1 {
-		return out
-	}
-
-	// Global reflection: k_rg * I_reflected.
-	if fin.Reflect > 0 {
-		rd := r.Dir.Norm().Reflect(h.Normal)
-		refl := ft.traceRay(vm.Ray{
-			Origin: h.Point.Add(h.Normal.Scale(vm.ShadowEps)),
-			Dir:    rd,
-			Kind:   vm.ReflectedRay,
-			Depth:  r.Depth + 1,
-		})
-		out = out.Add(refl.Scale(fin.Reflect))
-	}
-
-	// Transmission: k_tg * I_transmitted.
-	if fin.Transmit > 0 {
-		eta := 1 / fin.IOR
-		if h.Inside {
-			eta = fin.IOR
-		}
-		if td, ok := r.Dir.Norm().Refract(h.Normal, eta); ok {
-			tr := ft.traceRay(vm.Ray{
-				Origin: h.Point.Sub(h.Normal.Scale(vm.ShadowEps)),
-				Dir:    td,
-				Kind:   vm.RefractedRay,
-				Depth:  r.Depth + 1,
-			})
-			out = out.Add(tr.Scale(fin.Transmit))
-		} else {
-			// Total internal reflection: the transmitted energy reflects
-			// instead, as POV-Ray does.
-			rd := r.Dir.Norm().Reflect(h.Normal)
-			refl := ft.traceRay(vm.Ray{
-				Origin: h.Point.Add(h.Normal.Scale(vm.ShadowEps)),
-				Dir:    rd,
-				Kind:   vm.ReflectedRay,
-				Depth:  r.Depth + 1,
-			})
-			out = out.Add(refl.Scale(fin.Transmit))
-		}
-	}
-	return out
-}
-
-// shadowAttenuation casts a shadow ray from p to the light at lp and
-// returns the fraction of light arriving: (1,1,1) for a clear path,
-// (0,0,0) for a fully blocked one, and a filtered colour through
-// transmissive objects (so the glass ball casts a light shadow).
-func (ft *FrameTracer) shadowAttenuation(p, lp vm.Vec3, depth int) vm.Vec3 {
-	dir := lp.Sub(p)
-	dist := dir.Len()
-	ray := vm.Ray{Origin: p, Dir: dir.Scale(1 / dist), Kind: vm.ShadowRay, Depth: depth}
-	ft.Counters.Add(vm.ShadowRay, 1)
-
-	atten := vm.Splat(1)
-	// March through successive hits between p and the light,
-	// multiplying in transmission. Opaque hit -> zero.
-	tMin := vm.ShadowEps
-	for hop := 0; hop < 16; hop++ {
-		h, obj, ok := ft.Intersect(ray, tMin, dist-vm.ShadowEps)
-		if !ok {
-			break
-		}
-		fin := obj.Obj.Mat.Finish
-		if fin.Transmit <= 0 {
-			atten = vm.Vec3{}
-			break
-		}
-		tint := obj.Obj.Mat.Pigment.ColorAt(h)
-		atten = atten.Mul(tint.Scale(fin.Transmit))
-		if atten.MaxComponent() < 1e-4 {
-			atten = vm.Vec3{}
-			break
-		}
-		tMin = h.T + vm.ShadowEps
-	}
-	if ft.observer != nil {
-		// Register the full segment to the light (conservative: a
-		// blocker moving anywhere on the segment can change this pixel).
-		ft.observer.ObserveRay(ray, dist)
-	}
-	return atten
 }

@@ -1,0 +1,300 @@
+package trace
+
+import (
+	"math"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/geom"
+	"nowrender/internal/scene"
+	"nowrender/internal/stats"
+	vm "nowrender/internal/vecmath"
+)
+
+// Worker holds the per-goroutine render scratch of one FrameTracer: the
+// mailbox ray stamps, the ray counters and the observer hook. A Worker
+// is single-owner — one goroutine renders with it — but any number of
+// workers may render concurrently over the same (immutable) tracer.
+// Workers come from FrameTracer.NewWorker; the tracer also embeds a
+// default Worker for the classic single-goroutine API.
+type Worker struct {
+	ft       *FrameTracer
+	observer RayObserver
+
+	// Mailboxing: avoid re-testing an object in multiple voxels along
+	// one ray. Per worker, so concurrent rays never share stamps.
+	rayStamp  uint64
+	mailboxes []uint64
+
+	// Counters tallies rays this worker casts. Single-owner scratch:
+	// read it after rendering, or merge worker copies at a barrier (the
+	// engine's tile pool and the farm both do the latter).
+	Counters stats.RayCounters
+}
+
+// Tracer returns the shared frame view this worker renders.
+func (w *Worker) Tracer() *FrameTracer { return w.ft }
+
+// TracePixel computes the colour of pixel (px, py) in a width x height
+// image. Deterministic per pixel: the same pixel produces the same
+// colour regardless of which worker traces it or in what order — the
+// foundation of the engine's thread-count-invariant output.
+func (w *Worker) TracePixel(px, py, width, height int) vm.Vec3 {
+	ft := w.ft
+	if ft.aaThresh > 0 {
+		return w.tracePixelAdaptive(px, py, width, height)
+	}
+	if ft.samples == 1 {
+		return w.traceRay(ft.CameraRay(px, py, width, height, 0.5, 0.5))
+	}
+	// Deterministic per-pixel jitter so re-rendering a pixel in a later
+	// frame (or on a different worker) reproduces the same sample
+	// positions (a coherence correctness requirement).
+	rng := vm.NewRNG(uint64(py)*1_000_003 + uint64(px)*7919 + 1)
+	var sum vm.Vec3
+	for s := 0; s < ft.samples; s++ {
+		sum = sum.Add(w.traceRay(ft.CameraRay(px, py, width, height, rng.Float64(), rng.Float64())))
+	}
+	return sum.Scale(1 / float64(ft.samples))
+}
+
+// tracePixelAdaptive implements POV-style adaptive antialiasing: the
+// pixel centre and four corners are sampled; if any pair contrasts by
+// more than the threshold, extra jittered samples are blended in.
+func (w *Worker) tracePixelAdaptive(px, py, width, height int) vm.Vec3 {
+	ft := w.ft
+	offsets := [5][2]float64{{0.5, 0.5}, {0.05, 0.05}, {0.95, 0.05}, {0.05, 0.95}, {0.95, 0.95}}
+	var samples [5]vm.Vec3
+	var sum vm.Vec3
+	for i, o := range offsets {
+		samples[i] = w.traceRay(ft.CameraRay(px, py, width, height, o[0], o[1]))
+		sum = sum.Add(samples[i])
+	}
+	maxContrast := 0.0
+	for i := 0; i < len(samples); i++ {
+		for j := i + 1; j < len(samples); j++ {
+			d := samples[i].Sub(samples[j])
+			for _, c := range [3]float64{d.X, d.Y, d.Z} {
+				if c < 0 {
+					c = -c
+				}
+				if c > maxContrast {
+					maxContrast = c
+				}
+			}
+		}
+	}
+	n := len(offsets)
+	if maxContrast > ft.aaThresh {
+		rng := vm.NewRNG(uint64(py)*2_000_003 + uint64(px)*104729 + 7)
+		for s := 0; s < ft.aaSamples; s++ {
+			sum = sum.Add(w.traceRay(ft.CameraRay(px, py, width, height, rng.Float64(), rng.Float64())))
+		}
+		n += ft.aaSamples
+	}
+	return sum.Scale(1 / float64(n))
+}
+
+// RenderRegion renders rectangle region of a dst.W x dst.H frame into
+// dst on this worker's goroutine.
+func (w *Worker) RenderRegion(dst *fb.Framebuffer, region fb.Rect) {
+	for y := region.Y0; y < region.Y1; y++ {
+		for x := region.X0; x < region.X1; x++ {
+			dst.Set(x, y, w.TracePixel(x, y, dst.W, dst.H))
+		}
+	}
+}
+
+// RenderFull renders the whole frame into dst.
+func (w *Worker) RenderFull(dst *fb.Framebuffer) {
+	w.RenderRegion(dst, dst.Bounds())
+}
+
+// traceRay casts r and returns the resulting radiance.
+func (w *Worker) traceRay(r vm.Ray) vm.Vec3 {
+	w.Counters.Add(r.Kind, 1)
+	h, obj, ok := w.Intersect(r, vm.ShadowEps, math.Inf(1))
+	if w.observer != nil {
+		tHit := math.Inf(1)
+		if ok {
+			tHit = h.T
+		}
+		w.observer.ObserveRay(r, tHit)
+	}
+	if !ok {
+		return w.ft.Scene.Background
+	}
+	return w.shade(r, h, obj)
+}
+
+// Intersect finds the nearest object hit along r in (tMin, tMax), using
+// the shared voxel grid with this worker's mailboxes plus the unbounded
+// list.
+func (w *Worker) Intersect(r vm.Ray, tMin, tMax float64) (geom.Hit, *scene.ResolvedObject, bool) {
+	ft := w.ft
+	w.rayStamp++
+	stamp := w.rayStamp
+	best := geom.Hit{T: tMax}
+	var bestObj *scene.ResolvedObject
+	found := false
+
+	// Unbounded primitives are tested once per ray.
+	for _, id := range ft.unbounded {
+		ro := &ft.objs[id]
+		if h, ok := ro.Shape.Intersect(r, tMin, best.T); ok {
+			best, bestObj, found = h, ro, true
+		}
+	}
+
+	ft.grid.Walk(r, tMin, tMax, func(idx int, tEnter, tLeave float64) bool {
+		for _, id := range ft.grid.Items(idx) {
+			if w.mailboxes[id] == stamp {
+				continue
+			}
+			w.mailboxes[id] = stamp
+			ro := &ft.objs[id]
+			if h, ok := ro.Shape.Intersect(r, tMin, best.T); ok {
+				best, bestObj, found = h, ro, true
+			}
+		}
+		// Stop once the best hit lies inside the already-walked voxels:
+		// later voxels can only produce farther hits.
+		return !(found && best.T <= tLeave)
+	})
+	if !found {
+		return geom.Hit{}, nil, false
+	}
+	return best, bestObj, true
+}
+
+// shade evaluates the Whitted shading model at a hit.
+func (w *Worker) shade(r vm.Ray, h geom.Hit, obj *scene.ResolvedObject) vm.Vec3 {
+	ft := w.ft
+	mat := obj.Obj.Mat
+	fin := mat.Finish
+	base := mat.Pigment.ColorAt(h)
+
+	// Ambient term.
+	out := base.Mul(ft.Scene.Ambient).Scale(fin.Ambient)
+
+	// Direct illumination with shadow rays.
+	viewDir := r.Dir.Norm().Neg()
+	for _, light := range ft.Scene.Lights {
+		lp := light.PosAt(ft.Frame)
+		toLight := lp.Sub(h.Point)
+		dist := toLight.Len()
+		if dist < vm.Eps {
+			continue
+		}
+		ldir := toLight.Scale(1 / dist)
+		ndotl := h.Normal.Dot(ldir)
+		if ndotl <= 0 {
+			continue
+		}
+		// Spotlight cone and distance fade scale the light before the
+		// shadow test.
+		lightFactor := light.Attenuation(lp, h.Point)
+		if lightFactor <= 0 {
+			continue
+		}
+		atten := w.shadowAttenuation(h.Point.Add(h.Normal.Scale(vm.ShadowEps)), lp, r.Depth)
+		if atten == (vm.Vec3{}) {
+			continue
+		}
+		atten = atten.Scale(lightFactor)
+		contrib := vm.Vec3{}
+		if fin.Diffuse > 0 {
+			contrib = contrib.Add(base.Scale(fin.Diffuse * ndotl))
+		}
+		if fin.Specular > 0 {
+			half := ldir.Add(viewDir).Norm()
+			spec := math.Pow(math.Max(0, h.Normal.Dot(half)), fin.Shininess)
+			contrib = contrib.Add(vm.Splat(fin.Specular * spec))
+		}
+		out = out.Add(contrib.Mul(light.Color).Mul(atten))
+	}
+
+	if r.Depth >= ft.maxDepth-1 {
+		return out
+	}
+
+	// Global reflection: k_rg * I_reflected.
+	if fin.Reflect > 0 {
+		rd := r.Dir.Norm().Reflect(h.Normal)
+		refl := w.traceRay(vm.Ray{
+			Origin: h.Point.Add(h.Normal.Scale(vm.ShadowEps)),
+			Dir:    rd,
+			Kind:   vm.ReflectedRay,
+			Depth:  r.Depth + 1,
+		})
+		out = out.Add(refl.Scale(fin.Reflect))
+	}
+
+	// Transmission: k_tg * I_transmitted.
+	if fin.Transmit > 0 {
+		eta := 1 / fin.IOR
+		if h.Inside {
+			eta = fin.IOR
+		}
+		if td, ok := r.Dir.Norm().Refract(h.Normal, eta); ok {
+			tr := w.traceRay(vm.Ray{
+				Origin: h.Point.Sub(h.Normal.Scale(vm.ShadowEps)),
+				Dir:    td,
+				Kind:   vm.RefractedRay,
+				Depth:  r.Depth + 1,
+			})
+			out = out.Add(tr.Scale(fin.Transmit))
+		} else {
+			// Total internal reflection: the transmitted energy reflects
+			// instead, as POV-Ray does.
+			rd := r.Dir.Norm().Reflect(h.Normal)
+			refl := w.traceRay(vm.Ray{
+				Origin: h.Point.Add(h.Normal.Scale(vm.ShadowEps)),
+				Dir:    rd,
+				Kind:   vm.ReflectedRay,
+				Depth:  r.Depth + 1,
+			})
+			out = out.Add(refl.Scale(fin.Transmit))
+		}
+	}
+	return out
+}
+
+// shadowAttenuation casts a shadow ray from p to the light at lp and
+// returns the fraction of light arriving: (1,1,1) for a clear path,
+// (0,0,0) for a fully blocked one, and a filtered colour through
+// transmissive objects (so the glass ball casts a light shadow).
+func (w *Worker) shadowAttenuation(p, lp vm.Vec3, depth int) vm.Vec3 {
+	dir := lp.Sub(p)
+	dist := dir.Len()
+	ray := vm.Ray{Origin: p, Dir: dir.Scale(1 / dist), Kind: vm.ShadowRay, Depth: depth}
+	w.Counters.Add(vm.ShadowRay, 1)
+
+	atten := vm.Splat(1)
+	// March through successive hits between p and the light,
+	// multiplying in transmission. Opaque hit -> zero.
+	tMin := vm.ShadowEps
+	for hop := 0; hop < 16; hop++ {
+		h, obj, ok := w.Intersect(ray, tMin, dist-vm.ShadowEps)
+		if !ok {
+			break
+		}
+		fin := obj.Obj.Mat.Finish
+		if fin.Transmit <= 0 {
+			atten = vm.Vec3{}
+			break
+		}
+		tint := obj.Obj.Mat.Pigment.ColorAt(h)
+		atten = atten.Mul(tint.Scale(fin.Transmit))
+		if atten.MaxComponent() < 1e-4 {
+			atten = vm.Vec3{}
+			break
+		}
+		tMin = h.T + vm.ShadowEps
+	}
+	if w.observer != nil {
+		// Register the full segment to the light (conservative: a
+		// blocker moving anywhere on the segment can change this pixel).
+		w.observer.ObserveRay(ray, dist)
+	}
+	return atten
+}
