@@ -16,10 +16,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"nowrender/internal/cluster"
 	"nowrender/internal/coherence"
 	"nowrender/internal/farm"
+	"nowrender/internal/faulty"
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
 	"nowrender/internal/partition"
@@ -27,6 +29,33 @@ import (
 	"nowrender/internal/stats"
 	"nowrender/internal/tga"
 )
+
+// faultOpts bundles the fault-tolerance and fault-injection flags shared
+// by the local and master modes.
+type faultOpts struct {
+	heartbeat, liveness, stall time.Duration
+	frameRetries               int
+	speculate                  bool
+	chaos                      string
+}
+
+// apply wires the options into a farm config; -chaos parses into a
+// fault-injection plan wrapped around every worker connection.
+func (f faultOpts) apply(cfg *farm.Config) error {
+	cfg.Heartbeat = f.heartbeat
+	cfg.Liveness = f.liveness
+	cfg.StallTimeout = f.stall
+	cfg.FrameRetries = f.frameRetries
+	cfg.Speculate = f.speculate
+	plan, err := faulty.ParsePlan(f.chaos)
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		cfg.WrapConn = plan.Wrap
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -45,10 +74,18 @@ func main() {
 		aa        = flag.Float64("aa", 0, "adaptive antialiasing threshold (0 = off; try 0.1)")
 		threads   = flag.Int("threads", 0, "intra-frame render threads per worker (0 = all cores, 1 = serial; pixels are identical for every value)")
 		usePNG    = flag.Bool("png", false, "write PNG instead of TGA")
+
+		ft faultOpts
 	)
+	flag.DurationVar(&ft.heartbeat, "heartbeat", 0, "master->worker ping interval (local/master modes; 0 = off)")
+	flag.DurationVar(&ft.liveness, "liveness", 0, "retire a worker silent this long (0 = 4x heartbeat)")
+	flag.DurationVar(&ft.stall, "stall", 0, "retire a worker holding a task without progress this long (0 = off)")
+	flag.IntVar(&ft.frameRetries, "frame-retries", 0, "per-frame requeue budget before the master renders it locally (0 = 3, negative = unlimited)")
+	flag.BoolVar(&ft.speculate, "speculate", false, "speculatively re-issue the slowest in-flight task to idle workers")
+	flag.StringVar(&ft.chaos, "chaos", "", "fault-injection plan, e.g. seed=7,drop=0.01,corrupt=0.005,delay=0.02:5ms,protect=worker00 (local mode)")
 	flag.Parse()
 	if err := run(*sceneSpec, *mode, *scheme, *blockW, *blockH, *width, *height,
-		*outDir, *workers, *listen, *coherent, *samples, *aa, *threads, *usePNG); err != nil {
+		*outDir, *workers, *listen, *coherent, *samples, *aa, *threads, *usePNG, ft); err != nil {
 		fmt.Fprintln(os.Stderr, "nowrender:", err)
 		os.Exit(1)
 	}
@@ -56,7 +93,7 @@ func main() {
 
 func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
 	outDir string, workers int, listen string, coherent bool, samples int,
-	aa float64, threads int, usePNG bool) error {
+	aa float64, threads int, usePNG bool, ft faultOpts) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -102,6 +139,9 @@ func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
 		Coherence: coherent, Samples: samples, Threads: threads,
 		CoherenceOpts: coherence.Options{AAThreshold: aa},
 		Workers:       workers, Emit: emit,
+	}
+	if err := ft.apply(&cfg); err != nil {
+		return err
 	}
 
 	switch mode {
@@ -187,6 +227,9 @@ func report(scene, mode string, res *farm.Result) {
 	fmt.Printf("  makespan:  %s\n", stats.FormatDuration(res.Makespan))
 	fmt.Printf("  tasks:     %d (+%d adaptive subdivisions)\n", res.TasksExecuted, res.Subdivisions)
 	fmt.Printf("  traffic:   %d bytes\n", res.BytesTransferred)
+	if res.Faults.Any() {
+		fmt.Printf("  faults:    %s\n", res.Faults)
+	}
 	for _, w := range res.Workers {
 		fmt.Printf("  %-12s tasks=%-3d pixels=%-8d busy=%s util=%.0f%%\n",
 			w.Worker, w.TasksDone, w.PixelsDone, stats.FormatDuration(w.Busy),

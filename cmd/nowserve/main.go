@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"nowrender/internal/cluster"
+	"nowrender/internal/faulty"
 	"nowrender/internal/service"
 )
 
@@ -35,30 +36,54 @@ func main() {
 		maxJobs  = flag.Int("max-jobs", 2, "max concurrently running jobs")
 		queueCap = flag.Int("queue-cap", 256, "max queued jobs")
 		cacheMB  = flag.Int64("cache-mb", 64, "frame cache budget in MiB (0 = default, negative = disabled)")
+		cacheTTL = flag.Duration("cache-ttl", 0, "expire cached frames this long after rendering (0 = never)")
 		driver   = flag.String("driver", "virtual", "default farm driver: virtual | local")
 		workers  = flag.Int("workers", 0, "goroutine workers for the local driver (0 = machine count)")
 		machines = flag.Int("machines", 0, "virtual NOW size (0 = the paper's 3-machine testbed)")
 		threads  = flag.Int("threads", 0, "default intra-frame render threads per farm worker (0 = all cores)")
+
+		heartbeat    = flag.Duration("heartbeat", 0, "farm master->worker ping interval for local-driver jobs (0 = off)")
+		liveness     = flag.Duration("liveness", 0, "retire a farm worker silent this long (0 = 4x heartbeat)")
+		stall        = flag.Duration("stall", 0, "retire a farm worker holding a task without progress this long (0 = off)")
+		frameRetries = flag.Int("frame-retries", 0, "per-frame requeue budget before the master renders locally (0 = 3)")
+		speculate    = flag.Bool("speculate", false, "speculatively re-issue the slowest in-flight farm task")
+		jobRetries   = flag.Int("max-job-retries", 0, "cap on a job spec's retries field (0 = 5)")
+		chaos        = flag.String("chaos", "", "fault-injection plan for local-driver farm runs, e.g. seed=7,drop=0.01,protect=worker00")
 	)
 	flag.Parse()
-	if err := run(*listen, *maxJobs, *queueCap, *cacheMB, *driver, *workers, *machines, *threads); err != nil {
+	cfg := service.Config{
+		MaxConcurrent: *maxJobs,
+		QueueCap:      *queueCap,
+		CacheBytes:    *cacheMB << 20,
+		CacheTTL:      *cacheTTL,
+		DefaultDriver: *driver,
+		Workers:       *workers,
+		Threads:       *threads,
+		Heartbeat:     *heartbeat,
+		Liveness:      *liveness,
+		StallTimeout:  *stall,
+		FrameRetries:  *frameRetries,
+		Speculate:     *speculate,
+		MaxJobRetries: *jobRetries,
+	}
+	if *machines > 0 {
+		cfg.Machines = cluster.Uniform(*machines, 1.0, 64)
+	}
+	plan, err := faulty.ParsePlan(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nowserve:", err)
+		os.Exit(1)
+	}
+	if plan != nil {
+		cfg.FaultWrap = plan.Wrap
+	}
+	if err := run(*listen, *driver, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "nowserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, maxJobs, queueCap int, cacheMB int64, driver string, workers, machines, threads int) error {
-	cfg := service.Config{
-		MaxConcurrent: maxJobs,
-		QueueCap:      queueCap,
-		CacheBytes:    cacheMB << 20,
-		DefaultDriver: driver,
-		Workers:       workers,
-		Threads:       threads,
-	}
-	if machines > 0 {
-		cfg.Machines = cluster.Uniform(machines, 1.0, 64)
-	}
+func run(listen, driver string, cfg service.Config) error {
 	svc := service.New(cfg)
 	srv := &http.Server{Addr: listen, Handler: svc.Handler()}
 
@@ -66,7 +91,7 @@ func run(listen string, maxJobs, queueCap int, cacheMB int64, driver string, wor
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("nowserve listening on %s (driver=%s, max-jobs=%d)\n", listen, driver, maxJobs)
+	fmt.Printf("nowserve listening on %s (driver=%s, max-jobs=%d)\n", listen, driver, cfg.MaxConcurrent)
 
 	select {
 	case err := <-errCh:

@@ -24,16 +24,19 @@ import (
 	"time"
 
 	"nowrender/internal/farm"
+	"nowrender/internal/faulty"
 	"nowrender/internal/msg"
 	"nowrender/internal/scenes"
 )
 
 func main() {
 	var (
-		master  = flag.String("master", "127.0.0.1:7946", "master address")
-		name    = flag.String("name", "", "worker name (default: host:pid)")
-		maxWait = flag.Duration("max-wait", 2*time.Minute, "give up dialing the master after this long (0 = retry forever)")
-		threads = flag.Int("threads", 0, "intra-frame render threads when the master doesn't specify (0 = all cores)")
+		master   = flag.String("master", "127.0.0.1:7946", "master address")
+		name     = flag.String("name", "", "worker name (default: host:pid)")
+		maxWait  = flag.Duration("max-wait", 2*time.Minute, "give up dialing the master after this long (0 = retry forever)")
+		threads  = flag.Int("threads", 0, "intra-frame render threads when the master doesn't specify (0 = all cores)")
+		deadline = flag.Duration("master-deadline", 0, "exit if the master stays silent this long while idle (0 = wait forever; set well above the master's -heartbeat)")
+		chaos    = flag.String("chaos", "", "fault-injection plan applied to this worker's connection, e.g. seed=7,drop=0.01,corrupt=0.005")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -42,7 +45,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	err := run(ctx, *master, *name, *maxWait, *threads)
+	err := run(ctx, *master, *name, *maxWait, *threads, *deadline, *chaos)
 	switch {
 	case err == nil:
 		return
@@ -83,7 +86,11 @@ func dialRetry(ctx context.Context, master string, maxWait time.Duration) (msg.C
 	}
 }
 
-func run(ctx context.Context, master, name string, maxWait time.Duration, threads int) error {
+func run(ctx context.Context, master, name string, maxWait time.Duration, threads int, deadline time.Duration, chaos string) error {
+	plan, err := faulty.ParsePlan(chaos)
+	if err != nil {
+		return err
+	}
 	conn, err := dialRetry(ctx, master, maxWait)
 	if err != nil {
 		return err
@@ -110,5 +117,13 @@ func run(ctx context.Context, master, name string, maxWait time.Duration, thread
 	}
 	fmt.Printf("worker %s: scene %q loaded (%d frames), entering render loop\n",
 		name, sc.Name, sc.Frames)
-	return farm.RunWorkerWithOptions(ctx, name, conn, sc, farm.WorkerOptions{Threads: threads})
+	// Chaos wraps after the scene handshake so fault injection exercises
+	// the render protocol, not the bootstrap.
+	loopConn := conn
+	if plan != nil {
+		loopConn = plan.Wrap(name, conn)
+	}
+	return farm.RunWorkerWithOptions(ctx, name, loopConn, sc, farm.WorkerOptions{
+		Threads: threads, MasterDeadline: deadline,
+	})
 }

@@ -38,6 +38,7 @@ func RenderAuto(cfg Config) (*Result, error) {
 		combined.TasksExecuted += res.TasksExecuted
 		combined.Subdivisions += res.Subdivisions
 		combined.BytesTransferred += res.BytesTransferred
+		combined.Faults.Merge(res.Faults)
 		for _, fs := range res.Run.Frames {
 			combined.Run.AddFrame(fs)
 		}
@@ -94,6 +95,7 @@ func RenderLocalAuto(cfg Config) (*Result, error) {
 		combined.TasksExecuted += res.TasksExecuted
 		combined.Subdivisions += res.Subdivisions
 		combined.BytesTransferred += res.BytesTransferred
+		combined.Faults.Merge(res.Faults)
 		for _, fs := range res.Run.Frames {
 			combined.Run.AddFrame(fs)
 		}

@@ -24,6 +24,7 @@ import (
 	"nowrender/internal/cluster"
 	"nowrender/internal/coherence"
 	"nowrender/internal/fb"
+	"nowrender/internal/msg"
 	"nowrender/internal/partition"
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
@@ -82,6 +83,38 @@ type Config struct {
 	// Result.Frames, so observers must not modify it. A non-nil error
 	// aborts the run.
 	OnFrame func(frame int, img *fb.Framebuffer) error
+
+	// Heartbeat, when > 0, makes the master ping each worker at this
+	// interval (local/TCP drivers; the virtual driver has no messages to
+	// lose). Workers answer between frames, so pongs prove the render
+	// loop is alive.
+	Heartbeat time.Duration
+	// Liveness is how long a worker may stay completely silent before
+	// the master retires it like a TagDown. 0 defaults to 4x Heartbeat;
+	// it must comfortably exceed the slowest frame's render time, since
+	// workers only answer pings between frames.
+	Liveness time.Duration
+	// StallTimeout, when > 0, retires a worker that holds a task without
+	// delivering any progress (frame results, task completion, acks) for
+	// this long — the hung-worker and lost-task-message case heartbeats
+	// alone cannot see, because a dropped assignment leaves both sides
+	// waiting politely forever.
+	StallTimeout time.Duration
+	// FrameRetries is the per-frame retry budget: a frame rendering that
+	// has been requeued this many times is quarantined — the master
+	// renders the region locally instead of feeding it to a fourth
+	// doomed worker. 0 defaults to 3; negative disables quarantine.
+	FrameRetries int
+	// Speculate re-issues the slowest in-flight task's remaining frames
+	// to idle workers near the end of the run; whichever copy delivers a
+	// (frame, region) first wins and the duplicate is dropped.
+	Speculate bool
+	// WrapConn, when non-nil, wraps each worker connection before use —
+	// the fault-injection hook (see internal/faulty). RenderLocal wraps
+	// the worker-side end, so both directions of that worker's traffic
+	// pass through it. It also relaxes worker-exit handling: with faults
+	// injected, a worker dying is expected, not a run failure.
+	WrapConn func(name string, c msg.Conn) msg.Conn
 }
 
 // cancelled returns the context error if the run was cancelled.
@@ -147,6 +180,10 @@ type Result struct {
 	Subdivisions int
 	// BytesTransferred totals message payload bytes master<->workers.
 	BytesTransferred int64
+	// Faults tallies failure-handling events: workers retired, frames
+	// requeued/quarantined, duplicates and malformed messages absorbed.
+	// All-zero on a healthy run with heartbeats off.
+	Faults stats.FaultCounters
 }
 
 // Speedup returns baseline.Makespan / r.Makespan.
@@ -162,6 +199,17 @@ type assembly struct {
 	frames  []*fb.Framebuffer
 	missing []int // pixels still undelivered per frame
 	done    []time.Duration
+	// seen records exactly which (frame, region) results have landed, so
+	// speculative re-issue and post-failure retries can deliver the same
+	// region twice: the duplicate is dropped instead of erroring. The
+	// pixels are deterministic, so first-wins loses nothing.
+	seen map[regionKey]bool
+}
+
+// regionKey identifies one delivered result.
+type regionKey struct {
+	frame int
+	rect  fb.Rect
 }
 
 func newAssembly(w, h, frames int) *assembly { return newAssemblyRange(w, h, 0, frames) }
@@ -173,6 +221,7 @@ func newAssemblyRange(w, h, start, end int) *assembly {
 		frames:  make([]*fb.Framebuffer, n),
 		missing: make([]int, n),
 		done:    make([]time.Duration, n),
+		seen:    make(map[regionKey]bool),
 	}
 	for i := range a.missing {
 		a.missing[i] = w * h
@@ -180,18 +229,33 @@ func newAssemblyRange(w, h, start, end int) *assembly {
 	return a
 }
 
+// delivered reports whether this exact (frame, region) result already
+// landed.
+func (a *assembly) delivered(absFrame int, region fb.Rect) bool {
+	return a.seen[regionKey{absFrame, region}]
+}
+
 // deliver merges region pixels (packed RGB rows of the region) into the
-// absolute frame and returns true when the frame became complete at
-// time t.
-func (a *assembly) deliver(absFrame int, region fb.Rect, pix []byte, t time.Duration) (bool, error) {
+// absolute frame. It returns complete=true when the frame finished
+// assembly at time t, and dup=true (with nothing merged) when this exact
+// (frame, region) was already delivered by another worker.
+func (a *assembly) deliver(absFrame int, region fb.Rect, pix []byte, t time.Duration) (complete, dup bool, err error) {
 	frame := absFrame - a.start
 	if frame < 0 || frame >= len(a.frames) {
-		return false, fmt.Errorf("farm: frame %d out of range", absFrame)
+		return false, false, fmt.Errorf("farm: frame %d out of range", absFrame)
+	}
+	if region.X0 < 0 || region.Y0 < 0 || region.X1 > a.w || region.Y1 > a.h ||
+		region.X0 >= region.X1 || region.Y0 >= region.Y1 {
+		return false, false, fmt.Errorf("farm: frame %d: region %v outside %dx%d", absFrame, region, a.w, a.h)
 	}
 	if len(pix) != region.Area()*3 {
-		return false, fmt.Errorf("farm: frame %d region %v: got %d bytes, want %d",
+		return false, false, fmt.Errorf("farm: frame %d region %v: got %d bytes, want %d",
 			frame, region, len(pix), region.Area()*3)
 	}
+	if a.seen[regionKey{absFrame, region}] {
+		return false, true, nil
+	}
+	a.seen[regionKey{absFrame, region}] = true
 	if a.frames[frame] == nil {
 		a.frames[frame] = fb.New(a.w, a.h)
 	}
@@ -205,15 +269,15 @@ func (a *assembly) deliver(absFrame int, region fb.Rect, pix []byte, t time.Dura
 	}
 	a.missing[frame] -= region.Area()
 	if a.missing[frame] < 0 {
-		return false, fmt.Errorf("farm: frame %d over-delivered", frame)
+		return false, false, fmt.Errorf("farm: frame %d over-delivered", frame)
 	}
 	if a.missing[frame] == 0 {
 		if t > a.done[frame] {
 			a.done[frame] = t
 		}
-		return true, nil
+		return true, false, nil
 	}
-	return false, nil
+	return false, false, nil
 }
 
 // frame returns the (possibly partial) framebuffer of an absolute frame.

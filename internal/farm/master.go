@@ -6,10 +6,16 @@ import (
 	"fmt"
 	"time"
 
+	"nowrender/internal/fb"
 	"nowrender/internal/msg"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
+	"nowrender/internal/trace"
 )
+
+// tagTick is the synthetic local message the heartbeat ticker posts into
+// the hub's stream; it never crosses a connection.
+const tagTick = -0x7FFFFFFE
 
 // workerRecord is the master's view of one worker.
 type workerRecord struct {
@@ -23,9 +29,17 @@ type workerRecord struct {
 	// finished, when a TaskDone raced ahead of a truncate, records the
 	// worker's natural stop frame.
 	finishedAt int
-	// dead marks a worker whose connection failed; its remaining frames
-	// were requeued and it receives no further work.
+	// dead marks a worker whose connection failed or that was retired;
+	// its remaining frames were requeued and it receives no further work.
 	dead bool
+	// lastHeard is when any message last arrived from this worker;
+	// lastProgress is when it last advanced its task (frame result, task
+	// completion, truncate ack, or assignment).
+	lastHeard, lastProgress time.Time
+	// pingPending limits heartbeat traffic to one unanswered ping, so a
+	// worker grinding through a slow frame never has its pipe flooded
+	// (a blocked ping send would stall the whole master).
+	pingPending bool
 
 	st stats.WorkerStats
 }
@@ -41,6 +55,16 @@ func (w *workerRecord) remaining() int {
 // attached hub until every frame is assembled, then shuts the workers
 // down. The caller attaches one connection per worker before calling.
 // Used by RenderLocal (goroutine workers) and cmd/nowrender's TCP mode.
+//
+// Failure handling (see DESIGN.md §8): a worker is retired — its
+// undelivered frames requeued on the survivors — when its connection
+// drops (TagDown), it departs gracefully (TagBye), it stays silent past
+// the liveness deadline, it holds a task without progress past the
+// stall deadline, or it sends a malformed message. A frame rendering
+// requeued more than FrameRetries times is quarantined: the master
+// renders the region locally instead of feeding it to another doomed
+// worker. The run fails only when every worker is lost with frames
+// outstanding.
 func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
@@ -59,6 +83,46 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		defer stop()
 	}
 
+	liveness := cfg.Liveness
+	if liveness == 0 && cfg.Heartbeat > 0 {
+		liveness = 4 * cfg.Heartbeat
+	}
+	if cfg.Heartbeat == 0 {
+		// Without pings a healthy idle worker is legitimately silent, so
+		// silence must not be a death sentence.
+		liveness = 0
+	}
+	retryBudget := cfg.FrameRetries
+	if retryBudget == 0 {
+		retryBudget = 3
+	}
+
+	// The ticker interleaves liveness/stall checks with slave traffic so
+	// the event loop stays single-threaded. Posts are best-effort; a
+	// dropped tick is followed by another.
+	tickEvery := cfg.Heartbeat
+	if tickEvery <= 0 && cfg.StallTimeout > 0 {
+		tickEvery = cfg.StallTimeout / 4
+	}
+	if tickEvery > 0 {
+		if tickEvery < time.Millisecond {
+			tickEvery = time.Millisecond
+		}
+		ticker := time.NewTicker(tickEvery)
+		stopTick := make(chan struct{})
+		defer func() { close(stopTick); ticker.Stop() }()
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					hub.Post(msg.Message{Tag: tagTick})
+				case <-stopTick:
+					return
+				}
+			}
+		}()
+	}
+
 	queue := cfg.Scheme.InitialTasks(cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame, len(names))
 	if err := partition.ValidateTiling(queue, cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame); err != nil {
 		return nil, err
@@ -66,8 +130,12 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	nextTaskID := len(queue)
 
 	workers := make(map[string]*workerRecord, len(names))
+	start := time.Now()
 	for _, n := range names {
-		workers[n] = &workerRecord{name: n, st: stats.WorkerStats{Worker: n}}
+		workers[n] = &workerRecord{
+			name: n, st: stats.WorkerStats{Worker: n},
+			lastHeard: start, lastProgress: start,
+		}
 	}
 
 	asm := newAssemblyRange(cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame)
@@ -75,8 +143,10 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	res := &Result{}
 	frameElapsed := make([]time.Duration, sc.Frames)
 	frameRays := make([]stats.RayCounters, sc.Frames)
+	frameFails := make(map[int]int) // per-frame requeue counts (retry budget)
+	speculated := make(map[int]bool)
 	var waiting []string // idle workers awaiting stolen work
-	start := time.Now()
+	var pingSeq int
 
 	sendTask := func(w *workerRecord, t partition.Task) error {
 		tm := taskMsg{
@@ -93,6 +163,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		w.doneThrough = t.StartFrame
 		w.truncatePending = false
 		w.finishedAt = -1
+		w.lastProgress = time.Now()
 		if err := hub.Send(w.name, msg.Message{Tag: TagTask, Data: data}); err != nil {
 			if errors.Is(err, msg.ErrClosed) {
 				// The worker crashed under us; its TagDown is already in
@@ -102,6 +173,58 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			return err
 		}
 		return nil
+	}
+
+	// renderQuarantined renders one frame region on the master itself —
+	// the escape hatch for a frame that keeps killing workers. The plain
+	// tracer is pixel-identical to every farm mode (the repo's core
+	// invariant), so quarantined frames are indistinguishable in the
+	// output.
+	var scratch *fb.Framebuffer
+	renderQuarantined := func(f int, region fb.Rect) error {
+		if scratch == nil {
+			scratch = fb.New(cfg.W, cfg.H)
+		}
+		ft, err := trace.New(sc, f, trace.Options{SamplesPerPixel: cfg.Samples})
+		if err != nil {
+			return err
+		}
+		ft.RenderRegionParallel(scratch, region, cfg.Threads)
+		res.Faults.FramesQuarantined++
+		complete, dup, err := asm.deliver(f, region, extractRegion(scratch, region), time.Since(start))
+		if err != nil {
+			return err
+		}
+		frameRays[f].Merge(ft.Counters)
+		if complete && !dup {
+			framesRemaining--
+			if cfg.OnFrame != nil {
+				return cfg.OnFrame(f, asm.frame(f))
+			}
+		}
+		return nil
+	}
+
+	// requeueGaps puts every still-undelivered frame of a task range
+	// back on the queue, merged into contiguous runs. Driven both by
+	// worker loss and by task completions whose frame results went
+	// missing in transit.
+	requeueGaps := func(region fb.Rect, startF, endF int) {
+		runStart := -1
+		for f := startF; f <= endF; f++ {
+			missing := f < endF && !asm.delivered(f, region)
+			if missing && runStart < 0 {
+				runStart = f
+			}
+			if !missing && runStart >= 0 {
+				queue = append(queue, partition.Task{
+					ID: nextTaskID, Region: region, StartFrame: runStart, EndFrame: f,
+				})
+				nextTaskID++
+				res.Faults.FramesRequeued += uint64(f - runStart)
+				runStart = -1
+			}
+		}
 	}
 
 	// trySteal picks the victim with the most unfinished frames and asks
@@ -141,8 +264,43 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		return true, nil
 	}
 
-	// giveWork hands the next queued task to an idle worker, or tries a
-	// steal; with neither the worker stays idle.
+	// trySpeculate re-issues the slowest in-flight task's remaining
+	// frames to an idle worker — the straggler hedge for the end of the
+	// run, when the queue is dry and nothing is big enough to steal.
+	// Whichever copy delivers a (frame, region) first wins; the
+	// duplicate is dropped by the assembly.
+	trySpeculate := func(thief string) (bool, error) {
+		if !cfg.Speculate {
+			return false, nil
+		}
+		var victim *workerRecord
+		for _, w := range workers {
+			if w.name == thief || !w.hasTask || w.truncatePending || w.dead {
+				continue
+			}
+			if speculated[w.task.ID] || w.remaining() < 1 {
+				continue
+			}
+			if victim == nil || w.remaining() > victim.remaining() {
+				victim = w
+			}
+		}
+		if victim == nil {
+			return false, nil
+		}
+		spec := partition.Task{
+			ID: nextTaskID, Region: victim.task.Region,
+			StartFrame: victim.doneThrough, EndFrame: victim.task.EndFrame,
+		}
+		nextTaskID++
+		speculated[victim.task.ID] = true
+		speculated[spec.ID] = true // no speculation chains
+		res.Faults.SpeculativeTasks++
+		return true, sendTask(workers[thief], spec)
+	}
+
+	// giveWork hands the next queued task to an idle worker, then tries
+	// a steal, then a speculative re-issue; with none the worker idles.
 	giveWork := func(name string) error {
 		w := workers[name]
 		if w.dead {
@@ -153,7 +311,10 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			queue = queue[1:]
 			return sendTask(w, t)
 		}
-		_, err := trySteal(name)
+		if stole, err := trySteal(name); stole || err != nil {
+			return err
+		}
+		_, err := trySpeculate(name)
 		return err
 	}
 
@@ -186,24 +347,40 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 
 	// Seed: respond to hellos (workers announce themselves) and assign.
 	// Workers lost before their hello are tolerated as long as one
-	// survives. A worker seeded early can finish frames — or a whole
-	// task — before a slower peer's hello arrives in the shared inbox;
-	// those results are backlogged for the main loop, not errors.
+	// survives; with a liveness deadline configured, a worker whose
+	// hello never arrives is given up on rather than awaited forever. A
+	// worker seeded early can finish frames — or a whole task — before a
+	// slower peer's hello arrives in the shared inbox; those results are
+	// backlogged for the main loop, not errors.
 	var backlog []msg.Message
 	seen := make(map[string]bool, len(names))
+	seedStart := time.Now()
 	for len(seen) < len(names) {
 		m, err := hub.Recv()
 		if err != nil {
-			return nil, err
+			return res, err
 		}
 		switch m.Tag {
+		case tagTick:
+			if liveness > 0 && time.Since(seedStart) > liveness {
+				for _, n := range names {
+					if !seen[n] {
+						seen[n] = true
+						workers[n].dead = true
+						res.Faults.WorkersLost++
+						res.Faults.HeartbeatTimeouts++
+						hub.Detach(n)
+					}
+				}
+			}
 		case TagHello:
 			if seen[m.From] {
-				return nil, fmt.Errorf("farm: duplicate hello from %s", m.From)
+				return res, fmt.Errorf("farm: duplicate hello from %s", m.From)
 			}
 			seen[m.From] = true
+			workers[m.From].lastHeard = time.Now()
 			if err := giveWork(m.From); err != nil {
-				return nil, err
+				return res, err
 			}
 		case msg.TagDown, TagBye:
 			if seen[m.From] {
@@ -214,10 +391,11 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			}
 			seen[m.From] = true
 			workers[m.From].dead = true
-		case TagFrameDone, TagTaskDone, TagTruncateAck:
+			res.Faults.WorkersLost++
+		case TagFrameDone, TagTaskDone, TagTruncateAck, TagPong:
 			backlog = append(backlog, m)
 		default:
-			return nil, fmt.Errorf("farm: expected hello, got tag %d from %s", m.Tag, m.From)
+			return res, fmt.Errorf("farm: expected hello, got tag %d from %s", m.Tag, m.From)
 		}
 	}
 	aliveAtStart := 0
@@ -227,14 +405,22 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		}
 	}
 	if aliveAtStart == 0 {
-		return nil, fmt.Errorf("farm: no workers survived startup")
+		return res, fmt.Errorf("farm: no workers survived startup")
 	}
 
-	// retire removes a worker from the run — either a failure (TagDown)
-	// or a graceful departure (TagBye) — requeueing its unfinished
-	// frames and re-engaging parked thieves.
+	// retire removes a worker from the run — failure (TagDown), graceful
+	// departure (TagBye), deadline expiry or protocol violation —
+	// requeueing its undelivered frames and re-engaging parked thieves.
+	// The frame that was in flight is charged against its retry budget;
+	// over budget, the master renders it locally (quarantine) so one
+	// poisonous frame cannot consume the whole farm.
 	retire := func(w *workerRecord) error {
+		if w.dead {
+			return nil
+		}
 		w.dead = true
+		res.Faults.WorkersLost++
+		hub.Detach(w.name)
 		// Drop the worker from the thief waiting list.
 		for i, name := range waiting {
 			if name == w.name {
@@ -243,15 +429,21 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			}
 		}
 		if w.hasTask {
-			// Frames already delivered are safe; everything from the
-			// frame in progress onward must be re-rendered.
-			if w.doneThrough < w.task.EndFrame {
-				queue = append(queue, partition.Task{
-					ID: nextTaskID, Region: w.task.Region,
-					StartFrame: w.doneThrough, EndFrame: w.task.EndFrame,
-				})
-				nextTaskID++
+			// Charge the first undelivered frame — the one in progress
+			// when the worker was lost.
+			for f := w.task.StartFrame; f < w.task.EndFrame; f++ {
+				if asm.delivered(f, w.task.Region) {
+					continue
+				}
+				frameFails[f]++
+				if retryBudget >= 0 && frameFails[f] > retryBudget {
+					if err := renderQuarantined(f, w.task.Region); err != nil {
+						return err
+					}
+				}
+				break
 			}
+			requeueGaps(w.task.Region, w.task.StartFrame, w.task.EndFrame)
 			w.hasTask = false
 			// A truncate pending against this worker will never be
 			// acknowledged; the full remainder was requeued instead,
@@ -280,6 +472,64 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		return dispatchQueue()
 	}
 
+	// malformed absorbs an undecodable or protocol-violating message by
+	// retiring its sender: a worker that garbles one message cannot be
+	// trusted with the next, but it must not take the run down with it.
+	malformed := func(w *workerRecord) error {
+		res.Faults.MalformedMessages++
+		return retire(w)
+	}
+
+	// reconcileTruncate finishes the truncation handshake once the
+	// worker's stop frame is known — from its ack, or from a TaskDone
+	// that arrived while the ack was lost in transit (the connection is
+	// ordered, so a TaskDone with the ack still pending means the ack is
+	// gone, not late).
+	reconcileTruncate := func(w *workerRecord, stop int) error {
+		w.truncatePending = false
+		stolenStart := stop
+		if w.finishedAt >= 0 && w.finishedAt > stolenStart {
+			stolenStart = w.finishedAt
+		}
+		stolenEnd := w.task.EndFrame
+		w.task.EndFrame = stolenStart
+		if w.finishedAt >= 0 {
+			// Task already over; release the worker.
+			w.hasTask = false
+			w.st.TasksDone++
+			if framesRemaining > 0 {
+				if err := giveWork(w.name); err != nil {
+					return err
+				}
+			}
+		}
+		// Hand the stolen range to a waiting thief (or re-queue).
+		if stolenStart < stolenEnd {
+			stolen := partition.Task{
+				ID: nextTaskID, Region: w.task.Region,
+				StartFrame: stolenStart, EndFrame: stolenEnd,
+			}
+			nextTaskID++
+			if len(waiting) > 0 {
+				thief := waiting[0]
+				waiting = waiting[1:]
+				if err := sendTask(workers[thief], stolen); err != nil {
+					return err
+				}
+			} else {
+				queue = append(queue, stolen)
+			}
+		} else if len(waiting) > 0 {
+			// Nothing was left to steal; let the thief try again.
+			thief := waiting[0]
+			waiting = waiting[1:]
+			if err := giveWork(thief); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	for framesRemaining > 0 {
 		var m msg.Message
 		var err error
@@ -287,30 +537,84 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			m, backlog = backlog[0], backlog[1:]
 		} else if m, err = hub.Recv(); err != nil {
 			if cerr := cfg.cancelled(); cerr != nil {
-				return nil, cerr
+				return res, cerr
 			}
-			return nil, err
+			return res, err
 		}
+
+		if m.Tag == tagTick {
+			now := time.Now()
+			for _, name := range names {
+				w := workers[name]
+				if w.dead {
+					continue
+				}
+				if liveness > 0 && now.Sub(w.lastHeard) > liveness {
+					res.Faults.HeartbeatTimeouts++
+					if err := retire(w); err != nil {
+						return res, err
+					}
+					continue
+				}
+				if cfg.StallTimeout > 0 && w.hasTask && now.Sub(w.lastProgress) > cfg.StallTimeout {
+					res.Faults.StallTimeouts++
+					if err := retire(w); err != nil {
+						return res, err
+					}
+					continue
+				}
+				if cfg.Heartbeat > 0 && !w.pingPending {
+					pingSeq++
+					w.pingPending = true
+					res.Faults.PingsSent++
+					_ = hub.Send(name, msg.Message{Tag: TagPing, Data: encodePair(pingSeq, 0)})
+				}
+			}
+			continue
+		}
+
 		w, ok := workers[m.From]
 		if !ok {
-			return nil, fmt.Errorf("farm: message from unknown worker %q", m.From)
+			return res, fmt.Errorf("farm: message from unknown worker %q", m.From)
 		}
+		w.lastHeard = time.Now()
+		w.pingPending = false
 		switch m.Tag {
 		case TagFrameDone:
 			fd, err := decodeFrameDone(m.Data)
 			if err != nil {
-				return nil, err
+				if w.dead {
+					continue // stale garbage from a retired worker
+				}
+				if err := malformed(w); err != nil {
+					return res, err
+				}
+				continue
 			}
 			res.BytesTransferred += int64(len(m.Data))
-			complete, err := asm.deliver(fd.Frame, fd.Region, fd.Pix, time.Since(start))
+			complete, dup, err := asm.deliver(fd.Frame, fd.Region, fd.Pix, time.Since(start))
 			if err != nil {
-				return nil, err
+				if w.dead {
+					continue
+				}
+				if err := malformed(w); err != nil {
+					return res, err
+				}
+				continue
+			}
+			w.lastProgress = w.lastHeard
+			w.doneThrough = fd.Frame + 1
+			if dup {
+				// A speculative or retried copy of a region that already
+				// landed; the pixels are identical by construction.
+				res.Faults.DuplicatesDropped++
+				continue
 			}
 			if complete {
 				framesRemaining--
 				if cfg.OnFrame != nil {
 					if err := cfg.OnFrame(fd.Frame, asm.frame(fd.Frame)); err != nil {
-						return nil, err
+						return res, err
 					}
 				}
 			}
@@ -322,78 +626,74 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			}
 			w.st.PixelsDone += fd.Region.Area()
 			w.st.Rays.Merge(fd.Rays)
-			w.doneThrough = fd.Frame + 1
 
 		case TagTaskDone:
 			id, end, err := decodePair(m.Data)
 			if err != nil {
-				return nil, err
+				if w.dead {
+					continue
+				}
+				if err := malformed(w); err != nil {
+					return res, err
+				}
+				continue
 			}
-			if w.hasTask && w.task.ID == id {
-				w.finishedAt = end
-				if !w.truncatePending {
-					w.hasTask = false
-					w.st.TasksDone++
-					if framesRemaining > 0 {
-						if err := giveWork(w.name); err != nil {
-							return nil, err
-						}
+			if w.dead || !w.hasTask || w.task.ID != id {
+				continue // stale completion for a reassigned task
+			}
+			w.lastProgress = w.lastHeard
+			w.finishedAt = end
+			// The worker stopped at end; any result that went missing in
+			// transit inside its range must be re-rendered, or the run
+			// would wait forever on pixels nobody is producing.
+			stop := end
+			if stop > w.task.EndFrame {
+				stop = w.task.EndFrame
+			}
+			requeueGaps(w.task.Region, w.task.StartFrame, stop)
+			if w.truncatePending {
+				// The ack was lost (ordered connection: it cannot merely
+				// be late); reconcile from the completion instead.
+				if err := reconcileTruncate(w, end); err != nil {
+					return res, err
+				}
+			} else {
+				w.hasTask = false
+				w.st.TasksDone++
+				if framesRemaining > 0 {
+					if err := giveWork(w.name); err != nil {
+						return res, err
 					}
 				}
-				// With a truncate pending, wait for the ack before
-				// considering this worker idle, so the stolen range is
-				// reconciled exactly once.
+			}
+			if err := dispatchQueue(); err != nil {
+				return res, err
 			}
 
 		case TagTruncateAck:
 			id, stop, err := decodePair(m.Data)
 			if err != nil {
-				return nil, err
+				if w.dead {
+					continue
+				}
+				if err := malformed(w); err != nil {
+					return res, err
+				}
+				continue
 			}
-			if !w.hasTask || w.task.ID != id {
+			if w.dead || !w.hasTask || w.task.ID != id {
 				continue // stale ack for a finished task
 			}
-			w.truncatePending = false
-			stolenStart := stop
-			if w.finishedAt >= 0 && w.finishedAt > stolenStart {
-				stolenStart = w.finishedAt
+			w.lastProgress = w.lastHeard
+			if !w.truncatePending {
+				continue // already reconciled via TaskDone
 			}
-			stolenEnd := w.task.EndFrame
-			w.task.EndFrame = stolenStart
-			if w.finishedAt >= 0 {
-				// Task already over; release the worker.
-				w.hasTask = false
-				w.st.TasksDone++
-				if framesRemaining > 0 {
-					if err := giveWork(w.name); err != nil {
-						return nil, err
-					}
-				}
+			if err := reconcileTruncate(w, stop); err != nil {
+				return res, err
 			}
-			// Hand the stolen range to a waiting thief (or re-queue).
-			if stolenStart < stolenEnd {
-				stolen := partition.Task{
-					ID: nextTaskID, Region: w.task.Region,
-					StartFrame: stolenStart, EndFrame: stolenEnd,
-				}
-				nextTaskID++
-				if len(waiting) > 0 {
-					thief := waiting[0]
-					waiting = waiting[1:]
-					if err := sendTask(workers[thief], stolen); err != nil {
-						return nil, err
-					}
-				} else {
-					queue = append(queue, stolen)
-				}
-			} else if len(waiting) > 0 {
-				// Nothing was left to steal; let the thief try again.
-				thief := waiting[0]
-				waiting = waiting[1:]
-				if err := giveWork(thief); err != nil {
-					return nil, err
-				}
-			}
+
+		case TagPong:
+			res.Faults.PongsReceived++
 
 		case msg.TagDown:
 			// PVM-style host failure: requeue the dead worker's
@@ -402,7 +702,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 				continue
 			}
 			if err := retire(w); err != nil {
-				return nil, err
+				return res, err
 			}
 
 		case TagBye:
@@ -414,18 +714,28 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 				continue
 			}
 			if err := retire(w); err != nil {
-				return nil, err
+				return res, err
 			}
 
 		case TagHello:
-			return nil, fmt.Errorf("farm: duplicate hello from %s", m.From)
+			if w.dead {
+				continue
+			}
+			if err := malformed(w); err != nil { // duplicate hello
+				return res, err
+			}
 		default:
-			return nil, fmt.Errorf("farm: unexpected tag %d from %s", m.Tag, m.From)
+			if w.dead {
+				continue
+			}
+			if err := malformed(w); err != nil { // unknown tag
+				return res, err
+			}
 		}
 	}
 
 	if err := asm.complete(); err != nil {
-		return nil, err
+		return res, err
 	}
 	// All pixels delivered: stop the workers. Sends to dead workers
 	// fail harmlessly.
@@ -447,7 +757,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	if cfg.Emit != nil {
 		for i, img := range res.Frames {
 			if err := cfg.Emit(cfg.StartFrame+i, img); err != nil {
-				return nil, err
+				return res, err
 			}
 		}
 	}
@@ -456,7 +766,10 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 
 // RenderLocal runs the farm with in-process goroutine workers connected
 // by channel pipes — the wall-clock counterpart of RenderVirtual, and a
-// live exercise of the full wire protocol.
+// live exercise of the full wire protocol. With cfg.WrapConn set, each
+// worker's end of its pipe is wrapped (fault injection), and worker
+// exit errors are tolerated: under injected faults a worker dying is the
+// scenario, not a failure — the master's result is the verdict.
 func RenderLocal(cfg Config) (*Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
@@ -469,9 +782,18 @@ func RenderLocal(cfg Config) (*Result, error) {
 		if err := hub.Attach(name, masterEnd); err != nil {
 			return nil, err
 		}
+		conn := workerEnd
+		if cfg.WrapConn != nil {
+			conn = cfg.WrapConn(name, workerEnd)
+		}
 		go func(name string, conn msg.Conn) {
-			errCh <- RunWorker(name, conn, cfg.Scene)
-		}(name, workerEnd)
+			err := RunWorker(name, conn, cfg.Scene)
+			// Close the worker's end however it exited, so the hub posts
+			// its TagDown promptly instead of the master waiting out a
+			// stall deadline on a silently-departed worker.
+			conn.Close()
+			errCh <- err
+		}(name, conn)
 	}
 	res, err := RunMaster(cfg, hub)
 	hub.Close()
@@ -483,9 +805,12 @@ func RenderLocal(cfg Config) (*Result, error) {
 		}
 	}
 	if err != nil {
-		return nil, err
+		// The partial result still carries the fault counters, so callers
+		// (the service's retry loop) can account for what a failed run
+		// absorbed before it died.
+		return res, err
 	}
-	if workerErr != nil {
+	if workerErr != nil && cfg.WrapConn == nil {
 		return nil, fmt.Errorf("farm: worker failed: %w", workerErr)
 	}
 	return res, nil

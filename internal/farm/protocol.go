@@ -35,7 +35,38 @@ const (
 	// frame and is about to close its connection. The master requeues the
 	// rest of its task without treating the exit as a failure.
 	TagBye
+	// TagPing is the master's heartbeat (payload: sequence number, 0).
+	// Workers answer between frames, so a pong proves the render loop is
+	// alive, not merely the connection.
+	TagPing
+	// TagPong echoes a ping's payload back to the master.
+	TagPong
 )
+
+// maxTaskDim bounds task resolution and frame numbers accepted off the
+// wire, so a corrupt-but-checksummed task cannot make a worker allocate
+// an absurd framebuffer.
+const maxTaskDim = 1 << 15
+
+// validate rejects task assignments whose geometry cannot have come from
+// a sane master: non-positive resolution, a region outside the
+// framebuffer, or an empty/inverted frame range.
+func (t taskMsg) validate() error {
+	if t.W <= 0 || t.H <= 0 || t.W > maxTaskDim || t.H > maxTaskDim {
+		return fmt.Errorf("farm: bad task resolution %dx%d", t.W, t.H)
+	}
+	r := t.Task.Region
+	if r.X0 < 0 || r.Y0 < 0 || r.X1 > t.W || r.Y1 > t.H || r.X0 >= r.X1 || r.Y0 >= r.Y1 {
+		return fmt.Errorf("farm: task region %v outside %dx%d", r, t.W, t.H)
+	}
+	if t.Task.StartFrame < 0 || t.Task.EndFrame <= t.Task.StartFrame || t.Task.EndFrame > maxTaskDim {
+		return fmt.Errorf("farm: bad task frame range [%d,%d)", t.Task.StartFrame, t.Task.EndFrame)
+	}
+	if t.Samples < 0 || t.Threads < 0 {
+		return fmt.Errorf("farm: bad task options (samples %d, threads %d)", t.Samples, t.Threads)
+	}
+	return nil
+}
 
 // taskMsg is the wire form of a task assignment.
 type taskMsg struct {
@@ -67,11 +98,15 @@ func encodeTask(t taskMsg) []byte {
 	b.PackInt(int64(t.GridRes))
 	b.PackInt(int64(t.BlockGran))
 	b.PackInt(int64(t.Threads))
-	return b.Bytes()
+	return msg.Seal(b.Bytes())
 }
 
 func decodeTask(data []byte) (taskMsg, error) {
-	b := msg.FromBytes(data)
+	body, err := msg.Open(data)
+	if err != nil {
+		return taskMsg{}, fmt.Errorf("farm: bad task message: %w", err)
+	}
+	b := msg.FromBytes(body)
 	var t taskMsg
 	t.Task.ID = int(b.UnpackInt())
 	// Argument evaluation is left to right, matching the packed order
@@ -88,6 +123,9 @@ func decodeTask(data []byte) (taskMsg, error) {
 	t.Threads = int(b.UnpackInt())
 	if err := b.Err(); err != nil {
 		return taskMsg{}, fmt.Errorf("farm: bad task message: %w", err)
+	}
+	if err := t.validate(); err != nil {
+		return taskMsg{}, err
 	}
 	return t, nil
 }
@@ -121,11 +159,15 @@ func encodeFrameDone(m frameDoneMsg) []byte {
 		b.PackInt(int64(m.Rays.ByKind[k]))
 	}
 	b.PackInt(m.ElapsedNs)
-	return b.Bytes()
+	return msg.Seal(b.Bytes())
 }
 
 func decodeFrameDone(data []byte) (frameDoneMsg, error) {
-	b := msg.FromBytes(data)
+	body, err := msg.Open(data)
+	if err != nil {
+		return frameDoneMsg{}, fmt.Errorf("farm: bad frame-done message: %w", err)
+	}
+	b := msg.FromBytes(body)
 	var m frameDoneMsg
 	m.TaskID = int(b.UnpackInt())
 	m.Frame = int(b.UnpackInt())
@@ -149,16 +191,20 @@ func decodeFrameDone(data []byte) (frameDoneMsg, error) {
 	return m, nil
 }
 
-// encodePair packs two integers (used by truncate/ack/task-done).
+// encodePair packs two integers (used by truncate/ack/task-done/ping).
 func encodePair(a, b int) []byte {
 	buf := msg.NewBuffer()
 	buf.PackInt(int64(a))
 	buf.PackInt(int64(b))
-	return buf.Bytes()
+	return msg.Seal(buf.Bytes())
 }
 
 func decodePair(data []byte) (int, int, error) {
-	b := msg.FromBytes(data)
+	body, err := msg.Open(data)
+	if err != nil {
+		return 0, 0, fmt.Errorf("farm: bad pair message: %w", err)
+	}
+	b := msg.FromBytes(body)
 	x := int(b.UnpackInt())
 	y := int(b.UnpackInt())
 	if err := b.Err(); err != nil {

@@ -174,7 +174,7 @@ func RenderVirtual(cfg Config) (*Result, error) {
 		end := now.Communicate(w.id, resultBytes)
 		res.BytesTransferred += int64(resultBytes)
 
-		complete, err := asm.deliver(f, w.task.Region, pix, end)
+		complete, _, err := asm.deliver(f, w.task.Region, pix, end)
 		if err != nil {
 			return err
 		}

@@ -50,6 +50,30 @@ func (a *asyncConn) recv(ctx context.Context) (msg.Message, error) {
 	}
 }
 
+// errMasterSilent reports a master that went quiet past the worker's
+// deadline (a TCP half-open the worker would otherwise wait on forever).
+var errMasterSilent = errors.New("farm: master silent past deadline")
+
+// recvDeadline is recv with a silence deadline; d <= 0 means no deadline.
+func (a *asyncConn) recvDeadline(ctx context.Context, d time.Duration) (msg.Message, error) {
+	if d <= 0 {
+		return a.recv(ctx)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case m, ok := <-a.inbox:
+		if !ok {
+			return msg.Message{}, <-a.errCh
+		}
+		return m, nil
+	case <-ctx.Done():
+		return msg.Message{}, ctx.Err()
+	case <-t.C:
+		return msg.Message{}, fmt.Errorf("%w (%v)", errMasterSilent, d)
+	}
+}
+
 // tryRecv returns the next message without blocking.
 func (a *asyncConn) tryRecv() (msg.Message, bool, error) {
 	select {
@@ -83,6 +107,12 @@ type WorkerOptions struct {
 	// assignment leaves the thread count at 0 (the master default).
 	// 0 selects all cores; a task message's explicit Threads wins.
 	Threads int
+	// MasterDeadline, when > 0, makes an idle worker give up if the
+	// master stays completely silent this long — the half-open-connection
+	// case a dead TCP peer cannot signal. It must comfortably exceed the
+	// master's heartbeat interval (pings count as traffic); a worker
+	// mid-task is not subject to it.
+	MasterDeadline time.Duration
 }
 
 // RunWorkerCtx is RunWorker with graceful-shutdown support: when ctx is
@@ -113,7 +143,7 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 		return err
 	}
 	for {
-		m, err := ac.recv(ctx)
+		m, err := ac.recvDeadline(ctx, opts.MasterDeadline)
 		if err != nil {
 			if errors.Is(err, msg.ErrClosed) {
 				return nil
@@ -128,6 +158,11 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 		switch m.Tag {
 		case TagShutdown:
 			return nil
+		case TagPing:
+			// Heartbeat: echo the payload so the master sees us alive.
+			if err := ac.Send(msg.Message{Tag: TagPong, From: name, Data: m.Data}); err != nil {
+				return err
+			}
 		case TagTask:
 			tm, err := decodeTask(m.Data)
 			if err != nil {
@@ -214,6 +249,12 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 				}
 			case TagShutdown:
 				return nil
+			case TagPing:
+				// Between-frames pong: proves the render loop itself is
+				// making progress, not merely that the connection is up.
+				if err := ac.Send(msg.Message{Tag: TagPong, From: name, Data: cm.Data}); err != nil {
+					return err
+				}
 			default:
 				return fmt.Errorf("farm: worker %s: unexpected tag %d mid-task", name, cm.Tag)
 			}

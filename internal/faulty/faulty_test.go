@@ -1,0 +1,313 @@
+package faulty
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nowrender/internal/msg"
+)
+
+// echoPair returns both ends of a pipe: the test drives side a, a goroutine
+// is not needed because pipes are buffered.
+func pipePair(t *testing.T) (msg.Conn, msg.Conn) {
+	t.Helper()
+	a, b := msg.Pipe(16)
+	t.Cleanup(func() { a.Close() })
+	return a, b
+}
+
+func TestWrapProtectReturnsUnwrapped(t *testing.T) {
+	a, _ := pipePair(t)
+	p := &Plan{Seed: 1, Rules: []Rule{{Prob: 1, Action: Drop}}, Protect: []string{"safe"}}
+	if got := p.Wrap("safe", a); got != a {
+		t.Error("protected name was wrapped")
+	}
+	if got := p.Wrap("victim", a); got == a {
+		t.Error("unprotected name was not wrapped")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	// The same (seed, name, message sequence) must trigger identical
+	// faults; a different name must diverge somewhere.
+	decisions := func(seed int64, name string) []bool {
+		a, b := msg.Pipe(256)
+		p := &Plan{Seed: seed, Rules: []Rule{{Prob: 0.5, Action: Drop}}}
+		w := p.Wrap(name, a)
+		for i := 0; i < 100; i++ {
+			if err := w.Send(msg.Message{Tag: 3, Data: []byte{byte(i)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Closing drains the pipe: buffered messages are still received,
+		// then ErrClosed. Which indexes survived IS the schedule.
+		a.Close()
+		out := make([]bool, 100)
+		for {
+			m, err := b.Recv()
+			if err != nil {
+				break
+			}
+			out[m.Data[0]] = true
+		}
+		return out
+	}
+	first := decisions(7, "worker01")
+	second := decisions(7, "worker01")
+	other := decisions(7, "worker02")
+	if !equalBools(first, second) {
+		t.Error("same (seed, name) produced different schedules")
+	}
+	if equalBools(first, other) {
+		t.Error("different names produced identical schedules (seeds not diversified)")
+	}
+	dropped := 0
+	for _, ok := range first {
+		if !ok {
+			dropped++
+		}
+	}
+	if dropped < 20 || dropped > 80 {
+		t.Errorf("Prob=0.5 dropped %d/100 messages", dropped)
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAfterTriggersExactlyOnce(t *testing.T) {
+	a, b := msg.Pipe(64)
+	defer a.Close()
+	p := &Plan{Seed: 1, Rules: []Rule{{Tag: 5, After: 3, Action: Drop}}}
+	w := p.Wrap("w", a)
+	for i := 0; i < 6; i++ {
+		if err := w.Send(msg.Message{Tag: 5, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []byte
+	for i := 0; i < 5; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m.Data[0])
+	}
+	want := []byte{0, 1, 3, 4, 5} // the 3rd matching message (index 2) dropped
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered sequence %v, want %v", got, want)
+		}
+	}
+	if s := p.Snapshot(); s.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped)
+	}
+}
+
+func TestTagFilterAndDirection(t *testing.T) {
+	a, b := msg.Pipe(64)
+	defer a.Close()
+	p := &Plan{Seed: 1, Rules: []Rule{{Tag: 9, Dir: SendOnly, After: 1, Action: Drop}}}
+	w := p.Wrap("w", a)
+	// Non-matching tag passes.
+	if err := w.Send(msg.Message{Tag: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := b.Recv(); m.Tag != 2 {
+		t.Fatalf("tag-2 message not delivered")
+	}
+	// Matching tag on the send side drops.
+	if err := w.Send(msg.Message{Tag: 9}); err != nil {
+		t.Fatal(err)
+	}
+	// RecvOnly direction of the same rule must NOT drop tag 9 arriving.
+	if err := b.Send(msg.Message{Tag: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := w.Recv(); err != nil || m.Tag != 9 {
+		t.Fatalf("send-only rule dropped a received message: %v %v", m, err)
+	}
+}
+
+func TestCorruptAltersCopyNotOriginal(t *testing.T) {
+	a, b := msg.Pipe(64)
+	defer a.Close()
+	orig := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	keep := append([]byte(nil), orig...)
+	p := &Plan{Seed: 42, Rules: []Rule{{After: 1, Action: Corrupt}}}
+	w := p.Wrap("w", a)
+	if err := w.Send(msg.Message{Tag: 1, Data: orig}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != string(keep) {
+		t.Error("corruption mutated the caller's buffer")
+	}
+	same := true
+	for i := range m.Data {
+		if m.Data[i] != orig[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("corrupt rule delivered unaltered payload")
+	}
+	if s := p.Snapshot(); s.Corrupted != 1 {
+		t.Errorf("Corrupted = %d, want 1", s.Corrupted)
+	}
+}
+
+func TestTruncateShortens(t *testing.T) {
+	a, b := msg.Pipe(64)
+	defer a.Close()
+	p := &Plan{Seed: 3, Rules: []Rule{{After: 1, Action: Truncate}}}
+	w := p.Wrap("w", a)
+	data := make([]byte, 100)
+	if err := w.Send(msg.Message{Tag: 1, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data) >= len(data) {
+		t.Errorf("truncate delivered %d bytes, want < %d", len(m.Data), len(data))
+	}
+}
+
+func TestSeverClosesBothDirections(t *testing.T) {
+	a, b := msg.Pipe(64)
+	defer a.Close()
+	p := &Plan{Seed: 1, Rules: []Rule{{After: 2, Action: Sever}}}
+	w := p.Wrap("w", a)
+	if err := w.Send(msg.Message{Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := w.Send(msg.Message{Tag: 1})
+	if !errors.Is(err, msg.ErrClosed) {
+		t.Fatalf("second send: err = %v, want ErrClosed", err)
+	}
+	if err := w.Send(msg.Message{Tag: 1}); !errors.Is(err, msg.ErrClosed) {
+		t.Fatalf("post-sever send: err = %v, want ErrClosed", err)
+	}
+	if _, err := w.Recv(); !errors.Is(err, msg.ErrClosed) {
+		t.Fatalf("post-sever recv: err = %v, want ErrClosed", err)
+	}
+	// The peer drains the one delivered message, then observes the closed
+	// pipe (Pipe closes both ends).
+	if m, err := b.Recv(); err != nil || m.Tag != 1 {
+		t.Fatalf("pre-sever message lost: %v %v", m, err)
+	}
+	if _, err := b.Recv(); err == nil {
+		t.Error("peer still receiving after sever")
+	}
+	if s := p.Snapshot(); s.Severed != 1 {
+		t.Errorf("Severed = %d, want 1", s.Severed)
+	}
+}
+
+func TestRecvSkipsDropped(t *testing.T) {
+	a, b := msg.Pipe(64)
+	defer a.Close()
+	p := &Plan{Seed: 1, Rules: []Rule{{Tag: 7, After: 1, Dir: RecvOnly, Action: Drop}}}
+	w := p.Wrap("w", a)
+	if err := b.Send(msg.Message{Tag: 7, Data: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send(msg.Message{Tag: 8, Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := w.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tag != 8 {
+		t.Errorf("Recv returned tag %d, want the dropped tag-7 skipped and tag 8 delivered", m.Tag)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		check   func(t *testing.T, p *Plan)
+	}{
+		{spec: "", check: func(t *testing.T, p *Plan) {
+			if p != nil {
+				t.Error("empty spec should produce a nil plan")
+			}
+		}},
+		{spec: "seed=42,drop=0.25,protect=ws01,protect=ws02", check: func(t *testing.T, p *Plan) {
+			if p.Seed != 42 || len(p.Rules) != 1 || p.Rules[0].Action != Drop || p.Rules[0].Prob != 0.25 {
+				t.Errorf("parsed %+v", p)
+			}
+			if len(p.Protect) != 2 {
+				t.Errorf("protect list %v", p.Protect)
+			}
+		}},
+		{spec: "drop=0.1,corrupt=0.2,truncate=0.3,sever=0.4,delay=0.5:5ms", check: func(t *testing.T, p *Plan) {
+			if len(p.Rules) != 5 {
+				t.Fatalf("%d rules, want 5", len(p.Rules))
+			}
+			if p.Rules[4].Action != Delay || p.Rules[4].Delay != 5*time.Millisecond {
+				t.Errorf("delay rule %+v", p.Rules[4])
+			}
+		}},
+		{spec: "drop=1.5", wantErr: true},
+		{spec: "drop=-0.1", wantErr: true},
+		{spec: "seed=abc", wantErr: true},
+		{spec: "delay=0.5", wantErr: true},
+		{spec: "delay=0.5:notaduration", wantErr: true},
+		{spec: "bogus=1", wantErr: true},
+		{spec: "noequals", wantErr: true},
+	}
+	for _, tc := range cases {
+		p, err := ParsePlan(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParsePlan(%q): no error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", tc.spec, err)
+			continue
+		}
+		if tc.check != nil {
+			tc.check(t, p)
+		}
+	}
+}
+
+func TestDelayDelivers(t *testing.T) {
+	a, b := msg.Pipe(64)
+	defer a.Close()
+	p := &Plan{Seed: 1, Rules: []Rule{{After: 1, Action: Delay, Delay: 10 * time.Millisecond}}}
+	w := p.Wrap("w", a)
+	start := time.Now()
+	if err := w.Send(msg.Message{Tag: 1, Data: []byte{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("delayed send returned after %v, want >= 10ms", d)
+	}
+	if m, err := b.Recv(); err != nil || m.Data[0] != 9 {
+		t.Errorf("delayed message not delivered intact: %v %v", m, err)
+	}
+	if s := p.Snapshot(); s.Delayed != 1 {
+		t.Errorf("Delayed = %d, want 1", s.Delayed)
+	}
+}

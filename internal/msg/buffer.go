@@ -87,7 +87,10 @@ func (b *Buffer) UnpackBytes() []byte {
 	if b.err != nil {
 		return nil
 	}
-	if n < 0 || b.pos+int(n) > len(b.data) {
+	// Compare against the remaining byte count rather than computing
+	// b.pos+int(n): a hostile length prefix near MaxInt64 would overflow
+	// the sum and slip past the check into a slice-bounds panic.
+	if n < 0 || n > int64(len(b.data)-b.pos) {
 		b.fail("UnpackBytes")
 		return nil
 	}
@@ -116,7 +119,8 @@ func (b *Buffer) UnpackInts() []int64 {
 	if b.err != nil {
 		return nil
 	}
-	if n < 0 || int(n)*8 > b.Len() {
+	// n*8 can overflow for hostile prefixes; divide instead.
+	if n < 0 || n > int64(b.Len())/8 {
 		b.fail("UnpackInts")
 		return nil
 	}
@@ -141,7 +145,8 @@ func (b *Buffer) UnpackFloats() []float64 {
 	if b.err != nil {
 		return nil
 	}
-	if n < 0 || int(n)*8 > b.Len() {
+	// Same overflow guard as UnpackInts.
+	if n < 0 || n > int64(b.Len())/8 {
 		b.fail("UnpackFloats")
 		return nil
 	}

@@ -1,0 +1,35 @@
+package msg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrIntegrity is returned by Open when a sealed payload fails its
+// checksum — the message was truncated or corrupted in transit.
+var ErrIntegrity = errors.New("msg: payload integrity check failed")
+
+// Seal appends a CRC-32 (IEEE) footer to a packed payload. The farm
+// protocol seals every message body so that a payload corrupted or
+// truncated in transit (a lossy link, a buggy worker, injected faults)
+// is detected at decode time instead of being delivered as wrong pixels.
+func Seal(data []byte) []byte {
+	var foot [4]byte
+	binary.BigEndian.PutUint32(foot[:], crc32.ChecksumIEEE(data))
+	return append(data, foot[:]...)
+}
+
+// Open verifies and strips the CRC-32 footer appended by Seal. The
+// returned slice aliases data.
+func Open(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes is too short for a footer", ErrIntegrity, len(data))
+	}
+	body, foot := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(foot) {
+		return nil, ErrIntegrity
+	}
+	return body, nil
+}

@@ -283,6 +283,36 @@ func (h *Hub) Attach(name string, c Conn) error {
 	return nil
 }
 
+// Post injects a synthetic local message into the hub's merged stream —
+// the master uses it to interleave timer ticks with slave traffic so its
+// event loop stays single-threaded. Posts are best-effort: a full inbox
+// or a closing hub drops the message (another tick always follows).
+func (h *Hub) Post(m Message) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closing {
+		return
+	}
+	select {
+	case h.inbox <- m:
+	default:
+	}
+}
+
+// Detach closes one slave's connection, severing a worker the master has
+// retired (hung, malformed, or past its deadline). The slave's receive
+// pump observes the closure and posts its TagDown as usual; callers that
+// already retired the worker ignore it. Detaching an unknown name is a
+// no-op.
+func (h *Hub) Detach(name string) {
+	h.mu.Lock()
+	c, ok := h.conns[name]
+	h.mu.Unlock()
+	if ok {
+		c.Close()
+	}
+}
+
 // Names returns the attached slave names.
 func (h *Hub) Names() []string {
 	h.mu.Lock()

@@ -18,6 +18,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"sync"
+	"time"
 
 	"nowrender/internal/fb"
 	"nowrender/internal/stats"
@@ -54,32 +55,59 @@ type centry struct {
 	key  frameKey
 	img  *fb.Framebuffer
 	size int64
+	// expires is when the entry stops being servable (zero = never).
+	expires time.Time
 }
 
 // FrameCache is a content-addressed frame store with LRU eviction under
-// a byte budget. Cached framebuffers are shared, immutable-by-contract
-// values: callers must not modify what Get returns or Put receives.
+// a byte budget and optional per-entry TTL expiry. Cached framebuffers
+// are shared, immutable-by-contract values: callers must not modify what
+// Get returns or Put receives.
 type FrameCache struct {
 	mu     sync.Mutex
 	budget int64
+	ttl    time.Duration
 	bytes  int64
 	ll     *list.List // front = most recently used
 	items  map[frameKey]*list.Element
+	// now is the clock, swappable by tests.
+	now func() time.Time
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, expired uint64
 }
 
 // NewFrameCache returns a cache bounded to budget bytes of pixel data.
 // budget <= 0 means unlimited.
 func NewFrameCache(budget int64) *FrameCache {
+	return NewFrameCacheTTL(budget, 0)
+}
+
+// NewFrameCacheTTL is NewFrameCache with per-entry expiry: entries older
+// than ttl are dropped lazily, on the lookup that finds them stale
+// (ttl <= 0 = never expire). Pixels never go wrong with age — the cache
+// is content-addressed — so the TTL's job is reclaiming memory from
+// animations nobody re-requests, not invalidation.
+func NewFrameCacheTTL(budget int64, ttl time.Duration) *FrameCache {
 	return &FrameCache{
 		budget: budget,
+		ttl:    ttl,
 		ll:     list.New(),
 		items:  make(map[frameKey]*list.Element),
+		now:    time.Now,
 	}
 }
 
-// get returns the cached frame and marks it most recently used.
+// removeLocked drops an entry from the list, the index and the byte
+// account; callers hold c.mu.
+func (c *FrameCache) removeLocked(el *list.Element) {
+	e := el.Value.(*centry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size
+}
+
+// get returns the cached frame and marks it most recently used; a stale
+// entry is dropped and reported as a miss.
 func (c *FrameCache) get(k frameKey) (*fb.Framebuffer, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -88,9 +116,16 @@ func (c *FrameCache) get(k frameKey) (*fb.Framebuffer, bool) {
 		c.misses++
 		return nil, false
 	}
+	e := el.Value.(*centry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		c.expired++
+		c.misses++
+		return nil, false
+	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*centry).img, true
+	return e.img, true
 }
 
 // put inserts (or refreshes) a frame and evicts least-recently-used
@@ -104,22 +139,31 @@ func (c *FrameCache) put(k frameKey, img *fb.Framebuffer) {
 		return
 	}
 	if el, ok := c.items[k]; ok {
+		// Content-addressed: same key, same pixels. Refresh recency and
+		// push the expiry out — the entry was just re-produced.
+		el.Value.(*centry).expires = c.expiry()
 		c.ll.MoveToFront(el)
-		return // content-addressed: same key, same pixels
+		return
 	}
-	c.items[k] = c.ll.PushFront(&centry{key: k, img: img, size: size})
+	c.items[k] = c.ll.PushFront(&centry{key: k, img: img, size: size, expires: c.expiry()})
 	c.bytes += size
 	for c.budget > 0 && c.bytes > c.budget {
 		back := c.ll.Back()
 		if back == nil {
 			break
 		}
-		e := back.Value.(*centry)
-		c.ll.Remove(back)
-		delete(c.items, e.key)
-		c.bytes -= e.size
+		c.removeLocked(back)
 		c.evictions++
 	}
+}
+
+// expiry computes a fresh entry's deadline (zero when no TTL is set);
+// callers hold c.mu.
+func (c *FrameCache) expiry() time.Time {
+	if c.ttl <= 0 {
+		return time.Time{}
+	}
+	return c.now().Add(c.ttl)
 }
 
 // Stats snapshots the cache counters.
@@ -127,7 +171,7 @@ func (c *FrameCache) Stats() stats.CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return stats.CacheStats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Expired: c.expired,
 		Entries: c.ll.Len(), Bytes: c.bytes, Budget: c.budget,
 	}
 }

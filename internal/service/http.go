@@ -134,7 +134,7 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return // terminal event already delivered
 			}
 			writeSSE(ev.Type, ev)
-			if ev.Type != "frame" && ev.Type != "queued" && ev.Type != "started" {
+			if ev.Type != "frame" && ev.Type != "queued" && ev.Type != "started" && ev.Type != "retrying" {
 				return
 			}
 		case <-r.Context().Done():
@@ -211,6 +211,8 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	framesRendered := s.framesRendered
 	framesCached := s.framesCached
 	totalRays := s.rays.Total()
+	faults := s.faults
+	jobRetries := s.jobRetries
 	workers := make(map[string]time.Duration, len(s.workerBusy))
 	for k, v := range s.workerBusy {
 		workers[k] = v
@@ -242,6 +244,9 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP nowrender_cache_evictions_total Frames evicted to fit the byte budget.")
 	p("# TYPE nowrender_cache_evictions_total counter")
 	p("nowrender_cache_evictions_total %d", cs.Evictions)
+	p("# HELP nowrender_cache_expired_total Frames dropped past their TTL.")
+	p("# TYPE nowrender_cache_expired_total counter")
+	p("nowrender_cache_expired_total %d", cs.Expired)
 	p("# HELP nowrender_cache_hit_rate Hits over lookups since start.")
 	p("# TYPE nowrender_cache_hit_rate gauge")
 	p("nowrender_cache_hit_rate %g", cs.HitRate())
@@ -261,6 +266,26 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP nowrender_rays_traced_total Rays traced across all jobs.")
 	p("# TYPE nowrender_rays_traced_total counter")
 	p("nowrender_rays_traced_total %d", totalRays)
+
+	p("# HELP nowrender_fault_events_total Farm fault-handling events by kind (workers retired, deadline expiries, malformed messages absorbed, frames requeued or quarantined, duplicates dropped, speculative re-issues).")
+	p("# TYPE nowrender_fault_events_total counter")
+	p("nowrender_fault_events_total{kind=\"workers_lost\"} %d", faults.WorkersLost)
+	p("nowrender_fault_events_total{kind=\"heartbeat_timeouts\"} %d", faults.HeartbeatTimeouts)
+	p("nowrender_fault_events_total{kind=\"stall_timeouts\"} %d", faults.StallTimeouts)
+	p("nowrender_fault_events_total{kind=\"malformed_messages\"} %d", faults.MalformedMessages)
+	p("nowrender_fault_events_total{kind=\"duplicates_dropped\"} %d", faults.DuplicatesDropped)
+	p("nowrender_fault_events_total{kind=\"frames_requeued\"} %d", faults.FramesRequeued)
+	p("nowrender_fault_events_total{kind=\"frames_quarantined\"} %d", faults.FramesQuarantined)
+	p("nowrender_fault_events_total{kind=\"speculative_tasks\"} %d", faults.SpeculativeTasks)
+	p("# HELP nowrender_heartbeat_pings_total Heartbeat pings sent to workers.")
+	p("# TYPE nowrender_heartbeat_pings_total counter")
+	p("nowrender_heartbeat_pings_total %d", faults.PingsSent)
+	p("# HELP nowrender_heartbeat_pongs_total Heartbeat pongs received from workers.")
+	p("# TYPE nowrender_heartbeat_pongs_total counter")
+	p("nowrender_heartbeat_pongs_total %d", faults.PongsReceived)
+	p("# HELP nowrender_job_retries_total Failed render attempts that were retried.")
+	p("# TYPE nowrender_job_retries_total counter")
+	p("nowrender_job_retries_total %d", jobRetries)
 
 	p("# HELP nowrender_worker_busy_seconds_total Per-worker busy time (utilisation numerator).")
 	p("# TYPE nowrender_worker_busy_seconds_total counter")

@@ -62,6 +62,14 @@ type JobSpec struct {
 	// Driver selects the farm backend: "virtual" (deterministic virtual
 	// NOW, the default) or "local" (goroutine workers, wall clock).
 	Driver string `json:"driver,omitempty"`
+	// Retries is how many times a failed render attempt is retried
+	// (capped by the service's MaxJobRetries). Attempts resume from
+	// whatever frames already reached the job or the cache, so progress
+	// is monotonic across retries.
+	Retries int `json:"retries,omitempty"`
+	// RetryBackoffMS is the delay before the first retry, doubled each
+	// further attempt. 0 retries immediately.
+	RetryBackoffMS int `json:"retry_backoff_ms,omitempty"`
 }
 
 // Status is the externally visible snapshot of a job, the JSON body of
@@ -79,7 +87,15 @@ type Status struct {
 	// RaysTraced counts rays actually traced for this job; a fully
 	// cache-served job reports zero.
 	RaysTraced uint64 `json:"rays_traced"`
-	Error      string `json:"error,omitempty"`
+	// Attempts counts render attempts so far (1 on the happy path;
+	// 1 + retries used otherwise).
+	Attempts int `json:"attempts,omitempty"`
+	// WorkersLost and FramesRequeued surface the job's fault-handling
+	// footprint: how many workers its farm runs retired and how many
+	// frame renderings were requeued onto survivors.
+	WorkersLost    uint64 `json:"workers_lost,omitempty"`
+	FramesRequeued uint64 `json:"frames_requeued,omitempty"`
+	Error          string `json:"error,omitempty"`
 
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started"`
@@ -122,7 +138,9 @@ type job struct {
 	frames    []*fb.Framebuffer // index = frame - spec.StartFrame
 	done      int
 	cacheHits int
+	attempts  int
 	rays      stats.RayCounters
+	faults    stats.FaultCounters
 
 	submitted, started, finished time.Time
 
@@ -142,6 +160,8 @@ func (j *job) status() Status {
 		ID: j.id, State: j.state, Spec: j.spec,
 		FramesTotal: len(j.frames), FramesDone: j.done,
 		CacheHits: j.cacheHits, RaysTraced: j.rays.Total(),
+		Attempts:    j.attempts,
+		WorkersLost: j.faults.WorkersLost, FramesRequeued: j.faults.FramesRequeued,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
 	}
 	if j.err != nil {

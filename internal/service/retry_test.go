@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nowrender/internal/farm"
+	"nowrender/internal/faulty"
+	"nowrender/internal/fb"
+)
+
+// --- frame-cache eviction and TTL ---------------------------------------
+
+// TestCacheEvictionTable drives put/get sequences against a 3-frame
+// budget and checks exactly which entries survive: eviction is LRU and a
+// get refreshes recency.
+func TestCacheEvictionTable(t *testing.T) {
+	const side = 32
+	frameBytes := int64(side * side * 3)
+	type op struct {
+		kind  string // "put" | "get"
+		frame int
+	}
+	cases := []struct {
+		name          string
+		budget        int64
+		ops           []op
+		wantPresent   []int
+		wantAbsent    []int
+		wantEvictions uint64
+	}{
+		{
+			name:   "lru-evicts-oldest",
+			budget: 3 * frameBytes,
+			ops:    []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
+			wantPresent: []int{2, 3, 4}, wantAbsent: []int{0, 1},
+			wantEvictions: 2,
+		},
+		{
+			name:   "get-refreshes-recency",
+			budget: 3 * frameBytes,
+			ops:    []op{{"put", 0}, {"put", 1}, {"put", 2}, {"get", 0}, {"put", 3}},
+			wantPresent: []int{0, 2, 3}, wantAbsent: []int{1},
+			wantEvictions: 1,
+		},
+		{
+			name:   "duplicate-put-refreshes-not-grows",
+			budget: 3 * frameBytes,
+			ops:    []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 0}, {"put", 3}},
+			wantPresent: []int{0, 2, 3}, wantAbsent: []int{1},
+			wantEvictions: 1,
+		},
+		{
+			name:   "frame-larger-than-budget-not-cached",
+			budget: frameBytes - 1,
+			ops:    []op{{"put", 0}},
+			wantPresent: nil, wantAbsent: []int{0},
+			wantEvictions: 0,
+		},
+		{
+			name:   "unlimited-budget-keeps-all",
+			budget: 0,
+			ops:    []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
+			wantPresent: []int{0, 1, 2, 3, 4}, wantAbsent: nil,
+			wantEvictions: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewFrameCache(tc.budget)
+			k := newSeqKey("scene", side, side, 1)
+			for _, o := range tc.ops {
+				switch o.kind {
+				case "put":
+					c.put(frameKey{seq: k, frame: o.frame}, fb.New(side, side))
+				case "get":
+					c.get(frameKey{seq: k, frame: o.frame})
+				}
+			}
+			for _, f := range tc.wantPresent {
+				if _, ok := c.get(frameKey{seq: k, frame: f}); !ok {
+					t.Errorf("frame %d missing", f)
+				}
+			}
+			for _, f := range tc.wantAbsent {
+				if _, ok := c.get(frameKey{seq: k, frame: f}); ok {
+					t.Errorf("frame %d unexpectedly present", f)
+				}
+			}
+			cs := c.Stats()
+			if cs.Evictions != tc.wantEvictions {
+				t.Errorf("evictions = %d, want %d", cs.Evictions, tc.wantEvictions)
+			}
+			if tc.budget > 0 && cs.Bytes > tc.budget {
+				t.Errorf("cache holds %d bytes over budget %d", cs.Bytes, tc.budget)
+			}
+		})
+	}
+}
+
+// TestCacheTTLTable pins the lazy-expiry clockwork with an injected
+// clock: entries serve until their deadline passes strictly, a stale hit
+// counts as an expiry plus a miss, and re-putting a key pushes its
+// deadline out.
+func TestCacheTTLTable(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	cases := []struct {
+		name    string
+		ttl     time.Duration
+		advance time.Duration
+		wantHit bool
+	}{
+		{"no-ttl-never-expires", 0, 1000 * time.Hour, true},
+		{"fresh-within-ttl", time.Minute, 59 * time.Second, true},
+		{"exactly-at-deadline-still-served", time.Minute, time.Minute, true},
+		{"stale-past-deadline", time.Minute, time.Minute + time.Second, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewFrameCacheTTL(0, tc.ttl)
+			now := base
+			c.now = func() time.Time { return now }
+			k := frameKey{seq: newSeqKey("s", 8, 8, 1), frame: 0}
+			c.put(k, fb.New(8, 8))
+			now = base.Add(tc.advance)
+			_, ok := c.get(k)
+			if ok != tc.wantHit {
+				t.Fatalf("hit = %v, want %v", ok, tc.wantHit)
+			}
+			cs := c.Stats()
+			if tc.wantHit {
+				if cs.Expired != 0 || cs.Entries != 1 {
+					t.Errorf("expired=%d entries=%d, want 0/1", cs.Expired, cs.Entries)
+				}
+			} else {
+				// A stale entry is dropped, counted, and its bytes freed.
+				if cs.Expired != 1 || cs.Misses != 1 || cs.Entries != 0 || cs.Bytes != 0 {
+					t.Errorf("expired=%d misses=%d entries=%d bytes=%d, want 1/1/0/0",
+						cs.Expired, cs.Misses, cs.Entries, cs.Bytes)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheTTLRefreshOnReput: re-producing a cached frame pushes its
+// expiry out from the new production time.
+func TestCacheTTLRefreshOnReput(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	c := NewFrameCacheTTL(0, time.Minute)
+	now := base
+	c.now = func() time.Time { return now }
+	k := frameKey{seq: newSeqKey("s", 8, 8, 1), frame: 0}
+	c.put(k, fb.New(8, 8))
+	now = base.Add(40 * time.Second)
+	c.put(k, fb.New(8, 8)) // refresh: new deadline is t+40s+60s
+	now = base.Add(90 * time.Second)
+	if _, ok := c.get(k); !ok {
+		t.Fatal("refreshed entry expired on the original deadline")
+	}
+	now = base.Add(101 * time.Second)
+	if _, ok := c.get(k); ok {
+		t.Fatal("entry survived past its refreshed deadline")
+	}
+}
+
+// --- job retry over farm failures ----------------------------------------
+
+// TestJobRetryResumesPartialProgress: every local worker's connection
+// severs on its second frame delivery, so the first attempt collapses
+// with only part of the animation rendered. The retry must re-render
+// only the missing frames (the delivered ones stay on the job and in the
+// cache) and complete — with pixels identical to a fault-free service.
+func TestJobRetryResumesPartialProgress(t *testing.T) {
+	plan := &faulty.Plan{
+		Seed:  1,
+		Rules: []faulty.Rule{{Tag: farm.TagFrameDone, Dir: faulty.SendOnly, After: 2, Action: faulty.Sever}},
+	}
+	s := New(Config{FaultWrap: plan.Wrap})
+	defer s.Close()
+
+	st, err := s.Submit(JobSpec{
+		Scene: "newton:6", W: 40, H: 32, Driver: "local",
+		Scheme: "seqdiv-static", Retries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, s, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("state = %s (err %q), want done", st.State, st.Error)
+	}
+	if st.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (first attempt should have failed)", st.Attempts)
+	}
+	if st.FramesDone != 6 {
+		t.Fatalf("frames done = %d, want 6", st.FramesDone)
+	}
+	if st.WorkersLost == 0 {
+		t.Error("status reports no workers lost despite severed connections")
+	}
+
+	// The recovered animation is byte-identical to a fault-free render.
+	clean := New(Config{})
+	defer clean.Close()
+	ref, err := clean.Submit(JobSpec{Scene: "newton:6", W: 40, H: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref = waitDone(t, clean, ref.ID); ref.State != StateDone {
+		t.Fatalf("reference job: %s (%s)", ref.State, ref.Error)
+	}
+	for f := 0; f < 6; f++ {
+		got, err1 := s.Frame(st.ID, f)
+		want, err2 := clean.Frame(ref.ID, f)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("frame %d: %v / %v", f, err1, err2)
+		}
+		if !bytes.Equal(got.Pix, want.Pix) {
+			t.Fatalf("frame %d differs from fault-free render", f)
+		}
+	}
+
+	// The retry and fault counters surface in /metrics.
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metrics := string(body)
+	for _, want := range []string{
+		"nowrender_job_retries_total",
+		`nowrender_fault_events_total{kind="workers_lost"}`,
+		`nowrender_fault_events_total{kind="frames_requeued"}`,
+		"nowrender_cache_expired_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(metrics, "nowrender_job_retries_total 1") &&
+		!strings.Contains(metrics, "nowrender_job_retries_total 2") &&
+		!strings.Contains(metrics, "nowrender_job_retries_total 3") {
+		t.Errorf("job retry counter not incremented:\n%s", metrics)
+	}
+}
+
+// TestJobRetryHitsCacheWarmedByPeer: a job whose every local attempt is
+// doomed retries while a healthy virtual-driver job renders the same
+// animation; the retry is then served entirely from the shared
+// content-addressed cache and succeeds without its farm ever working.
+func TestJobRetryHitsCacheWarmedByPeer(t *testing.T) {
+	plan := &faulty.Plan{
+		Seed:  1,
+		Rules: []faulty.Rule{{Tag: farm.TagFrameDone, Dir: faulty.SendOnly, After: 1, Action: faulty.Sever}},
+	}
+	s := New(Config{FaultWrap: plan.Wrap})
+	defer s.Close()
+
+	doomed, err := s.Submit(JobSpec{
+		Scene: "newton:3", W: 32, H: 24, Driver: "local",
+		Scheme: "seqdiv-static", Retries: 2, RetryBackoffMS: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first attempt to fail before warming the cache, or the
+	// doomed job could be served from it on attempt one and never retry.
+	events, _, err := s.subscribe(doomed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(30 * time.Second)
+waitRetry:
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("doomed job terminated before its first retry")
+			}
+			if ev.Type == "retrying" {
+				break waitRetry
+			}
+		case <-deadline:
+			t.Fatal("no retrying event within 30s")
+		}
+	}
+	s.unsubscribe(doomed.ID, events)
+	// Same scene and resolution, healthy driver: fills the cache while the
+	// doomed job sits out its backoff.
+	peer, err := s.Submit(JobSpec{Scene: "newton:3", W: 32, H: 24, Driver: "virtual"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := waitDone(t, s, peer.ID); p.State != StateDone {
+		t.Fatalf("peer job: %s (%s)", p.State, p.Error)
+	}
+
+	st := waitDone(t, s, doomed.ID)
+	if st.State != StateDone {
+		t.Fatalf("retried job state = %s (err %q), want done", st.State, st.Error)
+	}
+	if st.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", st.Attempts)
+	}
+	if st.CacheHits != 3 {
+		t.Errorf("cache hits = %d, want 3 (every frame from the peer's render)", st.CacheHits)
+	}
+	if st.RaysTraced != 0 {
+		t.Errorf("retried job traced %d rays, want 0", st.RaysTraced)
+	}
+	for f := 0; f < 3; f++ {
+		got, err1 := s.Frame(st.ID, f)
+		want, err2 := s.Frame(peer.ID, f)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("frame %d: %v / %v", f, err1, err2)
+		}
+		if !bytes.Equal(got.Pix, want.Pix) {
+			t.Fatalf("frame %d differs between cached retry and peer render", f)
+		}
+	}
+}
+
+// TestJobRetryBudgetExhausted: with no retries left the failure is
+// terminal and surfaced, not retried forever.
+func TestJobRetryBudgetExhausted(t *testing.T) {
+	plan := &faulty.Plan{
+		Seed:  1,
+		Rules: []faulty.Rule{{Tag: farm.TagFrameDone, Dir: faulty.SendOnly, After: 1, Action: faulty.Sever}},
+	}
+	s := New(Config{FaultWrap: plan.Wrap})
+	defer s.Close()
+	st, err := s.Submit(JobSpec{
+		Scene: "newton:2", W: 32, H: 24, Driver: "local",
+		Scheme: "seqdiv-static", Retries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, s, st.ID)
+	if st.State != StateFailed {
+		t.Fatalf("state = %s, want failed", st.State)
+	}
+	if st.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2 (one retry)", st.Attempts)
+	}
+	if st.Error == "" {
+		t.Error("failed job carries no error")
+	}
+}

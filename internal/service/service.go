@@ -24,6 +24,7 @@ import (
 	"nowrender/internal/cluster"
 	"nowrender/internal/farm"
 	"nowrender/internal/fb"
+	"nowrender/internal/msg"
 	"nowrender/internal/partition"
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
@@ -51,6 +52,26 @@ type Config struct {
 	// DefaultDriver is used when a JobSpec leaves Driver empty:
 	// "virtual" (default) or "local".
 	DefaultDriver string
+	// CacheTTL expires cached frames this long after they were rendered
+	// (lazily, on lookup). 0 = never expire.
+	CacheTTL time.Duration
+	// MaxJobRetries caps JobSpec.Retries. Default 5.
+	MaxJobRetries int
+
+	// Heartbeat, Liveness, StallTimeout, FrameRetries and Speculate are
+	// passed through to farm.Config for "local"-driver jobs — the
+	// service-level fault-tolerance knobs (see farm.Config for their
+	// semantics). The virtual driver has no messages to lose and ignores
+	// them.
+	Heartbeat    time.Duration
+	Liveness     time.Duration
+	StallTimeout time.Duration
+	FrameRetries int
+	Speculate    bool
+	// FaultWrap, when non-nil, wraps each local-driver worker connection
+	// (fault injection; see internal/faulty). Exposed by cmd/nowserve's
+	// -chaos flag for soak-testing a live service.
+	FaultWrap func(name string, c msg.Conn) msg.Conn
 }
 
 func (c *Config) defaults() {
@@ -71,6 +92,9 @@ func (c *Config) defaults() {
 	}
 	if c.DefaultDriver == "" {
 		c.DefaultDriver = "virtual"
+	}
+	if c.MaxJobRetries <= 0 {
+		c.MaxJobRetries = 5
 	}
 }
 
@@ -94,6 +118,8 @@ type Service struct {
 	framesCached   uint64
 	rays           stats.RayCounters
 	workerBusy     map[string]time.Duration
+	faults         stats.FaultCounters
+	jobRetries     uint64
 	started        time.Time
 }
 
@@ -103,7 +129,7 @@ func New(cfg Config) *Service {
 	cfg.defaults()
 	return &Service{
 		cfg:        cfg,
-		cache:      NewFrameCache(cfg.CacheBytes),
+		cache:      NewFrameCacheTTL(cfg.CacheBytes, cfg.CacheTTL),
 		jobs:       make(map[string]*job),
 		workerBusy: make(map[string]time.Duration),
 		started:    time.Now(),
@@ -146,6 +172,13 @@ func (s *Service) normalize(spec *JobSpec, frames int) error {
 	}
 	if spec.Driver != "virtual" && spec.Driver != "local" {
 		return fmt.Errorf("service: unknown driver %q", spec.Driver)
+	}
+	if spec.Retries < 0 || spec.RetryBackoffMS < 0 {
+		return fmt.Errorf("service: bad retry policy (retries %d, backoff %dms)",
+			spec.Retries, spec.RetryBackoffMS)
+	}
+	if spec.Retries > s.cfg.MaxJobRetries {
+		spec.Retries = s.cfg.MaxJobRetries
 	}
 	return nil
 }
@@ -227,10 +260,32 @@ func (s *Service) startQueuedLocked() {
 }
 
 // run executes one job to a terminal state: cache lookups first, then
-// farm runs over the still-missing frame ranges.
+// farm runs over the still-missing frame ranges, retried up to the
+// spec's budget. Each attempt resumes, not restarts: frames that reached
+// the job (via OnFrame or the cache) before a failure are kept, so a
+// retried job only re-renders what is actually missing.
 func (s *Service) run(j *job) {
 	defer s.wg.Done()
-	err := s.render(j)
+	var err error
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		j.attempts = attempt + 1
+		s.mu.Unlock()
+		err = s.render(j)
+		if err == nil || j.ctx.Err() != nil || attempt >= j.spec.Retries {
+			break
+		}
+		s.mu.Lock()
+		s.jobRetries++
+		s.publishLocked(j, Event{Type: "retrying", Error: err.Error()})
+		s.mu.Unlock()
+		if backoff := time.Duration(j.spec.RetryBackoffMS) * time.Millisecond; backoff > 0 {
+			select {
+			case <-time.After(backoff << attempt):
+			case <-j.ctx.Done():
+			}
+		}
+	}
 
 	s.mu.Lock()
 	j.finished = time.Now()
@@ -265,6 +320,14 @@ func (s *Service) render(j *job) error {
 	missing := make([]bool, len(j.frames))
 	anyMissing := false
 	for f := spec.StartFrame; f < spec.EndFrame; f++ {
+		s.mu.Lock()
+		have := j.frames[f-spec.StartFrame] != nil
+		s.mu.Unlock()
+		if have {
+			// Already on the job (a prior attempt got this far); don't
+			// re-count or re-announce it.
+			continue
+		}
 		if img, ok := s.cache.get(frameKey{seq: j.key, frame: f}); ok {
 			s.mu.Lock()
 			j.frames[f-spec.StartFrame] = img
@@ -338,6 +401,11 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		Machines:  s.cfg.Machines,
 		Workers:   s.cfg.Workers,
 		Ctx:       j.ctx,
+		Heartbeat: s.cfg.Heartbeat, Liveness: s.cfg.Liveness,
+		StallTimeout: s.cfg.StallTimeout,
+		FrameRetries: s.cfg.FrameRetries,
+		Speculate:    s.cfg.Speculate,
+		WrapConn:     s.cfg.FaultWrap,
 		OnFrame: func(f int, img *fb.Framebuffer) error {
 			s.cache.put(frameKey{seq: j.key, frame: f}, img)
 			s.mu.Lock()
@@ -355,17 +423,29 @@ func (s *Service) renderRange(j *job, start, end int) error {
 	} else {
 		res, err = farm.RenderVirtual(cfg)
 	}
-	if err != nil {
-		return err
+	// A failed run still returns its partial result; the faults it
+	// absorbed (workers lost, frames requeued) must survive into the
+	// job's status and /metrics or failed attempts would be invisible.
+	if res != nil {
+		s.mu.Lock()
+		j.rays.Merge(res.Run.TotalRays())
+		s.rays.Merge(res.Run.TotalRays())
+		j.faults.Merge(res.Faults)
+		s.faults.Merge(res.Faults)
+		for _, w := range res.Workers {
+			s.workerBusy[w.Worker] += w.Busy
+		}
+		s.mu.Unlock()
 	}
+	return err
+}
+
+// FaultStats snapshots the fault-handling counters aggregated over every
+// farm run the service has driven.
+func (s *Service) FaultStats() stats.FaultCounters {
 	s.mu.Lock()
-	j.rays.Merge(res.Run.TotalRays())
-	s.rays.Merge(res.Run.TotalRays())
-	for _, w := range res.Workers {
-		s.workerBusy[w.Worker] += w.Busy
-	}
-	s.mu.Unlock()
-	return nil
+	defer s.mu.Unlock()
+	return s.faults
 }
 
 // Cancel stops a job: a queued job is removed from the queue, a running
@@ -539,7 +619,7 @@ func (s *Service) publishLocked(j *job, ev Event) {
 		default:
 		}
 	}
-	if ev.Type != "frame" && ev.Type != "queued" && ev.Type != "started" {
+	if ev.Type != "frame" && ev.Type != "queued" && ev.Type != "started" && ev.Type != "retrying" {
 		// Terminal event: close the streams.
 		for _, ch := range j.subs {
 			close(ch)

@@ -148,12 +148,93 @@ func (w WorkerStats) Utilisation(total time.Duration) float64 {
 	return float64(w.Busy) / float64(total)
 }
 
+// FaultCounters tallies the failure-handling events of a chaos-hardened
+// farm run: workers retired, frames requeued or quarantined, duplicate
+// and malformed messages absorbed. Like RayCounters they are plain
+// values owned by one goroutine (the master loop) and combined with
+// Merge when runs are aggregated (RenderAuto, the service).
+type FaultCounters struct {
+	// WorkersLost counts workers retired for any reason: connection
+	// failure (TagDown), graceful departure (TagBye), heartbeat or
+	// stall timeout, or a malformed message.
+	WorkersLost uint64
+	// HeartbeatTimeouts counts workers retired because they stayed
+	// silent past the liveness deadline.
+	HeartbeatTimeouts uint64
+	// StallTimeouts counts workers retired because they held a task
+	// without delivering progress past the stall deadline.
+	StallTimeouts uint64
+	// MalformedMessages counts undecodable or protocol-violating
+	// messages absorbed by retiring their sender.
+	MalformedMessages uint64
+	// DuplicatesDropped counts frame results discarded because the same
+	// (frame, region) was already delivered (speculation, retries).
+	DuplicatesDropped uint64
+	// FramesRequeued counts frame renderings put back on the queue after
+	// their worker was lost or their result went missing.
+	FramesRequeued uint64
+	// FramesQuarantined counts frame regions the master rendered locally
+	// after the frame exhausted its retry budget.
+	FramesQuarantined uint64
+	// SpeculativeTasks counts straggler ranges re-issued to idle workers
+	// near the end of the run.
+	SpeculativeTasks uint64
+	// PingsSent and PongsReceived count heartbeat traffic.
+	PingsSent, PongsReceived uint64
+}
+
+// Merge adds another counter set into c.
+func (c *FaultCounters) Merge(o FaultCounters) {
+	c.WorkersLost += o.WorkersLost
+	c.HeartbeatTimeouts += o.HeartbeatTimeouts
+	c.StallTimeouts += o.StallTimeouts
+	c.MalformedMessages += o.MalformedMessages
+	c.DuplicatesDropped += o.DuplicatesDropped
+	c.FramesRequeued += o.FramesRequeued
+	c.FramesQuarantined += o.FramesQuarantined
+	c.SpeculativeTasks += o.SpeculativeTasks
+	c.PingsSent += o.PingsSent
+	c.PongsReceived += o.PongsReceived
+}
+
+// Any reports whether any fault-handling event was recorded (heartbeat
+// traffic alone does not count: pings flow on healthy runs too).
+func (c FaultCounters) Any() bool {
+	return c.WorkersLost+c.HeartbeatTimeouts+c.StallTimeouts+
+		c.MalformedMessages+c.DuplicatesDropped+
+		c.FramesRequeued+c.FramesQuarantined+c.SpeculativeTasks > 0
+}
+
+// String implements fmt.Stringer, listing only nonzero counters.
+func (c FaultCounters) String() string {
+	parts := []string{}
+	add := func(name string, v uint64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("lost", c.WorkersLost)
+	add("heartbeat", c.HeartbeatTimeouts)
+	add("stalled", c.StallTimeouts)
+	add("malformed", c.MalformedMessages)
+	add("dup", c.DuplicatesDropped)
+	add("requeued", c.FramesRequeued)
+	add("quarantined", c.FramesQuarantined)
+	add("speculative", c.SpeculativeTasks)
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}
+
 // CacheStats is a snapshot of a content-addressed cache's counters (the
 // service-level frame cache reports these through /metrics).
 type CacheStats struct {
 	// Hits and Misses count lookups; Evictions counts entries dropped to
-	// stay under the byte budget.
-	Hits, Misses, Evictions uint64
+	// stay under the byte budget; Expired counts entries dropped because
+	// they outlived the cache's TTL (also included in Misses when the
+	// expiry was discovered by a lookup).
+	Hits, Misses, Evictions, Expired uint64
 	// Entries and Bytes describe current occupancy; Budget is the
 	// configured byte limit (0 = unlimited).
 	Entries int
