@@ -7,6 +7,7 @@
 //	benchtab -ablations           # design-choice ablations from DESIGN.md
 //	benchtab -scaling             # cluster-size scaling sweep
 //	benchtab -parallel            # intra-frame thread sweep -> BENCH_parallel.json
+//	benchtab -wire                # frame codec sweep -> BENCH_wire.json
 //	benchtab -all                 # everything
 //
 // The default workload is the paper's Newton scene. -full runs the
@@ -22,6 +23,7 @@ import (
 	"path/filepath"
 
 	"nowrender/internal/experiments"
+	"nowrender/internal/farm"
 	"nowrender/internal/scenes"
 	"nowrender/internal/stats"
 	"nowrender/internal/tga"
@@ -35,26 +37,28 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the design ablations")
 		scaling   = flag.Bool("scaling", false, "cluster-size scaling sweep")
 		parallel  = flag.Bool("parallel", false, "intra-frame thread sweep, written to BENCH_parallel.json")
+		wire      = flag.Bool("wire", false, "frame codec sweep (full vs delta vs delta+flate), written to BENCH_wire.json")
 		all       = flag.Bool("all", false, "run everything")
 		full      = flag.Bool("full", false, "paper-scale workload (240x320, 45 frames)")
 		frame     = flag.Int("frame", 10, "frame for -fig2")
 		outDir    = flag.String("out", "", "directory for figure images")
 		sceneSpec = flag.String("scene", "newton", "workload scene spec")
+		wireScene = flag.String("wire-scene", "gallery", "coherence bench scene for the -wire codec sweep")
 		csvOut    = flag.Bool("csv", false, "emit Table 1 as CSV instead of a text table")
 	)
 	flag.Parse()
-	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling && !*parallel {
+	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling && !*parallel && !*wire {
 		*all = true
 	}
 	if err := run(*table1 || *all, *fig2 || *all, *fig4 || *all,
-		*ablations || *all, *scaling || *all, *parallel || *all,
-		*full, *frame, *outDir, *sceneSpec, *csvOut); err != nil {
+		*ablations || *all, *scaling || *all, *parallel || *all, *wire || *all,
+		*full, *frame, *outDir, *sceneSpec, *wireScene, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, fig2, fig4, ablations, scaling, parallel, full bool, frame int, outDir, sceneSpec string, csvOut bool) error {
+func run(table1, fig2, fig4, ablations, scaling, parallel, wire, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -216,6 +220,48 @@ func run(table1, fig2, fig4, ablations, scaling, parallel, full bool, frame int,
 			return err
 		}
 		jsonPath := "BENCH_parallel.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			jsonPath = filepath.Join(outDir, jsonPath)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+
+	if wire {
+		wsc, err := scenes.FromSpec(wireScene)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== Wire: frame codec sweep on %s (full vs delta vs delta+flate) ===\n", wsc.Name)
+		frames := 16
+		if full {
+			frames = 32
+		}
+		pts, err := farm.WireSweep(wsc, p.W, p.H, frames)
+		if err != nil {
+			return err
+		}
+		var tb stats.Table
+		for _, pt := range pts {
+			tb.AddRow("mode", pt.Mode,
+				"bytes/frame", fmt.Sprintf("%.0f", pt.BytesPerFrame),
+				"ratio", fmt.Sprintf("%.2fx", pt.RatioVsFull),
+				"ns/frame", fmt.Sprintf("%.0f", pt.NSPerFrame),
+				"deltas", fmt.Sprintf("%d", pt.FramesDelta),
+				"compressed", fmt.Sprintf("%d", pt.FramesCompressed),
+				"identical", fmt.Sprintf("%v", pt.Identical))
+		}
+		fmt.Println(tb.String())
+		data, err := json.MarshalIndent(pts, "", "  ")
+		if err != nil {
+			return err
+		}
+		jsonPath := "BENCH_wire.json"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err

@@ -37,6 +37,7 @@ type faultOpts struct {
 	frameRetries               int
 	speculate                  bool
 	chaos                      string
+	wireDelta, wireCompress    bool
 }
 
 // apply wires the options into a farm config; -chaos parses into a
@@ -47,6 +48,8 @@ func (f faultOpts) apply(cfg *farm.Config) error {
 	cfg.StallTimeout = f.stall
 	cfg.FrameRetries = f.frameRetries
 	cfg.Speculate = f.speculate
+	cfg.WireDelta = f.wireDelta
+	cfg.WireCompress = f.wireCompress
 	plan, err := faulty.ParsePlan(f.chaos)
 	if err != nil {
 		return err
@@ -83,6 +86,8 @@ func main() {
 	flag.IntVar(&ft.frameRetries, "frame-retries", 0, "per-frame requeue budget before the master renders it locally (0 = 3, negative = unlimited)")
 	flag.BoolVar(&ft.speculate, "speculate", false, "speculatively re-issue the slowest in-flight task to idle workers")
 	flag.StringVar(&ft.chaos, "chaos", "", "fault-injection plan, e.g. seed=7,drop=0.01,corrupt=0.005,delay=0.02:5ms,protect=worker00 (local mode)")
+	flag.BoolVar(&ft.wireDelta, "wire-delta", false, "ship dirty-span delta frames from workers that support them (pixels are identical either way)")
+	flag.BoolVar(&ft.wireCompress, "wire-compress", false, "flate-compress frame payloads from workers that support it")
 	flag.Parse()
 	if err := run(*sceneSpec, *mode, *scheme, *blockW, *blockH, *width, *height,
 		*outDir, *workers, *listen, *coherent, *samples, *aa, *threads, *usePNG, ft); err != nil {
@@ -227,6 +232,9 @@ func report(scene, mode string, res *farm.Result) {
 	fmt.Printf("  makespan:  %s\n", stats.FormatDuration(res.Makespan))
 	fmt.Printf("  tasks:     %d (+%d adaptive subdivisions)\n", res.TasksExecuted, res.Subdivisions)
 	fmt.Printf("  traffic:   %d bytes\n", res.BytesTransferred)
+	if res.Wire.FramesFull+res.Wire.FramesDelta > 0 {
+		fmt.Printf("  wire:      %s\n", res.Wire)
+	}
 	if res.Faults.Any() {
 		fmt.Printf("  faults:    %s\n", res.Faults)
 	}

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +50,9 @@ func main() {
 		speculate    = flag.Bool("speculate", false, "speculatively re-issue the slowest in-flight farm task")
 		jobRetries   = flag.Int("max-job-retries", 0, "cap on a job spec's retries field (0 = 5)")
 		chaos        = flag.String("chaos", "", "fault-injection plan for local-driver farm runs, e.g. seed=7,drop=0.01,protect=worker00")
+		wireDelta    = flag.Bool("wire-delta", false, "ship dirty-span delta frames from workers that support them")
+		wireCompress = flag.Bool("wire-compress", false, "flate-compress frame payloads from workers that support it")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 	cfg := service.Config{
@@ -65,6 +69,8 @@ func main() {
 		FrameRetries:  *frameRetries,
 		Speculate:     *speculate,
 		MaxJobRetries: *jobRetries,
+		WireDelta:     *wireDelta,
+		WireCompress:  *wireCompress,
 	}
 	if *machines > 0 {
 		cfg.Machines = cluster.Uniform(*machines, 1.0, 64)
@@ -77,15 +83,29 @@ func main() {
 	if plan != nil {
 		cfg.FaultWrap = plan.Wrap
 	}
-	if err := run(*listen, *driver, cfg); err != nil {
+	if err := run(*listen, *driver, cfg, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "nowserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, driver string, cfg service.Config) error {
+func run(listen, driver string, cfg service.Config, pprofOn bool) error {
 	svc := service.New(cfg)
-	srv := &http.Server{Addr: listen, Handler: svc.Handler()}
+	var handler http.Handler = svc.Handler()
+	if pprofOn {
+		// Mount the profiling endpoints on an outer mux so the service
+		// handler stays unaware of them. Index serves everything under
+		// /debug/pprof/ except the four special handlers.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	srv := &http.Server{Addr: listen, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -37,6 +37,8 @@ func main() {
 		threads  = flag.Int("threads", 0, "intra-frame render threads when the master doesn't specify (0 = all cores)")
 		deadline = flag.Duration("master-deadline", 0, "exit if the master stays silent this long while idle (0 = wait forever; set well above the master's -heartbeat)")
 		chaos    = flag.String("chaos", "", "fault-injection plan applied to this worker's connection, e.g. seed=7,drop=0.01,corrupt=0.005")
+		delta    = flag.Bool("wire-delta", true, "advertise dirty-span delta frame support to the master")
+		compress = flag.Bool("wire-compress", true, "advertise flate frame compression support to the master")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -45,7 +47,11 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	err := run(ctx, *master, *name, *maxWait, *threads, *deadline, *chaos)
+	opts := farm.WorkerOptions{
+		Threads: *threads, MasterDeadline: *deadline,
+		NoWireDelta: !*delta, NoWireCompress: !*compress,
+	}
+	err := run(ctx, *master, *name, *maxWait, *chaos, opts)
 	switch {
 	case err == nil:
 		return
@@ -86,7 +92,7 @@ func dialRetry(ctx context.Context, master string, maxWait time.Duration) (msg.C
 	}
 }
 
-func run(ctx context.Context, master, name string, maxWait time.Duration, threads int, deadline time.Duration, chaos string) error {
+func run(ctx context.Context, master, name string, maxWait time.Duration, chaos string, opts farm.WorkerOptions) error {
 	plan, err := faulty.ParsePlan(chaos)
 	if err != nil {
 		return err
@@ -123,7 +129,5 @@ func run(ctx context.Context, master, name string, maxWait time.Duration, thread
 	if plan != nil {
 		loopConn = plan.Wrap(name, conn)
 	}
-	return farm.RunWorkerWithOptions(ctx, name, loopConn, sc, farm.WorkerOptions{
-		Threads: threads, MasterDeadline: deadline,
-	})
+	return farm.RunWorkerWithOptions(ctx, name, loopConn, sc, opts)
 }

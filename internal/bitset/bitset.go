@@ -91,6 +91,60 @@ func (b *Bitset) Count() int {
 	return n
 }
 
+// Runs calls yield(start, end) for every maximal run of set bits, in
+// ascending order with half-open [start, end) intervals. It scans a
+// word at a time, so sparse and dense masks alike cost O(words): this
+// is how the dirty mask becomes the wire protocol's span list without
+// visiting clean pixels.
+func (b *Bitset) Runs(yield func(start, end int)) {
+	runStart := -1
+	for wi, w := range b.words {
+		base := wi * 64
+		switch w {
+		case 0:
+			if runStart >= 0 {
+				yield(runStart, base)
+				runStart = -1
+			}
+			continue
+		case ^uint64(0):
+			if runStart < 0 {
+				runStart = base
+			}
+			continue
+		}
+		for bit := 0; bit < 64; {
+			if runStart < 0 {
+				// Skip zeros to the next set bit.
+				z := bits.TrailingZeros64(w >> uint(bit))
+				bit += z
+				if bit >= 64 {
+					break
+				}
+				runStart = base + bit
+			} else {
+				// Skip ones to the end of the run.
+				o := bits.TrailingZeros64(^(w >> uint(bit)))
+				bit += o
+				if bit >= 64 {
+					break
+				}
+				yield(runStart, base+bit)
+				runStart = -1
+			}
+		}
+	}
+	if runStart >= 0 {
+		// clearTail keeps the last word's spare bits zero, but a run that
+		// reaches the final valid bit ends at n, not at the word boundary.
+		end := len(b.words) * 64
+		if end > b.n {
+			end = b.n
+		}
+		yield(runStart, end)
+	}
+}
+
 // Bools expands the bitset into a []bool (the public DirtyMask format).
 func (b *Bitset) Bools() []bool {
 	out := make([]bool, b.n)

@@ -1,0 +1,84 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveRuns is the obvious O(n) reference for Runs.
+func naiveRuns(b *Bitset) [][2]int {
+	var out [][2]int
+	start := -1
+	for i := 0; i < b.Len(); i++ {
+		switch {
+		case b.Get(i) && start < 0:
+			start = i
+		case !b.Get(i) && start >= 0:
+			out = append(out, [2]int{start, i})
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, [2]int{start, b.Len()})
+	}
+	return out
+}
+
+func collectRuns(b *Bitset) [][2]int {
+	var out [][2]int
+	b.Runs(func(start, end int) { out = append(out, [2]int{start, end}) })
+	return out
+}
+
+func TestRunsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Sizes straddle word boundaries: sub-word, exact words, ragged tails.
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 129, 1000} {
+		for trial := 0; trial < 20; trial++ {
+			b := New(n)
+			// Mix densities so all-zero, all-one and ragged words appear.
+			p := []float64{0.02, 0.5, 0.95}[trial%3]
+			for i := 0; i < n; i++ {
+				if rng.Float64() < p {
+					b.Set(i)
+				}
+			}
+			got, want := collectRuns(b), naiveRuns(b)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d trial=%d: %d runs, want %d", n, trial, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d trial=%d: run %d = %v, want %v", n, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRunsEdgeCases(t *testing.T) {
+	// Empty mask: no yields.
+	if runs := collectRuns(New(200)); len(runs) != 0 {
+		t.Errorf("empty bitset yielded %v", runs)
+	}
+	// Full mask ends at n, not at the word boundary.
+	b := New(70)
+	b.SetAll()
+	if runs := collectRuns(b); len(runs) != 1 || runs[0] != [2]int{0, 70} {
+		t.Errorf("full bitset yielded %v", runs)
+	}
+	// A run spanning a word boundary is one run, not two.
+	b = New(128)
+	for i := 60; i < 70; i++ {
+		b.Set(i)
+	}
+	if runs := collectRuns(b); len(runs) != 1 || runs[0] != [2]int{60, 70} {
+		t.Errorf("boundary-spanning run yielded %v", runs)
+	}
+	// Final bit set: half-open end equals Len.
+	b = New(65)
+	b.Set(64)
+	if runs := collectRuns(b); len(runs) != 1 || runs[0] != [2]int{64, 65} {
+		t.Errorf("final-bit run yielded %v", runs)
+	}
+}

@@ -108,6 +108,10 @@ type Engine struct {
 	// tiles render; rebuilt between frames (atomically during parallel
 	// change detection).
 	dirty *bitset.Bitset
+	// lastSpans is the span form of the mask that drove the most recent
+	// RenderFrame — exactly the pixels that call traced (storage reused
+	// each frame; see LastSpans).
+	lastSpans []fb.Span
 
 	// collectors are the per-tile-worker registration buffers, reused
 	// across frames (index = worker slot).
@@ -215,6 +219,37 @@ func (e *Engine) DirtyMask() []bool {
 // NextFrame returns the frame the next RenderFrame call must render.
 func (e *Engine) NextFrame() int { return e.nextFrame }
 
+// LastSpans returns the pixels traced by the most recent RenderFrame as
+// maximal horizontal runs in frame coordinates — every pixel outside
+// these spans is byte-identical to the previous frame, which is what
+// lets a worker ship a dirty-span delta instead of the full region. The
+// slice is reused by the next RenderFrame call; callers that retain it
+// across frames must copy. Nil before the first frame.
+func (e *Engine) LastSpans() []fb.Span { return e.lastSpans }
+
+// appendDirtySpans converts the region-local dirty mask to frame-space
+// spans, splitting runs at row boundaries.
+func (e *Engine) appendDirtySpans(out []fb.Span) []fb.Span {
+	w := e.Region.W()
+	e.dirty.Runs(func(start, end int) {
+		for start < end {
+			y := start / w
+			rowEnd := (y + 1) * w
+			seg := end
+			if seg > rowEnd {
+				seg = rowEnd
+			}
+			out = append(out, fb.Span{
+				Y:  e.Region.Y0 + y,
+				X0: e.Region.X0 + start - y*w,
+				X1: e.Region.X0 + seg - y*w,
+			})
+			start = seg
+		}
+	})
+	return out
+}
+
 // FrameReport describes one rendered frame.
 type FrameReport struct {
 	Frame int
@@ -267,6 +302,11 @@ func (e *Engine) RenderFrame(frame int, dst *fb.Framebuffer) (FrameReport, error
 
 	rep := FrameReport{Frame: frame}
 	e.renderTiles(ft, frame, dst, &rep)
+
+	// Snapshot the mask that drove this frame as spans before it is
+	// rebuilt for the next one — the wire protocol's delta frames ship
+	// exactly these pixels.
+	e.lastSpans = e.appendDirtySpans(e.lastSpans[:0])
 
 	// Predict the dirty set for the next frame (Figure 3's final steps).
 	overheadStart := time.Now()

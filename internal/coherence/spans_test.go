@@ -1,0 +1,93 @@
+package coherence
+
+import (
+	"testing"
+
+	"nowrender/internal/fb"
+)
+
+// TestLastSpansReconstruct proves the wire-delta invariant the farm
+// leans on: the previous frame's pixels plus this frame's LastSpans
+// pixels reconstruct this frame exactly. Any traced-but-unreported
+// pixel would show up here as a mismatch.
+func TestLastSpansReconstruct(t *testing.T) {
+	const frames = 5
+	s := movingScene(frames)
+	region := fb.NewRect(4, 2, tw-6, th-4) // off-origin region, the hard case
+	e, err := NewEngine(s, tw, th, region, 0, frames, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.LastSpans() != nil {
+		t.Error("LastSpans non-nil before the first frame")
+	}
+	buf := fb.New(tw, th)
+	prev := fb.New(tw, th)
+	for f := 0; f < frames; f++ {
+		if _, err := e.RenderFrame(f, buf); err != nil {
+			t.Fatal(err)
+		}
+		spans := e.LastSpans()
+		if spans == nil {
+			t.Fatalf("frame %d: LastSpans nil after render", f)
+		}
+		for _, sp := range spans {
+			if sp.Y < region.Y0 || sp.Y >= region.Y1 || sp.X0 < region.X0 || sp.X1 > region.X1 || sp.X0 >= sp.X1 {
+				t.Fatalf("frame %d: span %v outside region %v", f, sp, region)
+			}
+		}
+		if f == 0 {
+			// The first frame traces everything: spans must cover the
+			// whole region.
+			if got := fb.SpanArea(spans); got != region.Area() {
+				t.Fatalf("first frame spans cover %d pixels, want %d", got, region.Area())
+			}
+		} else {
+			// Reconstruct: previous frame + span pixels == this frame.
+			recon := fb.New(tw, th)
+			recon.CopyRect(prev, region)
+			pix := buf.AppendSpans(nil, spans)
+			if err := recon.ApplySpans(spans, pix); err != nil {
+				t.Fatalf("frame %d: %v", f, err)
+			}
+			for y := region.Y0; y < region.Y1; y++ {
+				for x := region.X0; x < region.X1; x++ {
+					o := (y*tw + x) * 3
+					for c := 0; c < 3; c++ {
+						if recon.Pix[o+c] != buf.Pix[o+c] {
+							t.Fatalf("frame %d: pixel (%d,%d) not reconstructed by spans", f, x, y)
+						}
+					}
+				}
+			}
+			if fb.SpanArea(spans) >= region.Area() {
+				t.Errorf("frame %d: spans cover the whole region; coherence bought nothing", f)
+			}
+		}
+		copy(prev.Pix, buf.Pix)
+	}
+}
+
+// TestLastSpansStatic: a fully static scene re-traces nothing after the
+// first frame, so the span list must be empty — the delta degenerates
+// to "copy everything", the cheapest possible wire frame.
+func TestLastSpansStatic(t *testing.T) {
+	const frames = 3
+	s := staticScene(frames)
+	region := fb.NewRect(0, 0, tw, th)
+	e, err := NewEngine(s, tw, th, region, 0, frames, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := fb.New(tw, th)
+	for f := 0; f < frames; f++ {
+		if _, err := e.RenderFrame(f, buf); err != nil {
+			t.Fatal(err)
+		}
+		if f > 0 {
+			if n := fb.SpanArea(e.LastSpans()); n != 0 {
+				t.Errorf("frame %d: static scene traced %d pixels", f, n)
+			}
+		}
+	}
+}

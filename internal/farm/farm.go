@@ -115,6 +115,19 @@ type Config struct {
 	// pass through it. It also relaxes worker-exit handling: with faults
 	// injected, a worker dying is expected, not a run failure.
 	WrapConn func(name string, c msg.Conn) msg.Conn
+
+	// WorkerOpts, when non-nil, supplies per-worker tuning for
+	// RenderLocal's in-process workers — most usefully the NoWire*
+	// fields, which simulate a mixed fleet of old and new binaries.
+	WorkerOpts func(i int) WorkerOptions
+
+	// WireDelta lets capable workers ship dirty-span delta frames after
+	// each task's key-frame instead of full regions (coherence tasks
+	// only; a size guard falls back to full frames when too much
+	// changed). WireCompress lets frame payloads be flate-compressed.
+	// Both are negotiated per worker via TagHello capability bits, so
+	// mixed fleets interoperate; pixels are byte-identical either way.
+	WireDelta, WireCompress bool
 }
 
 // cancelled returns the context error if the run was cancelled.
@@ -184,6 +197,9 @@ type Result struct {
 	// requeued/quarantined, duplicates and malformed messages absorbed.
 	// All-zero on a healthy run with heartbeats off.
 	Faults stats.FaultCounters
+	// Wire tallies the frame-result data path: key-frames vs dirty-span
+	// deltas, compressed payloads, and raw-vs-wire byte totals.
+	Wire stats.WireStats
 }
 
 // Speedup returns baseline.Makespan / r.Makespan.
@@ -280,6 +296,67 @@ func (a *assembly) deliver(absFrame int, region fb.Rect, pix []byte, t time.Dura
 	return false, false, nil
 }
 
+// errDeltaBase marks a delta whose base result never landed: the
+// previous frame's (frame, region) was lost in transit, so the delta
+// cannot be applied. This is the one delivery failure that is NOT a
+// protocol violation — the sender is honest, the network ate the base —
+// so the master discards the delta (counting it) instead of retiring
+// the worker, and the frame is re-rendered by the usual requeue path.
+var errDeltaBase = fmt.Errorf("farm: delta base frame not delivered")
+
+// deliverSpans merges a dirty-span delta into the absolute frame: the
+// region is copied from the previous frame's assembled pixels, then the
+// span pixels (packed RGB, span order) are applied on top. The previous
+// frame's same (frame-1, region) result must have been delivered —
+// otherwise errDeltaBase. Completion and duplicate semantics match
+// deliver.
+func (a *assembly) deliverSpans(absFrame int, region fb.Rect, spans []fb.Span, pix []byte, t time.Duration) (complete, dup bool, err error) {
+	frame := absFrame - a.start
+	if frame < 0 || frame >= len(a.frames) {
+		return false, false, fmt.Errorf("farm: frame %d out of range", absFrame)
+	}
+	if region.X0 < 0 || region.Y0 < 0 || region.X1 > a.w || region.Y1 > a.h ||
+		region.X0 >= region.X1 || region.Y0 >= region.Y1 {
+		return false, false, fmt.Errorf("farm: frame %d: region %v outside %dx%d", absFrame, region, a.w, a.h)
+	}
+	if len(pix) != fb.SpanArea(spans)*3 {
+		return false, false, fmt.Errorf("farm: frame %d region %v: got %d span bytes, want %d",
+			frame, region, len(pix), fb.SpanArea(spans)*3)
+	}
+	for _, s := range spans {
+		if s.Y < region.Y0 || s.Y >= region.Y1 || s.X0 < region.X0 || s.X0 >= s.X1 || s.X1 > region.X1 {
+			return false, false, fmt.Errorf("farm: frame %d: span y=%d [%d,%d) outside region %v",
+				absFrame, s.Y, s.X0, s.X1, region)
+		}
+	}
+	if a.seen[regionKey{absFrame, region}] {
+		return false, true, nil
+	}
+	if frame == 0 || !a.seen[regionKey{absFrame - 1, region}] {
+		return false, false, errDeltaBase
+	}
+	a.seen[regionKey{absFrame, region}] = true
+	if a.frames[frame] == nil {
+		a.frames[frame] = fb.New(a.w, a.h)
+	}
+	img := a.frames[frame]
+	img.CopyRect(a.frames[frame-1], region)
+	if err := img.ApplySpans(spans, pix); err != nil {
+		return false, false, err
+	}
+	a.missing[frame] -= region.Area()
+	if a.missing[frame] < 0 {
+		return false, false, fmt.Errorf("farm: frame %d over-delivered", frame)
+	}
+	if a.missing[frame] == 0 {
+		if t > a.done[frame] {
+			a.done[frame] = t
+		}
+		return true, false, nil
+	}
+	return false, false, nil
+}
+
 // frame returns the (possibly partial) framebuffer of an absolute frame.
 func (a *assembly) frame(absFrame int) *fb.Framebuffer {
 	return a.frames[absFrame-a.start]
@@ -294,15 +371,18 @@ func (a *assembly) complete() error {
 	return nil
 }
 
-// extractRegion packs a region of img into RGB bytes (the wire format of
-// result messages).
-func extractRegion(img *fb.Framebuffer, region fb.Rect) []byte {
-	out := make([]byte, 0, region.Area()*3)
+// appendRegion packs a region of img into RGB bytes (the wire format of
+// full frame results), appending to out so hot paths can reuse scratch.
+func appendRegion(out []byte, img *fb.Framebuffer, region fb.Rect) []byte {
+	n := region.W() * 3
 	for y := region.Y0; y < region.Y1; y++ {
-		for x := region.X0; x < region.X1; x++ {
-			r, g, b := img.At(x, y)
-			out = append(out, r, g, b)
-		}
+		o := (y*img.W + region.X0) * 3
+		out = append(out, img.Pix[o:o+n]...)
 	}
 	return out
+}
+
+// extractRegion packs a region of img into a fresh RGB byte slice.
+func extractRegion(img *fb.Framebuffer, region fb.Rect) []byte {
+	return appendRegion(make([]byte, 0, region.Area()*3), img, region)
 }

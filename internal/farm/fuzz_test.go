@@ -18,8 +18,8 @@ func FuzzProtocolDecode(f *testing.F) {
 	// Seeds: real encodings of each message type, so the fuzzer starts
 	// inside the interesting part of the input space.
 	task := encodeTask(taskMsg{
-		Task:    partition.Task{ID: 3, Region: fb.NewRect(1, 2, 33, 30), StartFrame: 0, EndFrame: 8},
-		W:       40, H: 32, Coherence: true, Samples: 2, GridRes: 16, BlockGran: 4, Threads: 2,
+		Task: partition.Task{ID: 3, Region: fb.NewRect(1, 2, 33, 30), StartFrame: 0, EndFrame: 8},
+		W:    40, H: 32, Coherence: true, Samples: 2, GridRes: 16, BlockGran: 4, Threads: 2,
 	})
 	fd := encodeFrameDone(frameDoneMsg{
 		TaskID: 3, Frame: 5, Region: fb.NewRect(0, 0, 4, 2),
@@ -29,9 +29,19 @@ func FuzzProtocolDecode(f *testing.F) {
 		ElapsedNs: 12345,
 	})
 	pair := encodePair(7, 42)
+	// Delta and compressed frames, so the fuzzer starts with the trailing
+	// Kind/Encoding/span fields populated.
+	var we frameEncoder
+	src := fb.New(8, 8)
+	dd := frameDoneMsg{TaskID: 3, Frame: 5, Region: fb.NewRect(0, 0, 8, 8)}
+	delta := we.encode(&dd, src, capWireDelta, []fb.Span{{Y: 1, X0: 1, X1: 2}}, false)
+	dd = frameDoneMsg{TaskID: 3, Frame: 5, Region: fb.NewRect(0, 0, 8, 8)}
+	zipped := we.encode(&dd, src, capWireDelta|capWireCompress, nil, true)
 	f.Add(task)
 	f.Add(fd)
 	f.Add(pair)
+	f.Add(delta)
+	f.Add(zipped)
 	f.Add(task[:len(task)-5]) // truncated
 	f.Add([]byte{})
 	// A sealed-but-nonsense body: passes CRC, must fail validation.

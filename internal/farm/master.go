@@ -40,6 +40,10 @@ type workerRecord struct {
 	// worker grinding through a slow frame never has its pipe flooded
 	// (a blocked ping send would stall the whole master).
 	pingPending bool
+	// caps holds the wire capability bits the worker's hello advertised
+	// (zero for legacy workers); task grants intersect these with the
+	// master's config.
+	caps int
 
 	st stats.WorkerStats
 }
@@ -149,11 +153,20 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	var pingSeq int
 
 	sendTask := func(w *workerRecord, t partition.Task) error {
+		// Grant wire modes only where the config wants them AND the
+		// worker's hello advertised them — old workers get plain tasks.
+		flags := 0
+		if cfg.WireDelta && w.caps&capWireDelta != 0 {
+			flags |= capWireDelta
+		}
+		if cfg.WireCompress && w.caps&capWireCompress != 0 {
+			flags |= capWireCompress
+		}
 		tm := taskMsg{
 			Task: t, W: cfg.W, H: cfg.H,
 			Coherence: cfg.Coherence, Samples: cfg.Samples,
 			GridRes: cfg.CoherenceOpts.GridRes, BlockGran: cfg.CoherenceOpts.BlockGranularity,
-			Threads: cfg.Threads,
+			Threads: cfg.Threads, WireFlags: flags,
 		}
 		data := encodeTask(tm)
 		res.BytesTransferred += int64(len(data))
@@ -379,6 +392,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			}
 			seen[m.From] = true
 			workers[m.From].lastHeard = time.Now()
+			workers[m.From].caps = decodeHello(m.Data)
 			if err := giveWork(m.From); err != nil {
 				return res, err
 			}
@@ -592,8 +606,32 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 				continue
 			}
 			res.BytesTransferred += int64(len(m.Data))
-			complete, dup, err := asm.deliver(fd.Frame, fd.Region, fd.Pix, time.Since(start))
+			res.Wire.WireBytes += uint64(len(m.Data))
+			res.Wire.RawBytes += uint64(fd.Region.Area() * 3)
+			if fd.Encoding == encFlate {
+				res.Wire.FramesCompressed++
+			}
+			var complete, dup bool
+			if fd.Kind == frameDelta {
+				res.Wire.FramesDelta++
+				complete, dup, err = asm.deliverSpans(fd.Frame, fd.Region, fd.Spans, fd.Pix, time.Since(start))
+			} else {
+				res.Wire.FramesFull++
+				complete, dup, err = asm.deliver(fd.Frame, fd.Region, fd.Pix, time.Since(start))
+			}
+			fd.release()
 			if err != nil {
+				if errors.Is(err, errDeltaBase) {
+					// The delta's base result was lost in transit: the
+					// sender is honest, so this is a drop, not a protocol
+					// violation. The frame stays undelivered and is
+					// re-rendered by requeueGaps when the task completes —
+					// exactly like the lost base itself.
+					res.Wire.DeltaBaseMisses++
+					w.lastProgress = w.lastHeard
+					w.doneThrough = fd.Frame + 1
+					continue
+				}
 				if w.dead {
 					continue
 				}
@@ -786,14 +824,18 @@ func RenderLocal(cfg Config) (*Result, error) {
 		if cfg.WrapConn != nil {
 			conn = cfg.WrapConn(name, workerEnd)
 		}
-		go func(name string, conn msg.Conn) {
-			err := RunWorker(name, conn, cfg.Scene)
+		var opts WorkerOptions
+		if cfg.WorkerOpts != nil {
+			opts = cfg.WorkerOpts(i)
+		}
+		go func(name string, conn msg.Conn, opts WorkerOptions) {
+			err := RunWorkerWithOptions(context.Background(), name, conn, cfg.Scene, opts)
 			// Close the worker's end however it exited, so the hub posts
 			// its TagDown promptly instead of the master waiting out a
 			// stall deadline on a silently-departed worker.
 			conn.Close()
 			errCh <- err
-		}(name, conn)
+		}(name, conn, opts)
 	}
 	res, err := RunMaster(cfg, hub)
 	hub.Close()

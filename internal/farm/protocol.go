@@ -12,7 +12,8 @@ import (
 
 // Message tags of the farm protocol (the PVM msgtag space).
 const (
-	// TagHello announces a worker to the master (payload: name).
+	// TagHello announces a worker to the master (payload: name, or a
+	// sealed name + capability bits; see encodeHello).
 	TagHello = iota + 1
 	// TagTask assigns a task (payload: encoded task + options).
 	TagTask
@@ -43,6 +44,76 @@ const (
 	TagPong
 )
 
+// Wire capability bits, advertised by workers in TagHello and granted
+// back per task in TagTask. A mode is active only when both sides opted
+// in, so a new master drives old workers (no bits advertised → plain
+// full frames) and an old master drives new workers (no flags granted →
+// same) without either noticing.
+const (
+	// capWireDelta: the worker can encode dirty-span delta frames and
+	// the master can apply them.
+	capWireDelta = 1 << 0
+	// capWireCompress: frame payloads may be flate-compressed.
+	capWireCompress = 1 << 1
+	wireCapsMask    = capWireDelta | capWireCompress
+)
+
+// Frame result kinds (frameDoneMsg.Kind).
+const (
+	// frameFull carries the region's complete pixels: the first frame of
+	// every task (the key-frame that reseeds the master's copy after any
+	// retry, steal, speculation, or truncation), plain-path results, and
+	// deltas that tripped the size guard.
+	frameFull = iota
+	// frameDelta carries only the pixels in Spans; everything else is
+	// copied from the master's copy of the previous frame.
+	frameDelta
+)
+
+// Frame payload encodings (frameDoneMsg.Encoding).
+const (
+	encRaw = iota
+	encFlate
+)
+
+// wireSpanOverhead is the wire cost of one span (three packed int64s),
+// charged by the delta size guard.
+const wireSpanOverhead = 24
+
+// wireCompressMin is the smallest payload worth running through flate:
+// below this the deflate framing eats the savings.
+const wireCompressMin = 64
+
+// encodeHello packs a worker's hello: name plus capability bits, sealed
+// like every other payload. Pre-capability masters treat the payload as
+// an opaque name and route by Message.From, so this is backwards
+// compatible in both directions (see decodeHello).
+func encodeHello(name string, caps int) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackString(name)
+	b.PackInt(int64(caps))
+	return b.Sealed()
+}
+
+// decodeHello extracts the capability bits from a hello payload. A
+// legacy hello (raw name bytes, no seal) or anything else that does not
+// parse yields zero capabilities — never an error, because an old
+// worker must keep working.
+func decodeHello(data []byte) (caps int) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return 0
+	}
+	b := msg.FromBytes(body)
+	b.UnpackString()
+	c := int(b.UnpackInt())
+	if b.Err() != nil || b.Len() != 0 || c&^wireCapsMask != 0 {
+		return 0
+	}
+	return c
+}
+
 // maxTaskDim bounds task resolution and frame numbers accepted off the
 // wire, so a corrupt-but-checksummed task cannot make a worker allocate
 // an absurd framebuffer.
@@ -65,6 +136,9 @@ func (t taskMsg) validate() error {
 	if t.Samples < 0 || t.Threads < 0 {
 		return fmt.Errorf("farm: bad task options (samples %d, threads %d)", t.Samples, t.Threads)
 	}
+	if t.WireFlags&^wireCapsMask != 0 {
+		return fmt.Errorf("farm: unknown wire flags %#x", t.WireFlags)
+	}
 	return nil
 }
 
@@ -80,10 +154,17 @@ type taskMsg struct {
 	// worker use all its cores. Pixels are thread-count-invariant, so
 	// this is purely a speed knob.
 	Threads int
+	// WireFlags grants wire capabilities for this task's results: the
+	// intersection of the master's config and the worker's advertised
+	// caps. Packed as a trailing field so pre-capability decoders simply
+	// leave it unread, and absent on their encodes (zero = plain full
+	// frames).
+	WireFlags int
 }
 
 func encodeTask(t taskMsg) []byte {
-	b := msg.NewBuffer()
+	b := msg.GetBuffer()
+	defer b.Release()
 	b.PackInt(int64(t.Task.ID))
 	b.PackInt(int64(t.Task.Region.X0))
 	b.PackInt(int64(t.Task.Region.Y0))
@@ -98,7 +179,8 @@ func encodeTask(t taskMsg) []byte {
 	b.PackInt(int64(t.GridRes))
 	b.PackInt(int64(t.BlockGran))
 	b.PackInt(int64(t.Threads))
-	return msg.Seal(b.Bytes())
+	b.PackInt(int64(t.WireFlags))
+	return b.Sealed()
 }
 
 func decodeTask(data []byte) (taskMsg, error) {
@@ -121,6 +203,10 @@ func decodeTask(data []byte) (taskMsg, error) {
 	t.GridRes = int(b.UnpackInt())
 	t.BlockGran = int(b.UnpackInt())
 	t.Threads = int(b.UnpackInt())
+	if b.Len() > 0 {
+		// Trailing capability grant; absent from pre-capability masters.
+		t.WireFlags = int(b.UnpackInt())
+	}
 	if err := b.Err(); err != nil {
 		return taskMsg{}, fmt.Errorf("farm: bad task message: %w", err)
 	}
@@ -132,19 +218,49 @@ func decodeTask(data []byte) (taskMsg, error) {
 
 // frameDoneMsg is the wire form of one completed frame region.
 type frameDoneMsg struct {
-	TaskID    int
-	Frame     int
-	Region    fb.Rect
+	TaskID int
+	Frame  int
+	Region fb.Rect
+	// Kind says whether Pix holds the full region (frameFull) or just
+	// the pixels in Spans (frameDelta); Encoding whether it crossed the
+	// wire raw or deflated. Decoded messages always expose Pix as raw
+	// pixels — decompression happens in decodeFrameDone.
+	Kind      int
+	Encoding  int
+	Spans     []fb.Span
 	Pix       []byte
 	Rendered  int
 	Copied    int
 	Regs      uint64
 	Rays      stats.RayCounters
 	ElapsedNs int64
+	// pooled marks Pix as pool-owned scratch (decompressed payloads);
+	// release returns it once the pixels are merged.
+	pooled bool
+}
+
+// release returns pool-owned pixel storage after the master has merged
+// the frame. Safe to call on any decoded message.
+func (m *frameDoneMsg) release() {
+	if m.pooled {
+		msg.PutBytes(m.Pix)
+		m.Pix = nil
+		m.pooled = false
+	}
+}
+
+// rawPixBytes returns the decompressed payload size the message's kind
+// implies: the whole region for key-frames, the span pixels for deltas.
+func (m *frameDoneMsg) rawPixBytes() int {
+	if m.Kind == frameDelta {
+		return fb.SpanArea(m.Spans) * 3
+	}
+	return m.Region.Area() * 3
 }
 
 func encodeFrameDone(m frameDoneMsg) []byte {
-	b := msg.NewBuffer()
+	b := msg.GetBuffer()
+	defer b.Release()
 	b.PackInt(int64(m.TaskID))
 	b.PackInt(int64(m.Frame))
 	b.PackInt(int64(m.Region.X0))
@@ -159,7 +275,38 @@ func encodeFrameDone(m frameDoneMsg) []byte {
 		b.PackInt(int64(m.Rays.ByKind[k]))
 	}
 	b.PackInt(m.ElapsedNs)
-	return msg.Seal(b.Bytes())
+	// Delta/compression fields trail the legacy layout and are omitted
+	// for plain raw key-frames, which therefore stay byte-identical to
+	// the pre-capability encoding.
+	if m.Kind != frameFull || m.Encoding != encRaw {
+		b.PackInt(int64(m.Kind))
+		b.PackInt(int64(m.Encoding))
+		b.PackInt(int64(len(m.Spans)))
+		for _, s := range m.Spans {
+			b.PackInt(int64(s.Y))
+			b.PackInt(int64(s.X0))
+			b.PackInt(int64(s.X1))
+		}
+	}
+	return b.Sealed()
+}
+
+// validateSpans rejects a span set that is not strictly ordered (rows
+// ascending, runs left to right, no overlap) or that leaves the region.
+// Ordering is what the encoder produces and what lets the master apply
+// the payload in one forward pass.
+func validateSpans(spans []fb.Span, region fb.Rect) error {
+	prevY, prevX1 := region.Y0-1, 0
+	for _, s := range spans {
+		if s.Y < region.Y0 || s.Y >= region.Y1 || s.X0 < region.X0 || s.X0 >= s.X1 || s.X1 > region.X1 {
+			return fmt.Errorf("farm: span y=%d [%d,%d) outside region %v", s.Y, s.X0, s.X1, region)
+		}
+		if s.Y < prevY || (s.Y == prevY && s.X0 < prevX1) {
+			return fmt.Errorf("farm: spans out of order at y=%d x=%d", s.Y, s.X0)
+		}
+		prevY, prevX1 = s.Y, s.X1
+	}
+	return nil
 }
 
 func decodeFrameDone(data []byte) (frameDoneMsg, error) {
@@ -176,8 +323,11 @@ func decodeFrameDone(data []byte) (frameDoneMsg, error) {
 	x1 := int(b.UnpackInt())
 	y1 := int(b.UnpackInt())
 	m.Region = fb.NewRect(x0, y0, x1, y1)
+	// The payload aliases data rather than being copied: Recv hands the
+	// receiver sole ownership of the message bytes (see the msg package's
+	// buffer ownership contract), so the decoded view stays valid until
+	// the master drops the message.
 	pix := b.UnpackBytes()
-	m.Pix = append([]byte(nil), pix...)
 	m.Rendered = int(b.UnpackInt())
 	m.Copied = int(b.UnpackInt())
 	m.Regs = uint64(b.UnpackInt())
@@ -185,18 +335,118 @@ func decodeFrameDone(data []byte) (frameDoneMsg, error) {
 		m.Rays.ByKind[k] = uint64(b.UnpackInt())
 	}
 	m.ElapsedNs = b.UnpackInt()
+	if b.Len() > 0 {
+		m.Kind = int(b.UnpackInt())
+		m.Encoding = int(b.UnpackInt())
+		n := int(b.UnpackInt())
+		if n < 0 || n > b.Len()/wireSpanOverhead {
+			return frameDoneMsg{}, fmt.Errorf("farm: bad span count %d", n)
+		}
+		m.Spans = make([]fb.Span, n)
+		for i := range m.Spans {
+			m.Spans[i] = fb.Span{Y: int(b.UnpackInt()), X0: int(b.UnpackInt()), X1: int(b.UnpackInt())}
+		}
+	}
 	if err := b.Err(); err != nil {
 		return frameDoneMsg{}, fmt.Errorf("farm: bad frame-done message: %w", err)
+	}
+	if b.Len() != 0 {
+		return frameDoneMsg{}, fmt.Errorf("farm: %d trailing bytes in frame-done message", b.Len())
+	}
+	r := m.Region
+	if r.X0 < 0 || r.Y0 < 0 || r.X1 <= r.X0 || r.Y1 <= r.Y0 || r.X1 > maxTaskDim || r.Y1 > maxTaskDim {
+		return frameDoneMsg{}, fmt.Errorf("farm: bad frame region %v", r)
+	}
+	if m.Kind != frameFull && m.Kind != frameDelta {
+		return frameDoneMsg{}, fmt.Errorf("farm: unknown frame kind %d", m.Kind)
+	}
+	if m.Encoding != encRaw && m.Encoding != encFlate {
+		return frameDoneMsg{}, fmt.Errorf("farm: unknown frame encoding %d", m.Encoding)
+	}
+	if m.Kind == frameFull && len(m.Spans) != 0 {
+		return frameDoneMsg{}, fmt.Errorf("farm: full frame with %d spans", len(m.Spans))
+	}
+	if err := validateSpans(m.Spans, m.Region); err != nil {
+		return frameDoneMsg{}, err
+	}
+	want := m.rawPixBytes()
+	if want > msg.MaxMessageSize {
+		// A corrupt-but-checksummed header must not drive a huge
+		// decompression allocation.
+		return frameDoneMsg{}, fmt.Errorf("farm: frame payload of %d bytes exceeds limit", want)
+	}
+	switch m.Encoding {
+	case encRaw:
+		if len(pix) != want {
+			return frameDoneMsg{}, fmt.Errorf("farm: frame payload is %d bytes, want %d", len(pix), want)
+		}
+		m.Pix = pix
+	case encFlate:
+		dst := msg.GetBytes(want)
+		if err := msg.Inflate(dst, pix); err != nil {
+			msg.PutBytes(dst)
+			return frameDoneMsg{}, fmt.Errorf("farm: bad frame-done message: %w", err)
+		}
+		m.Pix = dst
+		m.pooled = true
 	}
 	return m, nil
 }
 
+// frameEncoder builds TagFrameDone payloads, choosing between key-frame
+// and delta encoding and applying optional compression. Its scratch
+// slices are reused across frames, so the worker's hot loop (and the
+// virtual driver modelling it) allocates only the final sealed message.
+type frameEncoder struct {
+	pix []byte // span/region pixel extraction scratch
+	z   []byte // deflate scratch
+}
+
+// encode fills fd's Kind/Encoding/Spans/Pix from the rendered frame and
+// returns the sealed wire bytes. spans is the coherence engine's
+// traced-pixel set for this frame (nil on the plain path); first marks
+// the first frame of a task, which is always a key-frame so the master
+// can reseed its copy after any retry, steal, or truncation. flags is
+// the task's capability grant.
+func (we *frameEncoder) encode(fd *frameDoneMsg, buf *fb.Framebuffer, flags int, spans []fb.Span, first bool) []byte {
+	fd.Kind, fd.Encoding, fd.Spans = frameFull, encRaw, nil
+	if flags&capWireDelta != 0 && spans != nil && !first {
+		// Size guard: a delta only pays if its pixels plus span overhead
+		// undercut ~60% of the full region; otherwise ship a key-frame.
+		rawFull := fd.Region.Area() * 3
+		rawDelta := fb.SpanArea(spans)*3 + wireSpanOverhead*len(spans)
+		if rawDelta*10 <= rawFull*6 {
+			fd.Kind = frameDelta
+			fd.Spans = spans
+		}
+	}
+	if fd.Kind == frameDelta {
+		we.pix = buf.AppendSpans(we.pix[:0], fd.Spans)
+	} else {
+		we.pix = appendRegion(we.pix[:0], buf, fd.Region)
+	}
+	payload := we.pix
+	if flags&capWireCompress != 0 && len(payload) >= wireCompressMin {
+		z, err := msg.Deflate(we.z[:0], payload)
+		if err == nil {
+			we.z = z
+			if len(z) < len(payload) {
+				payload = z
+				fd.Encoding = encFlate
+			}
+		}
+	}
+	fd.Pix = payload
+	return encodeFrameDone(*fd)
+}
+
 // encodePair packs two integers (used by truncate/ack/task-done/ping).
 func encodePair(a, b int) []byte {
-	buf := msg.NewBuffer()
+	buf := msg.GetBuffer()
+	defer buf.Release()
 	buf.PackInt(int64(a))
 	buf.PackInt(int64(b))
-	return msg.Seal(buf.Bytes())
+	return buf.Sealed()
 }
 
 func decodePair(data []byte) (int, int, error) {

@@ -67,6 +67,20 @@ func RenderVirtual(cfg Config) (*Result, error) {
 
 	const taskMsgBytes = 64 // task descriptor on the wire
 
+	// With wire modes enabled the virtual driver runs the real frame
+	// codec — delta spans, size guard, flate — so modelled byte counts
+	// are the true wire costs, not estimates. Off (the default) it keeps
+	// the legacy flat charge, preserving historical makespans.
+	wireOn := cfg.WireDelta || cfg.WireCompress
+	wireFlags := 0
+	if cfg.WireDelta {
+		wireFlags |= capWireDelta
+	}
+	if cfg.WireCompress {
+		wireFlags |= capWireCompress
+	}
+	var wireEnc frameEncoder // shared scratch; the event loop is sequential
+
 	assign := func(w *vworker, t partition.Task) error {
 		w.task = t
 		w.hasTask = true
@@ -169,14 +183,46 @@ func RenderVirtual(cfg Config) (*Result, error) {
 		execTime := now.Time(w.id) - before
 
 		// Ship the region back to the master over the shared bus.
-		pix := extractRegion(w.buf, w.task.Region)
-		resultBytes := len(pix) + 32
-		end := now.Communicate(w.id, resultBytes)
-		res.BytesTransferred += int64(resultBytes)
-
-		complete, _, err := asm.deliver(f, w.task.Region, pix, end)
-		if err != nil {
-			return err
+		var complete bool
+		if wireOn {
+			fd := frameDoneMsg{TaskID: w.task.ID, Frame: f, Region: w.task.Region}
+			var spans []fb.Span
+			if w.engine != nil {
+				spans = w.engine.LastSpans()
+			}
+			data := wireEnc.encode(&fd, w.buf, wireFlags, spans, f == w.task.StartFrame)
+			end := now.Communicate(w.id, len(data))
+			res.BytesTransferred += int64(len(data))
+			res.Wire.WireBytes += uint64(len(data))
+			res.Wire.RawBytes += uint64(w.task.Region.Area() * 3)
+			if fd.Encoding == encFlate {
+				res.Wire.FramesCompressed++
+			}
+			rd, err := decodeFrameDone(data)
+			if err != nil {
+				return err
+			}
+			if rd.Kind == frameDelta {
+				res.Wire.FramesDelta++
+				complete, _, err = asm.deliverSpans(f, w.task.Region, rd.Spans, rd.Pix, end)
+			} else {
+				res.Wire.FramesFull++
+				complete, _, err = asm.deliver(f, w.task.Region, rd.Pix, end)
+			}
+			rd.release()
+			if err != nil {
+				return err
+			}
+		} else {
+			pix := extractRegion(w.buf, w.task.Region)
+			resultBytes := len(pix) + 32
+			end := now.Communicate(w.id, resultBytes)
+			res.BytesTransferred += int64(resultBytes)
+			var err error
+			complete, _, err = asm.deliver(f, w.task.Region, pix, end)
+			if err != nil {
+				return err
+			}
 		}
 		if complete && cfg.OnFrame != nil {
 			if err := cfg.OnFrame(f, asm.frame(f)); err != nil {

@@ -1,0 +1,501 @@
+package farm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nowrender/internal/faulty"
+	"nowrender/internal/fb"
+	"nowrender/internal/msg"
+	"nowrender/internal/partition"
+	"nowrender/internal/stats"
+)
+
+// patternFB fills a framebuffer with a deterministic pseudorandom
+// pattern so payload comparisons are meaningful (an all-black buffer
+// would let off-by-one span bugs slip through).
+func patternFB(w, h int, seed int64) *fb.Framebuffer {
+	img := fb.New(w, h)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(img.Pix)
+	return img
+}
+
+func TestHelloCapsRoundTrip(t *testing.T) {
+	for _, caps := range []int{0, capWireDelta, capWireCompress, wireCapsMask} {
+		if got := decodeHello(encodeHello("ws01", caps)); got != caps {
+			t.Errorf("caps %#x round-tripped to %#x", caps, got)
+		}
+	}
+	// A legacy hello is the raw name with no seal: zero caps, no error.
+	if got := decodeHello([]byte("old-worker")); got != 0 {
+		t.Errorf("legacy hello yielded caps %#x", got)
+	}
+	if got := decodeHello(nil); got != 0 {
+		t.Errorf("empty hello yielded caps %#x", got)
+	}
+	// Unknown bits are refused wholesale: the worker is treated as legacy
+	// rather than granted half-understood modes.
+	b := encodeHello("future", wireCapsMask|1<<7)
+	if got := decodeHello(b); got != 0 {
+		t.Errorf("unknown cap bits yielded %#x", got)
+	}
+}
+
+func TestTaskWireFlagsRoundTrip(t *testing.T) {
+	base := taskMsg{
+		Task: partition.Task{ID: 5, Region: fb.NewRect(0, 0, 16, 16), StartFrame: 2, EndFrame: 9},
+		W:    16, H: 16, Coherence: true, Samples: 1, Threads: 2,
+	}
+	for _, flags := range []int{0, capWireDelta, capWireCompress, wireCapsMask} {
+		tm := base
+		tm.WireFlags = flags
+		got, err := decodeTask(encodeTask(tm))
+		if err != nil {
+			t.Fatalf("flags %#x: %v", flags, err)
+		}
+		if got.WireFlags != flags {
+			t.Errorf("flags %#x round-tripped to %#x", flags, got.WireFlags)
+		}
+	}
+	bad := base
+	bad.WireFlags = 1 << 9
+	if _, err := decodeTask(encodeTask(bad)); err == nil {
+		t.Error("unknown wire flags decoded successfully")
+	}
+}
+
+// TestFrameDoneRoundTrip is the property test for the frame codec:
+// every span shape that matters — empty delta, single pixel, full
+// region, many random runs — crossed with raw and flate encodings must
+// decode to the bytes that went in.
+func TestFrameDoneRoundTrip(t *testing.T) {
+	const w, h = 24, 16
+	region := fb.NewRect(2, 1, 22, 15)
+	src := patternFB(w, h, 42)
+	rng := rand.New(rand.NewSource(99))
+	randomSpans := func() []fb.Span {
+		var out []fb.Span
+		for y := region.Y0; y < region.Y1; y++ {
+			x := region.X0
+			for x < region.X1 && rng.Intn(3) > 0 {
+				x0 := x + rng.Intn(region.X1-x)
+				x1 := x0 + 1 + rng.Intn(region.X1-x0)
+				out = append(out, fb.Span{Y: y, X0: x0, X1: x1})
+				x = x1 + 1
+			}
+		}
+		return out
+	}
+	fullRegion := []fb.Span{}
+	for y := region.Y0; y < region.Y1; y++ {
+		fullRegion = append(fullRegion, fb.Span{Y: y, X0: region.X0, X1: region.X1})
+	}
+
+	cases := []struct {
+		name  string
+		kind  int
+		spans []fb.Span
+	}{
+		{"full", frameFull, nil},
+		{"delta-empty", frameDelta, []fb.Span{}},
+		{"delta-one-pixel", frameDelta, []fb.Span{{Y: 3, X0: 7, X1: 8}}},
+		{"delta-full-region", frameDelta, fullRegion},
+		{"delta-random", frameDelta, randomSpans()},
+	}
+	for _, tc := range cases {
+		for _, enc := range []int{encRaw, encFlate} {
+			name := fmt.Sprintf("%s/enc=%d", tc.name, enc)
+			var pix []byte
+			if tc.kind == frameDelta {
+				pix = src.AppendSpans(nil, tc.spans)
+			} else {
+				pix = extractRegion(src, region)
+			}
+			m := frameDoneMsg{
+				TaskID: 9, Frame: 4, Region: region,
+				Kind: tc.kind, Spans: tc.spans,
+				Rendered: 11, Copied: 5, Regs: 3,
+				Rays:      stats.RayCounters{},
+				ElapsedNs: 777,
+			}
+			if enc == encFlate {
+				z, err := msg.Deflate(nil, pix)
+				if err != nil {
+					t.Fatalf("%s: deflate: %v", name, err)
+				}
+				m.Encoding, m.Pix = encFlate, z
+			} else {
+				m.Encoding, m.Pix = encRaw, pix
+			}
+			got, err := decodeFrameDone(encodeFrameDone(m))
+			if err != nil {
+				t.Fatalf("%s: decode: %v", name, err)
+			}
+			if got.Kind != tc.kind || got.Encoding != enc {
+				t.Errorf("%s: kind/enc %d/%d, want %d/%d", name, got.Kind, got.Encoding, tc.kind, enc)
+			}
+			if !bytes.Equal(got.Pix, pix) {
+				t.Errorf("%s: pixel payload mismatch", name)
+			}
+			if len(got.Spans) != len(tc.spans) {
+				t.Fatalf("%s: %d spans, want %d", name, len(got.Spans), len(tc.spans))
+			}
+			for i := range tc.spans {
+				if got.Spans[i] != tc.spans[i] {
+					t.Errorf("%s: span %d = %v, want %v", name, i, got.Spans[i], tc.spans[i])
+				}
+			}
+			if got.TaskID != 9 || got.Frame != 4 || got.Rendered != 11 || got.ElapsedNs != 777 {
+				t.Errorf("%s: stats fields corrupted: %+v", name, got)
+			}
+			got.release()
+		}
+	}
+}
+
+// TestFrameEncoderDecision pins the encoder's choice logic: key-frames
+// stay full, small deltas win, big deltas fall back to a full frame, and
+// compression is kept only when it actually shrinks the payload.
+func TestFrameEncoderDecision(t *testing.T) {
+	const w, h = 32, 32
+	region := fb.NewRect(0, 0, w, h)
+	src := patternFB(w, h, 7)
+	var enc frameEncoder
+
+	small := []fb.Span{{Y: 4, X0: 2, X1: 10}}
+	var big []fb.Span
+	for y := 0; y < h; y++ {
+		big = append(big, fb.Span{Y: y, X0: 0, X1: w - 1})
+	}
+
+	cases := []struct {
+		name     string
+		flags    int
+		spans    []fb.Span
+		first    bool
+		wantKind int
+	}{
+		{"first-frame-always-full", capWireDelta, small, true, frameFull},
+		{"no-grant-full", 0, small, false, frameFull},
+		{"plain-path-full", capWireDelta, nil, false, frameFull},
+		{"small-delta", capWireDelta, small, false, frameDelta},
+		{"size-guard-fallback", capWireDelta, big, false, frameFull},
+	}
+	for _, tc := range cases {
+		fd := frameDoneMsg{TaskID: 1, Frame: 3, Region: region}
+		data := enc.encode(&fd, src, tc.flags, tc.spans, tc.first)
+		got, err := decodeFrameDone(data)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got.Kind != tc.wantKind {
+			t.Errorf("%s: kind %d, want %d", tc.name, got.Kind, tc.wantKind)
+		}
+		got.release()
+	}
+
+	// Incompressible random pixels: flate output is larger, so the
+	// encoder must keep the raw payload.
+	fd := frameDoneMsg{TaskID: 1, Frame: 0, Region: region}
+	got, err := decodeFrameDone(enc.encode(&fd, src, capWireCompress, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Encoding != encRaw {
+		t.Errorf("incompressible payload was shipped as encoding %d", got.Encoding)
+	}
+	got.release()
+
+	// Compressible pixels (constant colour) must use flate when granted.
+	flat := fb.New(w, h)
+	fd = frameDoneMsg{TaskID: 1, Frame: 0, Region: region}
+	got, err = decodeFrameDone(enc.encode(&fd, flat, capWireCompress, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Encoding != encFlate {
+		t.Errorf("compressible payload stayed raw")
+	}
+	if !bytes.Equal(got.Pix, extractRegion(flat, region)) {
+		t.Error("flate round-trip corrupted pixels")
+	}
+	got.release()
+}
+
+// TestFrameEncoderLegacyBytes: with no capabilities granted the encoder
+// must produce byte-for-byte the legacy frameDone encoding, so a new
+// worker talking to an old master is indistinguishable from an old one.
+func TestFrameEncoderLegacyBytes(t *testing.T) {
+	const w, h = 16, 12
+	region := fb.NewRect(1, 1, 15, 11)
+	src := patternFB(w, h, 3)
+	fd := frameDoneMsg{
+		TaskID: 2, Frame: 5, Region: region,
+		Rendered: 4, Copied: 1, Regs: 2, ElapsedNs: 99,
+	}
+	var enc frameEncoder
+	got := enc.encode(&fd, src, 0, []fb.Span{{Y: 2, X0: 2, X1: 5}}, false)
+
+	legacy := fd
+	legacy.Kind, legacy.Encoding, legacy.Spans = frameFull, encRaw, nil
+	legacy.Pix = extractRegion(src, region)
+	want := encodeFrameDone(legacy)
+	if !bytes.Equal(got, want) {
+		t.Error("zero-capability encode differs from the legacy wire bytes")
+	}
+}
+
+func TestValidateSpansRejects(t *testing.T) {
+	region := fb.NewRect(2, 2, 10, 10)
+	bad := [][]fb.Span{
+		{{Y: 1, X0: 2, X1: 4}},                       // row above region
+		{{Y: 10, X0: 2, X1: 4}},                      // row below region
+		{{Y: 3, X0: 1, X1: 4}},                       // left of region
+		{{Y: 3, X0: 8, X1: 11}},                      // right of region
+		{{Y: 3, X0: 5, X1: 5}},                       // empty span
+		{{Y: 3, X0: 6, X1: 8}, {Y: 3, X0: 2, X1: 4}}, // out of order in row
+		{{Y: 5, X0: 2, X1: 4}, {Y: 3, X0: 2, X1: 4}}, // rows descending
+		{{Y: 3, X0: 2, X1: 6}, {Y: 3, X0: 5, X1: 8}}, // overlap
+	}
+	for i, spans := range bad {
+		if err := validateSpans(spans, region); err == nil {
+			t.Errorf("case %d: spans %v accepted", i, spans)
+		}
+	}
+	good := []fb.Span{{Y: 3, X0: 2, X1: 4}, {Y: 3, X0: 4, X1: 6}, {Y: 4, X0: 9, X1: 10}}
+	if err := validateSpans(good, region); err != nil {
+		t.Errorf("valid spans rejected: %v", err)
+	}
+}
+
+// TestDeliverSpans exercises the master-side delta merge directly:
+// apply-on-base correctness, the base-missing discard, duplicate
+// detection, and payload length checking.
+func TestDeliverSpans(t *testing.T) {
+	const w, h = 12, 8
+	region := fb.NewRect(0, 0, w, h)
+	base := patternFB(w, h, 1)
+	next := patternFB(w, h, 2)
+	spans := []fb.Span{{Y: 1, X0: 2, X1: 7}, {Y: 5, X0: 0, X1: 12}}
+	pix := next.AppendSpans(nil, spans)
+
+	asm := newAssembly(w, h, 3)
+	if _, _, err := asm.deliver(0, region, extractRegion(base, region), 0); err != nil {
+		t.Fatal(err)
+	}
+	complete, dup, err := asm.deliverSpans(1, region, spans, pix, time.Millisecond)
+	if err != nil || dup || !complete {
+		t.Fatalf("deliverSpans: complete=%v dup=%v err=%v", complete, dup, err)
+	}
+	want := fb.New(w, h)
+	want.CopyRect(base, region)
+	if err := want.ApplySpans(spans, pix); err != nil {
+		t.Fatal(err)
+	}
+	if !asm.frame(1).Equal(want) {
+		t.Error("delta-applied frame differs from CopyRect+ApplySpans reference")
+	}
+
+	// Duplicate: second delivery of the same (frame, region) is dropped.
+	if _, dup, err := asm.deliverSpans(1, region, spans, pix, 0); err != nil || !dup {
+		t.Errorf("duplicate delta: dup=%v err=%v", dup, err)
+	}
+
+	// Base missing: frame 2's predecessor region never landed... frame 1
+	// did, so frame 2 works; frame 0 has no predecessor at all.
+	asm2 := newAssembly(w, h, 3)
+	if _, _, err := asm2.deliverSpans(0, region, spans, pix, 0); !errors.Is(err, errDeltaBase) {
+		t.Errorf("delta for frame 0 gave %v, want errDeltaBase", err)
+	}
+	if _, _, err := asm2.deliverSpans(2, region, spans, pix, 0); !errors.Is(err, errDeltaBase) {
+		t.Errorf("delta without base gave %v, want errDeltaBase", err)
+	}
+
+	// Wrong payload length is a protocol violation, not a base miss.
+	if _, _, err := asm.deliverSpans(2, region, spans, pix[:len(pix)-3], 0); err == nil || errors.Is(err, errDeltaBase) {
+		t.Errorf("short payload gave %v", err)
+	}
+}
+
+// TestWireGolden locks the tentpole invariant: every (delta, compress)
+// combination produces byte-identical frames, matching the committed
+// golden hashes, on both the local and virtual drivers — and the modes
+// actually engage (delta frames counted when granted).
+func TestWireGolden(t *testing.T) {
+	sc := farmScene(goldenFrames)
+	want := readGolden(t)
+	scheme := partition.FrameDivision{BlockW: 16, BlockH: 16, Adaptive: true}
+
+	for _, delta := range []bool{false, true} {
+		for _, compress := range []bool{false, true} {
+			label := fmt.Sprintf("local/delta=%v,compress=%v", delta, compress)
+			res, err := RenderLocal(Config{
+				Scene: sc, W: fw, H: fh, Coherence: true, Workers: 3,
+				Scheme: scheme, WireDelta: delta, WireCompress: compress,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			for i, hsh := range hashFrames(res.Frames) {
+				if hsh != want[i] {
+					t.Errorf("%s: frame %d hash mismatch", label, i)
+				}
+			}
+			if delta && res.Wire.FramesDelta == 0 {
+				t.Errorf("%s: no delta frames were shipped", label)
+			}
+			if compress && res.Wire.FramesCompressed == 0 {
+				t.Errorf("%s: no compressed frames were shipped", label)
+			}
+			if delta || compress {
+				if res.Wire.WireBytes == 0 || res.Wire.RawBytes == 0 {
+					t.Errorf("%s: wire counters empty: %s", label, res.Wire)
+				}
+				if res.Wire.WireBytes >= res.Wire.RawBytes {
+					t.Logf("%s: note: wire bytes %d >= raw %d (tiny scene)", label, res.Wire.WireBytes, res.Wire.RawBytes)
+				}
+			}
+		}
+	}
+
+	// Virtual driver with wire modes on: same pixels, and the modelled
+	// traffic reflects the real codec.
+	res, err := RenderVirtual(Config{
+		Scene: sc, W: fw, H: fh, Coherence: true,
+		Scheme: scheme, WireDelta: true, WireCompress: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, hsh := range hashFrames(res.Frames) {
+		if hsh != want[i] {
+			t.Errorf("virtual wire: frame %d hash mismatch", i)
+		}
+	}
+	if res.Wire.FramesDelta == 0 {
+		t.Error("virtual wire: no delta frames modelled")
+	}
+}
+
+// TestWireLegacyInterop drives a mixed farm: one worker refuses the new
+// capabilities (an "old" binary) while the master asks for both. The
+// run must still complete with golden-identical pixels, the legacy
+// worker shipping plain full frames.
+func TestWireLegacyInterop(t *testing.T) {
+	sc := farmScene(goldenFrames)
+	want := readGolden(t)
+	res, err := RenderLocal(Config{
+		Scene: sc, W: fw, H: fh, Coherence: true, Workers: 3,
+		Scheme:       partition.FrameDivision{BlockW: 16, BlockH: 16, Adaptive: true},
+		WireDelta:    true,
+		WireCompress: true,
+		WorkerOpts: func(i int) WorkerOptions {
+			if i == 0 {
+				return WorkerOptions{NoWireDelta: true, NoWireCompress: true}
+			}
+			return WorkerOptions{}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, hsh := range hashFrames(res.Frames) {
+		if hsh != want[i] {
+			t.Errorf("mixed farm: frame %d hash mismatch", i)
+		}
+	}
+	if res.Wire.FramesFull == 0 {
+		t.Error("mixed farm: legacy worker shipped no full frames")
+	}
+}
+
+// TestChaosSoakWire is the chaos soak with the new data path fully on:
+// drops, corruption and truncation against delta+flate frames must
+// still converge to byte-identical output, with retried tasks reseeded
+// by their key-frames.
+func TestChaosSoakWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	sc := farmScene(8)
+	want := referenceFrames(t, sc)
+	spec := "seed=23,drop=0.03,corrupt=0.02,truncate=0.02,delay=0.05:2ms,sever=0.005,protect=worker00"
+	plan, err := faulty.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RenderLocal(Config{
+		Scene: sc, W: fw, H: fh, Coherence: true, Workers: 4,
+		Scheme:       partition.FrameDivision{BlockW: 20, BlockH: 16, Adaptive: true},
+		Heartbeat:    20 * time.Millisecond,
+		Liveness:     2 * time.Second,
+		StallTimeout: 1500 * time.Millisecond,
+		FrameRetries: 2,
+		Speculate:    true,
+		WrapConn:     plan.Wrap,
+		WireDelta:    true,
+		WireCompress: true,
+	})
+	if err != nil {
+		t.Fatalf("wire chaos run failed: %v", err)
+	}
+	assertFramesEqual(t, "wire-chaos", res.Frames, want)
+	inj := plan.Snapshot()
+	if inj.Dropped+inj.Corrupted+inj.Truncated+inj.Delayed+inj.Severed == 0 {
+		t.Error("fault plan injected nothing; the soak was vacuous")
+	}
+	t.Logf("injected %+v; wire %s; faults %s", inj, res.Wire, res.Faults.String())
+}
+
+// FuzzDeltaDecode aims the fuzzer at the delta decoder specifically:
+// seeds cover every kind/encoding combination, and the property is the
+// usual one — arbitrary bytes never panic, and anything that decodes
+// passed every structural validation.
+func FuzzDeltaDecode(f *testing.F) {
+	src := patternFB(16, 16, 5)
+	region := fb.NewRect(0, 0, 16, 16)
+	spans := []fb.Span{{Y: 2, X0: 1, X1: 6}, {Y: 9, X0: 0, X1: 16}}
+	var enc frameEncoder
+
+	fd := frameDoneMsg{TaskID: 1, Frame: 1, Region: region}
+	f.Add(enc.encode(&fd, src, capWireDelta, spans, false))
+	fd = frameDoneMsg{TaskID: 1, Frame: 1, Region: region}
+	f.Add(enc.encode(&fd, src, capWireDelta|capWireCompress, spans, false))
+	fd = frameDoneMsg{TaskID: 1, Frame: 0, Region: region}
+	f.Add(enc.encode(&fd, src, capWireCompress, nil, true))
+	fd = frameDoneMsg{TaskID: 1, Frame: 0, Region: region}
+	full := enc.encode(&fd, src, 0, nil, true)
+	f.Add(full)
+	f.Add(full[:len(full)-7])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeFrameDone(data)
+		if err != nil {
+			return
+		}
+		defer m.release()
+		if m.Kind == frameDelta {
+			if err := validateSpans(m.Spans, m.Region); err != nil {
+				t.Fatalf("decode accepted invalid spans: %v", err)
+			}
+			if len(m.Pix) != fb.SpanArea(m.Spans)*3 {
+				t.Fatalf("delta payload %d bytes for %d span pixels", len(m.Pix), fb.SpanArea(m.Spans))
+			}
+		} else if len(m.Pix) != m.Region.Area()*3 {
+			t.Fatalf("full payload %d bytes for region %v", len(m.Pix), m.Region)
+		}
+		// The decoded message must be applicable: a framebuffer the size
+		// of the region absorbs it without error.
+		img := fb.New(m.Region.X1, m.Region.Y1)
+		if m.Kind == frameDelta {
+			if err := img.ApplySpans(m.Spans, m.Pix); err != nil {
+				t.Fatalf("validated delta failed to apply: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package farm
+
+import (
+	"time"
+
+	"nowrender/internal/coherence"
+	"nowrender/internal/fb"
+	"nowrender/internal/scene"
+)
+
+// WirePoint is one wire mode's measurement of the frame codec: the
+// bytes each frame result costs on the wire and the encode+decode time
+// it takes to get there. Serialised into BENCH_wire.json by cmd/benchtab
+// so the data-path trajectory is recorded over time.
+type WirePoint struct {
+	// Mode is "full" (legacy raw region), "delta" (dirty-span deltas
+	// after the key-frame) or "delta+flate" (deltas plus compression).
+	Mode   string `json:"mode"`
+	Frames int    `json:"frames"`
+	// BytesTotal is the summed encoded frameDone payloads, including the
+	// mandatory frame-0 key-frame; BytesPerFrame is the average.
+	BytesTotal    int64   `json:"bytes_total"`
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+	// NSPerFrame is the average encode+decode+apply time per frame.
+	NSPerFrame float64 `json:"ns_per_frame"`
+	// RatioVsFull is full-mode bytes divided by this mode's bytes (1.0
+	// for the full mode itself): the wire-traffic reduction factor.
+	RatioVsFull float64 `json:"ratio_vs_full"`
+	// FramesDelta and FramesCompressed count how often the encoder
+	// actually chose the delta representation / kept the flate output.
+	FramesDelta      int `json:"frames_delta"`
+	FramesCompressed int `json:"frames_compressed"`
+	// Identical records the determinism check: the pixels reconstructed
+	// from the decoded stream compared byte-for-byte against the render.
+	Identical bool `json:"identical"`
+}
+
+// WireSweep measures the farm frame codec on a real render: it traces
+// `frames` frames of sc at w x h through a coherence engine once,
+// capturing each frame's pixels and dirty spans, then replays the
+// capture through each wire mode with the production encoder and
+// decoder, verifying that the reconstructed stream is byte-identical to
+// the render.
+func WireSweep(sc *scene.Scene, w, h, frames int) ([]WirePoint, error) {
+	if frames <= 0 || frames > sc.Frames {
+		frames = sc.Frames
+	}
+	region := fb.NewRect(0, 0, w, h)
+	eng, err := coherence.NewEngine(sc, w, h, region, 0, frames, coherence.Options{})
+	if err != nil {
+		return nil, err
+	}
+	bufs := make([]*fb.Framebuffer, frames)
+	spans := make([][]fb.Span, frames)
+	buf := fb.New(w, h)
+	for f := 0; f < frames; f++ {
+		if _, err := eng.RenderFrame(f, buf); err != nil {
+			return nil, err
+		}
+		img := fb.New(w, h)
+		copy(img.Pix, buf.Pix)
+		bufs[f] = img
+		spans[f] = append([]fb.Span(nil), eng.LastSpans()...)
+	}
+
+	modes := []struct {
+		name  string
+		flags int
+	}{
+		{"full", 0},
+		{"delta", capWireDelta},
+		{"delta+flate", capWireDelta | capWireCompress},
+	}
+	out := make([]WirePoint, 0, len(modes))
+	var fullBytes int64
+	for _, mode := range modes {
+		var enc frameEncoder
+		pt := WirePoint{Mode: mode.name, Frames: frames, Identical: true}
+		cur := fb.New(w, h)
+		start := time.Now()
+		for f := 0; f < frames; f++ {
+			fd := frameDoneMsg{TaskID: 1, Frame: f, Region: region}
+			data := enc.encode(&fd, bufs[f], mode.flags, spans[f], f == 0)
+			pt.BytesTotal += int64(len(data))
+			rd, err := decodeFrameDone(data)
+			if err != nil {
+				return nil, err
+			}
+			if rd.Kind == frameDelta {
+				pt.FramesDelta++
+				if err := cur.ApplySpans(rd.Spans, rd.Pix); err != nil {
+					rd.release()
+					return nil, err
+				}
+			} else {
+				copy(cur.Pix, rd.Pix)
+			}
+			if rd.Encoding == encFlate {
+				pt.FramesCompressed++
+			}
+			rd.release()
+			if !cur.Equal(bufs[f]) {
+				pt.Identical = false
+			}
+		}
+		wall := time.Since(start)
+		pt.BytesPerFrame = float64(pt.BytesTotal) / float64(frames)
+		pt.NSPerFrame = float64(wall.Nanoseconds()) / float64(frames)
+		switch {
+		case mode.flags == 0:
+			fullBytes = pt.BytesTotal
+			pt.RatioVsFull = 1
+		case pt.BytesTotal > 0:
+			pt.RatioVsFull = float64(fullBytes) / float64(pt.BytesTotal)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

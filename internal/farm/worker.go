@@ -113,6 +113,24 @@ type WorkerOptions struct {
 	// master's heartbeat interval (pings count as traffic); a worker
 	// mid-task is not subject to it.
 	MasterDeadline time.Duration
+	// NoWireDelta and NoWireCompress withhold the corresponding wire
+	// capability from the hello advertisement (the zero value advertises
+	// both — a new worker is fully capable by default). The master never
+	// enables a mode the worker did not advertise, so these simulate an
+	// old worker in a mixed fleet.
+	NoWireDelta, NoWireCompress bool
+}
+
+// caps returns the wire capability bits the options advertise.
+func (o WorkerOptions) caps() int {
+	c := wireCapsMask
+	if o.NoWireDelta {
+		c &^= capWireDelta
+	}
+	if o.NoWireCompress {
+		c &^= capWireCompress
+	}
+	return c
 }
 
 // RunWorkerCtx is RunWorker with graceful-shutdown support: when ctx is
@@ -139,7 +157,7 @@ func RunWorkerWithOptions(ctx context.Context, name string, conn msg.Conn, sc *s
 
 func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Scene, opts WorkerOptions) error {
 	ac := newAsyncConn(conn)
-	if err := ac.Send(msg.Message{Tag: TagHello, From: name, Data: []byte(name)}); err != nil {
+	if err := ac.Send(msg.Message{Tag: TagHello, From: name, Data: encodeHello(name, opts.caps())}); err != nil {
 		return err
 	}
 	for {
@@ -171,6 +189,9 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 			if tm.Threads == 0 {
 				tm.Threads = opts.Threads
 			}
+			// Never honour a grant beyond what we advertised (a confused
+			// master must not switch on a mode we opted out of).
+			tm.WireFlags &= opts.caps()
 			if err := runTask(ctx, name, ac, sc, tm); err != nil {
 				return err
 			}
@@ -210,6 +231,7 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 		}
 	}
 	buf := fb.New(tm.W, tm.H)
+	var enc frameEncoder
 	f := t.StartFrame
 	for f < end {
 		// Graceful shutdown: the in-flight frame was already shipped, so
@@ -265,6 +287,7 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 
 		started := time.Now()
 		fd := frameDoneMsg{TaskID: t.ID, Frame: f, Region: t.Region}
+		var spans []fb.Span
 		if eng != nil {
 			rep, err := eng.RenderFrame(f, buf)
 			if err != nil {
@@ -274,6 +297,7 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 			fd.Copied = rep.Copied
 			fd.Regs = rep.Registrations
 			fd.Rays = rep.Rays
+			spans = eng.LastSpans()
 		} else {
 			ft, err := trace.New(sc, f, trace.Options{SamplesPerPixel: tm.Samples, GridRes: tm.GridRes})
 			if err != nil {
@@ -283,9 +307,13 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 			fd.Rendered = t.Region.Area()
 			fd.Rays = ft.Counters
 		}
-		fd.Pix = extractRegion(buf, t.Region)
 		fd.ElapsedNs = time.Since(started).Nanoseconds()
-		if err := ac.Send(msg.Message{Tag: TagFrameDone, From: name, Data: encodeFrameDone(fd)}); err != nil {
+		// The first frame of a task is always a key-frame: every retry,
+		// steal, speculation or requeue arrives as a fresh task, so the
+		// master's (possibly stale) copy of the region is reseeded before
+		// any delta builds on it.
+		data := enc.encode(&fd, buf, tm.WireFlags, spans, f == t.StartFrame)
+		if err := ac.Send(msg.Message{Tag: TagFrameDone, From: name, Data: data}); err != nil {
 			return err
 		}
 		f++

@@ -1,0 +1,79 @@
+package fb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSpanRoundTrip(t *testing.T) {
+	const w, h = 20, 10
+	src := New(w, h)
+	rng := rand.New(rand.NewSource(5))
+	rng.Read(src.Pix)
+
+	spans := []Span{
+		{Y: 0, X0: 0, X1: w}, // full row
+		{Y: 3, X0: 7, X1: 8}, // single pixel
+		{Y: 9, X0: 15, X1: 20},
+	}
+	if got := SpanArea(spans); got != w+1+5 {
+		t.Fatalf("SpanArea = %d, want %d", got, w+1+5)
+	}
+	pix := src.AppendSpans(nil, spans)
+	if len(pix) != SpanArea(spans)*3 {
+		t.Fatalf("AppendSpans packed %d bytes, want %d", len(pix), SpanArea(spans)*3)
+	}
+
+	dst := New(w, h)
+	if err := dst.ApplySpans(spans, pix); err != nil {
+		t.Fatal(err)
+	}
+	// The spanned pixels must match the source, everything else stays
+	// zero.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			o := (y*w + x) * 3
+			inSpan := false
+			for _, s := range spans {
+				if y == s.Y && x >= s.X0 && x < s.X1 {
+					inSpan = true
+				}
+			}
+			want := []byte{0, 0, 0}
+			if inSpan {
+				want = src.Pix[o : o+3]
+			}
+			if !bytes.Equal(dst.Pix[o:o+3], want) {
+				t.Fatalf("pixel (%d,%d) = %v, want %v (inSpan=%v)", x, y, dst.Pix[o:o+3], want, inSpan)
+			}
+		}
+	}
+}
+
+func TestApplySpansRejects(t *testing.T) {
+	f := New(8, 8)
+	ok := []Span{{Y: 1, X0: 2, X1: 4}}
+	okPix := make([]byte, 2*3)
+	cases := []struct {
+		name  string
+		spans []Span
+		pix   []byte
+	}{
+		{"row out of range", []Span{{Y: 8, X0: 0, X1: 2}}, make([]byte, 6)},
+		{"negative row", []Span{{Y: -1, X0: 0, X1: 2}}, make([]byte, 6)},
+		{"x past width", []Span{{Y: 0, X0: 6, X1: 9}}, make([]byte, 9)},
+		{"empty span", []Span{{Y: 0, X0: 3, X1: 3}}, nil},
+		{"inverted span", []Span{{Y: 0, X0: 4, X1: 2}}, nil},
+		{"pix too short", ok, okPix[:3]},
+		{"pix too long", ok, append(append([]byte(nil), okPix...), 1, 2, 3)},
+	}
+	for _, tc := range cases {
+		if err := f.ApplySpans(tc.spans, tc.pix); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if err := f.ApplySpans(ok, okPix); err != nil {
+		t.Errorf("valid spans rejected: %v", err)
+	}
+}

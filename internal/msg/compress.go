@@ -1,0 +1,75 @@
+package msg
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Frame payload compression. Raw RGB pixel runs — especially the flat
+// backgrounds and smooth gradients of synthetic animation frames —
+// deflate well, and on a network of workstations the wire is the scarce
+// resource. flate at BestSpeed keeps the worker-side cost small; both
+// the writer and the reader are pooled and Reset between payloads so the
+// hot path does not allocate compressor state per frame.
+
+// sliceWriter appends written bytes to buf — an io.Writer over a
+// caller-owned slice, so Deflate can reuse the caller's scratch.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.BestSpeed)
+		return w
+	},
+}
+
+var flateReaderPool = sync.Pool{
+	New: func() any { return flate.NewReader(bytes.NewReader(nil)) },
+}
+
+// Deflate compresses src, appending the result to dst (usually
+// scratch[:0]) and returning the extended slice.
+func Deflate(dst, src []byte) ([]byte, error) {
+	sw := &sliceWriter{buf: dst}
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(sw)
+	if _, err := fw.Write(src); err != nil {
+		flateWriterPool.Put(fw)
+		return dst, fmt.Errorf("msg: deflate: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		flateWriterPool.Put(fw)
+		return dst, fmt.Errorf("msg: deflate: %w", err)
+	}
+	flateWriterPool.Put(fw)
+	return sw.buf, nil
+}
+
+// Inflate decompresses src into dst, whose length must be exactly the
+// decompressed size (the farm protocol always knows it from the span
+// set or region). A stream that is malformed, too short, or too long is
+// an error — a corrupt payload must never be delivered as pixels.
+func Inflate(dst, src []byte) error {
+	fr := flateReaderPool.Get().(io.ReadCloser)
+	defer flateReaderPool.Put(fr)
+	if err := fr.(flate.Resetter).Reset(bytes.NewReader(src), nil); err != nil {
+		return fmt.Errorf("msg: inflate: %w", err)
+	}
+	if _, err := io.ReadFull(fr, dst); err != nil {
+		return fmt.Errorf("msg: inflate: %w", err)
+	}
+	// The stream must end exactly at len(dst).
+	var extra [1]byte
+	if n, err := fr.Read(extra[:]); n != 0 || err != io.EOF {
+		return fmt.Errorf("msg: inflate: stream longer than expected %d bytes", len(dst))
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package msg
+
+import "sync"
+
+// Buffer ownership contract
+//
+// The farm's receive loops are hot paths: a frame result arrives for
+// every (frame, region) pair, and naive per-message allocation turns the
+// master into a garbage factory. The pools below let encoders and
+// decoders reuse storage, which is only safe because ownership of a
+// payload is handed off exactly once along the pipeline:
+//
+//   - Send transfers ownership of Message.Data to the transport. After
+//     Send returns, the sender must not modify or reuse the slice: the
+//     in-process pipe passes it by reference to the peer, and the TCP
+//     transport may still be copying it. Encoders that want to reuse
+//     scratch must produce the final Data with (*Buffer).Sealed, which
+//     allocates an exact-size, unaliased slice.
+//   - Recv transfers ownership of Message.Data to the receiver. Both
+//     transports deliver a slice nobody else retains, so decoders may
+//     alias it (Open, UnpackBytes) instead of copying; the decoded view
+//     is valid until the receiver drops the message.
+//
+// Intermediate buffers — pack scratch, compression scratch, decompressed
+// pixel buffers — never cross the transport and are therefore pooled
+// freely via GetBuffer/Release and GetBytes/PutBytes.
+
+// bufferPool recycles pack/unpack buffers between messages.
+var bufferPool = sync.Pool{
+	New: func() any { return &Buffer{} },
+}
+
+// GetBuffer returns an empty Buffer from the pool, ready for packing.
+// Release it when the packed bytes are no longer needed.
+func GetBuffer() *Buffer {
+	return bufferPool.Get().(*Buffer)
+}
+
+// Release resets the buffer and returns it to the pool. The caller must
+// not use the buffer — or any slice returned by Bytes — afterwards.
+// Slices produced by Sealed are safe: they never alias pooled storage.
+func (b *Buffer) Release() {
+	b.data = b.data[:0]
+	b.pos = 0
+	b.err = nil
+	bufferPool.Put(b)
+}
+
+// Sealed returns the packed contents with a CRC-32 footer appended, in a
+// freshly allocated exact-size slice. Unlike Seal(b.Bytes()) — whose
+// append may extend the buffer's storage in place — the result never
+// aliases the buffer, so it is safe to hand to Send while the buffer
+// itself is Released back to the pool.
+func (b *Buffer) Sealed() []byte {
+	return Seal(append(make([]byte, 0, len(b.data)+4), b.data...))
+}
+
+// bytesPool recycles decode scratch slices (pooled by pointer so the
+// interface conversion does not allocate).
+var bytesPool = sync.Pool{
+	New: func() any { return new([]byte) },
+}
+
+// GetBytes returns a pooled byte slice of length n. Contents are
+// unspecified; the caller must overwrite them.
+func GetBytes(n int) []byte {
+	p := bytesPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	return (*p)[:n]
+}
+
+// PutBytes returns a slice obtained from GetBytes to the pool. The
+// caller must not use p afterwards.
+func PutBytes(p []byte) {
+	if cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	bytesPool.Put(&p)
+}

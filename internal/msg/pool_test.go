@@ -1,0 +1,108 @@
+package msg
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSealedDoesNotAliasPool: Sealed must hand out storage the pool can
+// never touch again — reusing the released buffer and packing over it
+// must not corrupt a previously sealed message.
+func TestSealedDoesNotAliasPool(t *testing.T) {
+	b := GetBuffer()
+	b.PackString("first message")
+	sealed := b.Sealed()
+	b.Release()
+
+	// Hammer the pool: any aliasing between sealed and pooled storage
+	// shows up as a CRC failure below.
+	for i := 0; i < 16; i++ {
+		c := GetBuffer()
+		for j := 0; j < 32; j++ {
+			c.PackInt(int64(i * j))
+		}
+		_ = c.Sealed()
+		c.Release()
+	}
+
+	body, err := Open(sealed)
+	if err != nil {
+		t.Fatalf("sealed message corrupted after pool reuse: %v", err)
+	}
+	if got := FromBytes(body).UnpackString(); got != "first message" {
+		t.Fatalf("payload %q after pool reuse", got)
+	}
+}
+
+func TestGetBytes(t *testing.T) {
+	p := GetBytes(100)
+	if len(p) != 100 {
+		t.Fatalf("GetBytes(100) returned %d bytes", len(p))
+	}
+	PutBytes(p)
+	// Zero-length requests still work and zero-capacity slices are not
+	// pooled (nothing to reuse).
+	q := GetBytes(0)
+	if len(q) != 0 {
+		t.Fatalf("GetBytes(0) returned %d bytes", len(q))
+	}
+	PutBytes(nil)
+}
+
+func TestDeflateInflateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 64, 1000, 1 << 16} {
+		// Compressible payload: repeated pattern.
+		src := bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 0}, (n+7)/8)[:n]
+		z, err := Deflate(nil, src)
+		if err != nil {
+			t.Fatalf("n=%d: deflate: %v", n, err)
+		}
+		dst := make([]byte, n)
+		if err := Inflate(dst, z); err != nil {
+			t.Fatalf("n=%d: inflate: %v", n, err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatalf("n=%d: round trip corrupted payload", n)
+		}
+
+		// Incompressible payload round-trips too (flate stores it).
+		rng.Read(src)
+		z, err = Deflate(z[:0], src)
+		if err != nil {
+			t.Fatalf("n=%d: deflate random: %v", n, err)
+		}
+		if err := Inflate(dst, z); err != nil {
+			t.Fatalf("n=%d: inflate random: %v", n, err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatalf("n=%d: random round trip corrupted payload", n)
+		}
+	}
+}
+
+// TestInflateRejectsLengthMismatch pins the strict-length contract the
+// frame decoder relies on: a stream shorter or longer than the expected
+// byte count is an error, not a silent partial fill.
+func TestInflateRejectsLengthMismatch(t *testing.T) {
+	src := bytes.Repeat([]byte{9}, 100)
+	z, err := Deflate(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := make([]byte, 101)
+	if err := Inflate(long, z); err == nil {
+		t.Error("inflate into oversized dst succeeded")
+	}
+	short := make([]byte, 99)
+	if err := Inflate(short, z); err == nil {
+		t.Error("inflate into undersized dst succeeded")
+	}
+	if err := Inflate(make([]byte, 100), []byte{0xff, 0x00, 0xab}); err == nil {
+		t.Error("garbage stream inflated successfully")
+	}
+	if err := Inflate(make([]byte, 100), z[:len(z)/2]); err == nil {
+		t.Error("truncated stream inflated successfully")
+	}
+}

@@ -17,7 +17,12 @@ type Message struct {
 	// From names the sender (filled in by the receiving side's hub when
 	// routing; point-to-point Conns leave it to senders).
 	From string
-	// Data is the packed payload.
+	// Data is the packed payload. Ownership transfers on Send and again
+	// on Recv: senders must not touch Data after Send returns (the
+	// in-process pipe hands the very same slice to the peer), and
+	// receivers own the delivered Data outright, so decoders may alias
+	// it instead of copying. See the buffer ownership contract in
+	// pool.go.
 	Data []byte
 }
 
@@ -28,7 +33,9 @@ var ErrClosed = errors.New("msg: connection closed")
 // endpoints — the abstraction both the in-process and TCP transports
 // satisfy.
 type Conn interface {
-	// Send delivers m to the peer. Safe for concurrent use.
+	// Send delivers m to the peer and takes ownership of m.Data; the
+	// caller must not modify or reuse the slice afterwards. Safe for
+	// concurrent use.
 	Send(m Message) error
 	// Recv blocks for the next message. Returns ErrClosed (possibly
 	// wrapped) after the peer closes.

@@ -212,6 +212,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	framesCached := s.framesCached
 	totalRays := s.rays.Total()
 	faults := s.faults
+	wire := s.wire
 	jobRetries := s.jobRetries
 	workers := make(map[string]time.Duration, len(s.workerBusy))
 	for k, v := range s.workerBusy {
@@ -283,6 +284,16 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP nowrender_heartbeat_pongs_total Heartbeat pongs received from workers.")
 	p("# TYPE nowrender_heartbeat_pongs_total counter")
 	p("nowrender_heartbeat_pongs_total %d", faults.PongsReceived)
+	p("# HELP nowrender_wire_frames_total Frame results received over the farm data path by kind (full key-frames, dirty-span deltas, flate-compressed payloads, deltas dropped for a missing base).")
+	p("# TYPE nowrender_wire_frames_total counter")
+	p("nowrender_wire_frames_total{kind=\"full\"} %d", wire.FramesFull)
+	p("nowrender_wire_frames_total{kind=\"delta\"} %d", wire.FramesDelta)
+	p("nowrender_wire_frames_total{kind=\"compressed\"} %d", wire.FramesCompressed)
+	p("nowrender_wire_frames_total{kind=\"delta_base_miss\"} %d", wire.DeltaBaseMisses)
+	p("# HELP nowrender_wire_bytes_total Frame payload bytes by accounting (wire = bytes actually shipped, raw = uncompressed full-region pixels they represent).")
+	p("# TYPE nowrender_wire_bytes_total counter")
+	p("nowrender_wire_bytes_total{kind=\"wire\"} %d", wire.WireBytes)
+	p("nowrender_wire_bytes_total{kind=\"raw\"} %d", wire.RawBytes)
 	p("# HELP nowrender_job_retries_total Failed render attempts that were retried.")
 	p("# TYPE nowrender_job_retries_total counter")
 	p("nowrender_job_retries_total %d", jobRetries)

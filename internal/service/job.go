@@ -95,7 +95,15 @@ type Status struct {
 	// frame renderings were requeued onto survivors.
 	WorkersLost    uint64 `json:"workers_lost,omitempty"`
 	FramesRequeued uint64 `json:"frames_requeued,omitempty"`
-	Error          string `json:"error,omitempty"`
+	// WireFramesFull/Delta and Wire/Raw bytes surface the job's frame
+	// data-path footprint: how many results were full key-frames vs
+	// dirty-span deltas, and the bytes shipped vs the raw pixels they
+	// represent (zero for fully cache-served jobs).
+	WireFramesFull  uint64 `json:"wire_frames_full,omitempty"`
+	WireFramesDelta uint64 `json:"wire_frames_delta,omitempty"`
+	WireBytes       uint64 `json:"wire_bytes,omitempty"`
+	WireRawBytes    uint64 `json:"wire_raw_bytes,omitempty"`
+	Error           string `json:"error,omitempty"`
 
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started"`
@@ -141,6 +149,7 @@ type job struct {
 	attempts  int
 	rays      stats.RayCounters
 	faults    stats.FaultCounters
+	wire      stats.WireStats
 
 	submitted, started, finished time.Time
 
@@ -162,6 +171,8 @@ func (j *job) status() Status {
 		CacheHits: j.cacheHits, RaysTraced: j.rays.Total(),
 		Attempts:    j.attempts,
 		WorkersLost: j.faults.WorkersLost, FramesRequeued: j.faults.FramesRequeued,
+		WireFramesFull: j.wire.FramesFull, WireFramesDelta: j.wire.FramesDelta,
+		WireBytes: j.wire.WireBytes, WireRawBytes: j.wire.RawBytes,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
 	}
 	if j.err != nil {

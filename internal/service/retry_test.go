@@ -34,37 +34,37 @@ func TestCacheEvictionTable(t *testing.T) {
 		wantEvictions uint64
 	}{
 		{
-			name:   "lru-evicts-oldest",
-			budget: 3 * frameBytes,
-			ops:    []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
+			name:        "lru-evicts-oldest",
+			budget:      3 * frameBytes,
+			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
 			wantPresent: []int{2, 3, 4}, wantAbsent: []int{0, 1},
 			wantEvictions: 2,
 		},
 		{
-			name:   "get-refreshes-recency",
-			budget: 3 * frameBytes,
-			ops:    []op{{"put", 0}, {"put", 1}, {"put", 2}, {"get", 0}, {"put", 3}},
+			name:        "get-refreshes-recency",
+			budget:      3 * frameBytes,
+			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"get", 0}, {"put", 3}},
 			wantPresent: []int{0, 2, 3}, wantAbsent: []int{1},
 			wantEvictions: 1,
 		},
 		{
-			name:   "duplicate-put-refreshes-not-grows",
-			budget: 3 * frameBytes,
-			ops:    []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 0}, {"put", 3}},
+			name:        "duplicate-put-refreshes-not-grows",
+			budget:      3 * frameBytes,
+			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 0}, {"put", 3}},
 			wantPresent: []int{0, 2, 3}, wantAbsent: []int{1},
 			wantEvictions: 1,
 		},
 		{
-			name:   "frame-larger-than-budget-not-cached",
-			budget: frameBytes - 1,
-			ops:    []op{{"put", 0}},
+			name:        "frame-larger-than-budget-not-cached",
+			budget:      frameBytes - 1,
+			ops:         []op{{"put", 0}},
 			wantPresent: nil, wantAbsent: []int{0},
 			wantEvictions: 0,
 		},
 		{
-			name:   "unlimited-budget-keeps-all",
-			budget: 0,
-			ops:    []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
+			name:        "unlimited-budget-keeps-all",
+			budget:      0,
+			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
 			wantPresent: []int{0, 1, 2, 3, 4}, wantAbsent: nil,
 			wantEvictions: 0,
 		},

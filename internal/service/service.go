@@ -72,6 +72,10 @@ type Config struct {
 	// (fault injection; see internal/faulty). Exposed by cmd/nowserve's
 	// -chaos flag for soak-testing a live service.
 	FaultWrap func(name string, c msg.Conn) msg.Conn
+	// WireDelta and WireCompress enable dirty-span delta frames and
+	// flate payload compression on the farm data path (see farm.Config);
+	// pixels are byte-identical either way.
+	WireDelta, WireCompress bool
 }
 
 func (c *Config) defaults() {
@@ -119,6 +123,7 @@ type Service struct {
 	rays           stats.RayCounters
 	workerBusy     map[string]time.Duration
 	faults         stats.FaultCounters
+	wire           stats.WireStats
 	jobRetries     uint64
 	started        time.Time
 }
@@ -406,6 +411,8 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		FrameRetries: s.cfg.FrameRetries,
 		Speculate:    s.cfg.Speculate,
 		WrapConn:     s.cfg.FaultWrap,
+		WireDelta:    s.cfg.WireDelta,
+		WireCompress: s.cfg.WireCompress,
 		OnFrame: func(f int, img *fb.Framebuffer) error {
 			s.cache.put(frameKey{seq: j.key, frame: f}, img)
 			s.mu.Lock()
@@ -432,6 +439,8 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		s.rays.Merge(res.Run.TotalRays())
 		j.faults.Merge(res.Faults)
 		s.faults.Merge(res.Faults)
+		j.wire.Merge(res.Wire)
+		s.wire.Merge(res.Wire)
 		for _, w := range res.Workers {
 			s.workerBusy[w.Worker] += w.Busy
 		}
@@ -446,6 +455,15 @@ func (s *Service) FaultStats() stats.FaultCounters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.faults
+}
+
+// WireStats snapshots the frame-result wire counters (deltas,
+// compression, bytes) aggregated over every farm run the service has
+// driven.
+func (s *Service) WireStats() stats.WireStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wire
 }
 
 // Cancel stops a job: a queued job is removed from the queue, a running

@@ -227,6 +227,62 @@ func (c FaultCounters) String() string {
 	return strings.Join(parts, " ")
 }
 
+// WireStats tallies the farm data path's frame-result traffic: how many
+// results arrived as full key-frames versus dirty-span deltas, how many
+// payloads were flate-compressed, and how the bytes actually shipped
+// compare to the raw pixel bytes they represent. Like FaultCounters
+// they are owned by one goroutine (the master loop) and combined with
+// Merge when runs are aggregated.
+type WireStats struct {
+	// FramesFull counts frame results carrying the region's full pixels
+	// (key-frames, plain-path results, and size-guard fallbacks).
+	FramesFull uint64
+	// FramesDelta counts frame results encoded as dirty-span deltas over
+	// the previous frame.
+	FramesDelta uint64
+	// FramesCompressed counts results whose payload was flate-compressed
+	// (full or delta).
+	FramesCompressed uint64
+	// DeltaBaseMisses counts deltas discarded because their base frame
+	// never arrived (its result was lost in transit); the frame is
+	// re-rendered by the usual requeue path.
+	DeltaBaseMisses uint64
+	// RawBytes is the full-region RGB byte count the delivered results
+	// represent; WireBytes is what actually crossed the wire (sealed
+	// payload, spans and counters included).
+	RawBytes, WireBytes uint64
+}
+
+// Merge adds another counter set into c.
+func (c *WireStats) Merge(o WireStats) {
+	c.FramesFull += o.FramesFull
+	c.FramesDelta += o.FramesDelta
+	c.FramesCompressed += o.FramesCompressed
+	c.DeltaBaseMisses += o.DeltaBaseMisses
+	c.RawBytes += o.RawBytes
+	c.WireBytes += o.WireBytes
+}
+
+// Ratio returns RawBytes / WireBytes — how many raw pixel bytes each
+// wire byte carried (> 1 when deltas and compression pay off) — or 0
+// before any traffic.
+func (c WireStats) Ratio() float64 {
+	if c.WireBytes == 0 {
+		return 0
+	}
+	return float64(c.RawBytes) / float64(c.WireBytes)
+}
+
+// String implements fmt.Stringer.
+func (c WireStats) String() string {
+	if c.FramesFull+c.FramesDelta == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("full=%d delta=%d compressed=%d base-miss=%d wire=%d raw=%d ratio=%.2f",
+		c.FramesFull, c.FramesDelta, c.FramesCompressed, c.DeltaBaseMisses,
+		c.WireBytes, c.RawBytes, c.Ratio())
+}
+
 // CacheStats is a snapshot of a content-addressed cache's counters (the
 // service-level frame cache reports these through /metrics).
 type CacheStats struct {
