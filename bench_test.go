@@ -25,6 +25,7 @@ import (
 	"nowrender/internal/objfile"
 	"nowrender/internal/partition"
 	"nowrender/internal/scenes"
+	"nowrender/internal/timeline"
 	"nowrender/internal/trace"
 	vm "nowrender/internal/vecmath"
 )
@@ -348,6 +349,38 @@ func BenchmarkRenderFrameParallel(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				ft.RenderRegionParallel(img, img.Bounds(), threads)
+			}
+			b.ReportMetric(float64(benchW*benchH), "pixels/op")
+		})
+	}
+}
+
+// BenchmarkRenderFrameTimeline measures the timeline recorder's cost on
+// the tile-pool hot path: the same full-frame render with tile tracks
+// absent (the single-branch disabled path) and with live ring buffers
+// recording every tile span. The two should be indistinguishable when
+// off and within ~2% when on; cmd/benchtab -timeline records the same
+// comparison into BENCH_timeline.json.
+func BenchmarkRenderFrameTimeline(b *testing.B) {
+	sc := benchScene()
+	const threads = 4
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			ft, err := trace.New(sc, 0, trace.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			img := fb.New(benchW, benchH)
+			var tracks []*timeline.Track
+			if mode == "on" {
+				rec := timeline.New(0)
+				for i := 0; i < threads; i++ {
+					tracks = append(tracks, rec.Track(fmt.Sprintf("bench/tile%02d", i)))
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ft.RenderRegionParallelTimed(img, img.Bounds(), threads, i, tracks)
 			}
 			b.ReportMetric(float64(benchW*benchH), "pixels/op")
 		})

@@ -38,6 +38,7 @@ func main() {
 		scaling   = flag.Bool("scaling", false, "cluster-size scaling sweep")
 		parallel  = flag.Bool("parallel", false, "intra-frame thread sweep, written to BENCH_parallel.json")
 		wire      = flag.Bool("wire", false, "frame codec sweep (full vs delta vs delta+flate), written to BENCH_wire.json")
+		timelineB = flag.Bool("timeline", false, "event-recorder overhead bench (off vs on), written to BENCH_timeline.json")
 		all       = flag.Bool("all", false, "run everything")
 		full      = flag.Bool("full", false, "paper-scale workload (240x320, 45 frames)")
 		frame     = flag.Int("frame", 10, "frame for -fig2")
@@ -47,18 +48,19 @@ func main() {
 		csvOut    = flag.Bool("csv", false, "emit Table 1 as CSV instead of a text table")
 	)
 	flag.Parse()
-	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling && !*parallel && !*wire {
+	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling && !*parallel && !*wire && !*timelineB {
 		*all = true
 	}
 	if err := run(*table1 || *all, *fig2 || *all, *fig4 || *all,
 		*ablations || *all, *scaling || *all, *parallel || *all, *wire || *all,
+		*timelineB || *all,
 		*full, *frame, *outDir, *sceneSpec, *wireScene, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, fig2, fig4, ablations, scaling, parallel, wire, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
+func run(table1, fig2, fig4, ablations, scaling, parallel, wire, timelineB, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -262,6 +264,41 @@ func run(table1, fig2, fig4, ablations, scaling, parallel, wire, full bool, fram
 			return err
 		}
 		jsonPath := "BENCH_wire.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			jsonPath = filepath.Join(outDir, jsonPath)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+
+	if timelineB {
+		fmt.Println("=== Timeline: event-recorder overhead (off vs on) ===")
+		frames := 6
+		if full {
+			frames = 12
+		}
+		pts, err := experiments.TimelineSweep(p, 0, frames, 3)
+		if err != nil {
+			return err
+		}
+		var tb stats.Table
+		for _, pt := range pts {
+			tb.AddRow("recorder", pt.Mode,
+				"ms/frame", fmt.Sprintf("%.2f", pt.MSPerFrame),
+				"overhead", fmt.Sprintf("%+.2f%%", pt.OverheadPct),
+				"events", fmt.Sprintf("%d", pt.Events))
+		}
+		fmt.Println(tb.String())
+		data, err := json.MarshalIndent(pts, "", "  ")
+		if err != nil {
+			return err
+		}
+		jsonPath := "BENCH_timeline.json"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err

@@ -6,11 +6,15 @@
 //   - the differences as predicted by the frame-coherence algorithm —
 //     the dirty mask (Figure 2(b)),
 //
-// and reports how conservative the prediction is. With -frames-dir it
-// can also diff two already-rendered TGA files instead.
+// and reports how conservative the prediction is. With -a/-b it can
+// also diff two already-rendered TGA files instead.
 //
 //	framediff -scene bouncing -frame 4 -out diffs/
 //	framediff -a frame0004.tga -b frame0005.tga -out diffs/
+//
+// File-diff mode follows the diff(1) exit convention, so it can gate
+// scripts and CI: 0 when the images are identical, 1 when they differ,
+// 2 on error.
 package main
 
 import (
@@ -38,47 +42,56 @@ func main() {
 		fileB     = flag.String("b", "", "diff mode: second TGA file")
 	)
 	flag.Parse()
-	var err error
 	if *fileA != "" || *fileB != "" {
-		err = diffFiles(*fileA, *fileB, *outDir)
-	} else {
-		err = diffScene(*sceneSpec, *frame, *width, *height, *outDir)
+		differ, err := diffFiles(*fileA, *fileB, *outDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "framediff:", err)
+			os.Exit(2)
+		}
+		if differ {
+			os.Exit(1)
+		}
+		return
 	}
-	if err != nil {
+	if err := diffScene(*sceneSpec, *frame, *width, *height, *outDir); err != nil {
 		fmt.Fprintln(os.Stderr, "framediff:", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
 }
 
-func diffFiles(a, b, outDir string) error {
+// diffFiles compares two TGA files and reports whether any pixel
+// differs (the caller maps that onto the diff exit convention).
+func diffFiles(a, b, outDir string) (bool, error) {
 	if a == "" || b == "" {
-		return fmt.Errorf("both -a and -b are required")
+		return false, fmt.Errorf("both -a and -b are required")
 	}
 	imgA, err := tga.ReadFile(a)
 	if err != nil {
-		return err
+		return false, err
 	}
 	imgB, err := tga.ReadFile(b)
 	if err != nil {
-		return err
+		return false, err
 	}
 	mask, err := imgdiff.Diff(imgA, imgB)
 	if err != nil {
-		return err
+		return false, err
 	}
 	st, err := imgdiff.Compare(imgA, imgB)
 	if err != nil {
-		return err
+		return false, err
 	}
 	fmt.Printf("%s vs %s: %d differing pixels (%.1f%%), max delta %d, PSNR %.1f dB\n",
 		a, b, st.Differing, 100*mask.Fraction(), st.MaxChannelDelta, st.PSNR)
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
-			return err
+			return false, err
 		}
-		return tga.WriteFile(filepath.Join(outDir, "diff-actual.tga"), mask.Image())
+		if err := tga.WriteFile(filepath.Join(outDir, "diff-actual.tga"), mask.Image()); err != nil {
+			return false, err
+		}
 	}
-	return nil
+	return st.Differing > 0, nil
 }
 
 func diffScene(spec string, frame, w, h int, outDir string) error {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/tga"
+)
+
+// TestMain lets the test binary impersonate the framediff CLI: when
+// re-executed with FRAMEDIFF_BE_TOOL=1, it runs main() so the exit-code
+// contract is tested through a real process boundary.
+func TestMain(m *testing.M) {
+	if os.Getenv("FRAMEDIFF_BE_TOOL") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runTool re-executes the test binary as framediff and returns its exit
+// code.
+func runTool(t *testing.T, args ...string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FRAMEDIFF_BE_TOOL=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %v: %v\n%s", args, err, out)
+	}
+	return ee.ExitCode()
+}
+
+func writeTGA(t *testing.T, path string, tint byte) {
+	t.Helper()
+	img := fb.New(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			img.SetRGB(x, y, byte(x*16), byte(y*16), tint)
+		}
+	}
+	if err := tga.WriteFile(path, img); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExitCodes pins the diff(1) convention for file-diff mode:
+// identical images exit 0, differing images exit 1, errors exit 2.
+func TestExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	same1 := filepath.Join(dir, "same1.tga")
+	same2 := filepath.Join(dir, "same2.tga")
+	other := filepath.Join(dir, "other.tga")
+	writeTGA(t, same1, 0)
+	writeTGA(t, same2, 0)
+	writeTGA(t, other, 255)
+
+	if code := runTool(t, "-a", same1, "-b", same2); code != 0 {
+		t.Errorf("identical images: exit %d, want 0", code)
+	}
+	if code := runTool(t, "-a", same1, "-b", other); code != 1 {
+		t.Errorf("differing images: exit %d, want 1", code)
+	}
+	if code := runTool(t, "-a", same1, "-b", filepath.Join(dir, "missing.tga")); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"nowrender/internal/buildinfo"
 	"nowrender/internal/cluster"
 	"nowrender/internal/coherence"
 	"nowrender/internal/farm"
@@ -28,6 +29,7 @@ import (
 	"nowrender/internal/scenes"
 	"nowrender/internal/stats"
 	"nowrender/internal/tga"
+	"nowrender/internal/timeline"
 )
 
 // faultOpts bundles the fault-tolerance and fault-injection flags shared
@@ -77,6 +79,8 @@ func main() {
 		aa        = flag.Float64("aa", 0, "adaptive antialiasing threshold (0 = off; try 0.1)")
 		threads   = flag.Int("threads", 0, "intra-frame render threads per worker (0 = all cores, 1 = serial; pixels are identical for every value)")
 		usePNG    = flag.Bool("png", false, "write PNG instead of TGA")
+		tlOut     = flag.String("timeline", "", "write the run's cluster timeline as Chrome trace JSON to this file (load in Perfetto or feed to nowtrace)")
+		version   = flag.Bool("version", false, "print version and exit")
 
 		ft faultOpts
 	)
@@ -89,8 +93,13 @@ func main() {
 	flag.BoolVar(&ft.wireDelta, "wire-delta", false, "ship dirty-span delta frames from workers that support them (pixels are identical either way)")
 	flag.BoolVar(&ft.wireCompress, "wire-compress", false, "flate-compress frame payloads from workers that support it")
 	flag.Parse()
+	if *version {
+		fmt.Println("nowrender", buildinfo.Version())
+		return
+	}
+	fmt.Printf("nowrender %s\n", buildinfo.Version())
 	if err := run(*sceneSpec, *mode, *scheme, *blockW, *blockH, *width, *height,
-		*outDir, *workers, *listen, *coherent, *samples, *aa, *threads, *usePNG, ft); err != nil {
+		*outDir, *workers, *listen, *coherent, *samples, *aa, *threads, *usePNG, *tlOut, ft); err != nil {
 		fmt.Fprintln(os.Stderr, "nowrender:", err)
 		os.Exit(1)
 	}
@@ -98,7 +107,7 @@ func main() {
 
 func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
 	outDir string, workers int, listen string, coherent bool, samples int,
-	aa float64, threads int, usePNG bool, ft faultOpts) error {
+	aa float64, threads int, usePNG bool, tlOut string, ft faultOpts) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -148,36 +157,40 @@ func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
 	if err := ft.apply(&cfg); err != nil {
 		return err
 	}
+	if tlOut != "" {
+		cfg.Timeline = timeline.New(0)
+	}
 
+	var res *farm.Result
 	switch mode {
 	case "single", "coherent":
 		cfg.Coherence = mode == "coherent"
-		res, err := farm.RenderSingle(cfg, cluster.PaperTestbed()[0])
+		res, err = farm.RenderSingle(cfg, cluster.PaperTestbed()[0])
 		if err != nil {
 			return err
 		}
 		report(sc.Name, mode, res)
 	case "virtual":
-		res, err := farm.RenderVirtual(cfg)
+		res, err = farm.RenderVirtual(cfg)
 		if err != nil {
 			return err
 		}
 		report(sc.Name, fmt.Sprintf("virtual/%s", scheme.Name()), res)
 	case "auto":
 		// Split at camera cuts, then render each stationary sequence.
-		res, err := farm.RenderAuto(cfg)
+		res, err = farm.RenderAuto(cfg)
 		if err != nil {
 			return err
 		}
 		report(sc.Name, fmt.Sprintf("auto/%s", scheme.Name()), res)
 	case "local":
-		res, err := farm.RenderLocal(cfg)
+		res, err = farm.RenderLocal(cfg)
 		if err != nil {
 			return err
 		}
 		report(sc.Name, fmt.Sprintf("local/%s", scheme.Name()), res)
 	case "master":
-		res, err := runTCPMaster(cfg, sceneSpec, listen, workers)
+		res, err = runTCPMaster(cfg, sceneSpec, listen, workers)
 		if err != nil {
 			return err
 		}
@@ -185,6 +198,33 @@ func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+	if tlOut != "" {
+		if err := writeTimeline(tlOut, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTimeline dumps the run's merged cluster timeline as Chrome trace
+// JSON (Perfetto-loadable; analyse with cmd/nowtrace).
+func writeTimeline(path string, res *farm.Result) error {
+	if res == nil || res.Timeline == nil {
+		return fmt.Errorf("no timeline recorded for this mode")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Timeline.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  timeline:  %s (%d events; view in Perfetto or `nowtrace %s`)\n",
+		path, res.Timeline.Events(), path)
 	return nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"nowrender/internal/buildinfo"
 	"nowrender/internal/cluster"
 	"nowrender/internal/faulty"
 	"nowrender/internal/service"
@@ -52,9 +53,15 @@ func main() {
 		chaos        = flag.String("chaos", "", "fault-injection plan for local-driver farm runs, e.g. seed=7,drop=0.01,protect=worker00")
 		wireDelta    = flag.Bool("wire-delta", false, "ship dirty-span delta frames from workers that support them")
 		wireCompress = flag.Bool("wire-compress", false, "flate-compress frame payloads from workers that support it")
+		timelineOn   = flag.Bool("timeline", false, "record a per-job cluster timeline, served on GET /jobs/{id}/timeline")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
+		version      = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("nowserve", buildinfo.Version())
+		return
+	}
 	cfg := service.Config{
 		MaxConcurrent: *maxJobs,
 		QueueCap:      *queueCap,
@@ -71,6 +78,7 @@ func main() {
 		MaxJobRetries: *jobRetries,
 		WireDelta:     *wireDelta,
 		WireCompress:  *wireCompress,
+		Timeline:      *timelineOn,
 	}
 	if *machines > 0 {
 		cfg.Machines = cluster.Uniform(*machines, 1.0, 64)
@@ -111,6 +119,7 @@ func run(listen, driver string, cfg service.Config, pprofOn bool) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("nowserve %s\n", buildinfo.Version())
 	fmt.Printf("nowserve listening on %s (driver=%s, max-jobs=%d)\n", listen, driver, cfg.MaxConcurrent)
 
 	select {

@@ -1,0 +1,63 @@
+// Command nowtrace analyses a cluster timeline exported by nowrender
+// -timeline (or a worker's local -timeline dump): per-track busy/idle
+// breakdowns, the critical frames that bounded the makespan, and the
+// load imbalance across frame-rendering tracks.
+//
+//	nowrender -scene newton -mode local -timeline run.json
+//	nowtrace run.json
+//	nowtrace < run.json
+//
+// The input is Chrome trace-event JSON, so the same file loads in
+// Perfetto (ui.perfetto.dev) for a visual view.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nowrender/internal/buildinfo"
+	"nowrender/internal/timeline"
+)
+
+func main() {
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nowtrace [trace.json]\n\nReads a Chrome trace JSON timeline (file argument, or stdin when\nomitted) and prints a busy/idle and critical-path report.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *version {
+		fmt.Println("nowtrace", buildinfo.Version())
+		return
+	}
+	if err := run(flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "nowtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	switch len(args) {
+	case 0:
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in, src = f, args[0]
+	default:
+		return fmt.Errorf("expected at most one trace file, got %d arguments", len(args))
+	}
+	tl, err := timeline.ReadChromeTrace(in)
+	if err != nil {
+		return fmt.Errorf("%s: %w", src, err)
+	}
+	rep := timeline.Analyze(tl)
+	rep.Format(os.Stdout)
+	return nil
+}

@@ -23,10 +23,12 @@ import (
 	"syscall"
 	"time"
 
+	"nowrender/internal/buildinfo"
 	"nowrender/internal/farm"
 	"nowrender/internal/faulty"
 	"nowrender/internal/msg"
 	"nowrender/internal/scenes"
+	"nowrender/internal/timeline"
 )
 
 func main() {
@@ -39,19 +41,36 @@ func main() {
 		chaos    = flag.String("chaos", "", "fault-injection plan applied to this worker's connection, e.g. seed=7,drop=0.01,corrupt=0.005")
 		delta    = flag.Bool("wire-delta", true, "advertise dirty-span delta frame support to the master")
 		compress = flag.Bool("wire-compress", true, "advertise flate frame compression support to the master")
+		wireTL   = flag.Bool("wire-timeline", true, "advertise timeline-span shipping to the master")
+		tlOut    = flag.String("timeline", "", "write this worker's local timeline as Chrome trace JSON to this file on exit")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("nowworker", buildinfo.Version())
+		return
+	}
 	if *name == "" {
 		host, _ := os.Hostname()
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	fmt.Printf("nowworker %s (%s)\n", *name, buildinfo.Version())
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	opts := farm.WorkerOptions{
 		Threads: *threads, MasterDeadline: *deadline,
 		NoWireDelta: !*delta, NoWireCompress: !*compress,
+		NoWireTimeline: !*wireTL,
+	}
+	if *tlOut != "" {
+		opts.Timeline = timeline.New(0)
 	}
 	err := run(ctx, *master, *name, *maxWait, *chaos, opts)
+	if *tlOut != "" {
+		if werr := dumpTimeline(*tlOut, *name, opts.Timeline); werr != nil {
+			fmt.Fprintln(os.Stderr, "nowworker: timeline:", werr)
+		}
+	}
 	switch {
 	case err == nil:
 		return
@@ -61,6 +80,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "nowworker:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpTimeline snapshots the worker's local recorder into a Chrome
+// trace file. The local view is uncorrected worker-clock time; the
+// master's merged timeline (nowrender -timeline) is the offset-corrected
+// cluster view.
+func dumpTimeline(path, name string, rec *timeline.Recorder) error {
+	if rec == nil {
+		return fmt.Errorf("no recorder")
+	}
+	tl := rec.Snapshot()
+	tl.Meta["worker"] = name
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("worker %s: timeline written to %s (%d events)\n", name, path, tl.Events())
+	return nil
 }
 
 // dialRetry dials the master with exponential backoff (250ms doubling,

@@ -1,0 +1,49 @@
+// Package buildinfo derives the version string behind the daemons'
+// -version flags from the metadata the Go toolchain stamps into every
+// binary (runtime/debug.ReadBuildInfo): the module version for tagged
+// builds, the VCS revision and commit time when embedded, and always
+// the toolchain and platform.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns a one-line human-readable build description, e.g.
+//
+//	v1.2.0 (3f9c2d1a4b7e 2026-08-06T10:00:00Z), go1.24.0 linux/amd64
+//	devel, go1.24.0 linux/amd64
+func Version() string {
+	v := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			v = bi.Main.Version
+		}
+		var rev, at, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.time":
+				at = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			detail := rev + dirty
+			if at != "" {
+				detail += " " + at
+			}
+			v += " (" + detail + ")"
+		}
+	}
+	return fmt.Sprintf("%s, %s %s/%s", v, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -37,6 +37,7 @@ import (
 	"nowrender/internal/grid"
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 	"nowrender/internal/trace"
 	vm "nowrender/internal/vecmath"
 )
@@ -70,6 +71,13 @@ type Options struct {
 	// moves between a lit surface and the light. Exists only for the
 	// ablation bench; leave false for correct rendering.
 	DisableShadowRegistration bool
+	// TimelineTrack, when non-nil, receives an OpChangeDetect span per
+	// frame (arg = changed voxels); TileTracks, indexed by tile-worker
+	// slot, receive OpTile spans from the intra-frame pool. Nil tracks
+	// cost a single branch, so the hot path is instrumented
+	// unconditionally. Instrumentation never affects output pixels.
+	TimelineTrack *timeline.Track
+	TileTracks    []*timeline.Track
 }
 
 // registration is one (pixel, frame) entry on a voxel's pixel list. The
@@ -310,6 +318,7 @@ func (e *Engine) RenderFrame(frame int, dst *fb.Framebuffer) (FrameReport, error
 
 	// Predict the dirty set for the next frame (Figure 3's final steps).
 	overheadStart := time.Now()
+	cdStart := e.opts.TimelineTrack.Begin()
 	e.dirty.Reset()
 	if frame+1 < e.end {
 		rep.ChangeVoxels = e.markChanges(frame, frame+1)
@@ -318,6 +327,7 @@ func (e *Engine) RenderFrame(frame int, dst *fb.Framebuffer) (FrameReport, error
 		}
 		rep.DirtyNext = e.dirty.Count()
 	}
+	e.opts.TimelineTrack.EndArg(timeline.OpChangeDetect, frame, cdStart, int64(rep.ChangeVoxels))
 	rep.Overhead = time.Since(overheadStart)
 
 	// Keep the frame for pixel copying.

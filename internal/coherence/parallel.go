@@ -7,6 +7,7 @@ import (
 
 	"nowrender/internal/fb"
 	"nowrender/internal/geom"
+	"nowrender/internal/timeline"
 	"nowrender/internal/trace"
 	vm "nowrender/internal/vecmath"
 )
@@ -122,13 +123,19 @@ func (e *Engine) renderTiles(ft *trace.FrameTracer, frame int, dst *fb.Framebuff
 		c.beginFrame(int32(frame))
 		w := ft.NewWorker(c)
 		workers[i] = w
+		var tr *timeline.Track
+		if i < len(e.opts.TileTracks) {
+			tr = e.opts.TileTracks[i]
+		}
 		run := func(slot int) {
 			for {
 				t := int(atomic.AddInt64(&next, 1)) - 1
 				if t >= len(tiles) {
 					return
 				}
+				s := tr.Begin()
 				r, cp := e.renderTile(w, c, frame, dst, tiles[t])
+				tr.EndArg(timeline.OpTile, frame, s, int64(r))
 				tallies[slot].rendered += r
 				tallies[slot].copied += cp
 			}

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"nowrender/internal/cluster"
@@ -16,6 +17,7 @@ import (
 	"nowrender/internal/partition"
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 )
 
 // Params scale an experiment. The paper's full size is 240x320 over 45
@@ -603,4 +605,92 @@ func ParallelSweep(p Params, threadCounts []int, frames int) ([]ParallelPoint, e
 		out = append(out, pt)
 	}
 	return out, nil
+}
+
+// TimelinePoint is one recorder configuration's wall-clock measurement
+// of the event-recorder overhead on the render hot path. Serialised
+// into BENCH_timeline.json by cmd/benchtab: "off" is the nil-track
+// single-branch disabled path, "on" records frame, change-detect and
+// per-tile spans into live ring buffers.
+type TimelinePoint struct {
+	Mode       string  `json:"mode"`
+	Frames     int     `json:"frames"`
+	WallMS     float64 `json:"wall_ms"`
+	MSPerFrame float64 `json:"ms_per_frame"`
+	// OverheadPct is (this run / the "off" baseline - 1) in percent.
+	// The acceptance bar is <2% for "on"; "off" is 0 by construction.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Events recorded during the run (0 when off).
+	Events int `json:"events"`
+}
+
+// TimelineSweep renders the same frame run with the recorder disabled
+// and enabled, best-of-`repeats` each, and reports the wall-clock
+// overhead of recording. Pixels are unaffected by instrumentation, so
+// only time is compared.
+func TimelineSweep(p Params, threads, frames, repeats int) ([]TimelinePoint, error) {
+	if frames <= 0 || frames > p.Scene.Frames {
+		frames = p.Scene.Frames
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	slots := threads
+	if slots <= 0 {
+		slots = runtime.NumCPU()
+	}
+	full := fb.NewRect(0, 0, p.W, p.H)
+	img := fb.New(p.W, p.H)
+
+	measure := func(opts coherence.Options) (time.Duration, error) {
+		best := time.Duration(0)
+		for r := 0; r < repeats; r++ {
+			eng, err := coherence.NewEngine(p.Scene, p.W, p.H, full, 0, frames, opts)
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			for f := 0; f < frames; f++ {
+				if _, err := eng.RenderFrame(f, img); err != nil {
+					return 0, err
+				}
+			}
+			if wall := time.Since(start); r == 0 || wall < best {
+				best = wall
+			}
+		}
+		return best, nil
+	}
+
+	off, err := measure(coherence.Options{Threads: threads})
+	if err != nil {
+		return nil, err
+	}
+
+	rec := timeline.New(0)
+	tiles := make([]*timeline.Track, slots)
+	for i := range tiles {
+		tiles[i] = rec.Track(fmt.Sprintf("bench/tile%02d", i))
+	}
+	on, err := measure(coherence.Options{
+		Threads:       threads,
+		TimelineTrack: rec.Track("bench/main"),
+		TileTracks:    tiles,
+	})
+	if err != nil {
+		return nil, err
+	}
+	events := rec.Snapshot().Events()
+
+	point := func(mode string, wall time.Duration, events int) TimelinePoint {
+		return TimelinePoint{
+			Mode:        mode,
+			Frames:      frames,
+			WallMS:      float64(wall.Microseconds()) / 1000,
+			MSPerFrame:  float64(wall.Microseconds()) / 1000 / float64(frames),
+			OverheadPct: 100 * (float64(wall)/float64(off) - 1),
+			Events:      events,
+		}
+	}
+	return []TimelinePoint{point("off", off, 0), point("on", on, events)}, nil
 }

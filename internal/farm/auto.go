@@ -3,6 +3,7 @@ package farm
 import (
 	"nowrender/internal/anim"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 )
 
 // RenderAuto renders an animation whose camera may cut between
@@ -29,10 +30,16 @@ func RenderAuto(cfg Config) (*Result, error) {
 	for _, sq := range seqs {
 		c := cfg
 		c.StartFrame, c.EndFrame = sq.Start, sq.End
+		if cfg.Timeline != nil {
+			// A fresh recorder per sequence: snapshots of a shared one
+			// would subsume each other and double-count on merge.
+			c.Timeline = timeline.New(0)
+		}
 		res, err := RenderVirtual(c)
 		if err != nil {
 			return nil, err
 		}
+		combined.mergeTimeline(res.Timeline)
 		combined.Frames = append(combined.Frames, res.Frames...)
 		combined.Makespan += res.Makespan
 		combined.TasksExecuted += res.TasksExecuted
@@ -86,10 +93,14 @@ func RenderLocalAuto(cfg Config) (*Result, error) {
 	for _, sq := range seqs {
 		c := cfg
 		c.StartFrame, c.EndFrame = sq.Start, sq.End
+		if cfg.Timeline != nil {
+			c.Timeline = timeline.New(0)
+		}
 		res, err := RenderLocal(c)
 		if err != nil {
 			return nil, err
 		}
+		combined.mergeTimeline(res.Timeline)
 		combined.Frames = append(combined.Frames, res.Frames...)
 		combined.Makespan += res.Makespan
 		combined.TasksExecuted += res.TasksExecuted

@@ -28,6 +28,7 @@ import (
 	"nowrender/internal/partition"
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 )
 
 // Config describes a render-farm run.
@@ -128,6 +129,15 @@ type Config struct {
 	// Both are negotiated per worker via TagHello capability bits, so
 	// mixed fleets interoperate; pixels are byte-identical either way.
 	WireDelta, WireCompress bool
+
+	// Timeline, when non-nil, records the run into this recorder: the
+	// master's scheduling events land in it directly, and workers that
+	// advertise capWireTimeline are granted it and ship their phase/tile
+	// spans piggybacked on results. The merged, clock-offset-corrected
+	// cluster timeline is returned in Result.Timeline. Nil (the default)
+	// disables all recording — the instrumentation then costs one nil
+	// check per site.
+	Timeline *timeline.Recorder
 }
 
 // cancelled returns the context error if the run was cancelled.
@@ -200,11 +210,36 @@ type Result struct {
 	// Wire tallies the frame-result data path: key-frames vs dirty-span
 	// deltas, compressed payloads, and raw-vs-wire byte totals.
 	Wire stats.WireStats
+	// Timeline is the merged cluster timeline when Config.Timeline was
+	// set: the master's own events plus every shipped worker event,
+	// shifted onto the master's clock by the per-worker offset estimates.
+	// Nil when recording was off.
+	Timeline *timeline.Timeline
 }
 
 // Speedup returns baseline.Makespan / r.Makespan.
 func (r *Result) Speedup(baseline *Result) float64 {
 	return cluster.Speedup(baseline.Makespan, r.Makespan)
+}
+
+// mergeTimeline folds one sequence run's timeline into the combined
+// result — the RenderAuto/RenderLocalAuto path, which drives one farm
+// run per camera-stationary sequence, each with its own recorder epoch.
+func (r *Result) mergeTimeline(tl *timeline.Timeline) {
+	if tl == nil {
+		return
+	}
+	if r.Timeline == nil {
+		r.Timeline = &timeline.Timeline{Meta: map[string]string{}}
+	}
+	for k, v := range tl.Meta {
+		r.Timeline.Meta[k] = v
+	}
+	for i := range tl.Tracks {
+		td := &tl.Tracks[i]
+		r.Timeline.AddTrack(td.Name, td.Events, td.Dropped)
+	}
+	r.Timeline.Sort()
 }
 
 // assembly tracks partially delivered frames over an absolute frame

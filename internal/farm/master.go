@@ -10,6 +10,7 @@ import (
 	"nowrender/internal/msg"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 	"nowrender/internal/trace"
 )
 
@@ -44,6 +45,11 @@ type workerRecord struct {
 	// (zero for legacy workers); task grants intersect these with the
 	// master's config.
 	caps int
+	// pingSeqSent/pingSentNs identify the outstanding ping and the master
+	// clock when it left, pairing each pong into a clock-offset RTT
+	// sample (timeline recording only).
+	pingSeqSent int
+	pingSentNs  int64
 
 	st stats.WorkerStats
 }
@@ -152,6 +158,28 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	var waiting []string // idle workers awaiting stolen work
 	var pingSeq int
 
+	// Timeline recording: the master's own scheduling events go straight
+	// onto mt (nil track = disabled, every call one branch); worker
+	// events shipped on results accumulate in `shipped` until the end of
+	// the run, when they are offset-corrected onto the master clock and
+	// merged into Result.Timeline.
+	rec := cfg.Timeline
+	mt := rec.Track("master/loop")
+	shipped := &timeline.Timeline{}
+	offsets := make(map[string]*timeline.OffsetEstimator)
+	// tlGroups maps a hub name to the group of the tracks that worker
+	// ships. Over TCP they differ: the hub names the connection
+	// ("tcp00"), the worker names its tracks after itself ("wsA").
+	tlGroups := make(map[string]string)
+	offsetFor := func(name string) *timeline.OffsetEstimator {
+		est := offsets[name]
+		if est == nil {
+			est = &timeline.OffsetEstimator{}
+			offsets[name] = est
+		}
+		return est
+	}
+
 	sendTask := func(w *workerRecord, t partition.Task) error {
 		// Grant wire modes only where the config wants them AND the
 		// worker's hello advertised them — old workers get plain tasks.
@@ -162,6 +190,10 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		if cfg.WireCompress && w.caps&capWireCompress != 0 {
 			flags |= capWireCompress
 		}
+		if rec != nil && w.caps&capWireTimeline != 0 {
+			flags |= capWireTimeline
+		}
+		mt.Instant(timeline.OpDispatch, t.StartFrame, int64(t.ID))
 		tm := taskMsg{
 			Task: t, W: cfg.W, H: cfg.H,
 			Coherence: cfg.Coherence, Samples: cfg.Samples,
@@ -198,11 +230,13 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		if scratch == nil {
 			scratch = fb.New(cfg.W, cfg.H)
 		}
+		qStart := mt.Begin()
 		ft, err := trace.New(sc, f, trace.Options{SamplesPerPixel: cfg.Samples})
 		if err != nil {
 			return err
 		}
 		ft.RenderRegionParallel(scratch, region, cfg.Threads)
+		mt.EndArg(timeline.OpQuarantine, f, qStart, int64(region.Area()))
 		res.Faults.FramesQuarantined++
 		complete, dup, err := asm.deliver(f, region, extractRegion(scratch, region), time.Since(start))
 		if err != nil {
@@ -235,6 +269,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 				})
 				nextTaskID++
 				res.Faults.FramesRequeued += uint64(f - runStart)
+				mt.Instant(timeline.OpRequeue, runStart, int64(f-runStart))
 				runStart = -1
 			}
 		}
@@ -266,6 +301,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		victim.truncatePending = true
 		waiting = append(waiting, thief)
 		res.Subdivisions++
+		mt.Instant(timeline.OpSteal, rendering, int64(victim.task.ID))
 		if err := hub.Send(victim.name, msg.Message{Tag: TagTruncate, Data: encodePair(victim.task.ID, newEnd)}); err != nil {
 			if errors.Is(err, msg.ErrClosed) {
 				// Victim crashed; its TagDown will retire it, requeue its
@@ -309,6 +345,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		speculated[victim.task.ID] = true
 		speculated[spec.ID] = true // no speculation chains
 		res.Faults.SpeculativeTasks++
+		mt.Instant(timeline.OpSpeculate, spec.StartFrame, int64(spec.ID))
 		return true, sendTask(workers[thief], spec)
 	}
 
@@ -434,6 +471,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		}
 		w.dead = true
 		res.Faults.WorkersLost++
+		mt.Instant(timeline.OpRetire, -1, int64(w.task.ID))
 		hub.Detach(w.name)
 		// Drop the worker from the thief waiting list.
 		for i, name := range waiting {
@@ -581,7 +619,12 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 					pingSeq++
 					w.pingPending = true
 					res.Faults.PingsSent++
-					_ = hub.Send(name, msg.Message{Tag: TagPing, Data: encodePair(pingSeq, 0)})
+					// Stamp the master clock into the ping (0 with recording
+					// off, which legacy workers echo back untouched); the
+					// pong pairs it into an RTT offset sample.
+					w.pingSeqSent, w.pingSentNs = pingSeq, rec.Now()
+					mt.Instant(timeline.OpPing, -1, int64(pingSeq))
+					_ = hub.Send(name, msg.Message{Tag: TagPing, Data: encodePair(pingSeq, int(w.pingSentNs))})
 				}
 			}
 			continue
@@ -611,10 +654,39 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			if fd.Encoding == encFlate {
 				res.Wire.FramesCompressed++
 			}
+			mt.Instant(timeline.OpResult, fd.Frame, int64(len(m.Data)))
+			if rec != nil && fd.hasTimeline() {
+				// Every shipped result refines the worker's one-way offset
+				// bound; heartbeat RTT samples (TagPong) override it.
+				if fd.TLNow != 0 {
+					offsetFor(m.From).AddOneWay(rec.Now(), fd.TLNow)
+				}
+				if len(fd.TLTracks) > 0 {
+					tlGroups[m.From] = timeline.GroupOf(fd.TLTracks[0])
+				}
+				// Merge the piggybacked events, batching runs of the same
+				// track (the common case: all of one track's events arrive
+				// adjacent) into single AddTrack calls.
+				for i := 0; i < len(fd.TLEvents); {
+					j := i + 1
+					for j < len(fd.TLEvents) && fd.TLEvents[j].Track == fd.TLEvents[i].Track {
+						j++
+					}
+					evs := make([]timeline.Event, 0, j-i)
+					for k := i; k < j; k++ {
+						evs = append(evs, fd.TLEvents[k].Ev)
+					}
+					shipped.AddTrack(fd.TLTracks[fd.TLEvents[i].Track], evs, 0)
+					i = j
+				}
+			}
 			var complete, dup bool
 			if fd.Kind == frameDelta {
 				res.Wire.FramesDelta++
 				complete, dup, err = asm.deliverSpans(fd.Frame, fd.Region, fd.Spans, fd.Pix, time.Since(start))
+				if err == nil {
+					mt.Instant(timeline.OpDeltaApply, fd.Frame, int64(len(fd.Spans)))
+				}
 			} else {
 				res.Wire.FramesFull++
 				complete, dup, err = asm.deliver(fd.Frame, fd.Region, fd.Pix, time.Since(start))
@@ -622,6 +694,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			fd.release()
 			if err != nil {
 				if errors.Is(err, errDeltaBase) {
+					mt.Instant(timeline.OpBaseMiss, fd.Frame, 0)
 					// The delta's base result was lost in transit: the
 					// sender is honest, so this is a drop, not a protocol
 					// violation. The frame stays undelivered and is
@@ -681,6 +754,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			}
 			w.lastProgress = w.lastHeard
 			w.finishedAt = end
+			mt.Instant(timeline.OpTaskDone, end, int64(id))
 			// The worker stopped at end; any result that went missing in
 			// transit inside its range must be re-rendered, or the run
 			// would wait forever on pixels nobody is producing.
@@ -732,6 +806,14 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 
 		case TagPong:
 			res.Faults.PongsReceived++
+			if rec != nil {
+				// A timeline-capable worker stamped its clock into the pong
+				// (legacy echoes leave workerNs 0); pair it with the send
+				// time of the outstanding ping for an RTT offset sample.
+				if seq, _, workerNs, err := decodePong(m.Data); err == nil && workerNs != 0 && seq == w.pingSeqSent {
+					offsetFor(w.name).AddRTT(w.pingSentNs, rec.Now(), workerNs)
+				}
+			}
 
 		case msg.TagDown:
 			// PVM-style host failure: requeue the dead worker's
@@ -791,6 +873,32 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	res.Run.Total = res.Makespan
 	for _, n := range names {
 		res.Workers = append(res.Workers, workers[n].st)
+	}
+	if rec != nil {
+		// Build the cluster timeline: the master's own tracks, plus every
+		// shipped worker track shifted onto the master clock by that
+		// worker's offset estimate (track group = worker name).
+		tl := rec.Snapshot()
+		tl.Meta["scheme"] = cfg.Scheme.Name()
+		tl.Meta["resolution"] = fmt.Sprintf("%dx%d", cfg.W, cfg.H)
+		tl.Meta["frames"] = fmt.Sprintf("[%d,%d)", cfg.StartFrame, cfg.EndFrame)
+		for i := range shipped.Tracks {
+			td := &shipped.Tracks[i]
+			tl.AddTrack(td.Name, td.Events, td.Dropped)
+		}
+		for name, est := range offsets {
+			// Shift the group the worker actually shipped tracks under;
+			// a worker that never shipped any has nothing to shift, and
+			// its offset is omitted as noise.
+			group, ok := tlGroups[name]
+			if !ok {
+				continue
+			}
+			tl.Shift(group, est.Offset())
+			tl.Meta["offset/"+group] = fmt.Sprintf("%dns (%s)", est.Offset(), est.Quality())
+		}
+		tl.Sort()
+		res.Timeline = tl
 	}
 	if cfg.Emit != nil {
 		for i, img := range res.Frames {

@@ -7,6 +7,7 @@ import (
 	"nowrender/internal/msg"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 	vm "nowrender/internal/vecmath"
 )
 
@@ -36,11 +37,15 @@ const (
 	// frame and is about to close its connection. The master requeues the
 	// rest of its task without treating the exit as a failure.
 	TagBye
-	// TagPing is the master's heartbeat (payload: sequence number, 0).
-	// Workers answer between frames, so a pong proves the render loop is
-	// alive, not merely the connection.
+	// TagPing is the master's heartbeat (payload: sequence number, then
+	// the master's timeline clock in ns — 0 with no recorder). Workers
+	// answer between frames, so a pong proves the render loop is alive,
+	// not merely the connection.
 	TagPing
-	// TagPong echoes a ping's payload back to the master.
+	// TagPong answers a ping: legacy workers echo the payload verbatim,
+	// timeline-capable workers append their own recorder clock (see
+	// encodePong) so the master can estimate per-worker clock offsets
+	// from the round trip.
 	TagPong
 )
 
@@ -55,7 +60,12 @@ const (
 	capWireDelta = 1 << 0
 	// capWireCompress: frame payloads may be flate-compressed.
 	capWireCompress = 1 << 1
-	wireCapsMask    = capWireDelta | capWireCompress
+	// capWireTimeline: the worker ships its timeline events (recv/
+	// render/encode/send phase spans, tile spans) piggybacked on frame
+	// results, and stamps its recorder clock into pongs so the master
+	// can offset-correct them into the cluster timeline.
+	capWireTimeline = 1 << 2
+	wireCapsMask    = capWireDelta | capWireCompress | capWireTimeline
 )
 
 // Frame result kinds (frameDoneMsg.Kind).
@@ -234,10 +244,38 @@ type frameDoneMsg struct {
 	Regs      uint64
 	Rays      stats.RayCounters
 	ElapsedNs int64
+	// Timeline piggyback (capWireTimeline): TLNow is the worker's
+	// recorder clock at encode time (0 = no timeline; feeds the
+	// master's one-way offset estimate) and TLEvents carries the events
+	// drained from the worker's recorder since the previous result,
+	// tagged with indices into the TLTracks name table.
+	TLNow    int64
+	TLTracks []string
+	TLEvents []wireEvent
 	// pooled marks Pix as pool-owned scratch (decompressed payloads);
 	// release returns it once the pixels are merged.
 	pooled bool
 }
+
+// wireEvent is one shipped timeline event: Track indexes the message's
+// TLTracks table.
+type wireEvent struct {
+	Track int
+	Ev    timeline.Event
+}
+
+// hasTimeline reports whether the message carries a timeline section.
+func (m *frameDoneMsg) hasTimeline() bool {
+	return m.TLNow != 0 || len(m.TLTracks) > 0 || len(m.TLEvents) > 0
+}
+
+// wireEventBytes is the wire size of one timeline event (six packed
+// int64s), bounding decode-side allocation.
+const wireEventBytes = 48
+
+// maxTLTracks bounds the per-message track table: a worker has one
+// phase track plus one per tile-pool thread.
+const maxTLTracks = 512
 
 // release returns pool-owned pixel storage after the master has merged
 // the frame. Safe to call on any decoded message.
@@ -277,8 +315,11 @@ func encodeFrameDone(m frameDoneMsg) []byte {
 	b.PackInt(m.ElapsedNs)
 	// Delta/compression fields trail the legacy layout and are omitted
 	// for plain raw key-frames, which therefore stay byte-identical to
-	// the pre-capability encoding.
-	if m.Kind != frameFull || m.Encoding != encRaw {
+	// the pre-capability encoding. The timeline section trails the
+	// delta section and forces it present (the decoder reads them in
+	// order); it is only populated under a capWireTimeline grant, which
+	// a legacy master never issues, so legacy decoders never see it.
+	if m.Kind != frameFull || m.Encoding != encRaw || m.hasTimeline() {
 		b.PackInt(int64(m.Kind))
 		b.PackInt(int64(m.Encoding))
 		b.PackInt(int64(len(m.Spans)))
@@ -286,6 +327,22 @@ func encodeFrameDone(m frameDoneMsg) []byte {
 			b.PackInt(int64(s.Y))
 			b.PackInt(int64(s.X0))
 			b.PackInt(int64(s.X1))
+		}
+		if m.hasTimeline() {
+			b.PackInt(m.TLNow)
+			b.PackInt(int64(len(m.TLTracks)))
+			for _, name := range m.TLTracks {
+				b.PackString(name)
+			}
+			b.PackInt(int64(len(m.TLEvents)))
+			for _, we := range m.TLEvents {
+				b.PackInt(int64(we.Track))
+				b.PackInt(int64(we.Ev.Op))
+				b.PackInt(int64(we.Ev.Frame))
+				b.PackInt(we.Ev.Start)
+				b.PackInt(we.Ev.Dur)
+				b.PackInt(we.Ev.Arg)
+			}
 		}
 	}
 	return b.Sealed()
@@ -345,6 +402,35 @@ func decodeFrameDone(data []byte) (frameDoneMsg, error) {
 		m.Spans = make([]fb.Span, n)
 		for i := range m.Spans {
 			m.Spans[i] = fb.Span{Y: int(b.UnpackInt()), X0: int(b.UnpackInt()), X1: int(b.UnpackInt())}
+		}
+		if b.Len() > 0 {
+			// Timeline piggyback (capWireTimeline grants only).
+			m.TLNow = b.UnpackInt()
+			nt := int(b.UnpackInt())
+			if nt < 0 || nt > maxTLTracks || nt > b.Len()/8 {
+				return frameDoneMsg{}, fmt.Errorf("farm: bad timeline track count %d", nt)
+			}
+			m.TLTracks = make([]string, nt)
+			for i := range m.TLTracks {
+				m.TLTracks[i] = b.UnpackString()
+			}
+			ne := int(b.UnpackInt())
+			if ne < 0 || ne > b.Len()/wireEventBytes {
+				return frameDoneMsg{}, fmt.Errorf("farm: bad timeline event count %d", ne)
+			}
+			m.TLEvents = make([]wireEvent, ne)
+			for i := range m.TLEvents {
+				we := wireEvent{Track: int(b.UnpackInt())}
+				we.Ev.Op = timeline.Op(b.UnpackInt())
+				we.Ev.Frame = int32(b.UnpackInt())
+				we.Ev.Start = b.UnpackInt()
+				we.Ev.Dur = b.UnpackInt()
+				we.Ev.Arg = b.UnpackInt()
+				if we.Track < 0 || we.Track >= nt {
+					return frameDoneMsg{}, fmt.Errorf("farm: timeline event track %d of %d", we.Track, nt)
+				}
+				m.TLEvents[i] = we
+			}
 		}
 	}
 	if err := b.Err(); err != nil {
@@ -447,6 +533,38 @@ func encodePair(a, b int) []byte {
 	buf.PackInt(int64(a))
 	buf.PackInt(int64(b))
 	return buf.Sealed()
+}
+
+// encodePong packs a worker's heartbeat answer: the ping's sequence and
+// master clock stamp echoed back, plus the worker's own recorder clock
+// (0 = no timeline clock). A legacy worker instead echoes the ping's
+// pair payload verbatim; decodePong tells the two apart by length, so
+// the master gets RTTs from everyone and offsets only from workers that
+// can stamp them.
+func encodePong(seq int, masterNs, workerNs int64) []byte {
+	buf := msg.GetBuffer()
+	defer buf.Release()
+	buf.PackInt(int64(seq))
+	buf.PackInt(masterNs)
+	buf.PackInt(workerNs)
+	return buf.Sealed()
+}
+
+func decodePong(data []byte) (seq int, masterNs, workerNs int64, err error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("farm: bad pong message: %w", err)
+	}
+	b := msg.FromBytes(body)
+	seq = int(b.UnpackInt())
+	masterNs = b.UnpackInt()
+	if b.Len() > 0 {
+		workerNs = b.UnpackInt()
+	}
+	if err := b.Err(); err != nil {
+		return 0, 0, 0, fmt.Errorf("farm: bad pong message: %w", err)
+	}
+	return seq, masterNs, workerNs, nil
 }
 
 func decodePair(data []byte) (int, int, error) {

@@ -10,6 +10,7 @@ import (
 	"nowrender/internal/fb"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 	"nowrender/internal/trace"
 )
 
@@ -81,7 +82,21 @@ func RenderVirtual(cfg Config) (*Result, error) {
 	}
 	var wireEnc frameEncoder // shared scratch; the event loop is sequential
 
+	// Timeline recording on the virtual clock: events carry explicit
+	// virtual timestamps (Span/InstantAt), all machines share the model's
+	// clock, so no offset correction applies. Nil recorder = nil tracks =
+	// one branch per site.
+	rec := cfg.Timeline
+	mtv := rec.Track("master/loop")
+	vtracks := make([]*timeline.Track, len(workers))
+	if rec != nil {
+		for i := range workers {
+			vtracks[i] = rec.Track(cfg.Machines[i].Name + "/main")
+		}
+	}
+
 	assign := func(w *vworker, t partition.Task) error {
+		mtv.InstantAt(timeline.OpDispatch, t.StartFrame, int64(now.Time(w.id)), int64(t.ID))
 		w.task = t
 		w.hasTask = true
 		w.next = t.StartFrame
@@ -181,9 +196,12 @@ func RenderVirtual(cfg Config) (*Result, error) {
 		before := now.Time(w.id)
 		now.Exec(w.id, work)
 		execTime := now.Time(w.id) - before
+		execEnd := now.Time(w.id)
+		vtracks[w.id].Span(timeline.OpFrame, f, int64(before), int64(execEnd), int64(frameRendered[f]))
 
 		// Ship the region back to the master over the shared bus.
 		var complete bool
+		var sendEnd time.Duration
 		if wireOn {
 			fd := frameDoneMsg{TaskID: w.task.ID, Frame: f, Region: w.task.Region}
 			var spans []fb.Span
@@ -192,6 +210,7 @@ func RenderVirtual(cfg Config) (*Result, error) {
 			}
 			data := wireEnc.encode(&fd, w.buf, wireFlags, spans, f == w.task.StartFrame)
 			end := now.Communicate(w.id, len(data))
+			sendEnd = end
 			res.BytesTransferred += int64(len(data))
 			res.Wire.WireBytes += uint64(len(data))
 			res.Wire.RawBytes += uint64(w.task.Region.Area() * 3)
@@ -217,6 +236,7 @@ func RenderVirtual(cfg Config) (*Result, error) {
 			pix := extractRegion(w.buf, w.task.Region)
 			resultBytes := len(pix) + 32
 			end := now.Communicate(w.id, resultBytes)
+			sendEnd = end
 			res.BytesTransferred += int64(resultBytes)
 			var err error
 			complete, _, err = asm.deliver(f, w.task.Region, pix, end)
@@ -224,6 +244,7 @@ func RenderVirtual(cfg Config) (*Result, error) {
 				return err
 			}
 		}
+		vtracks[w.id].Span(timeline.OpSend, f, int64(execEnd), int64(sendEnd), int64(w.task.Region.Area()*3))
 		if complete && cfg.OnFrame != nil {
 			if err := cfg.OnFrame(f, asm.frame(f)); err != nil {
 				return err
@@ -322,6 +343,15 @@ func RenderVirtual(cfg Config) (*Result, error) {
 		})
 	}
 	sort.Slice(res.Workers, func(i, j int) bool { return res.Workers[i].Worker < res.Workers[j].Worker })
+	if rec != nil {
+		tl := rec.Snapshot()
+		tl.Meta["scheme"] = cfg.Scheme.Name()
+		tl.Meta["resolution"] = fmt.Sprintf("%dx%d", cfg.W, cfg.H)
+		tl.Meta["frames"] = fmt.Sprintf("[%d,%d)", cfg.StartFrame, cfg.EndFrame)
+		tl.Meta["clock"] = "virtual"
+		tl.Sort()
+		res.Timeline = tl
+	}
 
 	if cfg.Emit != nil {
 		for i, img := range res.Frames {

@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"nowrender/internal/coherence"
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
 	"nowrender/internal/scene"
+	"nowrender/internal/timeline"
 	"nowrender/internal/trace"
 )
 
@@ -113,12 +115,18 @@ type WorkerOptions struct {
 	// master's heartbeat interval (pings count as traffic); a worker
 	// mid-task is not subject to it.
 	MasterDeadline time.Duration
-	// NoWireDelta and NoWireCompress withhold the corresponding wire
-	// capability from the hello advertisement (the zero value advertises
-	// both — a new worker is fully capable by default). The master never
-	// enables a mode the worker did not advertise, so these simulate an
-	// old worker in a mixed fleet.
-	NoWireDelta, NoWireCompress bool
+	// NoWireDelta, NoWireCompress and NoWireTimeline withhold the
+	// corresponding wire capability from the hello advertisement (the
+	// zero value advertises all — a new worker is fully capable by
+	// default). The master never enables a mode the worker did not
+	// advertise, so these simulate an old worker in a mixed fleet.
+	NoWireDelta, NoWireCompress, NoWireTimeline bool
+	// Timeline, when non-nil, is the worker's local event recorder:
+	// phase and tile spans land in it whether or not the master grants
+	// capWireTimeline (cmd/nowworker dumps it via -timeline). When nil
+	// and a task grants the capability, the worker creates a private
+	// recorder on first use just for shipping.
+	Timeline *timeline.Recorder
 }
 
 // caps returns the wire capability bits the options advertise.
@@ -130,7 +138,82 @@ func (o WorkerOptions) caps() int {
 	if o.NoWireCompress {
 		c &^= capWireCompress
 	}
+	if o.NoWireTimeline {
+		c &^= capWireTimeline
+	}
 	return c
+}
+
+// pongData builds the heartbeat answer. A timeline-capable worker
+// re-stamps the ping with its recorder clock so the master can estimate
+// the clock offset from the RTT; a worker that opted out echoes the
+// payload verbatim — byte-identical to the legacy protocol. A malformed
+// ping is echoed too: the master only needs the bytes back.
+func pongData(ping []byte, opts WorkerOptions, wt *workerTimeline) []byte {
+	if opts.NoWireTimeline {
+		return ping
+	}
+	seq, masterNs, err := decodePair(ping)
+	if err != nil {
+		return ping
+	}
+	return encodePong(seq, int64(masterNs), wt.now())
+}
+
+// workerTimeline is the worker-side recorder state: the recorder (from
+// options, or created lazily on the first capWireTimeline grant), the
+// worker's phase track and its tile-pool tracks. All methods are
+// nil-receiver-safe mirrors of the timeline package's disabled path.
+type workerTimeline struct {
+	name  string
+	rec   *timeline.Recorder
+	main  *timeline.Track
+	tiles []*timeline.Track
+}
+
+// ensure makes the recorder and tracks live (first grant), growing the
+// tile-track pool to threads entries.
+func (wt *workerTimeline) ensure(threads int) {
+	if wt.rec == nil {
+		wt.rec = timeline.New(0)
+	}
+	if wt.main == nil {
+		wt.main = wt.rec.Track(wt.name + "/main")
+	}
+	for len(wt.tiles) < threads {
+		wt.tiles = append(wt.tiles, wt.rec.Track(fmt.Sprintf("%s/tile%02d", wt.name, len(wt.tiles))))
+	}
+}
+
+// now returns the worker's timeline clock (0 before any grant), the
+// stamp pongs and shipped results carry.
+func (wt *workerTimeline) now() int64 { return wt.rec.Now() }
+
+// attach drains the recorder and piggybacks the new events onto fd.
+// The events of the encode/send phases of a frame are drained by the
+// next frame's result (or lost at task end) — a one-frame lag the
+// merged timeline tolerates, not a correctness issue.
+func (wt *workerTimeline) attach(fd *frameDoneMsg) {
+	if wt.rec == nil {
+		return
+	}
+	fd.TLNow = wt.now()
+	for _, te := range wt.rec.TakeNew() {
+		idx := -1
+		for i, n := range fd.TLTracks {
+			if n == te.Track {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(fd.TLTracks)
+			fd.TLTracks = append(fd.TLTracks, te.Track)
+		}
+		for _, ev := range te.Events {
+			fd.TLEvents = append(fd.TLEvents, wireEvent{Track: idx, Ev: ev})
+		}
+	}
 }
 
 // RunWorkerCtx is RunWorker with graceful-shutdown support: when ctx is
@@ -160,7 +243,12 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 	if err := ac.Send(msg.Message{Tag: TagHello, From: name, Data: encodeHello(name, opts.caps())}); err != nil {
 		return err
 	}
+	wt := &workerTimeline{name: name, rec: opts.Timeline}
+	if wt.rec != nil {
+		wt.ensure(0)
+	}
 	for {
+		idleStart := wt.main.Begin()
 		m, err := ac.recvDeadline(ctx, opts.MasterDeadline)
 		if err != nil {
 			if errors.Is(err, msg.ErrClosed) {
@@ -173,12 +261,16 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 			}
 			return err
 		}
+		// The idle wait for work is the recv span; its arg records what
+		// ended it.
+		wt.main.EndArg(timeline.OpRecv, -1, idleStart, int64(m.Tag))
 		switch m.Tag {
 		case TagShutdown:
 			return nil
 		case TagPing:
-			// Heartbeat: echo the payload so the master sees us alive.
-			if err := ac.Send(msg.Message{Tag: TagPong, From: name, Data: m.Data}); err != nil {
+			// Heartbeat: answer so the master sees us alive (stamped with
+			// our recorder clock when timeline-capable).
+			if err := ac.Send(msg.Message{Tag: TagPong, From: name, Data: pongData(m.Data, opts, wt)}); err != nil {
 				return err
 			}
 		case TagTask:
@@ -192,7 +284,14 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 			// Never honour a grant beyond what we advertised (a confused
 			// master must not switch on a mode we opted out of).
 			tm.WireFlags &= opts.caps()
-			if err := runTask(ctx, name, ac, sc, tm); err != nil {
+			if wt.rec != nil || tm.WireFlags&capWireTimeline != 0 {
+				threads := tm.Threads
+				if threads <= 0 {
+					threads = runtime.NumCPU()
+				}
+				wt.ensure(threads)
+			}
+			if err := runTask(ctx, name, ac, sc, tm, wt, opts); err != nil {
 				return err
 			}
 		case TagTruncate:
@@ -214,7 +313,7 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 
 // runTask renders one task frame-by-frame, honouring truncation and
 // graceful shutdown between frames.
-func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, tm taskMsg) error {
+func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, tm taskMsg, wt *workerTimeline, opts WorkerOptions) error {
 	t := tm.Task
 	end := t.EndFrame
 	var eng *coherence.Engine
@@ -225,6 +324,8 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 			GridRes:          tm.GridRes,
 			BlockGranularity: tm.BlockGran,
 			Threads:          tm.Threads,
+			TimelineTrack:    wt.main,
+			TileTracks:       wt.tiles,
 		})
 		if err != nil {
 			return err
@@ -274,7 +375,7 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 			case TagPing:
 				// Between-frames pong: proves the render loop itself is
 				// making progress, not merely that the connection is up.
-				if err := ac.Send(msg.Message{Tag: TagPong, From: name, Data: cm.Data}); err != nil {
+				if err := ac.Send(msg.Message{Tag: TagPong, From: name, Data: pongData(cm.Data, opts, wt)}); err != nil {
 					return err
 				}
 			default:
@@ -286,6 +387,7 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 		}
 
 		started := time.Now()
+		renderStart := wt.main.Begin()
 		fd := frameDoneMsg{TaskID: t.ID, Frame: f, Region: t.Region}
 		var spans []fb.Span
 		if eng != nil {
@@ -303,19 +405,30 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 			if err != nil {
 				return err
 			}
-			ft.RenderRegionParallel(buf, t.Region, tm.Threads)
+			ft.RenderRegionParallelTimed(buf, t.Region, tm.Threads, f, wt.tiles)
 			fd.Rendered = t.Region.Area()
 			fd.Rays = ft.Counters
 		}
 		fd.ElapsedNs = time.Since(started).Nanoseconds()
+		wt.main.EndArg(timeline.OpFrame, f, renderStart, int64(fd.Rendered))
+		// Piggyback everything recorded so far onto this result. Encode
+		// and send spans of frame f therefore ship with frame f+1 (or not
+		// at all for the last frame) — see workerTimeline.attach.
+		if tm.WireFlags&capWireTimeline != 0 {
+			wt.attach(&fd)
+		}
 		// The first frame of a task is always a key-frame: every retry,
 		// steal, speculation or requeue arrives as a fresh task, so the
 		// master's (possibly stale) copy of the region is reseeded before
 		// any delta builds on it.
+		encStart := wt.main.Begin()
 		data := enc.encode(&fd, buf, tm.WireFlags, spans, f == t.StartFrame)
+		wt.main.EndArg(timeline.OpEncode, f, encStart, int64(len(data)))
+		sendStart := wt.main.Begin()
 		if err := ac.Send(msg.Message{Tag: TagFrameDone, From: name, Data: data}); err != nil {
 			return err
 		}
+		wt.main.End(timeline.OpSend, f, sendStart)
 		f++
 	}
 	return ac.Send(msg.Message{Tag: TagTaskDone, From: name, Data: encodePair(t.ID, end)})

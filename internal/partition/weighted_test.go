@@ -71,6 +71,88 @@ func TestWeightedSubdivide(t *testing.T) {
 	}
 }
 
+func TestWeightedSingleWorker(t *testing.T) {
+	s := WeightedSequenceDivision{Speeds: []float64{3}}
+	tasks := s.InitialTasks(8, 8, 2, 14, 1)
+	if len(tasks) != 1 {
+		t.Fatalf("%d tasks, want 1", len(tasks))
+	}
+	if tasks[0].StartFrame != 2 || tasks[0].EndFrame != 14 {
+		t.Errorf("task covers [%d,%d), want [2,14)", tasks[0].StartFrame, tasks[0].EndFrame)
+	}
+	if err := ValidateTiling(tasks, 8, 8, 2, 14); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedMoreWorkersThanFrames(t *testing.T) {
+	// 8 workers for 3 frames: the scheme clamps to one task per frame
+	// rather than emitting empty assignments.
+	s := WeightedSequenceDivision{Speeds: []float64{5, 1, 1, 1, 1, 1, 1, 1}}
+	tasks := s.InitialTasks(8, 8, 0, 3, 8)
+	if len(tasks) > 3 {
+		t.Fatalf("%d tasks for 3 frames", len(tasks))
+	}
+	for _, task := range tasks {
+		if task.Frames() < 1 {
+			t.Errorf("empty task %v", task)
+		}
+	}
+	if err := ValidateTiling(tasks, 8, 8, 0, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedNegativeSpeedTreatedAsOne(t *testing.T) {
+	// A negative speed (bad calibration input) falls back to weight 1
+	// instead of poisoning the apportionment.
+	neg := WeightedSequenceDivision{Speeds: []float64{-3, 2}}
+	ref := WeightedSequenceDivision{Speeds: []float64{1, 2}}
+	a := neg.InitialTasks(8, 8, 0, 12, 2)
+	b := ref.InitialTasks(8, 8, 0, 12, 2)
+	if len(a) != len(b) {
+		t.Fatalf("task counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Frames() != b[i].Frames() {
+			t.Errorf("task %d: %d vs %d frames", i, a[i].Frames(), b[i].Frames())
+		}
+	}
+}
+
+func TestWeightedDegenerateRanges(t *testing.T) {
+	s := WeightedSequenceDivision{Speeds: []float64{2, 1}}
+	if tasks := s.InitialTasks(8, 8, 5, 5, 2); tasks != nil {
+		t.Errorf("empty frame range produced %d tasks", len(tasks))
+	}
+	if tasks := s.InitialTasks(8, 8, 5, 3, 2); tasks != nil {
+		t.Errorf("inverted frame range produced %d tasks", len(tasks))
+	}
+	if tasks := s.InitialTasks(8, 8, 0, 10, 0); tasks != nil {
+		t.Errorf("zero workers produced %d tasks", len(tasks))
+	}
+}
+
+func TestWeightedFewerSpeedsThanWorkers(t *testing.T) {
+	// Two calibrated speeds, four workers: the uncalibrated pair gets
+	// weight 1 and the fast machine still leads.
+	s := WeightedSequenceDivision{Speeds: []float64{4, 2}}
+	tasks := s.InitialTasks(8, 8, 0, 16, 4)
+	if err := ValidateTiling(tasks, 8, 8, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 4 {
+		t.Fatalf("%d tasks, want 4", len(tasks))
+	}
+	// Weights 4:2:1:1 over 16 frames = 8:4:2:2.
+	want := []int{8, 4, 2, 2}
+	for i, task := range tasks {
+		if task.Frames() != want[i] {
+			t.Errorf("task %d has %d frames, want %d", i, task.Frames(), want[i])
+		}
+	}
+}
+
 // Property: any speed mix tiles exactly.
 func TestQuickWeightedTiles(t *testing.T) {
 	f := func(s0, s1, s2 uint8, frames8, workers8 uint8) bool {

@@ -20,6 +20,7 @@ import (
 //	POST   /jobs/{id}/cancel      cancel a queued or running job
 //	GET    /jobs/{id}/events      server-sent per-frame progress events
 //	GET    /jobs/{id}/frames/{n}  fetch a finished frame (?format=tga|ppm|png)
+//	GET    /jobs/{id}/timeline    Chrome trace JSON of the job's farm runs
 //	GET    /metrics               Prometheus text-format metrics
 //	GET    /healthz               liveness probe
 func (s *Service) Handler() http.Handler {
@@ -31,6 +32,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /jobs/{id}/frames/{frame}", s.handleFrame)
+	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -175,6 +177,24 @@ func (s *Service) handleFrame(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q", r.URL.Query().Get("format")))
 	}
+}
+
+// handleTimeline serves the job's merged cluster timeline as Chrome
+// trace-event JSON (loadable in Perfetto, readable by cmd/nowtrace).
+// 404 when the service runs without -timeline or no farm run has
+// completed yet.
+func (s *Service) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	tl, err := s.JobTimeline(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if tl == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no timeline recorded (enable with -timeline, and wait for a farm run to complete)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = tl.WriteChromeTrace(w)
 }
 
 // handleMetrics exposes the service counters in Prometheus text format:

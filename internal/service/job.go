@@ -11,6 +11,7 @@ import (
 	"nowrender/internal/scenes"
 	"nowrender/internal/sdl"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 )
 
 // State is a job's lifecycle phase.
@@ -150,6 +151,9 @@ type job struct {
 	rays      stats.RayCounters
 	faults    stats.FaultCounters
 	wire      stats.WireStats
+	// timeline accumulates the merged cluster timeline of the job's farm
+	// runs (Config.Timeline on); nil otherwise.
+	timeline *timeline.Timeline
 
 	submitted, started, finished time.Time
 

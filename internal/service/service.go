@@ -28,6 +28,7 @@ import (
 	"nowrender/internal/partition"
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 )
 
 // Config tunes a Service.
@@ -76,6 +77,12 @@ type Config struct {
 	// flate payload compression on the farm data path (see farm.Config);
 	// pixels are byte-identical either way.
 	WireDelta, WireCompress bool
+	// Timeline records every farm run into a per-job cluster timeline
+	// (master scheduling events plus offset-corrected worker spans),
+	// served as Chrome trace JSON on GET /jobs/{id}/timeline. Off by
+	// default: each running job then costs nothing but a nil check per
+	// instrumentation site.
+	Timeline bool
 }
 
 func (c *Config) defaults() {
@@ -396,6 +403,13 @@ func (s *Service) renderRange(j *job, start, end int) error {
 	if err != nil {
 		return err
 	}
+	var rec *timeline.Recorder
+	if s.cfg.Timeline {
+		// One recorder per farm run; runs merge into the job's timeline
+		// below (each run has its own epoch, which the trace viewer and
+		// analyzer both tolerate — spans never interleave within a track).
+		rec = timeline.New(0)
+	}
 	cfg := farm.Config{
 		Scene: j.scene, W: j.spec.W, H: j.spec.H,
 		Scheme:     scheme,
@@ -413,6 +427,7 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		WrapConn:     s.cfg.FaultWrap,
 		WireDelta:    s.cfg.WireDelta,
 		WireCompress: s.cfg.WireCompress,
+		Timeline:     rec,
 		OnFrame: func(f int, img *fb.Framebuffer) error {
 			s.cache.put(frameKey{seq: j.key, frame: f}, img)
 			s.mu.Lock()
@@ -444,9 +459,36 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		for _, w := range res.Workers {
 			s.workerBusy[w.Worker] += w.Busy
 		}
+		if res.Timeline != nil {
+			if j.timeline == nil {
+				j.timeline = &timeline.Timeline{Meta: map[string]string{}}
+			}
+			for k, v := range res.Timeline.Meta {
+				j.timeline.Meta[k] = v
+			}
+			for i := range res.Timeline.Tracks {
+				td := &res.Timeline.Tracks[i]
+				j.timeline.AddTrack(td.Name, td.Events, td.Dropped)
+			}
+			j.timeline.Sort()
+		}
 		s.mu.Unlock()
 	}
 	return err
+}
+
+// JobTimeline returns a job's merged cluster timeline, which grows as
+// the job's farm runs complete. Nil when timeline recording is off or
+// no run has finished yet. The timeline is shared and must not be
+// modified.
+func (s *Service) JobTimeline(id string) (*timeline.Timeline, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("service: no job %q", id)
+	}
+	return j.timeline, nil
 }
 
 // FaultStats snapshots the fault-handling counters aggregated over every

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nowrender/internal/timeline"
+)
+
+// TestJobTimelineEndpoint: with Config.Timeline on, a finished job
+// serves a Chrome trace on GET /jobs/{id}/timeline that parses back
+// into a timeline with events; with it off, the endpoint is a 404.
+func TestJobTimelineEndpoint(t *testing.T) {
+	s := New(Config{Timeline: true})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	st, err := s.Submit(JobSpec{Scene: "newton:3", W: 60, H: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, s, st.ID); st.State != StateDone {
+		t.Fatalf("job state = %s (err %q)", st.State, st.Error)
+	}
+
+	resp, err := http.Get(srv.URL + "/jobs/" + st.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "json") {
+		t.Errorf("content type = %q", ct)
+	}
+	tl, err := timeline.ReadChromeTrace(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Events() == 0 {
+		t.Error("served timeline has no events")
+	}
+
+	if resp, err := http.Get(srv.URL + "/jobs/nope/timeline"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown job timeline status = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestJobTimelineOffByDefault: without Config.Timeline the endpoint
+// 404s even for a finished job — recording must be opt-in.
+func TestJobTimelineOffByDefault(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	st, err := s.Submit(JobSpec{Scene: "newton:3", W: 60, H: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st = waitDone(t, s, st.ID); st.State != StateDone {
+		t.Fatalf("job state = %s (err %q)", st.State, st.Error)
+	}
+	resp, err := http.Get(srv.URL + "/jobs/" + st.ID + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("timeline status with recording off = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,294 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	if r.Now() != 0 {
+		t.Fatal("nil recorder clock should be 0")
+	}
+	tr := r.Track("master/loop")
+	if tr != nil {
+		t.Fatal("nil recorder must hand out nil tracks")
+	}
+	// Every track method must be a no-op on nil.
+	s := tr.Begin()
+	tr.End(OpFrame, 3, s)
+	tr.EndArg(OpFrame, 3, s, 7)
+	tr.Span(OpFrame, 3, 1, 2, 0)
+	tr.Instant(OpDispatch, 3, 1)
+	tr.InstantAt(OpDispatch, 3, 5, 1)
+	if tr.Name() != "" {
+		t.Fatal("nil track name")
+	}
+	if got := r.TakeNew(); got != nil {
+		t.Fatalf("nil recorder TakeNew = %v", got)
+	}
+	tl := r.Snapshot()
+	if tl == nil || len(tl.Tracks) != 0 {
+		t.Fatalf("nil recorder snapshot = %+v", tl)
+	}
+}
+
+func TestTrackIdempotentAndRecords(t *testing.T) {
+	r := New(16)
+	a := r.Track("w0/main")
+	b := r.Track("w0/main")
+	if a != b {
+		t.Fatal("Track must be idempotent by name")
+	}
+	s := a.Begin()
+	a.End(OpFrame, 5, s)
+	a.Instant(OpDispatch, -1, 42)
+	tl := r.Snapshot()
+	if len(tl.Tracks) != 1 || len(tl.Tracks[0].Events) != 2 {
+		t.Fatalf("snapshot = %+v", tl)
+	}
+	ev := tl.Tracks[0].Events
+	if ev[0].Op != OpFrame || ev[0].Frame != 5 || ev[0].Instant() {
+		t.Fatalf("span event = %+v", ev[0])
+	}
+	if ev[1].Op != OpDispatch || !ev[1].Instant() || ev[1].Arg != 42 {
+		t.Fatalf("instant event = %+v", ev[1])
+	}
+	if tl.Tracks[0].Group() != "w0" {
+		t.Fatalf("group = %q", tl.Tracks[0].Group())
+	}
+}
+
+func TestRingDropsOldest(t *testing.T) {
+	r := New(4)
+	tr := r.Track("w/t")
+	for i := 0; i < 10; i++ {
+		tr.InstantAt(OpPing, i, int64(i), 0)
+	}
+	tl := r.Snapshot()
+	td := tl.Tracks[0]
+	if td.Dropped != 6 || len(td.Events) != 4 {
+		t.Fatalf("dropped %d, kept %d", td.Dropped, len(td.Events))
+	}
+	if td.Events[0].Frame != 6 || td.Events[3].Frame != 9 {
+		t.Fatalf("kept wrong window: %+v", td.Events)
+	}
+}
+
+func TestTakeNewDrains(t *testing.T) {
+	r := New(8)
+	tr := r.Track("w/t")
+	tr.InstantAt(OpPing, 0, 1, 0)
+	tr.InstantAt(OpPing, 1, 2, 0)
+	got := r.TakeNew()
+	if len(got) != 1 || len(got[0].Events) != 2 {
+		t.Fatalf("first take = %+v", got)
+	}
+	if got := r.TakeNew(); got != nil {
+		t.Fatalf("drained take = %+v", got)
+	}
+	tr.InstantAt(OpPing, 2, 3, 0)
+	got = r.TakeNew()
+	if len(got) != 1 || len(got[0].Events) != 1 || got[0].Events[0].Frame != 2 {
+		t.Fatalf("incremental take = %+v", got)
+	}
+	// Wrap between takes: only the survivors arrive, the loss counted.
+	for i := 0; i < 12; i++ {
+		tr.InstantAt(OpPing, 10+i, int64(10+i), 0)
+	}
+	got = r.TakeNew()
+	if len(got) != 1 || len(got[0].Events) != 8 || got[0].Dropped != 4 {
+		t.Fatalf("wrapped take = %+v", got)
+	}
+}
+
+func TestOpStringRoundTrip(t *testing.T) {
+	for o := OpNone; o < opCount; o++ {
+		if OpFromString(o.String()) != o {
+			t.Fatalf("op %d name %q does not round-trip", o, o.String())
+		}
+	}
+	if OpFromString("no-such-op") != OpNone {
+		t.Fatal("unknown name should map to OpNone")
+	}
+}
+
+// TestChromeTraceRoundTrip is the schema round-trip acceptance test:
+// exported JSON must be valid Chrome trace-event JSON and re-import to
+// the identical timeline.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tl := &Timeline{Meta: map[string]string{"scheme": "frame div", "scene": "gallery"}}
+	tl.AddTrack("master/loop", []Event{
+		{Start: 1000, Dur: instantDur, Op: OpDispatch, Frame: 0, Arg: 3},
+		{Start: 2500, Dur: instantDur, Op: OpResult, Frame: 0, Arg: 998},
+	}, 0)
+	tl.AddTrack("worker00/main", []Event{
+		{Start: 1200, Dur: 900, Op: OpFrame, Frame: 0},
+		{Start: 2101, Dur: 250, Op: OpEncode, Frame: 0, Arg: 12},
+		{Start: 2400, Dur: 80, Op: OpSend, Frame: 0},
+	}, 0)
+	tl.AddTrack("worker00/tile00", []Event{
+		{Start: 1210, Dur: 400, Op: OpTile, Frame: 0, Arg: 1},
+	}, 0)
+	tl.Sort()
+
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Schema shape: a JSON object with a traceEvents array whose
+	// members carry ph/pid/tid/ts — what Perfetto requires.
+	var shape struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &shape); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(shape.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+	for _, ev := range shape.TraceEvents {
+		for _, key := range []string{"ph", "pid", "tid", "name"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("trace event missing %q: %v", key, ev)
+			}
+		}
+	}
+
+	back, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back.Sort()
+	if len(back.Tracks) != len(tl.Tracks) {
+		t.Fatalf("got %d tracks, want %d", len(back.Tracks), len(tl.Tracks))
+	}
+	for i := range tl.Tracks {
+		want, got := tl.Tracks[i], back.Tracks[i]
+		if want.Name != got.Name {
+			t.Fatalf("track %d name %q != %q", i, got.Name, want.Name)
+		}
+		if len(want.Events) != len(got.Events) {
+			t.Fatalf("track %s: %d events, want %d", want.Name, len(got.Events), len(want.Events))
+		}
+		for j := range want.Events {
+			if want.Events[j] != got.Events[j] {
+				t.Fatalf("track %s event %d: %+v != %+v", want.Name, j, got.Events[j], want.Events[j])
+			}
+		}
+	}
+	if back.Meta["scheme"] != "frame div" {
+		t.Fatalf("meta lost: %v", back.Meta)
+	}
+}
+
+func TestReadChromeTraceBareArray(t *testing.T) {
+	raw := `[{"name":"frame","ph":"X","ts":1.0,"dur":2.0,"pid":1,"tid":1,"args":{"frame":3}}]`
+	tl, err := ReadChromeTrace(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Events() != 1 || tl.Tracks[0].Events[0].Op != OpFrame {
+		t.Fatalf("parsed = %+v", tl)
+	}
+	if _, err := ReadChromeTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must not parse")
+	}
+}
+
+func TestOffsetEstimator(t *testing.T) {
+	// Worker clock runs 500 ahead of master: t_m = t_w - 500.
+	var o OffsetEstimator
+	if o.Offset() != 0 || o.Quality() != "none" {
+		t.Fatalf("empty estimator: %d %s", o.Offset(), o.Quality())
+	}
+	// One-way: worker stamps 1500 at master time 1000+transit.
+	o.AddOneWay(1040, 1500) // transit 40: offset est = 1040-1500 = -460
+	o.AddOneWay(2010, 2500) // transit 10: offset est = -490 (better)
+	if o.Quality() != "one-way" || o.Offset() != -490 {
+		t.Fatalf("one-way offset = %d (%s)", o.Offset(), o.Quality())
+	}
+	// RTT samples beat one-way ones.
+	o.AddRTT(1000, 1100, 1552) // rtt 100, worker at mid 1050 says 1552: off -502
+	o.AddRTT(2000, 2020, 2510) // rtt 20, worker at mid 2010 says 2510: off -500
+	o.AddRTT(3000, 3200, 3640) // worse rtt: ignored
+	if o.Quality() != "rtt" || o.Offset() != -500 {
+		t.Fatalf("rtt offset = %d (%s)", o.Offset(), o.Quality())
+	}
+	// Negative rtt (clock weirdness) ignored.
+	o.AddRTT(5000, 4000, 0)
+	if o.Offset() != -500 {
+		t.Fatal("negative rtt must be ignored")
+	}
+}
+
+func TestShiftAndBounds(t *testing.T) {
+	tl := &Timeline{}
+	tl.AddTrack("w0/main", []Event{{Start: 100, Dur: 50, Op: OpFrame}}, 0)
+	tl.AddTrack("master/loop", []Event{{Start: 10, Dur: instantDur, Op: OpDispatch}}, 0)
+	tl.Shift("w0", -40)
+	if tl.Tracks[0].Events[0].Start != 60 {
+		t.Fatalf("shift: %+v", tl.Tracks[0].Events[0])
+	}
+	s, e := tl.Bounds()
+	if s != 10 || e != 110 {
+		t.Fatalf("bounds = %d..%d", s, e)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tl := &Timeline{Meta: map[string]string{"scheme": "seq div"}}
+	// Two workers over a 0..1000 wall: w0 busy 800 (frames 0,1), w1
+	// busy 400 (frame 2), idle 300 before its frame and 300 at the end.
+	tl.AddTrack("w0/main", []Event{
+		{Start: 0, Dur: 500, Op: OpFrame, Frame: 0},
+		{Start: 500, Dur: 300, Op: OpFrame, Frame: 1},
+		{Start: 800, Dur: 200, Op: OpSend, Frame: 1},
+	}, 0)
+	tl.AddTrack("w1/main", []Event{
+		{Start: 300, Dur: 400, Op: OpFrame, Frame: 2},
+	}, 0)
+	tl.AddTrack("master/loop", []Event{
+		{Start: 0, Dur: instantDur, Op: OpDispatch, Frame: 0},
+		{Start: 1000, Dur: instantDur, Op: OpResult, Frame: 1},
+	}, 0)
+	rep := Analyze(tl)
+	if rep.Scheme != "seq div" || rep.Wall != 1000 {
+		t.Fatalf("scheme/wall = %q/%d", rep.Scheme, rep.Wall)
+	}
+	byName := map[string]GroupStat{}
+	for _, g := range rep.Groups {
+		byName[g.Group] = g
+	}
+	if g := byName["w0"]; g.Busy != 800 || g.Frames != 2 {
+		t.Fatalf("w0 = %+v", g)
+	}
+	if g := byName["w1"]; g.Busy != 400 || g.Utilisation != 0.4 {
+		t.Fatalf("w1 = %+v", g)
+	}
+	// Idle-gap attribution: w1 waited 300 before its frame span.
+	if got := byName["w1"].IdleGaps["frame"]; got != 300 {
+		t.Fatalf("w1 frame gap = %d", got)
+	}
+	if got := byName["w1"].IdleGaps["run-end"]; got != 300 {
+		t.Fatalf("w1 run-end gap = %d", got)
+	}
+	// Imbalance: max 800 / mean 600.
+	if rep.Imbalance < 1.32 || rep.Imbalance > 1.34 {
+		t.Fatalf("imbalance = %f", rep.Imbalance)
+	}
+	// Critical path: frame 1 finishes last (at 800), then frame 2 (700).
+	if len(rep.CriticalFrames) != 3 || rep.CriticalFrames[0].Frame != 1 || rep.CriticalFrames[1].Frame != 2 {
+		t.Fatalf("critical = %+v", rep.CriticalFrames)
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf)
+	out := buf.String()
+	for _, want := range []string{"seq div", "imbalance", "w0", "critical-path"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+}

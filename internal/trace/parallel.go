@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"nowrender/internal/fb"
+	"nowrender/internal/timeline"
 )
 
 // TileW and TileH are the tile dimensions the parallel render paths cut
@@ -29,12 +30,28 @@ const (
 // Counters are left untouched; per-worker counts are merged and
 // returned via the workers' own Counters into ft.Counters.
 func (ft *FrameTracer) RenderRegionParallel(dst *fb.Framebuffer, region fb.Rect, threads int) {
+	ft.RenderRegionParallelTimed(dst, region, threads, -1, nil)
+}
+
+// RenderRegionParallelTimed is RenderRegionParallel with per-tile
+// timeline instrumentation: tile worker i records an OpTile span on
+// tracks[i] (frame-tagged, arg = tile pixel area) for every tile it
+// renders. tracks may be nil or shorter than the pool — missing tracks
+// are nil, and a nil track costs a single branch per tile, which is why
+// the hot path carries the instrumentation unconditionally.
+func (ft *FrameTracer) RenderRegionParallelTimed(dst *fb.Framebuffer, region fb.Rect, threads, frame int, tracks []*timeline.Track) {
 	if threads <= 0 {
 		threads = runtime.NumCPU()
 	}
 	tiles := region.Blocks(TileW, TileH)
 	if threads == 1 || len(tiles) <= 1 {
+		var tr *timeline.Track
+		if len(tracks) > 0 {
+			tr = tracks[0]
+		}
+		s := tr.Begin()
 		ft.RenderRegion(dst, region)
+		tr.EndArg(timeline.OpTile, frame, s, int64(region.Area()))
 		return
 	}
 	if threads > len(tiles) {
@@ -47,6 +64,10 @@ func (ft *FrameTracer) RenderRegionParallel(dst *fb.Framebuffer, region fb.Rect,
 	for i := 0; i < threads; i++ {
 		w := ft.NewWorker(nil)
 		workers[i] = w
+		var tr *timeline.Track
+		if i < len(tracks) {
+			tr = tracks[i]
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -55,7 +76,9 @@ func (ft *FrameTracer) RenderRegionParallel(dst *fb.Framebuffer, region fb.Rect,
 				if t >= len(tiles) {
 					return
 				}
+				s := tr.Begin()
 				w.RenderRegion(dst, tiles[t])
+				tr.EndArg(timeline.OpTile, frame, s, int64(tiles[t].Area()))
 			}
 		}()
 	}
