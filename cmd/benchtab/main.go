@@ -38,6 +38,7 @@ func main() {
 		scaling   = flag.Bool("scaling", false, "cluster-size scaling sweep")
 		parallel  = flag.Bool("parallel", false, "intra-frame thread sweep, written to BENCH_parallel.json")
 		wire      = flag.Bool("wire", false, "frame codec sweep (full vs delta vs delta+flate), written to BENCH_wire.json")
+		dfbB      = flag.Bool("dfb", false, "distributed-framebuffer routing sweep (master vs compositor sinks), written to BENCH_dfb.json")
 		timelineB = flag.Bool("timeline", false, "event-recorder overhead bench (off vs on), written to BENCH_timeline.json")
 		all       = flag.Bool("all", false, "run everything")
 		full      = flag.Bool("full", false, "paper-scale workload (240x320, 45 frames)")
@@ -48,19 +49,19 @@ func main() {
 		csvOut    = flag.Bool("csv", false, "emit Table 1 as CSV instead of a text table")
 	)
 	flag.Parse()
-	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling && !*parallel && !*wire && !*timelineB {
+	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling && !*parallel && !*wire && !*dfbB && !*timelineB {
 		*all = true
 	}
 	if err := run(*table1 || *all, *fig2 || *all, *fig4 || *all,
 		*ablations || *all, *scaling || *all, *parallel || *all, *wire || *all,
-		*timelineB || *all,
+		*dfbB || *all, *timelineB || *all,
 		*full, *frame, *outDir, *sceneSpec, *wireScene, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, fig2, fig4, ablations, scaling, parallel, wire, timelineB, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
+func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -264,6 +265,47 @@ func run(table1, fig2, fig4, ablations, scaling, parallel, wire, timelineB, full
 			return err
 		}
 		jsonPath := "BENCH_wire.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			jsonPath = filepath.Join(outDir, jsonPath)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+
+	if dfbB {
+		wsc, err := scenes.FromSpec(wireScene)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== DFB: master-ingress routing sweep on %s (master vs compositor sinks) ===\n", wsc.Name)
+		frames := 8
+		if full {
+			frames = 16
+		}
+		pts, err := farm.DFBSweep(wsc, p.W, p.H, frames, 4, []int{1, 2, 4})
+		if err != nil {
+			return err
+		}
+		var tb stats.Table
+		for _, pt := range pts {
+			tb.AddRow("mode", pt.Mode,
+				"master B/frame", fmt.Sprintf("%.0f", pt.MasterIngressPerFrame),
+				"ratio", fmt.Sprintf("%.1fx", pt.IngressRatio),
+				"sink bytes", fmt.Sprintf("%d", pt.SinkIngressBytes),
+				"acks", fmt.Sprintf("%d", pt.FramesAcked),
+				"identical", fmt.Sprintf("%v", pt.Identical))
+		}
+		fmt.Println(tb.String())
+		data, err := json.MarshalIndent(pts, "", "  ")
+		if err != nil {
+			return err
+		}
+		jsonPath := "BENCH_dfb.json"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err

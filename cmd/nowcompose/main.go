@@ -1,0 +1,140 @@
+// Command nowcompose is a distributed-framebuffer compositor sink for a
+// physical network of workstations. It listens for the master's control
+// connection and for DFB-capable workers, reassembles its shard of the
+// animation from key-frames and dirty-span deltas, confirms every
+// merged region to the master, and (optionally) writes each completed
+// frame to disk the moment it assembles — the master never touches the
+// pixels.
+//
+//	nowcompose -listen :7947 -out frames/ -png
+//	nowrender -mode master -dfb-sinks host1:7947,host2:7947 ...
+//
+// The daemon is persistent: a run ends with the master's close message
+// (or its connection dropping), and the next master init starts a fresh
+// shard, so one fleet of sinks serves any number of renders. SIGINT or
+// SIGTERM shut it down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+
+	"nowrender/internal/buildinfo"
+	"nowrender/internal/compositor"
+	"nowrender/internal/fb"
+	"nowrender/internal/msg"
+	"nowrender/internal/tga"
+	"nowrender/internal/timeline"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":7947", "listen address for master and worker connections")
+		name    = flag.String("name", "", "sink name in timelines and logs (default: the listen address)")
+		outDir  = flag.String("out", "", "directory to write completed frames into (empty = hold in memory only)")
+		usePNG  = flag.Bool("png", false, "write PNG instead of TGA")
+		tlOut   = flag.String("timeline", "", "write the sink's assembly timeline as Chrome trace JSON to this file on exit")
+		version = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("nowcompose", buildinfo.Version())
+		return
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *listen, *name, *outDir, *usePNG, *tlOut); err != nil {
+		fmt.Fprintln(os.Stderr, "nowcompose:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, listen, name, outDir string, usePNG bool, tlOut string) error {
+	l, err := msg.Listen(listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	if name == "" {
+		name = l.Addr()
+	}
+	fmt.Printf("nowcompose %s (%s) listening on %s\n", name, buildinfo.Version(), l.Addr())
+
+	var rec *timeline.Recorder
+	if tlOut != "" {
+		rec = timeline.New(0)
+	}
+	var delivered atomic.Uint64
+	sink := compositor.New(compositor.Config{
+		Name:     name,
+		Timeline: rec,
+		OnFrame: func(frame int, img *fb.Framebuffer) error {
+			delivered.Add(1)
+			if outDir == "" {
+				return nil
+			}
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			if usePNG {
+				return tga.WriteFilePNG(filepath.Join(outDir, fmt.Sprintf("frame%04d.png", frame)), img)
+			}
+			return tga.WriteFile(filepath.Join(outDir, fmt.Sprintf("frame%04d.tga", frame)), img)
+		},
+	})
+	defer sink.Close()
+
+	// Accept until shutdown; the sink tells master and worker conns
+	// apart by the first message each carries.
+	acceptErr := make(chan error, 1)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			if err := sink.AddConn(conn); err != nil {
+				conn.Close()
+				acceptErr <- err
+				return
+			}
+		}
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Printf("nowcompose %s: shutting down (%d frames delivered)\n", name, delivered.Load())
+	case err := <-acceptErr:
+		if !sink.Closed() {
+			return err
+		}
+	}
+	sink.Close()
+	if ferr := sink.Err(); ferr != nil {
+		return fmt.Errorf("frame emit: %w", ferr)
+	}
+	if tlOut != "" {
+		tl := rec.Snapshot()
+		tl.Meta["sink"] = name
+		f, err := os.Create(tlOut)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("nowcompose %s: timeline written to %s (%d events)\n", name, tlOut, tl.Events())
+	}
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"nowrender/internal/buildinfo"
@@ -40,6 +41,8 @@ type faultOpts struct {
 	speculate                  bool
 	chaos                      string
 	wireDelta, wireCompress    bool
+	dfbSinks                   int
+	dfbAddrs                   string
 }
 
 // apply wires the options into a farm config; -chaos parses into a
@@ -52,6 +55,14 @@ func (f faultOpts) apply(cfg *farm.Config) error {
 	cfg.Speculate = f.speculate
 	cfg.WireDelta = f.wireDelta
 	cfg.WireCompress = f.wireCompress
+	switch {
+	case f.dfbAddrs != "":
+		// Remote compositor fleet (nowcompose daemons): frames land at
+		// the sinks, which emit them; wire modes carry the payloads.
+		cfg.DFB = &farm.DFBConfig{Addrs: strings.Split(f.dfbAddrs, ",")}
+	case f.dfbSinks > 0:
+		cfg.DFB = &farm.DFBConfig{Sinks: f.dfbSinks}
+	}
 	plan, err := faulty.ParsePlan(f.chaos)
 	if err != nil {
 		return err
@@ -92,6 +103,8 @@ func main() {
 	flag.StringVar(&ft.chaos, "chaos", "", "fault-injection plan, e.g. seed=7,drop=0.01,corrupt=0.005,delay=0.02:5ms,protect=worker00 (local mode)")
 	flag.BoolVar(&ft.wireDelta, "wire-delta", false, "ship dirty-span delta frames from workers that support them (pixels are identical either way)")
 	flag.BoolVar(&ft.wireCompress, "wire-compress", false, "flate-compress frame payloads from workers that support it")
+	flag.IntVar(&ft.dfbSinks, "dfb", 0, "route pixels through this many in-process compositor sinks instead of the master (local mode; 0 = off)")
+	flag.StringVar(&ft.dfbAddrs, "dfb-sinks", "", "comma-separated nowcompose sink addresses; pixels ship straight to them and the sinks emit the frames (master mode)")
 	flag.Parse()
 	if *version {
 		fmt.Println("nowrender", buildinfo.Version())
@@ -267,7 +280,12 @@ func runTCPMaster(cfg farm.Config, sceneSpec, listen string, workers int) (*farm
 func report(scene, mode string, res *farm.Result) {
 	total := res.Run.TotalRays()
 	fmt.Printf("scene %s, mode %s\n", scene, mode)
-	fmt.Printf("  frames:    %d\n", len(res.Frames))
+	if len(res.Frames) > 0 {
+		fmt.Printf("  frames:    %d\n", len(res.Frames))
+	} else {
+		// Remote-sink DFB runs: the frames live at the compositors.
+		fmt.Printf("  frames:    %d (delivered at the sinks)\n", len(res.Run.Frames))
+	}
 	fmt.Printf("  rays:      %d (%s)\n", total.Total(), total.String())
 	fmt.Printf("  makespan:  %s\n", stats.FormatDuration(res.Makespan))
 	fmt.Printf("  tasks:     %d (+%d adaptive subdivisions)\n", res.TasksExecuted, res.Subdivisions)

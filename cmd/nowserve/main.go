@@ -53,6 +53,7 @@ func main() {
 		chaos        = flag.String("chaos", "", "fault-injection plan for local-driver farm runs, e.g. seed=7,drop=0.01,protect=worker00")
 		wireDelta    = flag.Bool("wire-delta", false, "ship dirty-span delta frames from workers that support them")
 		wireCompress = flag.Bool("wire-compress", false, "flate-compress frame payloads from workers that support it")
+		dfbSinks     = flag.Int("dfb", 0, "route local-driver pixels through this many in-process compositor sinks instead of the farm master (0 = off)")
 		timelineOn   = flag.Bool("timeline", false, "record a per-job cluster timeline, served on GET /jobs/{id}/timeline")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 		version      = flag.Bool("version", false, "print version and exit")
@@ -78,6 +79,7 @@ func main() {
 		MaxJobRetries: *jobRetries,
 		WireDelta:     *wireDelta,
 		WireCompress:  *wireCompress,
+		DFBSinks:      *dfbSinks,
 		Timeline:      *timelineOn,
 	}
 	if *machines > 0 {

@@ -57,6 +57,13 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", src, err)
 	}
+	// An event-free trace means the run recorded nothing — a truncated
+	// dump or a render that never started. An empty report would read as
+	// "analysed fine, nothing notable", so fail loudly instead: scripts
+	// gating on nowtrace's exit code must see this.
+	if tl.Events() == 0 {
+		return fmt.Errorf("%s: trace contains no events (empty or truncated timeline)", src)
+	}
 	rep := timeline.Analyze(tl)
 	rep.Format(os.Stdout)
 	return nil

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nowrender/internal/timeline"
+)
+
+func writeTrace(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunRejectsDegenerateTraces: an empty file, a truncated dump, and
+// a syntactically-valid trace with zero events must all fail — an
+// analyser that prints an empty report for them would hide a broken
+// -timeline pipeline from any script gating on its exit code.
+func TestRunRejectsDegenerateTraces(t *testing.T) {
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"empty.json", "", "not Chrome trace JSON"},
+		{"truncated.json", `{"traceEvents":[{"ph":"X","name":"fr`, "not Chrome trace JSON"},
+		{"no-events.json", `{"traceEvents":[]}`, "no events"},
+		{"bare-empty.json", `[]`, "no events"},
+		{"meta-only.json", `{"traceEvents":[{"ph":"M","name":"thread_name","pid":1,"tid":1,"args":{"name":"w0/main"}}]}`, "no events"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run([]string{writeTrace(t, c.name, c.content)})
+			if err == nil {
+				t.Fatalf("run accepted %s", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunAcceptsRealTrace: a trace produced by the real recorder must
+// analyse cleanly end to end.
+func TestRunAcceptsRealTrace(t *testing.T) {
+	rec := timeline.New(0)
+	tr := rec.Track("w0/main")
+	s := tr.Begin()
+	tr.EndArg(timeline.OpFrame, 0, s, 1)
+	path := filepath.Join(t.TempDir(), "real.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Snapshot().WriteChromeTrace(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{path}); err != nil {
+		t.Fatalf("run rejected a real trace: %v", err)
+	}
+}
+
+// TestRunRejectsMissingFile covers the open-error path.
+func TestRunRejectsMissingFile(t *testing.T) {
+	if err := run([]string{filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+		t.Fatal("run accepted a missing file")
+	}
+}

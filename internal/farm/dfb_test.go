@@ -1,0 +1,340 @@
+package farm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nowrender/internal/compositor"
+	"nowrender/internal/faulty"
+	"nowrender/internal/fb"
+	"nowrender/internal/msg"
+	"nowrender/internal/partition"
+	"nowrender/internal/stats"
+)
+
+// dfbConfig is the canonical DFB test run: coherent delta+compressed
+// wire frames shipped straight to in-process compositor sinks.
+func dfbConfig(frames, sinks int) Config {
+	return Config{
+		Scene: farmScene(frames), W: fw, H: fh, Coherence: true, Workers: 3,
+		Scheme:       partition.FrameDivision{BlockW: 16, BlockH: 16, Adaptive: true},
+		WireDelta:    true,
+		WireCompress: true,
+		DFB:          &DFBConfig{Sinks: sinks},
+	}
+}
+
+// TestDFBGolden: the compositor-routed pipeline must produce the exact
+// golden bytes of the legacy master-routed pipeline — re-routing pixels
+// may change who holds them, never what they are.
+func TestDFBGolden(t *testing.T) {
+	want := readGolden(t)
+	for _, sinks := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("sinks=%d", sinks), func(t *testing.T) {
+			res, err := RenderLocal(dfbConfig(goldenFrames, sinks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := hashFrames(res.Frames)
+			for f := range want {
+				if got[f] != want[f] {
+					t.Errorf("frame %d: hash %s, golden %s", f, got[f], want[f])
+				}
+			}
+			if res.Wire.FramesAcked == 0 {
+				t.Error("no frame acks: the run never used the DFB path")
+			}
+			if res.Wire.SinkIngressBytes == 0 {
+				t.Error("SinkIngressBytes = 0: sinks confirmed no pixel bytes")
+			}
+		})
+	}
+}
+
+// TestDFBMasterIngress: the whole point of the subsystem — pixel bytes
+// must leave the master's ingress path. The master should receive only
+// small control acks while the sinks take the pixel payloads.
+func TestDFBMasterIngress(t *testing.T) {
+	// Large enough frames that pixel payloads dwarf the fixed-size
+	// control acks — the regime the subsystem exists for. At thumbnail
+	// sizes the ack overhead is comparable to a compressed tile and the
+	// ratio is meaningless.
+	const iw, ih = 160, 120
+	base := Config{
+		Scene: farmScene(4), W: iw, H: ih, Coherence: true, Workers: 3,
+		Scheme:       partition.FrameDivision{BlockW: 80, BlockH: 60, Adaptive: true},
+		WireDelta:    true,
+		WireCompress: true,
+	}
+	legacy, err := RenderLocal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDFB := base
+	withDFB.Scene = farmScene(4)
+	withDFB.DFB = &DFBConfig{Sinks: 2}
+	dfb, err := RenderLocal(withDFB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Wire.MasterIngressBytes != legacy.Wire.WireBytes {
+		t.Errorf("legacy: MasterIngressBytes %d != WireBytes %d (all results route through the master)",
+			legacy.Wire.MasterIngressBytes, legacy.Wire.WireBytes)
+	}
+	if dfb.Wire.MasterIngressBytes*4 >= legacy.Wire.MasterIngressBytes {
+		t.Errorf("DFB master ingress %d not well below legacy %d",
+			dfb.Wire.MasterIngressBytes, legacy.Wire.MasterIngressBytes)
+	}
+	if dfb.Wire.SinkIngressBytes == 0 {
+		t.Error("DFB run confirmed no sink ingress")
+	}
+	t.Logf("master ingress: legacy %d B, dfb %d B (%.1fx); sink ingress %d B",
+		legacy.Wire.MasterIngressBytes, dfb.Wire.MasterIngressBytes,
+		float64(legacy.Wire.MasterIngressBytes)/float64(dfb.Wire.MasterIngressBytes),
+		dfb.Wire.SinkIngressBytes)
+}
+
+// TestDFBMixedFleet: a fleet where one worker predates the DFB cap must
+// still converge to golden bytes — the legacy worker's results arrive
+// at the master, which relays them to the owning sink.
+func TestDFBMixedFleet(t *testing.T) {
+	want := readGolden(t)
+	cfg := dfbConfig(goldenFrames, 2)
+	cfg.WorkerOpts = func(i int) WorkerOptions {
+		if i == 0 {
+			return WorkerOptions{NoWireDFB: true}
+		}
+		return WorkerOptions{}
+	}
+	res, err := RenderLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := hashFrames(res.Frames)
+	for f := range want {
+		if got[f] != want[f] {
+			t.Errorf("frame %d: hash %s, golden %s", f, got[f], want[f])
+		}
+	}
+	// The legacy worker's pixels entered through the master, so ingress
+	// sits between the pure-DFB floor and the all-legacy ceiling.
+	if res.Wire.MasterIngressBytes >= res.Wire.WireBytes {
+		t.Errorf("mixed fleet: master ingress %d should be below total wire bytes %d",
+			res.Wire.MasterIngressBytes, res.Wire.WireBytes)
+	}
+	if res.Wire.FramesAcked == 0 {
+		t.Error("mixed fleet: DFB workers sent no acks")
+	}
+}
+
+// TestDFBOnFrameDelivery: under DFB the sinks own frame delivery — the
+// caller's OnFrame must fire exactly once per frame with final pixels.
+func TestDFBOnFrameDelivery(t *testing.T) {
+	want := readGolden(t)
+	var mu sync.Mutex
+	seen := make(map[int]string)
+	cfg := dfbConfig(goldenFrames, 2)
+	cfg.OnFrame = func(f int, img *fb.Framebuffer) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := seen[f]; dup {
+			t.Errorf("frame %d delivered twice", f)
+		}
+		seen[f] = frameHash(img)
+		return nil
+	}
+	if _, err := RenderLocal(cfg); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != goldenFrames {
+		t.Fatalf("OnFrame fired for %d frames, want %d", len(seen), goldenFrames)
+	}
+	for f, h := range seen {
+		if h != want[f] {
+			t.Errorf("frame %d via OnFrame: hash %s, golden %s", f, h, want[f])
+		}
+	}
+}
+
+// TestDFBWorkerDeathMidFrame: severing DFB workers mid-run must hand
+// their unconfirmed frame ranges back to the master's retry machinery;
+// the survivors re-render and the output stays byte-identical.
+func TestDFBWorkerDeathMidFrame(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	sc := farmScene(8)
+	want := referenceFrames(t, sc)
+	plan, err := faulty.ParsePlan("seed=11,sever=0.02,protect=worker00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RenderLocal(Config{
+		Scene: sc, W: fw, H: fh, Coherence: true, Workers: 4,
+		Scheme:       partition.FrameDivision{BlockW: 20, BlockH: 16, Adaptive: true},
+		WireDelta:    true,
+		WireCompress: true,
+		DFB:          &DFBConfig{Sinks: 2},
+		Heartbeat:    20 * time.Millisecond,
+		Liveness:     2 * time.Second,
+		StallTimeout: 1500 * time.Millisecond,
+		FrameRetries: 2,
+		Speculate:    true,
+		WrapConn:     plan.Wrap,
+	})
+	if err != nil {
+		t.Fatalf("dfb chaos run failed: %v", err)
+	}
+	assertFramesEqual(t, "dfb-sever", res.Frames, want)
+	if inj := plan.Snapshot(); inj.Severed == 0 {
+		t.Skip("fault plan severed nothing; rerun covers it via other seeds")
+	}
+	t.Logf("absorbed %s with %d acks, %d base misses",
+		res.Faults.String(), res.Wire.FramesAcked, res.Wire.DeltaBaseMisses)
+}
+
+// TestDFBChaosSoak: the full hostile-transport soak from chaos_test.go,
+// with pixels routed through compositor sinks. Drops, corruption and
+// severs on the control plane must not change a byte of output.
+func TestDFBChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	sc := farmScene(8)
+	want := referenceFrames(t, sc)
+	for _, seed := range []int64{7, 101} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			spec := fmt.Sprintf(
+				"seed=%d,drop=0.03,corrupt=0.02,truncate=0.02,delay=0.05:2ms,sever=0.005,protect=worker00", seed)
+			plan, err := faulty.ParsePlan(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RenderLocal(Config{
+				Scene: sc, W: fw, H: fh, Coherence: true, Workers: 4,
+				Scheme:       partition.FrameDivision{BlockW: 20, BlockH: 16, Adaptive: true},
+				WireDelta:    true,
+				WireCompress: true,
+				DFB:          &DFBConfig{Sinks: 2},
+				Heartbeat:    20 * time.Millisecond,
+				Liveness:     2 * time.Second,
+				StallTimeout: 1500 * time.Millisecond,
+				FrameRetries: 2,
+				Speculate:    true,
+				WrapConn:     plan.Wrap,
+			})
+			if err != nil {
+				t.Fatalf("dfb chaos run failed: %v", err)
+			}
+			assertFramesEqual(t, "dfb-chaos", res.Frames, want)
+			t.Logf("injected %+v; farm absorbed %s", plan.Snapshot(), res.Faults.String())
+		})
+	}
+}
+
+// TestDFBSinkRestart: killing a compositor mid-run must trigger the
+// master's redial-and-requeue recovery. The test owns the registry so
+// it can close a sink from the outside; a later Dial on the same
+// address recreates it — exactly a compositor process restart.
+func TestDFBSinkRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart chaos skipped in -short mode")
+	}
+	sc := farmScene(8)
+	want := referenceFrames(t, sc)
+
+	var mu sync.Mutex
+	collected := make([]*fb.Framebuffer, 8)
+	reg := compositor.NewRegistry(func(i int) *compositor.Compositor {
+		return compositor.New(compositor.Config{
+			Name: compositor.Addr(i),
+			OnFrame: func(f int, img *fb.Framebuffer) error {
+				mu.Lock()
+				defer mu.Unlock()
+				collected[f] = img
+				return nil
+			},
+		})
+	})
+	defer reg.CloseAll()
+
+	// Kill sink 0 once, after it has confirmed at least one frame.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case <-deadline:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			if s := reg.Sink(0); s != nil && s.Stats().SinkIngressBytes > 0 {
+				s.Close()
+				return
+			}
+		}
+	}()
+
+	res, err := RenderLocal(Config{
+		Scene: sc, W: fw, H: fh, Coherence: true, Workers: 3,
+		Scheme:       partition.FrameDivision{BlockW: 20, BlockH: 16, Adaptive: true},
+		WireDelta:    true,
+		WireCompress: true,
+		DFB:          &DFBConfig{Sinks: 2, Dial: reg.Dial, Redials: 4},
+		Heartbeat:    20 * time.Millisecond,
+		Liveness:     2 * time.Second,
+		StallTimeout: 1500 * time.Millisecond,
+		FrameRetries: 2,
+	})
+	if err != nil {
+		t.Fatalf("run with sink restart failed: %v", err)
+	}
+	<-killed
+	// The test supplied its own Dial, so the master could not collect
+	// frames; the registry's OnFrame captured them instead.
+	mu.Lock()
+	frames := append([]*fb.Framebuffer(nil), collected...)
+	mu.Unlock()
+	assertFramesEqual(t, "sink-restart", frames, want)
+	if res.Wire.FramesAcked == 0 {
+		t.Error("restart run recorded no acks")
+	}
+	// A restarted sink loses its reassembly state, so in-flight delta
+	// chains break; whatever misses occurred must be attributed.
+	assertBaseMissConsistent(t, res.Wire)
+	t.Logf("restart absorbed: %d base misses (%v), %d requeued",
+		res.Wire.DeltaBaseMisses, res.Wire.BaseMissByWorker, res.Faults.FramesRequeued)
+}
+
+// assertBaseMissConsistent: the per-worker base-miss breakdown must sum
+// to the total, and never carry empty entries.
+func assertBaseMissConsistent(t *testing.T, w stats.WireStats) {
+	t.Helper()
+	var sum uint64
+	for name, n := range w.BaseMissByWorker {
+		if n == 0 {
+			t.Errorf("worker %s recorded a zero base-miss entry", name)
+		}
+		sum += n
+	}
+	if sum != w.DeltaBaseMisses {
+		t.Errorf("BaseMissByWorker sums to %d, DeltaBaseMisses = %d", sum, w.DeltaBaseMisses)
+	}
+}
+
+// TestDFBTaskRejectsUndialableSinks: a run whose sinks cannot be dialed
+// must fail up front, not hang waiting for confirmations.
+func TestDFBTaskRejectsUndialableSinks(t *testing.T) {
+	cfg := dfbConfig(goldenFrames, 1)
+	cfg.DFB.Dial = func(addr string) (msg.Conn, error) {
+		return nil, fmt.Errorf("no route to %s", addr)
+	}
+	if _, err := RenderLocal(cfg); err == nil {
+		t.Fatal("run with undialable sinks succeeded")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
 	"nowrender/internal/timeline"
+	"nowrender/internal/wire"
 )
 
 // Config describes a render-farm run.
@@ -130,6 +131,15 @@ type Config struct {
 	// mixed fleets interoperate; pixels are byte-identical either way.
 	WireDelta, WireCompress bool
 
+	// DFB, when non-nil, enables the distributed framebuffer: frames are
+	// sharded across compositor sinks (internal/compositor), workers
+	// that advertise capWireDFB ship pixels straight to their frame's
+	// sink and send the master only small control acks, and legacy
+	// workers' master-routed results are relayed to the owning sink so
+	// assembly happens in exactly one place. Final frames are
+	// byte-identical to the master-routed path.
+	DFB *DFBConfig
+
 	// Timeline, when non-nil, records the run into this recorder: the
 	// master's scheduling events land in it directly, and workers that
 	// advertise capWireTimeline are granted it and ship their phase/tile
@@ -138,6 +148,46 @@ type Config struct {
 	// disables all recording — the instrumentation then costs one nil
 	// check per site.
 	Timeline *timeline.Recorder
+}
+
+// DFBConfig configures the distributed framebuffer (compositor sinks).
+type DFBConfig struct {
+	// Addrs are the sink addresses, one frame shard per sink in
+	// partition.ShardMap order. cmd/nowrender passes nowcompose
+	// listen addresses here. Leave empty and set Sinks for in-process
+	// sinks (RenderLocal).
+	Addrs []string
+	// Sinks > 0 makes RenderLocal spin up this many in-process sinks.
+	Sinks int
+	// Dial connects to a sink address; nil defaults to msg.Dial (TCP).
+	// RenderLocal injects the in-process registry's dialer.
+	Dial func(addr string) (msg.Conn, error)
+	// Redials is how many times the master re-dials a lost sink before
+	// failing the run. 0 defaults to 3; negative disables re-dialing.
+	Redials int
+	// collect fetches an assembled frame at run end (in-process mode,
+	// where the master holds no pixels; set by RenderLocal).
+	collect func(frame int) *fb.Framebuffer
+}
+
+// enabled reports whether the config actually routes pixels to sinks.
+func (d *DFBConfig) enabled() bool { return d != nil && len(d.Addrs) > 0 }
+
+func (d *DFBConfig) dialer() func(string) (msg.Conn, error) {
+	if d.Dial != nil {
+		return d.Dial
+	}
+	return msg.Dial
+}
+
+func (d *DFBConfig) redials() int {
+	switch {
+	case d.Redials == 0:
+		return 3
+	case d.Redials < 0:
+		return 0
+	}
+	return d.Redials
 }
 
 // cancelled returns the context error if the run was cancelled.
@@ -242,182 +292,27 @@ func (r *Result) mergeTimeline(tl *timeline.Timeline) {
 	r.Timeline.Sort()
 }
 
-// assembly tracks partially delivered frames over an absolute frame
-// range [start, start+len(frames)).
-type assembly struct {
-	w, h    int
-	start   int
-	frames  []*fb.Framebuffer
-	missing []int // pixels still undelivered per frame
-	done    []time.Duration
-	// seen records exactly which (frame, region) results have landed, so
-	// speculative re-issue and post-failure retries can deliver the same
-	// region twice: the duplicate is dropped instead of erroring. The
-	// pixels are deterministic, so first-wins loses nothing.
-	seen map[regionKey]bool
-}
+// assembly is the shared frame assembly, extracted to internal/wire so
+// the compositor can reuse it; the farm-side aliases keep the original
+// call sites unchanged.
+type assembly = wire.Assembly
 
-// regionKey identifies one delivered result.
-type regionKey struct {
-	frame int
-	rect  fb.Rect
-}
-
-func newAssembly(w, h, frames int) *assembly { return newAssemblyRange(w, h, 0, frames) }
+func newAssembly(w, h, frames int) *assembly { return wire.NewAssembly(w, h, frames) }
 
 func newAssemblyRange(w, h, start, end int) *assembly {
-	n := end - start
-	a := &assembly{
-		w: w, h: h, start: start,
-		frames:  make([]*fb.Framebuffer, n),
-		missing: make([]int, n),
-		done:    make([]time.Duration, n),
-		seen:    make(map[regionKey]bool),
-	}
-	for i := range a.missing {
-		a.missing[i] = w * h
-	}
-	return a
+	return wire.NewAssemblyRange(w, h, start, end)
 }
 
-// delivered reports whether this exact (frame, region) result already
-// landed.
-func (a *assembly) delivered(absFrame int, region fb.Rect) bool {
-	return a.seen[regionKey{absFrame, region}]
-}
-
-// deliver merges region pixels (packed RGB rows of the region) into the
-// absolute frame. It returns complete=true when the frame finished
-// assembly at time t, and dup=true (with nothing merged) when this exact
-// (frame, region) was already delivered by another worker.
-func (a *assembly) deliver(absFrame int, region fb.Rect, pix []byte, t time.Duration) (complete, dup bool, err error) {
-	frame := absFrame - a.start
-	if frame < 0 || frame >= len(a.frames) {
-		return false, false, fmt.Errorf("farm: frame %d out of range", absFrame)
-	}
-	if region.X0 < 0 || region.Y0 < 0 || region.X1 > a.w || region.Y1 > a.h ||
-		region.X0 >= region.X1 || region.Y0 >= region.Y1 {
-		return false, false, fmt.Errorf("farm: frame %d: region %v outside %dx%d", absFrame, region, a.w, a.h)
-	}
-	if len(pix) != region.Area()*3 {
-		return false, false, fmt.Errorf("farm: frame %d region %v: got %d bytes, want %d",
-			frame, region, len(pix), region.Area()*3)
-	}
-	if a.seen[regionKey{absFrame, region}] {
-		return false, true, nil
-	}
-	a.seen[regionKey{absFrame, region}] = true
-	if a.frames[frame] == nil {
-		a.frames[frame] = fb.New(a.w, a.h)
-	}
-	img := a.frames[frame]
-	i := 0
-	for y := region.Y0; y < region.Y1; y++ {
-		for x := region.X0; x < region.X1; x++ {
-			img.SetRGB(x, y, pix[i], pix[i+1], pix[i+2])
-			i += 3
-		}
-	}
-	a.missing[frame] -= region.Area()
-	if a.missing[frame] < 0 {
-		return false, false, fmt.Errorf("farm: frame %d over-delivered", frame)
-	}
-	if a.missing[frame] == 0 {
-		if t > a.done[frame] {
-			a.done[frame] = t
-		}
-		return true, false, nil
-	}
-	return false, false, nil
-}
-
-// errDeltaBase marks a delta whose base result never landed: the
-// previous frame's (frame, region) was lost in transit, so the delta
-// cannot be applied. This is the one delivery failure that is NOT a
-// protocol violation — the sender is honest, the network ate the base —
-// so the master discards the delta (counting it) instead of retiring
-// the worker, and the frame is re-rendered by the usual requeue path.
-var errDeltaBase = fmt.Errorf("farm: delta base frame not delivered")
-
-// deliverSpans merges a dirty-span delta into the absolute frame: the
-// region is copied from the previous frame's assembled pixels, then the
-// span pixels (packed RGB, span order) are applied on top. The previous
-// frame's same (frame-1, region) result must have been delivered —
-// otherwise errDeltaBase. Completion and duplicate semantics match
-// deliver.
-func (a *assembly) deliverSpans(absFrame int, region fb.Rect, spans []fb.Span, pix []byte, t time.Duration) (complete, dup bool, err error) {
-	frame := absFrame - a.start
-	if frame < 0 || frame >= len(a.frames) {
-		return false, false, fmt.Errorf("farm: frame %d out of range", absFrame)
-	}
-	if region.X0 < 0 || region.Y0 < 0 || region.X1 > a.w || region.Y1 > a.h ||
-		region.X0 >= region.X1 || region.Y0 >= region.Y1 {
-		return false, false, fmt.Errorf("farm: frame %d: region %v outside %dx%d", absFrame, region, a.w, a.h)
-	}
-	if len(pix) != fb.SpanArea(spans)*3 {
-		return false, false, fmt.Errorf("farm: frame %d region %v: got %d span bytes, want %d",
-			frame, region, len(pix), fb.SpanArea(spans)*3)
-	}
-	for _, s := range spans {
-		if s.Y < region.Y0 || s.Y >= region.Y1 || s.X0 < region.X0 || s.X0 >= s.X1 || s.X1 > region.X1 {
-			return false, false, fmt.Errorf("farm: frame %d: span y=%d [%d,%d) outside region %v",
-				absFrame, s.Y, s.X0, s.X1, region)
-		}
-	}
-	if a.seen[regionKey{absFrame, region}] {
-		return false, true, nil
-	}
-	if frame == 0 || !a.seen[regionKey{absFrame - 1, region}] {
-		return false, false, errDeltaBase
-	}
-	a.seen[regionKey{absFrame, region}] = true
-	if a.frames[frame] == nil {
-		a.frames[frame] = fb.New(a.w, a.h)
-	}
-	img := a.frames[frame]
-	img.CopyRect(a.frames[frame-1], region)
-	if err := img.ApplySpans(spans, pix); err != nil {
-		return false, false, err
-	}
-	a.missing[frame] -= region.Area()
-	if a.missing[frame] < 0 {
-		return false, false, fmt.Errorf("farm: frame %d over-delivered", frame)
-	}
-	if a.missing[frame] == 0 {
-		if t > a.done[frame] {
-			a.done[frame] = t
-		}
-		return true, false, nil
-	}
-	return false, false, nil
-}
-
-// frame returns the (possibly partial) framebuffer of an absolute frame.
-func (a *assembly) frame(absFrame int) *fb.Framebuffer {
-	return a.frames[absFrame-a.start]
-}
-
-func (a *assembly) complete() error {
-	for f, m := range a.missing {
-		if m != 0 {
-			return fmt.Errorf("farm: frame %d missing %d pixels", f, m)
-		}
-	}
-	return nil
-}
+// errDeltaBase aliases the shared codec's delta-base-miss sentinel.
+var errDeltaBase = wire.ErrDeltaBase
 
 // appendRegion packs a region of img into RGB bytes (the wire format of
 // full frame results), appending to out so hot paths can reuse scratch.
 func appendRegion(out []byte, img *fb.Framebuffer, region fb.Rect) []byte {
-	n := region.W() * 3
-	for y := region.Y0; y < region.Y1; y++ {
-		o := (y*img.W + region.X0) * 3
-		out = append(out, img.Pix[o:o+n]...)
-	}
-	return out
+	return wire.AppendRegion(out, img, region)
 }
 
 // extractRegion packs a region of img into a fresh RGB byte slice.
 func extractRegion(img *fb.Framebuffer, region fb.Rect) []byte {
-	return appendRegion(make([]byte, 0, region.Area()*3), img, region)
+	return wire.ExtractRegion(img, region)
 }

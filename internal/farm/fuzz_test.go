@@ -34,9 +34,9 @@ func FuzzProtocolDecode(f *testing.F) {
 	var we frameEncoder
 	src := fb.New(8, 8)
 	dd := frameDoneMsg{TaskID: 3, Frame: 5, Region: fb.NewRect(0, 0, 8, 8)}
-	delta := we.encode(&dd, src, capWireDelta, []fb.Span{{Y: 1, X0: 1, X1: 2}}, false)
+	delta := we.Encode(&dd, src, capWireDelta, []fb.Span{{Y: 1, X0: 1, X1: 2}}, false)
 	dd = frameDoneMsg{TaskID: 3, Frame: 5, Region: fb.NewRect(0, 0, 8, 8)}
-	zipped := we.encode(&dd, src, capWireDelta|capWireCompress, nil, true)
+	zipped := we.Encode(&dd, src, capWireDelta|capWireCompress, nil, true)
 	f.Add(task)
 	f.Add(fd)
 	f.Add(pair)

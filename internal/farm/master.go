@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
+	"nowrender/internal/compositor"
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
 	"nowrender/internal/partition"
@@ -138,6 +140,32 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		return nil, err
 	}
 	nextTaskID := len(queue)
+	// regions is the scheme's distinct tiling regions — the recovery
+	// paths (sink restart) requeue per region.
+	var regions []fb.Rect
+	{
+		seenRegion := make(map[fb.Rect]bool)
+		for _, t := range queue {
+			if !seenRegion[t.Region] {
+				seenRegion[t.Region] = true
+				regions = append(regions, t.Region)
+			}
+		}
+	}
+
+	// Distributed framebuffer: dial and initialise the compositor fleet
+	// before any worker gets a task, so the data plane is up when the
+	// first DFB frame ships. Sink conns join the hub, interleaving their
+	// confirmations with worker traffic in this single-threaded loop.
+	dfbOn := cfg.DFB.enabled()
+	var sinks *sinkControl
+	if dfbOn {
+		shard := partition.ShardMap{Start: cfg.StartFrame, End: cfg.EndFrame, N: len(cfg.DFB.Addrs)}
+		sinks = newSinkControl(cfg.DFB, hub, cfg.W, cfg.H, shard)
+		if err := sinks.dialAll(); err != nil {
+			return nil, err
+		}
+	}
 
 	workers := make(map[string]*workerRecord, len(names))
 	start := time.Now()
@@ -146,6 +174,17 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			name: n, st: stats.WorkerStats{Worker: n},
 			lastHeard: start, lastProgress: start,
 		}
+	}
+	// reported maps a worker's self-introduced hello name to its hub
+	// name. Over TCP the two differ (tcp00 vs -name wsA), and compositor
+	// sinks attribute confirmations and misses by the name the worker
+	// joined them with — the hello name. byReport resolves either form.
+	reported := make(map[string]string)
+	byReport := func(name string) *workerRecord {
+		if w := workers[name]; w != nil {
+			return w
+		}
+		return workers[reported[name]]
 	}
 
 	asm := newAssemblyRange(cfg.W, cfg.H, cfg.StartFrame, cfg.EndFrame)
@@ -179,6 +218,37 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		}
 		return est
 	}
+	// mergeShipped folds one message's timeline piggyback (on a frame
+	// result, or on a DFB control ack) into the shipped-events store and
+	// refines the sender's clock-offset estimate.
+	mergeShipped := func(from string, tlNow int64, tracks []string, events []wireEvent) {
+		if rec == nil || (tlNow == 0 && len(tracks) == 0) {
+			return
+		}
+		// Every shipped result refines the worker's one-way offset
+		// bound; heartbeat RTT samples (TagPong) override it.
+		if tlNow != 0 {
+			offsetFor(from).AddOneWay(rec.Now(), tlNow)
+		}
+		if len(tracks) > 0 {
+			tlGroups[from] = timeline.GroupOf(tracks[0])
+		}
+		// Merge the piggybacked events, batching runs of the same track
+		// (the common case: all of one track's events arrive adjacent)
+		// into single AddTrack calls.
+		for i := 0; i < len(events); {
+			j := i + 1
+			for j < len(events) && events[j].Track == events[i].Track {
+				j++
+			}
+			evs := make([]timeline.Event, 0, j-i)
+			for k := i; k < j; k++ {
+				evs = append(evs, events[k].Ev)
+			}
+			shipped.AddTrack(tracks[events[i].Track], evs, 0)
+			i = j
+		}
+	}
 
 	sendTask := func(w *workerRecord, t partition.Task) error {
 		// Grant wire modes only where the config wants them AND the
@@ -199,6 +269,11 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			Coherence: cfg.Coherence, Samples: cfg.Samples,
 			GridRes: cfg.CoherenceOpts.GridRes, BlockGran: cfg.CoherenceOpts.BlockGranularity,
 			Threads: cfg.Threads, WireFlags: flags,
+		}
+		if dfbOn && w.caps&capWireDFB != 0 {
+			tm.WireFlags |= capWireDFB
+			tm.JobStart, tm.JobEnd = cfg.StartFrame, cfg.EndFrame
+			tm.Sinks = cfg.DFB.Addrs
 		}
 		data := encodeTask(tm)
 		res.BytesTransferred += int64(len(data))
@@ -226,6 +301,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	// invariant), so quarantined frames are indistinguishable in the
 	// output.
 	var scratch *fb.Framebuffer
+	var qenc frameEncoder
 	renderQuarantined := func(f int, region fb.Rect) error {
 		if scratch == nil {
 			scratch = fb.New(cfg.W, cfg.H)
@@ -238,15 +314,22 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		ft.RenderRegionParallel(scratch, region, cfg.Threads)
 		mt.EndArg(timeline.OpQuarantine, f, qStart, int64(region.Area()))
 		res.Faults.FramesQuarantined++
-		complete, dup, err := asm.deliver(f, region, extractRegion(scratch, region), time.Since(start))
+		frameRays[f].Merge(ft.Counters)
+		if dfbOn {
+			// Assembly lives at the sink: ship the quarantined region there
+			// as a master-relayed key-frame; the confirmation completes it.
+			fd := frameDoneMsg{TaskID: -1, Frame: f, Region: region, Rendered: region.Area()}
+			sinks.relay("master", f, region, qenc.Encode(&fd, scratch, 0, nil, true))
+			return nil
+		}
+		complete, dup, err := asm.Deliver(f, region, extractRegion(scratch, region), time.Since(start))
 		if err != nil {
 			return err
 		}
-		frameRays[f].Merge(ft.Counters)
 		if complete && !dup {
 			framesRemaining--
 			if cfg.OnFrame != nil {
-				return cfg.OnFrame(f, asm.frame(f))
+				return cfg.OnFrame(f, asm.Frame(f))
 			}
 		}
 		return nil
@@ -259,7 +342,11 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	requeueGaps := func(region fb.Rect, startF, endF int) {
 		runStart := -1
 		for f := startF; f <= endF; f++ {
-			missing := f < endF && !asm.delivered(f, region)
+			// A result acked as shipped to a sink but not yet confirmed is
+			// in flight, not missing; if its shipper or sink dies, the
+			// pending entry is cleared and a later requeue pass catches it.
+			missing := f < endF && !asm.Delivered(f, region) &&
+				!(dfbOn && sinks.isPending(f, region))
 			if missing && runStart < 0 {
 				runStart = f
 			}
@@ -410,6 +497,15 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		if err != nil {
 			return res, err
 		}
+		if dfbOn {
+			if _, _, ok := sinks.index(m.From); ok {
+				// Sink traffic during seeding (an early confirmation, or a
+				// sink dying before all workers joined) is deferred to the
+				// main loop's handler.
+				backlog = append(backlog, m)
+				continue
+			}
+		}
 		switch m.Tag {
 		case tagTick:
 			if liveness > 0 && time.Since(seedStart) > liveness {
@@ -429,7 +525,11 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			}
 			seen[m.From] = true
 			workers[m.From].lastHeard = time.Now()
-			workers[m.From].caps = decodeHello(m.Data)
+			helloName, caps := decodeHello(m.Data)
+			workers[m.From].caps = caps
+			if helloName != "" && helloName != m.From {
+				reported[helloName] = m.From
+			}
 			if err := giveWork(m.From); err != nil {
 				return res, err
 			}
@@ -443,7 +543,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			seen[m.From] = true
 			workers[m.From].dead = true
 			res.Faults.WorkersLost++
-		case TagFrameDone, TagTaskDone, TagTruncateAck, TagPong:
+		case TagFrameDone, TagFrameAck, TagTaskDone, TagTruncateAck, TagPong:
 			backlog = append(backlog, m)
 		default:
 			return res, fmt.Errorf("farm: expected hello, got tag %d from %s", m.Tag, m.From)
@@ -473,6 +573,11 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		res.Faults.WorkersLost++
 		mt.Instant(timeline.OpRetire, -1, int64(w.task.ID))
 		hub.Detach(w.name)
+		if dfbOn {
+			// Results this worker acked but no sink confirmed may have died
+			// with it; forget them so requeueGaps re-renders them.
+			sinks.clearWorker(w.name)
+		}
 		// Drop the worker from the thief waiting list.
 		for i, name := range waiting {
 			if name == w.name {
@@ -484,7 +589,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			// Charge the first undelivered frame — the one in progress
 			// when the worker was lost.
 			for f := w.task.StartFrame; f < w.task.EndFrame; f++ {
-				if asm.delivered(f, w.task.Region) {
+				if asm.Delivered(f, w.task.Region) {
 					continue
 				}
 				frameFails[f]++
@@ -582,6 +687,146 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		return nil
 	}
 
+	// covered reports whether an active worker task or a queued task will
+	// still render (frame, region) — consulted when a sink reports a miss,
+	// to decide whether the frame needs an immediate requeue. A worker
+	// whose doneThrough is already past the frame will never resend it.
+	covered := func(frame int, region fb.Rect) bool {
+		for _, w := range workers {
+			if w.dead || !w.hasTask || w.task.Region != region {
+				continue
+			}
+			if frame >= w.doneThrough && frame < w.task.EndFrame {
+				return true
+			}
+		}
+		for _, t := range queue {
+			if t.Region == region && frame >= t.StartFrame && frame < t.EndFrame {
+				return true
+			}
+		}
+		return false
+	}
+
+	// sinkLost recovers from a dead sink connection: re-dial within the
+	// redial budget, then reset every non-complete frame of its shard and
+	// requeue them — whatever partial assembly or in-flight result the
+	// sink held is gone. Workers mid-task keep rendering into the
+	// restarted sink: their next delta base-misses, and the NeedKey
+	// handshake plus the requeues (which arrive as fresh tasks, hence
+	// key-frames) re-seed the shard.
+	sinkLost := func(si int) error {
+		var derr error
+		for {
+			if sinks.redialsLeft[si] <= 0 {
+				if derr == nil {
+					derr = fmt.Errorf("farm: sink %d (%s) lost with no redial budget", si, cfg.DFB.Addrs[si])
+				}
+				return derr
+			}
+			sinks.redialsLeft[si]--
+			if derr = sinks.dial(si); derr == nil {
+				break
+			}
+		}
+		sinks.clearShard(si)
+		s0, s1 := sinks.shard.Shard(si)
+		for f := s0; f < s1; f++ {
+			if !asm.FrameComplete(f) {
+				asm.ResetFrame(f)
+			}
+		}
+		for _, r := range regions {
+			requeueGaps(r, s0, s1)
+		}
+		return dispatchQueue()
+	}
+
+	// handleSink processes one message from a compositor sink connection.
+	// Confirmations from a replaced connection carry a stale generation
+	// and are dropped; the shard reset already requeued their frames.
+	handleSink := func(si int, stale bool, m msg.Message) error {
+		if m.Tag == msg.TagDown {
+			if stale {
+				return nil // the replaced conn's pump noticed our Detach
+			}
+			return sinkLost(si)
+		}
+		switch m.Tag {
+		case compositor.TagDelivered:
+			d, err := compositor.DecodeDelivered(m.Data)
+			if err != nil || d.Gen != sinks.gens[si] {
+				return nil
+			}
+			res.BytesTransferred += int64(len(m.Data))
+			// Per-hop accounting: WireBytes totals result-path bytes on
+			// every wire — the confirmation into the master plus the pixel
+			// payload the sink ingested — so legacy and DFB runs stay
+			// comparable (legacy: WireBytes == MasterIngressBytes).
+			res.Wire.WireBytes += uint64(len(m.Data)) + uint64(d.WireBytes)
+			res.Wire.MasterIngressBytes += uint64(len(m.Data))
+			res.Wire.SinkIngressBytes += uint64(d.WireBytes)
+			res.Wire.RawBytes += uint64(d.RawBytes)
+			sinks.clearPending(d.Frame, d.Region)
+			complete, dup, err := asm.DeliverMeta(d.Frame, d.Region, time.Since(start))
+			if err != nil {
+				return nil // geometry the tiling never produced; requeues recover
+			}
+			if dup {
+				res.Faults.DuplicatesDropped++
+				return nil
+			}
+			// Pixel credit happens here, on the sink's authoritative
+			// confirmation, not on the worker's stats ack: the run ends the
+			// moment the last region is confirmed, and the matching ack can
+			// still be in flight — crediting acks would undercount. Summing
+			// per-worker pixels therefore yields exactly frames x w x h.
+			if ww := byReport(d.Worker); ww != nil {
+				ww.st.PixelsDone += d.Region.Area()
+			}
+			if complete {
+				framesRemaining--
+				mt.Instant(timeline.OpSinkDeliver, d.Frame, int64(d.RawBytes))
+			}
+		case compositor.TagMiss:
+			mm, err := compositor.DecodeMiss(m.Data)
+			if err != nil || mm.Gen != sinks.gens[si] {
+				return nil
+			}
+			res.BytesTransferred += int64(len(m.Data))
+			res.Wire.WireBytes += uint64(len(m.Data))
+			res.Wire.MasterIngressBytes += uint64(len(m.Data))
+			sinks.clearPending(mm.Frame, mm.Region)
+			if mm.Reason == compositor.MissBase {
+				// Attribute under the hub name so the per-worker miss map
+				// keys match the worker table (over TCP the sink knows the
+				// worker by its self-introduced -name instead).
+				missWorker := mm.Worker
+				if ww := byReport(mm.Worker); ww != nil {
+					missWorker = ww.name
+				}
+				res.Wire.AddBaseMiss(missWorker)
+				mt.Instant(timeline.OpBaseMiss, mm.Frame, 0)
+			} else {
+				res.Faults.MalformedMessages++
+			}
+			// If nothing active will re-render the missed result, requeue
+			// it now — the owning task may have completed while the miss
+			// was in flight, its completion pass skipping the then-pending
+			// frame.
+			if !asm.Delivered(mm.Frame, mm.Region) && !covered(mm.Frame, mm.Region) {
+				queue = append(queue, partition.Task{
+					ID: nextTaskID, Region: mm.Region, StartFrame: mm.Frame, EndFrame: mm.Frame + 1,
+				})
+				nextTaskID++
+				res.Faults.FramesRequeued++
+				mt.Instant(timeline.OpRequeue, mm.Frame, 1)
+				return dispatchQueue()
+			}
+		}
+		return nil
+	}
+
 	for framesRemaining > 0 {
 		var m msg.Message
 		var err error
@@ -630,6 +875,14 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			continue
 		}
 
+		if dfbOn {
+			if si, stale, ok := sinks.index(m.From); ok {
+				if err := handleSink(si, stale, m); err != nil {
+					return res, err
+				}
+				continue
+			}
+		}
 		w, ok := workers[m.From]
 		if !ok {
 			return res, fmt.Errorf("farm: message from unknown worker %q", m.From)
@@ -650,48 +903,61 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			}
 			res.BytesTransferred += int64(len(m.Data))
 			res.Wire.WireBytes += uint64(len(m.Data))
-			res.Wire.RawBytes += uint64(fd.Region.Area() * 3)
+			res.Wire.MasterIngressBytes += uint64(len(m.Data))
+			if !dfbOn {
+				// Under DFB the raw-pixel accounting comes from the sink's
+				// confirmation, once per applied result.
+				res.Wire.RawBytes += uint64(fd.Region.Area() * 3)
+			}
 			if fd.Encoding == encFlate {
 				res.Wire.FramesCompressed++
 			}
 			mt.Instant(timeline.OpResult, fd.Frame, int64(len(m.Data)))
-			if rec != nil && fd.hasTimeline() {
-				// Every shipped result refines the worker's one-way offset
-				// bound; heartbeat RTT samples (TagPong) override it.
-				if fd.TLNow != 0 {
-					offsetFor(m.From).AddOneWay(rec.Now(), fd.TLNow)
-				}
-				if len(fd.TLTracks) > 0 {
-					tlGroups[m.From] = timeline.GroupOf(fd.TLTracks[0])
-				}
-				// Merge the piggybacked events, batching runs of the same
-				// track (the common case: all of one track's events arrive
-				// adjacent) into single AddTrack calls.
-				for i := 0; i < len(fd.TLEvents); {
-					j := i + 1
-					for j < len(fd.TLEvents) && fd.TLEvents[j].Track == fd.TLEvents[i].Track {
-						j++
+			mergeShipped(m.From, fd.TLNow, fd.TLTracks, fd.TLEvents)
+			if dfbOn {
+				// Master-routed pixels from a legacy (or sink-fallback)
+				// worker: account the render, then relay the payload to the
+				// owning sink so assembly happens in exactly one place.
+				// Delivery marks and completion come from the confirmation.
+				if fd.Frame < cfg.StartFrame || fd.Frame >= cfg.EndFrame {
+					fd.Release()
+					if w.dead {
+						continue
 					}
-					evs := make([]timeline.Event, 0, j-i)
-					for k := i; k < j; k++ {
-						evs = append(evs, fd.TLEvents[k].Ev)
+					if err := malformed(w); err != nil {
+						return res, err
 					}
-					shipped.AddTrack(fd.TLTracks[fd.TLEvents[i].Track], evs, 0)
-					i = j
+					continue
 				}
+				if fd.Kind == frameDelta {
+					res.Wire.FramesDelta++
+				} else {
+					res.Wire.FramesFull++
+				}
+				w.lastProgress = w.lastHeard
+				w.doneThrough = fd.Frame + 1
+				d := time.Duration(fd.ElapsedNs)
+				frameElapsed[fd.Frame] += d
+				frameRays[fd.Frame].Merge(fd.Rays)
+				w.st.Busy += d
+				w.st.PixelsDone += fd.Region.Area()
+				w.st.Rays.Merge(fd.Rays)
+				sinks.relay(m.From, fd.Frame, fd.Region, m.Data)
+				fd.Release()
+				continue
 			}
 			var complete, dup bool
 			if fd.Kind == frameDelta {
 				res.Wire.FramesDelta++
-				complete, dup, err = asm.deliverSpans(fd.Frame, fd.Region, fd.Spans, fd.Pix, time.Since(start))
+				complete, dup, err = asm.DeliverSpans(fd.Frame, fd.Region, fd.Spans, fd.Pix, time.Since(start))
 				if err == nil {
 					mt.Instant(timeline.OpDeltaApply, fd.Frame, int64(len(fd.Spans)))
 				}
 			} else {
 				res.Wire.FramesFull++
-				complete, dup, err = asm.deliver(fd.Frame, fd.Region, fd.Pix, time.Since(start))
+				complete, dup, err = asm.Deliver(fd.Frame, fd.Region, fd.Pix, time.Since(start))
 			}
-			fd.release()
+			fd.Release()
 			if err != nil {
 				if errors.Is(err, errDeltaBase) {
 					mt.Instant(timeline.OpBaseMiss, fd.Frame, 0)
@@ -700,7 +966,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 					// violation. The frame stays undelivered and is
 					// re-rendered by requeueGaps when the task completes —
 					// exactly like the lost base itself.
-					res.Wire.DeltaBaseMisses++
+					res.Wire.AddBaseMiss(m.From)
 					w.lastProgress = w.lastHeard
 					w.doneThrough = fd.Frame + 1
 					continue
@@ -724,7 +990,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			if complete {
 				framesRemaining--
 				if cfg.OnFrame != nil {
-					if err := cfg.OnFrame(fd.Frame, asm.frame(fd.Frame)); err != nil {
+					if err := cfg.OnFrame(fd.Frame, asm.Frame(fd.Frame)); err != nil {
 						return res, err
 					}
 				}
@@ -737,6 +1003,50 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			}
 			w.st.PixelsDone += fd.Region.Area()
 			w.st.Rays.Merge(fd.Rays)
+
+		case TagFrameAck:
+			// DFB control ack: the pixels went straight to a compositor
+			// sink; this small message carries the per-frame statistics and
+			// timeline piggyback. It advances the worker's progress but
+			// does NOT mark the frame delivered — only the sink's
+			// confirmation does, so a result lost between worker and sink
+			// is still requeued.
+			a, err := decodeFrameAck(m.Data)
+			if err != nil || !dfbOn || a.Frame < cfg.StartFrame || a.Frame >= cfg.EndFrame {
+				if w.dead {
+					continue
+				}
+				if err := malformed(w); err != nil {
+					return res, err
+				}
+				continue
+			}
+			res.BytesTransferred += int64(len(m.Data))
+			res.Wire.WireBytes += uint64(len(m.Data))
+			res.Wire.MasterIngressBytes += uint64(len(m.Data))
+			res.Wire.FramesAcked++
+			if a.Kind == frameDelta {
+				res.Wire.FramesDelta++
+			} else {
+				res.Wire.FramesFull++
+			}
+			if a.Encoding == encFlate {
+				res.Wire.FramesCompressed++
+			}
+			mt.Instant(timeline.OpAck, a.Frame, int64(a.SinkBytes))
+			mergeShipped(m.From, a.TLNow, a.TLTracks, a.TLEvents)
+			w.lastProgress = w.lastHeard
+			w.doneThrough = a.Frame + 1
+			if !asm.Delivered(a.Frame, a.Region) {
+				sinks.setPending(a.Frame, a.Region, m.From)
+			}
+			d := time.Duration(a.ElapsedNs)
+			frameElapsed[a.Frame] += d
+			frameRays[a.Frame].Merge(a.Rays)
+			w.st.Busy += d
+			// PixelsDone is credited at TagDelivered (the sink's confirm),
+			// not here — see that handler for why.
+			w.st.Rays.Merge(a.Rays)
 
 		case TagTaskDone:
 			id, end, err := decodePair(m.Data)
@@ -854,7 +1164,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		}
 	}
 
-	if err := asm.complete(); err != nil {
+	if err := asm.Complete(); err != nil {
 		return res, err
 	}
 	// All pixels delivered: stop the workers. Sends to dead workers
@@ -863,7 +1173,20 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		_ = hub.Send(n, msg.Message{Tag: TagShutdown})
 	}
 
-	res.Frames = asm.frames
+	if dfbOn {
+		// The pixels live at the sinks. In-process runs collect them via
+		// the DFB config's collector; daemon sinks (cmd/nowcompose) wrote
+		// the frames out themselves and the master returns none.
+		sinks.close()
+		if cfg.DFB.collect != nil {
+			res.Frames = make([]*fb.Framebuffer, cfg.EndFrame-cfg.StartFrame)
+			for f := cfg.StartFrame; f < cfg.EndFrame; f++ {
+				res.Frames[f-cfg.StartFrame] = cfg.DFB.collect(f)
+			}
+		}
+	} else {
+		res.Frames = asm.Frames()
+	}
 	res.Makespan = time.Since(start)
 	for f := cfg.StartFrame; f < cfg.EndFrame; f++ {
 		res.Run.AddFrame(stats.FrameStats{
@@ -902,6 +1225,11 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 	}
 	if cfg.Emit != nil {
 		for i, img := range res.Frames {
+			// Remote-sink DFB runs hold no frames at the master — the
+			// nowcompose daemons emit them at their end instead.
+			if img == nil {
+				continue
+			}
 			if err := cfg.Emit(cfg.StartFrame+i, img); err != nil {
 				return res, err
 			}
@@ -919,6 +1247,63 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 func RenderLocal(cfg Config) (*Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
+	}
+	// In-process distributed framebuffer: spin up a compositor registry,
+	// point the master and the workers at its dialer, and collect the
+	// assembled frames from the sinks at run end (the master never holds
+	// pixels under DFB). Tests kill and restart sinks through the same
+	// registry: a Dial after Close recreates the sink, which is exactly
+	// a compositor process restart.
+	if cfg.DFB != nil && len(cfg.DFB.Addrs) == 0 && cfg.DFB.Sinks > 0 {
+		n := cfg.DFB.Sinks
+		if frames := cfg.EndFrame - cfg.StartFrame; n > frames {
+			n = frames
+		}
+		collected := make([]*fb.Framebuffer, cfg.EndFrame-cfg.StartFrame)
+		var cmu sync.Mutex
+		userOnFrame := cfg.OnFrame
+		startFrame := cfg.StartFrame
+		onFrame := func(f int, img *fb.Framebuffer) error {
+			cmu.Lock()
+			defer cmu.Unlock()
+			collected[f-startFrame] = img
+			if userOnFrame != nil {
+				return userOnFrame(f, img)
+			}
+			return nil
+		}
+		reg := compositor.NewRegistry(func(i int) *compositor.Compositor {
+			return compositor.New(compositor.Config{
+				Name: compositor.Addr(i), OnFrame: onFrame, Timeline: cfg.Timeline,
+			})
+		})
+		defer reg.CloseAll()
+		dfb := *cfg.DFB
+		dfb.Addrs = make([]string, n)
+		for i := range dfb.Addrs {
+			dfb.Addrs[i] = compositor.Addr(i)
+		}
+		if dfb.Dial == nil {
+			dfb.Dial = reg.Dial
+		}
+		dfb.collect = func(f int) *fb.Framebuffer {
+			cmu.Lock()
+			defer cmu.Unlock()
+			return collected[f-startFrame]
+		}
+		cfg.DFB = &dfb
+		cfg.OnFrame = nil // the sinks own frame delivery now
+		userWorkerOpts := cfg.WorkerOpts
+		cfg.WorkerOpts = func(i int) WorkerOptions {
+			var o WorkerOptions
+			if userWorkerOpts != nil {
+				o = userWorkerOpts(i)
+			}
+			if o.SinkDial == nil {
+				o.SinkDial = dfb.Dial
+			}
+			return o
+		}
 	}
 	hub := msg.NewHub()
 	errCh := make(chan error, cfg.Workers)

@@ -7,8 +7,8 @@ import (
 	"nowrender/internal/msg"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
-	"nowrender/internal/timeline"
 	vm "nowrender/internal/vecmath"
+	"nowrender/internal/wire"
 )
 
 // Message tags of the farm protocol (the PVM msgtag space).
@@ -47,52 +47,50 @@ const (
 	// encodePong) so the master can estimate per-worker clock offsets
 	// from the round trip.
 	TagPong
+	// TagFrameAck is the control half of a DFB frame result: the pixels
+	// went straight to a compositor sink (capWireDFB), and this small ack
+	// carries the per-frame statistics and timeline piggyback the master
+	// would otherwise have read off TagFrameDone. The master does NOT
+	// mark the frame delivered on it — only the sink's confirmation does
+	// that, so a result lost between worker and sink is still requeued.
+	TagFrameAck
 )
 
-// Wire capability bits, advertised by workers in TagHello and granted
-// back per task in TagTask. A mode is active only when both sides opted
-// in, so a new master drives old workers (no bits advertised → plain
-// full frames) and an old master drives new workers (no flags granted →
-// same) without either noticing.
+// Wire capability bits, frame kinds, encodings, and codec types all
+// live in internal/wire (shared with the compositor subsystem); the
+// farm keeps these aliases so the protocol reads as before.
 const (
-	// capWireDelta: the worker can encode dirty-span delta frames and
-	// the master can apply them.
-	capWireDelta = 1 << 0
-	// capWireCompress: frame payloads may be flate-compressed.
-	capWireCompress = 1 << 1
-	// capWireTimeline: the worker ships its timeline events (recv/
-	// render/encode/send phase spans, tile spans) piggybacked on frame
-	// results, and stamps its recorder clock into pongs so the master
-	// can offset-correct them into the cluster timeline.
-	capWireTimeline = 1 << 2
-	wireCapsMask    = capWireDelta | capWireCompress | capWireTimeline
+	capWireDelta    = wire.CapDelta
+	capWireCompress = wire.CapCompress
+	capWireTimeline = wire.CapTimeline
+	capWireDFB      = wire.CapDFB
+	wireCapsMask    = wire.CapsMask
+
+	frameFull  = wire.KindFull
+	frameDelta = wire.KindDelta
+
+	encRaw   = wire.EncRaw
+	encFlate = wire.EncFlate
+
+	wireSpanOverhead = wire.SpanOverhead
+	wireCompressMin  = wire.CompressMin
 )
 
-// Frame result kinds (frameDoneMsg.Kind).
-const (
-	// frameFull carries the region's complete pixels: the first frame of
-	// every task (the key-frame that reseeds the master's copy after any
-	// retry, steal, speculation, or truncation), plain-path results, and
-	// deltas that tripped the size guard.
-	frameFull = iota
-	// frameDelta carries only the pixels in Spans; everything else is
-	// copied from the master's copy of the previous frame.
-	frameDelta
-)
+// frameDoneMsg is the wire form of one completed frame region.
+type frameDoneMsg = wire.FrameDone
 
-// Frame payload encodings (frameDoneMsg.Encoding).
-const (
-	encRaw = iota
-	encFlate
-)
+// wireEvent is one shipped timeline event.
+type wireEvent = wire.TLEvent
 
-// wireSpanOverhead is the wire cost of one span (three packed int64s),
-// charged by the delta size guard.
-const wireSpanOverhead = 24
+// frameEncoder builds TagFrameDone payloads (key-frame vs delta choice,
+// optional compression) with reusable scratch.
+type frameEncoder = wire.Encoder
 
-// wireCompressMin is the smallest payload worth running through flate:
-// below this the deflate framing eats the savings.
-const wireCompressMin = 64
+func encodeFrameDone(m frameDoneMsg) []byte { return wire.EncodeFrameDone(m) }
+
+func decodeFrameDone(data []byte) (frameDoneMsg, error) { return wire.DecodeFrameDone(data) }
+
+func validateSpans(spans []fb.Span, region fb.Rect) error { return wire.ValidateSpans(spans, region) }
 
 // encodeHello packs a worker's hello: name plus capability bits, sealed
 // like every other payload. Pre-capability masters treat the payload as
@@ -106,28 +104,31 @@ func encodeHello(name string, caps int) []byte {
 	return b.Sealed()
 }
 
-// decodeHello extracts the capability bits from a hello payload. A
-// legacy hello (raw name bytes, no seal) or anything else that does not
-// parse yields zero capabilities — never an error, because an old
-// worker must keep working.
-func decodeHello(data []byte) (caps int) {
+// decodeHello extracts the worker's self-reported name and capability
+// bits from a hello payload. A legacy hello (raw name bytes, no seal)
+// or anything else that does not parse yields zero capabilities — never
+// an error, because an old worker must keep working. The name matters
+// over TCP, where the master's hub names (tcp00, tcp01, ...) differ
+// from the -name a worker introduces itself to compositor sinks with;
+// sink confirmations carry the latter, and the master maps them back.
+func decodeHello(data []byte) (name string, caps int) {
 	body, err := msg.Open(data)
 	if err != nil {
-		return 0
+		return "", 0
 	}
 	b := msg.FromBytes(body)
-	b.UnpackString()
+	n := b.UnpackString()
 	c := int(b.UnpackInt())
 	if b.Err() != nil || b.Len() != 0 || c&^wireCapsMask != 0 {
-		return 0
+		return "", 0
 	}
-	return c
+	return n, c
 }
 
 // maxTaskDim bounds task resolution and frame numbers accepted off the
 // wire, so a corrupt-but-checksummed task cannot make a worker allocate
 // an absurd framebuffer.
-const maxTaskDim = 1 << 15
+const maxTaskDim = wire.MaxDim
 
 // validate rejects task assignments whose geometry cannot have come from
 // a sane master: non-positive resolution, a region outside the
@@ -148,6 +149,18 @@ func (t taskMsg) validate() error {
 	}
 	if t.WireFlags&^wireCapsMask != 0 {
 		return fmt.Errorf("farm: unknown wire flags %#x", t.WireFlags)
+	}
+	if t.WireFlags&capWireDFB != 0 {
+		if len(t.Sinks) < 1 || len(t.Sinks) > maxSinks {
+			return fmt.Errorf("farm: bad DFB sink count %d", len(t.Sinks))
+		}
+		if t.JobStart < 0 || t.JobEnd > maxTaskDim ||
+			t.JobStart > t.Task.StartFrame || t.Task.EndFrame > t.JobEnd {
+			return fmt.Errorf("farm: DFB job range [%d,%d) does not contain task range [%d,%d)",
+				t.JobStart, t.JobEnd, t.Task.StartFrame, t.Task.EndFrame)
+		}
+	} else if len(t.Sinks) != 0 {
+		return fmt.Errorf("farm: sink list without DFB grant")
 	}
 	return nil
 }
@@ -170,7 +183,17 @@ type taskMsg struct {
 	// leave it unread, and absent on their encodes (zero = plain full
 	// frames).
 	WireFlags int
+	// JobStart, JobEnd and Sinks describe the compositor topology when
+	// WireFlags grants capWireDFB: the job's absolute frame range and the
+	// sink addresses, from which the worker derives the frame→sink shard
+	// map (partition.ShardMap). Packed only with the DFB grant, after
+	// WireFlags, so every earlier decoder is unaffected.
+	JobStart, JobEnd int
+	Sinks            []string
 }
+
+// maxSinks bounds the sink list accepted off the wire.
+const maxSinks = 1024
 
 func encodeTask(t taskMsg) []byte {
 	b := msg.GetBuffer()
@@ -190,6 +213,14 @@ func encodeTask(t taskMsg) []byte {
 	b.PackInt(int64(t.BlockGran))
 	b.PackInt(int64(t.Threads))
 	b.PackInt(int64(t.WireFlags))
+	if t.WireFlags&capWireDFB != 0 {
+		b.PackInt(int64(t.JobStart))
+		b.PackInt(int64(t.JobEnd))
+		b.PackInt(int64(len(t.Sinks)))
+		for _, s := range t.Sinks {
+			b.PackString(s)
+		}
+	}
 	return b.Sealed()
 }
 
@@ -217,6 +248,18 @@ func decodeTask(data []byte) (taskMsg, error) {
 		// Trailing capability grant; absent from pre-capability masters.
 		t.WireFlags = int(b.UnpackInt())
 	}
+	if t.WireFlags&capWireDFB != 0 {
+		t.JobStart = int(b.UnpackInt())
+		t.JobEnd = int(b.UnpackInt())
+		n := int(b.UnpackInt())
+		if n < 0 || n > maxSinks {
+			return taskMsg{}, fmt.Errorf("farm: bad DFB sink count %d", n)
+		}
+		t.Sinks = make([]string, n)
+		for i := range t.Sinks {
+			t.Sinks[i] = b.UnpackString()
+		}
+	}
 	if err := b.Err(); err != nil {
 		return taskMsg{}, fmt.Errorf("farm: bad task message: %w", err)
 	}
@@ -224,306 +267,6 @@ func decodeTask(data []byte) (taskMsg, error) {
 		return taskMsg{}, err
 	}
 	return t, nil
-}
-
-// frameDoneMsg is the wire form of one completed frame region.
-type frameDoneMsg struct {
-	TaskID int
-	Frame  int
-	Region fb.Rect
-	// Kind says whether Pix holds the full region (frameFull) or just
-	// the pixels in Spans (frameDelta); Encoding whether it crossed the
-	// wire raw or deflated. Decoded messages always expose Pix as raw
-	// pixels — decompression happens in decodeFrameDone.
-	Kind      int
-	Encoding  int
-	Spans     []fb.Span
-	Pix       []byte
-	Rendered  int
-	Copied    int
-	Regs      uint64
-	Rays      stats.RayCounters
-	ElapsedNs int64
-	// Timeline piggyback (capWireTimeline): TLNow is the worker's
-	// recorder clock at encode time (0 = no timeline; feeds the
-	// master's one-way offset estimate) and TLEvents carries the events
-	// drained from the worker's recorder since the previous result,
-	// tagged with indices into the TLTracks name table.
-	TLNow    int64
-	TLTracks []string
-	TLEvents []wireEvent
-	// pooled marks Pix as pool-owned scratch (decompressed payloads);
-	// release returns it once the pixels are merged.
-	pooled bool
-}
-
-// wireEvent is one shipped timeline event: Track indexes the message's
-// TLTracks table.
-type wireEvent struct {
-	Track int
-	Ev    timeline.Event
-}
-
-// hasTimeline reports whether the message carries a timeline section.
-func (m *frameDoneMsg) hasTimeline() bool {
-	return m.TLNow != 0 || len(m.TLTracks) > 0 || len(m.TLEvents) > 0
-}
-
-// wireEventBytes is the wire size of one timeline event (six packed
-// int64s), bounding decode-side allocation.
-const wireEventBytes = 48
-
-// maxTLTracks bounds the per-message track table: a worker has one
-// phase track plus one per tile-pool thread.
-const maxTLTracks = 512
-
-// release returns pool-owned pixel storage after the master has merged
-// the frame. Safe to call on any decoded message.
-func (m *frameDoneMsg) release() {
-	if m.pooled {
-		msg.PutBytes(m.Pix)
-		m.Pix = nil
-		m.pooled = false
-	}
-}
-
-// rawPixBytes returns the decompressed payload size the message's kind
-// implies: the whole region for key-frames, the span pixels for deltas.
-func (m *frameDoneMsg) rawPixBytes() int {
-	if m.Kind == frameDelta {
-		return fb.SpanArea(m.Spans) * 3
-	}
-	return m.Region.Area() * 3
-}
-
-func encodeFrameDone(m frameDoneMsg) []byte {
-	b := msg.GetBuffer()
-	defer b.Release()
-	b.PackInt(int64(m.TaskID))
-	b.PackInt(int64(m.Frame))
-	b.PackInt(int64(m.Region.X0))
-	b.PackInt(int64(m.Region.Y0))
-	b.PackInt(int64(m.Region.X1))
-	b.PackInt(int64(m.Region.Y1))
-	b.PackBytes(m.Pix)
-	b.PackInt(int64(m.Rendered))
-	b.PackInt(int64(m.Copied))
-	b.PackInt(int64(m.Regs))
-	for k := 0; k < vm.NumRayKinds; k++ {
-		b.PackInt(int64(m.Rays.ByKind[k]))
-	}
-	b.PackInt(m.ElapsedNs)
-	// Delta/compression fields trail the legacy layout and are omitted
-	// for plain raw key-frames, which therefore stay byte-identical to
-	// the pre-capability encoding. The timeline section trails the
-	// delta section and forces it present (the decoder reads them in
-	// order); it is only populated under a capWireTimeline grant, which
-	// a legacy master never issues, so legacy decoders never see it.
-	if m.Kind != frameFull || m.Encoding != encRaw || m.hasTimeline() {
-		b.PackInt(int64(m.Kind))
-		b.PackInt(int64(m.Encoding))
-		b.PackInt(int64(len(m.Spans)))
-		for _, s := range m.Spans {
-			b.PackInt(int64(s.Y))
-			b.PackInt(int64(s.X0))
-			b.PackInt(int64(s.X1))
-		}
-		if m.hasTimeline() {
-			b.PackInt(m.TLNow)
-			b.PackInt(int64(len(m.TLTracks)))
-			for _, name := range m.TLTracks {
-				b.PackString(name)
-			}
-			b.PackInt(int64(len(m.TLEvents)))
-			for _, we := range m.TLEvents {
-				b.PackInt(int64(we.Track))
-				b.PackInt(int64(we.Ev.Op))
-				b.PackInt(int64(we.Ev.Frame))
-				b.PackInt(we.Ev.Start)
-				b.PackInt(we.Ev.Dur)
-				b.PackInt(we.Ev.Arg)
-			}
-		}
-	}
-	return b.Sealed()
-}
-
-// validateSpans rejects a span set that is not strictly ordered (rows
-// ascending, runs left to right, no overlap) or that leaves the region.
-// Ordering is what the encoder produces and what lets the master apply
-// the payload in one forward pass.
-func validateSpans(spans []fb.Span, region fb.Rect) error {
-	prevY, prevX1 := region.Y0-1, 0
-	for _, s := range spans {
-		if s.Y < region.Y0 || s.Y >= region.Y1 || s.X0 < region.X0 || s.X0 >= s.X1 || s.X1 > region.X1 {
-			return fmt.Errorf("farm: span y=%d [%d,%d) outside region %v", s.Y, s.X0, s.X1, region)
-		}
-		if s.Y < prevY || (s.Y == prevY && s.X0 < prevX1) {
-			return fmt.Errorf("farm: spans out of order at y=%d x=%d", s.Y, s.X0)
-		}
-		prevY, prevX1 = s.Y, s.X1
-	}
-	return nil
-}
-
-func decodeFrameDone(data []byte) (frameDoneMsg, error) {
-	body, err := msg.Open(data)
-	if err != nil {
-		return frameDoneMsg{}, fmt.Errorf("farm: bad frame-done message: %w", err)
-	}
-	b := msg.FromBytes(body)
-	var m frameDoneMsg
-	m.TaskID = int(b.UnpackInt())
-	m.Frame = int(b.UnpackInt())
-	x0 := int(b.UnpackInt())
-	y0 := int(b.UnpackInt())
-	x1 := int(b.UnpackInt())
-	y1 := int(b.UnpackInt())
-	m.Region = fb.NewRect(x0, y0, x1, y1)
-	// The payload aliases data rather than being copied: Recv hands the
-	// receiver sole ownership of the message bytes (see the msg package's
-	// buffer ownership contract), so the decoded view stays valid until
-	// the master drops the message.
-	pix := b.UnpackBytes()
-	m.Rendered = int(b.UnpackInt())
-	m.Copied = int(b.UnpackInt())
-	m.Regs = uint64(b.UnpackInt())
-	for k := 0; k < vm.NumRayKinds; k++ {
-		m.Rays.ByKind[k] = uint64(b.UnpackInt())
-	}
-	m.ElapsedNs = b.UnpackInt()
-	if b.Len() > 0 {
-		m.Kind = int(b.UnpackInt())
-		m.Encoding = int(b.UnpackInt())
-		n := int(b.UnpackInt())
-		if n < 0 || n > b.Len()/wireSpanOverhead {
-			return frameDoneMsg{}, fmt.Errorf("farm: bad span count %d", n)
-		}
-		m.Spans = make([]fb.Span, n)
-		for i := range m.Spans {
-			m.Spans[i] = fb.Span{Y: int(b.UnpackInt()), X0: int(b.UnpackInt()), X1: int(b.UnpackInt())}
-		}
-		if b.Len() > 0 {
-			// Timeline piggyback (capWireTimeline grants only).
-			m.TLNow = b.UnpackInt()
-			nt := int(b.UnpackInt())
-			if nt < 0 || nt > maxTLTracks || nt > b.Len()/8 {
-				return frameDoneMsg{}, fmt.Errorf("farm: bad timeline track count %d", nt)
-			}
-			m.TLTracks = make([]string, nt)
-			for i := range m.TLTracks {
-				m.TLTracks[i] = b.UnpackString()
-			}
-			ne := int(b.UnpackInt())
-			if ne < 0 || ne > b.Len()/wireEventBytes {
-				return frameDoneMsg{}, fmt.Errorf("farm: bad timeline event count %d", ne)
-			}
-			m.TLEvents = make([]wireEvent, ne)
-			for i := range m.TLEvents {
-				we := wireEvent{Track: int(b.UnpackInt())}
-				we.Ev.Op = timeline.Op(b.UnpackInt())
-				we.Ev.Frame = int32(b.UnpackInt())
-				we.Ev.Start = b.UnpackInt()
-				we.Ev.Dur = b.UnpackInt()
-				we.Ev.Arg = b.UnpackInt()
-				if we.Track < 0 || we.Track >= nt {
-					return frameDoneMsg{}, fmt.Errorf("farm: timeline event track %d of %d", we.Track, nt)
-				}
-				m.TLEvents[i] = we
-			}
-		}
-	}
-	if err := b.Err(); err != nil {
-		return frameDoneMsg{}, fmt.Errorf("farm: bad frame-done message: %w", err)
-	}
-	if b.Len() != 0 {
-		return frameDoneMsg{}, fmt.Errorf("farm: %d trailing bytes in frame-done message", b.Len())
-	}
-	r := m.Region
-	if r.X0 < 0 || r.Y0 < 0 || r.X1 <= r.X0 || r.Y1 <= r.Y0 || r.X1 > maxTaskDim || r.Y1 > maxTaskDim {
-		return frameDoneMsg{}, fmt.Errorf("farm: bad frame region %v", r)
-	}
-	if m.Kind != frameFull && m.Kind != frameDelta {
-		return frameDoneMsg{}, fmt.Errorf("farm: unknown frame kind %d", m.Kind)
-	}
-	if m.Encoding != encRaw && m.Encoding != encFlate {
-		return frameDoneMsg{}, fmt.Errorf("farm: unknown frame encoding %d", m.Encoding)
-	}
-	if m.Kind == frameFull && len(m.Spans) != 0 {
-		return frameDoneMsg{}, fmt.Errorf("farm: full frame with %d spans", len(m.Spans))
-	}
-	if err := validateSpans(m.Spans, m.Region); err != nil {
-		return frameDoneMsg{}, err
-	}
-	want := m.rawPixBytes()
-	if want > msg.MaxMessageSize {
-		// A corrupt-but-checksummed header must not drive a huge
-		// decompression allocation.
-		return frameDoneMsg{}, fmt.Errorf("farm: frame payload of %d bytes exceeds limit", want)
-	}
-	switch m.Encoding {
-	case encRaw:
-		if len(pix) != want {
-			return frameDoneMsg{}, fmt.Errorf("farm: frame payload is %d bytes, want %d", len(pix), want)
-		}
-		m.Pix = pix
-	case encFlate:
-		dst := msg.GetBytes(want)
-		if err := msg.Inflate(dst, pix); err != nil {
-			msg.PutBytes(dst)
-			return frameDoneMsg{}, fmt.Errorf("farm: bad frame-done message: %w", err)
-		}
-		m.Pix = dst
-		m.pooled = true
-	}
-	return m, nil
-}
-
-// frameEncoder builds TagFrameDone payloads, choosing between key-frame
-// and delta encoding and applying optional compression. Its scratch
-// slices are reused across frames, so the worker's hot loop (and the
-// virtual driver modelling it) allocates only the final sealed message.
-type frameEncoder struct {
-	pix []byte // span/region pixel extraction scratch
-	z   []byte // deflate scratch
-}
-
-// encode fills fd's Kind/Encoding/Spans/Pix from the rendered frame and
-// returns the sealed wire bytes. spans is the coherence engine's
-// traced-pixel set for this frame (nil on the plain path); first marks
-// the first frame of a task, which is always a key-frame so the master
-// can reseed its copy after any retry, steal, or truncation. flags is
-// the task's capability grant.
-func (we *frameEncoder) encode(fd *frameDoneMsg, buf *fb.Framebuffer, flags int, spans []fb.Span, first bool) []byte {
-	fd.Kind, fd.Encoding, fd.Spans = frameFull, encRaw, nil
-	if flags&capWireDelta != 0 && spans != nil && !first {
-		// Size guard: a delta only pays if its pixels plus span overhead
-		// undercut ~60% of the full region; otherwise ship a key-frame.
-		rawFull := fd.Region.Area() * 3
-		rawDelta := fb.SpanArea(spans)*3 + wireSpanOverhead*len(spans)
-		if rawDelta*10 <= rawFull*6 {
-			fd.Kind = frameDelta
-			fd.Spans = spans
-		}
-	}
-	if fd.Kind == frameDelta {
-		we.pix = buf.AppendSpans(we.pix[:0], fd.Spans)
-	} else {
-		we.pix = appendRegion(we.pix[:0], buf, fd.Region)
-	}
-	payload := we.pix
-	if flags&capWireCompress != 0 && len(payload) >= wireCompressMin {
-		z, err := msg.Deflate(we.z[:0], payload)
-		if err == nil {
-			we.z = z
-			if len(z) < len(payload) {
-				payload = z
-				fd.Encoding = encFlate
-			}
-		}
-	}
-	fd.Pix = payload
-	return encodeFrameDone(*fd)
 }
 
 // encodePair packs two integers (used by truncate/ack/task-done/ping).
@@ -565,6 +308,95 @@ func decodePong(data []byte) (seq int, masterNs, workerNs int64, err error) {
 		return 0, 0, 0, fmt.Errorf("farm: bad pong message: %w", err)
 	}
 	return seq, masterNs, workerNs, nil
+}
+
+// frameAckMsg is the TagFrameAck payload: everything TagFrameDone
+// carries except the pixels, which went to a compositor sink directly.
+// The timeline piggyback rides the ack (not the pix message) so the
+// master's clock-correcting merge keeps working under DFB.
+type frameAckMsg struct {
+	TaskID int
+	Frame  int
+	Region fb.Rect
+	// Kind and Encoding are the wire.Kind*/wire.Enc* the worker shipped;
+	// Sink the sink index it shipped to; SinkBytes the encoded payload
+	// size on the sink link.
+	Kind      int
+	Encoding  int
+	Sink      int
+	SinkBytes int
+	// Per-frame render statistics, mirroring frameDoneMsg.
+	Rendered  int
+	Copied    int
+	Regs      uint64
+	Rays      stats.RayCounters
+	ElapsedNs int64
+	// Timeline piggyback (optional trailing section; see wire.PackTL).
+	TLNow    int64
+	TLTracks []string
+	TLEvents []wireEvent
+}
+
+func encodeFrameAck(a frameAckMsg) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(int64(a.TaskID))
+	b.PackInt(int64(a.Frame))
+	b.PackInt(int64(a.Region.X0))
+	b.PackInt(int64(a.Region.Y0))
+	b.PackInt(int64(a.Region.X1))
+	b.PackInt(int64(a.Region.Y1))
+	b.PackInt(int64(a.Kind))
+	b.PackInt(int64(a.Encoding))
+	b.PackInt(int64(a.Sink))
+	b.PackInt(int64(a.SinkBytes))
+	b.PackInt(int64(a.Rendered))
+	b.PackInt(int64(a.Copied))
+	b.PackInt(int64(a.Regs))
+	for k := 0; k < vm.NumRayKinds; k++ {
+		b.PackInt(int64(a.Rays.ByKind[k]))
+	}
+	b.PackInt(a.ElapsedNs)
+	if len(a.TLTracks) > 0 || a.TLNow != 0 {
+		wire.PackTL(b, a.TLNow, a.TLTracks, a.TLEvents)
+	}
+	return b.Sealed()
+}
+
+func decodeFrameAck(data []byte) (frameAckMsg, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return frameAckMsg{}, fmt.Errorf("farm: bad frame ack: %w", err)
+	}
+	b := msg.FromBytes(body)
+	var a frameAckMsg
+	a.TaskID = int(b.UnpackInt())
+	a.Frame = int(b.UnpackInt())
+	a.Region = fb.NewRect(int(b.UnpackInt()), int(b.UnpackInt()), int(b.UnpackInt()), int(b.UnpackInt()))
+	a.Kind = int(b.UnpackInt())
+	a.Encoding = int(b.UnpackInt())
+	a.Sink = int(b.UnpackInt())
+	a.SinkBytes = int(b.UnpackInt())
+	a.Rendered = int(b.UnpackInt())
+	a.Copied = int(b.UnpackInt())
+	a.Regs = uint64(b.UnpackInt())
+	for k := 0; k < vm.NumRayKinds; k++ {
+		a.Rays.ByKind[k] = uint64(b.UnpackInt())
+	}
+	a.ElapsedNs = b.UnpackInt()
+	if b.Err() == nil && b.Len() > 0 {
+		a.TLNow, a.TLTracks, a.TLEvents, err = wire.UnpackTL(b)
+		if err != nil {
+			return frameAckMsg{}, fmt.Errorf("farm: bad frame ack: %w", err)
+		}
+	}
+	if err := b.Err(); err != nil {
+		return frameAckMsg{}, fmt.Errorf("farm: bad frame ack: %w", err)
+	}
+	if a.Frame < 0 || a.Frame > maxTaskDim || a.Sink < 0 || a.Sink >= maxSinks || a.SinkBytes < 0 {
+		return frameAckMsg{}, fmt.Errorf("farm: bad frame ack fields (frame %d, sink %d)", a.Frame, a.Sink)
+	}
+	return a, nil
 }
 
 func decodePair(data []byte) (int, int, error) {

@@ -7,6 +7,7 @@ import (
 
 	"nowrender/internal/cluster"
 	"nowrender/internal/coherence"
+	"nowrender/internal/compositor"
 	"nowrender/internal/fb"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
@@ -81,6 +82,24 @@ func RenderVirtual(cfg Config) (*Result, error) {
 		wireFlags |= capWireCompress
 	}
 	var wireEnc frameEncoder // shared scratch; the event loop is sequential
+
+	// DFB modeling: with sinks configured, the pixel payload is charged
+	// to sink ingress and the master is charged only the real encoded
+	// sizes of the worker's ack and the sink's confirmation — the same
+	// three messages the live path exchanges, so virtual ingress ratios
+	// predict live ones.
+	dfbOn := wireOn && cfg.DFB != nil && (cfg.DFB.Sinks > 0 || len(cfg.DFB.Addrs) > 0)
+	var dfbShard partition.ShardMap
+	if dfbOn {
+		n := cfg.DFB.Sinks
+		if len(cfg.DFB.Addrs) > 0 {
+			n = len(cfg.DFB.Addrs)
+		}
+		if frames := cfg.EndFrame - cfg.StartFrame; n > frames {
+			n = frames
+		}
+		dfbShard = partition.ShardMap{Start: cfg.StartFrame, End: cfg.EndFrame, N: n}
+	}
 
 	// Timeline recording on the virtual clock: events carry explicit
 	// virtual timestamps (Span/InstantAt), all machines share the model's
@@ -208,7 +227,7 @@ func RenderVirtual(cfg Config) (*Result, error) {
 			if w.engine != nil {
 				spans = w.engine.LastSpans()
 			}
-			data := wireEnc.encode(&fd, w.buf, wireFlags, spans, f == w.task.StartFrame)
+			data := wireEnc.Encode(&fd, w.buf, wireFlags, spans, f == w.task.StartFrame)
 			end := now.Communicate(w.id, len(data))
 			sendEnd = end
 			res.BytesTransferred += int64(len(data))
@@ -223,14 +242,40 @@ func RenderVirtual(cfg Config) (*Result, error) {
 			}
 			if rd.Kind == frameDelta {
 				res.Wire.FramesDelta++
-				complete, _, err = asm.deliverSpans(f, w.task.Region, rd.Spans, rd.Pix, end)
+				complete, _, err = asm.DeliverSpans(f, w.task.Region, rd.Spans, rd.Pix, end)
 			} else {
 				res.Wire.FramesFull++
-				complete, _, err = asm.deliver(f, w.task.Region, rd.Pix, end)
+				complete, _, err = asm.Deliver(f, w.task.Region, rd.Pix, end)
 			}
-			rd.release()
+			rd.Release()
 			if err != nil {
 				return err
+			}
+			if dfbOn {
+				// Charge the master the control-plane bytes the live path
+				// would carry: the worker's ack and the sink's confirm,
+				// encoded for real so their sizes are exact.
+				ack := encodeFrameAck(frameAckMsg{
+					TaskID: w.task.ID, Frame: f, Region: w.task.Region,
+					Kind: fd.Kind, Encoding: fd.Encoding,
+					Sink: dfbShard.Of(f), SinkBytes: len(data),
+					Rendered: w.task.Region.Area(), Rays: rc,
+					ElapsedNs: int64(execTime),
+				})
+				confirm := compositor.EncodeDelivered(compositor.Delivered{
+					Gen: 1, Frame: f, Region: w.task.Region,
+					Worker: cfg.Machines[w.id].Name, Kind: fd.Kind,
+					WireBytes: len(data), RawBytes: w.task.Region.Area() * 3,
+					Complete: complete,
+				})
+				control := uint64(len(ack) + len(confirm))
+				res.BytesTransferred += int64(control)
+				res.Wire.WireBytes += control
+				res.Wire.MasterIngressBytes += control
+				res.Wire.SinkIngressBytes += uint64(len(data))
+				res.Wire.FramesAcked++
+			} else {
+				res.Wire.MasterIngressBytes += uint64(len(data))
 			}
 		} else {
 			pix := extractRegion(w.buf, w.task.Region)
@@ -239,14 +284,14 @@ func RenderVirtual(cfg Config) (*Result, error) {
 			sendEnd = end
 			res.BytesTransferred += int64(resultBytes)
 			var err error
-			complete, _, err = asm.deliver(f, w.task.Region, pix, end)
+			complete, _, err = asm.Deliver(f, w.task.Region, pix, end)
 			if err != nil {
 				return err
 			}
 		}
 		vtracks[w.id].Span(timeline.OpSend, f, int64(execEnd), int64(sendEnd), int64(w.task.Region.Area()*3))
 		if complete && cfg.OnFrame != nil {
-			if err := cfg.OnFrame(f, asm.frame(f)); err != nil {
+			if err := cfg.OnFrame(f, asm.Frame(f)); err != nil {
 				return err
 			}
 		}
@@ -318,10 +363,10 @@ func RenderVirtual(cfg Config) (*Result, error) {
 		}
 	}
 
-	if err := asm.complete(); err != nil {
+	if err := asm.Complete(); err != nil {
 		return nil, err
 	}
-	res.Frames = asm.frames
+	res.Frames = asm.Frames()
 	res.Makespan = now.Makespan()
 	for f := cfg.StartFrame; f < cfg.EndFrame; f++ {
 		res.Run.AddFrame(stats.FrameStats{

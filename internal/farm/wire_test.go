@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"nowrender/internal/msg"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
 )
 
 // patternFB fills a framebuffer with a deterministic pseudorandom
@@ -27,21 +29,22 @@ func patternFB(w, h int, seed int64) *fb.Framebuffer {
 
 func TestHelloCapsRoundTrip(t *testing.T) {
 	for _, caps := range []int{0, capWireDelta, capWireCompress, wireCapsMask} {
-		if got := decodeHello(encodeHello("ws01", caps)); got != caps {
-			t.Errorf("caps %#x round-tripped to %#x", caps, got)
+		name, got := decodeHello(encodeHello("ws01", caps))
+		if got != caps || name != "ws01" {
+			t.Errorf("(%q, %#x) round-tripped to (%q, %#x)", "ws01", caps, name, got)
 		}
 	}
 	// A legacy hello is the raw name with no seal: zero caps, no error.
-	if got := decodeHello([]byte("old-worker")); got != 0 {
+	if _, got := decodeHello([]byte("old-worker")); got != 0 {
 		t.Errorf("legacy hello yielded caps %#x", got)
 	}
-	if got := decodeHello(nil); got != 0 {
+	if _, got := decodeHello(nil); got != 0 {
 		t.Errorf("empty hello yielded caps %#x", got)
 	}
 	// Unknown bits are refused wholesale: the worker is treated as legacy
 	// rather than granted half-understood modes.
 	b := encodeHello("future", wireCapsMask|1<<7)
-	if got := decodeHello(b); got != 0 {
+	if _, got := decodeHello(b); got != 0 {
 		t.Errorf("unknown cap bits yielded %#x", got)
 	}
 }
@@ -54,6 +57,11 @@ func TestTaskWireFlagsRoundTrip(t *testing.T) {
 	for _, flags := range []int{0, capWireDelta, capWireCompress, wireCapsMask} {
 		tm := base
 		tm.WireFlags = flags
+		if flags&capWireDFB != 0 {
+			// A DFB grant must carry the compositor topology.
+			tm.JobStart, tm.JobEnd = 0, 16
+			tm.Sinks = []string{"sink0", "127.0.0.1:7001"}
+		}
 		got, err := decodeTask(encodeTask(tm))
 		if err != nil {
 			t.Fatalf("flags %#x: %v", flags, err)
@@ -61,11 +69,56 @@ func TestTaskWireFlagsRoundTrip(t *testing.T) {
 		if got.WireFlags != flags {
 			t.Errorf("flags %#x round-tripped to %#x", flags, got.WireFlags)
 		}
+		if !reflect.DeepEqual(got.Sinks, tm.Sinks) || got.JobStart != tm.JobStart || got.JobEnd != tm.JobEnd {
+			t.Errorf("flags %#x: DFB fields round-tripped to %v [%d,%d)", flags, got.Sinks, got.JobStart, got.JobEnd)
+		}
 	}
 	bad := base
 	bad.WireFlags = 1 << 9
 	if _, err := decodeTask(encodeTask(bad)); err == nil {
 		t.Error("unknown wire flags decoded successfully")
+	}
+	// A DFB grant without sinks, or with a job range that does not
+	// contain the task range, is rejected.
+	bad = base
+	bad.WireFlags = capWireDFB
+	if _, err := decodeTask(encodeTask(bad)); err == nil {
+		t.Error("DFB grant without sinks decoded successfully")
+	}
+	bad.JobStart, bad.JobEnd = 4, 16
+	bad.Sinks = []string{"sink0"}
+	if _, err := decodeTask(encodeTask(bad)); err == nil {
+		t.Error("DFB job range not containing task range decoded successfully")
+	}
+}
+
+func TestFrameAckRoundTrip(t *testing.T) {
+	a := frameAckMsg{
+		TaskID: 7, Frame: 12, Region: fb.NewRect(0, 8, 16, 16),
+		Kind: frameDelta, Sink: 1, SinkBytes: 4096,
+		Rendered: 100, Copied: 156, Regs: 31, ElapsedNs: 99_000,
+	}
+	a.Rays.ByKind[0] = 1234
+	got, err := decodeFrameAck(encodeFrameAck(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Errorf("ack round trip: %+v != %+v", got, a)
+	}
+	// With the timeline piggyback.
+	a.TLNow = 5_000_000
+	a.TLTracks = []string{"w/main", "w/tile0"}
+	a.TLEvents = []wireEvent{{Track: 1, Ev: timeline.Event{Op: timeline.OpFrame, Frame: 12, Start: 10, Dur: 20}}}
+	got, err = decodeFrameAck(encodeFrameAck(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Errorf("ack+timeline round trip: %+v != %+v", got, a)
+	}
+	if _, err := decodeFrameAck([]byte("garbage")); err == nil {
+		t.Error("garbage ack decoded successfully")
 	}
 }
 
@@ -153,7 +206,7 @@ func TestFrameDoneRoundTrip(t *testing.T) {
 			if got.TaskID != 9 || got.Frame != 4 || got.Rendered != 11 || got.ElapsedNs != 777 {
 				t.Errorf("%s: stats fields corrupted: %+v", name, got)
 			}
-			got.release()
+			got.Release()
 		}
 	}
 }
@@ -188,7 +241,7 @@ func TestFrameEncoderDecision(t *testing.T) {
 	}
 	for _, tc := range cases {
 		fd := frameDoneMsg{TaskID: 1, Frame: 3, Region: region}
-		data := enc.encode(&fd, src, tc.flags, tc.spans, tc.first)
+		data := enc.Encode(&fd, src, tc.flags, tc.spans, tc.first)
 		got, err := decodeFrameDone(data)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
@@ -196,25 +249,25 @@ func TestFrameEncoderDecision(t *testing.T) {
 		if got.Kind != tc.wantKind {
 			t.Errorf("%s: kind %d, want %d", tc.name, got.Kind, tc.wantKind)
 		}
-		got.release()
+		got.Release()
 	}
 
 	// Incompressible random pixels: flate output is larger, so the
 	// encoder must keep the raw payload.
 	fd := frameDoneMsg{TaskID: 1, Frame: 0, Region: region}
-	got, err := decodeFrameDone(enc.encode(&fd, src, capWireCompress, nil, true))
+	got, err := decodeFrameDone(enc.Encode(&fd, src, capWireCompress, nil, true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Encoding != encRaw {
 		t.Errorf("incompressible payload was shipped as encoding %d", got.Encoding)
 	}
-	got.release()
+	got.Release()
 
 	// Compressible pixels (constant colour) must use flate when granted.
 	flat := fb.New(w, h)
 	fd = frameDoneMsg{TaskID: 1, Frame: 0, Region: region}
-	got, err = decodeFrameDone(enc.encode(&fd, flat, capWireCompress, nil, true))
+	got, err = decodeFrameDone(enc.Encode(&fd, flat, capWireCompress, nil, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +277,7 @@ func TestFrameEncoderDecision(t *testing.T) {
 	if !bytes.Equal(got.Pix, extractRegion(flat, region)) {
 		t.Error("flate round-trip corrupted pixels")
 	}
-	got.release()
+	got.Release()
 }
 
 // TestFrameEncoderLegacyBytes: with no capabilities granted the encoder
@@ -239,7 +292,7 @@ func TestFrameEncoderLegacyBytes(t *testing.T) {
 		Rendered: 4, Copied: 1, Regs: 2, ElapsedNs: 99,
 	}
 	var enc frameEncoder
-	got := enc.encode(&fd, src, 0, []fb.Span{{Y: 2, X0: 2, X1: 5}}, false)
+	got := enc.Encode(&fd, src, 0, []fb.Span{{Y: 2, X0: 2, X1: 5}}, false)
 
 	legacy := fd
 	legacy.Kind, legacy.Encoding, legacy.Spans = frameFull, encRaw, nil
@@ -285,10 +338,10 @@ func TestDeliverSpans(t *testing.T) {
 	pix := next.AppendSpans(nil, spans)
 
 	asm := newAssembly(w, h, 3)
-	if _, _, err := asm.deliver(0, region, extractRegion(base, region), 0); err != nil {
+	if _, _, err := asm.Deliver(0, region, extractRegion(base, region), 0); err != nil {
 		t.Fatal(err)
 	}
-	complete, dup, err := asm.deliverSpans(1, region, spans, pix, time.Millisecond)
+	complete, dup, err := asm.DeliverSpans(1, region, spans, pix, time.Millisecond)
 	if err != nil || dup || !complete {
 		t.Fatalf("deliverSpans: complete=%v dup=%v err=%v", complete, dup, err)
 	}
@@ -297,27 +350,27 @@ func TestDeliverSpans(t *testing.T) {
 	if err := want.ApplySpans(spans, pix); err != nil {
 		t.Fatal(err)
 	}
-	if !asm.frame(1).Equal(want) {
+	if !asm.Frame(1).Equal(want) {
 		t.Error("delta-applied frame differs from CopyRect+ApplySpans reference")
 	}
 
 	// Duplicate: second delivery of the same (frame, region) is dropped.
-	if _, dup, err := asm.deliverSpans(1, region, spans, pix, 0); err != nil || !dup {
+	if _, dup, err := asm.DeliverSpans(1, region, spans, pix, 0); err != nil || !dup {
 		t.Errorf("duplicate delta: dup=%v err=%v", dup, err)
 	}
 
 	// Base missing: frame 2's predecessor region never landed... frame 1
 	// did, so frame 2 works; frame 0 has no predecessor at all.
 	asm2 := newAssembly(w, h, 3)
-	if _, _, err := asm2.deliverSpans(0, region, spans, pix, 0); !errors.Is(err, errDeltaBase) {
+	if _, _, err := asm2.DeliverSpans(0, region, spans, pix, 0); !errors.Is(err, errDeltaBase) {
 		t.Errorf("delta for frame 0 gave %v, want errDeltaBase", err)
 	}
-	if _, _, err := asm2.deliverSpans(2, region, spans, pix, 0); !errors.Is(err, errDeltaBase) {
+	if _, _, err := asm2.DeliverSpans(2, region, spans, pix, 0); !errors.Is(err, errDeltaBase) {
 		t.Errorf("delta without base gave %v, want errDeltaBase", err)
 	}
 
 	// Wrong payload length is a protocol violation, not a base miss.
-	if _, _, err := asm.deliverSpans(2, region, spans, pix[:len(pix)-3], 0); err == nil || errors.Is(err, errDeltaBase) {
+	if _, _, err := asm.DeliverSpans(2, region, spans, pix[:len(pix)-3], 0); err == nil || errors.Is(err, errDeltaBase) {
 		t.Errorf("short payload gave %v", err)
 	}
 }
@@ -463,13 +516,13 @@ func FuzzDeltaDecode(f *testing.F) {
 	var enc frameEncoder
 
 	fd := frameDoneMsg{TaskID: 1, Frame: 1, Region: region}
-	f.Add(enc.encode(&fd, src, capWireDelta, spans, false))
+	f.Add(enc.Encode(&fd, src, capWireDelta, spans, false))
 	fd = frameDoneMsg{TaskID: 1, Frame: 1, Region: region}
-	f.Add(enc.encode(&fd, src, capWireDelta|capWireCompress, spans, false))
+	f.Add(enc.Encode(&fd, src, capWireDelta|capWireCompress, spans, false))
 	fd = frameDoneMsg{TaskID: 1, Frame: 0, Region: region}
-	f.Add(enc.encode(&fd, src, capWireCompress, nil, true))
+	f.Add(enc.Encode(&fd, src, capWireCompress, nil, true))
 	fd = frameDoneMsg{TaskID: 1, Frame: 0, Region: region}
-	full := enc.encode(&fd, src, 0, nil, true)
+	full := enc.Encode(&fd, src, 0, nil, true)
 	f.Add(full)
 	f.Add(full[:len(full)-7])
 
@@ -478,7 +531,7 @@ func FuzzDeltaDecode(f *testing.F) {
 		if err != nil {
 			return
 		}
-		defer m.release()
+		defer m.Release()
 		if m.Kind == frameDelta {
 			if err := validateSpans(m.Spans, m.Region); err != nil {
 				t.Fatalf("decode accepted invalid spans: %v", err)

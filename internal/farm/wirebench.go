@@ -80,7 +80,7 @@ func WireSweep(sc *scene.Scene, w, h, frames int) ([]WirePoint, error) {
 		start := time.Now()
 		for f := 0; f < frames; f++ {
 			fd := frameDoneMsg{TaskID: 1, Frame: f, Region: region}
-			data := enc.encode(&fd, bufs[f], mode.flags, spans[f], f == 0)
+			data := enc.Encode(&fd, bufs[f], mode.flags, spans[f], f == 0)
 			pt.BytesTotal += int64(len(data))
 			rd, err := decodeFrameDone(data)
 			if err != nil {
@@ -89,7 +89,7 @@ func WireSweep(sc *scene.Scene, w, h, frames int) ([]WirePoint, error) {
 			if rd.Kind == frameDelta {
 				pt.FramesDelta++
 				if err := cur.ApplySpans(rd.Spans, rd.Pix); err != nil {
-					rd.release()
+					rd.Release()
 					return nil, err
 				}
 			} else {
@@ -98,7 +98,7 @@ func WireSweep(sc *scene.Scene, w, h, frames int) ([]WirePoint, error) {
 			if rd.Encoding == encFlate {
 				pt.FramesCompressed++
 			}
-			rd.release()
+			rd.Release()
 			if !cur.Equal(bufs[f]) {
 				pt.Identical = false
 			}

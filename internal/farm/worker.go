@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"nowrender/internal/coherence"
+	"nowrender/internal/compositor"
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
+	"nowrender/internal/partition"
 	"nowrender/internal/scene"
 	"nowrender/internal/timeline"
 	"nowrender/internal/trace"
@@ -115,12 +117,16 @@ type WorkerOptions struct {
 	// master's heartbeat interval (pings count as traffic); a worker
 	// mid-task is not subject to it.
 	MasterDeadline time.Duration
-	// NoWireDelta, NoWireCompress and NoWireTimeline withhold the
-	// corresponding wire capability from the hello advertisement (the
+	// NoWireDelta, NoWireCompress, NoWireTimeline and NoWireDFB withhold
+	// the corresponding wire capability from the hello advertisement (the
 	// zero value advertises all — a new worker is fully capable by
 	// default). The master never enables a mode the worker did not
 	// advertise, so these simulate an old worker in a mixed fleet.
-	NoWireDelta, NoWireCompress, NoWireTimeline bool
+	NoWireDelta, NoWireCompress, NoWireTimeline, NoWireDFB bool
+	// SinkDial connects to a compositor sink address under a capWireDFB
+	// grant; nil defaults to msg.Dial (TCP). RenderLocal injects the
+	// in-process registry's dialer here.
+	SinkDial func(addr string) (msg.Conn, error)
 	// Timeline, when non-nil, is the worker's local event recorder:
 	// phase and tile spans land in it whether or not the master grants
 	// capWireTimeline (cmd/nowworker dumps it via -timeline). When nil
@@ -140,6 +146,9 @@ func (o WorkerOptions) caps() int {
 	}
 	if o.NoWireTimeline {
 		c &^= capWireTimeline
+	}
+	if o.NoWireDFB {
+		c &^= capWireDFB
 	}
 	return c
 }
@@ -189,31 +198,49 @@ func (wt *workerTimeline) ensure(threads int) {
 // stamp pongs and shipped results carry.
 func (wt *workerTimeline) now() int64 { return wt.rec.Now() }
 
-// attach drains the recorder and piggybacks the new events onto fd.
-// The events of the encode/send phases of a frame are drained by the
-// next frame's result (or lost at task end) — a one-frame lag the
-// merged timeline tolerates, not a correctness issue.
-func (wt *workerTimeline) attach(fd *frameDoneMsg) {
+// drainTo drains the recorder into a timeline piggyback section
+// (tracks deduplicated by name) and returns the recorder clock. The
+// events of the encode/send phases of a frame are drained by the next
+// frame's result (or lost at task end) — a one-frame lag the merged
+// timeline tolerates, not a correctness issue.
+func (wt *workerTimeline) drainTo(tlTracks *[]string, tlEvents *[]wireEvent) int64 {
 	if wt.rec == nil {
-		return
+		return 0
 	}
-	fd.TLNow = wt.now()
 	for _, te := range wt.rec.TakeNew() {
 		idx := -1
-		for i, n := range fd.TLTracks {
+		for i, n := range *tlTracks {
 			if n == te.Track {
 				idx = i
 				break
 			}
 		}
 		if idx < 0 {
-			idx = len(fd.TLTracks)
-			fd.TLTracks = append(fd.TLTracks, te.Track)
+			idx = len(*tlTracks)
+			*tlTracks = append(*tlTracks, te.Track)
 		}
 		for _, ev := range te.Events {
-			fd.TLEvents = append(fd.TLEvents, wireEvent{Track: idx, Ev: ev})
+			*tlEvents = append(*tlEvents, wireEvent{Track: idx, Ev: ev})
 		}
 	}
+	return wt.now()
+}
+
+// attach piggybacks the recorder's new events onto fd (legacy result
+// path; under DFB the ack carries them instead — see attachAck).
+func (wt *workerTimeline) attach(fd *frameDoneMsg) {
+	if wt.rec == nil {
+		return
+	}
+	fd.TLNow = wt.drainTo(&fd.TLTracks, &fd.TLEvents)
+}
+
+// attachAck piggybacks the recorder's new events onto a frame ack.
+func (wt *workerTimeline) attachAck(a *frameAckMsg) {
+	if wt.rec == nil {
+		return
+	}
+	a.TLNow = wt.drainTo(&a.TLTracks, &a.TLEvents)
 }
 
 // RunWorkerCtx is RunWorker with graceful-shutdown support: when ctx is
@@ -247,6 +274,10 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 	if wt.rec != nil {
 		wt.ensure(0)
 	}
+	// Sink links persist across tasks so a delta chain survives task
+	// boundaries on the same shard.
+	sinks := newSinkLinks(name, opts.SinkDial)
+	defer sinks.close()
 	for {
 		idleStart := wt.main.Begin()
 		m, err := ac.recvDeadline(ctx, opts.MasterDeadline)
@@ -291,7 +322,7 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 				}
 				wt.ensure(threads)
 			}
-			if err := runTask(ctx, name, ac, sc, tm, wt, opts); err != nil {
+			if err := runTask(ctx, name, ac, sc, tm, wt, opts, sinks); err != nil {
 				return err
 			}
 		case TagTruncate:
@@ -313,9 +344,13 @@ func runWorkerLoop(ctx context.Context, name string, conn msg.Conn, sc *scene.Sc
 
 // runTask renders one task frame-by-frame, honouring truncation and
 // graceful shutdown between frames.
-func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, tm taskMsg, wt *workerTimeline, opts WorkerOptions) error {
+func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, tm taskMsg, wt *workerTimeline, opts WorkerOptions, sinks *sinkLinks) error {
 	t := tm.Task
 	end := t.EndFrame
+	// Under a DFB grant, pixels ship straight to the compositor sink
+	// owning each frame's shard; the master only gets small acks.
+	dfb := tm.WireFlags&capWireDFB != 0 && len(tm.Sinks) > 0
+	shard := partition.ShardMap{Start: tm.JobStart, End: tm.JobEnd, N: len(tm.Sinks)}
 	var eng *coherence.Engine
 	if tm.Coherence {
 		var err error
@@ -413,20 +448,69 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 		wt.main.EndArg(timeline.OpFrame, f, renderStart, int64(fd.Rendered))
 		// Piggyback everything recorded so far onto this result. Encode
 		// and send spans of frame f therefore ship with frame f+1 (or not
-		// at all for the last frame) — see workerTimeline.attach.
-		if tm.WireFlags&capWireTimeline != 0 {
+		// at all for the last frame) — see workerTimeline.drainTo. Under
+		// DFB the piggyback rides the master-bound ack, not the pixels.
+		if tm.WireFlags&capWireTimeline != 0 && !dfb {
 			wt.attach(&fd)
 		}
 		// The first frame of a task is always a key-frame: every retry,
 		// steal, speculation or requeue arrives as a fresh task, so the
-		// master's (possibly stale) copy of the region is reseeded before
-		// any delta builds on it.
+		// assembler's (possibly stale) copy of the region is reseeded
+		// before any delta builds on it. A DFB worker also re-keys when
+		// crossing a shard boundary (the next sink has no base), on a
+		// fresh or re-dialed sink link, and on a sink's TagNeedKey.
+		first := f == t.StartFrame
+		var lk *sinkLink
+		si := 0
+		if dfb {
+			si = shard.Of(f)
+			if !first && shard.Of(f-1) != si {
+				first = true
+			}
+			lk, _ = sinks.get(tm.Sinks[si])
+			if lk != nil && (lk.rekey || lk.takeNeedKey()) {
+				first = true
+			}
+		}
 		encStart := wt.main.Begin()
-		data := enc.encode(&fd, buf, tm.WireFlags, spans, f == t.StartFrame)
+		data := enc.Encode(&fd, buf, tm.WireFlags, spans, first)
 		wt.main.EndArg(timeline.OpEncode, f, encStart, int64(len(data)))
 		sendStart := wt.main.Begin()
-		if err := ac.Send(msg.Message{Tag: TagFrameDone, From: name, Data: data}); err != nil {
-			return err
+		if lk != nil {
+			if err := lk.conn.Send(msg.Message{Tag: compositor.TagPix, From: name, Data: data}); err != nil {
+				lk.dead.Store(true)
+				// One redial: the sink may have restarted, in which case it
+				// lost our delta base — re-encode as a key-frame.
+				if lk, _ = sinks.get(tm.Sinks[si]); lk != nil {
+					data = enc.Encode(&fd, buf, tm.WireFlags, spans, true)
+					if err := lk.conn.Send(msg.Message{Tag: compositor.TagPix, From: name, Data: data}); err != nil {
+						lk.dead.Store(true)
+						lk = nil
+					}
+				}
+			}
+		}
+		if lk != nil {
+			lk.rekey = false
+			ack := frameAckMsg{
+				TaskID: t.ID, Frame: f, Region: t.Region,
+				Kind: fd.Kind, Encoding: fd.Encoding, Sink: si, SinkBytes: len(data),
+				Rendered: fd.Rendered, Copied: fd.Copied, Regs: fd.Regs,
+				Rays: fd.Rays, ElapsedNs: fd.ElapsedNs,
+			}
+			if tm.WireFlags&capWireTimeline != 0 {
+				wt.attachAck(&ack)
+			}
+			if err := ac.Send(msg.Message{Tag: TagFrameAck, From: name, Data: encodeFrameAck(ack)}); err != nil {
+				return err
+			}
+		} else {
+			// Legacy path, and the DFB fallback when the sink is
+			// unreachable: master-routed pixels (the master relays them to
+			// the sink in DFB mode).
+			if err := ac.Send(msg.Message{Tag: TagFrameDone, From: name, Data: data}); err != nil {
+				return err
+			}
 		}
 		wt.main.End(timeline.OpSend, f, sendStart)
 		f++

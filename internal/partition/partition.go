@@ -269,6 +269,51 @@ func (PixelDivision) InitialTasks(w, h, start, end, workers int) []Task {
 // Subdivide implements Scheme.
 func (PixelDivision) Subdivide(t Task) (Task, Task, bool) { return t, Task{}, false }
 
+// ShardMap splits the absolute frame range [Start, End) into N
+// contiguous shards, one per compositor sink. Contiguity matters: a
+// dirty-span delta is applied against the previous frame, so keeping
+// consecutive frames on one sink keeps delta chains local — a worker
+// only needs to ship a fresh key-frame when it crosses a shard
+// boundary. Shard boundaries use the same rounding as SequenceDivision,
+// so shard sizes differ by at most one frame.
+type ShardMap struct {
+	Start, End int // absolute frame range [Start, End)
+	N          int // sink count, >= 1
+}
+
+// Of returns the index of the shard owning an absolute frame.
+// The frame must lie in [Start, End).
+func (s ShardMap) Of(frame int) int {
+	n := s.End - s.Start
+	if s.N <= 1 || n <= 0 {
+		return 0
+	}
+	N := s.N
+	if N > n {
+		N = n
+	}
+	// Inverse of the Shard lower bound floor(i*n/N): the smallest i with
+	// floor((i+1)*n/N) > frame-Start.
+	return ((frame-s.Start+1)*N - 1) / n
+}
+
+// Shard returns the absolute frame range [start, end) of shard i.
+// Shards beyond the frame count are empty.
+func (s ShardMap) Shard(i int) (start, end int) {
+	n := s.End - s.Start
+	if s.N <= 0 || n <= 0 {
+		return s.Start, s.End
+	}
+	N := s.N
+	if N > n {
+		N = n
+	}
+	if i >= N {
+		return s.End, s.End
+	}
+	return s.Start + i*n/N, s.Start + (i+1)*n/N
+}
+
 // ValidateTiling checks that tasks exactly tile frames [start,end) of a
 // w x h animation: full coverage with no overlap. Schemes are tested
 // against this, and the farm asserts it in debug builds.

@@ -278,3 +278,42 @@ func TestQuickSubdivideConserves(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestShardMapCoversRangeContiguously(t *testing.T) {
+	for _, tc := range []struct{ start, end, n int }{
+		{0, 30, 1}, {0, 30, 3}, {0, 30, 4}, {0, 5, 2}, {10, 17, 3},
+		{0, 3, 8}, // more sinks than frames
+		{5, 6, 2},
+	} {
+		s := ShardMap{Start: tc.start, End: tc.end, N: tc.n}
+		prevEnd := tc.start
+		for i := 0; i < tc.n; i++ {
+			s0, s1 := s.Shard(i)
+			if s0 != prevEnd {
+				t.Fatalf("%+v: shard %d starts at %d, want %d", tc, i, s0, prevEnd)
+			}
+			if s1 < s0 || s1 > tc.end {
+				t.Fatalf("%+v: shard %d = [%d,%d) out of range", tc, i, s0, s1)
+			}
+			prevEnd = s1
+			for f := s0; f < s1; f++ {
+				if got := s.Of(f); got != i {
+					t.Fatalf("%+v: Of(%d) = %d, want shard %d [%d,%d)", tc, f, got, i, s0, s1)
+				}
+			}
+		}
+		if prevEnd != tc.end {
+			t.Fatalf("%+v: shards end at %d, want %d", tc, prevEnd, tc.end)
+		}
+	}
+}
+
+func TestShardMapBalance(t *testing.T) {
+	s := ShardMap{Start: 0, End: 100, N: 7}
+	for i := 0; i < s.N; i++ {
+		s0, s1 := s.Shard(i)
+		if n := s1 - s0; n < 100/7 || n > 100/7+1 {
+			t.Errorf("shard %d holds %d frames, want %d or %d", i, n, 100/7, 100/7+1)
+		}
+	}
+}

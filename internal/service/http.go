@@ -314,6 +314,25 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# TYPE nowrender_wire_bytes_total counter")
 	p("nowrender_wire_bytes_total{kind=\"wire\"} %d", wire.WireBytes)
 	p("nowrender_wire_bytes_total{kind=\"raw\"} %d", wire.RawBytes)
+	p("# HELP nowrender_wire_ingress_bytes_total Result-path bytes by landing point: the master's own ingress versus distributed-framebuffer compositor sinks.")
+	p("# TYPE nowrender_wire_ingress_bytes_total counter")
+	p("nowrender_wire_ingress_bytes_total{at=\"master\"} %d", wire.MasterIngressBytes)
+	p("nowrender_wire_ingress_bytes_total{at=\"sink\"} %d", wire.SinkIngressBytes)
+	p("# HELP nowrender_wire_frame_acks_total DFB control acks received by the master in place of pixel payloads.")
+	p("# TYPE nowrender_wire_frame_acks_total counter")
+	p("nowrender_wire_frame_acks_total %d", wire.FramesAcked)
+	if len(wire.BaseMissByWorker) > 0 {
+		p("# HELP nowrender_wire_base_misses_total Deltas dropped for a missing base frame, by shipping worker.")
+		p("# TYPE nowrender_wire_base_misses_total counter")
+		missers := make([]string, 0, len(wire.BaseMissByWorker))
+		for n := range wire.BaseMissByWorker {
+			missers = append(missers, n)
+		}
+		sort.Strings(missers)
+		for _, n := range missers {
+			p("nowrender_wire_base_misses_total{worker=%q} %d", n, wire.BaseMissByWorker[n])
+		}
+	}
 	p("# HELP nowrender_job_retries_total Failed render attempts that were retried.")
 	p("# TYPE nowrender_job_retries_total counter")
 	p("nowrender_job_retries_total %d", jobRetries)

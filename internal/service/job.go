@@ -104,7 +104,19 @@ type Status struct {
 	WireFramesDelta uint64 `json:"wire_frames_delta,omitempty"`
 	WireBytes       uint64 `json:"wire_bytes,omitempty"`
 	WireRawBytes    uint64 `json:"wire_raw_bytes,omitempty"`
-	Error           string `json:"error,omitempty"`
+	// WireMasterIngressBytes / WireSinkIngressBytes split WireBytes by
+	// where it landed: the master's own result path versus distributed-
+	// framebuffer compositor sinks; WireFramesAcked counts the DFB
+	// control acks the master saw in place of pixel payloads.
+	WireMasterIngressBytes uint64 `json:"wire_master_ingress_bytes,omitempty"`
+	WireSinkIngressBytes   uint64 `json:"wire_sink_ingress_bytes,omitempty"`
+	WireFramesAcked        uint64 `json:"wire_frames_acked,omitempty"`
+	// WireBaseMisses totals deltas dropped for a missing base frame;
+	// WireBaseMissByWorker attributes them, so a worker that keeps
+	// losing its delta chain is visible per job.
+	WireBaseMisses       uint64            `json:"wire_base_misses,omitempty"`
+	WireBaseMissByWorker map[string]uint64 `json:"wire_base_miss_by_worker,omitempty"`
+	Error                string            `json:"error,omitempty"`
 
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started"`
@@ -177,7 +189,17 @@ func (j *job) status() Status {
 		WorkersLost: j.faults.WorkersLost, FramesRequeued: j.faults.FramesRequeued,
 		WireFramesFull: j.wire.FramesFull, WireFramesDelta: j.wire.FramesDelta,
 		WireBytes: j.wire.WireBytes, WireRawBytes: j.wire.RawBytes,
+		WireMasterIngressBytes: j.wire.MasterIngressBytes,
+		WireSinkIngressBytes:   j.wire.SinkIngressBytes,
+		WireFramesAcked:        j.wire.FramesAcked,
+		WireBaseMisses:         j.wire.DeltaBaseMisses,
 		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+	if len(j.wire.BaseMissByWorker) > 0 {
+		st.WireBaseMissByWorker = make(map[string]uint64, len(j.wire.BaseMissByWorker))
+		for w, n := range j.wire.BaseMissByWorker {
+			st.WireBaseMissByWorker[w] = n
+		}
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

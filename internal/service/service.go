@@ -77,6 +77,13 @@ type Config struct {
 	// flate payload compression on the farm data path (see farm.Config);
 	// pixels are byte-identical either way.
 	WireDelta, WireCompress bool
+	// DFBSinks, when positive, routes local-driver pixel traffic through
+	// that many in-process compositor sinks (the distributed framebuffer)
+	// instead of the master — the master then sees only control acks and
+	// confirmations on its result path. Frames are byte-identical either
+	// way; the virtual driver models the same routing in its byte
+	// accounting.
+	DFBSinks int
 	// Timeline records every farm run into a per-job cluster timeline
 	// (master scheduling events plus offset-corrected worker spans),
 	// served as Chrome trace JSON on GET /jobs/{id}/timeline. Off by
@@ -428,16 +435,19 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		WireDelta:    s.cfg.WireDelta,
 		WireCompress: s.cfg.WireCompress,
 		Timeline:     rec,
-		OnFrame: func(f int, img *fb.Framebuffer) error {
-			s.cache.put(frameKey{seq: j.key, frame: f}, img)
-			s.mu.Lock()
-			j.frames[f-j.spec.StartFrame] = img
-			j.done++
-			s.framesRendered++
-			s.publishLocked(j, Event{Type: "frame", Frame: f})
-			s.mu.Unlock()
-			return nil
-		},
+	}
+	if s.cfg.DFBSinks > 0 {
+		cfg.DFB = &farm.DFBConfig{Sinks: s.cfg.DFBSinks}
+	}
+	cfg.OnFrame = func(f int, img *fb.Framebuffer) error {
+		s.cache.put(frameKey{seq: j.key, frame: f}, img)
+		s.mu.Lock()
+		j.frames[f-j.spec.StartFrame] = img
+		j.done++
+		s.framesRendered++
+		s.publishLocked(j, Event{Type: "frame", Frame: f})
+		s.mu.Unlock()
+		return nil
 	}
 	var res *farm.Result
 	if j.spec.Driver == "local" {

@@ -251,6 +251,31 @@ type WireStats struct {
 	// represent; WireBytes is what actually crossed the wire (sealed
 	// payload, spans and counters included).
 	RawBytes, WireBytes uint64
+	// BaseMissByWorker breaks DeltaBaseMisses down by worker name, so a
+	// flaky link or a worker that keeps losing its delta chain is
+	// attributable. Nil until the first miss.
+	BaseMissByWorker map[string]uint64
+	// MasterIngressBytes is the slice of WireBytes that entered the
+	// master itself. On the legacy master-routed path it equals
+	// WireBytes; with the distributed framebuffer it counts only the
+	// small control acks and sink confirmations, while the pixel
+	// payloads (SinkIngressBytes) land at the compositor sinks.
+	MasterIngressBytes uint64
+	// SinkIngressBytes counts frame-result payload bytes received by
+	// compositor sinks (zero on the legacy path).
+	SinkIngressBytes uint64
+	// FramesAcked counts DFB control acks: frame results a worker
+	// shipped to a sink and acknowledged to the master.
+	FramesAcked uint64
+}
+
+// AddBaseMiss counts one discarded delta, attributed to a worker.
+func (c *WireStats) AddBaseMiss(worker string) {
+	c.DeltaBaseMisses++
+	if c.BaseMissByWorker == nil {
+		c.BaseMissByWorker = make(map[string]uint64)
+	}
+	c.BaseMissByWorker[worker]++
 }
 
 // Merge adds another counter set into c.
@@ -261,6 +286,17 @@ func (c *WireStats) Merge(o WireStats) {
 	c.DeltaBaseMisses += o.DeltaBaseMisses
 	c.RawBytes += o.RawBytes
 	c.WireBytes += o.WireBytes
+	c.MasterIngressBytes += o.MasterIngressBytes
+	c.SinkIngressBytes += o.SinkIngressBytes
+	c.FramesAcked += o.FramesAcked
+	if len(o.BaseMissByWorker) > 0 {
+		if c.BaseMissByWorker == nil {
+			c.BaseMissByWorker = make(map[string]uint64, len(o.BaseMissByWorker))
+		}
+		for w, n := range o.BaseMissByWorker {
+			c.BaseMissByWorker[w] += n
+		}
+	}
 }
 
 // Ratio returns RawBytes / WireBytes — how many raw pixel bytes each
@@ -278,9 +314,14 @@ func (c WireStats) String() string {
 	if c.FramesFull+c.FramesDelta == 0 {
 		return "none"
 	}
-	return fmt.Sprintf("full=%d delta=%d compressed=%d base-miss=%d wire=%d raw=%d ratio=%.2f",
+	s := fmt.Sprintf("full=%d delta=%d compressed=%d base-miss=%d wire=%d raw=%d ratio=%.2f",
 		c.FramesFull, c.FramesDelta, c.FramesCompressed, c.DeltaBaseMisses,
 		c.WireBytes, c.RawBytes, c.Ratio())
+	if c.FramesAcked > 0 || c.SinkIngressBytes > 0 {
+		s += fmt.Sprintf(" acked=%d master-in=%d sink-in=%d",
+			c.FramesAcked, c.MasterIngressBytes, c.SinkIngressBytes)
+	}
+	return s
 }
 
 // CacheStats is a snapshot of a content-addressed cache's counters (the

@@ -79,6 +79,18 @@ const (
 	OpDeltaApply
 	// OpBaseMiss marks a delta discarded because its base was lost.
 	OpBaseMiss
+	// OpAck marks a DFB control ack: the master learning a worker shipped
+	// a frame result to a compositor sink (arg = sink payload bytes).
+	OpAck
+	// OpSinkAssemble is a compositor sink merging one frame result into
+	// its shard assembly (arg = payload bytes).
+	OpSinkAssemble
+	// OpSinkDeliver marks the master processing a sink's delivery
+	// confirmation (arg = frame).
+	OpSinkDeliver
+	// OpNeedKey marks a compositor asking a worker for a fresh key-frame
+	// after a base miss (arg = frame).
+	OpNeedKey
 	opCount
 )
 
@@ -101,6 +113,10 @@ var opNames = [...]string{
 	OpPing:         "ping",
 	OpDeltaApply:   "delta-apply",
 	OpBaseMiss:     "base-miss",
+	OpAck:          "ack",
+	OpSinkAssemble: "sink-assemble",
+	OpSinkDeliver:  "sink-deliver",
+	OpNeedKey:      "need-key",
 }
 
 // String returns the op's stable name (also the Chrome trace event

@@ -1,0 +1,413 @@
+// Package wire is the frame-result codec shared by the farm master,
+// workers, and the compositor subsystem: capability bits, the versioned
+// key-frame/dirty-span-delta frame encoding, and the frame assembly
+// that merges results (full or delta) into framebuffers.
+//
+// It used to live inside internal/farm; it was extracted so that
+// internal/compositor can reassemble the exact same wire format without
+// importing the farm (which imports the compositor for its in-process
+// sinks). The farm keeps thin aliases, so the wire layout — including
+// the legacy byte-identical plain path — is unchanged.
+package wire
+
+import (
+	"fmt"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/msg"
+	"nowrender/internal/stats"
+	"nowrender/internal/timeline"
+	vm "nowrender/internal/vecmath"
+)
+
+// Wire capability bits, advertised by workers in TagHello and granted
+// back per task in TagTask. A mode is active only when both sides opted
+// in, so a new master drives old workers (no bits advertised → plain
+// full frames) and an old master drives new workers (no flags granted →
+// same) without either noticing.
+const (
+	// CapDelta: the worker can encode dirty-span delta frames and the
+	// receiver can apply them.
+	CapDelta = 1 << 0
+	// CapCompress: frame payloads may be flate-compressed.
+	CapCompress = 1 << 1
+	// CapTimeline: the worker ships its timeline events (recv/render/
+	// encode/send phase spans, tile spans) piggybacked on frame results,
+	// and stamps its recorder clock into pongs so the master can
+	// offset-correct them into the cluster timeline.
+	CapTimeline = 1 << 2
+	// CapDFB: the worker can ship pixel payloads directly to compositor
+	// sinks (the distributed framebuffer) and send the master only small
+	// control acks. Granted only when the master run has sinks attached.
+	CapDFB = 1 << 3
+	// CapsMask is every bit a current binary understands.
+	CapsMask = CapDelta | CapCompress | CapTimeline | CapDFB
+)
+
+// Frame result kinds (FrameDone.Kind).
+const (
+	// KindFull carries the region's complete pixels: the first frame of
+	// every task (the key-frame that reseeds the receiver's copy after
+	// any retry, steal, speculation, or truncation), plain-path results,
+	// and deltas that tripped the size guard.
+	KindFull = iota
+	// KindDelta carries only the pixels in Spans; everything else is
+	// copied from the receiver's copy of the previous frame.
+	KindDelta
+)
+
+// Frame payload encodings (FrameDone.Encoding).
+const (
+	EncRaw = iota
+	EncFlate
+)
+
+// SpanOverhead is the wire cost of one span (three packed int64s),
+// charged by the delta size guard.
+const SpanOverhead = 24
+
+// CompressMin is the smallest payload worth running through flate:
+// below this the deflate framing eats the savings.
+const CompressMin = 64
+
+// MaxDim bounds task resolution and frame numbers accepted off the
+// wire, so a corrupt-but-checksummed message cannot make a receiver
+// allocate an absurd framebuffer.
+const MaxDim = 1 << 15
+
+// FrameDone is the wire form of one completed frame region.
+type FrameDone struct {
+	TaskID int
+	Frame  int
+	Region fb.Rect
+	// Kind says whether Pix holds the full region (KindFull) or just
+	// the pixels in Spans (KindDelta); Encoding whether it crossed the
+	// wire raw or deflated. Decoded messages always expose Pix as raw
+	// pixels — decompression happens in DecodeFrameDone.
+	Kind      int
+	Encoding  int
+	Spans     []fb.Span
+	Pix       []byte
+	Rendered  int
+	Copied    int
+	Regs      uint64
+	Rays      stats.RayCounters
+	ElapsedNs int64
+	// Timeline piggyback (CapTimeline): TLNow is the worker's recorder
+	// clock at encode time (0 = no timeline; feeds the master's one-way
+	// offset estimate) and TLEvents carries the events drained from the
+	// worker's recorder since the previous result, tagged with indices
+	// into the TLTracks name table.
+	TLNow    int64
+	TLTracks []string
+	TLEvents []TLEvent
+	// pooled marks Pix as pool-owned scratch (decompressed payloads);
+	// Release returns it once the pixels are merged.
+	pooled bool
+}
+
+// TLEvent is one shipped timeline event: Track indexes the message's
+// TLTracks table.
+type TLEvent struct {
+	Track int
+	Ev    timeline.Event
+}
+
+// HasTimeline reports whether the message carries a timeline section.
+func (m *FrameDone) HasTimeline() bool {
+	return m.TLNow != 0 || len(m.TLTracks) > 0 || len(m.TLEvents) > 0
+}
+
+// TLEventBytes is the wire size of one timeline event (six packed
+// int64s), bounding decode-side allocation.
+const TLEventBytes = 48
+
+// MaxTLTracks bounds the per-message track table: a worker has one
+// phase track plus one per tile-pool thread.
+const MaxTLTracks = 512
+
+// Release returns pool-owned pixel storage after the receiver has
+// merged the frame. Safe to call on any decoded message.
+func (m *FrameDone) Release() {
+	if m.pooled {
+		msg.PutBytes(m.Pix)
+		m.Pix = nil
+		m.pooled = false
+	}
+}
+
+// RawPixBytes returns the decompressed payload size the message's kind
+// implies: the whole region for key-frames, the span pixels for deltas.
+func (m *FrameDone) RawPixBytes() int {
+	if m.Kind == KindDelta {
+		return fb.SpanArea(m.Spans) * 3
+	}
+	return m.Region.Area() * 3
+}
+
+// PackTL appends a timeline section (clock stamp, track name table,
+// events) to a payload under construction. Shared by the frame-done
+// codec and the DFB control acks.
+func PackTL(b *msg.Buffer, now int64, tracks []string, events []TLEvent) {
+	b.PackInt(now)
+	b.PackInt(int64(len(tracks)))
+	for _, name := range tracks {
+		b.PackString(name)
+	}
+	b.PackInt(int64(len(events)))
+	for _, we := range events {
+		b.PackInt(int64(we.Track))
+		b.PackInt(int64(we.Ev.Op))
+		b.PackInt(int64(we.Ev.Frame))
+		b.PackInt(we.Ev.Start)
+		b.PackInt(we.Ev.Dur)
+		b.PackInt(we.Ev.Arg)
+	}
+}
+
+// UnpackTL reads a timeline section written by PackTL, bounding the
+// track and event counts against the remaining payload.
+func UnpackTL(b *msg.Buffer) (now int64, tracks []string, events []TLEvent, err error) {
+	now = b.UnpackInt()
+	nt := int(b.UnpackInt())
+	if nt < 0 || nt > MaxTLTracks || nt > b.Len()/8 {
+		return 0, nil, nil, fmt.Errorf("wire: bad timeline track count %d", nt)
+	}
+	tracks = make([]string, nt)
+	for i := range tracks {
+		tracks[i] = b.UnpackString()
+	}
+	ne := int(b.UnpackInt())
+	if ne < 0 || ne > b.Len()/TLEventBytes {
+		return 0, nil, nil, fmt.Errorf("wire: bad timeline event count %d", ne)
+	}
+	events = make([]TLEvent, ne)
+	for i := range events {
+		we := TLEvent{Track: int(b.UnpackInt())}
+		we.Ev.Op = timeline.Op(b.UnpackInt())
+		we.Ev.Frame = int32(b.UnpackInt())
+		we.Ev.Start = b.UnpackInt()
+		we.Ev.Dur = b.UnpackInt()
+		we.Ev.Arg = b.UnpackInt()
+		if we.Track < 0 || we.Track >= nt {
+			return 0, nil, nil, fmt.Errorf("wire: timeline event track %d of %d", we.Track, nt)
+		}
+		events[i] = we
+	}
+	return now, tracks, events, nil
+}
+
+// EncodeFrameDone seals a frame result into its wire bytes.
+func EncodeFrameDone(m FrameDone) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(int64(m.TaskID))
+	b.PackInt(int64(m.Frame))
+	b.PackInt(int64(m.Region.X0))
+	b.PackInt(int64(m.Region.Y0))
+	b.PackInt(int64(m.Region.X1))
+	b.PackInt(int64(m.Region.Y1))
+	b.PackBytes(m.Pix)
+	b.PackInt(int64(m.Rendered))
+	b.PackInt(int64(m.Copied))
+	b.PackInt(int64(m.Regs))
+	for k := 0; k < vm.NumRayKinds; k++ {
+		b.PackInt(int64(m.Rays.ByKind[k]))
+	}
+	b.PackInt(m.ElapsedNs)
+	// Delta/compression fields trail the legacy layout and are omitted
+	// for plain raw key-frames, which therefore stay byte-identical to
+	// the pre-capability encoding. The timeline section trails the
+	// delta section and forces it present (the decoder reads them in
+	// order); it is only populated under a CapTimeline grant, which a
+	// legacy master never issues, so legacy decoders never see it.
+	if m.Kind != KindFull || m.Encoding != EncRaw || m.HasTimeline() {
+		b.PackInt(int64(m.Kind))
+		b.PackInt(int64(m.Encoding))
+		b.PackInt(int64(len(m.Spans)))
+		for _, s := range m.Spans {
+			b.PackInt(int64(s.Y))
+			b.PackInt(int64(s.X0))
+			b.PackInt(int64(s.X1))
+		}
+		if m.HasTimeline() {
+			PackTL(b, m.TLNow, m.TLTracks, m.TLEvents)
+		}
+	}
+	return b.Sealed()
+}
+
+// ValidateSpans rejects a span set that is not strictly ordered (rows
+// ascending, runs left to right, no overlap) or that leaves the region.
+// Ordering is what the encoder produces and what lets the receiver
+// apply the payload in one forward pass.
+func ValidateSpans(spans []fb.Span, region fb.Rect) error {
+	prevY, prevX1 := region.Y0-1, 0
+	for _, s := range spans {
+		if s.Y < region.Y0 || s.Y >= region.Y1 || s.X0 < region.X0 || s.X0 >= s.X1 || s.X1 > region.X1 {
+			return fmt.Errorf("wire: span y=%d [%d,%d) outside region %v", s.Y, s.X0, s.X1, region)
+		}
+		if s.Y < prevY || (s.Y == prevY && s.X0 < prevX1) {
+			return fmt.Errorf("wire: spans out of order at y=%d x=%d", s.Y, s.X0)
+		}
+		prevY, prevX1 = s.Y, s.X1
+	}
+	return nil
+}
+
+// DecodeFrameDone parses and validates a frame result. The returned
+// Pix either aliases data (raw payloads) or is pool-owned scratch
+// (deflated payloads) that Release returns.
+func DecodeFrameDone(data []byte) (FrameDone, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return FrameDone{}, fmt.Errorf("wire: bad frame-done message: %w", err)
+	}
+	b := msg.FromBytes(body)
+	var m FrameDone
+	m.TaskID = int(b.UnpackInt())
+	m.Frame = int(b.UnpackInt())
+	x0 := int(b.UnpackInt())
+	y0 := int(b.UnpackInt())
+	x1 := int(b.UnpackInt())
+	y1 := int(b.UnpackInt())
+	m.Region = fb.NewRect(x0, y0, x1, y1)
+	// The payload aliases data rather than being copied: Recv hands the
+	// receiver sole ownership of the message bytes (see the msg package's
+	// buffer ownership contract), so the decoded view stays valid until
+	// the receiver drops the message.
+	pix := b.UnpackBytes()
+	m.Rendered = int(b.UnpackInt())
+	m.Copied = int(b.UnpackInt())
+	m.Regs = uint64(b.UnpackInt())
+	for k := 0; k < vm.NumRayKinds; k++ {
+		m.Rays.ByKind[k] = uint64(b.UnpackInt())
+	}
+	m.ElapsedNs = b.UnpackInt()
+	if b.Len() > 0 {
+		m.Kind = int(b.UnpackInt())
+		m.Encoding = int(b.UnpackInt())
+		n := int(b.UnpackInt())
+		if n < 0 || n > b.Len()/SpanOverhead {
+			return FrameDone{}, fmt.Errorf("wire: bad span count %d", n)
+		}
+		m.Spans = make([]fb.Span, n)
+		for i := range m.Spans {
+			m.Spans[i] = fb.Span{Y: int(b.UnpackInt()), X0: int(b.UnpackInt()), X1: int(b.UnpackInt())}
+		}
+		if b.Len() > 0 {
+			// Timeline piggyback (CapTimeline grants only).
+			m.TLNow, m.TLTracks, m.TLEvents, err = UnpackTL(b)
+			if err != nil {
+				return FrameDone{}, err
+			}
+		}
+	}
+	if err := b.Err(); err != nil {
+		return FrameDone{}, fmt.Errorf("wire: bad frame-done message: %w", err)
+	}
+	if b.Len() != 0 {
+		return FrameDone{}, fmt.Errorf("wire: %d trailing bytes in frame-done message", b.Len())
+	}
+	r := m.Region
+	if r.X0 < 0 || r.Y0 < 0 || r.X1 <= r.X0 || r.Y1 <= r.Y0 || r.X1 > MaxDim || r.Y1 > MaxDim {
+		return FrameDone{}, fmt.Errorf("wire: bad frame region %v", r)
+	}
+	if m.Kind != KindFull && m.Kind != KindDelta {
+		return FrameDone{}, fmt.Errorf("wire: unknown frame kind %d", m.Kind)
+	}
+	if m.Encoding != EncRaw && m.Encoding != EncFlate {
+		return FrameDone{}, fmt.Errorf("wire: unknown frame encoding %d", m.Encoding)
+	}
+	if m.Kind == KindFull && len(m.Spans) != 0 {
+		return FrameDone{}, fmt.Errorf("wire: full frame with %d spans", len(m.Spans))
+	}
+	if err := ValidateSpans(m.Spans, m.Region); err != nil {
+		return FrameDone{}, err
+	}
+	want := m.RawPixBytes()
+	if want > msg.MaxMessageSize {
+		// A corrupt-but-checksummed header must not drive a huge
+		// decompression allocation.
+		return FrameDone{}, fmt.Errorf("wire: frame payload of %d bytes exceeds limit", want)
+	}
+	switch m.Encoding {
+	case EncRaw:
+		if len(pix) != want {
+			return FrameDone{}, fmt.Errorf("wire: frame payload is %d bytes, want %d", len(pix), want)
+		}
+		m.Pix = pix
+	case EncFlate:
+		dst := msg.GetBytes(want)
+		if err := msg.Inflate(dst, pix); err != nil {
+			msg.PutBytes(dst)
+			return FrameDone{}, fmt.Errorf("wire: bad frame-done message: %w", err)
+		}
+		m.Pix = dst
+		m.pooled = true
+	}
+	return m, nil
+}
+
+// Encoder builds frame-result payloads, choosing between key-frame and
+// delta encoding and applying optional compression. Its scratch slices
+// are reused across frames, so the worker's hot loop (and the virtual
+// driver modelling it) allocates only the final sealed message.
+type Encoder struct {
+	pix []byte // span/region pixel extraction scratch
+	z   []byte // deflate scratch
+}
+
+// Encode fills fd's Kind/Encoding/Spans/Pix from the rendered frame and
+// returns the sealed wire bytes. spans is the coherence engine's
+// traced-pixel set for this frame (nil on the plain path); first marks
+// the first frame of a task, which is always a key-frame so the
+// receiver can reseed its copy after any retry, steal, or truncation.
+// flags is the task's capability grant.
+func (we *Encoder) Encode(fd *FrameDone, buf *fb.Framebuffer, flags int, spans []fb.Span, first bool) []byte {
+	fd.Kind, fd.Encoding, fd.Spans = KindFull, EncRaw, nil
+	if flags&CapDelta != 0 && spans != nil && !first {
+		// Size guard: a delta only pays if its pixels plus span overhead
+		// undercut ~60% of the full region; otherwise ship a key-frame.
+		rawFull := fd.Region.Area() * 3
+		rawDelta := fb.SpanArea(spans)*3 + SpanOverhead*len(spans)
+		if rawDelta*10 <= rawFull*6 {
+			fd.Kind = KindDelta
+			fd.Spans = spans
+		}
+	}
+	if fd.Kind == KindDelta {
+		we.pix = buf.AppendSpans(we.pix[:0], fd.Spans)
+	} else {
+		we.pix = AppendRegion(we.pix[:0], buf, fd.Region)
+	}
+	payload := we.pix
+	if flags&CapCompress != 0 && len(payload) >= CompressMin {
+		z, err := msg.Deflate(we.z[:0], payload)
+		if err == nil {
+			we.z = z
+			if len(z) < len(payload) {
+				payload = z
+				fd.Encoding = EncFlate
+			}
+		}
+	}
+	fd.Pix = payload
+	return EncodeFrameDone(*fd)
+}
+
+// AppendRegion packs a region of img into RGB bytes (the wire format of
+// full frame results), appending to out so hot paths can reuse scratch.
+func AppendRegion(out []byte, img *fb.Framebuffer, region fb.Rect) []byte {
+	n := region.W() * 3
+	for y := region.Y0; y < region.Y1; y++ {
+		o := (y*img.W + region.X0) * 3
+		out = append(out, img.Pix[o:o+n]...)
+	}
+	return out
+}
+
+// ExtractRegion packs a region of img into a fresh RGB byte slice.
+func ExtractRegion(img *fb.Framebuffer, region fb.Rect) []byte {
+	return AppendRegion(make([]byte, 0, region.Area()*3), img, region)
+}
