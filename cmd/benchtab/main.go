@@ -8,6 +8,7 @@
 //	benchtab -scaling             # cluster-size scaling sweep
 //	benchtab -parallel            # intra-frame thread sweep -> BENCH_parallel.json
 //	benchtab -wire                # frame codec sweep -> BENCH_wire.json
+//	benchtab -sched               # multi-tenant policy sweep -> BENCH_sched.json
 //	benchtab -all                 # everything
 //
 // The default workload is the paper's Newton scene. -full runs the
@@ -40,6 +41,7 @@ func main() {
 		wire      = flag.Bool("wire", false, "frame codec sweep (full vs delta vs delta+flate), written to BENCH_wire.json")
 		dfbB      = flag.Bool("dfb", false, "distributed-framebuffer routing sweep (master vs compositor sinks), written to BENCH_dfb.json")
 		timelineB = flag.Bool("timeline", false, "event-recorder overhead bench (off vs on), written to BENCH_timeline.json")
+		schedB    = flag.Bool("sched", false, "multi-tenant scheduling policy sweep (fifo vs priority vs fair), written to BENCH_sched.json")
 		all       = flag.Bool("all", false, "run everything")
 		full      = flag.Bool("full", false, "paper-scale workload (240x320, 45 frames)")
 		frame     = flag.Int("frame", 10, "frame for -fig2")
@@ -49,19 +51,19 @@ func main() {
 		csvOut    = flag.Bool("csv", false, "emit Table 1 as CSV instead of a text table")
 	)
 	flag.Parse()
-	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling && !*parallel && !*wire && !*dfbB && !*timelineB {
+	if !*table1 && !*fig2 && !*fig4 && !*ablations && !*scaling && !*parallel && !*wire && !*dfbB && !*timelineB && !*schedB {
 		*all = true
 	}
 	if err := run(*table1 || *all, *fig2 || *all, *fig4 || *all,
 		*ablations || *all, *scaling || *all, *parallel || *all, *wire || *all,
-		*dfbB || *all, *timelineB || *all,
+		*dfbB || *all, *timelineB || *all, *schedB || *all,
 		*full, *frame, *outDir, *sceneSpec, *wireScene, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
+func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB, schedB, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -341,6 +343,43 @@ func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB
 			return err
 		}
 		jsonPath := "BENCH_timeline.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			jsonPath = filepath.Join(outDir, jsonPath)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+
+	if schedB {
+		fmt.Println("=== Sched: multi-tenant policy sweep (heavy flood vs light tenants) ===")
+		heavy := 4
+		if full {
+			heavy = 8
+		}
+		pts, err := experiments.SchedSweep([]string{"fifo", "priority", "fair"}, heavy)
+		if err != nil {
+			return err
+		}
+		var tb stats.Table
+		for _, pt := range pts {
+			tb.AddRow("policy", pt.Policy,
+				"tenant", pt.Tenant,
+				"jobs", fmt.Sprintf("%d", pt.Jobs),
+				"mean queue ms", fmt.Sprintf("%.1f", pt.MeanQueueMS),
+				"max queue ms", fmt.Sprintf("%.1f", pt.MaxQueueMS),
+				"admit slots", fmt.Sprintf("%v", pt.AdmitSlots))
+		}
+		fmt.Println(tb.String())
+		data, err := json.MarshalIndent(pts, "", "  ")
+		if err != nil {
+			return err
+		}
+		jsonPath := "BENCH_sched.json"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err

@@ -10,8 +10,17 @@
 //	curl -s localhost:8080/jobs/job-0001/frames/0 -o frame0.tga
 //	curl -s localhost:8080/metrics
 //
-// SIGINT/SIGTERM shut the server down gracefully: in-flight HTTP
-// requests finish, running jobs are cancelled.
+// Multi-tenant operation: -tenants installs an allow list with
+// fair-share weights, -fair schedules across tenants by weighted fair
+// queuing, and -max-queued-per-tenant caps any one tenant's queue
+// backlog:
+//
+//	nowserve -tenants alice=3,bob -fair -max-queued-per-tenant 8
+//
+// SIGINT/SIGTERM drain the service gracefully: admission stops (new
+// submissions are rejected), queued and running jobs run to completion
+// within -drain-timeout, their event streams flush, and only then does
+// the HTTP server close.
 package main
 
 import (
@@ -23,6 +32,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,11 +68,26 @@ func main() {
 		timelineOn   = flag.Bool("timeline", false, "record a per-job cluster timeline, served on GET /jobs/{id}/timeline")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 		version      = flag.Bool("version", false, "print version and exit")
+
+		tenants      = flag.String("tenants", "", "tenant allow list with fair-share weights, e.g. alice=3,bob (empty = any tenant, weight 1)")
+		fair         = flag.Bool("fair", false, "schedule across tenants by weighted fair queuing instead of priority order")
+		tenantQueue  = flag.Int("max-queued-per-tenant", 0, "max queued jobs per tenant (0 = unlimited)")
+		fleetCap     = flag.Int("fleet-capacity", 0, "worker slots farm runs may lease concurrently (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs to finish on SIGTERM before they are cancelled")
 	)
 	flag.Parse()
 	if *version {
 		fmt.Println("nowserve", buildinfo.Version())
 		return
+	}
+	tenantWeights, err := parseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nowserve:", err)
+		os.Exit(1)
+	}
+	policy := "priority"
+	if *fair {
+		policy = "fair"
 	}
 	cfg := service.Config{
 		MaxConcurrent: *maxJobs,
@@ -81,6 +107,11 @@ func main() {
 		WireCompress:  *wireCompress,
 		DFBSinks:      *dfbSinks,
 		Timeline:      *timelineOn,
+
+		Tenants:            tenantWeights,
+		Policy:             policy,
+		MaxQueuedPerTenant: *tenantQueue,
+		FleetCapacity:      *fleetCap,
 	}
 	if *machines > 0 {
 		cfg.Machines = cluster.Uniform(*machines, 1.0, 64)
@@ -93,13 +124,46 @@ func main() {
 	if plan != nil {
 		cfg.FaultWrap = plan.Wrap
 	}
-	if err := run(*listen, *driver, cfg, *pprofOn); err != nil {
+	if err := run(*listen, *driver, cfg, *pprofOn, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "nowserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, driver string, cfg service.Config, pprofOn bool) error {
+// parseTenants reads "alice=3,bob,carol=2" into the service's tenant
+// weight map: bare names get weight 1.
+func parseTenants(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q", part)
+		}
+		weight := 1.0
+		if hasWeight {
+			w, err := strconv.ParseFloat(strings.TrimSpace(weightStr), 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad -tenants weight in %q", part)
+			}
+			weight = w
+		}
+		out[name] = weight
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -tenants list %q", s)
+	}
+	return out, nil
+}
+
+func run(listen, driver string, cfg service.Config, pprofOn bool, drainTimeout time.Duration) error {
 	svc := service.New(cfg)
 	var handler http.Handler = svc.Handler()
 	if pprofOn {
@@ -128,6 +192,18 @@ func run(listen, driver string, cfg service.Config, pprofOn bool) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
+	}
+
+	// Drain before closing the HTTP server: admission stops, queued and
+	// running jobs finish, and their SSE streams receive terminal events
+	// — so Shutdown below finds no live streams to wait out. Shutting
+	// the server first would hang on open event streams while Close
+	// killed the very jobs clients were watching.
+	fmt.Printf("nowserve: draining (grace %s)\n", drainTimeout)
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Println("nowserve: drain timed out, cancelling remaining jobs")
 	}
 	fmt.Println("nowserve: shutting down")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

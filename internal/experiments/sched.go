@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"nowrender/internal/service"
+)
+
+// SchedPoint is one (policy, tenant) cell of the multi-tenant
+// scheduling sweep: how long the tenant's jobs waited in the queue and
+// where in the global admission order they landed.
+type SchedPoint struct {
+	Policy string `json:"policy"`
+	Tenant string `json:"tenant"`
+	Jobs   int    `json:"jobs"`
+	// MeanQueueMS / MaxQueueMS measure queue wait (submission to
+	// admission) over the tenant's jobs.
+	MeanQueueMS float64 `json:"mean_queue_ms"`
+	MaxQueueMS  float64 `json:"max_queue_ms"`
+	// AdmitSlots are the 1-based positions of the tenant's jobs in the
+	// run's global admission order (the blocker excluded). Unlike the
+	// millisecond figures these are deterministic: they depend only on
+	// the policy, not on render speed.
+	AdmitSlots []int `json:"admit_slots"`
+}
+
+// SchedSweep runs the same multi-tenant contention scenario under each
+// scheduling policy on a single-slot service over the virtual driver: a
+// heavy tenant floods heavyJobs submissions while one job each from two
+// light tenants sits behind the flood. Under "fifo" (and "priority" at
+// equal priorities) the light tenants drain last; under "fair" their
+// lagging virtual time admits them ahead of the flood — the
+// starvation-prevention the scheduler split exists for.
+func SchedSweep(policies []string, heavyJobs int) ([]SchedPoint, error) {
+	if heavyJobs <= 0 {
+		heavyJobs = 4
+	}
+	var out []SchedPoint
+	for _, pol := range policies {
+		pts, err := schedScenario(pol, heavyJobs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sched %q: %w", pol, err)
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+func schedScenario(policy string, heavyJobs int) ([]SchedPoint, error) {
+	svc := service.New(service.Config{
+		MaxConcurrent: 1,
+		Policy:        policy,
+		Tenants:       map[string]float64{"heavy": 1, "alice": 1, "bob": 1},
+	})
+	defer svc.Close()
+
+	// A running blocker keeps the single slot busy while the contending
+	// jobs queue up, so every admission below is a scheduling decision.
+	blocker, err := svc.Submit(service.JobSpec{
+		Scene: "newton:4", W: 64, H: 48, Tenant: "heavy",
+	})
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := svc.JobStatus(blocker.ID)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("blocker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Distinct resolutions per job keep the frame cache and coalescing
+	// out of the measurement — every job renders.
+	byTenant := map[string][]string{}
+	submit := func(tenant string, w, h int) error {
+		st, err := svc.Submit(service.JobSpec{
+			Scene: "newton:2", W: w, H: h, Tenant: tenant,
+		})
+		if err != nil {
+			return err
+		}
+		byTenant[tenant] = append(byTenant[tenant], st.ID)
+		return nil
+	}
+	for i := 0; i < heavyJobs; i++ {
+		if err := submit("heavy", 32+4*i, 24+3*i); err != nil {
+			return nil, err
+		}
+	}
+	if err := submit("alice", 100, 75); err != nil {
+		return nil, err
+	}
+	if err := submit("bob", 104, 78); err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	type done struct {
+		tenant string
+		st     service.Status
+	}
+	var finished []done
+	for tenant, ids := range byTenant {
+		for _, id := range ids {
+			st, err := svc.Wait(ctx, id)
+			if err != nil {
+				return nil, err
+			}
+			if st.State != service.StateDone {
+				return nil, fmt.Errorf("job %s: %s (%s)", id, st.State, st.Error)
+			}
+			finished = append(finished, done{tenant, st})
+		}
+	}
+
+	// Global admission order by start time (serial: one slot).
+	sort.Slice(finished, func(i, j int) bool {
+		return finished[i].st.Started.Before(finished[j].st.Started)
+	})
+	perTenant := map[string]*SchedPoint{}
+	for slot, d := range finished {
+		pt := perTenant[d.tenant]
+		if pt == nil {
+			pt = &SchedPoint{Policy: policy, Tenant: d.tenant}
+			perTenant[d.tenant] = pt
+		}
+		pt.Jobs++
+		q := float64(d.st.QueueDurationMS)
+		pt.MeanQueueMS += q
+		if q > pt.MaxQueueMS {
+			pt.MaxQueueMS = q
+		}
+		pt.AdmitSlots = append(pt.AdmitSlots, slot+1)
+	}
+	tenants := make([]string, 0, len(perTenant))
+	for t := range perTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	var out []SchedPoint
+	for _, t := range tenants {
+		pt := perTenant[t]
+		pt.MeanQueueMS /= float64(pt.Jobs)
+		sort.Ints(pt.AdmitSlots)
+		out = append(out, *pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestSchedSweepFairBeatsFIFO pins the sweep's headline claim: under
+// the weighted-fair policy the light tenants' jobs are admitted ahead
+// of the heavy tenant's flood, while under FIFO they drain last. The
+// admission slots are policy-determined, so the assertion is exact.
+func TestSchedSweepFairBeatsFIFO(t *testing.T) {
+	pts, err := SchedSweep([]string{"fifo", "fair"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := map[string]map[string][]int{} // policy -> tenant -> slots
+	for _, pt := range pts {
+		if slots[pt.Policy] == nil {
+			slots[pt.Policy] = map[string][]int{}
+		}
+		slots[pt.Policy][pt.Tenant] = pt.AdmitSlots
+	}
+	for _, policy := range []string{"fifo", "fair"} {
+		for _, tenant := range []string{"heavy", "alice", "bob"} {
+			if len(slots[policy][tenant]) == 0 {
+				t.Fatalf("no %s/%s results in %+v", policy, tenant, pts)
+			}
+		}
+	}
+	// FIFO: the lights were submitted after the 3-job flood, so they
+	// occupy the last two slots.
+	for _, tenant := range []string{"alice", "bob"} {
+		if got := slots["fifo"][tenant][0]; got < 4 {
+			t.Errorf("fifo admitted %s at slot %d, want behind the flood", tenant, got)
+		}
+	}
+	// Fair: the lights' virtual time lags the heavy tenant's (its
+	// blocker already charged it), so they take the first two slots.
+	for _, tenant := range []string{"alice", "bob"} {
+		if got := slots["fair"][tenant][0]; got > 2 {
+			t.Errorf("fair admitted %s at slot %d, want within the first two", tenant, got)
+		}
+	}
+}

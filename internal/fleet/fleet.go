@@ -1,0 +1,231 @@
+// Package fleet is the worker-pool abstraction between the scheduler
+// and the farm drivers. The pre-split service called
+// farm.RenderLocal/RenderVirtual directly, so the worker fleet was
+// implicitly owned by the one service instance; the Pool makes worker
+// capacity an explicit, leasable resource — schedulers lease slots
+// before a farm run and return them after — so several schedulers (the
+// multi-master control plane of ROADMAP item 1) can share one elastic
+// pool, and members can join or leave while runs are in flight.
+//
+// A lease is capacity accounting, not worker pinning: the farm drivers
+// still spin up their own workers per run; the pool bounds how many run
+// at once across everyone leasing from it.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nowrender/internal/farm"
+)
+
+// Driver renders one farm run. Implementations wrap the farm backends.
+type Driver interface {
+	Name() string
+	Render(cfg farm.Config) (*farm.Result, error)
+}
+
+// LocalDriver runs goroutine workers over the PVM-like protocol.
+type LocalDriver struct{}
+
+func (LocalDriver) Name() string { return "local" }
+func (LocalDriver) Render(cfg farm.Config) (*farm.Result, error) {
+	return farm.RenderLocal(cfg)
+}
+
+// VirtualDriver runs the deterministic virtual NOW.
+type VirtualDriver struct{}
+
+func (VirtualDriver) Name() string { return "virtual" }
+func (VirtualDriver) Render(cfg farm.Config) (*farm.Result, error) {
+	return farm.RenderVirtual(cfg)
+}
+
+// Stats snapshots a pool.
+type Stats struct {
+	// Capacity is the current worker-slot capacity (< 0 = unlimited).
+	Capacity int
+	// Leased is the number of slots currently out on leases.
+	Leased int
+	// Members maps live member names to the capacity they contribute
+	// (the base capacity passed to NewPool is anonymous).
+	Members map[string]int
+	// Leases counts leases ever granted; Waits counts Lease calls that
+	// had to block for capacity.
+	Leases, Waits uint64
+}
+
+// Pool is a shared, elastic pot of worker slots with lease/return
+// semantics. The zero value is unusable; construct with NewPool.
+type Pool struct {
+	mu      sync.Mutex
+	base    int // capacity from NewPool (unlimited when <= 0 and no members)
+	bounded bool
+	members map[string]int
+	leased  int
+	leases  uint64
+	waits   uint64
+	// freed is closed and replaced whenever capacity frees up, waking
+	// blocked Lease calls.
+	freed   chan struct{}
+	drivers map[string]Driver
+}
+
+// NewPool returns a pool with the given base slot capacity; capacity
+// <= 0 means unlimited (every lease is granted in full, immediately)
+// until members with finite capacity join.
+func NewPool(capacity int) *Pool {
+	p := &Pool{
+		base:    capacity,
+		bounded: capacity > 0,
+		members: make(map[string]int),
+		freed:   make(chan struct{}),
+		drivers: make(map[string]Driver),
+	}
+	p.Register(LocalDriver{})
+	p.Register(VirtualDriver{})
+	return p
+}
+
+// Register adds (or replaces) a driver under its name.
+func (p *Pool) Register(d Driver) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.drivers[d.Name()] = d
+}
+
+// Driver returns the named driver.
+func (p *Pool) Driver(name string) (Driver, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d, ok := p.drivers[name]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown driver %q", name)
+	}
+	return d, nil
+}
+
+// capacityLocked is the current total slot capacity, or -1 for
+// unlimited.
+func (p *Pool) capacityLocked() int {
+	total := 0
+	if p.bounded {
+		total = p.base
+	}
+	for _, c := range p.members {
+		total += c
+	}
+	if !p.bounded && len(p.members) == 0 {
+		return -1
+	}
+	return total
+}
+
+// Join adds (or resizes) a named member contributing slots of
+// capacity, waking waiters if capacity grew. Joining a member makes an
+// unlimited pool bounded: capacity is then base + members.
+func (p *Pool) Join(member string, slots int) {
+	if slots < 0 {
+		slots = 0
+	}
+	p.mu.Lock()
+	p.members[member] = slots
+	p.wakeLocked()
+	p.mu.Unlock()
+}
+
+// Leave removes a member, shrinking capacity immediately. Leases
+// already granted are not revoked — the pool runs over capacity until
+// they return, which is how a departing workstation's in-flight run
+// drains.
+func (p *Pool) Leave(member string) {
+	p.mu.Lock()
+	delete(p.members, member)
+	p.mu.Unlock()
+}
+
+// wakeLocked signals blocked Lease calls that capacity changed.
+func (p *Pool) wakeLocked() {
+	close(p.freed)
+	p.freed = make(chan struct{})
+}
+
+// Lease is granted worker capacity. Return it exactly once.
+type Lease struct {
+	pool *Pool
+	// Slots is the granted capacity: min(requested, pool capacity) for
+	// a bounded pool, the full request for an unlimited one.
+	Slots int
+	once  sync.Once
+}
+
+// Return gives the lease's slots back, waking waiters. Idempotent.
+func (l *Lease) Return() {
+	l.once.Do(func() {
+		l.pool.mu.Lock()
+		l.pool.leased -= l.Slots
+		l.pool.wakeLocked()
+		l.pool.mu.Unlock()
+	})
+}
+
+// Lease blocks until n slots are available (or ctx is done) and grants
+// them. A request larger than the pool's whole capacity is clamped to
+// it — the caller sizes its run to Lease.Slots — so an over-ask waits
+// for an idle pool, not forever. n <= 0 asks for the whole pool.
+func (p *Pool) Lease(ctx context.Context, n int) (*Lease, error) {
+	p.mu.Lock()
+	first := true
+	for {
+		cap := p.capacityLocked()
+		grant := n
+		if cap >= 0 {
+			if cap == 0 {
+				p.mu.Unlock()
+				return nil, fmt.Errorf("fleet: pool has no capacity")
+			}
+			if n <= 0 || grant > cap {
+				grant = cap
+			}
+			if p.leased+grant > cap {
+				if first {
+					p.waits++
+					first = false
+				}
+				ch := p.freed
+				p.mu.Unlock()
+				select {
+				case <-ch:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+				p.mu.Lock()
+				continue
+			}
+		} else if grant <= 0 {
+			grant = 1
+		}
+		p.leased += grant
+		p.leases++
+		p.mu.Unlock()
+		return &Lease{pool: p, Slots: grant}, nil
+	}
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	members := make(map[string]int, len(p.members))
+	for m, c := range p.members {
+		members[m] = c
+	}
+	return Stats{
+		Capacity: p.capacityLocked(),
+		Leased:   p.leased,
+		Members:  members,
+		Leases:   p.leases,
+		Waits:    p.waits,
+	}
+}

@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nowrender/internal/farm"
+	"nowrender/internal/scenes"
+)
+
+// TestUnlimitedPoolGrantsImmediately: the default pool never blocks and
+// grants the full request.
+func TestUnlimitedPoolGrantsImmediately(t *testing.T) {
+	p := NewPool(0)
+	l, err := p.Lease(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Slots != 8 {
+		t.Fatalf("slots = %d, want 8", l.Slots)
+	}
+	st := p.Stats()
+	if st.Capacity != -1 || st.Leased != 8 || st.Leases != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	l.Return()
+	l.Return() // idempotent
+	if got := p.Stats().Leased; got != 0 {
+		t.Fatalf("leased after return = %d", got)
+	}
+}
+
+// TestBoundedLeaseBlocksUntilReturn: a second lease waits for the first
+// to return its slots.
+func TestBoundedLeaseBlocksUntilReturn(t *testing.T) {
+	p := NewPool(3)
+	l1, err := p.Lease(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan *Lease, 1)
+	go func() {
+		l, err := p.Lease(context.Background(), 2)
+		if err != nil {
+			t.Error(err)
+		}
+		granted <- l
+	}()
+	select {
+	case <-granted:
+		t.Fatal("second lease granted while pool exhausted")
+	case <-time.After(50 * time.Millisecond):
+	}
+	l1.Return()
+	select {
+	case l2 := <-granted:
+		if l2.Slots != 2 {
+			t.Fatalf("second lease slots = %d, want 2", l2.Slots)
+		}
+		l2.Return()
+	case <-time.After(5 * time.Second):
+		t.Fatal("second lease never granted after return")
+	}
+	if w := p.Stats().Waits; w != 1 {
+		t.Fatalf("waits = %d, want 1", w)
+	}
+}
+
+// TestLeaseClampsOverAsk: asking for more than the pool holds grants
+// the whole pool instead of deadlocking.
+func TestLeaseClampsOverAsk(t *testing.T) {
+	p := NewPool(2)
+	l, err := p.Lease(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Return()
+	if l.Slots != 2 {
+		t.Fatalf("slots = %d, want clamp to 2", l.Slots)
+	}
+}
+
+// TestLeaseHonoursContext: a blocked lease unblocks with the context's
+// error.
+func TestLeaseHonoursContext(t *testing.T) {
+	p := NewPool(1)
+	l1, err := p.Lease(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l1.Return()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := p.Lease(ctx, 1); err == nil {
+		t.Fatal("lease succeeded on an exhausted pool with an expiring context")
+	}
+}
+
+// TestJoinLeaveElasticCapacity: members grow and shrink a live pool;
+// joining wakes blocked leases.
+func TestJoinLeaveElasticCapacity(t *testing.T) {
+	p := NewPool(1)
+	l1, err := p.Lease(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan *Lease, 1)
+	go func() {
+		l, err := p.Lease(context.Background(), 2)
+		if err != nil {
+			t.Error(err)
+		}
+		granted <- l
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Join("ws02", 2) // capacity 1 -> 3; the blocked lease fits now
+	var l2 *Lease
+	select {
+	case l2 = <-granted:
+		if l2.Slots != 2 {
+			t.Fatalf("post-join lease slots = %d, want 2", l2.Slots)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("join did not wake the blocked lease")
+	}
+	st := p.Stats()
+	if st.Capacity != 3 || st.Members["ws02"] != 2 {
+		t.Fatalf("stats after join = %+v", st)
+	}
+	// Leave shrinks capacity but does not revoke l2: the pool runs over
+	// capacity until the lease returns.
+	p.Leave("ws02")
+	if st := p.Stats(); st.Capacity != 1 || st.Leased != 3 {
+		t.Fatalf("stats after leave = %+v", st)
+	}
+	l1.Return()
+	l2.Return()
+	if st := p.Stats(); st.Leased != 0 {
+		t.Fatalf("leased after returns = %d", st.Leased)
+	}
+}
+
+// TestJoinBoundsUnlimitedPool: a member joining an unlimited pool makes
+// it bounded at the member's capacity.
+func TestJoinBoundsUnlimitedPool(t *testing.T) {
+	p := NewPool(0)
+	p.Join("ws01", 2)
+	l, err := p.Lease(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Return()
+	if l.Slots != 2 {
+		t.Fatalf("slots = %d, want 2 after member bound the pool", l.Slots)
+	}
+}
+
+// TestDriversRenderThroughPool: the registered drivers run a real
+// (tiny) farm job each and produce frames.
+func TestDriversRenderThroughPool(t *testing.T) {
+	p := NewPool(0)
+	sc, err := scenes.FromSpec("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"virtual", "local"} {
+		d, err := p.Driver(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Render(farm.Config{
+			Scene: sc, W: 24, H: 24, StartFrame: 0, EndFrame: 1, Workers: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Frames) != 1 || res.Frames[0] == nil {
+			t.Fatalf("%s: no frame rendered", name)
+		}
+	}
+	if _, err := p.Driver("pvm"); err == nil {
+		t.Fatal("unknown driver accepted")
+	}
+}

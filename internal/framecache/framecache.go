@@ -1,0 +1,266 @@
+// Package framecache is the content-addressed frame store extracted
+// from the service monolith. It lifts the paper's frame coherence to
+// the service level twice over:
+//
+//   - Across time: where the coherence engine reuses pixels between
+//     consecutive frames of one run, the cache reuses whole frames
+//     between *jobs* — a resubmitted or overlapping animation is served
+//     from memory with zero new rays traced (LRU under a byte budget,
+//     optional TTL).
+//
+//   - Across concurrent requests: in-flight coalescing. The first
+//     caller to Acquire a missing frame becomes its producer; everyone
+//     else Acquiring the same frame before it lands gets a wait channel
+//     fed by the producer's Put. Two tenants rendering the same
+//     scene+frame concurrently therefore cost exactly one render, with
+//     both progress streams fed from the single flight.
+//
+// Frames are addressed by content, not by job: the key hashes the scene
+// source, the output resolution, the pixel-affecting render options and
+// the frame number. Options that provably do not change pixels are
+// excluded on purpose — the repo's tested invariant is that every farm
+// mode, partition scheme, and the coherence engine itself produce
+// pixel-identical frames, so two jobs differing only in scheme or
+// coherence share cache entries and flights.
+package framecache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/stats"
+)
+
+// SeqKey addresses a rendered animation: scene source + resolution +
+// pixel-affecting options.
+type SeqKey [sha256.Size]byte
+
+// NewSeqKey hashes the identity of a rendered sequence. source is the
+// canonical scene text (builtin spec or SDL source); samples is the
+// supersampling factor, the one exposed option that changes pixels.
+func NewSeqKey(source string, w, h, samples int) SeqKey {
+	hsh := sha256.New()
+	var dims [12]byte
+	binary.BigEndian.PutUint32(dims[0:], uint32(w))
+	binary.BigEndian.PutUint32(dims[4:], uint32(h))
+	binary.BigEndian.PutUint32(dims[8:], uint32(samples))
+	hsh.Write(dims[:])
+	hsh.Write([]byte(source))
+	var k SeqKey
+	hsh.Sum(k[:0])
+	return k
+}
+
+// Key addresses one frame of a sequence.
+type Key struct {
+	Seq   SeqKey
+	Frame int
+}
+
+// centry is one cached frame on the LRU list.
+type centry struct {
+	key  Key
+	img  *fb.Framebuffer
+	size int64
+	// expires is when the entry stops being servable (zero = never).
+	expires time.Time
+}
+
+// flight is one in-production frame: followers wait on their channels
+// until the producer Puts the frame (each channel receives it and
+// closes) or Aborts (channels close empty).
+type flight struct {
+	subs []chan *fb.Framebuffer
+}
+
+// Cache is a content-addressed frame store with LRU eviction under a
+// byte budget, optional per-entry TTL expiry, and in-flight request
+// coalescing. Cached framebuffers are shared, immutable-by-contract
+// values: callers must not modify what Get returns or Put receives.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	ttl    time.Duration
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[Key]*list.Element
+	// flights tracks frames some producer is currently rendering.
+	flights map[Key]*flight
+	// now is the clock, swappable by tests.
+	now func() time.Time
+
+	hits, misses, evictions, expired uint64
+	coalesced, flightsLed            uint64
+}
+
+// New returns a cache bounded to budget bytes of pixel data.
+// budget <= 0 means unlimited.
+func New(budget int64) *Cache {
+	return NewTTL(budget, 0)
+}
+
+// NewTTL is New with per-entry expiry: entries older than ttl are
+// dropped lazily, on the lookup that finds them stale (ttl <= 0 =
+// never expire). Pixels never go wrong with age — the cache is
+// content-addressed — so the TTL's job is reclaiming memory from
+// animations nobody re-requests, not invalidation.
+func NewTTL(budget int64, ttl time.Duration) *Cache {
+	return &Cache{
+		budget:  budget,
+		ttl:     ttl,
+		ll:      list.New(),
+		items:   make(map[Key]*list.Element),
+		flights: make(map[Key]*flight),
+		now:     time.Now,
+	}
+}
+
+// removeLocked drops an entry from the list, the index and the byte
+// account; callers hold c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*centry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.size
+}
+
+// lookupLocked returns the live cached frame for k, expiring stale
+// entries; callers hold c.mu.
+func (c *Cache) lookupLocked(k Key) (*fb.Framebuffer, bool) {
+	el, ok := c.items[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*centry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(el)
+		c.expired++
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return e.img, true
+}
+
+// Get returns the cached frame and marks it most recently used; a stale
+// entry is dropped and reported as a miss.
+func (c *Cache) Get(k Key) (*fb.Framebuffer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookupLocked(k)
+}
+
+// Acquire is the coalescing lookup. Exactly one of the three outcomes
+// holds:
+//
+//   - cache hit: img is non-nil;
+//   - another producer is rendering k: wait is non-nil and will receive
+//     the frame then close (or close empty if the producer aborts);
+//   - the caller leads: lead is true, and the caller MUST eventually
+//     Put(k, frame) or Abort(k), or followers block until their own
+//     contexts fire.
+func (c *Cache) Acquire(k Key) (img *fb.Framebuffer, wait <-chan *fb.Framebuffer, lead bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if img, ok := c.lookupLocked(k); ok {
+		return img, nil, false
+	}
+	if f, ok := c.flights[k]; ok {
+		ch := make(chan *fb.Framebuffer, 1)
+		f.subs = append(f.subs, ch)
+		c.coalesced++
+		return nil, ch, false
+	}
+	c.flights[k] = &flight{}
+	c.flightsLed++
+	return nil, nil, true
+}
+
+// Put inserts (or refreshes) a frame, completes any in-flight
+// production of the same key (followers each receive img), and evicts
+// least-recently-used entries until the cache fits its budget. A frame
+// larger than the whole budget is not cached — but still completes the
+// flight, so coalesced followers are fed either way.
+func (c *Cache) Put(k Key, img *fb.Framebuffer) {
+	size := int64(len(img.Pix))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[k]; ok {
+		delete(c.flights, k)
+		for _, ch := range f.subs {
+			ch <- img
+			close(ch)
+		}
+	}
+	if c.budget > 0 && size > c.budget {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		// Content-addressed: same key, same pixels. Refresh recency and
+		// push the expiry out — the entry was just re-produced.
+		el.Value.(*centry).expires = c.expiry()
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&centry{key: k, img: img, size: size, expires: c.expiry()})
+	c.bytes += size
+	for c.budget > 0 && c.bytes > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+}
+
+// Abort ends an in-flight production without a frame: followers' wait
+// channels close empty, and they fall back to producing (or re-joining)
+// the frame themselves. No-op when no flight is registered — aborting
+// after a successful Put is safe.
+func (c *Cache) Abort(k Key) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.flights[k]
+	if !ok {
+		return
+	}
+	delete(c.flights, k)
+	for _, ch := range f.subs {
+		close(ch)
+	}
+}
+
+// InFlight reports whether some producer currently owns k.
+func (c *Cache) InFlight(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.flights[k]
+	return ok
+}
+
+// expiry computes a fresh entry's deadline (zero when no TTL is set);
+// callers hold c.mu.
+func (c *Cache) expiry() time.Time {
+	if c.ttl <= 0 {
+		return time.Time{}
+	}
+	return c.now().Add(c.ttl)
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() stats.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return stats.CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Expired: c.expired,
+		Coalesced: c.coalesced, FlightsLed: c.flightsLed, InFlight: len(c.flights),
+		Entries: c.ll.Len(), Bytes: c.bytes, Budget: c.budget,
+	}
+}

@@ -1,0 +1,319 @@
+package framecache
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nowrender/internal/fb"
+)
+
+// TestCacheEviction keeps the cache under its byte budget, LRU-first.
+func TestCacheEviction(t *testing.T) {
+	frameBytes := int64(32 * 32 * 3)
+	c := New(3 * frameBytes)
+	k := NewSeqKey("x", 32, 32, 1)
+	for f := 0; f < 5; f++ {
+		c.Put(Key{Seq: k, Frame: f}, fb.New(32, 32))
+	}
+	cs := c.Stats()
+	if cs.Entries != 3 || cs.Bytes != 3*frameBytes {
+		t.Fatalf("entries=%d bytes=%d, want 3 entries / %d bytes", cs.Entries, cs.Bytes, 3*frameBytes)
+	}
+	if cs.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", cs.Evictions)
+	}
+	// LRU: oldest frames (0, 1) were evicted.
+	if _, ok := c.Get(Key{Seq: k, Frame: 0}); ok {
+		t.Fatal("frame 0 survived eviction")
+	}
+	if _, ok := c.Get(Key{Seq: k, Frame: 4}); !ok {
+		t.Fatal("frame 4 missing")
+	}
+}
+
+// TestCacheEvictionTable drives put/get sequences against a 3-frame
+// budget and checks exactly which entries survive: eviction is LRU and a
+// get refreshes recency.
+func TestCacheEvictionTable(t *testing.T) {
+	const side = 32
+	frameBytes := int64(side * side * 3)
+	type op struct {
+		kind  string // "put" | "get"
+		frame int
+	}
+	cases := []struct {
+		name          string
+		budget        int64
+		ops           []op
+		wantPresent   []int
+		wantAbsent    []int
+		wantEvictions uint64
+	}{
+		{
+			name:        "lru-evicts-oldest",
+			budget:      3 * frameBytes,
+			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
+			wantPresent: []int{2, 3, 4}, wantAbsent: []int{0, 1},
+			wantEvictions: 2,
+		},
+		{
+			name:        "get-refreshes-recency",
+			budget:      3 * frameBytes,
+			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"get", 0}, {"put", 3}},
+			wantPresent: []int{0, 2, 3}, wantAbsent: []int{1},
+			wantEvictions: 1,
+		},
+		{
+			name:        "duplicate-put-refreshes-not-grows",
+			budget:      3 * frameBytes,
+			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 0}, {"put", 3}},
+			wantPresent: []int{0, 2, 3}, wantAbsent: []int{1},
+			wantEvictions: 1,
+		},
+		{
+			name:        "frame-larger-than-budget-not-cached",
+			budget:      frameBytes - 1,
+			ops:         []op{{"put", 0}},
+			wantPresent: nil, wantAbsent: []int{0},
+			wantEvictions: 0,
+		},
+		{
+			name:        "unlimited-budget-keeps-all",
+			budget:      0,
+			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
+			wantPresent: []int{0, 1, 2, 3, 4}, wantAbsent: nil,
+			wantEvictions: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(tc.budget)
+			k := NewSeqKey("scene", side, side, 1)
+			for _, o := range tc.ops {
+				switch o.kind {
+				case "put":
+					c.Put(Key{Seq: k, Frame: o.frame}, fb.New(side, side))
+				case "get":
+					c.Get(Key{Seq: k, Frame: o.frame})
+				}
+			}
+			for _, f := range tc.wantPresent {
+				if _, ok := c.Get(Key{Seq: k, Frame: f}); !ok {
+					t.Errorf("frame %d missing", f)
+				}
+			}
+			for _, f := range tc.wantAbsent {
+				if _, ok := c.Get(Key{Seq: k, Frame: f}); ok {
+					t.Errorf("frame %d unexpectedly present", f)
+				}
+			}
+			cs := c.Stats()
+			if cs.Evictions != tc.wantEvictions {
+				t.Errorf("evictions = %d, want %d", cs.Evictions, tc.wantEvictions)
+			}
+			if tc.budget > 0 && cs.Bytes > tc.budget {
+				t.Errorf("cache holds %d bytes over budget %d", cs.Bytes, tc.budget)
+			}
+		})
+	}
+}
+
+// TestCacheTTLTable pins the lazy-expiry clockwork with an injected
+// clock: entries serve until their deadline passes strictly, a stale hit
+// counts as an expiry plus a miss, and re-putting a key pushes its
+// deadline out.
+func TestCacheTTLTable(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	cases := []struct {
+		name    string
+		ttl     time.Duration
+		advance time.Duration
+		wantHit bool
+	}{
+		{"no-ttl-never-expires", 0, 1000 * time.Hour, true},
+		{"fresh-within-ttl", time.Minute, 59 * time.Second, true},
+		{"exactly-at-deadline-still-served", time.Minute, time.Minute, true},
+		{"stale-past-deadline", time.Minute, time.Minute + time.Second, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewTTL(0, tc.ttl)
+			now := base
+			c.now = func() time.Time { return now }
+			k := Key{Seq: NewSeqKey("s", 8, 8, 1), Frame: 0}
+			c.Put(k, fb.New(8, 8))
+			now = base.Add(tc.advance)
+			_, ok := c.Get(k)
+			if ok != tc.wantHit {
+				t.Fatalf("hit = %v, want %v", ok, tc.wantHit)
+			}
+			cs := c.Stats()
+			if tc.wantHit {
+				if cs.Expired != 0 || cs.Entries != 1 {
+					t.Errorf("expired=%d entries=%d, want 0/1", cs.Expired, cs.Entries)
+				}
+			} else {
+				// A stale entry is dropped, counted, and its bytes freed.
+				if cs.Expired != 1 || cs.Misses != 1 || cs.Entries != 0 || cs.Bytes != 0 {
+					t.Errorf("expired=%d misses=%d entries=%d bytes=%d, want 1/1/0/0",
+						cs.Expired, cs.Misses, cs.Entries, cs.Bytes)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheTTLRefreshOnReput: re-producing a cached frame pushes its
+// expiry out from the new production time.
+func TestCacheTTLRefreshOnReput(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	c := NewTTL(0, time.Minute)
+	now := base
+	c.now = func() time.Time { return now }
+	k := Key{Seq: NewSeqKey("s", 8, 8, 1), Frame: 0}
+	c.Put(k, fb.New(8, 8))
+	now = base.Add(40 * time.Second)
+	c.Put(k, fb.New(8, 8)) // refresh: new deadline is t+40s+60s
+	now = base.Add(90 * time.Second)
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("refreshed entry expired on the original deadline")
+	}
+	now = base.Add(101 * time.Second)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry survived past its refreshed deadline")
+	}
+}
+
+// --- in-flight coalescing -------------------------------------------------
+
+// TestAcquireLeadFollowComplete: first caller leads, later callers
+// follow, Put feeds every follower the same framebuffer.
+func TestAcquireLeadFollowComplete(t *testing.T) {
+	c := New(0)
+	k := Key{Seq: NewSeqKey("s", 8, 8, 1), Frame: 3}
+
+	img, wait, lead := c.Acquire(k)
+	if img != nil || wait != nil || !lead {
+		t.Fatalf("first acquire = (%v, %v, %v), want lead", img, wait, lead)
+	}
+	if !c.InFlight(k) {
+		t.Fatal("flight not registered")
+	}
+
+	var waits []<-chan *fb.Framebuffer
+	for i := 0; i < 3; i++ {
+		img, w, lead := c.Acquire(k)
+		if img != nil || lead || w == nil {
+			t.Fatalf("follower acquire %d = (%v, %v, %v), want wait channel", i, img, w, lead)
+		}
+		waits = append(waits, w)
+	}
+
+	frame := fb.New(8, 8)
+	c.Put(k, frame)
+	for i, w := range waits {
+		got, ok := <-w
+		if !ok || got != frame {
+			t.Fatalf("follower %d received (%v, %v), want the produced frame", i, got, ok)
+		}
+		if _, ok := <-w; ok {
+			t.Fatalf("follower %d channel not closed after delivery", i)
+		}
+	}
+	if c.InFlight(k) {
+		t.Fatal("flight survived Put")
+	}
+	cs := c.Stats()
+	if cs.Coalesced != 3 || cs.FlightsLed != 1 {
+		t.Fatalf("coalesced=%d flightsLed=%d, want 3/1", cs.Coalesced, cs.FlightsLed)
+	}
+	// Afterwards it is a plain cache hit.
+	if img, wait, lead := c.Acquire(k); img == nil || wait != nil || lead {
+		t.Fatalf("post-completion acquire = (%v, %v, %v), want hit", img, wait, lead)
+	}
+}
+
+// TestAbortReleasesFollowers: an aborted flight closes follower
+// channels empty, and the next Acquire leads again.
+func TestAbortReleasesFollowers(t *testing.T) {
+	c := New(0)
+	k := Key{Seq: NewSeqKey("s", 8, 8, 1), Frame: 0}
+	if _, _, lead := c.Acquire(k); !lead {
+		t.Fatal("first acquire did not lead")
+	}
+	_, w, _ := c.Acquire(k)
+	c.Abort(k)
+	if got, ok := <-w; ok {
+		t.Fatalf("aborted follower received %v", got)
+	}
+	c.Abort(k) // idempotent
+	if _, _, lead := c.Acquire(k); !lead {
+		t.Fatal("acquire after abort did not lead")
+	}
+	c.Abort(k)
+}
+
+// TestPutOverBudgetStillFeedsFollowers: a frame too large to cache
+// still completes its flight.
+func TestPutOverBudgetStillFeedsFollowers(t *testing.T) {
+	c := New(10) // smaller than any frame
+	k := Key{Seq: NewSeqKey("s", 8, 8, 1), Frame: 0}
+	if _, _, lead := c.Acquire(k); !lead {
+		t.Fatal("lead")
+	}
+	_, w, _ := c.Acquire(k)
+	frame := fb.New(8, 8)
+	c.Put(k, frame)
+	if got, ok := <-w; !ok || got != frame {
+		t.Fatalf("follower got (%v, %v)", got, ok)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("over-budget frame was cached")
+	}
+}
+
+// TestCoalescingConcurrent hammers one key from many goroutines: every
+// acquirer ends with the same frame and exactly one production runs.
+func TestCoalescingConcurrent(t *testing.T) {
+	c := New(0)
+	k := Key{Seq: NewSeqKey("s", 16, 16, 1), Frame: 0}
+	frame := fb.New(16, 16)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		leads     int
+		delivered int
+	)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			img, wait, lead := c.Acquire(k)
+			switch {
+			case lead:
+				mu.Lock()
+				leads++
+				mu.Unlock()
+				c.Put(k, frame)
+			case wait != nil:
+				if got, ok := <-wait; ok && got == frame {
+					mu.Lock()
+					delivered++
+					mu.Unlock()
+				}
+			case img != nil:
+				mu.Lock()
+				delivered++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if leads != 1 {
+		t.Fatalf("leads = %d, want exactly 1", leads)
+	}
+	if delivered != 31 {
+		t.Fatalf("delivered = %d, want 31", delivered)
+	}
+}

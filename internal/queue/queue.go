@@ -1,0 +1,235 @@
+// Package queue is the admission-controlled, multi-tenant job queue of
+// the render service: one priority queue per tenant, a global capacity
+// bound, and per-tenant quotas, so no single tenant can fill the whole
+// service with queued work. It holds items; *picking* which tenant runs
+// next is the scheduler's job (internal/sched), which is why the queue
+// exposes per-tenant peek/pop instead of one global pop.
+//
+// Within a tenant, items are ordered by priority (higher first), then
+// submission sequence (FIFO) — the same ordering the pre-split service
+// used globally, so a single-tenant deployment behaves exactly as
+// before.
+//
+// The queue is safe for concurrent use. Rejections are typed
+// (ErrFull, ErrTenantQuota, ErrUnknownTenant) so callers can count them
+// by reason for metrics.
+package queue
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Typed admission errors; errors.Is-able through the wrapped messages
+// Push returns.
+var (
+	// ErrFull rejects a push that would exceed the global capacity.
+	ErrFull = errors.New("queue full")
+	// ErrTenantQuota rejects a push that would exceed the per-tenant
+	// quota.
+	ErrTenantQuota = errors.New("tenant queue quota exceeded")
+	// ErrUnknownTenant rejects a tenant outside the configured allow
+	// list.
+	ErrUnknownTenant = errors.New("unknown tenant")
+)
+
+// DefaultTenant is the bucket for items submitted without a tenant.
+const DefaultTenant = "default"
+
+// Item is one queued unit of work. Payload carries the caller's job;
+// the queue never inspects it. Cost is the item's size in scheduler
+// cost units (frames, pixels — the weighted-fair policy divides it by
+// the tenant's weight); zero is treated as 1.
+type Item struct {
+	ID       string
+	Tenant   string
+	Priority int
+	Seq      int // global submission order, the FIFO tiebreak
+	Cost     float64
+	Payload  any
+
+	index int // heap slot within the tenant bucket, -1 when off-queue
+}
+
+// Config bounds a queue.
+type Config struct {
+	// Cap bounds the total queued items across all tenants; <= 0 means
+	// unlimited.
+	Cap int
+	// MaxPerTenant bounds one tenant's queued items; <= 0 means
+	// unlimited.
+	MaxPerTenant int
+	// Allowed, when non-nil, is the tenant allow list: pushes from
+	// tenants outside it fail with ErrUnknownTenant. Nil admits any
+	// tenant.
+	Allowed map[string]bool
+}
+
+// Q is a multi-tenant admission-controlled queue.
+type Q struct {
+	mu      sync.Mutex
+	cfg     Config
+	buckets map[string]*bucket
+	total   int
+}
+
+// bucket is one tenant's priority heap.
+type bucket struct {
+	tenant string
+	items  []*Item
+}
+
+// New returns an empty queue.
+func New(cfg Config) *Q {
+	return &Q{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// Tenant canonicalizes an item's tenant ("" becomes DefaultTenant).
+func Tenant(t string) string {
+	if t == "" {
+		return DefaultTenant
+	}
+	return t
+}
+
+// Push admits an item or rejects it with a typed error. The item's
+// Tenant is canonicalized in place.
+func (q *Q) Push(it *Item) error {
+	it.Tenant = Tenant(it.Tenant)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.cfg.Allowed != nil && !q.cfg.Allowed[it.Tenant] {
+		return fmt.Errorf("queue: %w %q", ErrUnknownTenant, it.Tenant)
+	}
+	if q.cfg.Cap > 0 && q.total >= q.cfg.Cap {
+		return fmt.Errorf("queue: %w (%d items)", ErrFull, q.total)
+	}
+	b := q.buckets[it.Tenant]
+	if q.cfg.MaxPerTenant > 0 && b != nil && len(b.items) >= q.cfg.MaxPerTenant {
+		return fmt.Errorf("queue: %w (tenant %q, %d items)", ErrTenantQuota, it.Tenant, len(b.items))
+	}
+	if b == nil {
+		b = &bucket{tenant: it.Tenant}
+		q.buckets[it.Tenant] = b
+	}
+	heap.Push(b, it)
+	q.total++
+	return nil
+}
+
+// Peek returns the tenant's best item (highest priority, then lowest
+// seq) without removing it, or nil when the tenant has nothing queued.
+func (q *Q) Peek(tenant string) *Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if b := q.buckets[Tenant(tenant)]; b != nil && len(b.items) > 0 {
+		return b.items[0]
+	}
+	return nil
+}
+
+// Pop removes and returns the tenant's best item, or nil.
+func (q *Q) Pop(tenant string) *Item {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[Tenant(tenant)]
+	if b == nil || len(b.items) == 0 {
+		return nil
+	}
+	it := heap.Pop(b).(*Item)
+	q.total--
+	if len(b.items) == 0 {
+		delete(q.buckets, b.tenant)
+	}
+	return it
+}
+
+// Remove takes a specific item off the queue (a cancellation),
+// reporting whether it was queued.
+func (q *Q) Remove(it *Item) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[Tenant(it.Tenant)]
+	if b == nil || it.index < 0 || it.index >= len(b.items) || b.items[it.index] != it {
+		return false
+	}
+	heap.Remove(b, it.index)
+	q.total--
+	if len(b.items) == 0 {
+		delete(q.buckets, b.tenant)
+	}
+	return true
+}
+
+// Len is the total queued items across tenants.
+func (q *Q) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}
+
+// Depth is one tenant's queued-item count.
+func (q *Q) Depth(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if b := q.buckets[Tenant(tenant)]; b != nil {
+		return len(b.items)
+	}
+	return 0
+}
+
+// Depths snapshots every tenant's queued-item count (tenants with
+// nothing queued are absent).
+func (q *Q) Depths() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.buckets))
+	for t, b := range q.buckets {
+		out[t] = len(b.items)
+	}
+	return out
+}
+
+// Tenants lists the tenants with queued work, sorted for deterministic
+// iteration by policies and metrics.
+func (q *Q) Tenants() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, 0, len(q.buckets))
+	for t := range q.buckets {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bucket implements heap.Interface: priority desc, then seq asc.
+func (b *bucket) Len() int { return len(b.items) }
+func (b *bucket) Less(i, j int) bool {
+	if b.items[i].Priority != b.items[j].Priority {
+		return b.items[i].Priority > b.items[j].Priority
+	}
+	return b.items[i].Seq < b.items[j].Seq
+}
+func (b *bucket) Swap(i, j int) {
+	b.items[i], b.items[j] = b.items[j], b.items[i]
+	b.items[i].index = i
+	b.items[j].index = j
+}
+func (b *bucket) Push(x any) {
+	it := x.(*Item)
+	it.index = len(b.items)
+	b.items = append(b.items, it)
+}
+func (b *bucket) Pop() any {
+	old := b.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	b.items = old[:n-1]
+	return it
+}

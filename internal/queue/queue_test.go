@@ -1,0 +1,128 @@
+package queue
+
+import (
+	"errors"
+	"testing"
+)
+
+func item(tenant string, pri, seq int) *Item {
+	return &Item{ID: "i", Tenant: tenant, Priority: pri, Seq: seq, index: -1}
+}
+
+// TestOrderingWithinTenant: priority desc, then seq asc — the same
+// ordering the pre-split service used globally.
+func TestOrderingWithinTenant(t *testing.T) {
+	q := New(Config{})
+	for _, it := range []*Item{item("a", 0, 1), item("a", 5, 2), item("a", 0, 0), item("a", 5, 3)} {
+		if err := q.Push(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var seqs []int
+	for it := q.Pop("a"); it != nil; it = q.Pop("a") {
+		seqs = append(seqs, it.Seq)
+	}
+	want := []int{2, 3, 0, 1}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", seqs, want)
+		}
+	}
+}
+
+// TestAdmissionControl pins each typed rejection.
+func TestAdmissionControl(t *testing.T) {
+	q := New(Config{Cap: 3, MaxPerTenant: 2, Allowed: map[string]bool{"a": true, "b": true}})
+
+	if err := q.Push(item("c", 0, 0)); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant err = %v", err)
+	}
+	if err := q.Push(item("a", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(item("a", 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(item("a", 0, 3)); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("tenant quota err = %v", err)
+	}
+	if err := q.Push(item("b", 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(item("b", 0, 5)); !errors.Is(err, ErrFull) {
+		t.Fatalf("full err = %v", err)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d, want 3", q.Len())
+	}
+	if d := q.Depth("a"); d != 2 {
+		t.Fatalf("depth(a) = %d, want 2", d)
+	}
+}
+
+// TestDefaultTenantCanonicalized: empty tenant lands in the default
+// bucket.
+func TestDefaultTenantCanonicalized(t *testing.T) {
+	q := New(Config{})
+	it := item("", 0, 0)
+	if err := q.Push(it); err != nil {
+		t.Fatal(err)
+	}
+	if it.Tenant != DefaultTenant {
+		t.Fatalf("tenant = %q, want %q", it.Tenant, DefaultTenant)
+	}
+	if got := q.Pop(""); got != it {
+		t.Fatal("pop(\"\") did not return the default-tenant item")
+	}
+}
+
+// TestRemoveCancelsQueuedItem: Remove takes a mid-heap item out and
+// frees its quota slot.
+func TestRemoveCancelsQueuedItem(t *testing.T) {
+	q := New(Config{MaxPerTenant: 2})
+	a, b := item("t", 0, 0), item("t", 0, 1)
+	if err := q.Push(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(b); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Remove(b) {
+		t.Fatal("remove returned false for a queued item")
+	}
+	if q.Remove(b) {
+		t.Fatal("second remove returned true")
+	}
+	if err := q.Push(item("t", 0, 2)); err != nil {
+		t.Fatalf("push after remove should fit in quota: %v", err)
+	}
+	if got := q.Pop("t"); got != a {
+		t.Fatalf("pop = %+v, want item a", got)
+	}
+}
+
+// TestTenantsAndDepthsSnapshot: bookkeeping views stay consistent as
+// buckets empty out.
+func TestTenantsAndDepthsSnapshot(t *testing.T) {
+	q := New(Config{})
+	for i, tn := range []string{"b", "a", "b"} {
+		if err := q.Push(item(tn, 0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := q.Tenants()
+	if len(ts) != 2 || ts[0] != "a" || ts[1] != "b" {
+		t.Fatalf("tenants = %v", ts)
+	}
+	d := q.Depths()
+	if d["a"] != 1 || d["b"] != 2 {
+		t.Fatalf("depths = %v", d)
+	}
+	q.Pop("a")
+	if got := q.Tenants(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("tenants after draining a = %v", got)
+	}
+	if q.Peek("a") != nil {
+		t.Fatal("peek on drained tenant not nil")
+	}
+}

@@ -1,0 +1,222 @@
+// Package sched picks which queued job runs next. It separates the two
+// decisions the pre-split service fused into one heap pop: *whether* a
+// job may start (bounded concurrency, drain state — the Scheduler) and
+// *which* tenant's job it is (the pluggable Policy).
+//
+// Three policies ship:
+//
+//   - "priority": the tenant whose head item has the highest priority
+//     (then lowest sequence) — exactly the pre-split global ordering, and
+//     the default.
+//   - "fifo": the tenant whose head item was submitted first; priorities
+//     still order jobs within a tenant.
+//   - "fair": weighted fair queuing across tenants by stride scheduling —
+//     each tenant carries a virtual time advanced by cost/weight on every
+//     dispatch, and the lowest virtual time runs next. A flood of jobs
+//     from one tenant cannot starve another: the flooder's virtual time
+//     races ahead and everyone else interleaves in proportion to their
+//     weights.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"nowrender/internal/queue"
+)
+
+// Policy picks the next item to dispatch from a multi-tenant queue.
+// Implementations may keep cross-call state (the fair policy's virtual
+// clocks); the Scheduler serializes calls.
+type Policy interface {
+	Name() string
+	// Next removes and returns the item to run next, or nil when the
+	// queue is empty.
+	Next(q *queue.Q) *queue.Item
+}
+
+// NewPolicy maps a policy name to an implementation. weights applies to
+// "fair" only: per-tenant dispatch weight, default 1 for absent tenants.
+func NewPolicy(name string, weights map[string]float64) (Policy, error) {
+	switch name {
+	case "", "priority":
+		return priorityPolicy{}, nil
+	case "fifo":
+		return fifoPolicy{}, nil
+	case "fair":
+		return NewWeightedFair(weights), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}
+
+// priorityPolicy reproduces the pre-split global heap: highest priority
+// across every tenant, submission order as the tiebreak.
+type priorityPolicy struct{}
+
+func (priorityPolicy) Name() string { return "priority" }
+
+func (priorityPolicy) Next(q *queue.Q) *queue.Item {
+	var best *queue.Item
+	for _, t := range q.Tenants() {
+		head := q.Peek(t)
+		if head == nil {
+			continue
+		}
+		if best == nil || head.Priority > best.Priority ||
+			(head.Priority == best.Priority && head.Seq < best.Seq) {
+			best = head
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return q.Pop(best.Tenant)
+}
+
+// fifoPolicy dispatches tenants in arrival order of their head items.
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string { return "fifo" }
+
+func (fifoPolicy) Next(q *queue.Q) *queue.Item {
+	var best *queue.Item
+	for _, t := range q.Tenants() {
+		head := q.Peek(t)
+		if head == nil {
+			continue
+		}
+		if best == nil || head.Seq < best.Seq {
+			best = head
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return q.Pop(best.Tenant)
+}
+
+// WeightedFair is stride scheduling across tenants: dispatching an item
+// of cost c advances its tenant's virtual time by c/weight, and the
+// tenant with the lowest virtual time runs next. A tenant arriving (or
+// returning from idle) starts at the current global virtual time, so it
+// competes fairly from now on instead of claiming a refund for its idle
+// past.
+type WeightedFair struct {
+	weights map[string]float64
+	vtime   map[string]float64
+	global  float64
+}
+
+// NewWeightedFair returns the fair policy; weights maps tenant to
+// dispatch weight (higher = more throughput), defaulting to 1.
+func NewWeightedFair(weights map[string]float64) *WeightedFair {
+	w := make(map[string]float64, len(weights))
+	for t, v := range weights {
+		if v > 0 {
+			w[t] = v
+		}
+	}
+	return &WeightedFair{weights: w, vtime: make(map[string]float64)}
+}
+
+func (p *WeightedFair) Name() string { return "fair" }
+
+func (p *WeightedFair) weight(tenant string) float64 {
+	if w, ok := p.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+func (p *WeightedFair) Next(q *queue.Q) *queue.Item {
+	var (
+		bestTenant string
+		bestHead   *queue.Item
+		bestVt     = math.Inf(1)
+	)
+	for _, t := range q.Tenants() {
+		head := q.Peek(t)
+		if head == nil {
+			continue
+		}
+		vt, seen := p.vtime[t]
+		if !seen || vt < p.global {
+			// New or idle-returning tenant: join at the global clock.
+			vt = p.global
+			p.vtime[t] = vt
+		}
+		if vt < bestVt || (vt == bestVt && head.Seq < bestHead.Seq) {
+			bestTenant, bestHead, bestVt = t, head, vt
+		}
+	}
+	if bestHead == nil {
+		return nil
+	}
+	it := q.Pop(bestTenant)
+	if it == nil {
+		return nil
+	}
+	cost := it.Cost
+	if cost <= 0 {
+		cost = 1
+	}
+	p.global = bestVt
+	p.vtime[bestTenant] = bestVt + cost/p.weight(bestTenant)
+	return it
+}
+
+// Scheduler bounds concurrent dispatches and owns the drain state. It
+// is a passive picker — callers (the service facade, holding their own
+// lock) drive it; it is not itself goroutine-safe.
+type Scheduler struct {
+	policy   Policy
+	max      int
+	running  int
+	draining bool
+}
+
+// New returns a scheduler dispatching at most max concurrent items
+// (max <= 0 means 1) via the given policy.
+func New(policy Policy, max int) *Scheduler {
+	if max <= 0 {
+		max = 1
+	}
+	return &Scheduler{policy: policy, max: max}
+}
+
+// Policy exposes the configured policy (for metrics and logs).
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// TryStart dispatches the next item if a concurrency slot is free,
+// accounting it as running; nil when saturated or the queue is empty.
+// Draining does not stop dispatch: already-admitted work finishes, only
+// admission (the caller's concern) stops.
+func (s *Scheduler) TryStart(q *queue.Q) *queue.Item {
+	if s.running >= s.max {
+		return nil
+	}
+	it := s.policy.Next(q)
+	if it != nil {
+		s.running++
+	}
+	return it
+}
+
+// Finish returns a concurrency slot.
+func (s *Scheduler) Finish() {
+	if s.running > 0 {
+		s.running--
+	}
+}
+
+// Running is the number of dispatched-and-unfinished items.
+func (s *Scheduler) Running() int { return s.running }
+
+// MaxConcurrent is the concurrency bound.
+func (s *Scheduler) MaxConcurrent() int { return s.max }
+
+// Drain marks the scheduler draining; Draining reports it. The flag is
+// bookkeeping for the owner (reject new admissions, finish the rest).
+func (s *Scheduler) Drain()         { s.draining = true }
+func (s *Scheduler) Draining() bool { return s.draining }

@@ -226,10 +226,17 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			timings = append(timings, t)
 		}
 	}
-	queueDepth := len(s.queue)
-	running := s.running
+	queueDepth := s.queue.Len()
+	tenantDepths := s.queue.Depths()
+	running := s.sched.Running()
 	framesRendered := s.framesRendered
 	framesCached := s.framesCached
+	coalescedFrames := s.coalescedFrames
+	coalescedJobs := s.coalescedJobs
+	rejected := make(map[string]uint64, len(s.rejected))
+	for r, n := range s.rejected {
+		rejected[r] = n
+	}
 	totalRays := s.rays.Total()
 	faults := s.faults
 	wire := s.wire
@@ -240,6 +247,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	uptime := time.Since(s.started).Seconds()
 	s.mu.Unlock()
+	fs := s.pool.Stats()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
@@ -247,6 +255,19 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP nowrender_queue_depth Jobs queued and not yet running.")
 	p("# TYPE nowrender_queue_depth gauge")
 	p("nowrender_queue_depth %d", queueDepth)
+	tenants := make([]string, 0, len(tenantDepths))
+	for t := range tenantDepths {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		p("nowrender_queue_depth{tenant=%q} %d", t, tenantDepths[t])
+	}
+	p("# HELP nowrender_jobs_rejected_total Submissions refused by admission control, by reason.")
+	p("# TYPE nowrender_jobs_rejected_total counter")
+	for _, reason := range []string{RejectQueueFull, RejectTenantQuota, RejectUnknownTenant, RejectDraining} {
+		p("nowrender_jobs_rejected_total{reason=%q} %d", reason, rejected[reason])
+	}
 	p("# HELP nowrender_jobs_running Jobs currently running.")
 	p("# TYPE nowrender_jobs_running gauge")
 	p("nowrender_jobs_running %d", running)
@@ -277,6 +298,29 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP nowrender_cache_entries Frames currently cached.")
 	p("# TYPE nowrender_cache_entries gauge")
 	p("nowrender_cache_entries %d", cs.Entries)
+	p("# HELP nowrender_cache_inflight Frame renders currently in flight (coalescing targets).")
+	p("# TYPE nowrender_cache_inflight gauge")
+	p("nowrender_cache_inflight %d", cs.InFlight)
+
+	p("# HELP nowrender_coalesced_frames_total Frame requests that joined another job's in-flight render instead of rendering.")
+	p("# TYPE nowrender_coalesced_frames_total counter")
+	p("nowrender_coalesced_frames_total %d", coalescedFrames)
+	p("# HELP nowrender_coalesced_jobs_total Jobs that received at least one frame from another job's in-flight render.")
+	p("# TYPE nowrender_coalesced_jobs_total counter")
+	p("nowrender_coalesced_jobs_total %d", coalescedJobs)
+
+	p("# HELP nowrender_fleet_capacity Worker slots in the fleet pool (-1 = unlimited).")
+	p("# TYPE nowrender_fleet_capacity gauge")
+	p("nowrender_fleet_capacity %d", fs.Capacity)
+	p("# HELP nowrender_fleet_leased Worker slots currently leased to farm runs.")
+	p("# TYPE nowrender_fleet_leased gauge")
+	p("nowrender_fleet_leased %d", fs.Leased)
+	p("# HELP nowrender_fleet_leases_total Leases granted since start.")
+	p("# TYPE nowrender_fleet_leases_total counter")
+	p("nowrender_fleet_leases_total %d", fs.Leases)
+	p("# HELP nowrender_fleet_lease_waits_total Lease requests that had to wait for capacity.")
+	p("# TYPE nowrender_fleet_lease_waits_total counter")
+	p("nowrender_fleet_lease_waits_total %d", fs.Waits)
 
 	p("# HELP nowrender_frames_rendered_total Frames rendered by the farm.")
 	p("# TYPE nowrender_frames_rendered_total counter")

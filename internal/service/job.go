@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"nowrender/internal/fb"
+	"nowrender/internal/framecache"
+	"nowrender/internal/queue"
 	"nowrender/internal/scene"
 	"nowrender/internal/scenes"
 	"nowrender/internal/sdl"
@@ -71,6 +73,11 @@ type JobSpec struct {
 	// RetryBackoffMS is the delay before the first retry, doubled each
 	// further attempt. 0 retries immediately.
 	RetryBackoffMS int `json:"retry_backoff_ms,omitempty"`
+	// Tenant names who this job belongs to, for per-tenant quotas and
+	// fair scheduling; empty canonicalises to "default". Deliberately
+	// NOT part of the cache address: identical requests from different
+	// tenants share cached frames and coalesce onto one render.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Status is the externally visible snapshot of a job, the JSON body of
@@ -85,6 +92,10 @@ type Status struct {
 	FramesDone  int `json:"frames_done"`
 	// CacheHits counts frames served from the content-addressed cache.
 	CacheHits int `json:"cache_hits"`
+	// CoalescedFrames counts frames this job received from another
+	// job's in-flight render instead of rendering (or re-rendering)
+	// them itself.
+	CoalescedFrames int `json:"coalesced_frames,omitempty"`
 	// RaysTraced counts rays actually traced for this job; a fully
 	// cache-served job reports zero.
 	RaysTraced uint64 `json:"rays_traced"`
@@ -138,6 +149,9 @@ type Event struct {
 	// frame cache instead of being rendered.
 	Frame  int  `json:"frame"`
 	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a frame delivered by another job's in-flight
+	// render (neither rendered by this job nor a cache hit).
+	Coalesced bool `json:"coalesced,omitempty"`
 	// Progress counters at the time of the event.
 	FramesDone  int    `json:"frames_done"`
 	FramesTotal int    `json:"frames_total"`
@@ -152,20 +166,35 @@ type job struct {
 	spec   JobSpec
 	scene  *scene.Scene
 	source string // canonical scene text (cache address component)
-	key    seqKey
+	key    framecache.SeqKey
 
 	state     State
 	err       error
 	frames    []*fb.Framebuffer // index = frame - spec.StartFrame
 	done      int
 	cacheHits int
+	coalesced int
 	attempts  int
 	rays      stats.RayCounters
 	faults    stats.FaultCounters
 	wire      stats.WireStats
+	// led marks the absolute frames this job currently leads the
+	// in-flight cache flight for: it must either Put (via OnFrame) or
+	// Abort (at its terminal state) every one of them.
+	led map[int]bool
+	// item is the job's queue entry while queued (Cancel removes it).
+	item *queue.Item
 	// timeline accumulates the merged cluster timeline of the job's farm
 	// runs (Config.Timeline on); nil otherwise.
 	timeline *timeline.Timeline
+	// rec/schedTrack record the service-level scheduling events
+	// (enqueue, admit, lease, coalesce, drain) when Config.Timeline is
+	// on; the track merges into timeline at the terminal state. All
+	// appends happen under the service mutex — the recorder's
+	// single-writer-per-track rule holds.
+	rec        *timeline.Recorder
+	schedTrack *timeline.Track
+	enqueuedAt int64
 
 	submitted, started, finished time.Time
 
@@ -173,8 +202,6 @@ type job struct {
 	cancel context.CancelFunc
 	// finishedCh closes when the job reaches a terminal state.
 	finishedCh chan struct{}
-	// heapIndex tracks the job's slot in the queue heap (-1 off-queue).
-	heapIndex int
 
 	subs []chan Event
 }
@@ -184,7 +211,8 @@ func (j *job) status() Status {
 	st := Status{
 		ID: j.id, State: j.state, Spec: j.spec,
 		FramesTotal: len(j.frames), FramesDone: j.done,
-		CacheHits: j.cacheHits, RaysTraced: j.rays.Total(),
+		CacheHits: j.cacheHits, CoalescedFrames: j.coalesced,
+		RaysTraced:  j.rays.Total(),
 		Attempts:    j.attempts,
 		WorkersLost: j.faults.WorkersLost, FramesRequeued: j.faults.FramesRequeued,
 		WireFramesFull: j.wire.FramesFull, WireFramesDelta: j.wire.FramesDelta,
@@ -193,7 +221,7 @@ func (j *job) status() Status {
 		WireSinkIngressBytes:   j.wire.SinkIngressBytes,
 		WireFramesAcked:        j.wire.FramesAcked,
 		WireBaseMisses:         j.wire.DeltaBaseMisses,
-		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		Submitted:              j.submitted, Started: j.started, Finished: j.finished,
 	}
 	if len(j.wire.BaseMissByWorker) > 0 {
 		st.WireBaseMissByWorker = make(map[string]uint64, len(j.wire.BaseMissByWorker))
@@ -233,35 +261,4 @@ func resolveScene(src string) (*scene.Scene, string, error) {
 		return nil, "", err
 	}
 	return sc, src, nil
-}
-
-// jobHeap orders queued jobs by priority (higher first), then submission
-// order. It implements container/heap.Interface.
-type jobHeap []*job
-
-func (h jobHeap) Len() int { return len(h) }
-func (h jobHeap) Less(i, j int) bool {
-	if h[i].spec.Priority != h[j].spec.Priority {
-		return h[i].spec.Priority > h[j].spec.Priority
-	}
-	return h[i].seq < h[j].seq
-}
-func (h jobHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIndex = i
-	h[j].heapIndex = j
-}
-func (h *jobHeap) Push(x any) {
-	j := x.(*job)
-	j.heapIndex = len(*h)
-	*h = append(*h, j)
-}
-func (h *jobHeap) Pop() any {
-	old := *h
-	n := len(old)
-	j := old[n-1]
-	old[n-1] = nil
-	j.heapIndex = -1
-	*h = old[:n-1]
-	return j
 }

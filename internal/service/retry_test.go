@@ -10,163 +10,7 @@ import (
 
 	"nowrender/internal/farm"
 	"nowrender/internal/faulty"
-	"nowrender/internal/fb"
 )
-
-// --- frame-cache eviction and TTL ---------------------------------------
-
-// TestCacheEvictionTable drives put/get sequences against a 3-frame
-// budget and checks exactly which entries survive: eviction is LRU and a
-// get refreshes recency.
-func TestCacheEvictionTable(t *testing.T) {
-	const side = 32
-	frameBytes := int64(side * side * 3)
-	type op struct {
-		kind  string // "put" | "get"
-		frame int
-	}
-	cases := []struct {
-		name          string
-		budget        int64
-		ops           []op
-		wantPresent   []int
-		wantAbsent    []int
-		wantEvictions uint64
-	}{
-		{
-			name:        "lru-evicts-oldest",
-			budget:      3 * frameBytes,
-			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
-			wantPresent: []int{2, 3, 4}, wantAbsent: []int{0, 1},
-			wantEvictions: 2,
-		},
-		{
-			name:        "get-refreshes-recency",
-			budget:      3 * frameBytes,
-			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"get", 0}, {"put", 3}},
-			wantPresent: []int{0, 2, 3}, wantAbsent: []int{1},
-			wantEvictions: 1,
-		},
-		{
-			name:        "duplicate-put-refreshes-not-grows",
-			budget:      3 * frameBytes,
-			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 0}, {"put", 3}},
-			wantPresent: []int{0, 2, 3}, wantAbsent: []int{1},
-			wantEvictions: 1,
-		},
-		{
-			name:        "frame-larger-than-budget-not-cached",
-			budget:      frameBytes - 1,
-			ops:         []op{{"put", 0}},
-			wantPresent: nil, wantAbsent: []int{0},
-			wantEvictions: 0,
-		},
-		{
-			name:        "unlimited-budget-keeps-all",
-			budget:      0,
-			ops:         []op{{"put", 0}, {"put", 1}, {"put", 2}, {"put", 3}, {"put", 4}},
-			wantPresent: []int{0, 1, 2, 3, 4}, wantAbsent: nil,
-			wantEvictions: 0,
-		},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			c := NewFrameCache(tc.budget)
-			k := newSeqKey("scene", side, side, 1)
-			for _, o := range tc.ops {
-				switch o.kind {
-				case "put":
-					c.put(frameKey{seq: k, frame: o.frame}, fb.New(side, side))
-				case "get":
-					c.get(frameKey{seq: k, frame: o.frame})
-				}
-			}
-			for _, f := range tc.wantPresent {
-				if _, ok := c.get(frameKey{seq: k, frame: f}); !ok {
-					t.Errorf("frame %d missing", f)
-				}
-			}
-			for _, f := range tc.wantAbsent {
-				if _, ok := c.get(frameKey{seq: k, frame: f}); ok {
-					t.Errorf("frame %d unexpectedly present", f)
-				}
-			}
-			cs := c.Stats()
-			if cs.Evictions != tc.wantEvictions {
-				t.Errorf("evictions = %d, want %d", cs.Evictions, tc.wantEvictions)
-			}
-			if tc.budget > 0 && cs.Bytes > tc.budget {
-				t.Errorf("cache holds %d bytes over budget %d", cs.Bytes, tc.budget)
-			}
-		})
-	}
-}
-
-// TestCacheTTLTable pins the lazy-expiry clockwork with an injected
-// clock: entries serve until their deadline passes strictly, a stale hit
-// counts as an expiry plus a miss, and re-putting a key pushes its
-// deadline out.
-func TestCacheTTLTable(t *testing.T) {
-	base := time.Unix(1_700_000_000, 0)
-	cases := []struct {
-		name    string
-		ttl     time.Duration
-		advance time.Duration
-		wantHit bool
-	}{
-		{"no-ttl-never-expires", 0, 1000 * time.Hour, true},
-		{"fresh-within-ttl", time.Minute, 59 * time.Second, true},
-		{"exactly-at-deadline-still-served", time.Minute, time.Minute, true},
-		{"stale-past-deadline", time.Minute, time.Minute + time.Second, false},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			c := NewFrameCacheTTL(0, tc.ttl)
-			now := base
-			c.now = func() time.Time { return now }
-			k := frameKey{seq: newSeqKey("s", 8, 8, 1), frame: 0}
-			c.put(k, fb.New(8, 8))
-			now = base.Add(tc.advance)
-			_, ok := c.get(k)
-			if ok != tc.wantHit {
-				t.Fatalf("hit = %v, want %v", ok, tc.wantHit)
-			}
-			cs := c.Stats()
-			if tc.wantHit {
-				if cs.Expired != 0 || cs.Entries != 1 {
-					t.Errorf("expired=%d entries=%d, want 0/1", cs.Expired, cs.Entries)
-				}
-			} else {
-				// A stale entry is dropped, counted, and its bytes freed.
-				if cs.Expired != 1 || cs.Misses != 1 || cs.Entries != 0 || cs.Bytes != 0 {
-					t.Errorf("expired=%d misses=%d entries=%d bytes=%d, want 1/1/0/0",
-						cs.Expired, cs.Misses, cs.Entries, cs.Bytes)
-				}
-			}
-		})
-	}
-}
-
-// TestCacheTTLRefreshOnReput: re-producing a cached frame pushes its
-// expiry out from the new production time.
-func TestCacheTTLRefreshOnReput(t *testing.T) {
-	base := time.Unix(1_700_000_000, 0)
-	c := NewFrameCacheTTL(0, time.Minute)
-	now := base
-	c.now = func() time.Time { return now }
-	k := frameKey{seq: newSeqKey("s", 8, 8, 1), frame: 0}
-	c.put(k, fb.New(8, 8))
-	now = base.Add(40 * time.Second)
-	c.put(k, fb.New(8, 8)) // refresh: new deadline is t+40s+60s
-	now = base.Add(90 * time.Second)
-	if _, ok := c.get(k); !ok {
-		t.Fatal("refreshed entry expired on the original deadline")
-	}
-	now = base.Add(101 * time.Second)
-	if _, ok := c.get(k); ok {
-		t.Fatal("entry survived past its refreshed deadline")
-	}
-}
 
 // --- job retry over farm failures ----------------------------------------
 

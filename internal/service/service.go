@@ -1,20 +1,27 @@
-// Package service turns the one-shot master/worker farm into a
-// long-lived render service: a job manager with a priority FIFO queue
-// and bounded concurrency, a scheduler that drives each job through the
-// existing farm drivers, a content-addressed frame cache that serves
-// repeated or overlapping requests without re-rendering, and an HTTP
-// API (http.go) for submission, progress streaming, frame download and
-// Prometheus metrics.
+// Package service is the thin facade of the long-lived render service:
+// it owns job lifecycle (states, events, SSE fan-out) and the HTTP API
+// (http.go), and wires together the four subsystems the former
+// monolith has been split into:
+//
+//   - internal/queue: multi-tenant admission-controlled priority queues
+//     (global cap, per-tenant quotas, tenant allow list);
+//   - internal/sched: the bounded-concurrency scheduler with a pluggable
+//     cross-tenant policy (priority, fifo, weighted-fair);
+//   - internal/fleet: the leasable worker pool over the farm drivers
+//     (capacity accounting, live join/leave);
+//   - internal/framecache: the content-addressed frame cache with
+//     in-flight request coalescing — two tenants rendering the same
+//     scene+frame concurrently cost exactly one render.
 //
 // This is the subsystem the paper's §5 "production use" direction asks
 // for: the farm renders one animation as fast as the NOW allows; the
 // service accepts, schedules, caches and streams many such animations
-// concurrently.
+// concurrently, for many tenants, without re-rendering anything twice.
 package service
 
 import (
-	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -24,9 +31,13 @@ import (
 	"nowrender/internal/cluster"
 	"nowrender/internal/farm"
 	"nowrender/internal/fb"
+	"nowrender/internal/fleet"
+	"nowrender/internal/framecache"
 	"nowrender/internal/msg"
 	"nowrender/internal/partition"
+	"nowrender/internal/queue"
 	"nowrender/internal/scene"
+	"nowrender/internal/sched"
 	"nowrender/internal/stats"
 	"nowrender/internal/timeline"
 )
@@ -38,6 +49,23 @@ type Config struct {
 	// QueueCap bounds queued-but-not-running jobs; Submit fails once the
 	// queue is full. Default 256.
 	QueueCap int
+	// MaxQueuedPerTenant bounds one tenant's queued jobs (admission
+	// control): a tenant at its quota is rejected without touching
+	// other tenants' headroom. 0 = unlimited.
+	MaxQueuedPerTenant int
+	// Tenants, when non-nil, is the tenant allow list with per-tenant
+	// fair-scheduling weights (weight <= 0 reads as 1): jobs from
+	// tenants outside it are rejected. Nil admits any tenant at weight
+	// 1.
+	Tenants map[string]float64
+	// Policy picks the cross-tenant scheduling policy: "priority"
+	// (default; the pre-split behavior — priority, then submission
+	// order), "fifo", or "fair" (weighted fair queuing across tenants).
+	Policy string
+	// FleetCapacity bounds the worker slots farm runs may lease
+	// concurrently from the shared pool; 0 = unlimited (every run gets
+	// the workers it asks for).
+	FleetCapacity int
 	// CacheBytes is the frame cache's pixel-byte budget. 0 selects the
 	// default 64 MiB; negative disables caching.
 	CacheBytes int64
@@ -85,10 +113,11 @@ type Config struct {
 	// accounting.
 	DFBSinks int
 	// Timeline records every farm run into a per-job cluster timeline
-	// (master scheduling events plus offset-corrected worker spans),
-	// served as Chrome trace JSON on GET /jobs/{id}/timeline. Off by
-	// default: each running job then costs nothing but a nil check per
-	// instrumentation site.
+	// (master scheduling events plus offset-corrected worker spans, plus
+	// a "sched" track of service-level enqueue/admit/lease/coalesce/
+	// drain events), served as Chrome trace JSON on GET
+	// /jobs/{id}/timeline. Off by default: each running job then costs
+	// nothing but a nil check per instrumentation site.
 	Timeline bool
 }
 
@@ -114,50 +143,93 @@ func (c *Config) defaults() {
 	if c.MaxJobRetries <= 0 {
 		c.MaxJobRetries = 5
 	}
+	if c.Policy == "" {
+		c.Policy = "priority"
+	}
 }
 
-// Service is a long-lived render-job service over the farm drivers.
-// Create with New, serve its Handler, and Close on shutdown.
+// Rejection reasons counted for nowrender_jobs_rejected_total.
+const (
+	RejectQueueFull     = "queue_full"
+	RejectTenantQuota   = "tenant_quota"
+	RejectUnknownTenant = "unknown_tenant"
+	RejectDraining      = "draining"
+)
+
+// Service is a long-lived render-job service wiring the queue, the
+// scheduler, the fleet pool and the frame cache together behind the
+// HTTP API. Create with New, serve its Handler, and Close on shutdown
+// (or Drain for a graceful one).
 type Service struct {
 	cfg   Config
-	cache *FrameCache
+	cache *framecache.Cache
+	queue *queue.Q
+	pool  *fleet.Pool
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	order   []string // submission order, for listings
-	queue   jobHeap
-	running int
-	nextSeq int
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	sched    *sched.Scheduler // passive; driven under mu
+	jobs     map[string]*job
+	order    []string // submission order, for listings
+	nextSeq  int
+	closed   bool
+	draining bool
+	wg       sync.WaitGroup
 
 	// Aggregate counters for /metrics.
-	framesRendered uint64
-	framesCached   uint64
-	rays           stats.RayCounters
-	workerBusy     map[string]time.Duration
-	faults         stats.FaultCounters
-	wire           stats.WireStats
-	jobRetries     uint64
-	started        time.Time
+	framesRendered  uint64
+	framesCached    uint64
+	coalescedFrames uint64
+	coalescedJobs   uint64
+	rejected        map[string]uint64
+	rays            stats.RayCounters
+	workerBusy      map[string]time.Duration
+	faults          stats.FaultCounters
+	wire            stats.WireStats
+	jobRetries      uint64
+	started         time.Time
 }
 
 // New returns a ready service. No background goroutines run until jobs
-// are submitted.
+// are submitted. An unknown Config.Policy panics — it is a programming
+// error (cmd/nowserve only produces valid names).
 func New(cfg Config) *Service {
 	cfg.defaults()
+	policy, err := sched.NewPolicy(cfg.Policy, cfg.Tenants)
+	if err != nil {
+		panic("service: " + err.Error())
+	}
+	var allowed map[string]bool
+	if cfg.Tenants != nil {
+		allowed = make(map[string]bool, len(cfg.Tenants))
+		for t := range cfg.Tenants {
+			allowed[queue.Tenant(t)] = true
+		}
+	}
 	return &Service{
-		cfg:        cfg,
-		cache:      NewFrameCacheTTL(cfg.CacheBytes, cfg.CacheTTL),
+		cfg:   cfg,
+		cache: framecache.NewTTL(cfg.CacheBytes, cfg.CacheTTL),
+		queue: queue.New(queue.Config{
+			Cap:          cfg.QueueCap,
+			MaxPerTenant: cfg.MaxQueuedPerTenant,
+			Allowed:      allowed,
+		}),
+		pool:       fleet.NewPool(cfg.FleetCapacity),
+		sched:      sched.New(policy, cfg.MaxConcurrent),
 		jobs:       make(map[string]*job),
+		rejected:   make(map[string]uint64),
 		workerBusy: make(map[string]time.Duration),
 		started:    time.Now(),
 	}
 }
 
+// Pool exposes the fleet pool so operators (and tests) can join or
+// remove capacity while the service runs.
+func (s *Service) Pool() *fleet.Pool { return s.pool }
+
 // normalize validates and defaults a spec against the scene it resolved
 // to.
 func (s *Service) normalize(spec *JobSpec, frames int) error {
+	spec.Tenant = queue.Tenant(spec.Tenant)
 	if spec.W == 0 && spec.H == 0 {
 		spec.W, spec.H = 240, 320
 	}
@@ -220,8 +292,29 @@ func schemeByName(name string) (partition.Scheme, error) {
 	}
 }
 
-// Submit validates spec, parses its scene, and enqueues the job. It
-// returns the queued job's status; rendering proceeds asynchronously.
+// rejectLocked counts a rejected submission by reason; callers hold
+// s.mu.
+func (s *Service) rejectLocked(reason string) {
+	s.rejected[reason]++
+}
+
+// rejectReason maps a queue admission error onto its metrics reason.
+func rejectReason(err error) string {
+	switch {
+	case errors.Is(err, queue.ErrFull):
+		return RejectQueueFull
+	case errors.Is(err, queue.ErrTenantQuota):
+		return RejectTenantQuota
+	case errors.Is(err, queue.ErrUnknownTenant):
+		return RejectUnknownTenant
+	}
+	return "other"
+}
+
+// Submit validates spec, parses its scene, and enqueues the job
+// subject to admission control (queue capacity, per-tenant quota,
+// tenant allow list). It returns the queued job's status; rendering
+// proceeds asynchronously.
 func (s *Service) Submit(spec JobSpec) (Status, error) {
 	sc, source, err := resolveScene(spec.Scene)
 	if err != nil {
@@ -236,8 +329,9 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 	if s.closed {
 		return Status{}, fmt.Errorf("service: closed")
 	}
-	if len(s.queue) >= s.cfg.QueueCap {
-		return Status{}, fmt.Errorf("service: queue full (%d jobs)", len(s.queue))
+	if s.draining {
+		s.rejectLocked(RejectDraining)
+		return Status{}, fmt.Errorf("service: draining, not accepting jobs")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
@@ -246,43 +340,72 @@ func (s *Service) Submit(spec JobSpec) (Status, error) {
 		spec:       spec,
 		scene:      sc,
 		source:     source,
-		key:        newSeqKey(source, spec.W, spec.H, spec.Samples),
+		key:        framecache.NewSeqKey(source, spec.W, spec.H, spec.Samples),
 		state:      StateQueued,
 		frames:     make([]*fb.Framebuffer, spec.EndFrame-spec.StartFrame),
+		led:        make(map[int]bool),
 		submitted:  time.Now(),
 		ctx:        ctx,
 		cancel:     cancel,
 		finishedCh: make(chan struct{}),
-		heapIndex:  -1,
+	}
+	j.item = &queue.Item{
+		ID:       j.id,
+		Tenant:   spec.Tenant,
+		Priority: spec.Priority,
+		Seq:      j.seq,
+		// Cost in frames: the weighted-fair policy charges big jobs more.
+		Cost:    float64(len(j.frames)),
+		Payload: j,
+	}
+	if err := s.queue.Push(j.item); err != nil {
+		cancel()
+		s.rejectLocked(rejectReason(err))
+		return Status{}, fmt.Errorf("service: %w", err)
 	}
 	s.nextSeq++
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
-	heap.Push(&s.queue, j)
+	if s.cfg.Timeline {
+		j.rec = timeline.New(0)
+		j.schedTrack = j.rec.Track("sched/" + j.id)
+		j.enqueuedAt = j.rec.Now()
+		j.schedTrack.InstantAt(timeline.OpEnqueue, -1, j.enqueuedAt, int64(j.seq))
+	}
 	s.publishLocked(j, Event{Type: "queued"})
 	s.startQueuedLocked()
 	return j.status(), nil
 }
 
-// startQueuedLocked pops queued jobs into runner goroutines while
-// concurrency slots are free. Callers hold s.mu.
+// startQueuedLocked asks the scheduler for dispatchable jobs while
+// concurrency slots are free; the policy decides which tenant's job
+// each slot gets. Callers hold s.mu.
 func (s *Service) startQueuedLocked() {
-	for s.running < s.cfg.MaxConcurrent && len(s.queue) > 0 {
-		j := heap.Pop(&s.queue).(*job)
+	for {
+		it := s.sched.TryStart(s.queue)
+		if it == nil {
+			return
+		}
+		j := it.Payload.(*job)
 		j.state = StateRunning
 		j.started = time.Now()
-		s.running++
+		if j.schedTrack != nil {
+			now := j.rec.Now()
+			j.schedTrack.InstantAt(timeline.OpAdmit, -1, now, int64(j.seq))
+			j.schedTrack.Span(timeline.OpQueueWait, -1, j.enqueuedAt, now, int64(j.seq))
+		}
 		s.publishLocked(j, Event{Type: "started"})
 		s.wg.Add(1)
 		go s.run(j)
 	}
 }
 
-// run executes one job to a terminal state: cache lookups first, then
-// farm runs over the still-missing frame ranges, retried up to the
-// spec's budget. Each attempt resumes, not restarts: frames that reached
-// the job (via OnFrame or the cache) before a failure are kept, so a
-// retried job only re-renders what is actually missing.
+// run executes one job to a terminal state: cache lookups and flight
+// coalescing first, then farm runs over the frames this job leads,
+// retried up to the spec's budget. Each attempt resumes, not restarts:
+// frames that reached the job (via OnFrame, the cache, or a coalesced
+// flight) before a failure are kept, so a retried job only re-renders
+// what is actually missing.
 func (s *Service) run(j *job) {
 	defer s.wg.Done()
 	var err error
@@ -291,6 +414,15 @@ func (s *Service) run(j *job) {
 		j.attempts = attempt + 1
 		s.mu.Unlock()
 		err = s.render(j)
+		if err != nil {
+			// Release the flights this attempt still leads before anything
+			// else — followers (other jobs wanting the same frames) fall
+			// back to rendering them instead of waiting out this job's
+			// backoff. A retry re-acquires: by then a peer may have cached
+			// the frames, be mid-flight (this job follows), or neither
+			// (this job leads again).
+			s.abortLed(j)
+		}
 		if err == nil || j.ctx.Err() != nil || attempt >= j.spec.Retries {
 			break
 		}
@@ -321,62 +453,155 @@ func (s *Service) run(j *job) {
 		j.err = err
 		ev = Event{Type: "failed", Error: err.Error()}
 	}
+	if j.coalesced > 0 {
+		s.coalescedJobs++
+	}
+	if j.rec != nil {
+		s.mergeTimelineLocked(j, j.rec.Snapshot())
+	}
 	s.publishLocked(j, ev)
 	close(j.finishedCh)
 	j.cancel()
-	s.running--
+	s.sched.Finish()
 	s.startQueuedLocked()
 	s.mu.Unlock()
 }
 
-// render fills j.frames from the cache and the farm.
+// abortLed releases every in-flight cache entry the job still leads,
+// waking followers with an empty close so they render (or re-join) the
+// frames themselves. Frames the job delivered are not affected — their
+// flights completed at Put time.
+func (s *Service) abortLed(j *job) {
+	s.mu.Lock()
+	ledKeys := make([]int, 0, len(j.led))
+	for f := range j.led {
+		ledKeys = append(ledKeys, f)
+	}
+	j.led = make(map[int]bool)
+	s.mu.Unlock()
+	for _, f := range ledKeys {
+		s.cache.Abort(framecache.Key{Seq: j.key, Frame: f})
+	}
+}
+
+// frameWait is one coalesced frame this job is waiting on another
+// job's flight for.
+type frameWait struct {
+	frame int
+	ch    <-chan *fb.Framebuffer
+}
+
+// render fills j.frames from the cache, from other jobs' in-flight
+// renders, and from the farm — repeating until every frame is present
+// or the job fails. Most jobs make a single pass; the loop re-enters
+// only when a flight this job followed was aborted (its leader failed
+// or was cancelled), in which case the frames are re-acquired and this
+// job leads them itself.
 func (s *Service) render(j *job) error {
 	spec := j.spec
-
-	// Phase 1: content-addressed cache. Frame coherence lifted to the
-	// service level — repeated and overlapping requests re-render
-	// nothing.
-	missing := make([]bool, len(j.frames))
-	anyMissing := false
-	for f := spec.StartFrame; f < spec.EndFrame; f++ {
-		s.mu.Lock()
-		have := j.frames[f-spec.StartFrame] != nil
-		s.mu.Unlock()
-		if have {
-			// Already on the job (a prior attempt got this far); don't
-			// re-count or re-announce it.
-			continue
-		}
-		if img, ok := s.cache.get(frameKey{seq: j.key, frame: f}); ok {
-			s.mu.Lock()
-			j.frames[f-spec.StartFrame] = img
-			j.done++
-			j.cacheHits++
-			s.framesCached++
-			s.publishLocked(j, Event{Type: "frame", Frame: f, Cached: true})
-			s.mu.Unlock()
-		} else {
-			missing[f-spec.StartFrame] = true
-			anyMissing = true
-		}
-	}
-	if !anyMissing {
-		return nil
-	}
-
-	// Phase 2: group the missing frames into contiguous runs, split at
-	// camera cuts (the coherence engine is only valid within a
-	// camera-stationary sequence), and drive the farm over each run.
-	runs := missingRuns(missing, spec.StartFrame, j.scene)
-	for _, r := range runs {
+	for {
 		if err := j.ctx.Err(); err != nil {
 			return err
 		}
-		if err := s.renderRange(j, r[0], r[1]); err != nil {
-			return err
+
+		// Phase 1: content-addressed cache and flight coalescing. Frame
+		// coherence lifted to the service level — repeated, overlapping
+		// and *concurrent* requests re-render nothing.
+		missing := make([]bool, len(j.frames))
+		var waits []frameWait
+		anyLead, remaining := false, 0
+		for f := spec.StartFrame; f < spec.EndFrame; f++ {
+			idx := f - spec.StartFrame
+			s.mu.Lock()
+			have := j.frames[idx] != nil
+			ledAlready := j.led[f]
+			s.mu.Unlock()
+			if have {
+				// Already on the job (a prior attempt or pass got this
+				// far); don't re-count or re-announce it.
+				continue
+			}
+			remaining++
+			if ledAlready {
+				// A previous attempt registered this job as the frame's
+				// producer; keep leading it rather than following our own
+				// flight.
+				missing[idx] = true
+				anyLead = true
+				continue
+			}
+			img, wait, _ := s.cache.Acquire(framecache.Key{Seq: j.key, Frame: f})
+			switch {
+			case img != nil:
+				s.mu.Lock()
+				j.frames[idx] = img
+				j.done++
+				j.cacheHits++
+				s.framesCached++
+				s.publishLocked(j, Event{Type: "frame", Frame: f, Cached: true})
+				s.mu.Unlock()
+				remaining--
+			case wait != nil:
+				waits = append(waits, frameWait{frame: f, ch: wait})
+				s.mu.Lock()
+				j.schedTrack.Instant(timeline.OpCoalesce, f, int64(j.seq))
+				s.mu.Unlock()
+			default:
+				s.mu.Lock()
+				j.led[f] = true
+				s.mu.Unlock()
+				missing[idx] = true
+				anyLead = true
+			}
+		}
+		if remaining == 0 {
+			return nil
+		}
+
+		// Phase 2: group the frames this job leads into contiguous runs,
+		// split at camera cuts (the coherence engine is only valid within
+		// a camera-stationary sequence), and drive the farm over each run.
+		if anyLead {
+			runs := missingRuns(missing, spec.StartFrame, j.scene)
+			for _, r := range runs {
+				if err := j.ctx.Err(); err != nil {
+					return err
+				}
+				if err := s.renderRange(j, r[0], r[1]); err != nil {
+					return err
+				}
+			}
+		}
+
+		// Phase 3: collect the coalesced frames as their leaders finish
+		// them. A closed-empty channel means the leader aborted — loop
+		// around and acquire the frame again (this job will usually lead
+		// it then).
+		aborted := false
+		for _, fw := range waits {
+			select {
+			case img, ok := <-fw.ch:
+				if !ok || img == nil {
+					aborted = true
+					continue
+				}
+				s.mu.Lock()
+				if j.frames[fw.frame-spec.StartFrame] == nil {
+					j.frames[fw.frame-spec.StartFrame] = img
+					j.done++
+					j.coalesced++
+					s.coalescedFrames++
+					s.publishLocked(j, Event{Type: "frame", Frame: fw.frame, Coalesced: true})
+				}
+				s.mu.Unlock()
+			case <-j.ctx.Done():
+				return j.ctx.Err()
+			}
+		}
+		if !aborted {
+			return nil
 		}
 	}
-	return nil
 }
 
 // missingRuns converts the missing-frame mask (indexed from offset)
@@ -403,19 +628,46 @@ func missingRuns(missing []bool, offset int, sc *scene.Scene) [][2]int {
 	return runs
 }
 
-// renderRange drives one farm run over absolute frames [start, end),
-// streaming each completed frame into the cache and the job.
+// renderRange drives one farm run over absolute frames [start, end):
+// it leases worker slots from the fleet pool, sizes the run to the
+// lease, and streams each completed frame into the cache (completing
+// any coalesced flights) and the job.
 func (s *Service) renderRange(j *job, start, end int) error {
 	scheme, err := schemeByName(j.spec.Scheme)
 	if err != nil {
 		return err
 	}
+	driver, err := s.pool.Driver(j.spec.Driver)
+	if err != nil {
+		return err
+	}
+	want := s.cfg.Workers
+	if j.spec.Driver == "virtual" {
+		want = len(s.cfg.Machines)
+	}
+	lease, err := s.pool.Lease(j.ctx, want)
+	if err != nil {
+		return err
+	}
+	defer lease.Return()
+	s.mu.Lock()
+	j.schedTrack.Instant(timeline.OpLease, start, int64(lease.Slots))
+	s.mu.Unlock()
+
 	var rec *timeline.Recorder
 	if s.cfg.Timeline {
 		// One recorder per farm run; runs merge into the job's timeline
 		// below (each run has its own epoch, which the trace viewer and
 		// analyzer both tolerate — spans never interleave within a track).
 		rec = timeline.New(0)
+	}
+	machines := s.cfg.Machines
+	if lease.Slots < len(machines) {
+		machines = machines[:lease.Slots]
+	}
+	workers := s.cfg.Workers
+	if lease.Slots < workers {
+		workers = lease.Slots
 	}
 	cfg := farm.Config{
 		Scene: j.scene, W: j.spec.W, H: j.spec.H,
@@ -424,8 +676,8 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		Coherence: !j.spec.Plain,
 		Samples:   j.spec.Samples,
 		Threads:   j.spec.Threads,
-		Machines:  s.cfg.Machines,
-		Workers:   s.cfg.Workers,
+		Machines:  machines,
+		Workers:   workers,
 		Ctx:       j.ctx,
 		Heartbeat: s.cfg.Heartbeat, Liveness: s.cfg.Liveness,
 		StallTimeout: s.cfg.StallTimeout,
@@ -440,8 +692,11 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		cfg.DFB = &farm.DFBConfig{Sinks: s.cfg.DFBSinks}
 	}
 	cfg.OnFrame = func(f int, img *fb.Framebuffer) error {
-		s.cache.put(frameKey{seq: j.key, frame: f}, img)
+		// Put completes any coalesced flight on this frame: followers'
+		// wait channels receive the framebuffer the moment it lands.
+		s.cache.Put(framecache.Key{Seq: j.key, Frame: f}, img)
 		s.mu.Lock()
+		delete(j.led, f)
 		j.frames[f-j.spec.StartFrame] = img
 		j.done++
 		s.framesRendered++
@@ -449,12 +704,7 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		s.mu.Unlock()
 		return nil
 	}
-	var res *farm.Result
-	if j.spec.Driver == "local" {
-		res, err = farm.RenderLocal(cfg)
-	} else {
-		res, err = farm.RenderVirtual(cfg)
-	}
+	res, err := driver.Render(cfg)
 	// A failed run still returns its partial result; the faults it
 	// absorbed (workers lost, frames requeued) must survive into the
 	// job's status and /metrics or failed attempts would be invisible.
@@ -470,21 +720,31 @@ func (s *Service) renderRange(j *job, start, end int) error {
 			s.workerBusy[w.Worker] += w.Busy
 		}
 		if res.Timeline != nil {
-			if j.timeline == nil {
-				j.timeline = &timeline.Timeline{Meta: map[string]string{}}
-			}
-			for k, v := range res.Timeline.Meta {
-				j.timeline.Meta[k] = v
-			}
-			for i := range res.Timeline.Tracks {
-				td := &res.Timeline.Tracks[i]
-				j.timeline.AddTrack(td.Name, td.Events, td.Dropped)
-			}
-			j.timeline.Sort()
+			s.mergeTimelineLocked(j, res.Timeline)
 		}
 		s.mu.Unlock()
 	}
 	return err
+}
+
+// mergeTimelineLocked folds a timeline (a farm run's, or the job's own
+// sched track) into the job's merged cluster timeline; callers hold
+// s.mu.
+func (s *Service) mergeTimelineLocked(j *job, tl *timeline.Timeline) {
+	if tl == nil {
+		return
+	}
+	if j.timeline == nil {
+		j.timeline = &timeline.Timeline{Meta: map[string]string{}}
+	}
+	for k, v := range tl.Meta {
+		j.timeline.Meta[k] = v
+	}
+	for i := range tl.Tracks {
+		td := &tl.Tracks[i]
+		j.timeline.AddTrack(td.Name, td.Events, td.Dropped)
+	}
+	j.timeline.Sort()
 }
 
 // JobTimeline returns a job's merged cluster timeline, which grows as
@@ -530,10 +790,13 @@ func (s *Service) Cancel(id string) (Status, error) {
 	}
 	switch j.state {
 	case StateQueued:
-		heap.Remove(&s.queue, j.heapIndex)
+		s.queue.Remove(j.item)
 		j.state = StateCancelled
 		j.err = context.Canceled
 		j.finished = time.Now()
+		if j.rec != nil {
+			s.mergeTimelineLocked(j, j.rec.Snapshot())
+		}
 		s.publishLocked(j, Event{Type: "cancelled", Error: j.err.Error()})
 		close(j.finishedCh)
 		j.cancel()
@@ -615,11 +878,31 @@ func (s *Service) Frame(id string, frame int) (*fb.Framebuffer, error) {
 // CacheStats snapshots the frame cache counters.
 func (s *Service) CacheStats() stats.CacheStats { return s.cache.Stats() }
 
+// FleetStats snapshots the worker pool (capacity, leases, members).
+func (s *Service) FleetStats() fleet.Stats { return s.pool.Stats() }
+
 // QueueDepth returns the number of queued (not yet running) jobs.
-func (s *Service) QueueDepth() int {
+func (s *Service) QueueDepth() int { return s.queue.Len() }
+
+// QueueDepths returns the queued-job count per tenant.
+func (s *Service) QueueDepths() map[string]int { return s.queue.Depths() }
+
+// Rejected snapshots the rejected-submission counters by reason.
+func (s *Service) Rejected() map[string]uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	out := make(map[string]uint64, len(s.rejected))
+	for r, n := range s.rejected {
+		out[r] = n
+	}
+	return out
+}
+
+// Draining reports whether the service has stopped admission.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // subscribe registers a progress listener on a job. The returned channel
@@ -698,11 +981,44 @@ func (s *Service) publishLocked(j *job, ev Event) {
 	}
 }
 
-// Close cancels all queued and running jobs and waits for runners to
-// exit. Further submissions fail.
-func (s *Service) Close() {
+// Drain gracefully shuts the service down: admission stops (further
+// submissions are rejected and counted), queued and running jobs run to
+// completion, and their SSE streams flush their terminal events. If ctx
+// expires first, the jobs still unfinished are cancelled and Drain
+// returns the context's error. Drain is idempotent; Close after Drain
+// is a cheap no-op.
+func (s *Service) Drain(ctx context.Context) error {
 	s.mu.Lock()
-	s.closed = true
+	if !s.draining {
+		s.draining = true
+		s.sched.Drain()
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if !j.state.Terminal() && j.schedTrack != nil {
+				j.schedTrack.Instant(timeline.OpDrain, -1, int64(j.seq))
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		s.wg.Wait()
+		return ctx.Err()
+	}
+}
+
+// cancelAll cancels every job in id order.
+func (s *Service) cancelAll() {
+	s.mu.Lock()
 	ids := make([]string, 0, len(s.jobs))
 	for id := range s.jobs {
 		ids = append(ids, id)
@@ -712,5 +1028,14 @@ func (s *Service) Close() {
 	for _, id := range ids {
 		_, _ = s.Cancel(id)
 	}
+}
+
+// Close cancels all queued and running jobs and waits for runners to
+// exit. Further submissions fail.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancelAll()
 	s.wg.Wait()
 }

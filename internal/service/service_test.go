@@ -543,30 +543,6 @@ func TestSSEOnFinishedJob(t *testing.T) {
 	}
 }
 
-// TestCacheEviction keeps the cache under its byte budget.
-func TestCacheEviction(t *testing.T) {
-	frameBytes := int64(32 * 32 * 3)
-	c := NewFrameCache(3 * frameBytes)
-	k := newSeqKey("x", 32, 32, 1)
-	for f := 0; f < 5; f++ {
-		c.put(frameKey{seq: k, frame: f}, fb.New(32, 32))
-	}
-	cs := c.Stats()
-	if cs.Entries != 3 || cs.Bytes != 3*frameBytes {
-		t.Fatalf("entries=%d bytes=%d, want 3 entries / %d bytes", cs.Entries, cs.Bytes, 3*frameBytes)
-	}
-	if cs.Evictions != 2 {
-		t.Fatalf("evictions = %d, want 2", cs.Evictions)
-	}
-	// LRU: oldest frames (0, 1) were evicted.
-	if _, ok := c.get(frameKey{seq: k, frame: 0}); ok {
-		t.Fatal("frame 0 survived eviction")
-	}
-	if _, ok := c.get(frameKey{seq: k, frame: 4}); !ok {
-		t.Fatal("frame 4 missing")
-	}
-}
-
 // TestQueueFull rejects submissions beyond QueueCap.
 func TestQueueFull(t *testing.T) {
 	s := New(Config{MaxConcurrent: 1, QueueCap: 1})

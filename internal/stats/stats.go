@@ -332,6 +332,12 @@ type CacheStats struct {
 	// they outlived the cache's TTL (also included in Misses when the
 	// expiry was discovered by a lookup).
 	Hits, Misses, Evictions, Expired uint64
+	// Coalesced counts lookups that joined an in-flight production of
+	// the same frame instead of rendering it again; FlightsLed counts
+	// the productions so coalesced-onto.
+	Coalesced, FlightsLed uint64
+	// InFlight is the number of frames currently being produced.
+	InFlight int
 	// Entries and Bytes describe current occupancy; Budget is the
 	// configured byte limit (0 = unlimited).
 	Entries int

@@ -52,6 +52,14 @@ type Report struct {
 	// Imbalance is max/mean busy time across worker groups (1.0 =
 	// perfectly balanced); 0 when fewer than one worker group.
 	Imbalance float64
+	// QueueWait sums the scheduler's queue-wait spans (job enqueue to
+	// admission) and RenderBusy the union of render spans across all
+	// groups — together they attribute a job's latency to queueing
+	// versus rendering. Coalesced counts frame requests that joined
+	// another job's in-flight render.
+	QueueWait  int64
+	RenderBusy int64
+	Coalesced  int
 }
 
 // busyOp reports whether an op counts as productive render work for
@@ -111,8 +119,14 @@ func Analyze(tl *Timeline) *Report {
 		}
 		g.Events += len(td.Events)
 		for _, e := range td.Events {
+			if e.Op == OpCoalesce {
+				rep.Coalesced++
+			}
 			if e.Instant() {
 				continue
+			}
+			if e.Op == OpQueueWait {
+				rep.QueueWait += e.Dur
 			}
 			if busyOp(e.Op) {
 				busyIv[g.Group] = append(busyIv[g.Group], interval{e.Start, e.End()})
@@ -169,13 +183,16 @@ func Analyze(tl *Timeline) *Report {
 		}
 	}
 
+	var allBusy []interval
 	for name, g := range byGroup {
+		allBusy = append(allBusy, busyIv[name]...)
 		g.Busy = union(busyIv[name])
 		if rep.Wall > 0 {
 			g.Utilisation = float64(g.Busy) / float64(rep.Wall)
 		}
 		rep.Groups = append(rep.Groups, *g)
 	}
+	rep.RenderBusy = union(allBusy)
 	sort.Slice(rep.Groups, func(i, j int) bool { return rep.Groups[i].Group < rep.Groups[j].Group })
 
 	// Imbalance over groups that rendered frames (the workers).
@@ -231,7 +248,12 @@ func (r *Report) Format(w io.Writer) {
 	if r.Scheme != "" {
 		fmt.Fprintf(w, "partition scheme: %s\n", r.Scheme)
 	}
-	fmt.Fprintf(w, "wall: %.1f ms, load imbalance (max/mean busy): %.2f\n\n", float64(r.Wall)/1e6, r.Imbalance)
+	fmt.Fprintf(w, "wall: %.1f ms, load imbalance (max/mean busy): %.2f\n", float64(r.Wall)/1e6, r.Imbalance)
+	if r.QueueWait > 0 || r.Coalesced > 0 {
+		fmt.Fprintf(w, "latency attribution: queue wait %.1f ms vs render %.1f ms; coalesced frames: %d\n",
+			float64(r.QueueWait)/1e6, float64(r.RenderBusy)/1e6, r.Coalesced)
+	}
+	fmt.Fprintln(w)
 	fmt.Fprintln(w, "per-worker utilisation:")
 	for _, g := range r.Groups {
 		fmt.Fprintf(w, "  %-12s busy %8.1f ms  util %5.1f%%  frames %4d  events %5d\n",

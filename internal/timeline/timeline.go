@@ -91,6 +91,24 @@ const (
 	// OpNeedKey marks a compositor asking a worker for a fresh key-frame
 	// after a base miss (arg = frame).
 	OpNeedKey
+	// OpEnqueue marks a job admitted to the service queue (arg = job
+	// sequence number).
+	OpEnqueue
+	// OpAdmit marks the scheduler dispatching a queued job into a
+	// concurrency slot (arg = job sequence number).
+	OpAdmit
+	// OpQueueWait spans a job's time on the queue, enqueue to admit —
+	// what nowtrace charges to queueing rather than rendering.
+	OpQueueWait
+	// OpLease marks the scheduler leasing worker slots from the fleet
+	// pool for a farm run (arg = slots granted).
+	OpLease
+	// OpCoalesce marks a frame request joining another job's in-flight
+	// render instead of starting its own (arg = frame).
+	OpCoalesce
+	// OpDrain marks the service entering drain: admission stopped,
+	// running jobs finishing.
+	OpDrain
 	opCount
 )
 
@@ -117,6 +135,12 @@ var opNames = [...]string{
 	OpSinkAssemble: "sink-assemble",
 	OpSinkDeliver:  "sink-deliver",
 	OpNeedKey:      "need-key",
+	OpEnqueue:      "enqueue",
+	OpAdmit:        "admit",
+	OpQueueWait:    "queue-wait",
+	OpLease:        "lease",
+	OpCoalesce:     "coalesce",
+	OpDrain:        "drain",
 }
 
 // String returns the op's stable name (also the Chrome trace event
