@@ -9,6 +9,7 @@
 //	benchtab -parallel            # intra-frame thread sweep -> BENCH_parallel.json
 //	benchtab -wire                # frame codec sweep -> BENCH_wire.json
 //	benchtab -sched               # multi-tenant policy sweep -> BENCH_sched.json
+//	benchtab -fleet               # multi-master replica sweep -> BENCH_fleet.json
 //	benchtab -all                 # everything
 //
 // The default workload is the paper's Newton scene. -full runs the
@@ -42,6 +43,7 @@ func main() {
 		dfbB      = flag.Bool("dfb", false, "distributed-framebuffer routing sweep (master vs compositor sinks), written to BENCH_dfb.json")
 		timelineB = flag.Bool("timeline", false, "event-recorder overhead bench (off vs on), written to BENCH_timeline.json")
 		schedB    = flag.Bool("sched", false, "multi-tenant scheduling policy sweep (fifo vs priority vs fair), written to BENCH_sched.json")
+		fleetB    = flag.Bool("fleet", false, "multi-master control-plane sweep (1 vs 2 vs 3 replicas over one shared fleet), written to BENCH_fleet.json")
 		all       = flag.Bool("all", false, "run everything")
 		full      = flag.Bool("full", false, "paper-scale workload (240x320, 45 frames)")
 		frame     = flag.Int("frame", 10, "frame for -fig2")
@@ -56,14 +58,14 @@ func main() {
 	}
 	if err := run(*table1 || *all, *fig2 || *all, *fig4 || *all,
 		*ablations || *all, *scaling || *all, *parallel || *all, *wire || *all,
-		*dfbB || *all, *timelineB || *all, *schedB || *all,
+		*dfbB || *all, *timelineB || *all, *schedB || *all, *fleetB || *all,
 		*full, *frame, *outDir, *sceneSpec, *wireScene, *csvOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB, schedB, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
+func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB, schedB, fleetB, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -380,6 +382,44 @@ func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB
 			return err
 		}
 		jsonPath := "BENCH_sched.json"
+		if outDir != "" {
+			if err := os.MkdirAll(outDir, 0o755); err != nil {
+				return err
+			}
+			jsonPath = filepath.Join(outDir, jsonPath)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", jsonPath)
+	}
+
+	if fleetB {
+		fmt.Println("=== Fleet: multi-master replicas over one shared worker fleet ===")
+		jobs := 6
+		if full {
+			jobs = 12
+		}
+		pts, err := experiments.FleetSweep([]int{1, 2, 3}, jobs)
+		if err != nil {
+			return err
+		}
+		var tb stats.Table
+		for _, pt := range pts {
+			tb.AddRow("replicas", fmt.Sprintf("%d", pt.Replicas),
+				"jobs", fmt.Sprintf("%d", pt.Jobs),
+				"fleet slots", fmt.Sprintf("%d", pt.FleetSlots),
+				"wall ms", fmt.Sprintf("%.1f", pt.WallMS),
+				"jobs/sec", fmt.Sprintf("%.2f", pt.JobsPerSec),
+				"grants", fmt.Sprintf("%d", pt.Grants),
+				"waits", fmt.Sprintf("%d", pt.Waits))
+		}
+		fmt.Println(tb.String())
+		data, err := json.MarshalIndent(pts, "", "  ")
+		if err != nil {
+			return err
+		}
+		jsonPath := "BENCH_fleet.json"
 		if outDir != "" {
 			if err := os.MkdirAll(outDir, 0o755); err != nil {
 				return err

@@ -1,0 +1,155 @@
+// Command nowfleetd is the fleet broker of the multi-master control
+// plane: the one daemon that owns worker capacity when several nowserve
+// replicas share an elastic pool. Workers register slots with it (once,
+// via -members or a worker hello); replicas acquire time-bounded,
+// renewable leases on those slots. A replica that crashes stops
+// renewing, its leases expire within one term, and the slots return to
+// the pool for the surviving replicas.
+//
+//	nowfleetd -listen :7948 -capacity 8 -term 15s
+//	nowserve -listen :8080 -fleet-broker localhost:7948 -replica-id a
+//	nowserve -listen :8081 -fleet-broker localhost:7948 -replica-id b
+//
+// Static members (workstations whose slot counts are known up front)
+// can be declared without a live worker connection:
+//
+//	nowfleetd -capacity 0 -members ws01=4,ws02=4,ws03=2
+//
+// SIGINT or SIGTERM shut it down; held leases die with the process
+// (a broker restart voids them — clients detect the new epoch and
+// re-acquire).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"nowrender/internal/buildinfo"
+	"nowrender/internal/fleetd"
+	"nowrender/internal/msg"
+	"nowrender/internal/timeline"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7948", "listen address for replica and worker connections")
+		capacity = flag.Int("capacity", 0, "base worker-slot capacity owned by the broker itself (0 = members only)")
+		members  = flag.String("members", "", "static members with slot counts, e.g. ws01=4,ws02=2")
+		term     = flag.Duration("term", 0, "default lease term (0 = 15s); a replica silent this long loses its workers")
+		sweep    = flag.Duration("sweep", 0, "expiry sweep interval (0 = auto)")
+		tlOut    = flag.String("timeline", "", "write the broker's lease timeline as Chrome trace JSON to this file on exit")
+		version  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("nowfleetd", buildinfo.Version())
+		return
+	}
+	static, err := parseMembers(*members)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nowfleetd:", err)
+		os.Exit(1)
+	}
+	if *capacity <= 0 && len(static) == 0 {
+		fmt.Fprintln(os.Stderr, "nowfleetd: no capacity (-capacity or -members required)")
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *listen, *capacity, static, *term, *sweep, *tlOut); err != nil {
+		fmt.Fprintln(os.Stderr, "nowfleetd:", err)
+		os.Exit(1)
+	}
+}
+
+// parseMembers reads "ws01=4,ws02=2" into member slot counts.
+func parseMembers(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, slotsStr, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -members entry %q (want name=slots)", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(slotsStr))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -members slot count in %q", part)
+		}
+		out[name] = n
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -members list %q", s)
+	}
+	return out, nil
+}
+
+func run(ctx context.Context, listen string, capacity int, static map[string]int, term, sweep time.Duration, tlOut string) error {
+	l, err := msg.Listen(listen)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+
+	var rec *timeline.Recorder
+	if tlOut != "" {
+		rec = timeline.New(0)
+	}
+	b := fleetd.NewBroker(fleetd.BrokerConfig{
+		Capacity: capacity,
+		Term:     term,
+		Timeline: rec,
+	})
+	for name, slots := range static {
+		b.Join(name, slots)
+	}
+	srv := fleetd.NewServer(b, sweep)
+	defer srv.Close()
+	fmt.Printf("nowfleetd %s listening on %s (capacity=%d, term=%s, epoch=%d)\n",
+		buildinfo.Version(), l.Addr(), b.Stats().Capacity, b.DefaultTerm(), b.Epoch())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("nowfleetd: shutting down")
+	case err := <-serveErr:
+		return err
+	}
+	l.Close()
+	srv.Close()
+	st := b.Stats()
+	fmt.Printf("nowfleetd: %d grants, %d renews, %d expiries, %d releases\n",
+		st.Grants, st.Renews, st.Expiries, st.Releases)
+	if tlOut != "" {
+		tl := rec.Snapshot()
+		tl.Meta["broker-epoch"] = fmt.Sprint(b.Epoch())
+		f, err := os.Create(tlOut)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("nowfleetd: timeline written to %s (%d events)\n", tlOut, tl.Events())
+	}
+	return nil
+}

@@ -40,6 +40,8 @@ import (
 	"nowrender/internal/buildinfo"
 	"nowrender/internal/cluster"
 	"nowrender/internal/faulty"
+	"nowrender/internal/fleetd"
+	"nowrender/internal/msg"
 	"nowrender/internal/service"
 )
 
@@ -73,6 +75,9 @@ func main() {
 		fair         = flag.Bool("fair", false, "schedule across tenants by weighted fair queuing instead of priority order")
 		tenantQueue  = flag.Int("max-queued-per-tenant", 0, "max queued jobs per tenant (0 = unlimited)")
 		fleetCap     = flag.Int("fleet-capacity", 0, "worker slots farm runs may lease concurrently (0 = unlimited)")
+		fleetBroker  = flag.String("fleet-broker", "", "nowfleetd address; lease worker slots from the shared broker instead of a private pool (multi-master mode)")
+		replicaID    = flag.String("replica-id", "", "this replica's name in a multi-master deployment (default: the listen address)")
+		leaseTerm    = flag.Duration("lease-term", 0, "broker lease term to request (0 = broker default); only with -fleet-broker")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for running jobs to finish on SIGTERM before they are cancelled")
 	)
 	flag.Parse()
@@ -123,6 +128,29 @@ func main() {
 	}
 	if plan != nil {
 		cfg.FaultWrap = plan.Wrap
+	}
+	if *fleetBroker != "" {
+		// Multi-master: this replica draws worker capacity from the shared
+		// nowfleetd broker instead of its private pool. A crashed replica
+		// stops renewing and its slots return to the pool for survivors.
+		cfg.ReplicaID = *replicaID
+		if cfg.ReplicaID == "" {
+			cfg.ReplicaID = *listen
+		}
+		addr := *fleetBroker
+		rp, err := fleetd.NewReplicaPool(fleetd.ClientConfig{
+			Replica: cfg.ReplicaID,
+			Dial:    func() (msg.Conn, error) { return msg.Dial(addr) },
+			Term:    *leaseTerm,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nowserve:", err)
+			os.Exit(1)
+		}
+		defer rp.Close()
+		cfg.Leaser = rp
+	} else if *replicaID != "" {
+		cfg.ReplicaID = *replicaID
 	}
 	if err := run(*listen, *driver, cfg, *pprofOn, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "nowserve:", err)

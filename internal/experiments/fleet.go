@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nowrender/internal/cluster"
+	"nowrender/internal/fleetd"
+	"nowrender/internal/msg"
+	"nowrender/internal/service"
+)
+
+// FleetPoint is one row of the multi-master control-plane sweep: the
+// same job batch pushed through n nowserve replicas drawing workers
+// from one shared broker-managed fleet.
+type FleetPoint struct {
+	Replicas int `json:"replicas"`
+	Jobs     int `json:"jobs"`
+	// FleetSlots is the shared worker capacity every replica count
+	// contends for — held fixed so the sweep isolates the control
+	// plane, not the render horsepower.
+	FleetSlots int     `json:"fleet_slots"`
+	WallMS     float64 `json:"wall_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Grants and Waits come from the broker ledger: how many leases the
+	// batch took and how many acquires had to queue for a free slot.
+	Grants uint64 `json:"grants"`
+	Waits  uint64 `json:"waits"`
+}
+
+// FleetSweep renders the same job batch through 1, 2, ... replica
+// control planes sharing one fixed-size worker fleet, reporting batch
+// throughput per replica count. One replica bottlenecks on its own
+// concurrency limit before the fleet saturates; added replicas lease
+// the idle slots and raise jobs/sec until the fleet, not the control
+// plane, is the limit.
+func FleetSweep(replicaCounts []int, jobs int) ([]FleetPoint, error) {
+	if jobs <= 0 {
+		jobs = 6
+	}
+	var out []FleetPoint
+	for _, n := range replicaCounts {
+		pt, err := fleetScenario(n, jobs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet x%d: %w", n, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func fleetScenario(replicas, jobs int) (FleetPoint, error) {
+	const slots = 3
+	broker := fleetd.NewBroker(fleetd.BrokerConfig{
+		Capacity: slots, Term: 2 * time.Second,
+	})
+	srv := fleetd.NewServer(broker, 0)
+	defer srv.Close()
+	dial := func() (msg.Conn, error) {
+		a, b := msg.Pipe(64)
+		if err := srv.ServeConn(b); err != nil {
+			a.Close()
+			return nil, err
+		}
+		return a, nil
+	}
+
+	// Each replica runs single-machine farm runs (two at a time), so a
+	// lone replica can hold at most 2 of the 3 fleet slots: the
+	// headroom extra replicas exist to claim.
+	svcs := make([]*service.Service, replicas)
+	for i := range svcs {
+		rp, err := fleetd.NewReplicaPool(fleetd.ClientConfig{
+			Replica: fmt.Sprintf("replica-%d", i), Dial: dial,
+			Term: 2 * time.Second,
+		})
+		if err != nil {
+			return FleetPoint{}, err
+		}
+		defer rp.Close()
+		svcs[i] = service.New(service.Config{
+			MaxConcurrent: 2,
+			Machines:      cluster.PaperTestbed()[:1],
+			Leaser:        rp,
+			ReplicaID:     fmt.Sprintf("replica-%d", i),
+			CacheBytes:    -1,
+		})
+		defer svcs[i].Close()
+	}
+
+	type handle struct {
+		svc *service.Service
+		id  string
+	}
+	start := time.Now()
+	handles := make([]handle, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		svc := svcs[i%replicas]
+		st, err := svc.Submit(service.JobSpec{
+			// Distinct resolutions defeat coalescing: every job renders.
+			// Single-threaded renders make a fleet slot cost one core, so
+			// replica-count scaling is visible in wall time on one host.
+			Scene: "newton:3", W: 96 + 4*i, H: 72 + 3*i, Threads: 1,
+		})
+		if err != nil {
+			return FleetPoint{}, err
+		}
+		handles = append(handles, handle{svc, st.ID})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for _, h := range handles {
+		st, err := h.svc.Wait(ctx, h.id)
+		if err != nil {
+			return FleetPoint{}, err
+		}
+		if st.State != service.StateDone {
+			return FleetPoint{}, fmt.Errorf("job %s: %s (%s)", h.id, st.State, st.Error)
+		}
+	}
+	wall := time.Since(start)
+
+	if err := broker.CheckInvariant(); err != nil {
+		return FleetPoint{}, err
+	}
+	bst := broker.Stats()
+	return FleetPoint{
+		Replicas: replicas, Jobs: jobs, FleetSlots: slots,
+		WallMS:     float64(wall.Microseconds()) / 1000,
+		JobsPerSec: float64(jobs) / wall.Seconds(),
+		Grants:     bst.Grants, Waits: bst.Waits,
+	}, nil
+}

@@ -45,6 +45,9 @@ func (VirtualDriver) Render(cfg farm.Config) (*farm.Result, error) {
 // Stats snapshots a pool.
 type Stats struct {
 	// Capacity is the current worker-slot capacity (< 0 = unlimited).
+	// While leases outlive a departed member, the member's in-use slots
+	// stay counted here until they return (the lame-duck drain), so
+	// Leased never exceeds Capacity.
 	Capacity int
 	// Leased is the number of slots currently out on leases.
 	Leased int
@@ -54,6 +57,31 @@ type Stats struct {
 	// Leases counts leases ever granted; Waits counts Lease calls that
 	// had to block for capacity.
 	Leases, Waits uint64
+	// Renews and Expired count lease renewals and expiries. A local
+	// Pool's leases have no term, so both stay zero; the brokered
+	// multi-master pool (internal/fleetd) reports the cluster totals.
+	Renews, Expired uint64
+}
+
+// Grant is worker capacity granted to one farm run: the common surface
+// of a local Pool's *Lease and the broker-backed remote lease.
+type Grant interface {
+	// Granted is the slot count the run must size itself to.
+	Granted() int
+	// Return gives the capacity back exactly once; further calls are
+	// no-ops.
+	Return()
+}
+
+// Leaser is a source of worker-capacity grants. The service renders
+// through this interface so a single replica's private Pool and the
+// multi-master broker client are interchangeable.
+type Leaser interface {
+	// Acquire blocks until up to n slots are granted (n <= 0 asks for
+	// the whole pool) or ctx ends.
+	Acquire(ctx context.Context, n int) (Grant, error)
+	// Stats snapshots the capacity this leaser draws from.
+	Stats() Stats
 }
 
 // Pool is a shared, elastic pot of worker slots with lease/return
@@ -64,8 +92,12 @@ type Pool struct {
 	bounded bool
 	members map[string]int
 	leased  int
-	leases  uint64
-	waits   uint64
+	// draining is departed-member capacity still out on leases: Leave
+	// defers the decrement for slots in use, so accounting never shows
+	// leased > capacity. Returns burn it down (reclaimLocked).
+	draining int
+	leases   uint64
+	waits    uint64
 	// freed is closed and replaced whenever capacity frees up, waking
 	// blocked Lease calls.
 	freed   chan struct{}
@@ -106,9 +138,9 @@ func (p *Pool) Driver(name string) (Driver, error) {
 	return d, nil
 }
 
-// capacityLocked is the current total slot capacity, or -1 for
-// unlimited.
-func (p *Pool) capacityLocked() int {
+// hardCapLocked is the registered slot capacity (base + members), or
+// -1 for unlimited — excluding any draining departed-member slots.
+func (p *Pool) hardCapLocked() int {
 	total := 0
 	if p.bounded {
 		total = p.base
@@ -122,26 +154,65 @@ func (p *Pool) capacityLocked() int {
 	return total
 }
 
+// capacityLocked is the current total slot capacity, or -1 for
+// unlimited. Draining slots — a departed member's capacity still out on
+// leases — stay counted until returned, so leased never exceeds it.
+func (p *Pool) capacityLocked() int {
+	hard := p.hardCapLocked()
+	if hard < 0 {
+		return -1
+	}
+	return hard + p.draining
+}
+
+// overLocked is how far leased overshoots the registered capacity —
+// the slots that must keep draining (0 when unlimited).
+func (p *Pool) overLocked() int {
+	hard := p.hardCapLocked()
+	if hard < 0 {
+		return 0
+	}
+	if over := p.leased - hard; over > 0 {
+		return over
+	}
+	return 0
+}
+
+// reclaimLocked shrinks the draining bucket as leases come home: it
+// never exceeds the overshoot of leased beyond the registered capacity,
+// and never grows here (only membership changes grow it).
+func (p *Pool) reclaimLocked() {
+	if over := p.overLocked(); over < p.draining {
+		p.draining = over
+	}
+}
+
 // Join adds (or resizes) a named member contributing slots of
 // capacity, waking waiters if capacity grew. Joining a member makes an
-// unlimited pool bounded: capacity is then base + members.
+// unlimited pool bounded: capacity is then base + members. Shrinking a
+// member below its leased share defers the decrement exactly like
+// Leave (the draining bucket).
 func (p *Pool) Join(member string, slots int) {
 	if slots < 0 {
 		slots = 0
 	}
 	p.mu.Lock()
 	p.members[member] = slots
+	p.draining = p.overLocked()
 	p.wakeLocked()
 	p.mu.Unlock()
 }
 
-// Leave removes a member, shrinking capacity immediately. Leases
-// already granted are not revoked — the pool runs over capacity until
-// they return, which is how a departing workstation's in-flight run
-// drains.
+// Leave removes a member. Its idle slots vanish from capacity
+// immediately; slots out on leases keep backing the accounting
+// (the draining bucket) until their leases return, which is how a
+// departing workstation's in-flight run drains. Leased therefore never
+// exceeds capacity, and no lease is revoked. A base-unlimited pool
+// whose last member leaves reverts to unlimited.
 func (p *Pool) Leave(member string) {
 	p.mu.Lock()
 	delete(p.members, member)
+	p.draining = p.overLocked()
 	p.mu.Unlock()
 }
 
@@ -160,11 +231,15 @@ type Lease struct {
 	once  sync.Once
 }
 
+// Granted implements Grant.
+func (l *Lease) Granted() int { return l.Slots }
+
 // Return gives the lease's slots back, waking waiters. Idempotent.
 func (l *Lease) Return() {
 	l.once.Do(func() {
 		l.pool.mu.Lock()
 		l.pool.leased -= l.Slots
+		l.pool.reclaimLocked()
 		l.pool.wakeLocked()
 		l.pool.mu.Unlock()
 	})
@@ -181,7 +256,10 @@ func (p *Pool) Lease(ctx context.Context, n int) (*Lease, error) {
 		cap := p.capacityLocked()
 		grant := n
 		if cap >= 0 {
-			if cap == 0 {
+			// Draining slots never back new grants: a pool whose whole
+			// registered capacity is gone refuses rather than queueing
+			// behind leases that will not be replaced.
+			if p.hardCapLocked() == 0 {
 				p.mu.Unlock()
 				return nil, fmt.Errorf("fleet: pool has no capacity")
 			}
@@ -211,6 +289,16 @@ func (p *Pool) Lease(ctx context.Context, n int) (*Lease, error) {
 		p.mu.Unlock()
 		return &Lease{pool: p, Slots: grant}, nil
 	}
+}
+
+// Acquire implements Leaser over Lease, so a Pool plugs in anywhere a
+// broker-backed pool does.
+func (p *Pool) Acquire(ctx context.Context, n int) (Grant, error) {
+	l, err := p.Lease(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
 }
 
 // Stats snapshots the pool.

@@ -128,16 +128,121 @@ func TestJoinLeaveElasticCapacity(t *testing.T) {
 	if st.Capacity != 3 || st.Members["ws02"] != 2 {
 		t.Fatalf("stats after join = %+v", st)
 	}
-	// Leave shrinks capacity but does not revoke l2: the pool runs over
-	// capacity until the lease returns.
+	// Leave does not revoke l2; the member's leased slots keep backing
+	// capacity (the draining bucket) until they return, so accounting
+	// never shows leased > capacity.
 	p.Leave("ws02")
-	if st := p.Stats(); st.Capacity != 1 || st.Leased != 3 {
+	if st := p.Stats(); st.Capacity != 3 || st.Leased != 3 {
 		t.Fatalf("stats after leave = %+v", st)
 	}
 	l1.Return()
+	if st := p.Stats(); st.Capacity != 2 || st.Leased != 2 {
+		t.Fatalf("stats after first return = %+v", st)
+	}
 	l2.Return()
+	if st := p.Stats(); st.Capacity != 1 || st.Leased != 0 {
+		t.Fatalf("stats after returns = %+v", st)
+	}
+}
+
+// TestLeaveDefersCapacityDecrement is the regression test for Leave on
+// a fully-leased pool: the departed member's in-use slots must stay in
+// the capacity figure until their leases return, so available capacity
+// (capacity - leased) never goes negative and no new lease is granted
+// against the draining slots.
+func TestLeaveDefersCapacityDecrement(t *testing.T) {
+	p := NewPool(0)
+	p.Join("ws01", 2)
+	p.Join("ws02", 2)
+	l, err := p.Lease(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Slots != 4 {
+		t.Fatalf("slots = %d, want 4", l.Slots)
+	}
+	p.Leave("ws02")
+	st := p.Stats()
+	if st.Capacity != 4 || st.Leased != 4 {
+		t.Fatalf("after leave: %+v, want capacity 4 leased 4 (deferred decrement)", st)
+	}
+	if st.Capacity-st.Leased < 0 {
+		t.Fatalf("available went negative: %d", st.Capacity-st.Leased)
+	}
+
+	// The draining slots must not back a new grant: a fresh lease waits
+	// for the survivor's slots, not the ghost's.
+	granted := make(chan *Lease, 1)
+	go func() {
+		l2, err := p.Lease(context.Background(), 2)
+		if err != nil {
+			t.Error(err)
+		}
+		granted <- l2
+	}()
+	select {
+	case <-granted:
+		t.Fatal("lease granted against a departed member's draining slots")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	l.Return()
+	select {
+	case l2 := <-granted:
+		if l2.Slots != 2 {
+			t.Fatalf("post-drain lease slots = %d, want 2", l2.Slots)
+		}
+		l2.Return()
+	case <-time.After(5 * time.Second):
+		t.Fatal("lease never granted after drain")
+	}
+	if st := p.Stats(); st.Capacity != 2 || st.Leased != 0 {
+		t.Fatalf("final stats = %+v, want capacity 2 leased 0", st)
+	}
+}
+
+// TestShrinkToZeroRefusesNewLeases: a member resized to zero while its
+// slots are leased keeps backing the accounting (capacity never drops
+// below leased), and the zero-capacity pool refuses new leases instead
+// of queueing them behind draining slots that will never be
+// re-grantable.
+func TestShrinkToZeroRefusesNewLeases(t *testing.T) {
+	p := NewPool(0)
+	p.Join("ws01", 2)
+	l, err := p.Lease(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Join("ws01", 0) // shrink to zero with both slots leased
+	if st := p.Stats(); st.Capacity != 2 || st.Leased != 2 {
+		t.Fatalf("after shrink: %+v", st)
+	}
+	if _, err := p.Lease(context.Background(), 1); err == nil {
+		t.Fatal("lease granted on a pool with no registered capacity")
+	}
+	l.Return()
+	if st := p.Stats(); st.Capacity != 0 || st.Leased != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+}
+
+// TestLeaveLastMemberRevertsUnlimited pins the pre-existing contract:
+// a base-unlimited pool reverts to unlimited when its last member
+// leaves, and the in-flight lease still returns cleanly.
+func TestLeaveLastMemberRevertsUnlimited(t *testing.T) {
+	p := NewPool(0)
+	p.Join("ws01", 2)
+	l, err := p.Lease(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Leave("ws01")
+	if st := p.Stats(); st.Capacity != -1 || st.Leased != 2 {
+		t.Fatalf("after leave: %+v", st)
+	}
+	l.Return()
 	if st := p.Stats(); st.Leased != 0 {
-		t.Fatalf("leased after returns = %d", st.Leased)
+		t.Fatalf("after return: %+v", st)
 	}
 }
 

@@ -1,0 +1,69 @@
+package fleetd
+
+import "testing"
+
+// FuzzFleetdDecode proves every broker wire decoder is total: arbitrary
+// bytes — truncated frames, corrupted seals, hostile length prefixes —
+// either decode into a validated message or return an error, and never
+// panic, hang, or allocate unboundedly. The server drops a conn whose
+// peer sends garbage (its leases expire); this guarantee is why garbage
+// can never do worse than that.
+func FuzzFleetdDecode(f *testing.F) {
+	// Well-formed seeds, one per message kind, so mutation starts from
+	// payloads that exercise the deep paths (unit lists, member maps).
+	f.Add(EncodeHello(Hello{Role: RoleWorker, Name: "ws01", Slots: 4}))
+	f.Add(EncodeWelcome(Welcome{Epoch: 7, TermMS: 15000}))
+	f.Add(EncodeAcquire(AcquireReq{Req: 1, Want: 3, TermMS: 500}))
+	f.Add(EncodeGrant(Grant{Req: 1, Lease: 9, Slots: 2, Units: []string{"pool/0", "ws01/1"}, TermMS: 500}))
+	f.Add(EncodeGrant(Grant{Req: 1, Err: "no capacity"}))
+	f.Add(EncodeRenew(RenewReq{Req: 2, Lease: 9, TermMS: 100}))
+	f.Add(EncodeRenewed(Renewed{Req: 2, Lease: 9, OK: true, TermMS: 100}))
+	f.Add(EncodeRelease(9))
+	f.Add(EncodeStats(StatsMsg{Req: 3, Capacity: 8, Free: 3, Leased: 5, Members: map[string]int{"pool": 8}}))
+	f.Add(EncodeReq(3))
+	// Degenerate seeds.
+	f.Add([]byte{})
+	f.Add([]byte{0x7f, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Every decoder must be total over the same input: a message
+		// misrouted to the wrong tag's decoder is still just an error.
+		if h, err := DecodeHello(data); err == nil {
+			if h.Role != RoleReplica && h.Role != RoleWorker {
+				t.Fatalf("accepted hello with role %q", h.Role)
+			}
+			if h.Slots < 0 || h.Slots > maxUnits {
+				t.Fatalf("accepted hello with slots %d", h.Slots)
+			}
+		}
+		if w, err := DecodeWelcome(data); err == nil && w.TermMS < 0 {
+			t.Fatalf("accepted welcome with term %d", w.TermMS)
+		}
+		if a, err := DecodeAcquire(data); err == nil {
+			if a.Want > maxUnits || a.TermMS < 0 {
+				t.Fatalf("accepted acquire %+v", a)
+			}
+		}
+		if g, err := DecodeGrant(data); err == nil {
+			if g.Slots < 0 || g.Slots > maxUnits || len(g.Units) > maxUnits {
+				t.Fatalf("accepted grant %+v", g)
+			}
+			if g.Err == "" && g.Slots != len(g.Units) {
+				t.Fatalf("accepted inconsistent grant %+v", g)
+			}
+		}
+		if r, err := DecodeRenew(data); err == nil && r.TermMS < 0 {
+			t.Fatalf("accepted renew %+v", r)
+		}
+		if r, err := DecodeRenewed(data); err == nil && r.TermMS < 0 {
+			t.Fatalf("accepted renewed %+v", r)
+		}
+		_, _ = DecodeRelease(data)
+		if s, err := DecodeStats(data); err == nil {
+			if s.Capacity < 0 || s.Free < 0 || s.Leased < 0 || len(s.Members) > maxUnits {
+				t.Fatalf("accepted stats %+v", s)
+			}
+		}
+		_, _ = DecodeReq(data)
+	})
+}

@@ -1,0 +1,430 @@
+package fleetd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nowrender/internal/msg"
+)
+
+// Message tags of the broker protocol. Like the compositor's, they
+// live in their own range (201+) so a trace mixing farm, sink and
+// broker traffic stays readable; every connection is dedicated
+// (replica↔broker or worker↔broker), so no tag ever shares a conn with
+// another subsystem's.
+const (
+	// TagHello (client→broker) opens a connection: role, name, and —
+	// for worker-role conns — the slots the member contributes.
+	TagHello = iota + 201
+	// TagWelcome (broker→client) answers the hello with the broker's
+	// epoch and default lease term; a client reconnecting under a
+	// different epoch knows its held leases are void (broker restart).
+	TagWelcome
+	// TagAcquire (replica→broker) asks for a lease. Req multiplexes
+	// concurrent acquires on one conn; grants echo it.
+	TagAcquire
+	// TagGrant (broker→replica) answers an acquire: lease id, granted
+	// units, term — or Err when the broker has nothing to grant.
+	TagGrant
+	// TagRenew (replica→broker) extends a held lease's term.
+	TagRenew
+	// TagRenewed (broker→replica) answers a renew. OK=false means the
+	// lease already expired or was never this replica's: the replica
+	// must treat its slots as gone.
+	TagRenewed
+	// TagRelease (replica→broker) returns a lease early. No reply —
+	// release is fire-and-forget, expiry backstops the loss.
+	TagRelease
+	// TagStatsReq (client→broker) asks for a ledger snapshot.
+	TagStatsReq
+	// TagStats (broker→client) answers with BrokerStats.
+	TagStats
+	// TagFleetBye (either side) announces a clean close.
+	TagFleetBye
+)
+
+// Roles a TagHello can announce.
+const (
+	RoleReplica = "replica"
+	RoleWorker  = "worker"
+)
+
+// maxUnits bounds a grant's unit list on decode (a hostile payload must
+// not allocate unbounded memory; no real pool is this big).
+const maxUnits = 1 << 16
+
+// Hello opens a connection.
+type Hello struct {
+	Role string
+	Name string
+	// Slots is the member capacity a worker-role conn contributes;
+	// ignored for replicas.
+	Slots int
+}
+
+// EncodeHello packs a Hello.
+func EncodeHello(h Hello) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackString(h.Role)
+	b.PackString(h.Name)
+	b.PackInt(int64(h.Slots))
+	return b.Sealed()
+}
+
+// DecodeHello unpacks and validates a Hello.
+func DecodeHello(data []byte) (Hello, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return Hello{}, fmt.Errorf("fleetd: bad hello: %w", err)
+	}
+	b := msg.FromBytes(body)
+	var h Hello
+	h.Role = b.UnpackString()
+	h.Name = b.UnpackString()
+	h.Slots = int(b.UnpackInt())
+	if err := b.Err(); err != nil {
+		return Hello{}, fmt.Errorf("fleetd: bad hello: %w", err)
+	}
+	if h.Role != RoleReplica && h.Role != RoleWorker {
+		return Hello{}, fmt.Errorf("fleetd: bad hello role %q", h.Role)
+	}
+	if h.Name == "" {
+		return Hello{}, fmt.Errorf("fleetd: hello without a name")
+	}
+	if h.Slots < 0 || h.Slots > maxUnits {
+		return Hello{}, fmt.Errorf("fleetd: bad hello slots %d", h.Slots)
+	}
+	return h, nil
+}
+
+// Welcome answers a hello.
+type Welcome struct {
+	Epoch int64
+	// TermMS is the broker's default lease term in milliseconds.
+	TermMS int64
+}
+
+// EncodeWelcome packs a Welcome.
+func EncodeWelcome(w Welcome) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(w.Epoch)
+	b.PackInt(w.TermMS)
+	return b.Sealed()
+}
+
+// DecodeWelcome unpacks and validates a Welcome.
+func DecodeWelcome(data []byte) (Welcome, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return Welcome{}, fmt.Errorf("fleetd: bad welcome: %w", err)
+	}
+	b := msg.FromBytes(body)
+	var w Welcome
+	w.Epoch = b.UnpackInt()
+	w.TermMS = b.UnpackInt()
+	if err := b.Err(); err != nil {
+		return Welcome{}, fmt.Errorf("fleetd: bad welcome: %w", err)
+	}
+	if w.TermMS < 0 {
+		return Welcome{}, fmt.Errorf("fleetd: bad welcome term %dms", w.TermMS)
+	}
+	return w, nil
+}
+
+// AcquireReq asks for a lease.
+type AcquireReq struct {
+	Req    uint64
+	Want   int
+	TermMS int64
+}
+
+// EncodeAcquire packs an AcquireReq.
+func EncodeAcquire(a AcquireReq) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(int64(a.Req))
+	b.PackInt(int64(a.Want))
+	b.PackInt(a.TermMS)
+	return b.Sealed()
+}
+
+// DecodeAcquire unpacks and validates an AcquireReq.
+func DecodeAcquire(data []byte) (AcquireReq, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return AcquireReq{}, fmt.Errorf("fleetd: bad acquire: %w", err)
+	}
+	b := msg.FromBytes(body)
+	var a AcquireReq
+	a.Req = uint64(b.UnpackInt())
+	a.Want = int(b.UnpackInt())
+	a.TermMS = b.UnpackInt()
+	if err := b.Err(); err != nil {
+		return AcquireReq{}, fmt.Errorf("fleetd: bad acquire: %w", err)
+	}
+	if a.Want < -1 || a.Want > maxUnits {
+		return AcquireReq{}, fmt.Errorf("fleetd: bad acquire want %d", a.Want)
+	}
+	if a.TermMS < 0 || a.TermMS > int64(MaxTerm/time.Millisecond) {
+		return AcquireReq{}, fmt.Errorf("fleetd: bad acquire term %dms", a.TermMS)
+	}
+	return a, nil
+}
+
+// Grant answers an acquire.
+type Grant struct {
+	Req    uint64
+	Lease  uint64
+	Slots  int
+	Units  []string
+	TermMS int64
+	// Err, when non-empty, reports a refused acquire (no capacity).
+	Err string
+}
+
+// EncodeGrant packs a Grant.
+func EncodeGrant(g Grant) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(int64(g.Req))
+	b.PackInt(int64(g.Lease))
+	b.PackInt(int64(g.Slots))
+	b.PackInt(int64(len(g.Units)))
+	for _, u := range g.Units {
+		b.PackString(u)
+	}
+	b.PackInt(g.TermMS)
+	b.PackString(g.Err)
+	return b.Sealed()
+}
+
+// DecodeGrant unpacks and validates a Grant.
+func DecodeGrant(data []byte) (Grant, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return Grant{}, fmt.Errorf("fleetd: bad grant: %w", err)
+	}
+	b := msg.FromBytes(body)
+	var g Grant
+	g.Req = uint64(b.UnpackInt())
+	g.Lease = uint64(b.UnpackInt())
+	g.Slots = int(b.UnpackInt())
+	n := b.UnpackInt()
+	if b.Err() == nil && (n < 0 || n > maxUnits) {
+		return Grant{}, fmt.Errorf("fleetd: bad grant unit count %d", n)
+	}
+	if b.Err() == nil {
+		g.Units = make([]string, 0, n)
+		for i := int64(0); i < n && b.Err() == nil; i++ {
+			g.Units = append(g.Units, b.UnpackString())
+		}
+	}
+	g.TermMS = b.UnpackInt()
+	g.Err = b.UnpackString()
+	if err := b.Err(); err != nil {
+		return Grant{}, fmt.Errorf("fleetd: bad grant: %w", err)
+	}
+	if g.Slots < 0 || g.Slots > maxUnits || g.TermMS < 0 {
+		return Grant{}, fmt.Errorf("fleetd: bad grant slots %d term %dms", g.Slots, g.TermMS)
+	}
+	if g.Err == "" && g.Slots != len(g.Units) {
+		return Grant{}, fmt.Errorf("fleetd: grant slots %d != units %d", g.Slots, len(g.Units))
+	}
+	return g, nil
+}
+
+// RenewReq extends a lease.
+type RenewReq struct {
+	Req    uint64
+	Lease  uint64
+	TermMS int64
+}
+
+// EncodeRenew packs a RenewReq.
+func EncodeRenew(r RenewReq) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(int64(r.Req))
+	b.PackInt(int64(r.Lease))
+	b.PackInt(r.TermMS)
+	return b.Sealed()
+}
+
+// DecodeRenew unpacks and validates a RenewReq.
+func DecodeRenew(data []byte) (RenewReq, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return RenewReq{}, fmt.Errorf("fleetd: bad renew: %w", err)
+	}
+	b := msg.FromBytes(body)
+	var r RenewReq
+	r.Req = uint64(b.UnpackInt())
+	r.Lease = uint64(b.UnpackInt())
+	r.TermMS = b.UnpackInt()
+	if err := b.Err(); err != nil {
+		return RenewReq{}, fmt.Errorf("fleetd: bad renew: %w", err)
+	}
+	if r.TermMS < 0 || r.TermMS > int64(MaxTerm/time.Millisecond) {
+		return RenewReq{}, fmt.Errorf("fleetd: bad renew term %dms", r.TermMS)
+	}
+	return r, nil
+}
+
+// Renewed answers a renew.
+type Renewed struct {
+	Req    uint64
+	Lease  uint64
+	OK     bool
+	TermMS int64
+}
+
+// EncodeRenewed packs a Renewed.
+func EncodeRenewed(r Renewed) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(int64(r.Req))
+	b.PackInt(int64(r.Lease))
+	b.PackBool(r.OK)
+	b.PackInt(r.TermMS)
+	return b.Sealed()
+}
+
+// DecodeRenewed unpacks and validates a Renewed.
+func DecodeRenewed(data []byte) (Renewed, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return Renewed{}, fmt.Errorf("fleetd: bad renewed: %w", err)
+	}
+	b := msg.FromBytes(body)
+	var r Renewed
+	r.Req = uint64(b.UnpackInt())
+	r.Lease = uint64(b.UnpackInt())
+	r.OK = b.UnpackBool()
+	r.TermMS = b.UnpackInt()
+	if err := b.Err(); err != nil {
+		return Renewed{}, fmt.Errorf("fleetd: bad renewed: %w", err)
+	}
+	if r.TermMS < 0 {
+		return Renewed{}, fmt.Errorf("fleetd: bad renewed term %dms", r.TermMS)
+	}
+	return r, nil
+}
+
+// EncodeRelease packs a lease id for TagRelease.
+func EncodeRelease(lease uint64) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(int64(lease))
+	return b.Sealed()
+}
+
+// DecodeRelease unpacks a TagRelease payload.
+func DecodeRelease(data []byte) (uint64, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return 0, fmt.Errorf("fleetd: bad release: %w", err)
+	}
+	b := msg.FromBytes(body)
+	lease := uint64(b.UnpackInt())
+	if err := b.Err(); err != nil {
+		return 0, fmt.Errorf("fleetd: bad release: %w", err)
+	}
+	return lease, nil
+}
+
+// StatsMsg is the wire form of BrokerStats (member and replica maps
+// flattened into parallel name/count lists).
+type StatsMsg struct {
+	Req                                       uint64
+	Capacity, Free, Leased                    int
+	Grants, Renews, Expiries, Releases, Waits uint64
+	Members                                   map[string]int
+}
+
+// EncodeStats packs a StatsMsg.
+func EncodeStats(s StatsMsg) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(int64(s.Req))
+	b.PackInt(int64(s.Capacity))
+	b.PackInt(int64(s.Free))
+	b.PackInt(int64(s.Leased))
+	b.PackInt(int64(s.Grants))
+	b.PackInt(int64(s.Renews))
+	b.PackInt(int64(s.Expiries))
+	b.PackInt(int64(s.Releases))
+	b.PackInt(int64(s.Waits))
+	names := make([]string, 0, len(s.Members))
+	for m := range s.Members {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	b.PackInt(int64(len(names)))
+	for _, m := range names {
+		b.PackString(m)
+		b.PackInt(int64(s.Members[m]))
+	}
+	return b.Sealed()
+}
+
+// DecodeStats unpacks and validates a StatsMsg.
+func DecodeStats(data []byte) (StatsMsg, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return StatsMsg{}, fmt.Errorf("fleetd: bad stats: %w", err)
+	}
+	b := msg.FromBytes(body)
+	var s StatsMsg
+	s.Req = uint64(b.UnpackInt())
+	s.Capacity = int(b.UnpackInt())
+	s.Free = int(b.UnpackInt())
+	s.Leased = int(b.UnpackInt())
+	s.Grants = uint64(b.UnpackInt())
+	s.Renews = uint64(b.UnpackInt())
+	s.Expiries = uint64(b.UnpackInt())
+	s.Releases = uint64(b.UnpackInt())
+	s.Waits = uint64(b.UnpackInt())
+	n := b.UnpackInt()
+	if b.Err() == nil && (n < 0 || n > maxUnits) {
+		return StatsMsg{}, fmt.Errorf("fleetd: bad stats member count %d", n)
+	}
+	if b.Err() == nil && n > 0 {
+		s.Members = make(map[string]int, n)
+		for i := int64(0); i < n && b.Err() == nil; i++ {
+			name := b.UnpackString()
+			s.Members[name] = int(b.UnpackInt())
+		}
+	}
+	if err := b.Err(); err != nil {
+		return StatsMsg{}, fmt.Errorf("fleetd: bad stats: %w", err)
+	}
+	if s.Capacity < 0 || s.Free < 0 || s.Leased < 0 {
+		return StatsMsg{}, fmt.Errorf("fleetd: bad stats counts %d/%d/%d", s.Capacity, s.Free, s.Leased)
+	}
+	return s, nil
+}
+
+// EncodeReq packs a bare request id (TagStatsReq).
+func EncodeReq(req uint64) []byte {
+	b := msg.GetBuffer()
+	defer b.Release()
+	b.PackInt(int64(req))
+	return b.Sealed()
+}
+
+// DecodeReq unpacks a bare request id.
+func DecodeReq(data []byte) (uint64, error) {
+	body, err := msg.Open(data)
+	if err != nil {
+		return 0, fmt.Errorf("fleetd: bad req: %w", err)
+	}
+	b := msg.FromBytes(body)
+	req := uint64(b.UnpackInt())
+	if err := b.Err(); err != nil {
+		return 0, fmt.Errorf("fleetd: bad req: %w", err)
+	}
+	return req, nil
+}

@@ -1,0 +1,133 @@
+package fleetd
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestProtocolRoundTrips: every broker message survives encode/decode
+// unchanged.
+func TestProtocolRoundTrips(t *testing.T) {
+	h, err := DecodeHello(EncodeHello(Hello{Role: RoleWorker, Name: "ws01", Slots: 4}))
+	if err != nil || h.Role != RoleWorker || h.Name != "ws01" || h.Slots != 4 {
+		t.Fatalf("hello round trip = %+v, %v", h, err)
+	}
+	w, err := DecodeWelcome(EncodeWelcome(Welcome{Epoch: 77, TermMS: 15000}))
+	if err != nil || w.Epoch != 77 || w.TermMS != 15000 {
+		t.Fatalf("welcome round trip = %+v, %v", w, err)
+	}
+	a, err := DecodeAcquire(EncodeAcquire(AcquireReq{Req: 9, Want: 3, TermMS: 500}))
+	if err != nil || a.Req != 9 || a.Want != 3 || a.TermMS != 500 {
+		t.Fatalf("acquire round trip = %+v, %v", a, err)
+	}
+	g, err := DecodeGrant(EncodeGrant(Grant{
+		Req: 9, Lease: 42, Slots: 2, Units: []string{"pool/0", "ws01/1"}, TermMS: 500,
+	}))
+	if err != nil || g.Lease != 42 || len(g.Units) != 2 || g.Units[1] != "ws01/1" {
+		t.Fatalf("grant round trip = %+v, %v", g, err)
+	}
+	ge, err := DecodeGrant(EncodeGrant(Grant{Req: 9, Err: "no capacity"}))
+	if err != nil || ge.Err != "no capacity" {
+		t.Fatalf("error-grant round trip = %+v, %v", ge, err)
+	}
+	r, err := DecodeRenew(EncodeRenew(RenewReq{Req: 1, Lease: 42, TermMS: 100}))
+	if err != nil || r.Lease != 42 {
+		t.Fatalf("renew round trip = %+v, %v", r, err)
+	}
+	rd, err := DecodeRenewed(EncodeRenewed(Renewed{Req: 1, Lease: 42, OK: true, TermMS: 100}))
+	if err != nil || !rd.OK || rd.Lease != 42 {
+		t.Fatalf("renewed round trip = %+v, %v", rd, err)
+	}
+	lease, err := DecodeRelease(EncodeRelease(42))
+	if err != nil || lease != 42 {
+		t.Fatalf("release round trip = %d, %v", lease, err)
+	}
+	s, err := DecodeStats(EncodeStats(StatsMsg{
+		Req: 5, Capacity: 8, Free: 3, Leased: 5, Grants: 10, Renews: 20,
+		Expiries: 1, Releases: 9, Waits: 2,
+		Members: map[string]int{"pool": 4, "ws01": 4},
+	}))
+	if err != nil || s.Capacity != 8 || s.Members["ws01"] != 4 || s.Renews != 20 {
+		t.Fatalf("stats round trip = %+v, %v", s, err)
+	}
+	req, err := DecodeReq(EncodeReq(5))
+	if err != nil || req != 5 {
+		t.Fatalf("req round trip = %d, %v", req, err)
+	}
+}
+
+// TestProtocolRejectsSemanticGarbage: structurally valid payloads with
+// hostile values are refused with errors, not accepted or panicked on.
+func TestProtocolRejectsSemanticGarbage(t *testing.T) {
+	if _, err := DecodeHello(EncodeHello(Hello{Role: "admin", Name: "x"})); err == nil {
+		t.Fatal("unknown hello role accepted")
+	}
+	if _, err := DecodeHello(EncodeHello(Hello{Role: RoleWorker, Name: ""})); err == nil {
+		t.Fatal("nameless hello accepted")
+	}
+	if _, err := DecodeHello(EncodeHello(Hello{Role: RoleWorker, Name: "x", Slots: -1})); err == nil {
+		t.Fatal("negative hello slots accepted")
+	}
+	if _, err := DecodeAcquire(EncodeAcquire(AcquireReq{Want: maxUnits + 1})); err == nil {
+		t.Fatal("oversized acquire accepted")
+	}
+	if _, err := DecodeAcquire(EncodeAcquire(AcquireReq{TermMS: -5})); err == nil {
+		t.Fatal("negative acquire term accepted")
+	}
+	// A grant whose slot count disagrees with its unit list is the
+	// accounting lie the decoder must catch.
+	if _, err := DecodeGrant(EncodeGrant(Grant{Slots: 3, Units: []string{"pool/0"}})); err == nil {
+		t.Fatal("grant slots/units mismatch accepted")
+	}
+	if _, err := DecodeStats(EncodeStats(StatsMsg{Capacity: -1})); err == nil {
+		t.Fatal("negative stats capacity accepted")
+	}
+}
+
+// TestProtocolRejectsTruncation: every decoder fails cleanly on
+// truncated and empty payloads.
+func TestProtocolRejectsTruncation(t *testing.T) {
+	whole := EncodeGrant(Grant{Req: 1, Lease: 2, Slots: 1, Units: []string{"pool/0"}, TermMS: 10})
+	for _, data := range [][]byte{nil, {}, whole[:3], whole[:len(whole)-1]} {
+		if _, err := DecodeHello(data); err == nil {
+			t.Fatal("truncated hello accepted")
+		}
+		if _, err := DecodeWelcome(data); err == nil {
+			t.Fatal("truncated welcome accepted")
+		}
+		if _, err := DecodeAcquire(data); err == nil {
+			t.Fatal("truncated acquire accepted")
+		}
+		if _, err := DecodeGrant(data); err == nil {
+			t.Fatal("truncated grant accepted")
+		}
+		if _, err := DecodeRenew(data); err == nil {
+			t.Fatal("truncated renew accepted")
+		}
+		if _, err := DecodeRenewed(data); err == nil {
+			t.Fatal("truncated renewed accepted")
+		}
+		if _, err := DecodeRelease(data); err == nil {
+			t.Fatal("truncated release accepted")
+		}
+		if _, err := DecodeStats(data); err == nil {
+			t.Fatal("truncated stats accepted")
+		}
+		if _, err := DecodeReq(data); err == nil {
+			t.Fatal("truncated req accepted")
+		}
+	}
+}
+
+// TestProtocolErrorsAreWrapped: decode failures identify the message
+// kind, so a dropped-conn log line says what was malformed.
+func TestProtocolErrorsAreWrapped(t *testing.T) {
+	_, err := DecodeGrant([]byte{1, 2, 3})
+	if err == nil || !strings.Contains(err.Error(), "grant") {
+		t.Fatalf("grant decode error = %v", err)
+	}
+	_, err = DecodeHello([]byte{1, 2, 3})
+	if err == nil || !strings.Contains(err.Error(), "hello") {
+		t.Fatalf("hello decode error = %v", err)
+	}
+}

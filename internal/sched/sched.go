@@ -166,6 +166,42 @@ func (p *WeightedFair) Next(q *queue.Q) *queue.Item {
 	return it
 }
 
+// FairState is a WeightedFair snapshot: the global virtual clock and
+// every tenant's virtual time, both monotone over a policy's lifetime.
+type FairState struct {
+	Global float64
+	VTime  map[string]float64
+}
+
+// Snapshot copies the policy's virtual clocks — what a replica hands
+// over (or persists) so jobs migrating to another replica's scheduler
+// keep their fair-share history.
+func (p *WeightedFair) Snapshot() FairState {
+	vt := make(map[string]float64, len(p.vtime))
+	for t, v := range p.vtime {
+		vt[t] = v
+	}
+	return FairState{Global: p.global, VTime: vt}
+}
+
+// Adopt merges another scheduler's virtual clocks into this one by
+// monotone max-merge: each tenant's virtual time and the global clock
+// only ever move forward. This is the replica-churn rule — when a dead
+// replica's jobs migrate here, a tenant that had raced ahead on the
+// dead replica does not reset to this scheduler's (lower) clock and so
+// cannot collect idle credit it never earned. Adopting the same state
+// twice, or states in either order, converges to the same clocks.
+func (p *WeightedFair) Adopt(st FairState) {
+	if st.Global > p.global {
+		p.global = st.Global
+	}
+	for t, v := range st.VTime {
+		if cur, ok := p.vtime[t]; !ok || v > cur {
+			p.vtime[t] = v
+		}
+	}
+}
+
 // Scheduler bounds concurrent dispatches and owns the drain state. It
 // is a passive picker — callers (the service facade, holding their own
 // lock) drive it; it is not itself goroutine-safe.

@@ -202,3 +202,106 @@ func TestNewPolicyUnknown(t *testing.T) {
 		t.Fatal("unknown policy accepted")
 	}
 }
+
+// TestWeightedFairChurnNoVtimeReset: when a replica dies and its jobs
+// migrate to a survivor's scheduler, a tenant that had raced its
+// virtual time ahead on the dead replica must not reset to the
+// survivor's clock — that would refund it the idle credit the
+// no-refund rule exists to deny. Adopt's monotone max-merge is what
+// prevents it.
+func TestWeightedFairChurnNoVtimeReset(t *testing.T) {
+	// Replica 1: tenant "flood" burns through ten jobs, racing its
+	// virtual time far ahead of tenant "calm", which runs one.
+	q1 := queue.New(queue.Config{})
+	p1 := NewWeightedFair(nil)
+	seq := 0
+	push(t, q1, "calm", 0, seq)
+	seq++
+	if it := p1.Next(q1); it == nil || it.Tenant != "calm" {
+		t.Fatal("warmup dispatch")
+	}
+	for i := 0; i < 10; i++ {
+		push(t, q1, "flood", 0, seq)
+		seq++
+		if it := p1.Next(q1); it == nil || it.Tenant != "flood" {
+			t.Fatal("flood dispatch")
+		}
+	}
+	st := p1.Snapshot()
+	if st.VTime["flood"] <= st.VTime["calm"] {
+		t.Fatalf("snapshot vtimes = %v: flood did not race ahead", st.VTime)
+	}
+
+	// Replica 2 is fresh (its clocks are at zero). Replica 1 dies; its
+	// jobs and fair-share state migrate. Without Adopt the flooder is
+	// an unseen tenant on replica 2: it would join at the fresh global
+	// clock — a full reset of the debt it ran up — and win the first
+	// slot on the sequence tiebreak. Demonstrate that bug first:
+	fill := func(q *queue.Q) {
+		for i := 0; i < 6; i++ {
+			push(t, q, "flood", 0, seq)
+			seq++
+			push(t, q, "calm", 0, seq)
+			seq++
+		}
+	}
+	qFresh := queue.New(queue.Config{})
+	fill(qFresh)
+	fresh := NewWeightedFair(nil)
+	if it := fresh.Next(qFresh); it == nil || it.Tenant != "flood" {
+		t.Fatalf("fresh scheduler first dispatch = %+v; expected the reset bug (flood first)", it)
+	}
+
+	// With Adopt, the flooder carries its virtual time across: the calm
+	// tenant gets the first slot back, and over the window the flooder
+	// can never outrun it.
+	p2 := NewWeightedFair(nil)
+	p2.Adopt(st)
+	if got := p2.Snapshot().VTime["flood"]; got != st.VTime["flood"] {
+		t.Fatalf("flood vtime after adopt = %v, want %v (carried, not reset)", got, st.VTime["flood"])
+	}
+	q2 := queue.New(queue.Config{})
+	fill(q2)
+	first := p2.Next(q2)
+	if first == nil || first.Tenant != "calm" {
+		t.Fatalf("post-migration first dispatch = %+v, want calm (flood owes virtual time)", first)
+	}
+	counts := map[string]int{"calm": 1}
+	for i := 0; i < 5; i++ {
+		it := p2.Next(q2)
+		if it == nil {
+			t.Fatal("queue drained early")
+		}
+		counts[it.Tenant]++
+	}
+	if counts["flood"] > counts["calm"] {
+		t.Fatalf("post-migration dispatches = %v: flooder reset its clock", counts)
+	}
+}
+
+// TestWeightedFairAdoptMonotoneIdempotent: Adopt converges regardless
+// of order or repetition — clocks only ever move forward.
+func TestWeightedFairAdoptMonotoneIdempotent(t *testing.T) {
+	a := FairState{Global: 5, VTime: map[string]float64{"x": 7, "y": 2}}
+	b := FairState{Global: 3, VTime: map[string]float64{"x": 4, "z": 9}}
+
+	p1 := NewWeightedFair(nil)
+	p1.Adopt(a)
+	p1.Adopt(b)
+	p1.Adopt(b) // repeat must not move anything
+
+	p2 := NewWeightedFair(nil)
+	p2.Adopt(b)
+	p2.Adopt(a)
+
+	s1, s2 := p1.Snapshot(), p2.Snapshot()
+	if s1.Global != s2.Global || s1.Global != 5 {
+		t.Fatalf("globals diverged: %v vs %v", s1.Global, s2.Global)
+	}
+	want := map[string]float64{"x": 7, "y": 2, "z": 9}
+	for tn, v := range want {
+		if s1.VTime[tn] != v || s2.VTime[tn] != v {
+			t.Fatalf("vtime[%s] = %v / %v, want %v", tn, s1.VTime[tn], s2.VTime[tn], v)
+		}
+	}
+}

@@ -35,6 +35,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// The replica header lets a client (or load balancer) tell which
+		// multi-master replica answered; absent in single-replica mode.
+		if id := s.cfg.ReplicaID; id != "" {
+			w.Header().Set("X-Nowrender-Replica", id)
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
@@ -247,7 +252,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	uptime := time.Since(s.started).Seconds()
 	s.mu.Unlock()
-	fs := s.pool.Stats()
+	fs := s.FleetStats()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	p := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
@@ -321,6 +326,12 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP nowrender_fleet_lease_waits_total Lease requests that had to wait for capacity.")
 	p("# TYPE nowrender_fleet_lease_waits_total counter")
 	p("nowrender_fleet_lease_waits_total %d", fs.Waits)
+	p("# HELP nowrender_fleet_lease_renews_total Broker lease renewals (0 in single-replica mode).")
+	p("# TYPE nowrender_fleet_lease_renews_total counter")
+	p("nowrender_fleet_lease_renews_total %d", fs.Renews)
+	p("# HELP nowrender_fleet_lease_expiries_total Broker leases expired unrenewed (0 in single-replica mode).")
+	p("# TYPE nowrender_fleet_lease_expiries_total counter")
+	p("nowrender_fleet_lease_expiries_total %d", fs.Expired)
 
 	p("# HELP nowrender_frames_rendered_total Frames rendered by the farm.")
 	p("# TYPE nowrender_frames_rendered_total counter")
@@ -403,6 +414,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p("nowrender_job_run_seconds{job=%q,state=%q} %g", t.id, string(t.state), t.runS)
 	}
 
+	if id := s.cfg.ReplicaID; id != "" {
+		p("# HELP nowrender_replica_info Identity of this control-plane replica (always 1).")
+		p("# TYPE nowrender_replica_info gauge")
+		p("nowrender_replica_info{replica=%q} 1", id)
+	}
 	p("# HELP nowrender_uptime_seconds Service uptime.")
 	p("# TYPE nowrender_uptime_seconds counter")
 	p("nowrender_uptime_seconds %g", uptime)

@@ -66,6 +66,18 @@ type Config struct {
 	// concurrently from the shared pool; 0 = unlimited (every run gets
 	// the workers it asks for).
 	FleetCapacity int
+	// Leaser, when non-nil, replaces the private fleet pool as the
+	// source of worker-capacity grants — this is how a replica in the
+	// multi-master control plane draws from the shared broker
+	// (internal/fleetd) instead of owning its workers. Nil preserves the
+	// single-replica behavior: a private pool bounded by FleetCapacity.
+	// The pool still exists either way (it owns the farm drivers).
+	Leaser fleet.Leaser
+	// ReplicaID names this service instance in a multi-replica
+	// deployment; surfaced in /metrics and the healthz payload so
+	// clients and scrapes can tell replicas apart. Empty = single
+	// replica.
+	ReplicaID string
 	// CacheBytes is the frame cache's pixel-byte budget. 0 selects the
 	// default 64 MiB; negative disables caching.
 	CacheBytes int64
@@ -130,6 +142,11 @@ func (c *Config) defaults() {
 	}
 	if c.CacheBytes == 0 {
 		c.CacheBytes = 64 << 20
+	} else if c.CacheBytes < 0 {
+		// framecache reads budget <= 0 as unlimited; the documented
+		// contract here is the opposite. A 1-byte budget admits no frame
+		// while flight coalescing keeps working.
+		c.CacheBytes = 1
 	}
 	if len(c.Machines) == 0 {
 		c.Machines = cluster.PaperTestbed()
@@ -161,10 +178,11 @@ const (
 // HTTP API. Create with New, serve its Handler, and Close on shutdown
 // (or Drain for a graceful one).
 type Service struct {
-	cfg   Config
-	cache *framecache.Cache
-	queue *queue.Q
-	pool  *fleet.Pool
+	cfg    Config
+	cache  *framecache.Cache
+	queue  *queue.Q
+	pool   *fleet.Pool
+	leaser fleet.Leaser // = pool, or the broker client in multi-master
 
 	mu       sync.Mutex
 	sched    *sched.Scheduler // passive; driven under mu
@@ -205,7 +223,7 @@ func New(cfg Config) *Service {
 			allowed[queue.Tenant(t)] = true
 		}
 	}
-	return &Service{
+	s := &Service{
 		cfg:   cfg,
 		cache: framecache.NewTTL(cfg.CacheBytes, cfg.CacheTTL),
 		queue: queue.New(queue.Config{
@@ -220,7 +238,15 @@ func New(cfg Config) *Service {
 		workerBusy: make(map[string]time.Duration),
 		started:    time.Now(),
 	}
+	s.leaser = cfg.Leaser
+	if s.leaser == nil {
+		s.leaser = s.pool
+	}
+	return s
 }
+
+// ReplicaID names this service instance ("" in single-replica mode).
+func (s *Service) ReplicaID() string { return s.cfg.ReplicaID }
 
 // Pool exposes the fleet pool so operators (and tests) can join or
 // remove capacity while the service runs.
@@ -645,13 +671,14 @@ func (s *Service) renderRange(j *job, start, end int) error {
 	if j.spec.Driver == "virtual" {
 		want = len(s.cfg.Machines)
 	}
-	lease, err := s.pool.Lease(j.ctx, want)
+	grant, err := s.leaser.Acquire(j.ctx, want)
 	if err != nil {
 		return err
 	}
-	defer lease.Return()
+	defer grant.Return()
+	slots := grant.Granted()
 	s.mu.Lock()
-	j.schedTrack.Instant(timeline.OpLease, start, int64(lease.Slots))
+	j.schedTrack.Instant(timeline.OpLease, start, int64(slots))
 	s.mu.Unlock()
 
 	var rec *timeline.Recorder
@@ -662,12 +689,12 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		rec = timeline.New(0)
 	}
 	machines := s.cfg.Machines
-	if lease.Slots < len(machines) {
-		machines = machines[:lease.Slots]
+	if slots < len(machines) {
+		machines = machines[:slots]
 	}
 	workers := s.cfg.Workers
-	if lease.Slots < workers {
-		workers = lease.Slots
+	if slots < workers {
+		workers = slots
 	}
 	cfg := farm.Config{
 		Scene: j.scene, W: j.spec.W, H: j.spec.H,
@@ -878,8 +905,10 @@ func (s *Service) Frame(id string, frame int) (*fb.Framebuffer, error) {
 // CacheStats snapshots the frame cache counters.
 func (s *Service) CacheStats() stats.CacheStats { return s.cache.Stats() }
 
-// FleetStats snapshots the worker pool (capacity, leases, members).
-func (s *Service) FleetStats() fleet.Stats { return s.pool.Stats() }
+// FleetStats snapshots the capacity source farm runs lease from: the
+// private pool in single-replica mode, the shared broker's view when a
+// Leaser was configured.
+func (s *Service) FleetStats() fleet.Stats { return s.leaser.Stats() }
 
 // QueueDepth returns the number of queued (not yet running) jobs.
 func (s *Service) QueueDepth() int { return s.queue.Len() }

@@ -581,3 +581,27 @@ func TestServiceClose(t *testing.T) {
 		t.Fatal("submit after Close accepted")
 	}
 }
+
+// TestNegativeCacheBytesDisablesCaching pins the Config contract:
+// CacheBytes < 0 means no frame reuse (framecache itself reads
+// budget <= 0 as unlimited, so the service must translate).
+func TestNegativeCacheBytesDisablesCaching(t *testing.T) {
+	s := New(Config{CacheBytes: -1})
+	defer s.Close()
+	spec := JobSpec{Scene: "newton:2", W: 40, H: 40}
+	for i := 0; i < 2; i++ {
+		st, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st = waitDone(t, s, st.ID); st.State != StateDone {
+			t.Fatalf("job %d: %s (%s)", i, st.State, st.Error)
+		}
+		if st.CacheHits != 0 || st.RaysTraced == 0 {
+			t.Fatalf("job %d hits=%d rays=%d: caching not disabled", i, st.CacheHits, st.RaysTraced)
+		}
+	}
+	if cs := s.CacheStats(); cs.Entries != 0 {
+		t.Fatalf("cache entries = %d, want 0", cs.Entries)
+	}
+}

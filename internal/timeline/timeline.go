@@ -109,6 +109,12 @@ const (
 	// OpDrain marks the service entering drain: admission stopped,
 	// running jobs finishing.
 	OpDrain
+	// OpLeaseRenew marks the fleet broker renewing a replica's worker
+	// lease (arg = lease id).
+	OpLeaseRenew
+	// OpLeaseExpire marks the fleet broker expiring a lease whose
+	// replica stopped renewing, returning its units (arg = lease id).
+	OpLeaseExpire
 	opCount
 )
 
@@ -141,6 +147,8 @@ var opNames = [...]string{
 	OpLease:        "lease",
 	OpCoalesce:     "coalesce",
 	OpDrain:        "drain",
+	OpLeaseRenew:   "lease-renew",
+	OpLeaseExpire:  "lease-expire",
 }
 
 // String returns the op's stable name (also the Chrome trace event
