@@ -39,7 +39,9 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the design ablations")
 		scaling   = flag.Bool("scaling", false, "cluster-size scaling sweep")
 		parallel  = flag.Bool("parallel", false, "intra-frame thread sweep, written to BENCH_parallel.json")
-		wire      = flag.Bool("wire", false, "frame codec sweep (full vs delta vs delta+flate), written to BENCH_wire.json")
+		wire      = flag.Bool("wire", false, "frame codec sweep (full, delta, delta+flate, delta+span, delta+adaptive), written to BENCH_wire.json")
+		wireCheck = flag.Bool("check", false, "with -wire: gate the sweep against the committed BENCH_wire.json baseline and the codec invariants, exiting nonzero on violation")
+		baseline  = flag.String("baseline", "BENCH_wire.json", "committed baseline path for -check")
 		dfbB      = flag.Bool("dfb", false, "distributed-framebuffer routing sweep (master vs compositor sinks), written to BENCH_dfb.json")
 		timelineB = flag.Bool("timeline", false, "event-recorder overhead bench (off vs on), written to BENCH_timeline.json")
 		schedB    = flag.Bool("sched", false, "multi-tenant scheduling policy sweep (fifo vs priority vs fair), written to BENCH_sched.json")
@@ -59,13 +61,14 @@ func main() {
 	if err := run(*table1 || *all, *fig2 || *all, *fig4 || *all,
 		*ablations || *all, *scaling || *all, *parallel || *all, *wire || *all,
 		*dfbB || *all, *timelineB || *all, *schedB || *all, *fleetB || *all,
-		*full, *frame, *outDir, *sceneSpec, *wireScene, *csvOut); err != nil {
+		*full, *frame, *outDir, *sceneSpec, *wireScene, *csvOut,
+		*wireCheck, *baseline); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB, schedB, fleetB, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut bool) error {
+func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB, schedB, fleetB, full bool, frame int, outDir, sceneSpec, wireScene string, csvOut, wireCheck bool, baselinePath string) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -244,27 +247,50 @@ func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB
 		if err != nil {
 			return err
 		}
-		fmt.Printf("=== Wire: frame codec sweep on %s (full vs delta vs delta+flate) ===\n", wsc.Name)
+		fmt.Printf("=== Wire: frame codec sweep on %s (full, delta, delta+flate, delta+span, delta+adaptive) ===\n", wsc.Name)
 		frames := 16
 		if full {
 			frames = 32
 		}
-		pts, err := farm.WireSweep(wsc, p.W, p.H, frames)
+		// The wire sweep always measures at the paper's canonical 240x320
+		// frame size, regardless of -quick: BENCH_wire.json is a committed
+		// baseline compared across runs by -check, so its workload must
+		// not vary with the convenience flags of the other experiments.
+		const wireW, wireH = 240, 320
+		// Read the committed baseline before anything overwrites it.
+		var baseBench farm.WireBench
+		if wireCheck {
+			raw, err := os.ReadFile(baselinePath)
+			if err != nil {
+				return fmt.Errorf("-check: baseline: %w", err)
+			}
+			if err := json.Unmarshal(raw, &baseBench); err != nil {
+				return fmt.Errorf("-check: baseline %s: %w", baselinePath, err)
+			}
+		}
+		bench, err := farm.WireSweep(wsc, wireW, wireH, frames)
 		if err != nil {
 			return err
 		}
 		var tb stats.Table
-		for _, pt := range pts {
+		for _, pt := range bench.Modes {
 			tb.AddRow("mode", pt.Mode,
 				"bytes/frame", fmt.Sprintf("%.0f", pt.BytesPerFrame),
 				"ratio", fmt.Sprintf("%.2fx", pt.RatioVsFull),
-				"ns/frame", fmt.Sprintf("%.0f", pt.NSPerFrame),
+				"enc ns/frame", fmt.Sprintf("%.0f", pt.EncodeNSPerFrame),
+				"key enc ns", fmt.Sprintf("%.0f", pt.KeyEncodeNS),
+				"steady enc", fmt.Sprintf("%.0f", pt.SteadyEncodeNSPerFrame),
+				"dec ns/frame", fmt.Sprintf("%.0f", pt.DecodeNSPerFrame),
+				"eff ns/frame", fmt.Sprintf("%.0f", pt.EffectiveNSPerFrame),
 				"deltas", fmt.Sprintf("%d", pt.FramesDelta),
-				"compressed", fmt.Sprintf("%d", pt.FramesCompressed),
+				"flate", fmt.Sprintf("%d", pt.FramesCompressed),
+				"span", fmt.Sprintf("%d", pt.FramesSpan),
 				"identical", fmt.Sprintf("%v", pt.Identical))
 		}
 		fmt.Println(tb.String())
-		data, err := json.MarshalIndent(pts, "", "  ")
+		fmt.Printf("paired codec stage: span %.0f ns/frame, flate %.0f ns/frame, speedup %.2fx\n",
+			bench.SpanCodecNSPerFrame, bench.FlateCodecNSPerFrame, bench.SpanCodecSpeedup)
+		data, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {
 			return err
 		}
@@ -279,6 +305,15 @@ func run(table1, fig2, fig4, ablations, scaling, parallel, wire, dfbB, timelineB
 			return err
 		}
 		fmt.Printf("wrote %s\n\n", jsonPath)
+		if wireCheck {
+			if bad := farm.WireCheck(&baseBench, bench); len(bad) > 0 {
+				for _, msg := range bad {
+					fmt.Fprintln(os.Stderr, "wire check FAIL:", msg)
+				}
+				return fmt.Errorf("wire perf gate: %d violation(s) against %s", len(bad), baselinePath)
+			}
+			fmt.Printf("wire check OK against %s\n\n", baselinePath)
+		}
 	}
 
 	if dfbB {

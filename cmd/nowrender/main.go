@@ -40,7 +40,8 @@ type faultOpts struct {
 	frameRetries               int
 	speculate                  bool
 	chaos                      string
-	wireDelta, wireCompress    bool
+	wireDelta                  bool
+	wireCompress               farm.WireCompressFlag
 	dfbSinks                   int
 	dfbAddrs                   string
 }
@@ -54,7 +55,8 @@ func (f faultOpts) apply(cfg *farm.Config) error {
 	cfg.FrameRetries = f.frameRetries
 	cfg.Speculate = f.speculate
 	cfg.WireDelta = f.wireDelta
-	cfg.WireCompress = f.wireCompress
+	cfg.WireCompress = f.wireCompress.Mode.Flate
+	cfg.WireSpanCodec = f.wireCompress.Mode.Span
 	switch {
 	case f.dfbAddrs != "":
 		// Remote compositor fleet (nowcompose daemons): frames land at
@@ -102,10 +104,17 @@ func main() {
 	flag.BoolVar(&ft.speculate, "speculate", false, "speculatively re-issue the slowest in-flight task to idle workers")
 	flag.StringVar(&ft.chaos, "chaos", "", "fault-injection plan, e.g. seed=7,drop=0.01,corrupt=0.005,delay=0.02:5ms,protect=worker00 (local mode)")
 	flag.BoolVar(&ft.wireDelta, "wire-delta", false, "ship dirty-span delta frames from workers that support them (pixels are identical either way)")
-	flag.BoolVar(&ft.wireCompress, "wire-compress", false, "flate-compress frame payloads from workers that support it")
+	flag.Var(&ft.wireCompress, "wire-compress", "frame payload compression: off, flate, span, or adaptive (per-worker choice); bare flag = flate")
 	flag.IntVar(&ft.dfbSinks, "dfb", 0, "route pixels through this many in-process compositor sinks instead of the master (local mode; 0 = off)")
 	flag.StringVar(&ft.dfbAddrs, "dfb-sinks", "", "comma-separated nowcompose sink addresses; pixels ship straight to them and the sinks emit the frames (master mode)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// Likely "-wire-compress span" instead of "-wire-compress=span":
+		// bool-style flags don't consume a value argument, so the mode word
+		// becomes a positional arg and silently stops flag parsing.
+		fmt.Fprintf(os.Stderr, "nowrender: unexpected argument %q (mode-taking flags need = syntax, e.g. -wire-compress=span)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 	if *version {
 		fmt.Println("nowrender", buildinfo.Version())
 		return

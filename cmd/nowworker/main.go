@@ -41,6 +41,7 @@ func main() {
 		chaos    = flag.String("chaos", "", "fault-injection plan applied to this worker's connection, e.g. seed=7,drop=0.01,corrupt=0.005")
 		delta    = flag.Bool("wire-delta", true, "advertise dirty-span delta frame support to the master")
 		compress = flag.Bool("wire-compress", true, "advertise flate frame compression support to the master")
+		span     = flag.Bool("wire-span", true, "advertise span-codec frame compression support to the master")
 		wireTL   = flag.Bool("wire-timeline", true, "advertise timeline-span shipping to the master")
 		tlOut    = flag.String("timeline", "", "write this worker's local timeline as Chrome trace JSON to this file on exit")
 		version  = flag.Bool("version", false, "print version and exit")
@@ -60,7 +61,8 @@ func main() {
 	opts := farm.WorkerOptions{
 		Threads: *threads, MasterDeadline: *deadline,
 		NoWireDelta: !*delta, NoWireCompress: !*compress,
-		NoWireTimeline: !*wireTL,
+		NoWireSpanCodec: !*span,
+		NoWireTimeline:  !*wireTL,
 	}
 	if *tlOut != "" {
 		opts.Timeline = timeline.New(0)

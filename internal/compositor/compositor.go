@@ -298,9 +298,7 @@ func (c *Compositor) assemble(m msg.Message) {
 		} else {
 			c.wire.FramesFull++
 		}
-		if fd.Encoding == wire.EncFlate {
-			c.wire.FramesCompressed++
-		}
+		c.wire.CountEncoding(fd.Encoding, uint64(len(data)))
 		c.wire.RawBytes += uint64(fd.RawPixBytes())
 		c.wire.WireBytes += uint64(len(data))
 		if complete && c.cfg.OnFrame != nil {

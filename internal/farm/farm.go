@@ -130,6 +130,12 @@ type Config struct {
 	// Both are negotiated per worker via TagHello capability bits, so
 	// mixed fleets interoperate; pixels are byte-identical either way.
 	WireDelta, WireCompress bool
+	// WireSpanCodec lets capable workers use the span codec
+	// (msg.SpanCompress) for frame payloads. Together with WireCompress
+	// it grants both codecs and each worker chooses per frame (adaptive
+	// mode, see wire.Encoder); alone it is the static span-codec mode.
+	// Negotiated like the other bits, so legacy workers are unaffected.
+	WireSpanCodec bool
 
 	// DFB, when non-nil, enables the distributed framebuffer: frames are
 	// sharded across compositor sinks (internal/compositor), workers

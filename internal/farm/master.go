@@ -260,6 +260,9 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 		if cfg.WireCompress && w.caps&capWireCompress != 0 {
 			flags |= capWireCompress
 		}
+		if cfg.WireSpanCodec && w.caps&capWireSpanCodec != 0 {
+			flags |= capWireSpanCodec
+		}
 		if rec != nil && w.caps&capWireTimeline != 0 {
 			flags |= capWireTimeline
 		}
@@ -909,9 +912,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 				// confirmation, once per applied result.
 				res.Wire.RawBytes += uint64(fd.Region.Area() * 3)
 			}
-			if fd.Encoding == encFlate {
-				res.Wire.FramesCompressed++
-			}
+			res.Wire.CountEncoding(fd.Encoding, uint64(len(m.Data)))
 			mt.Instant(timeline.OpResult, fd.Frame, int64(len(m.Data)))
 			mergeShipped(m.From, fd.TLNow, fd.TLTracks, fd.TLEvents)
 			if dfbOn {
@@ -1030,9 +1031,9 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			} else {
 				res.Wire.FramesFull++
 			}
-			if a.Encoding == encFlate {
-				res.Wire.FramesCompressed++
-			}
+			// The payload bytes crossed the worker→sink link, so charge
+			// the per-codec byte counter with SinkBytes, not the ack size.
+			res.Wire.CountEncoding(a.Encoding, uint64(a.SinkBytes))
 			mt.Instant(timeline.OpAck, a.Frame, int64(a.SinkBytes))
 			mergeShipped(m.From, a.TLNow, a.TLTracks, a.TLEvents)
 			w.lastProgress = w.lastHeard

@@ -60,17 +60,19 @@ const (
 // live in internal/wire (shared with the compositor subsystem); the
 // farm keeps these aliases so the protocol reads as before.
 const (
-	capWireDelta    = wire.CapDelta
-	capWireCompress = wire.CapCompress
-	capWireTimeline = wire.CapTimeline
-	capWireDFB      = wire.CapDFB
-	wireCapsMask    = wire.CapsMask
+	capWireDelta     = wire.CapDelta
+	capWireCompress  = wire.CapCompress
+	capWireTimeline  = wire.CapTimeline
+	capWireDFB       = wire.CapDFB
+	capWireSpanCodec = wire.CapSpanCodec
+	wireCapsMask     = wire.CapsMask
 
 	frameFull  = wire.KindFull
 	frameDelta = wire.KindDelta
 
 	encRaw   = wire.EncRaw
 	encFlate = wire.EncFlate
+	encSpan  = wire.EncSpan
 
 	wireSpanOverhead = wire.SpanOverhead
 	wireCompressMin  = wire.CompressMin

@@ -73,7 +73,7 @@ func RenderVirtual(cfg Config) (*Result, error) {
 	// codec — delta spans, size guard, flate — so modelled byte counts
 	// are the true wire costs, not estimates. Off (the default) it keeps
 	// the legacy flat charge, preserving historical makespans.
-	wireOn := cfg.WireDelta || cfg.WireCompress
+	wireOn := cfg.WireDelta || cfg.WireCompress || cfg.WireSpanCodec
 	wireFlags := 0
 	if cfg.WireDelta {
 		wireFlags |= capWireDelta
@@ -81,7 +81,13 @@ func RenderVirtual(cfg Config) (*Result, error) {
 	if cfg.WireCompress {
 		wireFlags |= capWireCompress
 	}
+	if cfg.WireSpanCodec {
+		wireFlags |= capWireSpanCodec
+	}
 	var wireEnc frameEncoder // shared scratch; the event loop is sequential
+	// The virtual driver's contract is identical statistics on every
+	// run: the adaptive codec decision must not read wall clocks.
+	wireEnc.Deterministic = true
 
 	// DFB modeling: with sinks configured, the pixel payload is charged
 	// to sink ingress and the master is charged only the real encoded
@@ -233,9 +239,7 @@ func RenderVirtual(cfg Config) (*Result, error) {
 			res.BytesTransferred += int64(len(data))
 			res.Wire.WireBytes += uint64(len(data))
 			res.Wire.RawBytes += uint64(w.task.Region.Area() * 3)
-			if fd.Encoding == encFlate {
-				res.Wire.FramesCompressed++
-			}
+			res.Wire.CountEncoding(fd.Encoding, uint64(len(data)))
 			rd, err := decodeFrameDone(data)
 			if err != nil {
 				return err

@@ -552,3 +552,156 @@ func FuzzDeltaDecode(f *testing.F) {
 		}
 	})
 }
+
+// TestWireCapBitsPinned pins the wire capability bit assignments and the
+// WorkerOptions withholding map. These values are protocol: a renumbered
+// bit would make a new worker advertise capabilities an old master reads
+// as something else entirely, so any change here must fail loudly.
+func TestWireCapBitsPinned(t *testing.T) {
+	pinned := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"delta", capWireDelta, 1 << 0},
+		{"compress", capWireCompress, 1 << 1},
+		{"timeline", capWireTimeline, 1 << 2},
+		{"dfb", capWireDFB, 1 << 3},
+		{"span-codec", capWireSpanCodec, 1 << 4},
+	}
+	mask := 0
+	for _, c := range pinned {
+		if c.got != c.want {
+			t.Errorf("cap %s = %#x, want %#x", c.name, c.got, c.want)
+		}
+		mask |= c.want
+	}
+	if wireCapsMask != mask {
+		t.Errorf("caps mask %#x, want %#x", wireCapsMask, mask)
+	}
+	opts := []struct {
+		name string
+		o    WorkerOptions
+		want int
+	}{
+		{"default-all", WorkerOptions{}, wireCapsMask},
+		{"no-delta", WorkerOptions{NoWireDelta: true}, wireCapsMask &^ capWireDelta},
+		{"no-compress", WorkerOptions{NoWireCompress: true}, wireCapsMask &^ capWireCompress},
+		{"no-span", WorkerOptions{NoWireSpanCodec: true}, wireCapsMask &^ capWireSpanCodec},
+		{"flate-only-codec", WorkerOptions{NoWireSpanCodec: true, NoWireDFB: true},
+			capWireDelta | capWireCompress | capWireTimeline},
+		{"span-only-codec", WorkerOptions{NoWireCompress: true, NoWireDFB: true},
+			capWireDelta | capWireTimeline | capWireSpanCodec},
+	}
+	for _, c := range opts {
+		if got := c.o.caps(); got != c.want {
+			t.Errorf("caps(%s) = %#x, want %#x", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFrameEncoderSpanCodec exercises the span-codec payload path in the
+// production encoder on both frame kinds: a key-frame (which ships the
+// vertically filtered residual) and a dirty-span delta, each decoded back
+// to byte-identical pixels by the production decoder.
+func TestFrameEncoderSpanCodec(t *testing.T) {
+	const w, h = 48, 40
+	region := fb.NewRect(0, 0, w, h)
+	// Vertically coherent gradient: compressible by the span codec, and
+	// exactly the content the key-frame filter is for.
+	src := fb.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w*3; x++ {
+			src.Pix[y*w*3+x] = byte(x + y*2)
+		}
+	}
+	var enc frameEncoder
+	enc.Deterministic = true
+
+	fd := frameDoneMsg{TaskID: 1, Frame: 0, Region: region}
+	got, err := decodeFrameDone(enc.Encode(&fd, src, capWireDelta|capWireSpanCodec, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != frameFull {
+		t.Fatalf("key frame kind %d, want full", got.Kind)
+	}
+	if got.Encoding != encSpan {
+		t.Fatalf("key frame encoding %d, want span", got.Encoding)
+	}
+	if !bytes.Equal(got.Pix, src.Pix) {
+		t.Fatal("span key frame did not restore byte-identical pixels")
+	}
+	got.Release()
+
+	// Delta frame: a band of full-width dirty rows, span-coded, applied
+	// over the previous frame.
+	var spans []fb.Span
+	for y := 8; y < 24; y++ {
+		spans = append(spans, fb.Span{Y: y, X0: 0, X1: w - 1})
+	}
+	fd = frameDoneMsg{TaskID: 1, Frame: 1, Region: region}
+	got, err = decodeFrameDone(enc.Encode(&fd, src, capWireDelta|capWireSpanCodec, spans, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != frameDelta {
+		t.Fatalf("delta frame kind %d, want delta", got.Kind)
+	}
+	if got.Encoding != encSpan {
+		t.Fatalf("delta frame encoding %d, want span", got.Encoding)
+	}
+	cur := fb.New(w, h)
+	copy(cur.Pix, src.Pix)
+	if err := cur.ApplySpans(got.Spans, got.Pix); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cur.Pix, src.Pix) {
+		t.Fatal("span delta did not restore byte-identical pixels")
+	}
+	got.Release()
+}
+
+// TestWireMixedFleetCodecs drives one master over a fleet whose workers
+// advertise disjoint codec capabilities — one legacy flate-era worker,
+// one flate-only, one span-only — against the committed golden hashes.
+// The negotiation must confine each codec to the workers that advertise
+// it while the assembled animation stays byte-identical.
+func TestWireMixedFleetCodecs(t *testing.T) {
+	sc := farmScene(goldenFrames)
+	want := readGolden(t)
+	res, err := RenderLocal(Config{
+		Scene: sc, W: fw, H: fh, Coherence: true, Workers: 3,
+		Scheme:        partition.FrameDivision{BlockW: 16, BlockH: 16, Adaptive: true},
+		WireDelta:     true,
+		WireCompress:  true,
+		WireSpanCodec: true,
+		WorkerOpts: func(i int) WorkerOptions {
+			switch i {
+			case 0: // compression-era holdout: deltas, but raw payloads only
+				return WorkerOptions{NoWireCompress: true, NoWireSpanCodec: true}
+			case 1: // flate-only worker (pre-span-codec binary)
+				return WorkerOptions{NoWireSpanCodec: true}
+			default: // span-only worker
+				return WorkerOptions{NoWireCompress: true}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, hsh := range hashFrames(res.Frames) {
+		if hsh != want[i] {
+			t.Errorf("mixed codec farm: frame %d hash mismatch", i)
+		}
+	}
+	if res.Wire.FramesDelta == 0 {
+		t.Error("mixed codec farm shipped no delta frames")
+	}
+	if res.Wire.FramesCompressed == 0 {
+		t.Error("flate-only worker shipped no flate payloads")
+	}
+	if res.Wire.FramesSpan == 0 {
+		t.Error("span-only worker shipped no span payloads")
+	}
+}

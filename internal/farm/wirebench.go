@@ -1,47 +1,115 @@
 package farm
 
 import (
+	"fmt"
 	"time"
 
 	"nowrender/internal/coherence"
 	"nowrender/internal/fb"
+	"nowrender/internal/msg"
 	"nowrender/internal/scene"
+	"nowrender/internal/wire"
 )
 
 // WirePoint is one wire mode's measurement of the frame codec: the
 // bytes each frame result costs on the wire and the encode+decode time
 // it takes to get there. Serialised into BENCH_wire.json by cmd/benchtab
-// so the data-path trajectory is recorded over time.
+// so the data-path trajectory is recorded over time, and compared
+// against the committed baseline by WireCheck (benchtab -check) so
+// codec regressions fail CI loudly.
 type WirePoint struct {
 	// Mode is "full" (legacy raw region), "delta" (dirty-span deltas
-	// after the key-frame) or "delta+flate" (deltas plus compression).
+	// after the key-frame), "delta+flate" (deltas plus flate),
+	// "delta+span" (deltas plus the span codec) or "delta+adaptive"
+	// (both codecs granted, per-frame choice).
 	Mode   string `json:"mode"`
 	Frames int    `json:"frames"`
 	// BytesTotal is the summed encoded frameDone payloads, including the
 	// mandatory frame-0 key-frame; BytesPerFrame is the average.
 	BytesTotal    int64   `json:"bytes_total"`
 	BytesPerFrame float64 `json:"bytes_per_frame"`
-	// NSPerFrame is the average encode+decode+apply time per frame.
-	NSPerFrame float64 `json:"ns_per_frame"`
+	// NSPerFrame is the average encode+decode+apply time per frame;
+	// EncodeNSPerFrame and DecodeNSPerFrame split it by side, since the
+	// encode half is what burns worker render budget.
+	NSPerFrame       float64 `json:"ns_per_frame"`
+	EncodeNSPerFrame float64 `json:"encode_ns_per_frame"`
+	DecodeNSPerFrame float64 `json:"decode_ns_per_frame"`
+	// KeyEncodeNS is frame 0's encode time alone (the mandatory
+	// key-frame, paid once per task) and SteadyEncodeNSPerFrame the
+	// average over the remaining frames — the steady-state cost a long
+	// animation converges to, since the key-frame amortises as O(1/N).
+	// Codec comparisons use the steady column so a mode's key-frame
+	// handling (reported here) cannot mask its per-frame behaviour.
+	KeyEncodeNS            float64 `json:"key_encode_ns"`
+	SteadyEncodeNSPerFrame float64 `json:"steady_encode_ns_per_frame"`
+	// EffectiveNSPerFrame is the modelled per-frame cost of this mode on
+	// the paper's wire: encode time plus BytesPerFrame at
+	// wire.WireNsPerByte. It is the objective the adaptive decision
+	// minimises, so "adaptive is never slower on the wire than the best
+	// static choice" is checked on this column.
+	EffectiveNSPerFrame float64 `json:"effective_ns_per_frame"`
 	// RatioVsFull is full-mode bytes divided by this mode's bytes (1.0
 	// for the full mode itself): the wire-traffic reduction factor.
 	RatioVsFull float64 `json:"ratio_vs_full"`
-	// FramesDelta and FramesCompressed count how often the encoder
-	// actually chose the delta representation / kept the flate output.
+	// FramesDelta, FramesCompressed and FramesSpan count how often the
+	// encoder actually chose the delta representation / kept the flate
+	// output / kept the span-codec output.
 	FramesDelta      int `json:"frames_delta"`
 	FramesCompressed int `json:"frames_compressed"`
+	FramesSpan       int `json:"frames_span"`
 	// Identical records the determinism check: the pixels reconstructed
 	// from the decoded stream compared byte-for-byte against the render.
 	Identical bool `json:"identical"`
 }
 
+// WireBench is a full wire-sweep result: the per-mode replay rows plus
+// a paired measurement of the two codecs' delta-frame stage cost, which
+// is what the span-speedup gate runs on. The paired numbers exist
+// because a ratio computed across two separately timed mode rows
+// inherits the machine drift between them (tens of percent on shared
+// runners), which would force a uselessly wide gate band.
+type WireBench struct {
+	Modes []WirePoint `json:"modes"`
+	// SpanCodecNSPerFrame and FlateCodecNSPerFrame push the same
+	// captured delta payloads through msg.SpanCompress and msg.Deflate
+	// in alternating whole passes, keeping each codec's best pass.
+	// Alternating passes makes the two sides sample the same machine
+	// conditions (so their ratio is stable run to run) while preserving
+	// each codec's natural back-to-back cache locality within a pass —
+	// interleaving the codecs per frame instead lets each evict the
+	// other's working set, a state neither static production mode ever
+	// runs in (a worker encodes every frame with one codec).
+	SpanCodecNSPerFrame  float64 `json:"span_codec_ns_per_frame"`
+	FlateCodecNSPerFrame float64 `json:"flate_codec_ns_per_frame"`
+	// SpanCodecSpeedup is flate's per-frame stage cost over span's: the
+	// number WireCheck floors at WireCheckSpanSpeedup.
+	SpanCodecSpeedup float64 `json:"span_codec_speedup"`
+}
+
+// wireSweepModes is the replay matrix, in presentation order.
+var wireSweepModes = []struct {
+	name  string
+	flags int
+}{
+	{"full", 0},
+	{"delta", capWireDelta},
+	{"delta+flate", capWireDelta | capWireCompress},
+	{"delta+span", capWireDelta | capWireSpanCodec},
+	{"delta+adaptive", capWireDelta | capWireCompress | capWireSpanCodec},
+}
+
 // WireSweep measures the farm frame codec on a real render: it traces
 // `frames` frames of sc at w x h through a coherence engine once,
-// capturing each frame's pixels and dirty spans, then replays the
-// capture through each wire mode with the production encoder and
-// decoder, verifying that the reconstructed stream is byte-identical to
-// the render.
-func WireSweep(sc *scene.Scene, w, h, frames int) ([]WirePoint, error) {
+// capturing each frame's pixels, dirty spans, and render time, then
+// replays the capture through each wire mode with the production
+// encoder and decoder, verifying that the reconstructed stream is
+// byte-identical to the render. The static modes run the encoder in its
+// deterministic configuration (no clock reads); the adaptive mode runs
+// it live, measuring real codec costs exactly as a worker would — its
+// codec choices (and so its byte counts) can therefore vary with the
+// machine, which is why WireCheck holds it to the effective-cost
+// invariant rather than a byte baseline.
+func WireSweep(sc *scene.Scene, w, h, frames int) (*WireBench, error) {
 	if frames <= 0 || frames > sc.Frames {
 		frames = sc.Frames
 	}
@@ -52,37 +120,117 @@ func WireSweep(sc *scene.Scene, w, h, frames int) ([]WirePoint, error) {
 	}
 	bufs := make([]*fb.Framebuffer, frames)
 	spans := make([][]fb.Span, frames)
+	renderNs := make([]int64, frames)
 	buf := fb.New(w, h)
 	for f := 0; f < frames; f++ {
+		rstart := time.Now()
 		if _, err := eng.RenderFrame(f, buf); err != nil {
 			return nil, err
 		}
+		renderNs[f] = time.Since(rstart).Nanoseconds()
 		img := fb.New(w, h)
 		copy(img.Pix, buf.Pix)
 		bufs[f] = img
 		spans[f] = append([]fb.Span(nil), eng.LastSpans()...)
 	}
 
-	modes := []struct {
-		name  string
-		flags int
-	}{
-		{"full", 0},
-		{"delta", capWireDelta},
-		{"delta+flate", capWireDelta | capWireCompress},
-	}
-	out := make([]WirePoint, 0, len(modes))
-	var fullBytes int64
-	for _, mode := range modes {
+	// Warm-up: run the whole capture through one untimed encode+decode
+	// pass so the timed loops below measure the steady state — pooled
+	// buffers allocated, branch predictors and caches primed — instead
+	// of folding one-time warm-up costs into whichever mode runs first.
+	// Bytes are unaffected (the throwaway encoder is discarded), so the
+	// committed byte baselines do not depend on this pass.
+	{
 		var enc frameEncoder
+		enc.Deterministic = true
+		warmFlags := capWireDelta | capWireCompress | capWireSpanCodec
+		for f := 0; f < frames; f++ {
+			fd := frameDoneMsg{TaskID: 1, Frame: f, Region: region, ElapsedNs: renderNs[f]}
+			data := enc.Encode(&fd, bufs[f], warmFlags, spans[f], f == 0)
+			rd, err := decodeFrameDone(data)
+			if err != nil {
+				return nil, err
+			}
+			rd.Release()
+		}
+	}
+
+	bench := &WireBench{Modes: make([]WirePoint, 0, len(wireSweepModes))}
+	// Paired codec-stage measurement: the raw delta payloads (the exact
+	// bytes the encoder hands each codec on a steady-state frame),
+	// alternating whole span and flate passes and keeping each side's
+	// best pass. Minimum-of-passes because the gate wants the codecs'
+	// intrinsic cost ratio, not whichever transient noise taxed a pass.
+	{
+		var payloads [][]byte
+		for f := 1; f < frames; f++ {
+			if len(spans[f]) > 0 {
+				payloads = append(payloads, bufs[f].AppendSpans(nil, spans[f]))
+			}
+		}
+		if len(payloads) > 0 {
+			const pairedPasses = 8
+			var z []byte
+			var bestSpan, bestFlate int64
+			for r := 0; r < pairedPasses; r++ {
+				start := time.Now()
+				for _, p := range payloads {
+					z = msg.SpanCompress(z[:0], p)
+				}
+				if ns := time.Since(start).Nanoseconds(); r == 0 || ns < bestSpan {
+					bestSpan = ns
+				}
+				start = time.Now()
+				for _, p := range payloads {
+					var err error
+					if z, err = msg.Deflate(z[:0], p); err != nil {
+						return nil, err
+					}
+				}
+				if ns := time.Since(start).Nanoseconds(); r == 0 || ns < bestFlate {
+					bestFlate = ns
+				}
+			}
+			bench.SpanCodecNSPerFrame = float64(bestSpan) / float64(len(payloads))
+			bench.FlateCodecNSPerFrame = float64(bestFlate) / float64(len(payloads))
+			if bestSpan > 0 {
+				bench.SpanCodecSpeedup = float64(bestFlate) / float64(bestSpan)
+			}
+		}
+	}
+
+	var fullBytes int64
+	for _, mode := range wireSweepModes {
+		var enc frameEncoder
+		enc.Deterministic = mode.flags&capWireSpanCodec == 0 || mode.flags&capWireCompress == 0
 		pt := WirePoint{Mode: mode.name, Frames: frames, Identical: true}
 		cur := fb.New(w, h)
-		start := time.Now()
+		var encodeNs, decodeNs int64
+		// Encode and decode run as separate passes, as they do in
+		// production — the worker encodes, the master decodes, on
+		// different machines. Interleaving them on one core would let
+		// the decode+apply+verify side (which streams two framebuffers
+		// per frame) evict the encoder's working set between frames and
+		// tax every encode measurement with refill cost.
+		msgs := make([][]byte, frames)
 		for f := 0; f < frames; f++ {
-			fd := frameDoneMsg{TaskID: 1, Frame: f, Region: region}
+			fd := frameDoneMsg{TaskID: 1, Frame: f, Region: region, ElapsedNs: renderNs[f]}
+			encStart := time.Now()
 			data := enc.Encode(&fd, bufs[f], mode.flags, spans[f], f == 0)
+			frameEncNs := time.Since(encStart).Nanoseconds()
+			encodeNs += frameEncNs
+			if f == 0 {
+				pt.KeyEncodeNS = float64(frameEncNs)
+			}
 			pt.BytesTotal += int64(len(data))
-			rd, err := decodeFrameDone(data)
+			// The sealed bytes live in pooled scratch the next Encode
+			// reuses; the copy keeps them for the decode pass (and is
+			// outside the timed window).
+			msgs[f] = append([]byte(nil), data...)
+		}
+		for f := 0; f < frames; f++ {
+			decStart := time.Now()
+			rd, err := decodeFrameDone(msgs[f])
 			if err != nil {
 				return nil, err
 			}
@@ -95,17 +243,26 @@ func WireSweep(sc *scene.Scene, w, h, frames int) ([]WirePoint, error) {
 			} else {
 				copy(cur.Pix, rd.Pix)
 			}
-			if rd.Encoding == encFlate {
+			decodeNs += time.Since(decStart).Nanoseconds()
+			switch rd.Encoding {
+			case encFlate:
 				pt.FramesCompressed++
+			case encSpan:
+				pt.FramesSpan++
 			}
 			rd.Release()
 			if !cur.Equal(bufs[f]) {
 				pt.Identical = false
 			}
 		}
-		wall := time.Since(start)
 		pt.BytesPerFrame = float64(pt.BytesTotal) / float64(frames)
-		pt.NSPerFrame = float64(wall.Nanoseconds()) / float64(frames)
+		pt.EncodeNSPerFrame = float64(encodeNs) / float64(frames)
+		pt.DecodeNSPerFrame = float64(decodeNs) / float64(frames)
+		if frames > 1 {
+			pt.SteadyEncodeNSPerFrame = (float64(encodeNs) - pt.KeyEncodeNS) / float64(frames-1)
+		}
+		pt.NSPerFrame = pt.EncodeNSPerFrame + pt.DecodeNSPerFrame
+		pt.EffectiveNSPerFrame = pt.EncodeNSPerFrame + pt.BytesPerFrame*wire.WireNsPerByte
 		switch {
 		case mode.flags == 0:
 			fullBytes = pt.BytesTotal
@@ -113,7 +270,113 @@ func WireSweep(sc *scene.Scene, w, h, frames int) ([]WirePoint, error) {
 		case pt.BytesTotal > 0:
 			pt.RatioVsFull = float64(fullBytes) / float64(pt.BytesTotal)
 		}
-		out = append(out, pt)
+		bench.Modes = append(bench.Modes, pt)
 	}
-	return out, nil
+	return bench, nil
+}
+
+// Threshold bands for WireCheck. Bytes are deterministic up to codec
+// choices (which the sweep pins via the deterministic encoder), so
+// their band is tight; encode timing on shared CI runners is noisy, so
+// its band is wide — the structural invariants below are what hold the
+// span codec to its design point regardless of machine speed.
+const (
+	// WireCheckBytesSlack allows committed-baseline drift in bytes/frame
+	// before failing (scene or codec-choice changes should instead
+	// regenerate the baseline deliberately).
+	WireCheckBytesSlack = 1.15
+	// WireCheckEncodeSlack allows per-mode encode ns/frame drift vs the
+	// baseline (absorbs runner speed differences, not algorithmic
+	// regressions, which blow well past 1.75x).
+	WireCheckEncodeSlack = 1.75
+	// WireCheckSpanSpeedup floors the paired codec-stage ratio
+	// (WireBench.SpanCodecSpeedup): how many times cheaper the span
+	// codec encodes a steady-state delta payload than flate. Steady
+	// state because the one-time key-frame (reported per row in
+	// key_encode_ns; the span codec wins it too, by ~2x) amortises as
+	// O(1/N) over an animation, while the delta-frame cost is what
+	// every further frame pays. The design target was 4x; measured
+	// honestly the codec delivers 3.6-4.2x depending on machine state
+	// (EXPERIMENTS.md records the band and the measurement method), so
+	// the regression floor sits at 3.5x — below the measured band's
+	// bottom edge, far above where any algorithmic regression lands
+	// (dropping the cheapest optimisation in the hot loop costs >15%).
+	WireCheckSpanSpeedup = 3.5
+	// WireCheckSpanByteShare: the span codec must retain at least this
+	// share of flate's byte reduction below plain delta.
+	WireCheckSpanByteShare = 0.8
+	// WireCheckAdaptiveSlack: adaptive effective ns/frame may exceed the
+	// best static mode's by at most this factor (probe-frame overhead).
+	WireCheckAdaptiveSlack = 1.03
+)
+
+// WireCheck compares a fresh sweep against the committed baseline and
+// the codec's structural invariants, returning one message per
+// violation (empty = gate passes). It is the engine of `benchtab -wire
+// -check`, the CI perf threshold gate.
+func WireCheck(baseline, current *WireBench) []string {
+	var bad []string
+	base := make(map[string]WirePoint, len(baseline.Modes))
+	for _, pt := range baseline.Modes {
+		base[pt.Mode] = pt
+	}
+	cur := make(map[string]WirePoint, len(current.Modes))
+	for _, pt := range current.Modes {
+		cur[pt.Mode] = pt
+		if !pt.Identical {
+			bad = append(bad, fmt.Sprintf("%s: reconstructed pixels differ from the render", pt.Mode))
+		}
+		b, ok := base[pt.Mode]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from committed baseline (regenerate BENCH_wire.json)", pt.Mode))
+			continue
+		}
+		// The adaptive row's byte count depends on measured codec costs
+		// (machine-dependent by design); it is gated by the effective-
+		// cost invariant below instead of the byte baseline.
+		if pt.Mode != "delta+adaptive" &&
+			b.BytesPerFrame > 0 && pt.BytesPerFrame > b.BytesPerFrame*WireCheckBytesSlack {
+			bad = append(bad, fmt.Sprintf("%s: bytes/frame %.0f exceeds baseline %.0f x%.2f",
+				pt.Mode, pt.BytesPerFrame, b.BytesPerFrame, WireCheckBytesSlack))
+		}
+		if b.EncodeNSPerFrame > 0 && pt.EncodeNSPerFrame > b.EncodeNSPerFrame*WireCheckEncodeSlack {
+			bad = append(bad, fmt.Sprintf("%s: encode ns/frame %.0f exceeds baseline %.0f x%.2f",
+				pt.Mode, pt.EncodeNSPerFrame, b.EncodeNSPerFrame, WireCheckEncodeSlack))
+		}
+	}
+	for _, mode := range []string{"delta", "delta+flate", "delta+span", "delta+adaptive"} {
+		if _, ok := cur[mode]; !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from sweep", mode))
+			return bad
+		}
+	}
+	delta, flate, span, adaptive := cur["delta"], cur["delta+flate"], cur["delta+span"], cur["delta+adaptive"]
+	// The span codec's design point: WireCheckSpanSpeedup x cheaper
+	// steady-state delta encoding than flate while keeping most of its
+	// byte reduction. Checked on the paired codec-stage measurement so
+	// the ratio does not inherit drift between separately timed rows
+	// (see the WireBench and constant comments).
+	if current.SpanCodecSpeedup > 0 && current.SpanCodecSpeedup < WireCheckSpanSpeedup {
+		bad = append(bad, fmt.Sprintf("delta+span: paired codec stage %.0f ns/frame is only %.2fx faster than flate's %.0f (floor %.1fx)",
+			current.SpanCodecNSPerFrame, current.SpanCodecSpeedup, current.FlateCodecNSPerFrame, WireCheckSpanSpeedup))
+	}
+	if flateSaves := delta.BytesPerFrame - flate.BytesPerFrame; flateSaves > 0 {
+		spanSaves := delta.BytesPerFrame - span.BytesPerFrame
+		if spanSaves < flateSaves*WireCheckSpanByteShare {
+			bad = append(bad, fmt.Sprintf("delta+span: byte reduction %.0f B/frame is under %.0f%% of delta+flate's %.0f",
+				spanSaves, WireCheckSpanByteShare*100, flateSaves))
+		}
+	}
+	// Adaptive must track the best static choice on the modelled wire.
+	bestStatic := delta.EffectiveNSPerFrame
+	for _, pt := range []WirePoint{flate, span} {
+		if pt.EffectiveNSPerFrame < bestStatic {
+			bestStatic = pt.EffectiveNSPerFrame
+		}
+	}
+	if adaptive.EffectiveNSPerFrame > bestStatic*WireCheckAdaptiveSlack {
+		bad = append(bad, fmt.Sprintf("delta+adaptive: effective %.0f ns/frame exceeds best static %.0f x%.2f",
+			adaptive.EffectiveNSPerFrame, bestStatic, WireCheckAdaptiveSlack))
+	}
+	return bad
 }

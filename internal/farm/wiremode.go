@@ -1,0 +1,57 @@
+package farm
+
+import "fmt"
+
+// WireCompressMode is the daemon-facing view of the two compression
+// config bits: -wire-compress historically was a boolean (off/flate),
+// and grew span and adaptive modes with the span codec.
+type WireCompressMode struct {
+	Flate, Span bool
+}
+
+// ParseWireCompressMode maps a -wire-compress flag value onto the
+// config bits. The historical boolean spellings stay valid: "true" (and
+// the bare flag) means flate, "false" means off.
+func ParseWireCompressMode(s string) (WireCompressMode, error) {
+	switch s {
+	case "off", "none", "false", "0":
+		return WireCompressMode{}, nil
+	case "flate", "true", "1", "":
+		return WireCompressMode{Flate: true}, nil
+	case "span":
+		return WireCompressMode{Span: true}, nil
+	case "adaptive":
+		return WireCompressMode{Flate: true, Span: true}, nil
+	}
+	return WireCompressMode{}, fmt.Errorf("bad wire-compress mode %q (want off, flate, span, or adaptive)", s)
+}
+
+func (m WireCompressMode) String() string {
+	switch {
+	case m.Flate && m.Span:
+		return "adaptive"
+	case m.Span:
+		return "span"
+	case m.Flate:
+		return "flate"
+	}
+	return "off"
+}
+
+// WireCompressFlag adapts WireCompressMode to the flag package.
+// IsBoolFlag keeps the historical `-wire-compress` (no value) spelling
+// working: the flag package then passes "true", which parses as flate.
+type WireCompressFlag struct{ Mode WireCompressMode }
+
+func (f *WireCompressFlag) String() string { return f.Mode.String() }
+
+func (f *WireCompressFlag) Set(s string) error {
+	m, err := ParseWireCompressMode(s)
+	if err != nil {
+		return err
+	}
+	f.Mode = m
+	return nil
+}
+
+func (f *WireCompressFlag) IsBoolFlag() bool { return true }

@@ -117,12 +117,14 @@ type WorkerOptions struct {
 	// master's heartbeat interval (pings count as traffic); a worker
 	// mid-task is not subject to it.
 	MasterDeadline time.Duration
-	// NoWireDelta, NoWireCompress, NoWireTimeline and NoWireDFB withhold
-	// the corresponding wire capability from the hello advertisement (the
-	// zero value advertises all — a new worker is fully capable by
-	// default). The master never enables a mode the worker did not
-	// advertise, so these simulate an old worker in a mixed fleet.
+	// NoWireDelta, NoWireCompress, NoWireTimeline, NoWireDFB and
+	// NoWireSpanCodec withhold the corresponding wire capability from
+	// the hello advertisement (the zero value advertises all — a new
+	// worker is fully capable by default). The master never enables a
+	// mode the worker did not advertise, so these simulate an old worker
+	// in a mixed fleet.
 	NoWireDelta, NoWireCompress, NoWireTimeline, NoWireDFB bool
+	NoWireSpanCodec                                        bool
 	// SinkDial connects to a compositor sink address under a capWireDFB
 	// grant; nil defaults to msg.Dial (TCP). RenderLocal injects the
 	// in-process registry's dialer here.
@@ -149,6 +151,9 @@ func (o WorkerOptions) caps() int {
 	}
 	if o.NoWireDFB {
 		c &^= capWireDFB
+	}
+	if o.NoWireSpanCodec {
+		c &^= capWireSpanCodec
 	}
 	return c
 }
@@ -474,7 +479,10 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 		}
 		encStart := wt.main.Begin()
 		data := enc.Encode(&fd, buf, tm.WireFlags, spans, first)
-		wt.main.EndArg(timeline.OpEncode, f, encStart, int64(len(data)))
+		// The encode span's arg carries the message size shifted past the
+		// chosen codec (arg>>2 = bytes, arg&3 = wire.Enc*), so timeline
+		// consumers can see which codec the adaptive decision picked.
+		wt.main.EndArg(timeline.OpEncode, f, encStart, int64(len(data))<<2|int64(fd.Encoding&3))
 		sendStart := wt.main.Begin()
 		if lk != nil {
 			if err := lk.conn.Send(msg.Message{Tag: compositor.TagPix, From: name, Data: data}); err != nil {

@@ -37,20 +37,37 @@ var flateReaderPool = sync.Pool{
 
 // Deflate compresses src, appending the result to dst (usually
 // scratch[:0]) and returning the extended slice.
+//
+// A writer that errored mid-stream holds dirty Huffman/window state and
+// a reference to this call's sliceWriter; pooling it as-is would splice
+// stale bytes into whatever frame borrows it next and pin the caller's
+// buffer. Every path therefore Resets the writer onto io.Discard before
+// Put, which discards both the stream state and the output reference.
 func Deflate(dst, src []byte) ([]byte, error) {
 	sw := &sliceWriter{buf: dst}
+	if err := deflateTo(sw, src); err != nil {
+		return dst, err
+	}
+	return sw.buf, nil
+}
+
+// deflateTo streams src through a pooled flate writer into w.
+func deflateTo(w io.Writer, src []byte) error {
 	fw := flateWriterPool.Get().(*flate.Writer)
-	fw.Reset(sw)
+	fw.Reset(w)
 	if _, err := fw.Write(src); err != nil {
+		fw.Reset(io.Discard)
 		flateWriterPool.Put(fw)
-		return dst, fmt.Errorf("msg: deflate: %w", err)
+		return fmt.Errorf("msg: deflate: %w", err)
 	}
 	if err := fw.Close(); err != nil {
+		fw.Reset(io.Discard)
 		flateWriterPool.Put(fw)
-		return dst, fmt.Errorf("msg: deflate: %w", err)
+		return fmt.Errorf("msg: deflate: %w", err)
 	}
+	fw.Reset(io.Discard)
 	flateWriterPool.Put(fw)
-	return sw.buf, nil
+	return nil
 }
 
 // Inflate decompresses src into dst, whose length must be exactly the

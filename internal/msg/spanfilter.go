@@ -1,0 +1,91 @@
+package msg
+
+import "encoding/binary"
+
+// Vertical filter for full-frame span-codec payloads.
+//
+// A key-frame payload is a rectangle of scanlines, and rendered frames
+// are vertically coherent: each row mostly resembles the one above it.
+// The span codec's back-references only exploit that when whole pixel
+// groups repeat exactly, which smooth shading defeats. Subtracting the
+// row above first (the classic scanline "up" predictor, byte-wise mod
+// 256) turns that coherence into runs the codec eats: identical rows
+// become zero runs, and a gradient whose rows differ by a constant
+// step becomes a constant residual — both encode as a handful of RLE
+// ops instead of literals.
+//
+// The filter is part of the wire format for full-region span-codec
+// payloads (see the wire package, which derives the stride from the
+// region header on both sides); delta payloads are concatenated span
+// pixels with no fixed stride and ship unfiltered.
+
+// SWAR lane masks: eight independent byte lanes per 64-bit word, the
+// borrow/carry between lanes cut at the high bit of each (Hacker's
+// Delight §2-18).
+const spanLaneHi = 0x8080808080808080
+
+// subBytes computes the lane-wise difference x-y of eight bytes.
+func subBytes(x, y uint64) uint64 {
+	return ((x | spanLaneHi) - (y &^ spanLaneHi)) ^ ((x ^ ^y) & spanLaneHi)
+}
+
+// addBytes computes the lane-wise sum x+y of eight bytes.
+func addBytes(x, y uint64) uint64 {
+	return ((x &^ spanLaneHi) + (y &^ spanLaneHi)) ^ ((x ^ y) & spanLaneHi)
+}
+
+// SpanFilterUp writes the up-predictor residual of src into dst (same
+// length): dst[i] = src[i] - src[i-stride] (mod 256) for i >= stride,
+// verbatim below. stride must be >= 8 (the word-chunked loops read one
+// stride behind the cursor) — callers gate on SpanFilterApplies.
+func SpanFilterUp(dst, src []byte, stride int) {
+	copy(dst[:stride], src[:stride])
+	i := stride
+	for ; i+8 <= len(src); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], subBytes(
+			binary.LittleEndian.Uint64(src[i:]),
+			binary.LittleEndian.Uint64(src[i-stride:])))
+	}
+	for ; i < len(src); i++ {
+		dst[i] = src[i] - src[i-stride]
+	}
+}
+
+// SpanUnfilterUp inverts SpanFilterUp in place: a forward pass, since
+// each row needs the previous row's already-restored bytes. The same
+// stride >= 8 precondition keeps the word loop's read fully behind the
+// write cursor.
+func SpanUnfilterUp(buf []byte, stride int) {
+	i := stride
+	for ; i+8 <= len(buf); i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], addBytes(
+			binary.LittleEndian.Uint64(buf[i:]),
+			binary.LittleEndian.Uint64(buf[i-stride:])))
+	}
+	for ; i < len(buf); i++ {
+		buf[i] += buf[i-stride]
+	}
+}
+
+// SpanFilterApplies reports whether the vertical filter is defined for
+// a payload of n bytes at the given row stride: at least two rows, and
+// rows wide enough for the word-chunked filter loops.
+func SpanFilterApplies(n, stride int) bool {
+	return stride >= 8 && n > stride
+}
+
+// SpanCompressFiltered is the span codec over the up-predictor residual
+// of src: the filtered bytes go through a pooled scratch buffer, so src
+// is never modified and the call stays allocation-free after warm-up.
+// A stride for which the filter is not defined falls back to plain
+// SpanCompress — callers that pass stride 0 get the unfiltered codec.
+func SpanCompressFiltered(dst, src []byte, stride int) []byte {
+	if !SpanFilterApplies(len(src), stride) {
+		return SpanCompress(dst, src)
+	}
+	tmp := GetBytes(len(src))
+	SpanFilterUp(tmp, src, stride)
+	dst = SpanCompress(dst, tmp)
+	PutBytes(tmp)
+	return dst
+}

@@ -115,8 +115,10 @@ type Config struct {
 	FaultWrap func(name string, c msg.Conn) msg.Conn
 	// WireDelta and WireCompress enable dirty-span delta frames and
 	// flate payload compression on the farm data path (see farm.Config);
-	// pixels are byte-identical either way.
-	WireDelta, WireCompress bool
+	// WireSpanCodec enables the span codec (with WireCompress too, each
+	// worker chooses per frame — adaptive mode). Pixels are
+	// byte-identical in every mode.
+	WireDelta, WireCompress, WireSpanCodec bool
 	// DFBSinks, when positive, routes local-driver pixel traffic through
 	// that many in-process compositor sinks (the distributed framebuffer)
 	// instead of the master — the master then sees only control acks and
@@ -707,13 +709,14 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		Workers:   workers,
 		Ctx:       j.ctx,
 		Heartbeat: s.cfg.Heartbeat, Liveness: s.cfg.Liveness,
-		StallTimeout: s.cfg.StallTimeout,
-		FrameRetries: s.cfg.FrameRetries,
-		Speculate:    s.cfg.Speculate,
-		WrapConn:     s.cfg.FaultWrap,
-		WireDelta:    s.cfg.WireDelta,
-		WireCompress: s.cfg.WireCompress,
-		Timeline:     rec,
+		StallTimeout:  s.cfg.StallTimeout,
+		FrameRetries:  s.cfg.FrameRetries,
+		Speculate:     s.cfg.Speculate,
+		WrapConn:      s.cfg.FaultWrap,
+		WireDelta:     s.cfg.WireDelta,
+		WireCompress:  s.cfg.WireCompress,
+		WireSpanCodec: s.cfg.WireSpanCodec,
+		Timeline:      rec,
 	}
 	if s.cfg.DFBSinks > 0 {
 		cfg.DFB = &farm.DFBConfig{Sinks: s.cfg.DFBSinks}

@@ -241,8 +241,14 @@ type WireStats struct {
 	// the previous frame.
 	FramesDelta uint64
 	// FramesCompressed counts results whose payload was flate-compressed
-	// (full or delta).
+	// (full or delta); FramesSpan those that used the span codec.
 	FramesCompressed uint64
+	FramesSpan       uint64
+	// WireBytesByEnc breaks WireBytes down by payload encoding, indexed
+	// raw=0, flate=1, span=2 (mirroring wire.Enc*; stats cannot import
+	// wire, which imports stats). Per-codec byte counters are what the
+	// adaptive compression decision is judged by.
+	WireBytesByEnc [3]uint64
 	// DeltaBaseMisses counts deltas discarded because their base frame
 	// never arrived (its result was lost in transit); the frame is
 	// re-rendered by the usual requeue path.
@@ -269,6 +275,20 @@ type WireStats struct {
 	FramesAcked uint64
 }
 
+// CountEncoding tallies one frame result's payload encoding (raw=0,
+// flate=1, span=2, mirroring wire.Enc*) and the wire bytes it shipped.
+func (c *WireStats) CountEncoding(enc int, wireBytes uint64) {
+	if enc >= 0 && enc < len(c.WireBytesByEnc) {
+		c.WireBytesByEnc[enc] += wireBytes
+	}
+	switch enc {
+	case 1:
+		c.FramesCompressed++
+	case 2:
+		c.FramesSpan++
+	}
+}
+
 // AddBaseMiss counts one discarded delta, attributed to a worker.
 func (c *WireStats) AddBaseMiss(worker string) {
 	c.DeltaBaseMisses++
@@ -283,6 +303,10 @@ func (c *WireStats) Merge(o WireStats) {
 	c.FramesFull += o.FramesFull
 	c.FramesDelta += o.FramesDelta
 	c.FramesCompressed += o.FramesCompressed
+	c.FramesSpan += o.FramesSpan
+	for i := range c.WireBytesByEnc {
+		c.WireBytesByEnc[i] += o.WireBytesByEnc[i]
+	}
 	c.DeltaBaseMisses += o.DeltaBaseMisses
 	c.RawBytes += o.RawBytes
 	c.WireBytes += o.WireBytes
@@ -317,6 +341,9 @@ func (c WireStats) String() string {
 	s := fmt.Sprintf("full=%d delta=%d compressed=%d base-miss=%d wire=%d raw=%d ratio=%.2f",
 		c.FramesFull, c.FramesDelta, c.FramesCompressed, c.DeltaBaseMisses,
 		c.WireBytes, c.RawBytes, c.Ratio())
+	if c.FramesSpan > 0 {
+		s += fmt.Sprintf(" span=%d", c.FramesSpan)
+	}
 	if c.FramesAcked > 0 || c.SinkIngressBytes > 0 {
 		s += fmt.Sprintf(" acked=%d master-in=%d sink-in=%d",
 			c.FramesAcked, c.MasterIngressBytes, c.SinkIngressBytes)

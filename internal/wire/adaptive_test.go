@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"nowrender/internal/fb"
+)
+
+func gradientFB(w, h int) *fb.Framebuffer {
+	img := fb.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w*3; x++ {
+			img.Pix[y*w*3+x] = byte(x/3 + y*2)
+		}
+	}
+	return img
+}
+
+func randomFB(w, h int, seed int64) *fb.Framebuffer {
+	img := fb.New(w, h)
+	rand.New(rand.NewSource(seed)).Read(img.Pix)
+	return img
+}
+
+// TestCodecEwma pins the learning math: the first sample seeds the
+// estimate, later samples blend at EwmaAlpha.
+func TestCodecEwma(t *testing.T) {
+	var c codecEwma
+	c.update(1000, 1000, 500)
+	if !c.tried || c.nsPerByte != 1.0 || c.ratio != 0.5 {
+		t.Fatalf("first sample: %+v", c)
+	}
+	c.update(2000, 1000, 800)
+	wantNs := 1.0 + EwmaAlpha*(2.0-1.0)
+	wantRat := 0.5 + EwmaAlpha*(0.8-0.5)
+	if math.Abs(c.nsPerByte-wantNs) > 1e-9 || math.Abs(c.ratio-wantRat) > 1e-9 {
+		t.Fatalf("second sample: %+v, want ns/B %.3f ratio %.3f", c, wantNs, wantRat)
+	}
+}
+
+// TestAdaptiveDeterministicChoice: with both codecs granted and the
+// deterministic cost model, compressible content must ship span-coded
+// (the modelled wire saving is comparable for both codecs and span's
+// per-byte encode cost is under half of flate's), while incompressible
+// content must stay raw — neither codec can shrink it, so any encode
+// time spent is pure loss.
+func TestAdaptiveDeterministicChoice(t *testing.T) {
+	const w, h = 64, 64
+	region := fb.NewRect(0, 0, w, h)
+	flags := CapDelta | CapCompress | CapSpanCodec
+
+	var enc Encoder
+	enc.Deterministic = true
+	fd := FrameDone{TaskID: 1, Frame: 0, Region: region}
+	got, err := DecodeFrameDone(enc.Encode(&fd, gradientFB(w, h), flags, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Encoding != EncSpan {
+		t.Errorf("compressible adaptive frame used encoding %d, want span", got.Encoding)
+	}
+	got.Release()
+
+	var enc2 Encoder
+	enc2.Deterministic = true
+	fd = FrameDone{TaskID: 1, Frame: 0, Region: region}
+	got, err = DecodeFrameDone(enc2.Encode(&fd, randomFB(w, h, 11), flags, nil, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Encoding != EncRaw {
+		t.Errorf("incompressible adaptive frame used encoding %d, want raw", got.Encoding)
+	}
+	got.Release()
+}
+
+// TestAdaptiveLiveRoundTrip runs the adaptive encoder in its live
+// (clock-measuring) configuration across enough frames to cross a
+// ProbeInterval boundary, so probe frames, EWMA refreshes, and the
+// per-frame choice all execute with real measurements. The codec choice
+// is machine-dependent by design; the invariant is that every frame
+// decodes back to byte-identical pixels and uses a granted encoding.
+func TestAdaptiveLiveRoundTrip(t *testing.T) {
+	const w, h = 48, 40
+	region := fb.NewRect(0, 0, w, h)
+	flags := CapDelta | CapCompress | CapSpanCodec
+	var enc Encoder
+	cur := fb.New(w, h)
+	for f := 0; f < ProbeInterval+4; f++ {
+		src := gradientFB(w, h)
+		if f%3 == 2 {
+			src = randomFB(w, h, int64(f))
+		}
+		fd := FrameDone{TaskID: 1, Frame: f, Region: region}
+		got, err := DecodeFrameDone(enc.Encode(&fd, src, flags, nil, true))
+		if err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+		if got.Encoding != EncRaw && got.Encoding != EncFlate && got.Encoding != EncSpan {
+			t.Fatalf("frame %d: unknown encoding %d", f, got.Encoding)
+		}
+		copy(cur.Pix, got.Pix)
+		got.Release()
+		if !bytes.Equal(cur.Pix, src.Pix) {
+			t.Fatalf("frame %d: adaptive round trip not byte-identical", f)
+		}
+	}
+}

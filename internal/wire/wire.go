@@ -12,6 +12,8 @@ package wire
 
 import (
 	"fmt"
+	"math"
+	"time"
 
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
@@ -19,6 +21,14 @@ import (
 	"nowrender/internal/timeline"
 	vm "nowrender/internal/vecmath"
 )
+
+var inf = math.Inf(1)
+
+// monotonicNow is the encoder's clock: nanoseconds on the monotonic
+// scale (an arbitrary epoch; only deltas are used).
+var wireEpoch = time.Now()
+
+func monotonicNow() int64 { return int64(time.Since(wireEpoch)) }
 
 // Wire capability bits, advertised by workers in TagHello and granted
 // back per task in TagTask. A mode is active only when both sides opted
@@ -40,8 +50,13 @@ const (
 	// sinks (the distributed framebuffer) and send the master only small
 	// control acks. Granted only when the master run has sinks attached.
 	CapDFB = 1 << 3
+	// CapSpanCodec: frame payloads may use the span codec (msg.SpanCompress),
+	// the pixel-aware RLE+back-reference encoding that trades a little
+	// ratio for 3.5-4x less encode time than flate. When granted together
+	// with CapCompress the worker chooses per frame (adaptive mode).
+	CapSpanCodec = 1 << 4
 	// CapsMask is every bit a current binary understands.
-	CapsMask = CapDelta | CapCompress | CapTimeline | CapDFB
+	CapsMask = CapDelta | CapCompress | CapTimeline | CapDFB | CapSpanCodec
 )
 
 // Frame result kinds (FrameDone.Kind).
@@ -60,7 +75,23 @@ const (
 const (
 	EncRaw = iota
 	EncFlate
+	EncSpan
+	// NumEncodings sizes per-encoding counter arrays.
+	NumEncodings
 )
+
+// EncodingName labels an encoding for metrics, timelines, and tables.
+func EncodingName(enc int) string {
+	switch enc {
+	case EncRaw:
+		return "raw"
+	case EncFlate:
+		return "flate"
+	case EncSpan:
+		return "span"
+	}
+	return fmt.Sprintf("enc%d", enc)
+}
 
 // SpanOverhead is the wire cost of one span (three packed int64s),
 // charged by the delta size guard.
@@ -316,7 +347,7 @@ func DecodeFrameDone(data []byte) (FrameDone, error) {
 	if m.Kind != KindFull && m.Kind != KindDelta {
 		return FrameDone{}, fmt.Errorf("wire: unknown frame kind %d", m.Kind)
 	}
-	if m.Encoding != EncRaw && m.Encoding != EncFlate {
+	if m.Encoding < EncRaw || m.Encoding >= NumEncodings {
 		return FrameDone{}, fmt.Errorf("wire: unknown frame encoding %d", m.Encoding)
 	}
 	if m.Kind == KindFull && len(m.Spans) != 0 {
@@ -345,8 +376,83 @@ func DecodeFrameDone(data []byte) (FrameDone, error) {
 		}
 		m.Pix = dst
 		m.pooled = true
+	case EncSpan:
+		dst := msg.GetBytes(want)
+		if err := msg.SpanDecompress(dst, pix); err != nil {
+			msg.PutBytes(dst)
+			return FrameDone{}, fmt.Errorf("wire: bad frame-done message: %w", err)
+		}
+		// Full-region span payloads carry the vertically filtered
+		// residual; the stride comes from the region header, exactly as
+		// the encoder derived it.
+		if m.Kind == KindFull {
+			if stride := FilterStride(m.Region); stride > 0 {
+				msg.SpanUnfilterUp(dst, stride)
+			}
+		}
+		m.Pix = dst
+		m.pooled = true
 	}
 	return m, nil
+}
+
+// Adaptive compression model. A worker granted both CapSpanCodec and
+// CapCompress chooses the payload encoding per frame to minimise the
+// frame's effective wire cost
+//
+//	cost(c) = encodeNs(c) + bytes(c) * WireNsPerByte
+//
+// where encodeNs and the achieved ratio are per-codec EWMAs of the
+// worker's own measurements — a slow workstation learns that flate eats
+// its render budget and settles on the span codec or raw, a fast one
+// keeps flate for the extra ratio. Raw is always a candidate (zero
+// encode cost), so a codec is only ever used when its modelled saving
+// beats shipping uncompressed. A codec whose predicted encode time
+// exceeds the CPU budget (ewma render time / EncodeBudgetDiv) is
+// excluded outright. Every ProbeInterval-th frame (and until every
+// granted codec has a measurement) the encoder refreshes every
+// candidate's EWMA from a ProbeSampleBytes payload prefix, so a codec
+// whose relative cost changed — new scene, thermal throttling,
+// competing tenants — gets re-evaluated without ever paying a second
+// full-frame encode.
+const (
+	// WireNsPerByte models the wire at ~100 Mbit/s, the paper's shared
+	// Ethernet: one byte on the wire costs as much as ~80ns of CPU.
+	WireNsPerByte = 80.0
+	// EwmaAlpha weights new per-frame measurements.
+	EwmaAlpha = 0.25
+	// ProbeInterval: re-measure every granted codec on every Nth frame.
+	ProbeInterval = 32
+	// ProbeSampleBytes caps the payload prefix a probe feeds through a
+	// codec to refresh its EWMA: enough content to estimate cost and
+	// ratio, cheap enough that probing never doubles a frame's encode
+	// bill. Only the predicted winner ever runs full-size.
+	ProbeSampleBytes = 8 << 10
+	// EncodeBudgetDiv caps predicted encode time at render/EncodeBudgetDiv.
+	EncodeBudgetDiv = 8
+	// DetSpanNsPerByte/DetFlateNsPerByte are the fixed per-byte encode
+	// costs the Deterministic mode substitutes for clock measurements
+	// (from the msg package's benchmarks on banded frame payloads).
+	DetSpanNsPerByte  = 2.0
+	DetFlateNsPerByte = 7.0
+)
+
+// codecEwma is one codec's learned behaviour on this worker's frames.
+type codecEwma struct {
+	nsPerByte float64 // encode cost
+	ratio     float64 // encoded bytes / raw bytes
+	tried     bool
+}
+
+func (c *codecEwma) update(ns, rawLen, encLen int) {
+	nsb := float64(ns) / float64(rawLen)
+	rat := float64(encLen) / float64(rawLen)
+	if !c.tried {
+		c.nsPerByte, c.ratio, c.tried = nsb, rat, true
+		return
+	}
+	c.nsPerByte += EwmaAlpha * (nsb - c.nsPerByte)
+	c.ratio += EwmaAlpha * (rat - c.ratio)
 }
 
 // Encoder builds frame-result payloads, choosing between key-frame and
@@ -354,8 +460,21 @@ func DecodeFrameDone(data []byte) (FrameDone, error) {
 // are reused across frames, so the worker's hot loop (and the virtual
 // driver modelling it) allocates only the final sealed message.
 type Encoder struct {
-	pix []byte // span/region pixel extraction scratch
-	z   []byte // deflate scratch
+	pix  []byte // span/region pixel extraction scratch
+	z    []byte // span/deflate scratch
+	z2   []byte // flate / probe-sample scratch (z may back the payload)
+	filt []byte // span codec input: the filtered payload residual
+
+	// Deterministic disables clock reads: probe frames run every codec
+	// and the decision uses actual byte counts with the fixed Det*
+	// per-byte costs, so identical inputs always pick identical
+	// encodings. The virtual driver sets this to keep simulated runs
+	// reproducible.
+	Deterministic bool
+
+	frames     int
+	ewmaRender float64 // ns, from FrameDone.ElapsedNs
+	cost       [NumEncodings]codecEwma
 }
 
 // Encode fills fd's Kind/Encoding/Spans/Pix from the rendered frame and
@@ -363,7 +482,8 @@ type Encoder struct {
 // traced-pixel set for this frame (nil on the plain path); first marks
 // the first frame of a task, which is always a key-frame so the
 // receiver can reseed its copy after any retry, steal, or truncation.
-// flags is the task's capability grant.
+// flags is the task's capability grant. fd.ElapsedNs, when already set
+// to the frame's render time, feeds the adaptive CPU budget.
 func (we *Encoder) Encode(fd *FrameDone, buf *fb.Framebuffer, flags int, spans []fb.Span, first bool) []byte {
 	fd.Kind, fd.Encoding, fd.Spans = KindFull, EncRaw, nil
 	if flags&CapDelta != 0 && spans != nil && !first {
@@ -381,19 +501,213 @@ func (we *Encoder) Encode(fd *FrameDone, buf *fb.Framebuffer, flags int, spans [
 	} else {
 		we.pix = AppendRegion(we.pix[:0], buf, fd.Region)
 	}
+	we.frames++
+	if fd.ElapsedNs > 0 {
+		if we.ewmaRender == 0 {
+			we.ewmaRender = float64(fd.ElapsedNs)
+		} else {
+			we.ewmaRender += EwmaAlpha * (float64(fd.ElapsedNs) - we.ewmaRender)
+		}
+	}
 	payload := we.pix
-	if flags&CapCompress != 0 && len(payload) >= CompressMin {
-		z, err := msg.Deflate(we.z[:0], payload)
-		if err == nil {
-			we.z = z
-			if len(z) < len(payload) {
+	if len(payload) >= CompressMin {
+		switch flags & (CapCompress | CapSpanCodec) {
+		case CapCompress | CapSpanCodec:
+			payload = we.encodeAdaptive(fd, payload, we.spanInput(fd, payload))
+		case CapSpanCodec:
+			if z := we.runCodec(EncSpan, we.spanInput(fd, payload)); len(z) < len(payload) {
 				payload = z
-				fd.Encoding = EncFlate
+				fd.Encoding = EncSpan
+			}
+		case CapCompress:
+			// The static flate path predates the span codec and stays
+			// byte-identical for legacy fleets.
+			z, err := msg.Deflate(we.z[:0], payload)
+			if err == nil {
+				we.z = z
+				if len(z) < len(payload) {
+					payload = z
+					fd.Encoding = EncFlate
+				}
 			}
 		}
 	}
 	fd.Pix = payload
 	return EncodeFrameDone(*fd)
+}
+
+// spanInput returns the bytes the span codec encodes for this frame:
+// the payload's filter residual (the vertical up-predictor for full
+// frames, the span-segment predictor for deltas) when a filter applies,
+// the payload itself otherwise. Computing it once up front means the
+// adaptive sampler and the full-size run see the same bytes, and the
+// residual lives in persistent encoder scratch.
+func (we *Encoder) spanInput(fd *FrameDone, payload []byte) []byte {
+	if fd.Kind != KindFull {
+		// Delta payloads ship unfiltered: their vertical coherence sits
+		// at near-constant back-distances (consecutive spans of similar
+		// width), which the codec's match table already captures — a
+		// span-segment up-predictor was measured to cost a pass and
+		// save nothing (EXPERIMENTS.md).
+		return payload
+	}
+	stride := FilterStride(fd.Region)
+	if stride == 0 {
+		return payload
+	}
+	we.filt = growBytes(we.filt, len(payload))
+	msg.SpanFilterUp(we.filt, payload, stride)
+	return we.filt
+}
+
+// growBytes resizes reusable scratch to exactly n bytes.
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// runCodec encodes payload with enc into the encoder's scratch,
+// measuring and folding the result into that codec's EWMA. For EncSpan
+// the payload is the span codec's input from spanInput (the filter
+// residual when one applies). Returns the encoded bytes (which may be
+// larger than payload; callers keep raw then).
+func (we *Encoder) runCodec(enc int, payload []byte) []byte {
+	start := we.now()
+	var z []byte
+	switch enc {
+	case EncSpan:
+		z = msg.SpanCompress(we.z[:0], payload)
+		we.z = z
+	case EncFlate:
+		var err error
+		z, err = msg.Deflate(we.z2[:0], payload)
+		if err != nil {
+			return payload // unreachable with the slice sink; keep raw
+		}
+		we.z2 = z
+	}
+	we.observe(enc, start, payload, z)
+	return z
+}
+
+// now reads the monotonic clock, or 0 in deterministic mode.
+func (we *Encoder) now() int64 {
+	if we.Deterministic {
+		return 0
+	}
+	return monotonicNow()
+}
+
+// observe folds one codec run into its EWMA. Deterministic mode
+// substitutes the fixed modelled cost for the clock delta.
+func (we *Encoder) observe(enc int, start int64, payload, z []byte) {
+	ns := int64(0)
+	if we.Deterministic {
+		switch enc {
+		case EncSpan:
+			ns = int64(DetSpanNsPerByte * float64(len(payload)))
+		case EncFlate:
+			ns = int64(DetFlateNsPerByte * float64(len(payload)))
+		}
+	} else {
+		ns = monotonicNow() - start
+	}
+	we.cost[enc].update(int(ns), len(payload), len(z))
+}
+
+// encodeAdaptive picks the payload encoding minimising modelled
+// effective wire cost. Probe frames refresh both codec EWMAs from a
+// bounded payload prefix (ProbeSampleBytes) instead of running each
+// codec over the whole frame: the full-size run is only ever spent on
+// the predicted winner, so probing costs near-constant overhead and
+// the adaptive path tracks the best static choice to within noise.
+func (we *Encoder) encodeAdaptive(fd *FrameDone, payload, spanIn []byte) []byte {
+	if we.frames%ProbeInterval == 1 ||
+		!we.cost[EncSpan].tried || !we.cost[EncFlate].tried {
+		we.sampleCodec(EncSpan, spanIn)
+		we.sampleCodec(EncFlate, payload)
+	}
+	enc := EncRaw
+	bestCost := float64(len(payload)) * WireNsPerByte
+	for _, c := range [...]int{EncSpan, EncFlate} {
+		if cost := we.codecCost(c, len(payload)); cost < bestCost {
+			bestCost, enc = cost, c
+		}
+	}
+	if enc == EncRaw {
+		return payload
+	}
+	// The winner runs full-size, refreshing its EWMA with a real
+	// whole-frame measurement; raw stays the fallback if the prediction
+	// was wrong enough that the codec failed to shrink the payload.
+	in := payload
+	if enc == EncSpan {
+		in = spanIn
+	}
+	z := we.runCodec(enc, in)
+	if len(z) >= len(payload) {
+		return payload
+	}
+	fd.Encoding = enc
+	return z
+}
+
+// sampleCodec refreshes one codec's EWMA from a bounded prefix of the
+// payload (the span codec samples its filter residual — the bytes it
+// would actually encode). The sampled ratio is an estimate (a prefix is
+// not the whole frame), but the EWMA smooths it across probes and the
+// winner's full-size runs keep the codec actually in use measured
+// exactly.
+func (we *Encoder) sampleCodec(enc int, payload []byte) {
+	sample := payload
+	if len(sample) > ProbeSampleBytes {
+		sample = sample[:ProbeSampleBytes]
+	}
+	start := we.now()
+	var z []byte
+	switch enc {
+	case EncSpan:
+		z = msg.SpanCompress(we.z2[:0], sample)
+	case EncFlate:
+		var err error
+		if z, err = msg.Deflate(we.z2[:0], sample); err != nil {
+			return // unreachable with the slice sink
+		}
+	}
+	we.z2 = z
+	we.observe(enc, start, sample, z)
+}
+
+// codecCost is the modelled effective cost (ns) of shipping this
+// payload through enc: predicted encode time plus predicted wire
+// bytes at WireNsPerByte. A codec over the CPU budget, or never
+// measured, is +Inf.
+func (we *Encoder) codecCost(enc, rawLen int) float64 {
+	c := &we.cost[enc]
+	if !c.tried {
+		return inf
+	}
+	encNs := c.nsPerByte * float64(rawLen)
+	if we.ewmaRender > 0 && encNs > we.ewmaRender/EncodeBudgetDiv {
+		return inf
+	}
+	return encNs + c.ratio*float64(rawLen)*WireNsPerByte
+}
+
+// FilterStride returns the row stride the span codec's vertical filter
+// (msg.SpanFilterUp) uses for a full-region payload, or 0 when the
+// filter does not apply (a single row, or rows too narrow for the
+// word-chunked filter loops). Encoder and decoder both derive it from
+// the region header, so the choice costs no wire bit: a full-frame
+// span-codec payload is always the filtered residual when this is
+// non-zero.
+func FilterStride(region fb.Rect) int {
+	if s := region.W() * 3; msg.SpanFilterApplies(region.Area()*3, s) {
+		return s
+	}
+	return 0
 }
 
 // AppendRegion packs a region of img into RGB bytes (the wire format of
