@@ -48,6 +48,12 @@ func main() {
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// A stray positional arg silently stops flag parsing, so flags
+		// after it would be ignored; fail loudly instead.
+		fmt.Fprintf(os.Stderr, "nowfleetd: unexpected argument %q (e.g. -members=ws01=4,ws02=2 needs the = syntax)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 	if *version {
 		fmt.Println("nowfleetd", buildinfo.Version())
 		return

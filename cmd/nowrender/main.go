@@ -91,6 +91,8 @@ func main() {
 		samples   = flag.Int("samples", 1, "supersamples per pixel")
 		aa        = flag.Float64("aa", 0, "adaptive antialiasing threshold (0 = off; try 0.1)")
 		threads   = flag.Int("threads", 0, "intra-frame render threads per worker (0 = all cores, 1 = serial; pixels are identical for every value)")
+		objspace  = flag.Bool("objspace", false, "partition the scene into spatial shards with ray forwarding between owners instead of replicating it (pixels are identical either way)")
+		shards    = flag.Int("shards", 4, "object-space shard count when -objspace is on (2..64)")
 		usePNG    = flag.Bool("png", false, "write PNG instead of TGA")
 		tlOut     = flag.String("timeline", "", "write the run's cluster timeline as Chrome trace JSON to this file (load in Perfetto or feed to nowtrace)")
 		version   = flag.Bool("version", false, "print version and exit")
@@ -120,8 +122,12 @@ func main() {
 		return
 	}
 	fmt.Printf("nowrender %s\n", buildinfo.Version())
+	osShards := 0
+	if *objspace {
+		osShards = *shards
+	}
 	if err := run(*sceneSpec, *mode, *scheme, *blockW, *blockH, *width, *height,
-		*outDir, *workers, *listen, *coherent, *samples, *aa, *threads, *usePNG, *tlOut, ft); err != nil {
+		*outDir, *workers, *listen, *coherent, *samples, *aa, *threads, osShards, *usePNG, *tlOut, ft); err != nil {
 		fmt.Fprintln(os.Stderr, "nowrender:", err)
 		os.Exit(1)
 	}
@@ -129,7 +135,7 @@ func main() {
 
 func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
 	outDir string, workers int, listen string, coherent bool, samples int,
-	aa float64, threads int, usePNG bool, tlOut string, ft faultOpts) error {
+	aa float64, threads, osShards int, usePNG bool, tlOut string, ft faultOpts) error {
 	sc, err := scenes.FromSpec(sceneSpec)
 	if err != nil {
 		return err
@@ -173,8 +179,9 @@ func run(sceneSpec, mode, schemeName string, blockW, blockH, w, h int,
 	cfg := farm.Config{
 		Scene: sc, W: w, H: h, Scheme: scheme,
 		Coherence: coherent, Samples: samples, Threads: threads,
-		CoherenceOpts: coherence.Options{AAThreshold: aa},
-		Workers:       workers, Emit: emit,
+		ObjSpaceShards: osShards,
+		CoherenceOpts:  coherence.Options{AAThreshold: aa},
+		Workers:        workers, Emit: emit,
 	}
 	if err := ft.apply(&cfg); err != nil {
 		return err
@@ -301,6 +308,9 @@ func report(scene, mode string, res *farm.Result) {
 	fmt.Printf("  traffic:   %d bytes\n", res.BytesTransferred)
 	if res.Wire.FramesFull+res.Wire.FramesDelta > 0 {
 		fmt.Printf("  wire:      %s\n", res.Wire)
+	}
+	if res.ObjSpace.Enabled() {
+		fmt.Printf("  objspace:  %s\n", res.ObjSpace)
 	}
 	if res.Faults.Any() {
 		fmt.Printf("  faults:    %s\n", res.Faults)

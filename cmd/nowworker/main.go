@@ -47,6 +47,12 @@ func main() {
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// A stray positional arg silently stops flag parsing, so flags
+		// after it would be ignored; fail loudly instead.
+		fmt.Fprintf(os.Stderr, "nowworker: unexpected argument %q (flags take = syntax, e.g. -chaos=seed=7)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 	if *version {
 		fmt.Println("nowworker", buildinfo.Version())
 		return

@@ -35,6 +35,7 @@ import (
 	"nowrender/internal/bitset"
 	"nowrender/internal/fb"
 	"nowrender/internal/grid"
+	"nowrender/internal/objspace"
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
 	"nowrender/internal/timeline"
@@ -65,6 +66,18 @@ type Options struct {
 	// 0 selects runtime.NumCPU(); 1 renders on the calling goroutine.
 	// Output is byte-identical for every value.
 	Threads int
+	// ObjSpaceShards, when >= 2, renders every frame through an
+	// object-space partition (internal/objspace): the frame's scene is
+	// split into that many spatial shards and rays are forwarded between
+	// shard owners instead of intersecting a replicated grid. The
+	// engine's registration lists are sharded along the same partition
+	// (see markChanges). Output is byte-identical to the replicated
+	// path — the partition changes who intersects a ray, never the hit.
+	ObjSpaceShards int
+	// ObjSpaceStats, when non-nil with ObjSpaceShards >= 2, accumulates
+	// forwarding counters and resident sizes across the sequence; nil
+	// lets the engine allocate its own (see Engine.ObjSpaceStats).
+	ObjSpaceStats *objspace.Stats
 	// DisableShadowRegistration turns off registration of shadow-ray
 	// segments. This reproduces a coherence scheme without shadow
 	// support: faster bookkeeping but *incorrect* images when a blocker
@@ -124,6 +137,13 @@ type Engine struct {
 	// collectors are the per-tile-worker registration buffers, reused
 	// across frames (index = worker slot).
 	collectors []*regCollector
+
+	// objStats accumulates object-space forwarding counters when
+	// Options.ObjSpaceShards >= 2 (nil otherwise); regShard maps each
+	// registration-grid voxel to the shard owning its slab, so
+	// registration lists are partitioned exactly like the geometry.
+	objStats *objspace.Stats
+	regShard []uint8
 }
 
 // NewEngine prepares a coherence engine for frames [start, end) of the
@@ -179,7 +199,51 @@ func NewEngine(sc *scene.Scene, w, h int, region fb.Rect, start, end int, opts O
 	}
 	// Everything is dirty for the first frame.
 	e.dirty.SetAll()
+
+	if opts.ObjSpaceShards != 0 {
+		if opts.ObjSpaceShards < 2 || opts.ObjSpaceShards > objspace.MaxShards {
+			return nil, fmt.Errorf("coherence: object-space shard count %d outside [2,%d]", opts.ObjSpaceShards, objspace.MaxShards)
+		}
+		e.objStats = opts.ObjSpaceStats
+		if e.objStats == nil {
+			e.objStats = &objspace.Stats{}
+		}
+		// Shard the registration lists along the same mass-balanced slab
+		// scheme the tracer uses, computed once over the sequence-wide
+		// registration grid (first-frame geometry picks the axis and
+		// cuts). Each registration voxel — and so each pixel list —
+		// belongs to exactly one shard; change detection visits them
+		// shard by shard (see markChanges). Sharding changes only that
+		// visiting order, never which pixels get dirtied.
+		part := objspace.MakePartition(g, opts.ObjSpaceShards, sc.ResolveFrame(start))
+		e.regShard = make([]uint8, g.NumVoxels())
+		for idx := range e.regShard {
+			ix, iy, iz := g.Coords(idx)
+			v := [3]int{ix, iy, iz}[part.Axis]
+			s := len(part.Slabs) - 1
+			for i, slab := range part.Slabs {
+				if v < slab[1] {
+					s = i
+					break
+				}
+			}
+			e.regShard[idx] = uint8(s)
+		}
+	}
 	return e, nil
+}
+
+// ObjSpaceStats returns the engine's object-space counters, or nil when
+// Options.ObjSpaceShards is off.
+func (e *Engine) ObjSpaceStats() *objspace.Stats { return e.objStats }
+
+// RegistrationShard returns the shard owning registration voxel idx
+// (tests inspect the partition; -1 when sharding is off).
+func (e *Engine) RegistrationShard(idx int) int {
+	if e.regShard == nil {
+		return -1
+	}
+	return int(e.regShard[idx])
 }
 
 // registrationResolution picks the default registration-grid density:
@@ -273,7 +337,10 @@ type FrameReport struct {
 	// bookkeeping.
 	Registrations uint64
 	ChangeVoxels  int
-	Rays          stats.RayCounters
+	// Forwarded counts rays forwarded between object-space shards this
+	// frame (0 when Options.ObjSpaceShards is off).
+	Forwarded uint64
+	Rays      stats.RayCounters
 	// Overhead is the time spent on coherence bookkeeping (ray
 	// registration is folded into render time; this counts change
 	// detection and mask building).
@@ -297,19 +364,41 @@ func (e *Engine) RenderFrame(frame int, dst *fb.Framebuffer) (FrameReport, error
 	}
 
 	// No Observer here: each tile worker gets its own registration
-	// collector in renderTiles.
-	ft, err := trace.New(e.sc, frame, trace.Options{
+	// collector in renderTiles. With object-space shards the replicated
+	// tracer is swapped for a per-frame sharded cluster; every tile
+	// worker routes its rays through the same partition, so the
+	// byte-identity of the sharded path carries straight through the
+	// coherence machinery.
+	topts := trace.Options{
 		GridRes:         e.opts.GridRes,
 		SamplesPerPixel: e.opts.SamplesPerPixel,
 		AAThreshold:     e.opts.AAThreshold,
 		AASamples:       e.opts.AASamples,
-	})
-	if err != nil {
-		return FrameReport{}, err
+	}
+	var newWorker func(trace.RayObserver) *trace.Worker
+	var fwd0 uint64
+	if e.opts.ObjSpaceShards >= 2 {
+		cl, err := objspace.Build(e.sc, frame, topts, objspace.Options{Shards: e.opts.ObjSpaceShards, Stats: e.objStats})
+		if err != nil {
+			return FrameReport{}, err
+		}
+		newWorker = cl.NewWorker
+		fwd0 = e.objStats.RaysForwarded()
+	} else {
+		ft, err := trace.New(e.sc, frame, topts)
+		if err != nil {
+			return FrameReport{}, err
+		}
+		newWorker = ft.NewWorker
 	}
 
 	rep := FrameReport{Frame: frame}
-	e.renderTiles(ft, frame, dst, &rep)
+	fwdSpan := e.opts.TimelineTrack.Begin()
+	e.renderTiles(newWorker, frame, dst, &rep)
+	if e.objStats != nil {
+		rep.Forwarded = e.objStats.RaysForwarded() - fwd0
+		e.opts.TimelineTrack.EndArg(timeline.OpForward, frame, fwdSpan, int64(rep.Forwarded))
+	}
 
 	// Snapshot the mask that drove this frame as spans before it is
 	// rebuilt for the next one — the wire protocol's delta frames ship

@@ -1,0 +1,137 @@
+package coherence
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/objspace"
+)
+
+// TestObjSpaceByteIdentity renders the same sequence with a replicated
+// engine and with object-space shards and demands byte-identical frames
+// plus identical per-frame reports: the partition must change who
+// intersects each ray, never the hit — and therefore never which pixels
+// the coherence machinery predicts dirty.
+func TestObjSpaceByteIdentity(t *testing.T) {
+	const frames = 4
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s := movingScene(frames)
+			full := fb.NewRect(0, 0, tw, th)
+			ref, err := NewEngine(s, tw, th, full, 0, frames, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := NewEngine(s, tw, th, full, 0, frames, Options{ObjSpaceShards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var forwarded uint64
+			for f := 0; f < frames; f++ {
+				a, b := fb.New(tw, th), fb.New(tw, th)
+				ra, err := ref.RenderFrame(f, a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rb, err := sh.RenderFrame(f, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a.Pix, b.Pix) {
+					t.Fatalf("frame %d: sharded pixels differ from replicated", f)
+				}
+				if ra.Rays != rb.Rays {
+					t.Fatalf("frame %d: ray counters differ: %+v vs %+v", f, ra.Rays, rb.Rays)
+				}
+				if ra.Rendered != rb.Rendered || ra.Copied != rb.Copied || ra.DirtyNext != rb.DirtyNext {
+					t.Fatalf("frame %d: coherence reports differ: %+v vs %+v", f, ra, rb)
+				}
+				if ra.Registrations != rb.Registrations {
+					t.Fatalf("frame %d: registration counts differ: %d vs %d", f, ra.Registrations, rb.Registrations)
+				}
+				if ra.Forwarded != 0 {
+					t.Fatalf("frame %d: replicated engine reported %d forwards", f, ra.Forwarded)
+				}
+				forwarded += rb.Forwarded
+			}
+			if forwarded == 0 {
+				t.Fatal("sharded engine never forwarded a ray")
+			}
+			if ref.ObjSpaceStats() != nil {
+				t.Error("replicated engine has object-space stats")
+			}
+			if sh.ObjSpaceStats() == nil || sh.ObjSpaceStats().RaysForwarded() != forwarded {
+				t.Errorf("engine stats disagree with summed reports")
+			}
+		})
+	}
+}
+
+// TestObjSpaceRegistrationSharding checks the registration-grid shard map
+// is a contiguous slab partition covering every voxel.
+func TestObjSpaceRegistrationSharding(t *testing.T) {
+	const shards = 3
+	s := movingScene(4)
+	full := fb.NewRect(0, 0, tw, th)
+	e, err := NewEngine(s, tw, th, full, 0, 4, Options{ObjSpaceShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.Grid()
+	seen := make(map[int]bool)
+	for idx := 0; idx < g.NumVoxels(); idx++ {
+		sh := e.RegistrationShard(idx)
+		if sh < 0 || sh >= shards {
+			t.Fatalf("voxel %d: shard %d outside [0,%d)", idx, sh, shards)
+		}
+		seen[sh] = true
+	}
+	if len(seen) != shards {
+		t.Fatalf("only %d of %d shards own registration voxels", len(seen), shards)
+	}
+	// Slab structure: along some axis the shard must be a function of
+	// that coordinate alone, non-decreasing.
+	nx, ny, nz := g.Dims()
+	dims := [3]int{nx, ny, nz}
+	slabAxis := -1
+axes:
+	for a := 0; a < 3; a++ {
+		byCoord := make(map[int]int)
+		for idx := 0; idx < g.NumVoxels(); idx++ {
+			ix, iy, iz := g.Coords(idx)
+			v := [3]int{ix, iy, iz}[a]
+			sh := e.RegistrationShard(idx)
+			if prev, ok := byCoord[v]; ok && prev != sh {
+				continue axes
+			}
+			byCoord[v] = sh
+		}
+		prev := 0
+		for v := 0; v < dims[a]; v++ {
+			if byCoord[v] < prev {
+				continue axes
+			}
+			prev = byCoord[v]
+		}
+		slabAxis = a
+		break
+	}
+	if slabAxis < 0 {
+		t.Fatal("registration shard map is not a slab partition along any axis")
+	}
+	if e.RegistrationShard(0) != 0 {
+		t.Errorf("first voxel not in shard 0")
+	}
+}
+
+func TestObjSpaceRejectsBadShardCounts(t *testing.T) {
+	s := staticScene(2)
+	full := fb.NewRect(0, 0, tw, th)
+	for _, n := range []int{-1, 1, objspace.MaxShards + 1} {
+		if _, err := NewEngine(s, tw, th, full, 0, 2, Options{ObjSpaceShards: n}); err == nil {
+			t.Errorf("shard count %d accepted", n)
+		}
+	}
+}

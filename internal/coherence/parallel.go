@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -103,7 +104,10 @@ func (c *regCollector) commit() {
 // registration buffers are merged in worker-slot order at the barrier,
 // and the registration multiset is identical to the serial engine's
 // (see regCollector).
-func (e *Engine) renderTiles(ft *trace.FrameTracer, frame int, dst *fb.Framebuffer, rep *FrameReport) {
+// newWorker abstracts over trace.FrameTracer.NewWorker (the replicated
+// path) and objspace.Cluster.NewWorker (the sharded path): both yield a
+// trace.Worker wired to the given observer.
+func (e *Engine) renderTiles(newWorker func(trace.RayObserver) *trace.Worker, frame int, dst *fb.Framebuffer, rep *FrameReport) {
 	tiles := e.Region.Blocks(trace.TileW, trace.TileH)
 	threads := e.threads()
 	if threads > len(tiles) {
@@ -121,7 +125,7 @@ func (e *Engine) renderTiles(ft *trace.FrameTracer, frame int, dst *fb.Framebuff
 	for i := 0; i < threads; i++ {
 		c := e.collectors[i]
 		c.beginFrame(int32(frame))
-		w := ft.NewWorker(c)
+		w := newWorker(c)
 		workers[i] = w
 		var tr *timeline.Track
 		if i < len(e.opts.TileTracks) {
@@ -224,6 +228,17 @@ func (e *Engine) markChanges(f0, f1 int) int {
 				cands[idx] = append(cands[idx], shape)
 			})
 		}
+	}
+
+	// With object-space sharding, group the candidate voxels by owning
+	// shard (stable within a shard): each shard's worker compacts and
+	// dirties only its own registration lists, so the lists never need
+	// to leave their owner. The dirty mask is a set union over voxels —
+	// visiting order cannot change a single bit.
+	if e.regShard != nil {
+		sort.SliceStable(order, func(i, j int) bool {
+			return e.regShard[order[i]] < e.regShard[order[j]]
+		})
 	}
 
 	threads := e.threads()

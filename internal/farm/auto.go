@@ -46,6 +46,7 @@ func RenderAuto(cfg Config) (*Result, error) {
 		combined.Subdivisions += res.Subdivisions
 		combined.BytesTransferred += res.BytesTransferred
 		combined.Faults.Merge(res.Faults)
+		combined.ObjSpace.Merge(res.ObjSpace)
 		for _, fs := range res.Run.Frames {
 			combined.Run.AddFrame(fs)
 		}
@@ -107,6 +108,7 @@ func RenderLocalAuto(cfg Config) (*Result, error) {
 		combined.Subdivisions += res.Subdivisions
 		combined.BytesTransferred += res.BytesTransferred
 		combined.Faults.Merge(res.Faults)
+		combined.ObjSpace.Merge(res.ObjSpace)
 		for _, fs := range res.Run.Frames {
 			combined.Run.AddFrame(fs)
 		}

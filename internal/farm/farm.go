@@ -25,6 +25,7 @@ import (
 	"nowrender/internal/coherence"
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
+	"nowrender/internal/objspace"
 	"nowrender/internal/partition"
 	"nowrender/internal/scene"
 	"nowrender/internal/stats"
@@ -137,6 +138,17 @@ type Config struct {
 	// Negotiated like the other bits, so legacy workers are unaffected.
 	WireSpanCodec bool
 
+	// ObjSpaceShards, when >= 2, grants capable workers object-space data
+	// parallelism (internal/objspace): each frame's scene is partitioned
+	// into that many spatial shards and rays are forwarded between shard
+	// owners instead of every worker holding a replicated grid, shrinking
+	// per-worker resident scene size. Negotiated via TagHello capability
+	// bits like the wire codecs: legacy workers keep rendering the
+	// replicated path and pixels are byte-identical either way. Workers
+	// ship their forwarding counters (TagOSStats) at task end, merged
+	// into Result.ObjSpace.
+	ObjSpaceShards int
+
 	// DFB, when non-nil, enables the distributed framebuffer: frames are
 	// sharded across compositor sinks (internal/compositor), workers
 	// that advertise capWireDFB ship pixels straight to their frame's
@@ -239,6 +251,9 @@ func (c *Config) defaults() error {
 	if c.Samples < 1 {
 		c.Samples = 1
 	}
+	if c.ObjSpaceShards != 0 && (c.ObjSpaceShards < 2 || c.ObjSpaceShards > objspace.MaxShards) {
+		return fmt.Errorf("farm: object-space shard count %d outside [2,%d]", c.ObjSpaceShards, objspace.MaxShards)
+	}
 	return nil
 }
 
@@ -266,6 +281,11 @@ type Result struct {
 	// Wire tallies the frame-result data path: key-frames vs dirty-span
 	// deltas, compressed payloads, and raw-vs-wire byte totals.
 	Wire stats.WireStats
+	// ObjSpace tallies object-space sharding when Config.ObjSpaceShards
+	// was granted: rays forwarded between shards, forwarding bytes, and
+	// per-shard resident scene sizes. Zero when the mode was off or no
+	// worker advertised the capability.
+	ObjSpace stats.ObjSpaceStats
 	// Timeline is the merged cluster timeline when Config.Timeline was
 	// set: the master's own events plus every shipped worker event,
 	// shifted onto the master's clock by the per-worker offset estimates.

@@ -10,6 +10,7 @@ import (
 	"nowrender/internal/compositor"
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
+	"nowrender/internal/objspace"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
 	"nowrender/internal/timeline"
@@ -277,6 +278,13 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			tm.WireFlags |= capWireDFB
 			tm.JobStart, tm.JobEnd = cfg.StartFrame, cfg.EndFrame
 			tm.Sinks = cfg.DFB.Addrs
+		}
+		if cfg.ObjSpaceShards >= 2 && w.caps&capWireObjSpace != 0 {
+			// Object-space grant: this worker renders through a sharded
+			// scene. Ungranted workers render the replicated path — same
+			// bytes out, so mixed fleets stay correct.
+			tm.WireFlags |= capWireObjSpace
+			tm.OSShards = cfg.ObjSpaceShards
 		}
 		data := encodeTask(tm)
 		res.BytesTransferred += int64(len(data))
@@ -546,7 +554,7 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			seen[m.From] = true
 			workers[m.From].dead = true
 			res.Faults.WorkersLost++
-		case TagFrameDone, TagFrameAck, TagTaskDone, TagTruncateAck, TagPong:
+		case TagFrameDone, TagFrameAck, TagTaskDone, TagTruncateAck, TagPong, TagOSStats:
 			backlog = append(backlog, m)
 		default:
 			return res, fmt.Errorf("farm: expected hello, got tag %d from %s", m.Tag, m.From)
@@ -1048,6 +1056,29 @@ func RunMaster(cfg Config, hub *msg.Hub) (*Result, error) {
 			// PixelsDone is credited at TagDelivered (the sink's confirm),
 			// not here — see that handler for why.
 			w.st.Rays.Merge(a.Rays)
+
+		case TagOSStats:
+			// A task's accumulated object-space counters, sent just before
+			// its TagTaskDone. Stale copies from reassigned tasks still
+			// describe forwarding work that really happened, so they merge
+			// unconditionally.
+			body, err := msg.Open(m.Data)
+			var os stats.ObjSpaceStats
+			if err == nil {
+				os, err = objspace.DecodeStats(body)
+			}
+			if err != nil {
+				if w.dead {
+					continue
+				}
+				if err := malformed(w); err != nil {
+					return res, err
+				}
+				continue
+			}
+			res.BytesTransferred += int64(len(m.Data))
+			res.ObjSpace.Merge(os)
+			w.lastProgress = w.lastHeard
 
 		case TagTaskDone:
 			id, end, err := decodePair(m.Data)

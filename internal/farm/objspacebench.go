@@ -1,0 +1,139 @@
+package farm
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/objspace"
+	"nowrender/internal/scene"
+	"nowrender/internal/trace"
+)
+
+// ObjSpacePoint is one shard count's measurement of the object-space
+// partition on a real render: the forwarding traffic the shard topology
+// generates, the per-shard peak resident scene size it buys, and the
+// byte-identity check against the replicated reference. Serialised into
+// BENCH_objspace.json by cmd/benchtab so the sharding trajectory —
+// resident shrinking with shard count, forwarding growing with it — is
+// recorded over time.
+type ObjSpacePoint struct {
+	// Shards is the slab count; 1 is the replicated baseline (no
+	// partition, no forwarding — the path every other row must match
+	// byte-for-byte).
+	Shards int `json:"shards"`
+	Frames int `json:"frames"`
+	// RaysForwardedPerFrame and ForwardBytesPerFrame average the
+	// shard-to-shard forwarding traffic over the sweep's frames; the
+	// totals record the raw counters the averages came from. Every hop is
+	// serialized through the production forwarding codec even in-process,
+	// so these are honest measurements of what a distributed deployment
+	// would ship.
+	RaysForwardedPerFrame float64 `json:"rays_forwarded_per_frame"`
+	ForwardBytesPerFrame  float64 `json:"forward_bytes_per_frame"`
+	RaysForwardedTotal    uint64  `json:"rays_forwarded_total"`
+	ForwardBytesTotal     uint64  `json:"forward_bytes_total"`
+	// PeakResidentBytes is the largest per-shard resident scene size seen
+	// across the sweep's frames (the replicated row reports the whole
+	// scene); ResidentVsReplicated divides it by the replicated row's
+	// figure — the memory-scaling column, which must decrease as the
+	// shard count grows.
+	PeakResidentBytes    uint64  `json:"peak_resident_bytes"`
+	ResidentVsReplicated float64 `json:"resident_vs_replicated"`
+	// MSPerFrame is wall-clock render time per frame, cluster build
+	// included (the build is part of what a sharded worker pays per
+	// frame).
+	MSPerFrame float64 `json:"ms_per_frame"`
+	// Identical records the correctness invariant: this row's pixels
+	// compared byte-for-byte against the replicated render.
+	Identical bool `json:"identical"`
+}
+
+// ObjSpaceSweep measures the object-space partition on a real render: it
+// renders `frames` frames of sc at w x h through the replicated tracer
+// once as the reference, then through a sharded cluster at each
+// requested shard count (shard count 1 reports the replicated baseline
+// itself), verifying byte-identity and collecting the forwarding and
+// resident-size counters from the production Stats plumbing. Threads is
+// the worker-pool width used for every row, so timings are comparable
+// across shard counts.
+func ObjSpaceSweep(sc *scene.Scene, w, h, frames int, shardCounts []int, threads int) ([]ObjSpacePoint, error) {
+	if frames <= 0 || frames > sc.Frames {
+		frames = sc.Frames
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	region := fb.NewRect(0, 0, w, h)
+	topts := trace.Options{}
+
+	// Replicated reference: pixels per frame, wall time, and the
+	// whole-scene resident size under the shard builder's accounting.
+	refs := make([]*fb.Framebuffer, frames)
+	var refNs int64
+	var refResident uint64
+	for f := 0; f < frames; f++ {
+		start := time.Now()
+		ft, err := trace.New(sc, f, topts)
+		if err != nil {
+			return nil, err
+		}
+		img := fb.New(w, h)
+		ft.RenderRegionParallelWorkers(img, region, threads, f, nil, ft.NewWorker)
+		refNs += time.Since(start).Nanoseconds()
+		refs[f] = img
+		res, err := objspace.ReplicatedResident(sc, f, topts)
+		if err != nil {
+			return nil, err
+		}
+		if res > refResident {
+			refResident = res
+		}
+	}
+
+	pts := make([]ObjSpacePoint, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		if n == 1 {
+			pts = append(pts, ObjSpacePoint{
+				Shards: 1, Frames: frames,
+				PeakResidentBytes:    refResident,
+				ResidentVsReplicated: 1,
+				MSPerFrame:           float64(refNs) / float64(frames) / 1e6,
+				Identical:            true,
+			})
+			continue
+		}
+		if n < 2 || n > objspace.MaxShards {
+			return nil, fmt.Errorf("farm: object-space sweep shard count %d outside [2,%d]", n, objspace.MaxShards)
+		}
+		st := &objspace.Stats{}
+		pt := ObjSpacePoint{Shards: n, Frames: frames, Identical: true}
+		var ns int64
+		img := fb.New(w, h)
+		for f := 0; f < frames; f++ {
+			start := time.Now()
+			cl, err := objspace.Build(sc, f, topts, objspace.Options{Shards: n, Stats: st})
+			if err != nil {
+				return nil, err
+			}
+			cl.Tracer().RenderRegionParallelWorkers(img, region, threads, f, nil, cl.NewWorker)
+			ns += time.Since(start).Nanoseconds()
+			if !bytes.Equal(img.Pix, refs[f].Pix) {
+				pt.Identical = false
+			}
+		}
+		snap := st.Snapshot()
+		pt.RaysForwardedTotal = snap.RaysForwarded
+		pt.ForwardBytesTotal = snap.ForwardBytes
+		pt.RaysForwardedPerFrame = float64(snap.RaysForwarded) / float64(frames)
+		pt.ForwardBytesPerFrame = float64(snap.ForwardBytes) / float64(frames)
+		pt.PeakResidentBytes = snap.PeakResidentBytes
+		if refResident > 0 {
+			pt.ResidentVsReplicated = float64(snap.PeakResidentBytes) / float64(refResident)
+		}
+		pt.MSPerFrame = float64(ns) / float64(frames) / 1e6
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}

@@ -1,0 +1,60 @@
+package farm
+
+import (
+	"testing"
+
+	"nowrender/internal/scenes"
+)
+
+// TestObjSpaceSweep runs the sharding sweep at a small size and checks
+// the structural claims BENCH_objspace.json is committed for: every row
+// byte-identical to the replicated baseline, forwarding traffic present
+// only on sharded rows, and per-shard peak resident strictly decreasing
+// as the shard count grows.
+func TestObjSpaceSweep(t *testing.T) {
+	sc := scenes.MeshGallery(2)
+	pts, err := ObjSpaceSweep(sc, 48, 36, 2, []int{1, 2, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d rows, want 3", len(pts))
+	}
+	for _, pt := range pts {
+		if !pt.Identical {
+			t.Errorf("%d shards: not byte-identical to the replicated render", pt.Shards)
+		}
+		if pt.Shards == 1 {
+			if pt.RaysForwardedTotal != 0 || pt.ForwardBytesTotal != 0 {
+				t.Errorf("replicated row records forwarding: %+v", pt)
+			}
+			if pt.ResidentVsReplicated != 1 {
+				t.Errorf("replicated row resident ratio %v, want 1", pt.ResidentVsReplicated)
+			}
+			continue
+		}
+		if pt.RaysForwardedTotal == 0 || pt.ForwardBytesTotal == 0 {
+			t.Errorf("%d shards: no forwarding traffic recorded", pt.Shards)
+		}
+		if pt.ResidentVsReplicated >= 1 {
+			t.Errorf("%d shards: resident ratio %.2f did not shrink", pt.Shards, pt.ResidentVsReplicated)
+		}
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].PeakResidentBytes >= pts[i-1].PeakResidentBytes {
+			t.Errorf("peak resident did not decrease: %d shards %d >= %d shards %d",
+				pts[i].Shards, pts[i].PeakResidentBytes, pts[i-1].Shards, pts[i-1].PeakResidentBytes)
+		}
+	}
+}
+
+// TestObjSpaceSweepRejectsBadCounts mirrors the wire validation.
+func TestObjSpaceSweepRejectsBadCounts(t *testing.T) {
+	sc := scenes.MeshGallery(1)
+	if _, err := ObjSpaceSweep(sc, 16, 12, 1, []int{0}, 1); err == nil {
+		t.Error("shard count 0 accepted")
+	}
+	if _, err := ObjSpaceSweep(sc, 16, 12, 1, []int{200}, 1); err == nil {
+		t.Error("shard count 200 accepted")
+	}
+}

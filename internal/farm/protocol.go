@@ -5,6 +5,7 @@ import (
 
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
+	"nowrender/internal/objspace"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
 	vm "nowrender/internal/vecmath"
@@ -54,6 +55,10 @@ const (
 	// mark the frame delivered on it — only the sink's confirmation does
 	// that, so a result lost between worker and sink is still requeued.
 	TagFrameAck
+	// TagOSStats ships a task's accumulated object-space forwarding
+	// statistics (payload: sealed objspace.EncodeStats) just before the
+	// task's TagTaskDone. Sent only under a capWireObjSpace grant.
+	TagOSStats
 )
 
 // Wire capability bits, frame kinds, encodings, and codec types all
@@ -65,6 +70,7 @@ const (
 	capWireTimeline  = wire.CapTimeline
 	capWireDFB       = wire.CapDFB
 	capWireSpanCodec = wire.CapSpanCodec
+	capWireObjSpace  = wire.CapObjSpace
 	wireCapsMask     = wire.CapsMask
 
 	frameFull  = wire.KindFull
@@ -164,6 +170,13 @@ func (t taskMsg) validate() error {
 	} else if len(t.Sinks) != 0 {
 		return fmt.Errorf("farm: sink list without DFB grant")
 	}
+	if t.WireFlags&capWireObjSpace != 0 {
+		if t.OSShards < 2 || t.OSShards > objspace.MaxShards {
+			return fmt.Errorf("farm: object-space shard count %d outside [2,%d]", t.OSShards, objspace.MaxShards)
+		}
+	} else if t.OSShards != 0 {
+		return fmt.Errorf("farm: shard count without object-space grant")
+	}
 	return nil
 }
 
@@ -192,6 +205,13 @@ type taskMsg struct {
 	// WireFlags, so every earlier decoder is unaffected.
 	JobStart, JobEnd int
 	Sinks            []string
+	// OSShards is the object-space shard count when WireFlags grants
+	// capWireObjSpace: the worker renders through an objspace partition
+	// of that many slabs instead of a replicated grid. Packed only with
+	// the grant, after the DFB section, so earlier decoders never see
+	// it; ungranted workers render replicated — pixels are byte-identical
+	// either way, so mixed fleets interoperate.
+	OSShards int
 }
 
 // maxSinks bounds the sink list accepted off the wire.
@@ -222,6 +242,9 @@ func encodeTask(t taskMsg) []byte {
 		for _, s := range t.Sinks {
 			b.PackString(s)
 		}
+	}
+	if t.WireFlags&capWireObjSpace != 0 {
+		b.PackInt(int64(t.OSShards))
 	}
 	return b.Sealed()
 }
@@ -261,6 +284,9 @@ func decodeTask(data []byte) (taskMsg, error) {
 		for i := range t.Sinks {
 			t.Sinks[i] = b.UnpackString()
 		}
+	}
+	if t.WireFlags&capWireObjSpace != 0 {
+		t.OSShards = int(b.UnpackInt())
 	}
 	if err := b.Err(); err != nil {
 		return taskMsg{}, fmt.Errorf("farm: bad task message: %w", err)

@@ -9,6 +9,7 @@ import (
 	"nowrender/internal/coherence"
 	"nowrender/internal/compositor"
 	"nowrender/internal/fb"
+	"nowrender/internal/objspace"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
 	"nowrender/internal/timeline"
@@ -89,6 +90,14 @@ func RenderVirtual(cfg Config) (*Result, error) {
 	// run: the adaptive codec decision must not read wall clocks.
 	wireEnc.Deterministic = true
 
+	// Object-space sharding in the virtual model: rendering runs inline
+	// through the sharded partition (so forwarding counts are the real
+	// ones) and the run-level counters land in Result.ObjSpace.
+	var vos *objspace.Stats
+	if cfg.ObjSpaceShards >= 2 {
+		vos = &objspace.Stats{}
+	}
+
 	// DFB modeling: with sinks configured, the pixel payload is charged
 	// to sink ingress and the master is charged only the real encoded
 	// sizes of the worker's ack and the sink's confirmation — the same
@@ -134,6 +143,10 @@ func RenderVirtual(cfg Config) (*Result, error) {
 			opts.SamplesPerPixel = cfg.Samples
 			if opts.Threads == 0 {
 				opts.Threads = cfg.Threads
+			}
+			if vos != nil {
+				opts.ObjSpaceShards = cfg.ObjSpaceShards
+				opts.ObjSpaceStats = vos
 			}
 			eng, err := coherence.NewEngine(sc, cfg.W, cfg.H, t.Region, t.StartFrame, t.EndFrame, opts)
 			if err != nil {
@@ -207,6 +220,17 @@ func RenderVirtual(cfg Config) (*Result, error) {
 				ChangeVoxels:  uint64(rep.ChangeVoxels),
 				MemoryMB:      w.task.MemoryMB(),
 			}
+		} else if vos != nil {
+			cl, err := objspace.Build(sc, f, trace.Options{SamplesPerPixel: cfg.Samples},
+				objspace.Options{Shards: cfg.ObjSpaceShards, Stats: vos})
+			if err != nil {
+				return err
+			}
+			ft := cl.Tracer()
+			ft.RenderRegionParallelWorkers(w.buf, w.task.Region, cfg.Threads, f, nil, cl.NewWorker)
+			rc = ft.Counters
+			work = cluster.Work{Rays: ft.Counters.Total(), MemoryMB: w.task.PlainMemoryMB()}
+			frameRendered[f] += w.task.Region.Area()
 		} else {
 			ft, err := trace.New(sc, f, trace.Options{SamplesPerPixel: cfg.Samples})
 			if err != nil {
@@ -392,6 +416,9 @@ func RenderVirtual(cfg Config) (*Result, error) {
 		})
 	}
 	sort.Slice(res.Workers, func(i, j int) bool { return res.Workers[i].Worker < res.Workers[j].Worker })
+	if vos != nil {
+		res.ObjSpace = vos.Snapshot()
+	}
 	if rec != nil {
 		tl := rec.Snapshot()
 		tl.Meta["scheme"] = cfg.Scheme.Name()

@@ -12,6 +12,7 @@ import (
 	"nowrender/internal/faulty"
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
+	"nowrender/internal/objspace"
 	"nowrender/internal/partition"
 	"nowrender/internal/stats"
 	"nowrender/internal/timeline"
@@ -62,6 +63,10 @@ func TestTaskWireFlagsRoundTrip(t *testing.T) {
 			tm.JobStart, tm.JobEnd = 0, 16
 			tm.Sinks = []string{"sink0", "127.0.0.1:7001"}
 		}
+		if flags&capWireObjSpace != 0 {
+			// An object-space grant must carry the shard count.
+			tm.OSShards = 4
+		}
 		got, err := decodeTask(encodeTask(tm))
 		if err != nil {
 			t.Fatalf("flags %#x: %v", flags, err)
@@ -71,6 +76,9 @@ func TestTaskWireFlagsRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got.Sinks, tm.Sinks) || got.JobStart != tm.JobStart || got.JobEnd != tm.JobEnd {
 			t.Errorf("flags %#x: DFB fields round-tripped to %v [%d,%d)", flags, got.Sinks, got.JobStart, got.JobEnd)
+		}
+		if got.OSShards != tm.OSShards {
+			t.Errorf("flags %#x: shard count round-tripped to %d", flags, got.OSShards)
 		}
 	}
 	bad := base
@@ -89,6 +97,16 @@ func TestTaskWireFlagsRoundTrip(t *testing.T) {
 	bad.Sinks = []string{"sink0"}
 	if _, err := decodeTask(encodeTask(bad)); err == nil {
 		t.Error("DFB job range not containing task range decoded successfully")
+	}
+	// An object-space grant without a sane shard count is rejected.
+	bad = base
+	bad.WireFlags = capWireObjSpace
+	if _, err := decodeTask(encodeTask(bad)); err == nil {
+		t.Error("object-space grant without shard count decoded successfully")
+	}
+	bad.OSShards = objspace.MaxShards + 1
+	if _, err := decodeTask(encodeTask(bad)); err == nil {
+		t.Error("oversized object-space shard count decoded successfully")
 	}
 }
 
@@ -568,6 +586,7 @@ func TestWireCapBitsPinned(t *testing.T) {
 		{"timeline", capWireTimeline, 1 << 2},
 		{"dfb", capWireDFB, 1 << 3},
 		{"span-codec", capWireSpanCodec, 1 << 4},
+		{"objspace", capWireObjSpace, 1 << 5},
 	}
 	mask := 0
 	for _, c := range pinned {
@@ -588,10 +607,11 @@ func TestWireCapBitsPinned(t *testing.T) {
 		{"no-delta", WorkerOptions{NoWireDelta: true}, wireCapsMask &^ capWireDelta},
 		{"no-compress", WorkerOptions{NoWireCompress: true}, wireCapsMask &^ capWireCompress},
 		{"no-span", WorkerOptions{NoWireSpanCodec: true}, wireCapsMask &^ capWireSpanCodec},
+		{"no-objspace", WorkerOptions{NoWireObjSpace: true}, wireCapsMask &^ capWireObjSpace},
 		{"flate-only-codec", WorkerOptions{NoWireSpanCodec: true, NoWireDFB: true},
-			capWireDelta | capWireCompress | capWireTimeline},
+			capWireDelta | capWireCompress | capWireTimeline | capWireObjSpace},
 		{"span-only-codec", WorkerOptions{NoWireCompress: true, NoWireDFB: true},
-			capWireDelta | capWireTimeline | capWireSpanCodec},
+			capWireDelta | capWireTimeline | capWireSpanCodec | capWireObjSpace},
 	}
 	for _, c := range opts {
 		if got := c.o.caps(); got != c.want {

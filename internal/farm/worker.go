@@ -11,6 +11,7 @@ import (
 	"nowrender/internal/compositor"
 	"nowrender/internal/fb"
 	"nowrender/internal/msg"
+	"nowrender/internal/objspace"
 	"nowrender/internal/partition"
 	"nowrender/internal/scene"
 	"nowrender/internal/timeline"
@@ -117,14 +118,14 @@ type WorkerOptions struct {
 	// master's heartbeat interval (pings count as traffic); a worker
 	// mid-task is not subject to it.
 	MasterDeadline time.Duration
-	// NoWireDelta, NoWireCompress, NoWireTimeline, NoWireDFB and
-	// NoWireSpanCodec withhold the corresponding wire capability from
-	// the hello advertisement (the zero value advertises all — a new
-	// worker is fully capable by default). The master never enables a
-	// mode the worker did not advertise, so these simulate an old worker
-	// in a mixed fleet.
+	// NoWireDelta, NoWireCompress, NoWireTimeline, NoWireDFB,
+	// NoWireSpanCodec and NoWireObjSpace withhold the corresponding wire
+	// capability from the hello advertisement (the zero value advertises
+	// all — a new worker is fully capable by default). The master never
+	// enables a mode the worker did not advertise, so these simulate an
+	// old worker in a mixed fleet.
 	NoWireDelta, NoWireCompress, NoWireTimeline, NoWireDFB bool
-	NoWireSpanCodec                                        bool
+	NoWireSpanCodec, NoWireObjSpace                        bool
 	// SinkDial connects to a compositor sink address under a capWireDFB
 	// grant; nil defaults to msg.Dial (TCP). RenderLocal injects the
 	// in-process registry's dialer here.
@@ -154,6 +155,9 @@ func (o WorkerOptions) caps() int {
 	}
 	if o.NoWireSpanCodec {
 		c &^= capWireSpanCodec
+	}
+	if o.NoWireObjSpace {
+		c &^= capWireObjSpace
 	}
 	return c
 }
@@ -356,17 +360,31 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 	// owning each frame's shard; the master only gets small acks.
 	dfb := tm.WireFlags&capWireDFB != 0 && len(tm.Sinks) > 0
 	shard := partition.ShardMap{Start: tm.JobStart, End: tm.JobEnd, N: len(tm.Sinks)}
+	// Under an object-space grant every frame renders through a sharded
+	// scene partition instead of a replicated grid; osStats accumulates
+	// the task's forwarding traffic and per-shard resident sizes, shipped
+	// to the master just before TagTaskDone. Pixels are byte-identical to
+	// the replicated path, so ungranted peers in the same fleet compose.
+	var osStats *objspace.Stats
+	if tm.WireFlags&capWireObjSpace != 0 && tm.OSShards >= 2 {
+		osStats = &objspace.Stats{}
+	}
 	var eng *coherence.Engine
 	if tm.Coherence {
-		var err error
-		eng, err = coherence.NewEngine(sc, tm.W, tm.H, t.Region, t.StartFrame, t.EndFrame, coherence.Options{
+		copts := coherence.Options{
 			SamplesPerPixel:  tm.Samples,
 			GridRes:          tm.GridRes,
 			BlockGranularity: tm.BlockGran,
 			Threads:          tm.Threads,
 			TimelineTrack:    wt.main,
 			TileTracks:       wt.tiles,
-		})
+		}
+		if osStats != nil {
+			copts.ObjSpaceShards = tm.OSShards
+			copts.ObjSpaceStats = osStats
+		}
+		var err error
+		eng, err = coherence.NewEngine(sc, tm.W, tm.H, t.Region, t.StartFrame, t.EndFrame, copts)
 		if err != nil {
 			return err
 		}
@@ -440,6 +458,18 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 			fd.Regs = rep.Registrations
 			fd.Rays = rep.Rays
 			spans = eng.LastSpans()
+		} else if osStats != nil {
+			fwd0 := osStats.RaysForwarded()
+			cl, err := objspace.Build(sc, f, trace.Options{SamplesPerPixel: tm.Samples, GridRes: tm.GridRes},
+				objspace.Options{Shards: tm.OSShards, Stats: osStats})
+			if err != nil {
+				return err
+			}
+			ft := cl.Tracer()
+			ft.RenderRegionParallelWorkers(buf, t.Region, tm.Threads, f, wt.tiles, cl.NewWorker)
+			fd.Rendered = t.Region.Area()
+			fd.Rays = ft.Counters
+			wt.main.Instant(timeline.OpForward, f, int64(osStats.RaysForwarded()-fwd0))
 		} else {
 			ft, err := trace.New(sc, f, trace.Options{SamplesPerPixel: tm.Samples, GridRes: tm.GridRes})
 			if err != nil {
@@ -522,6 +552,12 @@ func runTask(ctx context.Context, name string, ac *asyncConn, sc *scene.Scene, t
 		}
 		wt.main.End(timeline.OpSend, f, sendStart)
 		f++
+	}
+	if osStats != nil {
+		data := msg.Seal(objspace.EncodeStats(osStats.Snapshot()))
+		if err := ac.Send(msg.Message{Tag: TagOSStats, From: name, Data: data}); err != nil {
+			return err
+		}
 	}
 	return ac.Send(msg.Message{Tag: TagTaskDone, From: name, Data: encodePair(t.ID, end)})
 }

@@ -177,6 +177,13 @@ func (g *Grid) VoxelsOverlapping(b vm.AABB, visit func(idx int)) {
 	}
 }
 
+// VoxelRange clips box b to the grid and returns inclusive voxel
+// coordinate ranges; ok is false when b misses the grid entirely. The
+// object-space partition uses this to histogram geometry along an axis.
+func (g *Grid) VoxelRange(b vm.AABB) (lo, hi [3]int, ok bool) {
+	return g.voxelRange(b)
+}
+
 // voxelRange clips box b to the grid and returns inclusive voxel
 // coordinate ranges.
 func (g *Grid) voxelRange(b vm.AABB) (lo, hi [3]int, ok bool) {

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -93,6 +94,58 @@ func Parse(r io.Reader) (*geom.Mesh, error) {
 	return geom.NewMesh(tris), nil
 }
 
+// Write emits a mesh as an OBJ document (vertices, optional vertex
+// normals, triangular faces) that Parse round-trips. Vertices are not
+// deduplicated: three per triangle, in triangle order, so the output is
+// a deterministic function of the mesh.
+func Write(w io.Writer, m *geom.Mesh) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# nowrender mesh: %d triangles\n", len(m.Tris))
+	smooth := 0
+	for _, tr := range m.Tris {
+		if tr.N0 != nil {
+			smooth++
+		}
+	}
+	for _, tr := range m.Tris {
+		for _, p := range [3]vm.Vec3{tr.P0, tr.P1, tr.P2} {
+			fmt.Fprintf(bw, "v %.17g %.17g %.17g\n", p.X, p.Y, p.Z)
+		}
+	}
+	for _, tr := range m.Tris {
+		if tr.N0 == nil {
+			continue
+		}
+		for _, n := range [3]*vm.Vec3{tr.N0, tr.N1, tr.N2} {
+			fmt.Fprintf(bw, "vn %.17g %.17g %.17g\n", n.X, n.Y, n.Z)
+		}
+	}
+	ni := 0
+	for i, tr := range m.Tris {
+		v := 3*i + 1
+		if tr.N0 != nil && smooth == len(m.Tris) {
+			fmt.Fprintf(bw, "f %d//%d %d//%d %d//%d\n", v, ni+1, v+1, ni+2, v+2, ni+3)
+			ni += 3
+		} else {
+			fmt.Fprintf(bw, "f %d %d %d\n", v, v+1, v+2)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile emits a mesh as an OBJ file on disk.
+func WriteFile(path string, m *geom.Mesh) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // Load reads an OBJ file from disk.
 func Load(path string) (*geom.Mesh, error) {
 	f, err := os.Open(path)
@@ -116,6 +169,12 @@ func parseVec(fields []string) (vm.Vec3, error) {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			return vm.Vec3{}, fmt.Errorf("bad coordinate %q", fields[i])
+		}
+		// strconv accepts "NaN" and "Inf"; a single such vertex would
+		// poison every bounding box and grid insertion downstream, so
+		// reject the file here with a useful message.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return vm.Vec3{}, fmt.Errorf("non-finite coordinate %q", fields[i])
 		}
 		out[i] = v
 	}

@@ -104,19 +104,48 @@ f -3 -2 -1
 }
 
 func TestParseErrors(t *testing.T) {
-	cases := []struct{ name, src string }{
-		{"no faces", "v 0 0 0\nv 1 0 0\nv 0 1 0\n"},
-		{"bad coord", "v a b c\nf 1 2 3\n"},
-		{"short face", "v 0 0 0\nv 1 0 0\nf 1 2\n"},
-		{"index overflow", "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 9\n"},
-		{"zero index", "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 0 1 2\n"},
-		{"relative underflow", "v 0 0 0\nv 1 0 0\nv 0 1 0\nf -9 1 2\n"},
-		{"bad normal index", "v 0 0 0\nv 1 0 0\nv 0 1 0\nvn 0 0 1\nf 1//9 2//1 3//1\n"},
+	cases := []struct{ name, src, want string }{
+		{"no faces", "v 0 0 0\nv 1 0 0\nv 0 1 0\n", "no faces"},
+		{"bad coord", "v a b c\nf 1 2 3\n", "bad coordinate"},
+		{"short vertex", "v 1 2\nf 1 2 3\n", "need 3 coordinates"},
+		{"nan coord", "v NaN 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n", "non-finite"},
+		{"inf coord", "v 0 0 Inf\nv 1 0 0\nv 0 1 0\nf 1 2 3\n", "non-finite"},
+		{"neg inf coord", "v 0 -Infinity 0\nv 1 0 0\nv 0 1 0\nf 1 2 3\n", "non-finite"},
+		{"nan normal", "v 0 0 0\nv 1 0 0\nv 0 1 0\nvn nan 0 1\nf 1//1 2//1 3//1\n", "non-finite"},
+		{"short face", "v 0 0 0\nv 1 0 0\nf 1 2\n", "at least 3"},
+		{"index overflow", "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 9\n", "exceeds count"},
+		{"zero index", "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 0 1 2\n", "index 0"},
+		{"relative underflow", "v 0 0 0\nv 1 0 0\nv 0 1 0\nf -9 1 2\n", "out of range"},
+		{"non-integer index", "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 x\n", "not an integer"},
+		{"float index", "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 3.5\n", "not an integer"},
+		{"empty vertex slot", "v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 2 //\n", "not an integer"},
+		{"bad normal index", "v 0 0 0\nv 1 0 0\nv 0 1 0\nvn 0 0 1\nf 1//9 2//1 3//1\n", "exceeds count"},
+		{"zero normal index", "v 0 0 0\nv 1 0 0\nv 0 1 0\nvn 0 0 1\nf 1//0 2//1 3//1\n", "index 0"},
+		{"face before vertices", "f 1 2 3\nv 0 0 0\nv 1 0 0\nv 0 1 0\n", "exceeds count"},
 	}
 	for _, c := range cases {
-		if _, err := Parse(strings.NewReader(c.src)); err == nil {
+		_, err := Parse(strings.NewReader(c.src))
+		if err == nil {
 			t.Errorf("%s: accepted", c.name)
+			continue
 		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestParseErrorLineNumbers pins the diagnostic contract: parse errors
+// name the 1-based source line, comments and blanks included, so a bad
+// vertex in a 100k-line archive file is findable.
+func TestParseErrorLineNumbers(t *testing.T) {
+	src := "# header\n\nv 0 0 0\nv bogus 0 0\n"
+	_, err := Parse(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	if !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %q does not name line 4", err)
 	}
 }
 
@@ -134,6 +163,66 @@ f 1 2 3
 `
 	if _, err := Parse(strings.NewReader(src)); err != nil {
 		t.Errorf("unknown directives broke parse: %v", err)
+	}
+}
+
+// TestWriteRoundTrip pins Write's contract: its output re-Parses to a
+// mesh with the same triangles, positions, and normal attachment.
+func TestWriteRoundTrip(t *testing.T) {
+	for _, src := range []string{cube, `
+v 0 0 0
+v 1 0 0
+v 0 1 0
+vn 0 0 1
+vn 0 0 1
+vn 0 0 1
+f 1//1 2//2 3//3
+`} {
+		m, err := Parse(strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse: %v\n%s", err, buf.String())
+		}
+		if len(back.Tris) != len(m.Tris) {
+			t.Fatalf("round-trip %d triangles, want %d", len(back.Tris), len(m.Tris))
+		}
+		for i, tr := range m.Tris {
+			bt := back.Tris[i]
+			if tr.P0 != bt.P0 || tr.P1 != bt.P1 || tr.P2 != bt.P2 {
+				t.Errorf("triangle %d positions drifted", i)
+			}
+			if (tr.N0 != nil) != (bt.N0 != nil) {
+				t.Errorf("triangle %d normal attachment drifted", i)
+			}
+			if tr.N0 != nil && bt.N0 != nil && *tr.N0 != *bt.N0 {
+				t.Errorf("triangle %d normal drifted", i)
+			}
+		}
+	}
+}
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	m, err := Parse(strings.NewReader(cube))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cube.obj")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tris) != len(m.Tris) {
+		t.Errorf("round-trip %d triangles, want %d", len(back.Tris), len(m.Tris))
 	}
 }
 

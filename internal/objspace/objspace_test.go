@@ -1,0 +1,348 @@
+package objspace
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nowrender/internal/fb"
+	"nowrender/internal/geom"
+	"nowrender/internal/scene"
+	"nowrender/internal/scenes"
+	"nowrender/internal/sdl"
+	"nowrender/internal/stats"
+	"nowrender/internal/trace"
+	vm "nowrender/internal/vecmath"
+)
+
+type (
+	statsReport = stats.ObjSpaceStats
+	shardRow    = stats.ObjSpaceShard
+)
+
+func loadSDL(t *testing.T, path string) *scene.Scene {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", path))
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	sc, err := sdl.Parse(path, string(src))
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	return sc
+}
+
+// testScenes returns the byte-identity workloads: the SDL golden scene,
+// the museum gallery, and the large-mesh stress scene.
+func testScenes(t *testing.T) map[string]*scene.Scene {
+	return map[string]*scene.Scene{
+		"cornell-ish": loadSDL(t, "scenes/cornell-ish.sdl"),
+		"gallery":     scenes.Gallery(4),
+		"meshgallery": scenes.MeshGallery(4),
+	}
+}
+
+func renderReplicated(t *testing.T, sc *scene.Scene, frame, w, h int, opts trace.Options) (*fb.Framebuffer, *trace.FrameTracer) {
+	t.Helper()
+	ft, err := trace.New(sc, frame, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := fb.New(w, h)
+	ft.RenderFull(img)
+	return img, ft
+}
+
+// TestShardedByteIdentity is the PR's correctness invariant: rendering
+// through the object-space partition at 2 and 4 shards produces exactly
+// the bytes — and exactly the ray counters — of the replicated path.
+func TestShardedByteIdentity(t *testing.T) {
+	const w, h = 64, 48
+	for name, sc := range testScenes(t) {
+		for _, shards := range []int{2, 4} {
+			ref, ft := renderReplicated(t, sc, 0, w, h, trace.Options{})
+			var st Stats
+			cl, err := Build(sc, 0, trace.Options{}, Options{Shards: shards, Stats: &st})
+			if err != nil {
+				t.Fatalf("%s/%d: %v", name, shards, err)
+			}
+			wk := cl.NewWorker(nil)
+			img := fb.New(w, h)
+			wk.RenderFull(img)
+			if !bytes.Equal(ref.Pix, img.Pix) {
+				diff := 0
+				for i := range ref.Pix {
+					if ref.Pix[i] != img.Pix[i] {
+						diff++
+					}
+				}
+				t.Errorf("%s at %d shards: %d/%d pixel bytes differ from replicated",
+					name, shards, diff, len(ref.Pix))
+			}
+			if ft.Counters != wk.Counters {
+				t.Errorf("%s at %d shards: counters %v != replicated %v",
+					name, shards, wk.Counters, ft.Counters)
+			}
+			if cl.Partition().Shards() > 1 && st.RaysForwarded() == 0 {
+				t.Errorf("%s at %d shards: no rays forwarded — partition degenerate?", name, shards)
+			}
+		}
+	}
+}
+
+// TestShardedSupersampledByteIdentity repeats the invariant with
+// multi-sample jitter, which exercises secondary-ray-heavy paths.
+func TestShardedSupersampledByteIdentity(t *testing.T) {
+	sc := scenes.MeshGallery(2)
+	opts := trace.Options{SamplesPerPixel: 2}
+	const w, h = 40, 30
+	ref, _ := renderReplicated(t, sc, 1, w, h, opts)
+	cl, err := Build(sc, 1, opts, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := fb.New(w, h)
+	cl.NewWorker(nil).RenderFull(img)
+	if !bytes.Equal(ref.Pix, img.Pix) {
+		t.Error("supersampled sharded render differs from replicated")
+	}
+}
+
+// TestResidentShrinks pins the memory story: the per-shard peak resident
+// scene size must decrease as the shard count grows on the mesh-heavy
+// stress scene.
+func TestResidentShrinks(t *testing.T) {
+	sc := scenes.MeshGallery(1)
+	peak := func(shards int) uint64 {
+		var st Stats
+		if _, err := Build(sc, 0, trace.Options{}, Options{Shards: shards, Stats: &st}); err != nil {
+			t.Fatal(err)
+		}
+		return st.Snapshot().PeakResidentBytes
+	}
+	p2, p4 := peak(2), peak(4)
+	if p4 >= p2 {
+		t.Errorf("peak resident did not shrink: %d bytes at 2 shards, %d at 4", p2, p4)
+	}
+}
+
+// TestRemoteFleetByteIdentity runs the full wire topology — one owner
+// goroutine per shard over msg.Pipe links — and demands the same bytes.
+func TestRemoteFleetByteIdentity(t *testing.T) {
+	sc := scenes.MeshGallery(1)
+	const w, h = 48, 36
+	ref, _ := renderReplicated(t, sc, 0, w, h, trace.Options{})
+	var st Stats
+	cl, err := Build(sc, 0, trace.Options{}, Options{Shards: 3, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewLocalFleet(cl)
+	defer client.Close()
+	img := fb.New(w, h)
+	client.NewWorker(nil).RenderFull(img)
+	if !bytes.Equal(ref.Pix, img.Pix) {
+		t.Error("remote fleet render differs from replicated")
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	sc := scenes.MeshGallery(1)
+	cl, err := Build(sc, 0, trace.Options{}, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cl.Partition()
+	if p.Slabs[0][0] != 0 {
+		t.Errorf("first slab starts at %d, want 0", p.Slabs[0][0])
+	}
+	for i := 1; i < len(p.Slabs); i++ {
+		if p.Slabs[i][0] != p.Slabs[i-1][1] {
+			t.Errorf("slab %d starts at %d, previous ends at %d", i, p.Slabs[i][0], p.Slabs[i-1][1])
+		}
+		if p.Slabs[i][0] >= p.Slabs[i][1] {
+			t.Errorf("slab %d empty: %v", i, p.Slabs[i])
+		}
+		// Adjacent slabs must agree bit-exactly on their shared plane.
+		lo := cl.Shard(i).Bounds.Min.Axis(p.Axis)
+		hi := cl.Shard(i - 1).Bounds.Max.Axis(p.Axis)
+		if lo != hi {
+			t.Errorf("slab boundary %d mismatch: %v vs %v", i, lo, hi)
+		}
+		if got := p.ShardOf(lo); got != i {
+			t.Errorf("ShardOf(boundary %d) = %d, want %d (higher side)", i, got, i)
+		}
+	}
+	if last := p.Slabs[len(p.Slabs)-1]; cl.Shard(len(p.Slabs)-1).Bounds.Max != p.Bounds.Max {
+		t.Errorf("last slab %v does not end at the partition bounds", last)
+	}
+	for i := range p.Slabs {
+		if s := cl.Shard(i); len(s.Objs) == 0 {
+			t.Errorf("shard %d holds no geometry on the stress scene", i)
+		}
+	}
+}
+
+func TestBuildRejectsBadShardCounts(t *testing.T) {
+	sc := scenes.MeshGallery(1)
+	for _, n := range []int{-1, 0, 1, MaxShards + 1} {
+		if _, err := Build(sc, 0, trace.Options{}, Options{Shards: n}); err == nil {
+			t.Errorf("Build accepted %d shards", n)
+		}
+	}
+}
+
+func sampleForward() ForwardState {
+	n := vm.V(0, 1, 0)
+	return ForwardState{
+		Seq: 42, Pixel: 1234, Shard: 2,
+		Ray:  vm.Ray{Origin: vm.V(0.1, -2.5, 3e8), Dir: vm.V(-0.3, 0.9, 0.1), Kind: vm.ShadowRay, Depth: 3},
+		TMin: 1e-4, TMax: 17.25, Throughput: vm.V(0.5, 0.25, 1),
+		Found: true, BestObj: 7,
+		Best: geom.Hit{T: 4.125, Point: vm.V(1, 2, 3), Normal: n, Inside: true, U: 0.5, V: 0.75},
+	}
+}
+
+func TestForwardRoundTrip(t *testing.T) {
+	cases := map[string]ForwardState{"hit": sampleForward()}
+	miss := sampleForward()
+	miss.Found, miss.BestObj, miss.Best = false, -1, geom.Hit{T: math.Inf(1)}
+	miss.TMax = math.Inf(1)
+	miss.Pixel = -1
+	cases["miss-inf"] = miss
+	rng := vm.NewRNG(99)
+	for i := 0; i < 64; i++ {
+		fs := sampleForward()
+		fs.Seq = uint64(i)
+		fs.Ray.Origin = vm.V(rng.Float64()*1e6-5e5, rng.Float64(), rng.Float64()*1e-9)
+		fs.Ray.Dir = vm.V(rng.Float64()-0.5, rng.Float64()-0.5, rng.Float64()+0.01)
+		fs.Best.T = rng.Float64() * 100
+		fs.TMax = fs.Best.T + rng.Float64()
+		cases[string(rune('a'+i))] = fs
+	}
+	for name, fs := range cases {
+		got, err := DecodeForward(EncodeForward(&fs))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got != fs {
+			t.Errorf("%s: round trip changed state:\n got %+v\nwant %+v", name, got, fs)
+		}
+	}
+}
+
+func TestDecodeForwardRejects(t *testing.T) {
+	mutate := func(f func(*ForwardState)) []byte {
+		fs := sampleForward()
+		f(&fs)
+		return EncodeForward(&fs)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"truncated":   EncodeForward(&ForwardState{})[:40],
+		"trailing":    append(EncodeForward(&ForwardState{Ray: vm.Ray{Dir: vm.V(1, 0, 0)}, BestObj: -1}), 0),
+		"bad-kind":    mutate(func(fs *ForwardState) { fs.Ray.Kind = 200 }),
+		"neg-depth":   mutate(func(fs *ForwardState) { fs.Ray.Depth = -1 }),
+		"huge-depth":  mutate(func(fs *ForwardState) { fs.Ray.Depth = maxForwardDepth + 1 }),
+		"bad-pixel":   mutate(func(fs *ForwardState) { fs.Pixel = -2 }),
+		"bad-shard":   mutate(func(fs *ForwardState) { fs.Shard = MaxShards }),
+		"nan-origin":  mutate(func(fs *ForwardState) { fs.Ray.Origin.X = math.NaN() }),
+		"inf-dir":     mutate(func(fs *ForwardState) { fs.Ray.Dir.Y = math.Inf(1) }),
+		"zero-dir":    mutate(func(fs *ForwardState) { fs.Ray.Dir = vm.Vec3{} }),
+		"nan-tmin":    mutate(func(fs *ForwardState) { fs.TMin = math.NaN() }),
+		"inf-tmin":    mutate(func(fs *ForwardState) { fs.TMin = math.Inf(1) }),
+		"inverted-t":  mutate(func(fs *ForwardState) { fs.TMax = fs.TMin - 1 }),
+		"nan-hit":     mutate(func(fs *ForwardState) { fs.Best.T = math.NaN() }),
+		"neg-bestobj": mutate(func(fs *ForwardState) { fs.BestObj = -1 }),
+		"ghost-obj":   mutate(func(fs *ForwardState) { fs.Found = false }),
+	}
+	for name, data := range cases {
+		if _, err := DecodeForward(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestStatsCodecRoundTrip(t *testing.T) {
+	var st Stats
+	sc := scenes.MeshGallery(1)
+	if _, err := Build(sc, 0, trace.Options{}, Options{Shards: 3, Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	st.countForward(0, 224)
+	st.countForward(0, 224)
+	st.countForward(2, 224)
+	snap := st.Snapshot()
+	got, err := DecodeStats(EncodeStats(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards != snap.Shards || got.RaysForwarded != snap.RaysForwarded ||
+		got.ForwardBytes != snap.ForwardBytes || got.PeakResidentBytes != snap.PeakResidentBytes ||
+		len(got.PerShard) != len(snap.PerShard) {
+		t.Errorf("stats round trip: got %+v want %+v", got, snap)
+	}
+	for i := range got.PerShard {
+		if got.PerShard[i] != snap.PerShard[i] {
+			t.Errorf("shard %d row: got %+v want %+v", i, got.PerShard[i], snap.PerShard[i])
+		}
+	}
+
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"too-many":  {0, 0, 0, 0, 0, 0, 0, 200, 0, 0, 0, 0, 0, 0, 0, 200},
+		"truncated": EncodeStats(snap)[:20],
+		"trailing":  append(EncodeStats(snap), 1),
+	} {
+		if _, err := DecodeStats(data); err == nil {
+			t.Errorf("%s: DecodeStats accepted malformed input", name)
+		}
+	}
+}
+
+// FuzzObjSpaceDecode drives both wire decoders with arbitrary bytes: they
+// must never panic, and anything they accept must re-encode to a payload
+// that decodes to the identical state.
+func FuzzObjSpaceDecode(f *testing.F) {
+	fs := sampleForward()
+	f.Add(EncodeForward(&fs))
+	miss := sampleForward()
+	miss.Found, miss.BestObj = false, -1
+	f.Add(EncodeForward(&miss))
+	f.Add(EncodeStats(stats3()))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if fs, err := DecodeForward(data); err == nil {
+			again, err := DecodeForward(EncodeForward(&fs))
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if again != fs {
+				t.Fatalf("re-encode changed state: %+v vs %+v", again, fs)
+			}
+		}
+		if st, err := DecodeStats(data); err == nil {
+			again, err := DecodeStats(EncodeStats(st))
+			if err != nil {
+				t.Fatalf("stats re-decode failed: %v", err)
+			}
+			if again.RaysForwarded != st.RaysForwarded || len(again.PerShard) != len(st.PerShard) {
+				t.Fatalf("stats re-encode changed totals")
+			}
+		}
+	})
+}
+
+func stats3() (s statsReport) {
+	s.Shards = 3
+	s.PerShard = append(s.PerShard,
+		shardRow{RaysForwarded: 10, ForwardBytes: 2240, Objects: 4, Tris: 100, ResidentBytes: 5000},
+		shardRow{RaysForwarded: 3, ForwardBytes: 672, Objects: 2, Tris: 50, ResidentBytes: 2500},
+		shardRow{})
+	s.RaysForwarded, s.ForwardBytes, s.PeakResidentBytes = 13, 2912, 5000
+	return s
+}

@@ -297,6 +297,26 @@ func (s ShardMap) Of(frame int) int {
 	return ((frame-s.Start+1)*N - 1) / n
 }
 
+// Ranges returns every shard's [start, end) range in shard order —
+// the contiguous slab split the object-space partition reuses for voxel
+// index ranges (same rounding as SequenceDivision, sizes differing by
+// at most one).
+func (s ShardMap) Ranges() [][2]int {
+	n := s.End - s.Start
+	N := s.N
+	if N > n {
+		N = n
+	}
+	if N < 1 {
+		N = 1
+	}
+	out := make([][2]int, N)
+	for i := 0; i < N; i++ {
+		out[i][0], out[i][1] = s.Shard(i)
+	}
+	return out
+}
+
 // Shard returns the absolute frame range [start, end) of shard i.
 // Shards beyond the frame count are empty.
 func (s ShardMap) Shard(i int) (start, end int) {

@@ -17,6 +17,7 @@ import (
 //	"newton:60"     same with a custom frame count
 //	"bouncing[:N]"  the glass-ball-in-brick-room animation
 //	"gallery[:N]"   the complex museum animation with a camera cut
+//	"meshgallery[:N]" the large-mesh object-space stress scene
 //	"quickstart"    a single-frame demo scene
 //	anything else   path to a .sdl scene file
 func FromSpec(spec string) (*scene.Scene, error) {
@@ -36,6 +37,8 @@ func FromSpec(spec string) (*scene.Scene, error) {
 		return Bouncing(frames), nil
 	case "gallery":
 		return Gallery(frames), nil
+	case "meshgallery":
+		return MeshGallery(frames), nil
 	case "quickstart":
 		return Quickstart(), nil
 	default:
@@ -53,7 +56,7 @@ func FromSpec(spec string) (*scene.Scene, error) {
 func SpecPayload(spec string) (kind, data string, err error) {
 	name, _, _ := strings.Cut(spec, ":")
 	switch name {
-	case "newton", "bouncing", "gallery", "quickstart":
+	case "newton", "bouncing", "gallery", "meshgallery", "quickstart":
 		return "builtin", spec, nil
 	default:
 		src, err := os.ReadFile(spec)

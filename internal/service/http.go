@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"nowrender/internal/stats"
 	"nowrender/internal/tga"
 )
 
@@ -245,6 +246,8 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	totalRays := s.rays.Total()
 	faults := s.faults
 	wire := s.wire
+	objspace := s.objspace
+	objspace.PerShard = append([]stats.ObjSpaceShard(nil), s.objspace.PerShard...)
 	jobRetries := s.jobRetries
 	workers := make(map[string]time.Duration, len(s.workerBusy))
 	for k, v := range s.workerBusy {
@@ -382,6 +385,23 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p("# HELP nowrender_wire_frame_acks_total DFB control acks received by the master in place of pixel payloads.")
 	p("# TYPE nowrender_wire_frame_acks_total counter")
 	p("nowrender_wire_frame_acks_total %d", wire.FramesAcked)
+	if objspace.Enabled() {
+		p("# HELP nowrender_rays_forwarded_total Object-space rays forwarded between shard owners, by sending shard.")
+		p("# TYPE nowrender_rays_forwarded_total counter")
+		for i, sh := range objspace.PerShard {
+			p("nowrender_rays_forwarded_total{shard=\"%d\"} %d", i, sh.RaysForwarded)
+		}
+		p("# HELP nowrender_forward_bytes_total Bytes the forwarded ray states serialized to, by sending shard.")
+		p("# TYPE nowrender_forward_bytes_total counter")
+		for i, sh := range objspace.PerShard {
+			p("nowrender_forward_bytes_total{shard=\"%d\"} %d", i, sh.ForwardBytes)
+		}
+		p("# HELP nowrender_objspace_peak_resident_bytes Largest per-shard resident scene size any sharded task built, by shard.")
+		p("# TYPE nowrender_objspace_peak_resident_bytes gauge")
+		for i, sh := range objspace.PerShard {
+			p("nowrender_objspace_peak_resident_bytes{shard=\"%d\"} %d", i, sh.ResidentBytes)
+		}
+	}
 	if len(wire.BaseMissByWorker) > 0 {
 		p("# HELP nowrender_wire_base_misses_total Deltas dropped for a missing base frame, by shipping worker.")
 		p("# TYPE nowrender_wire_base_misses_total counter")

@@ -78,6 +78,12 @@ type JobSpec struct {
 	// NOT part of the cache address: identical requests from different
 	// tenants share cached frames and coalesce onto one render.
 	Tenant string `json:"tenant,omitempty"`
+	// ObjSpaceShards partitions each task's scene into that many spatial
+	// shards with ray forwarding between owners (0 = replicated scenes,
+	// the default; otherwise 2..objspace.MaxShards). Deliberately NOT
+	// part of the cache address: sharded rendering is byte-identical to
+	// replicated at every shard count, so cached frames serve either.
+	ObjSpaceShards int `json:"objspace_shards,omitempty"`
 }
 
 // Status is the externally visible snapshot of a job, the JSON body of
@@ -131,7 +137,14 @@ type Status struct {
 	// losing its delta chain is visible per job.
 	WireBaseMisses       uint64            `json:"wire_base_misses,omitempty"`
 	WireBaseMissByWorker map[string]uint64 `json:"wire_base_miss_by_worker,omitempty"`
-	Error                string            `json:"error,omitempty"`
+	// RaysForwarded, ForwardBytes and ObjSpacePeakResidentBytes surface
+	// the job's object-space footprint when the spec sharded the scene:
+	// shard-to-shard ray forwards, the bytes they serialized to, and the
+	// largest per-shard resident scene size any task built.
+	RaysForwarded             uint64 `json:"rays_forwarded,omitempty"`
+	ForwardBytes              uint64 `json:"forward_bytes,omitempty"`
+	ObjSpacePeakResidentBytes uint64 `json:"objspace_peak_resident_bytes,omitempty"`
+	Error                     string `json:"error,omitempty"`
 
 	Submitted time.Time `json:"submitted"`
 	Started   time.Time `json:"started"`
@@ -182,6 +195,7 @@ type job struct {
 	rays      stats.RayCounters
 	faults    stats.FaultCounters
 	wire      stats.WireStats
+	objspace  stats.ObjSpaceStats
 	// led marks the absolute frames this job currently leads the
 	// in-flight cache flight for: it must either Put (via OnFrame) or
 	// Abort (at its terminal state) every one of them.
@@ -222,11 +236,14 @@ func (j *job) status() Status {
 		WireFramesFull: j.wire.FramesFull, WireFramesDelta: j.wire.FramesDelta,
 		WireFramesFlate: j.wire.FramesCompressed, WireFramesSpan: j.wire.FramesSpan,
 		WireBytes: j.wire.WireBytes, WireRawBytes: j.wire.RawBytes,
-		WireMasterIngressBytes: j.wire.MasterIngressBytes,
-		WireSinkIngressBytes:   j.wire.SinkIngressBytes,
-		WireFramesAcked:        j.wire.FramesAcked,
-		WireBaseMisses:         j.wire.DeltaBaseMisses,
-		Submitted:              j.submitted, Started: j.started, Finished: j.finished,
+		WireMasterIngressBytes:    j.wire.MasterIngressBytes,
+		WireSinkIngressBytes:      j.wire.SinkIngressBytes,
+		WireFramesAcked:           j.wire.FramesAcked,
+		WireBaseMisses:            j.wire.DeltaBaseMisses,
+		RaysForwarded:             j.objspace.RaysForwarded,
+		ForwardBytes:              j.objspace.ForwardBytes,
+		ObjSpacePeakResidentBytes: j.objspace.PeakResidentBytes,
+		Submitted:                 j.submitted, Started: j.started, Finished: j.finished,
 	}
 	if len(j.wire.BaseMissByWorker) > 0 {
 		st.WireBaseMissByWorker = make(map[string]uint64, len(j.wire.BaseMissByWorker))

@@ -34,6 +34,7 @@ import (
 	"nowrender/internal/fleet"
 	"nowrender/internal/framecache"
 	"nowrender/internal/msg"
+	"nowrender/internal/objspace"
 	"nowrender/internal/partition"
 	"nowrender/internal/queue"
 	"nowrender/internal/scene"
@@ -205,6 +206,7 @@ type Service struct {
 	workerBusy      map[string]time.Duration
 	faults          stats.FaultCounters
 	wire            stats.WireStats
+	objspace        stats.ObjSpaceStats
 	jobRetries      uint64
 	started         time.Time
 }
@@ -291,6 +293,10 @@ func (s *Service) normalize(spec *JobSpec, frames int) error {
 	}
 	if spec.Driver != "virtual" && spec.Driver != "local" {
 		return fmt.Errorf("service: unknown driver %q", spec.Driver)
+	}
+	if spec.ObjSpaceShards != 0 && (spec.ObjSpaceShards < 2 || spec.ObjSpaceShards > objspace.MaxShards) {
+		return fmt.Errorf("service: object-space shard count %d outside [2,%d]",
+			spec.ObjSpaceShards, objspace.MaxShards)
 	}
 	if spec.Retries < 0 || spec.RetryBackoffMS < 0 {
 		return fmt.Errorf("service: bad retry policy (retries %d, backoff %dms)",
@@ -702,13 +708,14 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		Scene: j.scene, W: j.spec.W, H: j.spec.H,
 		Scheme:     scheme,
 		StartFrame: start, EndFrame: end,
-		Coherence: !j.spec.Plain,
-		Samples:   j.spec.Samples,
-		Threads:   j.spec.Threads,
-		Machines:  machines,
-		Workers:   workers,
-		Ctx:       j.ctx,
-		Heartbeat: s.cfg.Heartbeat, Liveness: s.cfg.Liveness,
+		Coherence:      !j.spec.Plain,
+		Samples:        j.spec.Samples,
+		Threads:        j.spec.Threads,
+		ObjSpaceShards: j.spec.ObjSpaceShards,
+		Machines:       machines,
+		Workers:        workers,
+		Ctx:            j.ctx,
+		Heartbeat:      s.cfg.Heartbeat, Liveness: s.cfg.Liveness,
 		StallTimeout:  s.cfg.StallTimeout,
 		FrameRetries:  s.cfg.FrameRetries,
 		Speculate:     s.cfg.Speculate,
@@ -746,6 +753,8 @@ func (s *Service) renderRange(j *job, start, end int) error {
 		s.faults.Merge(res.Faults)
 		j.wire.Merge(res.Wire)
 		s.wire.Merge(res.Wire)
+		j.objspace.Merge(res.ObjSpace)
+		s.objspace.Merge(res.ObjSpace)
 		for _, w := range res.Workers {
 			s.workerBusy[w.Worker] += w.Busy
 		}
@@ -806,6 +815,17 @@ func (s *Service) WireStats() stats.WireStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.wire
+}
+
+// ObjSpaceStats snapshots the object-space sharding counters (rays
+// forwarded, forwarding bytes, per-shard residents) aggregated over
+// every farm run the service has driven.
+func (s *Service) ObjSpaceStats() stats.ObjSpaceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.objspace
+	out.PerShard = append([]stats.ObjSpaceShard(nil), s.objspace.PerShard...)
+	return out
 }
 
 // Cancel stops a job: a queued job is removed from the queue, a running

@@ -265,10 +265,79 @@ func TestSubmitValidation(t *testing.T) {
 		{Scene: "newton:4", StartFrame: 9, EndFrame: 12}, // out of range
 		{Scene: "newton:4", Scheme: "nope"},              // unknown scheme
 		{Scene: "newton:4", Driver: "pvm"},               // unknown driver
+		{Scene: "newton:4", ObjSpaceShards: 1},           // 1 shard = use replicated
+		{Scene: "newton:4", ObjSpaceShards: -2},          // negative shards
+		{Scene: "newton:4", ObjSpaceShards: 1000},        // beyond MaxShards
 	}
 	for i, spec := range bad {
 		if _, err := s.Submit(spec); err == nil {
 			t.Errorf("spec %d accepted, want error", i)
+		}
+	}
+}
+
+// TestObjSpaceJob renders a job with the scene sharded across object-
+// space owners: the pixels must match the replicated render of the same
+// spec (the cache key deliberately ignores the shard count), the job
+// status must surface the forwarding counters, and /metrics must export
+// them per shard.
+func TestObjSpaceJob(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+
+	ref, err := s.Submit(JobSpec{Scene: "meshgallery:2", W: 40, H: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref = waitDone(t, s, ref.ID)
+	if ref.State != StateDone {
+		t.Fatalf("replicated job: %s (%s)", ref.State, ref.Error)
+	}
+	if ref.RaysForwarded != 0 {
+		t.Fatalf("replicated job forwarded %d rays", ref.RaysForwarded)
+	}
+
+	// Different samples so the sharded job cannot be served from the
+	// replicated job's cache entries.
+	st, err := s.Submit(JobSpec{Scene: "meshgallery:2", W: 40, H: 30, Samples: 2, ObjSpaceShards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitDone(t, s, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("sharded job: %s (%s)", st.State, st.Error)
+	}
+	if st.RaysForwarded == 0 || st.ForwardBytes == 0 {
+		t.Fatalf("sharded job recorded no forwarding: %+v", st)
+	}
+	if st.ObjSpacePeakResidentBytes == 0 {
+		t.Error("sharded job recorded no per-shard resident size")
+	}
+
+	agg := s.ObjSpaceStats()
+	if !agg.Enabled() || agg.RaysForwarded != st.RaysForwarded {
+		t.Errorf("service aggregate %+v does not match job %d", agg, st.RaysForwarded)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	mResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	var metrics bytes.Buffer
+	if _, err := metrics.ReadFrom(mResp.Body); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`nowrender_rays_forwarded_total{shard="0"}`,
+		`nowrender_rays_forwarded_total{shard="2"}`,
+		`nowrender_forward_bytes_total{shard="0"}`,
+		`nowrender_objspace_peak_resident_bytes{shard="1"}`,
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics missing %s", want)
 		}
 	}
 }

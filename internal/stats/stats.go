@@ -351,6 +351,85 @@ func (c WireStats) String() string {
 	return s
 }
 
+// ObjSpaceShard describes one spatial shard of an object-space run:
+// its share of the forwarding traffic and its resident scene size.
+type ObjSpaceShard struct {
+	// RaysForwarded counts rays this shard serialized and handed to the
+	// next shard along their direction; ForwardBytes the encoded bytes.
+	RaysForwarded uint64
+	ForwardBytes  uint64
+	// Objects and Tris describe the shard's resident geometry (clipped
+	// meshes count only the triangles they keep); ResidentBytes is the
+	// estimated resident scene size — geometry plus the shard's grid.
+	// For multi-frame runs these hold the peak across frames.
+	Objects       int
+	Tris          int
+	ResidentBytes uint64
+}
+
+// ObjSpaceStats tallies an object-space (sharded scene) run: how many
+// rays crossed shard boundaries, what the forwarding protocol cost in
+// bytes, and how big each shard's resident slice of the scene was. Like
+// the other counter types it is a plain value owned by one goroutine
+// and combined with Merge when runs are aggregated.
+type ObjSpaceStats struct {
+	// Shards is the shard count of the partition (0 = objspace off).
+	Shards int
+	// RaysForwarded and ForwardBytes total the per-shard counters.
+	RaysForwarded uint64
+	ForwardBytes  uint64
+	// PerShard breaks the counters down by shard index.
+	PerShard []ObjSpaceShard
+	// PeakResidentBytes is the largest per-shard resident scene size —
+	// the number that must shrink as Shards grows for the decomposition
+	// to deliver its memory promise.
+	PeakResidentBytes uint64
+}
+
+// Enabled reports whether the run used object-space sharding.
+func (c ObjSpaceStats) Enabled() bool { return c.Shards > 1 }
+
+// Merge adds another counter set into c. Shard counts are expected to
+// match across merged runs of one job; the larger partition wins when
+// they differ (mixed-fleet runs where legacy workers rendered
+// replicated contribute nothing here).
+func (c *ObjSpaceStats) Merge(o ObjSpaceStats) {
+	if o.Shards > c.Shards {
+		c.Shards = o.Shards
+	}
+	c.RaysForwarded += o.RaysForwarded
+	c.ForwardBytes += o.ForwardBytes
+	for len(c.PerShard) < len(o.PerShard) {
+		c.PerShard = append(c.PerShard, ObjSpaceShard{})
+	}
+	for i, s := range o.PerShard {
+		d := &c.PerShard[i]
+		d.RaysForwarded += s.RaysForwarded
+		d.ForwardBytes += s.ForwardBytes
+		if s.Objects > d.Objects {
+			d.Objects = s.Objects
+		}
+		if s.Tris > d.Tris {
+			d.Tris = s.Tris
+		}
+		if s.ResidentBytes > d.ResidentBytes {
+			d.ResidentBytes = s.ResidentBytes
+		}
+	}
+	if o.PeakResidentBytes > c.PeakResidentBytes {
+		c.PeakResidentBytes = o.PeakResidentBytes
+	}
+}
+
+// String implements fmt.Stringer.
+func (c ObjSpaceStats) String() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	return fmt.Sprintf("shards=%d forwarded=%d fwd-bytes=%d peak-resident=%d",
+		c.Shards, c.RaysForwarded, c.ForwardBytes, c.PeakResidentBytes)
+}
+
 // CacheStats is a snapshot of a content-addressed cache's counters (the
 // service-level frame cache reports these through /metrics).
 type CacheStats struct {

@@ -117,6 +117,10 @@ const (
 	// OpLeaseExpire marks the fleet broker expiring a lease whose
 	// replica stopped renewing, returning its units (arg = lease id).
 	OpLeaseExpire
+	// OpForward spans the object-space forwarding work of one frame on a
+	// worker: rays that left their shard and were serialized to the next
+	// shard owner (arg = rays forwarded this frame).
+	OpForward
 	opCount
 )
 
@@ -151,6 +155,7 @@ var opNames = [...]string{
 	OpDrain:        "drain",
 	OpLeaseRenew:   "lease-renew",
 	OpLeaseExpire:  "lease-expire",
+	OpForward:      "forward",
 }
 
 // String returns the op's stable name (also the Chrome trace event

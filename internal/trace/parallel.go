@@ -40,6 +40,16 @@ func (ft *FrameTracer) RenderRegionParallel(dst *fb.Framebuffer, region fb.Rect,
 // are nil, and a nil track costs a single branch per tile, which is why
 // the hot path carries the instrumentation unconditionally.
 func (ft *FrameTracer) RenderRegionParallelTimed(dst *fb.Framebuffer, region fb.Rect, threads, frame int, tracks []*timeline.Track) {
+	ft.RenderRegionParallelWorkers(dst, region, threads, frame, tracks, ft.NewWorker)
+}
+
+// RenderRegionParallelWorkers is RenderRegionParallelTimed with the tile
+// pool's worker construction delegated to newWorker — the hook through
+// which the object-space cluster installs its shard-routing intersector
+// on every tile worker. Per-worker ray tallies are merged into
+// ft.Counters at the barrier, in worker-slot order, same as the default
+// path.
+func (ft *FrameTracer) RenderRegionParallelWorkers(dst *fb.Framebuffer, region fb.Rect, threads, frame int, tracks []*timeline.Track, newWorker func(RayObserver) *Worker) {
 	if threads <= 0 {
 		threads = runtime.NumCPU()
 	}
@@ -49,9 +59,11 @@ func (ft *FrameTracer) RenderRegionParallelTimed(dst *fb.Framebuffer, region fb.
 		if len(tracks) > 0 {
 			tr = tracks[0]
 		}
+		w := newWorker(nil)
 		s := tr.Begin()
-		ft.RenderRegion(dst, region)
+		w.RenderRegion(dst, region)
 		tr.EndArg(timeline.OpTile, frame, s, int64(region.Area()))
+		ft.Counters.Merge(w.Counters)
 		return
 	}
 	if threads > len(tiles) {
@@ -62,7 +74,7 @@ func (ft *FrameTracer) RenderRegionParallelTimed(dst *fb.Framebuffer, region fb.
 	var wg sync.WaitGroup
 	workers := make([]*Worker, threads)
 	for i := 0; i < threads; i++ {
-		w := ft.NewWorker(nil)
+		w := newWorker(nil)
 		workers[i] = w
 		var tr *timeline.Track
 		if i < len(tracks) {

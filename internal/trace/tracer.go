@@ -40,6 +40,17 @@ type RayObserver interface {
 	ObserveRay(r vm.Ray, tHit float64)
 }
 
+// Intersector finds the nearest hit along a ray. A Worker's builtin
+// intersector is the tracer's shared voxel grid plus its unbounded list;
+// NewWorkerWith swaps in an alternative — the object-space cluster routes
+// rays across spatial shards through one — without touching shading or
+// recursion, which is what keeps alternative intersectors byte-identical
+// whenever they return the same nearest hits. Like a Worker, an
+// Intersector is single-owner scratch: one goroutine intersects with it.
+type Intersector interface {
+	Intersect(r vm.Ray, tMin, tMax float64) (geom.Hit, *scene.ResolvedObject, bool)
+}
+
 // Options configure a FrameTracer.
 type Options struct {
 	// GridRes overrides the automatic voxel resolution when positive
@@ -149,6 +160,41 @@ func New(sc *scene.Scene, frame int, opts Options) (*FrameTracer, error) {
 	return ft, nil
 }
 
+// NewView builds a FrameTracer that carries only the frame's camera and
+// shading parameters — no geometry is resolved and no grid is built.
+// Rendering through a view requires workers created with NewWorkerWith,
+// whose intersector supplies all geometry (the object-space cluster's
+// frame owner is the caller: it shades and recurses locally while the
+// shards own the scene).
+func NewView(sc *scene.Scene, frame int, opts Options) (*FrameTracer, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if frame < 0 || frame >= sc.Frames {
+		return nil, fmt.Errorf("trace: frame %d out of range [0,%d)", frame, sc.Frames)
+	}
+	ft := &FrameTracer{
+		Scene:    sc,
+		Frame:    frame,
+		Cam:      sc.CameraAt(frame),
+		maxDepth: sc.MaxDepth,
+		samples:  1,
+	}
+	if opts.MaxDepth > 0 {
+		ft.maxDepth = opts.MaxDepth
+	}
+	if opts.SamplesPerPixel > 1 {
+		ft.samples = opts.SamplesPerPixel
+	}
+	ft.aaThresh = opts.AAThreshold
+	ft.aaSamples = opts.AASamples
+	if ft.aaSamples <= 0 {
+		ft.aaSamples = 8
+	}
+	ft.Worker = Worker{ft: ft, observer: opts.Observer}
+	return ft, nil
+}
+
 // NewWorker returns an independent rendering worker over the tracer's
 // shared frame view, with its own mailboxes, ray counters and observer
 // (nil for none). One worker per goroutine; workers may render
@@ -157,6 +203,21 @@ func (ft *FrameTracer) NewWorker(obs RayObserver) *Worker {
 	return &Worker{
 		ft:        ft,
 		observer:  obs,
+		mailboxes: make([]uint64, len(ft.objs)),
+	}
+}
+
+// NewWorkerWith is NewWorker with the builtin grid intersector replaced:
+// the worker's every nearest-hit query — primary, secondary and
+// shadow-march alike — goes through ix instead of the tracer's grid.
+// Shading, recursion, jitter and ray accounting are unchanged, so two
+// workers whose intersectors return the same hits produce byte-identical
+// pixels and counters.
+func (ft *FrameTracer) NewWorkerWith(obs RayObserver, ix Intersector) *Worker {
+	return &Worker{
+		ft:        ft,
+		observer:  obs,
+		ix:        ix,
 		mailboxes: make([]uint64, len(ft.objs)),
 	}
 }

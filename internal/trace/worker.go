@@ -20,6 +20,11 @@ type Worker struct {
 	ft       *FrameTracer
 	observer RayObserver
 
+	// ix, when non-nil, replaces the builtin grid intersector for every
+	// nearest-hit query (see NewWorkerWith). The object-space cluster
+	// plugs its shard router in here.
+	ix Intersector
+
 	// Mailboxing: avoid re-testing an object in multiple voxels along
 	// one ray. Per worker, so concurrent rays never share stamps.
 	rayStamp  uint64
@@ -128,8 +133,12 @@ func (w *Worker) traceRay(r vm.Ray) vm.Vec3 {
 
 // Intersect finds the nearest object hit along r in (tMin, tMax), using
 // the shared voxel grid with this worker's mailboxes plus the unbounded
-// list.
+// list — or the worker's replacement intersector when one was installed
+// with NewWorkerWith.
 func (w *Worker) Intersect(r vm.Ray, tMin, tMax float64) (geom.Hit, *scene.ResolvedObject, bool) {
+	if w.ix != nil {
+		return w.ix.Intersect(r, tMin, tMax)
+	}
 	ft := w.ft
 	w.rayStamp++
 	stamp := w.rayStamp

@@ -55,8 +55,14 @@ const (
 	// ratio for 3.5-4x less encode time than flate. When granted together
 	// with CapCompress the worker chooses per frame (adaptive mode).
 	CapSpanCodec = 1 << 4
+	// CapObjSpace: the worker can render through the object-space
+	// sharded cluster (internal/objspace) — scene geometry partitioned
+	// into spatial shards with rays forwarded between shard owners.
+	// Granted only when the master run asks for object-space shards;
+	// legacy workers simply render replicated, which is byte-identical.
+	CapObjSpace = 1 << 5
 	// CapsMask is every bit a current binary understands.
-	CapsMask = CapDelta | CapCompress | CapTimeline | CapDFB | CapSpanCodec
+	CapsMask = CapDelta | CapCompress | CapTimeline | CapDFB | CapSpanCodec | CapObjSpace
 )
 
 // Frame result kinds (FrameDone.Kind).

@@ -334,6 +334,12 @@ var (
 	// GalleryScene builds the complex museum animation with a camera
 	// cut (the §5 "large, complex animations" direction).
 	GalleryScene = scenes.Gallery
+	// MeshGalleryScene builds the large-mesh object-space stress scene:
+	// nine baked instances of a procedural heightfield tile.
+	MeshGalleryScene = scenes.MeshGallery
+	// MeshGalleryTile generates the gallery's exhibit mesh (the source
+	// of scenes/gallery-tile.obj).
+	MeshGalleryTile = scenes.MeshGalleryTile
 	// QuickstartScene is a tiny single-frame scene.
 	QuickstartScene = scenes.Quickstart
 )
